@@ -1,0 +1,131 @@
+//! The "vector allgather" running example (Fig. 2/3 of the paper,
+//! Table I row 1): every rank holds a vector of varying size; the result
+//! on every rank is the concatenation in rank order.
+//!
+//! Each variant is written in its binding's idiom; the marked regions are
+//! what Table I counts.
+
+use kmp_baselines::{boost_like, mpl_like, rwth_like};
+use kmp_mpi::{Comm, Plain, Result};
+
+use kamping::prelude::*;
+
+/// Plain substrate ("MPI") version: the Fig. 2 boilerplate — in-place
+/// count exchange, exclusive scan, explicit allocation, allgatherv.
+pub fn vector_allgather_mpi<T: Plain>(v: &[T], comm: &Comm) -> Result<Vec<T>> {
+    // loc:begin:allgather_mpi
+    let size = comm.size();
+    let rank = comm.rank();
+    let mut rc = vec![0usize; size];
+    rc[rank] = v.len();
+    comm.allgather_in_place(&mut rc)?;
+    let mut rd = vec![0usize; size];
+    let mut acc = 0;
+    for i in 0..size {
+        rd[i] = acc;
+        acc += rc[i];
+    }
+    let n_glob = acc;
+    let mut v_glob = vec![kmp_mpi::plain::zeroed::<T>(); n_glob];
+    comm.allgatherv_into(v, &mut v_glob, &rc, &rd)?;
+    Ok(v_glob)
+    // loc:end:allgather_mpi
+}
+
+/// Boost.MPI-style version: `all_gatherv` hides the count exchange and
+/// resizes the output.
+pub fn vector_allgather_boost<T: Plain>(v: &[T], comm: &Comm) -> Result<Vec<T>> {
+    // loc:begin:allgather_boost
+    let comm = boost_like::BoostComm::new(comm);
+    let mut v_glob = Vec::new();
+    boost_like::all_gatherv(&comm, v, &mut v_glob)?;
+    Ok(v_glob)
+    // loc:end:allgather_boost
+}
+
+/// RWTH-MPI-style version: the in-place count-deducing overload exists,
+/// but the user still exchanges counts and computes displacements.
+pub fn vector_allgather_rwth<T: Plain>(v: &[T], comm: &Comm) -> Result<Vec<T>> {
+    // loc:begin:allgather_rwth
+    let c = rwth_like::RwthComm::new(comm);
+    let mut counts = vec![0usize; c.size()];
+    counts[c.rank()] = v.len();
+    c.all_gather_varying_in_place(&mut counts)?;
+    let displs = kmp_mpi::collectives::displacements_from_counts(&counts);
+    let mut v_glob = vec![kmp_mpi::plain::zeroed::<T>(); counts.iter().sum()];
+    c.all_gather_varying(v, &mut v_glob, &counts, &displs)?;
+    Ok(v_glob)
+    // loc:end:allgather_rwth
+}
+
+/// MPL-style version: counts exchanged manually, then layouts must be
+/// constructed for the v-collective.
+pub fn vector_allgather_mpl<T: Plain>(v: &[T], comm: &Comm) -> Result<Vec<T>> {
+    // loc:begin:allgather_mpl
+    let c = mpl_like::MplComm::new(comm);
+    let mut counts = vec![0usize; c.size()];
+    let send_l = mpl_like::ContiguousLayout::new(1);
+    let mine = [v.len()];
+    c.allgather(&mine, send_l, &mut counts)?;
+    let recv_layouts = mpl_like::Layouts::from_counts(&counts);
+    let mut v_glob = vec![kmp_mpi::plain::zeroed::<T>(); counts.iter().sum()];
+    let data_l = mpl_like::ContiguousLayout::new(v.len());
+    c.allgatherv(v, data_l, &mut v_glob, &recv_layouts)?;
+    Ok(v_glob)
+    // loc:end:allgather_mpl
+}
+
+/// kamping version: Fig. 1 — one line.
+pub fn vector_allgather_kamping<T: Plain>(v: &[T], comm: &Communicator) -> Result<Vec<T>> {
+    // loc:begin:allgather_kamping
+    comm.allgatherv(send_buf(v))
+    // loc:end:allgather_kamping
+}
+
+/// Source text of this module (for the Table I harness).
+pub const SOURCE: &str = include_str!("allgather_example.rs");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmp_mpi::Universe;
+
+    fn input(rank: usize) -> Vec<u64> {
+        vec![rank as u64; rank + 1]
+    }
+
+    fn expected(p: usize) -> Vec<u64> {
+        (0..p as u64).flat_map(|r| std::iter::repeat_n(r, r as usize + 1)).collect()
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let p = 4;
+        Universe::run(p, |comm| {
+            let v = input(comm.rank());
+            let want = expected(p);
+            assert_eq!(vector_allgather_mpi(&v, &comm).unwrap(), want);
+            assert_eq!(vector_allgather_boost(&v, &comm).unwrap(), want);
+            assert_eq!(vector_allgather_rwth(&v, &comm).unwrap(), want);
+            assert_eq!(vector_allgather_mpl(&v, &comm).unwrap(), want);
+            let kc = Communicator::new(comm);
+            assert_eq!(vector_allgather_kamping(&v, &kc).unwrap(), want);
+        });
+    }
+
+    #[test]
+    fn loc_ordering_matches_table1() {
+        // Table I: MPI 14, Boost 5, RWTH 5, MPL 12, KaMPIng 1 — our
+        // Rust renderings must reproduce the *ordering*.
+        let mpi = crate::count_loc(SOURCE, "allgather_mpi");
+        let boost = crate::count_loc(SOURCE, "allgather_boost");
+        let rwth = crate::count_loc(SOURCE, "allgather_rwth");
+        let mpl = crate::count_loc(SOURCE, "allgather_mpl");
+        let kamping = crate::count_loc(SOURCE, "allgather_kamping");
+        assert!(kamping < boost, "kamping ({kamping}) < boost ({boost})");
+        assert!(boost <= rwth, "boost ({boost}) <= rwth ({rwth})");
+        assert!(rwth <= mpl, "rwth ({rwth}) <= mpl ({mpl})");
+        assert!(mpl <= mpi, "mpl ({mpl}) <= mpi ({mpi})");
+        assert_eq!(kamping, 1, "the kamping version is the Fig. 1 one-liner");
+    }
+}

@@ -1,0 +1,221 @@
+//! Boost.MPI-style bindings (§II of the paper).
+//!
+//! Design traits reproduced from Boost.MPI:
+//! - value-oriented interface: `all_gather(&comm, &value, &mut out)`
+//!   fills an output vector that is **implicitly resized to fit** —
+//!   convenient, but a hidden allocation on every call (§II);
+//! - reductions take functor objects (`std::plus` → `kmp_mpi::op::Sum`) or
+//!   lambdas;
+//! - **no `alltoallv` binding**: applications needing a personalized
+//!   exchange hand-roll it from point-to-point (the paper calls this out
+//!   explicitly), see [`handrolled_alltoallv`];
+//! - free functions over a communicator wrapper, results via out-refs.
+
+use kmp_mpi::op::ReduceOp;
+use kmp_mpi::{Comm, Plain, Rank, Result, Tag};
+
+/// Boost.MPI-style communicator wrapper.
+pub struct BoostComm<'a> {
+    raw: &'a Comm,
+}
+
+impl<'a> BoostComm<'a> {
+    pub fn new(raw: &'a Comm) -> Self {
+        BoostComm { raw }
+    }
+
+    pub fn rank(&self) -> Rank {
+        self.raw.rank()
+    }
+
+    pub fn size(&self) -> usize {
+        self.raw.size()
+    }
+
+    /// The underlying communicator.
+    pub fn raw(&self) -> &Comm {
+        self.raw
+    }
+}
+
+/// `boost::mpi::all_gather`: gathers one value per rank; the output is
+/// resized to fit (hidden allocation).
+pub fn all_gather<T: Plain>(comm: &BoostComm<'_>, value: &T, out: &mut Vec<T>) -> Result<()> {
+    let gathered = comm.raw.allgather_vec(std::slice::from_ref(value))?;
+    *out = gathered;
+    Ok(())
+}
+
+/// `all_gather` overload for per-rank vectors (equal sizes not required:
+/// Boost gathers sizes internally via serialization; the emulation
+/// exchanges counts with an allgather first).
+pub fn all_gatherv<T: Plain>(comm: &BoostComm<'_>, send: &[T], out: &mut Vec<T>) -> Result<()> {
+    let counts = comm.raw.allgather_vec(&[send.len()])?;
+    let displs = kmp_mpi::collectives::displacements_from_counts(&counts);
+    let total: usize = counts.iter().sum();
+    out.clear();
+    out.resize(total, kmp_mpi::plain::zeroed::<T>());
+    comm.raw.allgatherv_into(send, out, &counts, &displs)
+}
+
+/// `boost::mpi::broadcast`.
+pub fn broadcast<T: Plain>(comm: &BoostComm<'_>, value: &mut Vec<T>, root: Rank) -> Result<()> {
+    let data = comm.raw.bcast_vec(
+        (comm.rank() == root).then_some(&value[..]),
+        root,
+    )?;
+    *value = data;
+    Ok(())
+}
+
+/// `boost::mpi::all_reduce` with a functor or lambda.
+pub fn all_reduce<T: Plain, O: ReduceOp<T>>(comm: &BoostComm<'_>, value: &T, op: O) -> Result<T> {
+    comm.raw.allreduce_one(*value, op)
+}
+
+/// `boost::mpi::gather`: root receives all values, resized to fit.
+pub fn gather<T: Plain>(
+    comm: &BoostComm<'_>,
+    value: &T,
+    out: &mut Vec<T>,
+    root: Rank,
+) -> Result<()> {
+    if comm.rank() == root {
+        out.clear();
+        out.resize(comm.size(), kmp_mpi::plain::zeroed::<T>());
+    }
+    comm.raw.gather_into(std::slice::from_ref(value), out, root)
+}
+
+/// `boost::mpi::scatter`.
+pub fn scatter<T: Plain>(
+    comm: &BoostComm<'_>,
+    send: &[T],
+    out: &mut T,
+    root: Rank,
+) -> Result<()> {
+    let block = comm.raw.scatter_vec((comm.rank() == root).then_some(send), root)?;
+    *out = block[0];
+    Ok(())
+}
+
+/// Point-to-point send (Boost signature order: dest, tag, data).
+pub fn send<T: Plain>(comm: &BoostComm<'_>, dest: Rank, tag: Tag, data: &[T]) -> Result<()> {
+    comm.raw.send(data, dest, tag)
+}
+
+/// Point-to-point receive; the vector is resized to fit the message.
+pub fn recv<T: Plain>(comm: &BoostComm<'_>, src: Rank, tag: Tag, out: &mut Vec<T>) -> Result<()> {
+    let (data, _st) = comm.raw.recv_vec::<T>(src, tag)?;
+    *out = data;
+    Ok(())
+}
+
+/// What a Boost.MPI application must write instead of `MPI_Alltoallv`
+/// (the binding does not exist): exchange counts with `all_gather`, then
+/// isend to every peer and receive from every peer.
+pub fn handrolled_alltoallv<T: Plain>(
+    comm: &BoostComm<'_>,
+    send: &[T],
+    send_counts: &[usize],
+) -> Result<Vec<T>> {
+    let p = comm.size();
+    // Everyone learns the full count matrix (p values per rank).
+    let flat: Vec<u64> = send_counts.iter().map(|&c| c as u64).collect();
+    let mut matrix = Vec::new();
+    all_gatherv(comm, &flat, &mut matrix)?;
+    let displs = kmp_mpi::collectives::displacements_from_counts(send_counts);
+    for dest in 0..p {
+        let block = &send[displs[dest]..displs[dest] + send_counts[dest]];
+        comm.raw.send(block, dest, 0)?;
+    }
+    let mut out = Vec::new();
+    for src in 0..p {
+        let expected = matrix[src * p + comm.rank()] as usize;
+        let (mut data, _) = comm.raw.recv_vec::<T>(src, 0)?;
+        assert_eq!(data.len(), expected);
+        out.append(&mut data);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmp_mpi::Universe;
+
+    #[test]
+    fn all_gather_resizes_out() {
+        Universe::run(3, |raw| {
+            let comm = BoostComm::new(&raw);
+            let mut out = Vec::new();
+            all_gather(&comm, &(comm.rank() as u32), &mut out).unwrap();
+            assert_eq!(out, vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn all_gatherv_variable_sizes() {
+        Universe::run(3, |raw| {
+            let comm = BoostComm::new(&raw);
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            let mut out = Vec::new();
+            all_gatherv(&comm, &mine, &mut out).unwrap();
+            assert_eq!(out, vec![0, 1, 1, 2, 2, 2]);
+        });
+    }
+
+    #[test]
+    fn broadcast_and_all_reduce() {
+        Universe::run(4, |raw| {
+            let comm = BoostComm::new(&raw);
+            let mut v = if comm.rank() == 0 { vec![1u64, 2] } else { vec![] };
+            broadcast(&comm, &mut v, 0).unwrap();
+            assert_eq!(v, vec![1, 2]);
+            let s = all_reduce(&comm, &(comm.rank() as u64), kmp_mpi::op::Sum).unwrap();
+            assert_eq!(s, 6);
+        });
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        Universe::run(3, |raw| {
+            let comm = BoostComm::new(&raw);
+            let mut all = Vec::new();
+            gather(&comm, &(comm.rank() as u16 * 3), &mut all, 0).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(all, vec![0, 3, 6]);
+            }
+            let mut mine = 0u16;
+            let send: Vec<u16> = if comm.rank() == 0 { vec![5, 6, 7] } else { vec![] };
+            scatter(&comm, &send, &mut mine, 0).unwrap();
+            assert_eq!(mine, 5 + comm.rank() as u16);
+        });
+    }
+
+    #[test]
+    fn handrolled_alltoallv_matches_builtin() {
+        Universe::run(3, |raw| {
+            let comm = BoostComm::new(&raw);
+            let r = comm.rank();
+            let send: Vec<u64> = vec![r as u64; 3 * r];
+            let counts = vec![r; 3];
+            let got = handrolled_alltoallv(&comm, &send, &counts).unwrap();
+            assert_eq!(got, vec![1, 2, 2]);
+        });
+    }
+
+    #[test]
+    fn p2p_roundtrip() {
+        Universe::run(2, |raw| {
+            let comm = BoostComm::new(&raw);
+            if comm.rank() == 0 {
+                send(&comm, 1, 9, &[1u8, 2]).unwrap();
+            } else {
+                let mut out: Vec<u8> = Vec::new();
+                recv(&comm, 0, 9, &mut out).unwrap();
+                assert_eq!(out, vec![1, 2]);
+            }
+        });
+    }
+}

@@ -1,0 +1,27 @@
+//! # kmp-baselines — the paper's comparator binding layers
+//!
+//! The paper evaluates KaMPIng against three other C++ binding libraries
+//! (plus plain MPI). Those libraries are closed designs we re-implement
+//! here as *style-faithful layers* over the same [`kmp_mpi`] substrate,
+//! so that the LoC comparisons (Table I) and the running-time comparisons
+//! (Figs. 8 and 10) measure what the paper measured — the programming
+//! model and the communication it induces — rather than vendor internals:
+//!
+//! - [`boost_like`] — Boost.MPI's design: value-oriented calls, receive
+//!   containers implicitly resized (hidden allocation), reduction via
+//!   functors, **no `alltoallv` binding** (applications hand-roll it with
+//!   point-to-point, as the paper notes);
+//! - [`mpl_like`] — MPL's design: explicit *layouts* describe every
+//!   buffer; variable-size collectives construct per-peer derived
+//!   datatypes and route through an `alltoallw`-style exchange — the
+//!   mechanism behind MPL's documented gatherv/alltoallv overheads;
+//! - [`rwth_like`] — RWTH-MPI's design: thin overloads mirroring the C
+//!   API; some count deduction exists but only for the in-place variant,
+//!   so callers usually exchange counts themselves.
+//!
+//! "Plain MPI" in the comparisons is the [`kmp_mpi`] substrate API used
+//! directly.
+
+pub mod boost_like;
+pub mod mpl_like;
+pub mod rwth_like;

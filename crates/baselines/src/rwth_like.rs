@@ -1,0 +1,186 @@
+//! RWTH-MPI-style bindings (§II of the paper).
+//!
+//! Design traits reproduced from the C++20 interface of Demiralp et al.:
+//! - thin overloads that largely mirror the C API: counts and
+//!   displacements are spelled out by the caller;
+//! - STL container support for send/receive buffers;
+//! - a count-deducing `all_gather_varying` overload exists, but only the
+//!   `MPI_IN_PLACE` form: the caller must have placed its contribution at
+//!   the correct offset, which requires exchanging counts manually first
+//!   (§III-A) — so in practice applications still write the Fig. 2
+//!   boilerplate;
+//! - automatic receive-buffer resizing in *some* calls, not others.
+
+use kmp_mpi::op::ReduceOp;
+use kmp_mpi::{Comm, Plain, Rank, Result, Tag};
+
+/// RWTH-style communicator wrapper.
+pub struct RwthComm<'a> {
+    raw: &'a Comm,
+}
+
+impl<'a> RwthComm<'a> {
+    pub fn new(raw: &'a Comm) -> Self {
+        RwthComm { raw }
+    }
+
+    pub fn rank(&self) -> Rank {
+        self.raw.rank()
+    }
+
+    pub fn size(&self) -> usize {
+        self.raw.size()
+    }
+
+    /// Mirror of `MPI_Allgather` with STL containers; the receive buffer
+    /// is resized (one of the convenience overloads).
+    pub fn all_gather<T: Plain>(&self, send: &[T], recv: &mut Vec<T>) -> Result<()> {
+        recv.clear();
+        recv.resize(send.len() * self.size(), kmp_mpi::plain::zeroed::<T>());
+        self.raw.allgather_into(send, recv)
+    }
+
+    /// The count-deducing overload: **in-place only**. The buffer must
+    /// hold `p` equal blocks with this rank's contribution already at
+    /// block `rank` (the restriction §III-A criticizes).
+    pub fn all_gather_varying_in_place<T: Plain>(&self, buf: &mut [T]) -> Result<()> {
+        self.raw.allgather_in_place(buf)
+    }
+
+    /// Mirror of `MPI_Allgatherv`: explicit counts and displacements.
+    pub fn all_gather_varying<T: Plain>(
+        &self,
+        send: &[T],
+        recv: &mut [T],
+        counts: &[usize],
+        displs: &[usize],
+    ) -> Result<()> {
+        self.raw.allgatherv_into(send, recv, counts, displs)
+    }
+
+    /// Mirror of `MPI_Alltoall`.
+    pub fn all_to_all<T: Plain>(&self, send: &[T], recv: &mut [T]) -> Result<()> {
+        self.raw.alltoall_into(send, recv)
+    }
+
+    /// Mirror of `MPI_Alltoallv`: everything explicit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn all_to_all_varying<T: Plain>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        send_displs: &[usize],
+        recv: &mut [T],
+        recv_counts: &[usize],
+        recv_displs: &[usize],
+    ) -> Result<()> {
+        self.raw
+            .alltoallv_into(send, send_counts, send_displs, recv, recv_counts, recv_displs)
+    }
+
+    /// Mirror of `MPI_Bcast`.
+    pub fn broadcast<T: Plain>(&self, buf: &mut [T], root: Rank) -> Result<()> {
+        self.raw.bcast_into(buf, root)
+    }
+
+    /// Mirror of `MPI_Allreduce` (single value convenience overload).
+    pub fn all_reduce<T: Plain, O: ReduceOp<T>>(&self, value: T, op: O) -> Result<T> {
+        self.raw.allreduce_one(value, op)
+    }
+
+    /// Mirror of `MPI_Send`.
+    pub fn send<T: Plain>(&self, data: &[T], dest: Rank, tag: Tag) -> Result<()> {
+        self.raw.send(data, dest, tag)
+    }
+
+    /// Mirror of `MPI_Recv` into a resized container.
+    pub fn receive<T: Plain>(&self, out: &mut Vec<T>, src: Rank, tag: Tag) -> Result<()> {
+        let (data, _st) = self.raw.recv_vec::<T>(src, tag)?;
+        *out = data;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmp_mpi::Universe;
+
+    #[test]
+    fn all_gather_resizes() {
+        Universe::run(3, |raw| {
+            let comm = RwthComm::new(&raw);
+            let mut out = Vec::new();
+            comm.all_gather(&[comm.rank() as u32], &mut out).unwrap();
+            assert_eq!(out, vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn varying_requires_explicit_layout() {
+        Universe::run(3, |raw| {
+            let comm = RwthComm::new(&raw);
+            // The Fig. 2 boilerplate, as an RWTH user writes it:
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            let mut counts = vec![0usize; 3];
+            counts[comm.rank()] = mine.len();
+            comm.all_gather_varying_in_place(&mut counts).unwrap();
+            let displs = kmp_mpi::collectives::displacements_from_counts(&counts);
+            let mut recv = vec![0u8; counts.iter().sum()];
+            comm.all_gather_varying(&mine, &mut recv, &counts, &displs).unwrap();
+            assert_eq!(recv, vec![0, 1, 1, 2, 2, 2]);
+        });
+    }
+
+    #[test]
+    fn in_place_overload_matches_fig2() {
+        Universe::run(4, |raw| {
+            let comm = RwthComm::new(&raw);
+            let mut rc = vec![0usize; 4];
+            rc[comm.rank()] = comm.rank() + 10;
+            comm.all_gather_varying_in_place(&mut rc).unwrap();
+            assert_eq!(rc, vec![10, 11, 12, 13]);
+        });
+    }
+
+    #[test]
+    fn alltoallv_explicit() {
+        Universe::run(2, |raw| {
+            let comm = RwthComm::new(&raw);
+            let r = comm.rank() as u16;
+            let send = vec![r * 10, r * 10 + 1];
+            let counts = vec![1usize, 1];
+            let displs = vec![0usize, 1];
+            let mut recv = vec![0u16; 2];
+            comm.all_to_all_varying(&send, &counts, &displs, &mut recv, &counts, &displs)
+                .unwrap();
+            assert_eq!(recv, vec![r, 10 + r]);
+        });
+    }
+
+    #[test]
+    fn broadcast_and_reduce() {
+        Universe::run(3, |raw| {
+            let comm = RwthComm::new(&raw);
+            let mut b = if comm.rank() == 1 { [9u64] } else { [0] };
+            comm.broadcast(&mut b, 1).unwrap();
+            assert_eq!(b, [9]);
+            let total = comm.all_reduce(2u64, kmp_mpi::op::Sum).unwrap();
+            assert_eq!(total, 6);
+        });
+    }
+
+    #[test]
+    fn p2p() {
+        Universe::run(2, |raw| {
+            let comm = RwthComm::new(&raw);
+            if comm.rank() == 0 {
+                comm.send(&[1u8, 2, 3], 1, 0).unwrap();
+            } else {
+                let mut out: Vec<u8> = Vec::new();
+                comm.receive(&mut out, 0, 0).unwrap();
+                assert_eq!(out, vec![1, 2, 3]);
+            }
+        });
+    }
+}

@@ -1,0 +1,242 @@
+//! The "(near) zero overhead" micro-benchmarks (§I, §III of the paper).
+//!
+//! For each wrapped operation, the kamping call (with its compile-time
+//! parameter machinery) is measured against the hand-rolled substrate
+//! sequence an expert would write. Both run the same number of inner
+//! iterations inside one universe; rank 0's wall time is the sample. Any
+//! kamping overhead would appear as a gap between the paired curves.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamping::prelude::*;
+use kmp_mpi::{Comm, Universe};
+
+const P: usize = 4;
+const N: usize = 1024;
+
+/// Times `iters` repetitions of `f` inside one universe (rank 0's wall
+/// clock; all ranks execute the same loop).
+fn time_universe<F>(iters: u64, f: F) -> Duration
+where
+    F: Fn(&Comm, u64) + Sync,
+{
+    let outs = Universe::run(P, |comm| {
+        comm.barrier().unwrap();
+        let t = Instant::now();
+        f(&comm, iters);
+        t.elapsed()
+    });
+    outs.into_iter().next().unwrap()
+}
+
+fn bench_allgatherv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgatherv");
+    g.sample_size(10);
+
+    g.bench_function("kamping", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let kc = Communicator::new(comm.dup().unwrap());
+                let v = vec![kc.rank() as u64; N];
+                for _ in 0..iters {
+                    let out: Vec<u64> = kc.allgatherv(send_buf(&v)).unwrap();
+                    std::hint::black_box(out);
+                }
+            })
+        })
+    });
+
+    g.bench_function("handrolled", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let v = vec![comm.rank() as u64; N];
+                for _ in 0..iters {
+                    // The Fig. 2 boilerplate.
+                    let mut rc = vec![0usize; comm.size()];
+                    rc[comm.rank()] = v.len();
+                    comm.allgather_in_place(&mut rc).unwrap();
+                    let rd = kmp_mpi::collectives::displacements_from_counts(&rc);
+                    let mut out = kmp_mpi::plain::zeroed_vec::<u64>(rc.iter().sum());
+                    comm.allgatherv_into(&v, &mut out, &rc, &rd).unwrap();
+                    std::hint::black_box(out);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_allgatherv_counts_known(c: &mut Criterion) {
+    // The purest wrapper-overhead probe: counts provided, storage
+    // preallocated — kamping must add nothing but the parameter folding.
+    let mut g = c.benchmark_group("allgatherv_counts_known");
+    g.sample_size(10);
+
+    g.bench_function("kamping", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let kc = Communicator::new(comm.dup().unwrap());
+                let v = vec![kc.rank() as u64; N];
+                let counts = vec![N; kc.size()];
+                let mut out = kmp_mpi::plain::zeroed_vec::<u64>(N * kc.size());
+                for _ in 0..iters {
+                    kc.allgatherv((
+                        send_buf(&v),
+                        recv_counts(&counts),
+                        recv_buf(&mut out),
+                    ))
+                    .unwrap();
+                    std::hint::black_box(&out);
+                }
+            })
+        })
+    });
+
+    g.bench_function("handrolled", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let v = vec![comm.rank() as u64; N];
+                let counts = vec![N; comm.size()];
+                let displs = kmp_mpi::collectives::displacements_from_counts(&counts);
+                let mut out = kmp_mpi::plain::zeroed_vec::<u64>(N * comm.size());
+                for _ in 0..iters {
+                    comm.allgatherv_into(&v, &mut out, &counts, &displs).unwrap();
+                    std::hint::black_box(&out);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv");
+    g.sample_size(10);
+
+    g.bench_function("kamping", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let kc = Communicator::new(comm.dup().unwrap());
+                let counts = vec![N / P; P];
+                let data = vec![kc.rank() as u64; N];
+                for _ in 0..iters {
+                    let out: Vec<u64> =
+                        kc.alltoallv((send_buf(&data), send_counts(&counts))).unwrap();
+                    std::hint::black_box(out);
+                }
+            })
+        })
+    });
+
+    g.bench_function("handrolled", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let counts = vec![N / P; P];
+                let data = vec![comm.rank() as u64; N];
+                for _ in 0..iters {
+                    let sd = kmp_mpi::collectives::displacements_from_counts(&counts);
+                    let mut rcounts = vec![0usize; P];
+                    comm.alltoall_into(&counts, &mut rcounts).unwrap();
+                    let rd = kmp_mpi::collectives::displacements_from_counts(&rcounts);
+                    let mut out = kmp_mpi::plain::zeroed_vec::<u64>(rcounts.iter().sum());
+                    comm.alltoallv_into(&data, &counts, &sd, &mut out, &rcounts, &rd).unwrap();
+                    std::hint::black_box(out);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    g.sample_size(10);
+
+    g.bench_function("kamping", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let kc = Communicator::new(comm.dup().unwrap());
+                let v = vec![1.5f64; N];
+                let mut out = vec![0.0f64; N];
+                for _ in 0..iters {
+                    kc.allreduce((send_buf(&v), op(ops::Sum), recv_buf(&mut out))).unwrap();
+                    std::hint::black_box(&out);
+                }
+            })
+        })
+    });
+
+    g.bench_function("handrolled", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let v = vec![1.5f64; N];
+                let mut out = vec![0.0f64; N];
+                for _ in 0..iters {
+                    comm.allreduce_into(&v, &mut out, kmp_mpi::op::Sum).unwrap();
+                    std::hint::black_box(&out);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_p2p_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isend_irecv_pingpong");
+    g.sample_size(10);
+
+    g.bench_function("kamping", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                let kc = Communicator::new(comm.dup().unwrap());
+                if kc.rank() == 0 {
+                    for _ in 0..iters {
+                        let payload = vec![7u64; N];
+                        let r = kc.isend((send_buf(payload), destination(1))).unwrap();
+                        let _payload = r.wait().unwrap();
+                        let back: Vec<u64> = kc.recv((source(1),)).unwrap();
+                        std::hint::black_box(back);
+                    }
+                } else if kc.rank() == 1 {
+                    for _ in 0..iters {
+                        let data: Vec<u64> = kc.recv((source(0),)).unwrap();
+                        kc.send((send_buf(&data), destination(0))).unwrap();
+                    }
+                }
+            })
+        })
+    });
+
+    g.bench_function("handrolled", |b| {
+        b.iter_custom(|iters| {
+            time_universe(iters, |comm, iters| {
+                if comm.rank() == 0 {
+                    for _ in 0..iters {
+                        let payload = vec![7u64; N];
+                        let r = comm.isend(&payload, 1, 0).unwrap();
+                        r.wait().unwrap();
+                        let (back, _) = comm.recv_vec::<u64>(1, 0).unwrap();
+                        std::hint::black_box(back);
+                    }
+                } else if comm.rank() == 1 {
+                    for _ in 0..iters {
+                        let (data, _) = comm.recv_vec::<u64>(0, 0).unwrap();
+                        comm.send(&data, 0, 0).unwrap();
+                    }
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allgatherv,
+    bench_allgatherv_counts_known,
+    bench_alltoallv,
+    bench_allreduce,
+    bench_p2p_pingpong
+);
+criterion_main!(benches);

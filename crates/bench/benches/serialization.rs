@@ -1,0 +1,151 @@
+//! §III-D4 ablations: serialization and datatype-layout costs.
+//!
+//! The paper's preliminary experiments motivate two design defaults:
+//! 1. serialization "incurs a non-negligible overhead" and must be
+//!    explicit — measured here as serialized vs plain transfer of the
+//!    same logical payload;
+//! 2. trivially copyable structs are transferred as **contiguous bytes**
+//!    (including alignment gaps) rather than field-by-field with a
+//!    gap-skipping derived datatype — measured here as a whole-struct
+//!    copy vs a per-field pack/unpack of the same records.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kamping::prelude::*;
+use kmp_mpi::{plain_struct, Comm, Universe};
+
+const N: usize = 2048;
+
+fn time_universe<F>(p: usize, iters: u64, f: F) -> Duration
+where
+    F: Fn(&Comm, u64) + Sync,
+{
+    let outs = Universe::run(p, |comm| {
+        comm.barrier().unwrap();
+        let t = Instant::now();
+        f(&comm, iters);
+        t.elapsed()
+    });
+    outs.into_iter().next().unwrap()
+}
+
+fn bench_serialization_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("send_recv_vec_u64");
+    g.sample_size(10);
+
+    g.bench_function("plain", |b| {
+        b.iter_custom(|iters| {
+            time_universe(2, iters, |comm, iters| {
+                let kc = Communicator::new(comm.dup().unwrap());
+                let payload: Vec<u64> = (0..N as u64).collect();
+                if kc.rank() == 0 {
+                    for _ in 0..iters {
+                        kc.send((send_buf(&payload), destination(1))).unwrap();
+                    }
+                } else {
+                    for _ in 0..iters {
+                        let got: Vec<u64> = kc.recv((source(0),)).unwrap();
+                        std::hint::black_box(got);
+                    }
+                }
+            })
+        })
+    });
+
+    g.bench_function("serialized", |b| {
+        b.iter_custom(|iters| {
+            time_universe(2, iters, |comm, iters| {
+                let kc = Communicator::new(comm.dup().unwrap());
+                let payload: Vec<u64> = (0..N as u64).collect();
+                if kc.rank() == 0 {
+                    for _ in 0..iters {
+                        kc.send((send_buf(as_serialized(&payload)), destination(1))).unwrap();
+                    }
+                } else {
+                    for _ in 0..iters {
+                        let got: Vec<u64> =
+                            kc.recv((recv_buf(as_deserializable()), source(0))).unwrap();
+                        std::hint::black_box(got);
+                    }
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+/// A struct with an alignment gap after `tag` (u8 followed by u64).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Record {
+    key: u64,
+    value: f64,
+    tag: u64, // would be u8 + 7 bytes padding in the field-wise view
+}
+plain_struct!(Record { key: u64, value: f64, tag: u64 });
+
+fn bench_datatype_layout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("struct_transfer");
+    g.sample_size(10);
+
+    let make = || -> Vec<Record> {
+        (0..N as u64).map(|i| Record { key: i, value: i as f64, tag: i % 251 }).collect()
+    };
+
+    g.bench_function("contiguous_bytes", |b| {
+        // KaMPIng's default: the struct array crosses the wire as one
+        // contiguous byte block.
+        b.iter_custom(|iters| {
+            time_universe(2, iters, |comm, iters| {
+                let records = make();
+                if comm.rank() == 0 {
+                    for _ in 0..iters {
+                        comm.send(&records, 1, 0).unwrap();
+                    }
+                } else {
+                    for _ in 0..iters {
+                        let (got, _) = comm.recv_vec::<Record>(0, 0).unwrap();
+                        std::hint::black_box(got);
+                    }
+                }
+            })
+        })
+    });
+
+    g.bench_function("field_wise", |b| {
+        // The `MPI_Type_create_struct` route: each field is gathered
+        // into its own stream (non-contiguous access on both sides).
+        b.iter_custom(|iters| {
+            time_universe(2, iters, |comm, iters| {
+                let records = make();
+                if comm.rank() == 0 {
+                    for _ in 0..iters {
+                        let keys: Vec<u64> = records.iter().map(|r| r.key).collect();
+                        let values: Vec<f64> = records.iter().map(|r| r.value).collect();
+                        let tags: Vec<u64> = records.iter().map(|r| r.tag).collect();
+                        comm.send(&keys, 1, 0).unwrap();
+                        comm.send(&values, 1, 1).unwrap();
+                        comm.send(&tags, 1, 2).unwrap();
+                    }
+                } else {
+                    for _ in 0..iters {
+                        let (keys, _) = comm.recv_vec::<u64>(0, 0).unwrap();
+                        let (values, _) = comm.recv_vec::<f64>(0, 1).unwrap();
+                        let (tags, _) = comm.recv_vec::<u64>(0, 2).unwrap();
+                        let got: Vec<Record> = keys
+                            .into_iter()
+                            .zip(values)
+                            .zip(tags)
+                            .map(|((key, value), tag)| Record { key, value, tag })
+                            .collect();
+                        std::hint::black_box(got);
+                    }
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serialization_cost, bench_datatype_layout);
+criterion_main!(benches);

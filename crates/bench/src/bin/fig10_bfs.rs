@@ -1,0 +1,66 @@
+//! Regenerates **Fig. 10** of the paper: BFS weak scaling on three graph
+//! families (GNM / RGG-2D / RHG) under different frontier-exchange
+//! strategies: dense alltoallv (mpi, kamping), neighborhood collectives,
+//! kamping sparse (NBX), kamping grid — plus the topology-rebuild
+//! configuration the paper notes does not scale.
+//!
+//! Paper shapes to reproduce: grid strongest on RHG (and GNM at scale);
+//! sparse ~ neighbor and best on RGG; rebuild-per-level degrades.
+
+use kmp_apps::bfs::{bfs_sequential, bfs_with_exchange, Exchange};
+use kmp_bench::{arg_usize, calibrate_ns, measure_virtual_kamping_ms, row, scaling_ranks};
+use kmp_graphgen::{gnm, rgg2d, rhg, DistGraph};
+
+fn main() {
+    let max_p = arg_usize("--max-p", 32);
+    let n_per_rank = arg_usize("--n-per-rank", 512);
+    let reps = arg_usize("--reps", 3);
+    println!(
+        "FIG. 10 — BFS WEAK SCALING ({n_per_rank} vertices/rank, ~8x edges, virtual time)"
+    );
+
+    let strategies = [
+        ("mpi", Exchange::MpiDense),
+        ("mpi_neighbor", Exchange::MpiNeighbor),
+        ("kamping", Exchange::Kamping),
+        ("kamping_sparse", Exchange::KampingSparse),
+        ("kamping_grid", Exchange::KampingGrid),
+        ("neighbor_rebuild", Exchange::MpiNeighborRebuild),
+    ];
+
+    for (family, gen) in [
+        ("GNM", 0usize),
+        ("RGG-2D", 1),
+        ("RHG", 2),
+    ] {
+        println!("== {family} ==");
+        for p in scaling_ranks(max_p) {
+            let n = n_per_rank * p;
+            let parts: Vec<DistGraph> = (0..p)
+                .map(|r| match gen {
+                    0 => gnm(n, 8 * n, 7, r, p),
+                    1 => rgg2d(n, (16.0 / (std::f64::consts::PI * n as f64)).sqrt(), 7, r, p),
+                    _ => rhg(n, 8.0, 0.75, 7, r, p),
+                })
+                .collect();
+            // Calibrated per-edge traversal cost (identical across
+            // strategies, so it cancels in the comparison but keeps the
+            // absolute numbers meaningful).
+            let total_m: usize = parts.iter().map(|g| g.local_m()).sum();
+            let bfs_ns = calibrate_ns(3, || {
+                std::hint::black_box(bfs_sequential(&parts, 0));
+            });
+            let ns_per_edge = (bfs_ns as f64 / total_m.max(1) as f64).max(1.0);
+            for (label, ex) in strategies {
+                let parts = &parts;
+                let ms = measure_virtual_kamping_ms(p, reps, move |c| {
+                    let _ = bfs_with_exchange(&parts[c.rank()], 0, c, ex).unwrap();
+                    let local_work =
+                        (parts[c.rank()].local_m() as f64 * ns_per_edge) as u64;
+                    c.raw().clock_add_ns(local_work);
+                });
+                println!("{}", row(label, p, ms));
+            }
+        }
+    }
+}

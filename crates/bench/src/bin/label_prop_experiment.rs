@@ -1,0 +1,44 @@
+//! §IV-B label propagation experiment: LoC of the three abstraction
+//! styles (paper: plain 154 / kamping 127 / custom layer 106) and the
+//! paper's runtime-parity observation ("we observed the same running
+//! times for all variants").
+
+use kmp_apps::count_loc;
+use kmp_apps::label_prop::*;
+use kmp_bench::{arg_usize, measure_virtual_kamping_ms, measure_virtual_ms};
+use kmp_graphgen::rgg2d;
+
+fn main() {
+    let p = arg_usize("--p", 8);
+    let n_per_rank = arg_usize("--n-per-rank", 512);
+    let rounds = arg_usize("--rounds", 5);
+    let reps = arg_usize("--reps", 3);
+    let n = n_per_rank * p;
+
+    println!("LABEL PROPAGATION — §IV-B (dKaMinPar component)");
+    let mpi = count_loc(SOURCE, "lp_mpi");
+    let kamping = count_loc(SOURCE, "lp_kamping");
+    let custom = count_loc(SOURCE, "lp_custom");
+    println!("LoC: plain {mpi} (paper 154) | kamping {kamping} (paper 127) | custom layer {custom} (paper 106)");
+
+    let radius = (16.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    let parts: Vec<_> = (0..p).map(|r| rgg2d(n, radius, 77, r, p)).collect();
+    let parts_ref = &parts;
+
+    let t_mpi = measure_virtual_ms(p, reps, move |comm| {
+        let _ = label_prop_mpi(&parts_ref[comm.rank()], rounds, 64, comm).unwrap();
+    });
+    let t_kamping = measure_virtual_kamping_ms(p, reps, move |c| {
+        let _ = label_prop_kamping(&parts_ref[c.rank()], rounds, 64, c).unwrap();
+    });
+    let t_custom = measure_virtual_kamping_ms(p, reps, move |c| {
+        let _ = label_prop_custom_layer(&parts_ref[c.rank()], rounds, 64, c).unwrap();
+    });
+    println!("virtual time ({rounds} rounds, p={p}, {n_per_rank} vertices/rank):");
+    println!("  plain {t_mpi:.3} ms | kamping {t_kamping:.3} ms | custom {t_custom:.3} ms");
+    println!(
+        "  kamping/plain: {:.3} (paper: ~1.0) | custom/plain: {:.3}",
+        t_kamping / t_mpi,
+        t_custom / t_mpi
+    );
+}

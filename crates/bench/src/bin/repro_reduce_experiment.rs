@@ -1,0 +1,98 @@
+//! §V-C / Fig. 13: reproducible reduce. Verifies bit-identical results
+//! across rank counts and compares the binary-tree scheme's cost against
+//! the naive "gather + local reduction + broadcast" the paper says it
+//! beats, plus the (non-reproducible) builtin allreduce as the floor.
+
+use kamping::plugins::repro_reduce::ReproducibleReduce;
+use kamping::prelude::*;
+use kmp_bench::{arg_usize, calibrate_ns, measure_virtual_kamping_ms, scaling_ranks};
+use rand::prelude::*;
+
+fn values(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(1234);
+    (0..n)
+        .map(|_| {
+            let mag = rng.random_range(-10..10);
+            rng.random::<f64>() * 10f64.powi(mag) * if rng.random() { 1.0 } else { -1.0 }
+        })
+        .collect()
+}
+
+fn block(all: &[f64], rank: usize, p: usize) -> Vec<f64> {
+    let lo = rank * all.len() / p;
+    let hi = (rank + 1) * all.len() / p;
+    all[lo..hi].to_vec()
+}
+
+fn main() {
+    let n = arg_usize("--n", 100_000);
+    let max_p = arg_usize("--max-p", 32);
+    let reps = arg_usize("--reps", 3);
+    let all = values(n);
+    let all_ref = &all;
+
+    println!("REPRODUCIBLE REDUCE — §V-C / Fig. 13 ({n} f64 elements)");
+    println!("reproducibility across rank counts:");
+    let mut results: Vec<u64> = Vec::new();
+    for p in scaling_ranks(max_p) {
+        let out = kmp_mpi::Universe::run(p, move |comm| {
+            let c = Communicator::new(comm);
+            c.reproducible_reduce(&block(all_ref, c.rank(), p), ops::Sum).unwrap()
+        });
+        let bits = out[0].to_bits();
+        assert!(out.iter().all(|r| r.to_bits() == bits));
+        results.push(bits);
+        println!("  p={p:<4} sum = {:+.17e}", f64::from_bits(bits));
+    }
+    let first = results[0];
+    assert!(results.iter().all(|&b| b == first), "results must be bit-identical for every p");
+    println!("  => bit-identical for every p OK");
+
+    // Naive allreduce results (expected to drift with p).
+    println!("naive allreduce (for contrast; order depends on p):");
+    for p in scaling_ranks(max_p.min(8)) {
+        let out = kmp_mpi::Universe::run(p, move |comm| {
+            let c = Communicator::new(comm);
+            let local: f64 = block(all_ref, c.rank(), p).iter().sum();
+            c.allreduce_single((send_buf(&[local]), op(ops::Sum))).unwrap()
+        });
+        println!("  p={p:<4} sum = {:+.17e}", out[0]);
+    }
+
+    // Calibrated per-element fold cost (charged where the fold runs; see
+    // kmp_mpi::clock for why compute is charged explicitly).
+    let fold_ns = calibrate_ns(5, || {
+        std::hint::black_box(all_ref.iter().sum::<f64>());
+    });
+    let per_elem = (fold_ns as f64 / n as f64).max(0.5);
+    println!("cost comparison (virtual time; calibrated fold {:.2} ns/element):", per_elem);
+    for p in scaling_ranks(max_p) {
+        let tree = measure_virtual_kamping_ms(p, reps, move |c| {
+            let mine = block(all_ref, c.rank(), p);
+            let _ = c.reproducible_reduce(&mine, ops::Sum).unwrap();
+            // Each element is folded once locally, in parallel.
+            c.raw().clock_add_ns((mine.len() as f64 * per_elem) as u64);
+        });
+        let gather_all = measure_virtual_kamping_ms(p, reps, move |c| {
+            // The baseline the paper beats: gather everything to rank 0,
+            // reduce locally in index order, broadcast.
+            let mine = block(all_ref, c.rank(), p);
+            let gathered = c.raw().gatherv_vec(&mine, 0).unwrap();
+            let local = gathered.map(|(data, _)| data.iter().sum::<f64>());
+            if local.is_some() {
+                // Rank 0 folds the entire array sequentially.
+                c.raw().clock_add_ns((n as f64 * per_elem) as u64);
+            }
+            let _ = c.raw().bcast_one(local.unwrap_or(0.0), 0).unwrap();
+        });
+        let naive = measure_virtual_kamping_ms(p, reps, move |c| {
+            let mine = block(all_ref, c.rank(), p);
+            let local: f64 = mine.iter().sum();
+            c.raw().clock_add_ns((mine.len() as f64 * per_elem) as u64);
+            let _ = c.allreduce_single((send_buf(&[local]), op(ops::Sum))).unwrap();
+        });
+        println!(
+            "  p={p:<4} repro-tree {tree:>9.3} ms | gather+reduce+bcast {gather_all:>9.3} ms | builtin allreduce {naive:>9.3} ms"
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! `allgather` / `allgatherv` with named parameters.
+
+use kmp_mpi::collectives::displacements_from_counts;
+use kmp_mpi::{Plain, Result};
+
+use crate::communicator::Communicator;
+use crate::params::argset::{ArgSet, IntoArgs};
+use crate::params::output::{FinalOf, Finalize, Push1, Push2, Push3, PushComponent};
+use crate::params::slots::{CountsSlot, ProvidesSendData, RecvBufSpec, SendRecvBufSpec};
+use crate::params::{Absent, SendBuf, SendRecvBuf};
+
+/// Valid argument sets for [`Communicator::allgatherv`].
+pub trait AllgathervArgs<T: Plain> {
+    /// The call's result shape, computed from the slots at compile time.
+    type Output;
+    /// Executes the call.
+    fn run(self, comm: &Communicator) -> Result<Self::Output>;
+}
+
+impl<T, B, RB, RC, RD> AllgathervArgs<T>
+    for ArgSet<SendBuf<B>, Absent, RB, Absent, RC, Absent, RD, Absent>
+where
+    T: Plain,
+    SendBuf<B>: ProvidesSendData<T>,
+    RB: RecvBufSpec<T>,
+    RC: CountsSlot,
+    RD: CountsSlot,
+    RB::Out: PushComponent<()>,
+    RC::Out: PushComponent<Push1<RB::Out>>,
+    RD::Out: PushComponent<Push2<RB::Out, RC::Out>>,
+    Push3<RB::Out, RC::Out, RD::Out>: Finalize,
+{
+    type Output = FinalOf<Push3<RB::Out, RC::Out, RD::Out>>;
+
+    fn run(self, comm: &Communicator) -> Result<Self::Output> {
+        let send = self.send_buf.send_slice();
+
+        // Default recv counts: allgather each rank's send count — the
+        // boilerplate of Fig. 2, issued only when the parameter is absent
+        // (RC::PROVIDED is a compile-time constant).
+        let computed_counts: Option<Vec<usize>> = if RC::PROVIDED {
+            None
+        } else {
+            Some(comm.raw().allgather_vec(&[send.len()])?)
+        };
+        let counts: &[usize] = match self.recv_counts.provided() {
+            Some(c) => c,
+            None => computed_counts.as_deref().expect("computed when not provided"),
+        };
+
+        // Default recv displacements: exclusive prefix sum (local).
+        let computed_displs: Option<Vec<usize>> =
+            if RD::PROVIDED { None } else { Some(displacements_from_counts(counts)) };
+        let displs: &[usize] = match self.recv_displs.provided() {
+            Some(d) => d,
+            None => computed_displs.as_deref().expect("computed when not provided"),
+        };
+
+        let needed = displs.iter().zip(counts).map(|(d, c)| d + c).max().unwrap_or(0);
+        let raw = comm.raw();
+        let ((), rb_out) = self
+            .recv_buf
+            .apply(needed, |storage| raw.allgatherv_into(send, storage, counts, displs))?;
+
+        let acc = ();
+        let acc = rb_out.push_component(acc);
+        let acc = self.recv_counts.finish(computed_counts).push_component(acc);
+        let acc = self.recv_displs.finish(computed_displs).push_component(acc);
+        Ok(acc.finalize())
+    }
+}
+
+/// Valid argument sets for [`Communicator::allgather`] with explicit send
+/// data.
+pub trait AllgatherArgs<T: Plain> {
+    /// The call's result shape.
+    type Output;
+    /// Executes the call.
+    fn run(self, comm: &Communicator) -> Result<Self::Output>;
+}
+
+impl<T, B, RB> AllgatherArgs<T>
+    for ArgSet<SendBuf<B>, Absent, RB, Absent, Absent, Absent, Absent, Absent>
+where
+    T: Plain,
+    SendBuf<B>: ProvidesSendData<T>,
+    RB: RecvBufSpec<T>,
+    RB::Out: PushComponent<()>,
+    Push1<RB::Out>: Finalize,
+{
+    type Output = FinalOf<Push1<RB::Out>>;
+
+    fn run(self, comm: &Communicator) -> Result<Self::Output> {
+        let send = self.send_buf.send_slice();
+        let needed = send.len() * comm.size();
+        let raw = comm.raw();
+        let ((), rb_out) =
+            self.recv_buf.apply(needed, |storage| raw.allgather_into(send, storage))?;
+        Ok(rb_out.push_component(()).finalize())
+    }
+}
+
+/// Valid argument sets for the in-place [`Communicator::allgather`]
+/// (`send_recv_buf`, §III-G): the buffer holds `p` blocks; the own block
+/// is read from position `rank` and all blocks are filled.
+pub trait AllgatherInPlaceArgs<T: Plain> {
+    /// The call's result shape (`Vec<T>` for owned buffers, `()` for
+    /// borrowed ones).
+    type Output;
+    /// Executes the call.
+    fn run(self, comm: &Communicator) -> Result<Self::Output>;
+}
+
+impl<T, B> AllgatherInPlaceArgs<T>
+    for ArgSet<Absent, SendRecvBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent>
+where
+    T: Plain,
+    SendRecvBuf<B>: SendRecvBufSpec<T>,
+    <SendRecvBuf<B> as SendRecvBufSpec<T>>::Out: PushComponent<()>,
+    Push1<<SendRecvBuf<B> as SendRecvBufSpec<T>>::Out>: Finalize,
+{
+    type Output = FinalOf<Push1<<SendRecvBuf<B> as SendRecvBufSpec<T>>::Out>>;
+
+    fn run(self, comm: &Communicator) -> Result<Self::Output> {
+        let raw = comm.raw();
+        let ((), out) = self.send_recv_buf.apply(|buf| raw.allgather_in_place(buf))?;
+        Ok(out.push_component(()).finalize())
+    }
+}
+
+impl Communicator {
+    /// Gathers variable-sized contributions from all ranks to all ranks
+    /// (wraps `MPI_Allgatherv`, §III-A's running example).
+    ///
+    /// Accepted parameters: `send_buf` (required), `recv_buf`,
+    /// `recv_counts`/`recv_counts_out`, `recv_displs`/`recv_displs_out`.
+    ///
+    /// ```
+    /// use kamping::prelude::*;
+    ///
+    /// kmp_mpi::Universe::run(3, |comm| {
+    ///     let comm = Communicator::new(comm);
+    ///     let mine = vec![comm.rank() as u32; comm.rank() + 1];
+    ///     // Fig. 1 (1): concise call with computed defaults.
+    ///     let all: Vec<u32> = comm.allgatherv(send_buf(&mine)).unwrap();
+    ///     assert_eq!(all, vec![0, 1, 1, 2, 2, 2]);
+    ///     // Fig. 1 (2): request the computed counts back.
+    ///     let (all, counts) =
+    ///         comm.allgatherv((send_buf(&mine), recv_counts_out())).unwrap();
+    ///     assert_eq!(all.len(), 6);
+    ///     assert_eq!(counts, vec![1, 2, 3]);
+    /// });
+    /// ```
+    pub fn allgatherv<T, A>(&self, args: A) -> Result<<A::Out as AllgathervArgs<T>>::Output>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: AllgathervArgs<T>,
+    {
+        args.into_args().run(self)
+    }
+
+    /// Gathers equal-sized contributions from all ranks to all ranks
+    /// (wraps `MPI_Allgather`). With `send_buf`, the concatenation is
+    /// returned (or written to `recv_buf`); with `send_recv_buf`, the
+    /// in-place variant is selected (§III-G).
+    pub fn allgather<T, A>(&self, args: A) -> Result<<A::Out as AllgatherDispatch<T>>::Output>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: AllgatherDispatch<T>,
+    {
+        args.into_args().dispatch(self)
+    }
+}
+
+/// Dispatch between the explicit (`send_buf`) and in-place
+/// (`send_recv_buf`) forms of `allgather`, decided by which slot is
+/// occupied — the compile-time replacement for `MPI_IN_PLACE`.
+pub trait AllgatherDispatch<T: Plain> {
+    /// The call's result shape.
+    type Output;
+    /// Executes the selected variant.
+    fn dispatch(self, comm: &Communicator) -> Result<Self::Output>;
+}
+
+impl<T, B, RB> AllgatherDispatch<T>
+    for ArgSet<SendBuf<B>, Absent, RB, Absent, Absent, Absent, Absent, Absent>
+where
+    T: Plain,
+    SendBuf<B>: ProvidesSendData<T>,
+    RB: RecvBufSpec<T>,
+    RB::Out: PushComponent<()>,
+    Push1<RB::Out>: Finalize,
+{
+    type Output = <Self as AllgatherArgs<T>>::Output;
+
+    fn dispatch(self, comm: &Communicator) -> Result<Self::Output> {
+        AllgatherArgs::run(self, comm)
+    }
+}
+
+impl<T, B> AllgatherDispatch<T>
+    for ArgSet<Absent, SendRecvBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent>
+where
+    T: Plain,
+    SendRecvBuf<B>: SendRecvBufSpec<T>,
+    <SendRecvBuf<B> as SendRecvBufSpec<T>>::Out: PushComponent<()>,
+    Push1<<SendRecvBuf<B> as SendRecvBufSpec<T>>::Out>: Finalize,
+{
+    type Output = <Self as AllgatherInPlaceArgs<T>>::Output;
+
+    fn dispatch(self, comm: &Communicator) -> Result<Self::Output> {
+        AllgatherInPlaceArgs::run(self, comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use kmp_mpi::Universe;
+
+    #[test]
+    fn allgatherv_defaults_only() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u64; comm.rank()];
+            let all: Vec<u64> = comm.allgatherv(send_buf(&mine)).unwrap();
+            assert_eq!(all, vec![1, 2, 2, 3, 3, 3]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_with_counts_out_and_displs_out() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![7u32; comm.rank() + 1];
+            let (all, counts, displs) = comm
+                .allgatherv((send_buf(&mine), recv_counts_out(), recv_displs_out()))
+                .unwrap();
+            assert_eq!(all.len(), 6);
+            assert_eq!(counts, vec![1, 2, 3]);
+            assert_eq!(displs, vec![0, 1, 3]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_with_provided_counts_issues_no_extra_allgather() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u8; 2];
+            let counts = vec![2usize; 3];
+            let before = comm.call_counts();
+            let all: Vec<u8> =
+                comm.allgatherv((send_buf(&mine), recv_counts(&counts))).unwrap();
+            let delta = comm.call_counts().since(&before);
+            // Exactly one allgatherv, zero count-exchanging allgathers:
+            // the PMPI-style check of §III-H.
+            assert_eq!(delta.get("allgatherv"), 1);
+            assert_eq!(delta.get("allgather"), 0);
+            assert_eq!(all, vec![0, 0, 1, 1, 2, 2]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_omitted_counts_issue_exactly_one_allgather() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![1u8; comm.rank()];
+            let before = comm.call_counts();
+            let _: Vec<u8> = comm.allgatherv(send_buf(&mine)).unwrap();
+            let delta = comm.call_counts().since(&before);
+            assert_eq!(delta.get("allgather"), 1);
+            assert_eq!(delta.get("allgatherv"), 1);
+            assert_eq!(delta.total(), 2);
+        });
+    }
+
+    #[test]
+    fn allgatherv_into_borrowed_buffer_resize_to_fit() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u16; comm.rank() + 1];
+            let mut out = Vec::new();
+            // Version 2 of Fig. 3: explicit recv_buf with resize policy.
+            comm.allgatherv((send_buf(&mine), recv_buf(&mut out).resize_to_fit())).unwrap();
+            assert_eq!(out, vec![0, 1, 1, 2, 2, 2]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_moved_container_is_returned() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u64];
+            let storage = Vec::with_capacity(64);
+            let out: Vec<u64> = comm
+                .allgatherv((send_buf(&mine), recv_buf(storage).resize_to_fit()))
+                .unwrap();
+            assert_eq!(out, vec![0, 1]);
+            // The reused allocation survives the move in and out.
+            assert!(out.capacity() >= 64);
+        });
+    }
+
+    #[test]
+    fn allgather_equal_blocks() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = [comm.rank() as u32; 2];
+            let all: Vec<u32> = comm.allgather(send_buf(&mine[..])).unwrap();
+            assert_eq!(all, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        });
+    }
+
+    #[test]
+    fn allgather_in_place_fig3_version1() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            // The count-exchange pattern of Fig. 3, version 1.
+            let mut rc = vec![0usize; comm.size()];
+            rc[comm.rank()] = comm.rank() * 10;
+            comm.allgather(send_recv_buf(&mut rc)).unwrap();
+            assert_eq!(rc, vec![0, 10, 20, 30]);
+        });
+    }
+
+    #[test]
+    fn allgather_in_place_moved_fig_simplified_inplace() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            // §III-G: data = comm.allgather(send_recv_buf(std::move(data)))
+            let mut data = vec![0u64; comm.size()];
+            data[comm.rank()] = comm.rank() as u64 + 1;
+            let data: Vec<u64> = comm.allgather(send_recv_buf(data)).unwrap();
+            assert_eq!(data, vec![1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_empty_contribution() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mine: Vec<u8> = if comm.rank() == 1 { vec![9] } else { vec![] };
+            let all: Vec<u8> = comm.allgatherv(send_buf(&mine)).unwrap();
+            assert_eq!(all, vec![9]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_single_rank() {
+        Universe::run(1, |comm| {
+            let comm = Communicator::new(comm);
+            let all: Vec<u32> = comm.allgatherv(send_buf(&vec![1u32, 2])).unwrap();
+            assert_eq!(all, vec![1, 2]);
+        });
+    }
+}

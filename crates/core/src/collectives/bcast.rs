@@ -1,0 +1,133 @@
+//! `bcast` with named parameters.
+
+use kmp_mpi::{Plain, Rank, Result};
+
+use crate::communicator::Communicator;
+use crate::params::argset::{ArgSet, IntoArgs};
+use crate::params::output::{FinalOf, Finalize, Push1, PushComponent};
+use crate::params::slots::SendRecvBufSpec;
+use crate::params::{Absent, SendRecvBuf};
+
+/// Valid argument sets for [`Communicator::bcast`].
+pub trait BcastArgs<T: Plain> {
+    /// The call's result shape.
+    type Output;
+    /// Executes the call.
+    fn run(self, comm: &Communicator) -> Result<Self::Output>;
+}
+
+impl<T, B> BcastArgs<T> for ArgSet<Absent, SendRecvBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent>
+where
+    T: Plain,
+    SendRecvBuf<B>: SendRecvBufSpec<T>,
+    <SendRecvBuf<B> as SendRecvBufSpec<T>>::Out: PushComponent<()>,
+    Push1<<SendRecvBuf<B> as SendRecvBufSpec<T>>::Out>: Finalize,
+{
+    type Output = FinalOf<Push1<<SendRecvBuf<B> as SendRecvBufSpec<T>>::Out>>;
+
+    fn run(self, comm: &Communicator) -> Result<Self::Output> {
+        let root = self.meta.root.unwrap_or(0);
+        crate::assertions::check_same_root(comm, root)?;
+        let raw = comm.raw();
+        let is_root = comm.rank() == root;
+        let ((), out) = self.send_recv_buf.apply(|buf| {
+            if is_root {
+                raw.bcast_vec(Some(&buf[..]), root)?;
+            } else {
+                let incoming = raw.bcast_vec::<T>(None, root)?;
+                // The broadcast length is dictated by the root; receivers
+                // adopt it (bcast has no independent receive sizing).
+                buf.clear();
+                buf.extend_from_slice(&incoming);
+            }
+            Ok(())
+        })?;
+        Ok(out.push_component(()).finalize())
+    }
+}
+
+impl Communicator {
+    /// Broadcasts the root's buffer to all ranks (wraps `MPI_Bcast`).
+    ///
+    /// The buffer is passed as `send_recv_buf` on every rank — read at
+    /// the root, overwritten elsewhere — following the paper's unified
+    /// in-place semantics (§III-G). Parameters: `send_recv_buf`
+    /// (required), `root` (default 0).
+    ///
+    /// ```
+    /// use kamping::prelude::*;
+    ///
+    /// kmp_mpi::Universe::run(3, |comm| {
+    ///     let comm = Communicator::new(comm);
+    ///     let mut data = if comm.rank() == 0 { vec![1u32, 2, 3] } else { vec![] };
+    ///     comm.bcast((send_recv_buf(&mut data),)).unwrap();
+    ///     assert_eq!(data, vec![1, 2, 3]);
+    /// });
+    /// ```
+    pub fn bcast<T, A>(&self, args: A) -> Result<<A::Out as BcastArgs<T>>::Output>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: BcastArgs<T>,
+    {
+        args.into_args().run(self)
+    }
+
+    /// Broadcasts a single value from the root; a convenience shortcut
+    /// (mirrors kamping's `bcast_single`).
+    pub fn bcast_single<T: Plain>(&self, value: T, root: Rank) -> Result<T> {
+        self.raw().bcast_one(value, root)
+    }
+}
+
+/// Marker trait kept for the module's public surface; `bcast_single` is a
+/// plain method, not parameter-driven.
+pub trait BcastSingleArgs<T> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use kmp_mpi::Universe;
+
+    #[test]
+    fn bcast_overwrites_non_roots() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let mut data = if comm.rank() == 0 { vec![5u64, 6] } else { vec![0; 9] };
+            comm.bcast((send_recv_buf(&mut data),)).unwrap();
+            assert_eq!(data, vec![5, 6]);
+        });
+    }
+
+    #[test]
+    fn bcast_from_explicit_root_with_move() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let data = if comm.rank() == 2 { vec![9u8] } else { vec![] };
+            let data: Vec<u8> = comm.bcast((send_recv_buf(data), root(2))).unwrap();
+            assert_eq!(data, vec![9]);
+        });
+    }
+
+    #[test]
+    fn bcast_single_value() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let v = comm.bcast_single(if comm.rank() == 1 { 42u32 } else { 0 }, 1).unwrap();
+            assert_eq!(v, 42);
+        });
+    }
+
+    #[test]
+    fn bcast_counts_one_op() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mut data = vec![comm.rank() as u8];
+            let before = comm.call_counts();
+            comm.bcast((send_recv_buf(&mut data),)).unwrap();
+            let delta = comm.call_counts().since(&before);
+            assert_eq!(delta.get("bcast"), 1);
+            assert_eq!(delta.total(), 1);
+        });
+    }
+}

@@ -1,0 +1,218 @@
+//! `gather` / `gatherv` with named parameters.
+
+use kmp_mpi::collectives::displacements_from_counts;
+use kmp_mpi::{Plain, Result};
+
+use crate::communicator::Communicator;
+use crate::params::argset::{ArgSet, IntoArgs};
+use crate::params::output::{FinalOf, Finalize, Push1, Push2, Push3, PushComponent};
+use crate::params::slots::{CountsSlot, ProvidesSendData, RecvBufSpec};
+use crate::params::{Absent, SendBuf};
+
+/// Valid argument sets for [`Communicator::gatherv`].
+pub trait GathervArgs<T: Plain> {
+    /// The call's result shape.
+    type Output;
+    /// Executes the call.
+    fn run(self, comm: &Communicator) -> Result<Self::Output>;
+}
+
+impl<T, B, RB, RC, RD> GathervArgs<T>
+    for ArgSet<SendBuf<B>, Absent, RB, Absent, RC, Absent, RD, Absent>
+where
+    T: Plain,
+    SendBuf<B>: ProvidesSendData<T>,
+    RB: RecvBufSpec<T>,
+    RC: CountsSlot,
+    RD: CountsSlot,
+    RB::Out: PushComponent<()>,
+    RC::Out: PushComponent<Push1<RB::Out>>,
+    RD::Out: PushComponent<Push2<RB::Out, RC::Out>>,
+    Push3<RB::Out, RC::Out, RD::Out>: Finalize,
+{
+    type Output = FinalOf<Push3<RB::Out, RC::Out, RD::Out>>;
+
+    fn run(self, comm: &Communicator) -> Result<Self::Output> {
+        let root = self.meta.root.unwrap_or(0);
+        let send = self.send_buf.send_slice();
+        let is_root = comm.rank() == root;
+
+        // Default recv counts: gather each rank's send count to the root.
+        let computed_counts: Option<Vec<usize>> = if RC::PROVIDED {
+            None
+        } else {
+            let mut counts = if is_root { vec![0usize; comm.size()] } else { vec![] };
+            comm.raw().gather_into(&[send.len()], &mut counts, root)?;
+            Some(counts)
+        };
+        let counts: &[usize] = match self.recv_counts.provided() {
+            Some(c) => c,
+            None => computed_counts.as_deref().expect("computed when not provided"),
+        };
+
+        // Default displacements at the root: exclusive prefix sum.
+        let computed_displs: Option<Vec<usize>> = if RD::PROVIDED {
+            None
+        } else if is_root {
+            Some(displacements_from_counts(counts))
+        } else {
+            Some(Vec::new())
+        };
+        let displs: &[usize] = match self.recv_displs.provided() {
+            Some(d) => d,
+            None => computed_displs.as_deref().expect("computed when not provided"),
+        };
+
+        let needed = if is_root {
+            displs.iter().zip(counts).map(|(d, c)| d + c).max().unwrap_or(0)
+        } else {
+            0
+        };
+        let raw = comm.raw();
+        let ((), rb_out) = self
+            .recv_buf
+            .apply(needed, |storage| raw.gatherv_into(send, storage, counts, displs, root))?;
+
+        let acc = ();
+        let acc = rb_out.push_component(acc);
+        let acc = self.recv_counts.finish(computed_counts).push_component(acc);
+        let acc = self.recv_displs.finish(computed_displs).push_component(acc);
+        Ok(acc.finalize())
+    }
+}
+
+/// Valid argument sets for [`Communicator::gather`].
+pub trait GatherArgs<T: Plain> {
+    /// The call's result shape.
+    type Output;
+    /// Executes the call.
+    fn run(self, comm: &Communicator) -> Result<Self::Output>;
+}
+
+impl<T, B, RB> GatherArgs<T>
+    for ArgSet<SendBuf<B>, Absent, RB, Absent, Absent, Absent, Absent, Absent>
+where
+    T: Plain,
+    SendBuf<B>: ProvidesSendData<T>,
+    RB: RecvBufSpec<T>,
+    RB::Out: PushComponent<()>,
+    Push1<RB::Out>: Finalize,
+{
+    type Output = FinalOf<Push1<RB::Out>>;
+
+    fn run(self, comm: &Communicator) -> Result<Self::Output> {
+        let root = self.meta.root.unwrap_or(0);
+        let send = self.send_buf.send_slice();
+        let needed = if comm.rank() == root { send.len() * comm.size() } else { 0 };
+        let raw = comm.raw();
+        let ((), rb_out) =
+            self.recv_buf.apply(needed, |storage| raw.gather_into(send, storage, root))?;
+        Ok(rb_out.push_component(()).finalize())
+    }
+}
+
+impl Communicator {
+    /// Gathers equal-sized contributions to the root (wraps `MPI_Gather`).
+    /// Non-root ranks receive an empty vector. Parameters: `send_buf`
+    /// (required), `recv_buf`, `root` (default 0).
+    pub fn gather<T, A>(&self, args: A) -> Result<<A::Out as GatherArgs<T>>::Output>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: GatherArgs<T>,
+    {
+        args.into_args().run(self)
+    }
+
+    /// Gathers variable-sized contributions to the root (wraps
+    /// `MPI_Gatherv`). Omitted receive counts are gathered from the send
+    /// counts; omitted displacements are prefix sums. Parameters:
+    /// `send_buf` (required), `recv_buf`, `recv_counts`(`_out`),
+    /// `recv_displs`(`_out`), `root` (default 0).
+    pub fn gatherv<T, A>(&self, args: A) -> Result<<A::Out as GathervArgs<T>>::Output>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: GathervArgs<T>,
+    {
+        args.into_args().run(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use kmp_mpi::Universe;
+
+    #[test]
+    fn gather_to_default_root() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let all: Vec<u32> = comm.gather(send_buf(&[comm.rank() as u32])).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(all, vec![0, 1, 2]);
+            } else {
+                assert!(all.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn gather_to_explicit_root() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let all: Vec<u32> =
+                comm.gather((send_buf(&[comm.rank() as u32 * 2]), root(2))).unwrap();
+            if comm.rank() == 2 {
+                assert_eq!(all, vec![0, 2, 4]);
+            } else {
+                assert!(all.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn gatherv_with_computed_counts() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u8; comm.rank()];
+            let (all, counts) =
+                comm.gatherv((send_buf(&mine), recv_counts_out())).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(all, vec![1, 2, 2]);
+                assert_eq!(counts, vec![0, 1, 2]);
+            } else {
+                assert!(all.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn gatherv_counts_exchange_is_one_gather() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![1u8; comm.rank() + 1];
+            let before = comm.call_counts();
+            let _: Vec<u8> = comm.gatherv(send_buf(&mine)).unwrap();
+            let delta = comm.call_counts().since(&before);
+            assert_eq!(delta.get("gather"), 1);
+            assert_eq!(delta.get("gatherv"), 1);
+            assert_eq!(delta.total(), 2);
+        });
+    }
+
+    #[test]
+    fn gatherv_into_preallocated_root_buffer() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u64 + 5];
+            let mut out = Vec::new();
+            comm.gatherv((send_buf(&mine), recv_buf(&mut out).resize_to_fit())).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(out, vec![5, 6]);
+            } else {
+                assert!(out.is_empty());
+            }
+        });
+    }
+}

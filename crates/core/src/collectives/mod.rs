@@ -1,0 +1,33 @@
+//! Collective operations with named parameters and computed defaults.
+//!
+//! Each operation is a method on [`Communicator`](crate::Communicator)
+//! accepting a parameter tuple; a per-operation trait (implemented once
+//! over the folded [`ArgSet`](crate::params::ArgSet)) resolves every slot
+//! at compile time. The table below lists the defaults each operation
+//! computes for omitted parameters (§III-A/B of the paper):
+//!
+//! | operation    | computed defaults                                               |
+//! |--------------|-----------------------------------------------------------------|
+//! | `allgatherv` | recv counts (allgather of send count), recv displs (prefix sum) |
+//! | `alltoallv`  | send displs (prefix sum), recv counts (alltoall of send counts), recv displs (prefix sum) |
+//! | `gatherv`    | recv counts (gather of send count), recv displs (prefix sum)    |
+//! | `scatterv`   | send displs (prefix sum), recv count (via scatter of counts)    |
+//! | `allgather`/`alltoall`/`gather`/`scatter`/`bcast`/`reduce`/`allreduce`/`scan`/`exscan` | receive storage sizing |
+//!
+//! The receive buffer is implicitly returned by value unless storage was
+//! passed by reference; `*_out()` parameters append further components to
+//! the returned tuple.
+
+mod allgather;
+mod alltoall;
+mod bcast;
+mod gather;
+mod reduce;
+mod scatter;
+
+pub use allgather::{AllgatherArgs, AllgatherInPlaceArgs, AllgathervArgs};
+pub use alltoall::{AlltoallArgs, AlltoallvArgs};
+pub use bcast::{BcastArgs, BcastSingleArgs};
+pub use gather::{GatherArgs, GathervArgs};
+pub use reduce::{AllreduceArgs, AllreduceSingleArgs, ExscanArgs, ReduceArgs, ScanArgs};
+pub use scatter::{ScatterArgs, ScattervArgs};

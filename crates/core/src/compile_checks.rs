@@ -1,0 +1,110 @@
+//! Compile-time error checking (§III-G of the paper).
+//!
+//! "Catching usage errors at compile time whenever possible … when the
+//! user does not provide a required parameter to a collective operation,
+//! the error message indicates which parameter is missing during compile
+//! time." The doctests below are `compile_fail` tests: each snippet
+//! **must not compile**, which `cargo test` verifies. The corresponding
+//! `#[diagnostic::on_unimplemented]` attributes on the slot traits
+//! provide the human-readable messages.
+//!
+//! ## Missing required parameter: `send_buf`
+//!
+//! An `allgatherv` without send data does not compile (the error names
+//! the missing parameter):
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn missing_send_buf(comm: &Communicator) {
+//!     let _: Vec<u64> = comm.allgatherv((recv_counts_out(),)).unwrap();
+//! }
+//! ```
+//!
+//! ## Missing required parameter: `send_counts`
+//!
+//! `alltoallv` cannot infer how the send buffer splits across
+//! destinations, so `send_counts` is required:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn missing_send_counts(comm: &Communicator, data: &Vec<u64>) {
+//!     let _: Vec<u64> = comm.alltoallv(send_buf(data)).unwrap();
+//! }
+//! ```
+//!
+//! ## Missing required parameter: `op`
+//!
+//! Reductions require the operation:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn missing_op(comm: &Communicator, data: &Vec<u64>) {
+//!     let _: Vec<u64> = comm.allreduce(send_buf(data)).unwrap();
+//! }
+//! ```
+//!
+//! ## Duplicate parameters
+//!
+//! Passing `send_buf` twice is rejected at compile time (the slot is no
+//! longer `Absent` after the first fold):
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn duplicate_send_buf(comm: &Communicator, data: &Vec<u64>) {
+//!     let _: Vec<u64> = comm.allgatherv((send_buf(data), send_buf(data))).unwrap();
+//! }
+//! ```
+//!
+//! ## Parameters ignored by in-place calls
+//!
+//! §III-G: "issues a compilation error if the user provides an argument
+//! which would be ignored by the in-place call" — an in-place
+//! `allgather` (via `send_recv_buf`) rejects an additional `send_buf`:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn in_place_with_send_buf(comm: &Communicator, data: &Vec<u64>) {
+//!     let mut buf = data.clone();
+//!     let _ = comm.allgather((send_recv_buf(&mut buf), send_buf(data))).unwrap();
+//! }
+//! ```
+//!
+//! ## Element type consistency
+//!
+//! Send data and provided receive storage must agree on the element
+//! type:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn type_mismatch(comm: &Communicator, data: &Vec<u64>) {
+//!     let mut out: Vec<u32> = Vec::new();
+//!     comm.allgatherv((send_buf(data), recv_buf(&mut out).resize_to_fit())).unwrap();
+//! }
+//! ```
+//!
+//! ## Ownership of non-blocking buffers (§III-E)
+//!
+//! A buffer moved into `isend` is inaccessible until `wait()` returns
+//! it — Rust's borrow checker enforces the paper's safety model:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn use_after_move(comm: &Communicator) {
+//!     let v = vec![1u32, 2, 3];
+//!     let req = comm.isend((send_buf(v), destination(1))).unwrap();
+//!     let _len = v.len(); // ERROR: v was moved into the request
+//!     let _v = req.wait().unwrap();
+//! }
+//! ```
+//!
+//! And the positive control — the same code *with* the parameter —
+//! compiles:
+//!
+//! ```no_run
+//! use kamping::prelude::*;
+//! fn positive_control(comm: &Communicator, data: &Vec<u64>) {
+//!     let _: Vec<u64> = comm.allgatherv(send_buf(data)).unwrap();
+//! }
+//! ```
+
+// This module carries documentation tests only.

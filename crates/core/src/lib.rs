@@ -1,0 +1,85 @@
+//! # kamping — flexible and (near) zero-overhead message-passing bindings
+//!
+//! Rust reproduction of the binding library from *"KaMPIng: Flexible and
+//! (Near) Zero-Overhead C++ Bindings for MPI"* (SC'24). It layers the
+//! paper's interface concepts over the [`kmp_mpi`] substrate:
+//!
+//! - **Named parameters** (§III-A): operations take any subset of their
+//!   parameters, in any order, created by factory functions —
+//!   [`params::send_buf`], [`params::recv_counts_out`], … Omitted
+//!   parameters are computed (possibly with extra communication), and the
+//!   code path for that computation exists only when the parameter is
+//!   omitted (compile-time resolution, zero runtime dispatch).
+//! - **In/out parameters and results by value** (§III-B): the receive
+//!   buffer is always returned by value; each `*_out()` parameter appends
+//!   a component to the returned tuple, destructured with plain `let` —
+//!   the Rust form of structured bindings.
+//! - **Allocation control** (§III-C): resize policies
+//!   (`no_resize`/`grow_only`/`resize_to_fit`) per buffer, move-in /
+//!   move-out container reuse.
+//! - **Non-blocking safety** (§III-E): `isend` takes ownership of the
+//!   send buffer and hands it back on `wait()`; received data is only
+//!   accessible after completion.
+//! - **Serialization** (§III-D3): explicit, via
+//!   [`serialization::as_serialized`] /
+//!   [`serialization::as_deserializable`].
+//! - **Plugins** (§III-F, §V): grid all-to-all, sparse (NBX) all-to-all,
+//!   reproducible reduce, ULFM fault tolerance, and a distributed sorter,
+//!   each an extension trait on [`Communicator`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kamping::prelude::*;
+//!
+//! kmp_mpi::Universe::run(4, |comm| {
+//!     let comm = Communicator::new(comm);
+//!     // Each rank contributes a differently-sized vector; counts and
+//!     // displacements are computed internally (Fig. 1 of the paper).
+//!     let mine = vec![comm.rank() as u64; comm.rank() + 1];
+//!     let all: Vec<u64> = comm.allgatherv(send_buf(&mine)).unwrap();
+//!     assert_eq!(all.len(), 1 + 2 + 3 + 4);
+//! });
+//! ```
+
+pub mod assertions;
+pub mod collectives;
+pub mod compile_checks;
+pub mod communicator;
+pub mod p2p;
+pub mod params;
+pub mod plugins;
+pub mod serialization;
+pub mod utils;
+
+pub use communicator::Communicator;
+pub use kmp_mpi::{MpiError, Plain, Rank, Result, Tag};
+
+/// Reduction operations (re-exported from the substrate): built-ins
+/// ([`ops::Sum`], [`ops::Min`], …) that play the role of `MPI_SUM` etc.,
+/// plus combinators for user lambdas.
+pub mod ops {
+    pub use kmp_mpi::op::{
+        commutative, non_commutative, BitAnd, BitOr, BitXor, Lambda, LogicalAnd, LogicalOr, Max,
+        Min, Prod, ReduceOp, Sum,
+    };
+}
+
+/// Everything needed to write kamping code: the communicator, the
+/// parameter factories and the plugin traits.
+pub mod prelude {
+    pub use crate::communicator::Communicator;
+    pub use crate::ops;
+    pub use crate::params::{
+        any_source, destination, op, recv_buf, recv_count, recv_counts, recv_counts_out,
+        recv_displs, recv_displs_out, root, send_buf, send_count, send_counts, send_counts_out,
+        send_displs, send_displs_out, send_recv_buf, source, tag,
+    };
+    pub use crate::plugins::grid::GridAlltoall;
+    pub use crate::plugins::repro_reduce::ReproducibleReduce;
+    pub use crate::plugins::sorter::Sorter;
+    pub use crate::plugins::sparse::SparseAlltoall;
+    pub use crate::plugins::ulfm::FaultTolerant;
+    pub use crate::serialization::{as_deserializable, as_serialized, as_serialized_inout};
+    pub use crate::utils::{flatten, with_flattened};
+}

@@ -1,0 +1,637 @@
+//! Point-to-point communication with named parameters and non-blocking
+//! memory safety (§III-E of the paper).
+//!
+//! Blocking: [`Communicator::send`] / [`Communicator::recv`]. Non-blocking:
+//! [`Communicator::isend`] / [`Communicator::issend`] /
+//! [`Communicator::irecv`], which return buffer-owning results — send
+//! buffers are *moved into* the call and handed back by `wait()`, and
+//! received data is only accessible after completion, so no send buffer
+//! can be mutated and no receive buffer read while an operation is in
+//! flight (the guarantee the paper notes only rsmpi's ownership model
+//! otherwise provides).
+
+use kmp_mpi::{Plain, Request, Result, Src, TagSel};
+
+use crate::communicator::Communicator;
+use crate::params::argset::{ArgSet, IntoArgs};
+use crate::params::output::{FinalOf, Finalize, Push1, PushComponent};
+use crate::params::slots::{ProvidesSendData, RecvBufSpec, SendReclaim};
+use crate::params::{Absent, Meta, SendBuf};
+
+fn send_meta(meta: &Meta) -> (usize, i32) {
+    let dest = meta
+        .destination
+        .expect("missing required parameter `destination` (pass destination(rank))");
+    (dest, meta.tag.unwrap_or(0))
+}
+
+fn recv_meta(meta: &Meta) -> (Src, TagSel) {
+    let src = meta.source.unwrap_or(Src::Any);
+    let tag = meta.tag.map(TagSel::Is).unwrap_or(TagSel::Any);
+    (src, tag)
+}
+
+// ---------------------------------------------------------------------------
+// Blocking send / recv
+// ---------------------------------------------------------------------------
+
+/// Valid argument sets for [`Communicator::send`]. The mode parameter `M`
+/// is the element type for plain sends and
+/// [`SerialMode`](crate::serialization::SerialMode) for serialized ones.
+pub trait SendArgs<M> {
+    /// Executes the send.
+    fn run(self, comm: &Communicator) -> Result<()>;
+}
+
+// The plain-mode impls enumerate concrete container shapes instead of a
+// blanket `B` so that they cannot unify with the serialized-mode impls in
+// `crate::serialization` (Rust coherence ignores where-clauses when
+// checking impl overlap).
+macro_rules! plain_send_impls {
+    ($([$($gen:tt)*] $container:ty),+ $(,)?) => {$(
+        impl<$($gen)* T: Plain> SendArgs<T>
+            for ArgSet<SendBuf<$container>, Absent, Absent, Absent, Absent, Absent, Absent, Absent>
+        where
+            SendBuf<$container>: ProvidesSendData<T>,
+        {
+            fn run(self, comm: &Communicator) -> Result<()> {
+                let (dest, tag) = send_meta(&self.meta);
+                comm.raw().send(self.send_buf.send_slice(), dest, tag)
+            }
+        }
+
+        impl<$($gen)* T: Plain> IsendArgs<T>
+            for ArgSet<SendBuf<$container>, Absent, Absent, Absent, Absent, Absent, Absent, Absent>
+        where
+            SendBuf<$container>: ProvidesSendData<T> + SendReclaim,
+        {
+            type Back = <SendBuf<$container> as SendReclaim>::Back;
+
+            fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Back>> {
+                let (dest, tag) = send_meta(&self.meta);
+                let req = comm.raw().isend(self.send_buf.send_slice(), dest, tag)?;
+                Ok(NonBlockingSend { req, back: self.send_buf.reclaim() })
+            }
+
+            fn run_sync<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Back>> {
+                let (dest, tag) = send_meta(&self.meta);
+                let req = comm.raw().issend(self.send_buf.send_slice(), dest, tag)?;
+                Ok(NonBlockingSend { req, back: self.send_buf.reclaim() })
+            }
+        }
+    )+};
+}
+
+plain_send_impls!(
+    ['a,] &'a Vec<T>,
+    [] Vec<T>,
+    ['a,] &'a [T],
+    [const N: usize,] [T; N],
+    ['a, const N: usize,] &'a [T; N],
+);
+
+/// Valid argument sets for [`Communicator::recv`].
+pub trait RecvArgs<M> {
+    /// The received result.
+    type Output;
+    /// Executes the receive.
+    fn run(self, comm: &Communicator) -> Result<Self::Output>;
+}
+
+// Same enumeration rationale as for the send impls: the receive-buffer
+// shapes are listed concretely so the serialized `as_deserializable`
+// receive cannot unify with them.
+macro_rules! plain_recv_impls {
+    ($([$($gen:tt)*] $rb:ty),+ $(,)?) => {$(
+        impl<$($gen)* T: Plain> RecvArgs<T>
+            for ArgSet<Absent, Absent, $rb, Absent, Absent, Absent, Absent, Absent>
+        where
+            $rb: RecvBufSpec<T>,
+            <$rb as RecvBufSpec<T>>::Out: PushComponent<()>,
+            Push1<<$rb as RecvBufSpec<T>>::Out>: Finalize,
+        {
+            type Output = FinalOf<Push1<<$rb as RecvBufSpec<T>>::Out>>;
+
+            fn run(self, comm: &Communicator) -> Result<Self::Output> {
+                let (src, tag) = recv_meta(&self.meta);
+                let (bytes, status) = comm.raw().recv_bytes(src, tag)?;
+                let n = status.count::<T>();
+                if let Some(expected) = self.meta.recv_count {
+                    if expected != n {
+                        return Err(kmp_mpi::MpiError::Truncated {
+                            message_bytes: status.bytes,
+                            buffer_bytes: expected * std::mem::size_of::<T>(),
+                        });
+                    }
+                }
+                let ((), rb_out) = self.recv_buf.apply(n, |storage| {
+                    kmp_mpi::plain::copy_bytes_into(&bytes, &mut storage[..n]);
+                    Ok(())
+                })?;
+                Ok(rb_out.push_component(()).finalize())
+            }
+        }
+    )+};
+}
+
+plain_recv_impls!(
+    [] Absent,
+    ['a, P: crate::params::ResizePolicy,] crate::params::RecvBuf<&'a mut Vec<T>, P>,
+    [P: crate::params::ResizePolicy,] crate::params::RecvBuf<Vec<T>, P>,
+);
+
+// ---------------------------------------------------------------------------
+// Non-blocking results
+// ---------------------------------------------------------------------------
+
+/// A non-blocking send in flight. Owns whatever the caller moved into the
+/// call; [`NonBlockingSend::wait`] completes the request and hands the
+/// buffer back (Fig. 6: `v = r1.wait()`).
+#[must_use = "non-blocking operations must be completed with wait() or test()"]
+pub struct NonBlockingSend<'a, B> {
+    req: Request<'a>,
+    back: B,
+}
+
+impl<'a, B> NonBlockingSend<'a, B> {
+    /// Blocks until the send completes, returning the moved-in buffer.
+    pub fn wait(self) -> Result<B> {
+        self.req.wait()?;
+        Ok(self.back)
+    }
+
+    /// Completion test: `Ok(Ok(buffer))` when complete, `Ok(Err(self))`
+    /// when still pending.
+    pub fn test(self) -> Result<std::result::Result<B, Self>> {
+        match self.req.test()? {
+            kmp_mpi::request::TestOutcome::Ready(_) => Ok(Ok(self.back)),
+            kmp_mpi::request::TestOutcome::Pending(req) => {
+                Ok(Err(NonBlockingSend { req, back: self.back }))
+            }
+        }
+    }
+}
+
+/// A non-blocking receive in flight; the data is only accessible through
+/// [`NonBlockingRecv::wait`] / [`NonBlockingRecv::test`] (§III-E: no read
+/// of incomplete receive buffers).
+#[must_use = "non-blocking operations must be completed with wait() or test()"]
+pub struct NonBlockingRecv<'a, T> {
+    req: Request<'a>,
+    expected_count: Option<usize>,
+    _elem: std::marker::PhantomData<T>,
+}
+
+impl<'a, T: Plain> NonBlockingRecv<'a, T> {
+    /// Blocks until a message arrives and returns it.
+    pub fn wait(self) -> Result<Vec<T>> {
+        let completion = self.req.wait()?;
+        let (data, status) =
+            completion.into_vec::<T>().expect("receive requests complete with a payload");
+        check_count::<T>(self.expected_count, &data, status.bytes)?;
+        Ok(data)
+    }
+
+    /// Completion test, mirroring the paper's `test()` returning
+    /// `std::optional`: `Ok(Ok(Some(data)))` when complete,
+    /// `Ok(Err(self))` when pending.
+    pub fn test(self) -> Result<std::result::Result<Vec<T>, Self>> {
+        match self.req.test()? {
+            kmp_mpi::request::TestOutcome::Ready(c) => {
+                let (data, status) =
+                    c.into_vec::<T>().expect("receive requests complete with a payload");
+                check_count::<T>(self.expected_count, &data, status.bytes)?;
+                Ok(Ok(data))
+            }
+            kmp_mpi::request::TestOutcome::Pending(req) => Ok(Err(NonBlockingRecv {
+                req,
+                expected_count: self.expected_count,
+                _elem: std::marker::PhantomData,
+            })),
+        }
+    }
+}
+
+fn check_count<T>(expected: Option<usize>, data: &[T], bytes: usize) -> Result<()> {
+    if let Some(expected) = expected {
+        if data.len() != expected {
+            return Err(kmp_mpi::MpiError::Truncated {
+                message_bytes: bytes,
+                buffer_bytes: expected * std::mem::size_of::<T>(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Valid argument sets for [`Communicator::isend`] / `issend`.
+pub trait IsendArgs<M> {
+    /// What `wait()` returns: the moved-in container for owned send
+    /// buffers, `()` for borrowed ones.
+    type Back;
+    /// Starts the (standard-mode) send.
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Back>>;
+    /// Starts the synchronous-mode send (completes on receiver match).
+    fn run_sync<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Back>>;
+}
+
+// ---------------------------------------------------------------------------
+// Request pool
+// ---------------------------------------------------------------------------
+
+/// Type-erased entry of a [`RequestPool`].
+trait Pooled<'a> {
+    fn wait_boxed(self: Box<Self>) -> Result<()>;
+}
+
+impl<'a, B> Pooled<'a> for NonBlockingSend<'a, B> {
+    fn wait_boxed(self: Box<Self>) -> Result<()> {
+        self.wait().map(|_| ())
+    }
+}
+
+impl<'a, T: Plain> Pooled<'a> for NonBlockingRecv<'a, T> {
+    fn wait_boxed(self: Box<Self>) -> Result<()> {
+        self.wait().map(|_| ())
+    }
+}
+
+/// Collects non-blocking operations for bulk completion (§III-E's request
+/// pools). Values carried by the operations are discarded on completion;
+/// await operations individually when their results are needed.
+#[derive(Default)]
+pub struct RequestPool<'a> {
+    entries: Vec<Box<dyn Pooled<'a> + 'a>>,
+}
+
+impl<'a> RequestPool<'a> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        RequestPool { entries: Vec::new() }
+    }
+
+    /// Submits a non-blocking send.
+    pub fn submit_send<B: 'a>(&mut self, op: NonBlockingSend<'a, B>) {
+        self.entries.push(Box::new(op));
+    }
+
+    /// Submits a non-blocking receive.
+    pub fn submit_recv<T: Plain>(&mut self, op: NonBlockingRecv<'a, T>) {
+        self.entries.push(Box::new(op));
+    }
+
+    /// Number of pending operations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the pool holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Completes all pooled operations (mirrors `MPI_Waitall`).
+    pub fn wait_all(self) -> Result<()> {
+        for e in self.entries {
+            e.wait_boxed()?;
+        }
+        Ok(())
+    }
+}
+
+/// A request pool with a **fixed number of slots** (§III-E: the paper
+/// describes this variant as the designed extension of the unbounded
+/// pool): submitting into a full pool first completes the oldest pending
+/// operation, bounding the number of concurrent non-blocking requests —
+/// and with it, buffer memory held by in-flight sends.
+pub struct BoundedRequestPool<'a> {
+    slots: std::collections::VecDeque<Box<dyn Pooled<'a> + 'a>>,
+    capacity: usize,
+}
+
+impl<'a> BoundedRequestPool<'a> {
+    /// Creates a pool with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "a request pool needs at least one slot");
+        BoundedRequestPool { slots: std::collections::VecDeque::new(), capacity }
+    }
+
+    /// Number of in-flight operations.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no operations are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Maximum number of concurrent operations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn make_room(&mut self) -> Result<()> {
+        while self.slots.len() >= self.capacity {
+            let oldest = self.slots.pop_front().expect("non-empty at capacity");
+            oldest.wait_boxed()?;
+        }
+        Ok(())
+    }
+
+    /// Submits a non-blocking send, completing the oldest operation
+    /// first if the pool is full.
+    pub fn submit_send<B: 'a>(&mut self, op: NonBlockingSend<'a, B>) -> Result<()> {
+        self.make_room()?;
+        self.slots.push_back(Box::new(op));
+        Ok(())
+    }
+
+    /// Submits a non-blocking receive, completing the oldest operation
+    /// first if the pool is full.
+    pub fn submit_recv<T: Plain>(&mut self, op: NonBlockingRecv<'a, T>) -> Result<()> {
+        self.make_room()?;
+        self.slots.push_back(Box::new(op));
+        Ok(())
+    }
+
+    /// Completes all remaining operations.
+    pub fn wait_all(mut self) -> Result<()> {
+        while let Some(op) = self.slots.pop_front() {
+            op.wait_boxed()?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Communicator methods
+// ---------------------------------------------------------------------------
+
+impl Communicator {
+    /// Blocking send (wraps `MPI_Send`). Parameters: `send_buf` and
+    /// `destination` (required), `tag` (default 0). Serialized payloads
+    /// are sent with `send_buf(as_serialized(&data))`.
+    pub fn send<M, A>(&self, args: A) -> Result<()>
+    where
+        A: IntoArgs,
+        A::Out: SendArgs<M>,
+    {
+        args.into_args().run(self)
+    }
+
+    /// Blocking receive (wraps `MPI_Recv`). Parameters: `source` (default
+    /// any), `tag` (default any), `recv_buf`, `recv_count` (optional
+    /// length assertion). Returns the received data by value unless
+    /// storage was passed by reference.
+    pub fn recv<M, A>(&self, args: A) -> Result<<A::Out as RecvArgs<M>>::Output>
+    where
+        A: IntoArgs,
+        A::Out: RecvArgs<M>,
+    {
+        args.into_args().run(self)
+    }
+
+    /// Non-blocking send (wraps `MPI_Isend`). Owned send buffers are
+    /// moved into the returned [`NonBlockingSend`] and handed back by
+    /// `wait()` — the ownership-based safety of §III-E (Fig. 6).
+    pub fn isend<M, A>(&self, args: A) -> Result<NonBlockingSend<'_, <A::Out as IsendArgs<M>>::Back>>
+    where
+        A: IntoArgs,
+        A::Out: IsendArgs<M>,
+    {
+        args.into_args().run(self)
+    }
+
+    /// Non-blocking synchronous-mode send (wraps `MPI_Issend`): completes
+    /// only once the receiver has matched the message. The NBX sparse
+    /// all-to-all (§V-A) builds on this.
+    pub fn issend<M, A>(
+        &self,
+        args: A,
+    ) -> Result<NonBlockingSend<'_, <A::Out as IsendArgs<M>>::Back>>
+    where
+        A: IntoArgs,
+        A::Out: IsendArgs<M>,
+    {
+        args.into_args().run_sync(self)
+    }
+
+    /// Non-blocking receive (wraps `MPI_Irecv`). Parameters: `source`
+    /// (default any), `tag` (default any), `recv_count` (optional length
+    /// assertion). The data is only accessible via `wait()`/`test()`.
+    pub fn irecv<T: Plain, A>(&self, args: A) -> Result<NonBlockingRecv<'_, T>>
+    where
+        A: IntoArgs,
+        A::Out: IrecvArgs,
+    {
+        let args = args.into_args().into_meta();
+        let (src, tag) = recv_meta(&args);
+        let req = self.raw().irecv(src, tag);
+        Ok(NonBlockingRecv { req, expected_count: args.recv_count, _elem: std::marker::PhantomData })
+    }
+}
+
+/// Argument sets valid for `irecv`: scalar parameters only (the receive
+/// buffer is always produced by the completion).
+pub trait IrecvArgs {
+    /// Extracts the scalar parameters.
+    fn into_meta(self) -> Meta;
+}
+
+impl IrecvArgs for ArgSet<Absent, Absent, Absent, Absent, Absent, Absent, Absent, Absent> {
+    fn into_meta(self) -> Meta {
+        self.meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use kmp_mpi::Universe;
+
+    #[test]
+    fn blocking_send_recv() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                comm.send((send_buf(&[1u32, 2, 3][..]), destination(1))).unwrap();
+            } else {
+                let v: Vec<u32> = comm.recv((source(0),)).unwrap();
+                assert_eq!(v, vec![1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn send_with_tag_recv_selective() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                comm.send((send_buf(&vec![1u8]), destination(1), tag(7))).unwrap();
+                comm.send((send_buf(&vec![2u8]), destination(1), tag(8))).unwrap();
+            } else {
+                let v8: Vec<u8> = comm.recv((source(0), tag(8))).unwrap();
+                let v7: Vec<u8> = comm.recv((source(0), tag(7))).unwrap();
+                assert_eq!((v7, v8), (vec![1], vec![2]));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_into_provided_buffer() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                comm.send((send_buf(&vec![9u64; 4]), destination(1))).unwrap();
+            } else {
+                let mut buf = Vec::new();
+                comm.recv::<u64, _>((recv_buf(&mut buf).resize_to_fit(),)).unwrap();
+                assert_eq!(buf, vec![9; 4]);
+            }
+        });
+    }
+
+    #[test]
+    fn isend_moves_and_returns_buffer() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                // Fig. 6: the buffer is moved into the call and returned
+                // by wait() once the operation completed.
+                let v = vec![1u32, 2, 3];
+                let r1 = comm.isend((send_buf(v), destination(1))).unwrap();
+                let v = r1.wait().unwrap();
+                assert_eq!(v, vec![1, 2, 3]);
+            } else {
+                let data: Vec<u32> = comm.recv((source(0),)).unwrap();
+                assert_eq!(data, vec![1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_data_only_after_wait() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                comm.send((send_buf(&vec![5u16; 42]), destination(1))).unwrap();
+            } else {
+                // Fig. 6: r2 = comm.irecv<int>(recv_count(42)).
+                let r2 = comm.irecv::<u16, _>(recv_count(42)).unwrap();
+                let data = r2.wait().unwrap();
+                assert_eq!(data.len(), 42);
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_test_returns_pending_then_data() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 1 {
+                let mut r = comm.irecv::<u8, _>(()).unwrap();
+                let data = loop {
+                    match r.test().unwrap() {
+                        Ok(data) => break data,
+                        Err(pending) => {
+                            r = pending;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                assert_eq!(data, vec![3]);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                comm.send((send_buf(&vec![3u8]), destination(1))).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn issend_completes_after_match() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                let r = comm.issend((send_buf(vec![1u8]), destination(1))).unwrap();
+                let v = r.wait().unwrap();
+                assert_eq!(v, vec![1]);
+            } else {
+                let v: Vec<u8> = comm.recv((source(0),)).unwrap();
+                assert_eq!(v, vec![1]);
+            }
+        });
+    }
+
+    #[test]
+    fn request_pool_waits_all() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                let mut pool = crate::p2p::RequestPool::new();
+                for peer in 1..3 {
+                    let r = comm.isend((send_buf(vec![peer as u8]), destination(peer))).unwrap();
+                    pool.submit_send(r);
+                }
+                assert_eq!(pool.len(), 2);
+                pool.wait_all().unwrap();
+            } else {
+                let v: Vec<u8> = comm.recv((source(0),)).unwrap();
+                assert_eq!(v, vec![comm.rank() as u8]);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_count_mismatch_errors() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                comm.send((send_buf(&vec![1u8; 3]), destination(1))).unwrap();
+            } else {
+                let r = comm.recv::<u8, _>((recv_count(5),));
+                assert!(r.is_err());
+            }
+        });
+    }
+
+    #[test]
+    fn bounded_pool_limits_in_flight_requests() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                let mut pool = crate::p2p::BoundedRequestPool::with_capacity(3);
+                for i in 0..10u8 {
+                    let r = comm.isend((send_buf(vec![i]), destination(1))).unwrap();
+                    pool.submit_send(r).unwrap();
+                    assert!(pool.len() <= 3, "pool exceeded its capacity");
+                }
+                pool.wait_all().unwrap();
+            } else {
+                for i in 0..10u8 {
+                    let v: Vec<u8> = comm.recv((source(0),)).unwrap();
+                    assert_eq!(v, vec![i]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn bounded_pool_rejects_zero_capacity() {
+        let _ = crate::p2p::BoundedRequestPool::with_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing required parameter `destination`")]
+    fn send_without_destination_panics() {
+        Universe::run(1, |comm| {
+            let comm = Communicator::new(comm);
+            let _ = comm.send((send_buf(&vec![1u8]),));
+        });
+    }
+}

@@ -1,0 +1,482 @@
+//! The typed argument set and the tuple-folding that builds it.
+//!
+//! `ArgSet` is the Rust stand-in for KaMPIng's template parameter pack: a
+//! struct with one type-level slot per buffer-shaped parameter (either
+//! [`Absent`] or the parameter object) plus runtime-checked scalars
+//! ([`Meta`]). Users never name this type — they pass a tuple of factory
+//! results, and [`IntoArgs`] folds it into an `ArgSet` at compile time.
+//!
+//! Passing the same buffer parameter twice fails to compile: each fold
+//! step requires the target slot to be `Absent`.
+
+use super::{
+    Absent, Destination, Meta, OpParam, RecvBuf, RecvCount, RecvCounts, RecvCountsOut, RecvDispls,
+    RecvDisplsOut, Root, SendBuf, SendCount, SendCounts, SendCountsOut, SendDispls, SendDisplsOut,
+    SendRecvBuf, Source, TagParam,
+};
+
+/// The folded argument set of one operation call. Type parameters:
+/// send buffer, send-recv (in-place) buffer, receive buffer, send counts,
+/// receive counts, send displacements, receive displacements, reduction
+/// operation. Each is [`Absent`] or a parameter object.
+#[derive(Debug)]
+pub struct ArgSet<SB, SRB, RB, SC, RC, SD, RD, OP> {
+    pub(crate) send_buf: SB,
+    pub(crate) send_recv_buf: SRB,
+    pub(crate) recv_buf: RB,
+    pub(crate) send_counts: SC,
+    pub(crate) recv_counts: RC,
+    pub(crate) send_displs: SD,
+    pub(crate) recv_displs: RD,
+    pub(crate) op: OP,
+    pub(crate) meta: Meta,
+}
+
+/// The argument set with every slot empty.
+pub type EmptyArgs = ArgSet<Absent, Absent, Absent, Absent, Absent, Absent, Absent, Absent>;
+
+impl Default for EmptyArgs {
+    fn default() -> Self {
+        ArgSet {
+            send_buf: Absent,
+            send_recv_buf: Absent,
+            recv_buf: Absent,
+            send_counts: Absent,
+            recv_counts: Absent,
+            send_displs: Absent,
+            recv_displs: Absent,
+            op: Absent,
+            meta: Meta::default(),
+        }
+    }
+}
+
+/// Folds one parameter object into an argument set. One implementation
+/// exists per (parameter kind, empty target slot) pair, so passing a
+/// buffer parameter twice — or passing a parameter an operation does not
+/// accept — is a compile-time error.
+#[diagnostic::on_unimplemented(
+    message = "cannot add this parameter to the call: duplicate parameter or invalid parameter tuple",
+    note = "each named parameter (send_buf, recv_buf, recv_counts, ...) may be passed at most once"
+)]
+pub trait ApplyParam<A> {
+    /// The argument set after folding.
+    type Out;
+    /// Performs the fold.
+    fn apply(self, args: A) -> Self::Out;
+}
+
+impl<B, SRB, RB, SC, RC, SD, RD, OP> ApplyParam<ArgSet<Absent, SRB, RB, SC, RC, SD, RD, OP>>
+    for SendBuf<B>
+{
+    type Out = ArgSet<SendBuf<B>, SRB, RB, SC, RC, SD, RD, OP>;
+
+    #[inline]
+    fn apply(self, a: ArgSet<Absent, SRB, RB, SC, RC, SD, RD, OP>) -> Self::Out {
+        ArgSet {
+            send_buf: self,
+            send_recv_buf: a.send_recv_buf,
+            recv_buf: a.recv_buf,
+            send_counts: a.send_counts,
+            recv_counts: a.recv_counts,
+            send_displs: a.send_displs,
+            recv_displs: a.recv_displs,
+            op: a.op,
+            meta: a.meta,
+        }
+    }
+}
+
+impl<B, SB, RB, SC, RC, SD, RD, OP> ApplyParam<ArgSet<SB, Absent, RB, SC, RC, SD, RD, OP>>
+    for SendRecvBuf<B>
+{
+    type Out = ArgSet<SB, SendRecvBuf<B>, RB, SC, RC, SD, RD, OP>;
+
+    #[inline]
+    fn apply(self, a: ArgSet<SB, Absent, RB, SC, RC, SD, RD, OP>) -> Self::Out {
+        ArgSet {
+            send_buf: a.send_buf,
+            send_recv_buf: self,
+            recv_buf: a.recv_buf,
+            send_counts: a.send_counts,
+            recv_counts: a.recv_counts,
+            send_displs: a.send_displs,
+            recv_displs: a.recv_displs,
+            op: a.op,
+            meta: a.meta,
+        }
+    }
+}
+
+impl<B, P, SB, SRB, SC, RC, SD, RD, OP> ApplyParam<ArgSet<SB, SRB, Absent, SC, RC, SD, RD, OP>>
+    for RecvBuf<B, P>
+{
+    type Out = ArgSet<SB, SRB, RecvBuf<B, P>, SC, RC, SD, RD, OP>;
+
+    #[inline]
+    fn apply(self, a: ArgSet<SB, SRB, Absent, SC, RC, SD, RD, OP>) -> Self::Out {
+        ArgSet {
+            send_buf: a.send_buf,
+            send_recv_buf: a.send_recv_buf,
+            recv_buf: self,
+            send_counts: a.send_counts,
+            recv_counts: a.recv_counts,
+            send_displs: a.send_displs,
+            recv_displs: a.recv_displs,
+            op: a.op,
+            meta: a.meta,
+        }
+    }
+}
+
+macro_rules! apply_send_counts {
+    ($param:ty, [$($gen:ident),*]) => {
+        impl<$($gen,)* SB, SRB, RB, RC, SD, RD, OP>
+            ApplyParam<ArgSet<SB, SRB, RB, Absent, RC, SD, RD, OP>> for $param
+        {
+            type Out = ArgSet<SB, SRB, RB, $param, RC, SD, RD, OP>;
+
+            #[inline]
+            fn apply(self, a: ArgSet<SB, SRB, RB, Absent, RC, SD, RD, OP>) -> Self::Out {
+                ArgSet {
+                    send_buf: a.send_buf,
+                    send_recv_buf: a.send_recv_buf,
+                    recv_buf: a.recv_buf,
+                    send_counts: self,
+                    recv_counts: a.recv_counts,
+                    send_displs: a.send_displs,
+                    recv_displs: a.recv_displs,
+                    op: a.op,
+                    meta: a.meta,
+                }
+            }
+        }
+    };
+}
+
+macro_rules! apply_recv_counts {
+    ($param:ty, [$($gen:ident),*]) => {
+        impl<$($gen,)* SB, SRB, RB, SC, SD, RD, OP>
+            ApplyParam<ArgSet<SB, SRB, RB, SC, Absent, SD, RD, OP>> for $param
+        {
+            type Out = ArgSet<SB, SRB, RB, SC, $param, SD, RD, OP>;
+
+            #[inline]
+            fn apply(self, a: ArgSet<SB, SRB, RB, SC, Absent, SD, RD, OP>) -> Self::Out {
+                ArgSet {
+                    send_buf: a.send_buf,
+                    send_recv_buf: a.send_recv_buf,
+                    recv_buf: a.recv_buf,
+                    send_counts: a.send_counts,
+                    recv_counts: self,
+                    send_displs: a.send_displs,
+                    recv_displs: a.recv_displs,
+                    op: a.op,
+                    meta: a.meta,
+                }
+            }
+        }
+    };
+}
+
+macro_rules! apply_send_displs {
+    ($param:ty, [$($gen:ident),*]) => {
+        impl<$($gen,)* SB, SRB, RB, SC, RC, RD, OP>
+            ApplyParam<ArgSet<SB, SRB, RB, SC, RC, Absent, RD, OP>> for $param
+        {
+            type Out = ArgSet<SB, SRB, RB, SC, RC, $param, RD, OP>;
+
+            #[inline]
+            fn apply(self, a: ArgSet<SB, SRB, RB, SC, RC, Absent, RD, OP>) -> Self::Out {
+                ArgSet {
+                    send_buf: a.send_buf,
+                    send_recv_buf: a.send_recv_buf,
+                    recv_buf: a.recv_buf,
+                    send_counts: a.send_counts,
+                    recv_counts: a.recv_counts,
+                    send_displs: self,
+                    recv_displs: a.recv_displs,
+                    op: a.op,
+                    meta: a.meta,
+                }
+            }
+        }
+    };
+}
+
+macro_rules! apply_recv_displs {
+    ($param:ty, [$($gen:ident),*]) => {
+        impl<$($gen,)* SB, SRB, RB, SC, RC, SD, OP>
+            ApplyParam<ArgSet<SB, SRB, RB, SC, RC, SD, Absent, OP>> for $param
+        {
+            type Out = ArgSet<SB, SRB, RB, SC, RC, SD, $param, OP>;
+
+            #[inline]
+            fn apply(self, a: ArgSet<SB, SRB, RB, SC, RC, SD, Absent, OP>) -> Self::Out {
+                ArgSet {
+                    send_buf: a.send_buf,
+                    send_recv_buf: a.send_recv_buf,
+                    recv_buf: a.recv_buf,
+                    send_counts: a.send_counts,
+                    recv_counts: a.recv_counts,
+                    send_displs: a.send_displs,
+                    recv_displs: self,
+                    op: a.op,
+                    meta: a.meta,
+                }
+            }
+        }
+    };
+}
+
+apply_send_counts!(SendCounts<B>, [B]);
+apply_send_counts!(SendCountsOut, []);
+apply_recv_counts!(RecvCounts<B>, [B]);
+apply_recv_counts!(RecvCountsOut, []);
+apply_send_displs!(SendDispls<B>, [B]);
+apply_send_displs!(SendDisplsOut, []);
+apply_recv_displs!(RecvDispls<B>, [B]);
+apply_recv_displs!(RecvDisplsOut, []);
+
+impl<O, SB, SRB, RB, SC, RC, SD, RD> ApplyParam<ArgSet<SB, SRB, RB, SC, RC, SD, RD, Absent>>
+    for OpParam<O>
+{
+    type Out = ArgSet<SB, SRB, RB, SC, RC, SD, RD, OpParam<O>>;
+
+    #[inline]
+    fn apply(self, a: ArgSet<SB, SRB, RB, SC, RC, SD, RD, Absent>) -> Self::Out {
+        ArgSet {
+            send_buf: a.send_buf,
+            send_recv_buf: a.send_recv_buf,
+            recv_buf: a.recv_buf,
+            send_counts: a.send_counts,
+            recv_counts: a.recv_counts,
+            send_displs: a.send_displs,
+            recv_displs: a.recv_displs,
+            op: self,
+            meta: a.meta,
+        }
+    }
+}
+
+// Scalar parameters fold into `meta` and leave the slot types unchanged.
+macro_rules! apply_scalar_param {
+    ($param:ty, $field:ident, $name:literal) => {
+        impl<SB, SRB, RB, SC, RC, SD, RD, OP>
+            ApplyParam<ArgSet<SB, SRB, RB, SC, RC, SD, RD, OP>> for $param
+        {
+            type Out = ArgSet<SB, SRB, RB, SC, RC, SD, RD, OP>;
+
+            #[inline]
+            fn apply(self, mut args: ArgSet<SB, SRB, RB, SC, RC, SD, RD, OP>) -> Self::Out {
+                assert!(
+                    args.meta.$field.is_none(),
+                    concat!("duplicate `", $name, "` parameter")
+                );
+                args.meta.$field = Some(self.0);
+                args
+            }
+        }
+    };
+}
+
+apply_scalar_param!(Root, root, "root");
+apply_scalar_param!(Destination, destination, "destination");
+apply_scalar_param!(Source, source, "source");
+apply_scalar_param!(TagParam, tag, "tag");
+apply_scalar_param!(RecvCount, recv_count, "recv_count");
+apply_scalar_param!(SendCount, send_count, "send_count");
+
+/// Anything that can be turned into an argument set: a single parameter
+/// object or a tuple of them (in any order).
+#[diagnostic::on_unimplemented(
+    message = "this is not a valid parameter (tuple) for a kamping operation",
+    note = "pass factory results like `send_buf(&v)` or tuples like `(send_buf(&v), recv_counts_out())`"
+)]
+pub trait IntoArgs {
+    /// The folded argument set type.
+    type Out;
+    /// Folds the parameters.
+    fn into_args(self) -> Self::Out;
+}
+
+impl IntoArgs for () {
+    type Out = EmptyArgs;
+    #[inline]
+    fn into_args(self) -> EmptyArgs {
+        EmptyArgs::default()
+    }
+}
+
+macro_rules! into_args_single {
+    ($param:ty, [$($gen:ident),*]) => {
+        impl<$($gen),*> IntoArgs for $param
+        where
+            $param: ApplyParam<EmptyArgs>,
+        {
+            type Out = <$param as ApplyParam<EmptyArgs>>::Out;
+            #[inline]
+            fn into_args(self) -> Self::Out {
+                self.apply(EmptyArgs::default())
+            }
+        }
+    };
+}
+
+into_args_single!(SendBuf<B>, [B]);
+into_args_single!(SendRecvBuf<B>, [B]);
+into_args_single!(RecvBuf<B, P>, [B, P]);
+into_args_single!(SendCounts<B>, [B]);
+into_args_single!(SendCountsOut, []);
+into_args_single!(RecvCounts<B>, [B]);
+into_args_single!(RecvCountsOut, []);
+into_args_single!(SendDispls<B>, [B]);
+into_args_single!(SendDisplsOut, []);
+into_args_single!(RecvDispls<B>, [B]);
+into_args_single!(RecvDisplsOut, []);
+into_args_single!(OpParam<O>, [O]);
+into_args_single!(Root, []);
+into_args_single!(Destination, []);
+into_args_single!(Source, []);
+into_args_single!(TagParam, []);
+into_args_single!(RecvCount, []);
+into_args_single!(SendCount, []);
+
+/// Left-fold of a parameter tuple into an argument set: the head is
+/// applied, then the tail tuple folds into the result. This recursive
+/// formulation keeps each impl's bounds structural (two predicates), so
+/// tuples of any supported arity compose without spelling out the
+/// intermediate argument-set types.
+pub trait Fold<Acc> {
+    /// The argument set after folding all elements.
+    type Out;
+    /// Performs the fold.
+    fn fold(self, acc: Acc) -> Self::Out;
+}
+
+impl<Acc> Fold<Acc> for () {
+    type Out = Acc;
+    #[inline]
+    fn fold(self, acc: Acc) -> Acc {
+        acc
+    }
+}
+
+macro_rules! fold_tuple {
+    ($head:ident, $head_idx:tt $(, $tail:ident, $tail_idx:tt)*) => {
+        impl<Acc, $head $(, $tail)*> Fold<Acc> for ($head, $($tail,)*)
+        where
+            $head: ApplyParam<Acc>,
+            ($($tail,)*): Fold<<$head as ApplyParam<Acc>>::Out>,
+        {
+            type Out = <($($tail,)*) as Fold<<$head as ApplyParam<Acc>>::Out>>::Out;
+
+            #[inline]
+            fn fold(self, acc: Acc) -> Self::Out {
+                let acc = self.$head_idx.apply(acc);
+                ($(self.$tail_idx,)*).fold(acc)
+            }
+        }
+
+        impl<$head $(, $tail)*> IntoArgs for ($head, $($tail,)*)
+        where
+            ($head, $($tail,)*): Fold<EmptyArgs>,
+        {
+            type Out = <($head, $($tail,)*) as Fold<EmptyArgs>>::Out;
+
+            #[inline]
+            fn into_args(self) -> Self::Out {
+                self.fold(EmptyArgs::default())
+            }
+        }
+    };
+}
+
+fold_tuple!(P0, 0);
+fold_tuple!(P0, 0, P1, 1);
+fold_tuple!(P0, 0, P1, 1, P2, 2);
+fold_tuple!(P0, 0, P1, 1, P2, 2, P3, 3);
+fold_tuple!(P0, 0, P1, 1, P2, 2, P3, 3, P4, 4);
+fold_tuple!(P0, 0, P1, 1, P2, 2, P3, 3, P4, 4, P5, 5);
+fold_tuple!(P0, 0, P1, 1, P2, 2, P3, 3, P4, 4, P5, 5, P6, 6);
+fold_tuple!(P0, 0, P1, 1, P2, 2, P3, 3, P4, 4, P5, 5, P6, 6, P7, 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::slots::{CountsSlot, ProvidesOp, ProvidesSendData};
+    use crate::params::{destination, op, recv_counts, recv_counts_out, root, send_buf, tag};
+    use kmp_mpi::op::ReduceOp;
+
+    #[test]
+    fn empty_args_all_absent() {
+        let a = EmptyArgs::default();
+        assert_eq!(a.send_buf, Absent);
+        assert_eq!(a.recv_buf, Absent);
+        assert!(a.meta.root.is_none());
+    }
+
+    #[test]
+    fn single_param_folds() {
+        let v = vec![1u8, 2];
+        let args = send_buf(&v).into_args();
+        assert_eq!(args.send_buf.send_slice(), &[1, 2]);
+        assert_eq!(args.recv_counts, Absent);
+    }
+
+    #[test]
+    fn tuple_folds_in_any_order() {
+        let v = vec![1u32];
+        let c = vec![1usize];
+        let a1 = (send_buf(&v), recv_counts(&c), root(2)).into_args();
+        let a2 = (root(2), recv_counts(&c), send_buf(&v)).into_args();
+        assert_eq!(a1.meta.root, Some(2));
+        assert_eq!(a2.meta.root, Some(2));
+        assert_eq!(a1.recv_counts.provided(), Some(&c[..]));
+        assert_eq!(a2.recv_counts.provided(), Some(&c[..]));
+    }
+
+    #[test]
+    fn out_params_fold() {
+        let v = vec![1u8];
+        let args = (send_buf(&v), recv_counts_out()).into_args();
+        assert_eq!(args.recv_counts.finish(Some(vec![5])), vec![5]);
+    }
+
+    #[test]
+    fn scalars_fold_into_meta() {
+        let args = (destination(3), tag(9)).into_args();
+        assert_eq!(args.meta.destination, Some(3));
+        assert_eq!(args.meta.tag, Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate `root`")]
+    fn duplicate_scalar_panics() {
+        let _ = (root(1), root(2)).into_args();
+    }
+
+    #[test]
+    fn op_param_folds() {
+        let args = op(kmp_mpi::op::Sum).into_args();
+        let o = ProvidesOp::<u32>::into_op(args.op);
+        assert_eq!(o.apply(&1, &2), 3);
+    }
+
+    #[test]
+    fn five_param_tuple() {
+        let v = vec![1u8];
+        let c = vec![1usize];
+        let d = vec![0usize];
+        let args = (
+            send_buf(&v),
+            recv_counts(&c),
+            crate::params::recv_displs(&d),
+            root(0),
+            tag(1),
+        )
+            .into_args();
+        assert_eq!(args.meta.tag, Some(1));
+        assert_eq!(args.recv_displs.provided(), Some(&d[..]));
+    }
+}

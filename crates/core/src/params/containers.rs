@@ -1,0 +1,178 @@
+//! Container abstractions and resize policies.
+//!
+//! KaMPIng accepts "every container that models
+//! `std::contiguous_range`" (§III); the Rust analogue is the [`AsSlice`]
+//! family below, implemented for slices, vectors (borrowed and owned) and
+//! arrays. Resize policies (§III-C) control whether the library may
+//! reallocate a user-provided buffer.
+
+use kmp_mpi::Plain;
+
+/// Read access to contiguous typed storage.
+pub trait AsSlice<T> {
+    /// The data as a slice.
+    fn as_slice(&self) -> &[T];
+}
+
+impl<T> AsSlice<T> for &[T] {
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T> AsSlice<T> for &Vec<T> {
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T> AsSlice<T> for Vec<T> {
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T, const N: usize> AsSlice<T> for [T; N] {
+    fn as_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T, const N: usize> AsSlice<T> for &[T; N] {
+    fn as_slice(&self) -> &[T] {
+        *self
+    }
+}
+
+/// Mutable access to contiguous typed storage.
+pub trait AsSliceMut<T>: AsSlice<T> {
+    /// The data as a mutable slice.
+    fn as_slice_mut(&mut self) -> &mut [T];
+}
+
+impl<T> AsSliceMut<T> for Vec<T> {
+    fn as_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+impl<T, const N: usize> AsSliceMut<T> for [T; N] {
+    fn as_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+/// A buffer resize policy (§III-C). Chosen *at compile time* per
+/// parameter; only the selected policy's code is instantiated.
+pub trait ResizePolicy {
+    /// Prepares `buf` to hold `needed` elements according to the policy.
+    ///
+    /// # Panics
+    ///
+    /// `NoResize` panics if the buffer is too small — the Rust rendering
+    /// of KaMPIng's "no checking, assume capacity is large enough"
+    /// default, upgraded from undefined behaviour to a checked assertion.
+    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize);
+
+    /// Human-readable policy name (used in assertion messages).
+    const NAME: &'static str;
+}
+
+/// Never resize; assert the buffer is already large enough (default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoResize;
+
+/// Resize to exactly the needed size.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResizeToFit;
+
+/// Grow to the needed size if too small; never shrink.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GrowOnly;
+
+impl ResizePolicy for NoResize {
+    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) {
+        assert!(
+            buf.len() >= needed,
+            "receive buffer too small under no_resize policy: \
+             have {} elements, need {needed} (consider .resize_to_fit())",
+            buf.len()
+        );
+    }
+    const NAME: &'static str = "no_resize";
+}
+
+impl ResizePolicy for ResizeToFit {
+    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) {
+        // `T: Plain` guarantees the zero pattern is a valid value.
+        buf.clear();
+        buf.resize_with(needed, || kmp_mpi::plain::zeroed::<T>());
+    }
+    const NAME: &'static str = "resize_to_fit";
+}
+
+impl ResizePolicy for GrowOnly {
+    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) {
+        if buf.len() < needed {
+            buf.resize_with(needed, || kmp_mpi::plain::zeroed::<T>());
+        }
+    }
+    const NAME: &'static str = "grow_only";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_slice_forms() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(AsSlice::as_slice(&&v), &[1, 2, 3]);
+        assert_eq!(AsSlice::as_slice(&v.clone()), &[1, 2, 3]);
+        assert_eq!(AsSlice::as_slice(&&v[..]), &[1, 2, 3]);
+        assert_eq!(AsSlice::as_slice(&[9u8, 8]), &[9, 8]);
+    }
+
+    #[test]
+    fn as_slice_mut_forms() {
+        let mut v = vec![1u8, 2];
+        v.as_slice_mut()[0] = 9;
+        assert_eq!(v, vec![9, 2]);
+        let mut a = [1u16, 2];
+        a.as_slice_mut()[1] = 7;
+        assert_eq!(a, [1, 7]);
+    }
+
+    #[test]
+    fn resize_to_fit_always_matches() {
+        let mut v = vec![5u32; 10];
+        ResizeToFit::prepare(&mut v, 3);
+        assert_eq!(v.len(), 3);
+        ResizeToFit::prepare(&mut v, 8);
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn grow_only_never_shrinks() {
+        let mut v = vec![5u32; 10];
+        GrowOnly::prepare(&mut v, 3);
+        assert_eq!(v.len(), 10);
+        GrowOnly::prepare(&mut v, 20);
+        assert_eq!(v.len(), 20);
+        assert_eq!(&v[..10], &[5; 10]);
+    }
+
+    #[test]
+    fn no_resize_accepts_fitting_buffer() {
+        let mut v = vec![0u8; 4];
+        NoResize::prepare(&mut v, 4);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no_resize")]
+    fn no_resize_panics_when_too_small() {
+        let mut v = vec![0u8; 2];
+        NoResize::prepare(&mut v, 4);
+    }
+}

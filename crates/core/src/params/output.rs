@@ -1,0 +1,199 @@
+//! Compile-time result assembly.
+//!
+//! §III-B of the paper: the receive buffer is always returned by value
+//! (unless the caller provided storage by reference), and every
+//! `*_out()` parameter adds one component to the returned result object,
+//! which C++ callers decompose with structured bindings. The Rust
+//! rendering assembles a *tuple* whose shape is computed at compile time
+//! from the slot types: components in canonical order
+//! (receive buffer, send counts, receive counts, send displacements,
+//! receive displacements), `()`-components elided, and a single component
+//! unwrapped to the bare value — so
+//!
+//! ```ignore
+//! let v_global = comm.allgatherv(send_buf(&v))?;                  // Vec<T>
+//! let (v_global, counts) =
+//!     comm.allgatherv((send_buf(&v), recv_counts_out()))?;        // (Vec<T>, Vec<usize>)
+//! ```
+//!
+//! mirrors Fig. 1 exactly, with plain `let`-destructuring playing the
+//! role of structured bindings.
+
+/// Appends a value to a tuple (type-level list append).
+pub trait TuplePush<T> {
+    /// The tuple with `T` appended.
+    type Out;
+    /// Appends `t`.
+    fn push(self, t: T) -> Self::Out;
+}
+
+impl<T> TuplePush<T> for () {
+    type Out = (T,);
+    #[inline]
+    fn push(self, t: T) -> (T,) {
+        (t,)
+    }
+}
+
+impl<T, A> TuplePush<T> for (A,) {
+    type Out = (A, T);
+    #[inline]
+    fn push(self, t: T) -> (A, T) {
+        (self.0, t)
+    }
+}
+
+impl<T, A, B> TuplePush<T> for (A, B) {
+    type Out = (A, B, T);
+    #[inline]
+    fn push(self, t: T) -> (A, B, T) {
+        (self.0, self.1, t)
+    }
+}
+
+impl<T, A, B, C> TuplePush<T> for (A, B, C) {
+    type Out = (A, B, C, T);
+    #[inline]
+    fn push(self, t: T) -> (A, B, C, T) {
+        (self.0, self.1, self.2, t)
+    }
+}
+
+impl<T, A, B, C, D> TuplePush<T> for (A, B, C, D) {
+    type Out = (A, B, C, D, T);
+    #[inline]
+    fn push(self, t: T) -> (A, B, C, D, T) {
+        (self.0, self.1, self.2, self.3, t)
+    }
+}
+
+/// A result component being folded into the output accumulator: unit
+/// components (in-parameters, by-reference buffers) vanish; value
+/// components append themselves.
+pub trait PushComponent<Acc> {
+    /// Accumulator after this component.
+    type Pushed;
+    /// Folds the component into `acc`.
+    fn push_component(self, acc: Acc) -> Self::Pushed;
+}
+
+impl<Acc> PushComponent<Acc> for () {
+    type Pushed = Acc;
+    #[inline]
+    fn push_component(self, acc: Acc) -> Acc {
+        acc
+    }
+}
+
+impl<Acc: TuplePush<Vec<T>>, T> PushComponent<Acc> for Vec<T> {
+    type Pushed = Acc::Out;
+    #[inline]
+    fn push_component(self, acc: Acc) -> Acc::Out {
+        acc.push(self)
+    }
+}
+
+/// Final shaping of the accumulated output: a single component unwraps to
+/// the bare value, everything else stays a tuple.
+pub trait Finalize {
+    /// The user-visible result type.
+    type Out;
+    /// Performs the unwrap.
+    fn finalize(self) -> Self::Out;
+}
+
+impl Finalize for () {
+    type Out = ();
+    #[inline]
+    fn finalize(self) {}
+}
+
+impl<A> Finalize for (A,) {
+    type Out = A;
+    #[inline]
+    fn finalize(self) -> A {
+        self.0
+    }
+}
+
+macro_rules! finalize_identity {
+    ($(($($g:ident),+))*) => {$(
+        impl<$($g),+> Finalize for ($($g,)+) {
+            type Out = ($($g,)+);
+            #[inline]
+            fn finalize(self) -> Self::Out {
+                self
+            }
+        }
+    )*};
+}
+
+finalize_identity!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+// Shorthand aliases for the associated-type chains in collective
+// signatures.
+
+/// Accumulator after pushing one component onto the empty tuple.
+pub type Push1<A> = <A as PushComponent<()>>::Pushed;
+/// Accumulator after pushing two components.
+pub type Push2<A, B> = <B as PushComponent<Push1<A>>>::Pushed;
+/// Accumulator after pushing three components.
+pub type Push3<A, B, C> = <C as PushComponent<Push2<A, B>>>::Pushed;
+/// Accumulator after pushing four components.
+pub type Push4<A, B, C, D> = <D as PushComponent<Push3<A, B, C>>>::Pushed;
+/// The finalized (unwrapped) output of an accumulator.
+pub type FinalOf<X> = <X as Finalize>::Out;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_components_vanish() {
+        // A chain of unit components stays unit through the fold.
+        fn folded() {
+            let acc = ();
+            let acc = ().push_component(acc);
+            let acc = ().push_component(acc);
+            acc.finalize()
+        }
+        folded();
+    }
+
+    #[test]
+    fn single_component_unwraps() {
+        let acc = ();
+        let acc = vec![1u8, 2].push_component(acc);
+        let out: Vec<u8> = acc.finalize();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn mixed_components_keep_order() {
+        let acc = ();
+        let acc = vec![1u8].push_component(acc); // recv buf
+        let acc = ().push_component(acc); // provided counts: elided
+        let acc = vec![9usize].push_component(acc); // displs out
+        let (buf, displs): (Vec<u8>, Vec<usize>) = acc.finalize();
+        assert_eq!(buf, vec![1]);
+        assert_eq!(displs, vec![9]);
+    }
+
+    #[test]
+    fn three_components() {
+        let acc = ();
+        let acc = vec![1u8].push_component(acc);
+        let acc = vec![2usize].push_component(acc);
+        let acc = vec![3usize].push_component(acc);
+        let (a, b, c) = acc.finalize();
+        assert_eq!((a, b, c), (vec![1u8], vec![2usize], vec![3usize]));
+    }
+
+    #[test]
+    fn tuple_push_shapes() {
+        let t = ().push(1u8);
+        let t = t.push("x");
+        let t = t.push(2.5f64);
+        assert_eq!(t, (1u8, "x", 2.5f64));
+    }
+}

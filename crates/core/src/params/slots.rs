@@ -1,0 +1,412 @@
+//! Slot-resolution traits: how each `ArgSet` slot participates in a call.
+//!
+//! A collective's blanket implementation constrains each slot with one of
+//! these traits. Because each trait has exactly one implementation per
+//! slot shape, the compiler monomorphizes precisely the code path the
+//! user's parameter combination needs — the paper's `constexpr if`
+//! mechanism (§III-H), expressed through trait dispatch. Missing required
+//! parameters surface as unsatisfied trait bounds with
+//! `#[diagnostic::on_unimplemented]` messages (§III-G's human-readable
+//! compile errors).
+
+use kmp_mpi::op::ReduceOp;
+use kmp_mpi::Plain;
+
+use super::containers::{AsSlice, ResizePolicy};
+use super::{
+    Absent, OpParam, RecvBuf, RecvCounts, RecvCountsOut, RecvDispls, RecvDisplsOut, SendBuf,
+    SendCounts, SendCountsOut, SendDispls, SendDisplsOut, SendRecvBuf,
+};
+
+// ---------------------------------------------------------------------------
+// Send data
+// ---------------------------------------------------------------------------
+
+/// A slot that provides send data (satisfied by `send_buf(..)`).
+#[diagnostic::on_unimplemented(
+    message = "missing required parameter `send_buf` (or the slot holds data of the wrong element type)",
+    label = "this operation needs `send_buf(..)` with elements of type `{T}`",
+    note = "pass e.g. `send_buf(&my_vec)`; for in-place operations use `send_recv_buf(..)` instead"
+)]
+pub trait ProvidesSendData<T> {
+    /// View of the data to send.
+    fn send_slice(&self) -> &[T];
+}
+
+impl<T: Plain, B: AsSlice<T>> ProvidesSendData<T> for SendBuf<B> {
+    #[inline]
+    fn send_slice(&self) -> &[T] {
+        self.0.as_slice()
+    }
+}
+
+/// Reclaims ownership of a send buffer after the payload has been copied
+/// out: owned containers come back to the caller (the paper's
+/// move-in/move-out of §III-E), borrowed ones yield `()`.
+pub trait SendReclaim {
+    /// What the caller gets back.
+    type Back;
+    /// Consumes the parameter, returning the container (if owned).
+    fn reclaim(self) -> Self::Back;
+}
+
+impl<T> SendReclaim for SendBuf<Vec<T>> {
+    type Back = Vec<T>;
+    #[inline]
+    fn reclaim(self) -> Vec<T> {
+        self.0
+    }
+}
+
+impl<B> SendReclaim for SendBuf<&B> {
+    type Back = ();
+    #[inline]
+    fn reclaim(self) {}
+}
+
+impl<T> SendReclaim for SendBuf<&[T]> {
+    type Back = ();
+    #[inline]
+    fn reclaim(self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Receive storage
+// ---------------------------------------------------------------------------
+
+/// A slot that can serve as receive storage.
+///
+/// Shapes: `Absent` (the library allocates a fresh vector and returns it
+/// by value — the implicit receive-buffer out-parameter of §III-B),
+/// `recv_buf(&mut v)` (written in place, nothing returned) and
+/// `recv_buf(v)` (moved in, reused, returned by value).
+#[diagnostic::on_unimplemented(
+    message = "invalid `recv_buf` parameter for element type `{T}`",
+    note = "pass `recv_buf(&mut my_vec)`, `recv_buf(my_vec)`, or omit the parameter to receive by value"
+)]
+pub trait RecvBufSpec<T: Plain> {
+    /// The output component this slot contributes (`Vec<T>` or `()`).
+    type Out;
+
+    /// Prepares storage of (at least) `needed` elements, lets `fill`
+    /// write into it, and produces the output component.
+    fn apply<R>(
+        self,
+        needed: usize,
+        fill: impl FnOnce(&mut [T]) -> kmp_mpi::Result<R>,
+    ) -> kmp_mpi::Result<(R, Self::Out)>;
+}
+
+impl<T: Plain> RecvBufSpec<T> for Absent {
+    type Out = Vec<T>;
+
+    #[inline]
+    fn apply<R>(
+        self,
+        needed: usize,
+        fill: impl FnOnce(&mut [T]) -> kmp_mpi::Result<R>,
+    ) -> kmp_mpi::Result<(R, Vec<T>)> {
+        let mut v = kmp_mpi::plain::zeroed_vec::<T>(needed);
+        let r = fill(&mut v)?;
+        Ok((r, v))
+    }
+}
+
+impl<T: Plain, P: ResizePolicy> RecvBufSpec<T> for RecvBuf<&mut Vec<T>, P> {
+    type Out = ();
+
+    #[inline]
+    fn apply<R>(
+        self,
+        needed: usize,
+        fill: impl FnOnce(&mut [T]) -> kmp_mpi::Result<R>,
+    ) -> kmp_mpi::Result<(R, ())> {
+        P::prepare(self.buf, needed);
+        let r = fill(self.buf)?;
+        Ok((r, ()))
+    }
+}
+
+impl<T: Plain, P: ResizePolicy> RecvBufSpec<T> for RecvBuf<Vec<T>, P> {
+    type Out = Vec<T>;
+
+    #[inline]
+    fn apply<R>(
+        mut self,
+        needed: usize,
+        fill: impl FnOnce(&mut [T]) -> kmp_mpi::Result<R>,
+    ) -> kmp_mpi::Result<(R, Vec<T>)> {
+        P::prepare(&mut self.buf, needed);
+        let r = fill(&mut self.buf)?;
+        Ok((r, self.buf))
+    }
+}
+
+/// Like [`RecvBufSpec`], for the in-place `send_recv_buf` slot.
+#[diagnostic::on_unimplemented(
+    message = "missing required parameter `send_recv_buf` for this in-place operation",
+    note = "pass `send_recv_buf(&mut my_vec)` or `send_recv_buf(my_vec)`"
+)]
+pub trait SendRecvBufSpec<T: Plain> {
+    /// The output component (`Vec<T>` for owned, `()` for borrowed).
+    type Out;
+
+    /// Grants mutable access to the in-place buffer and produces the
+    /// output component.
+    fn apply<R>(
+        self,
+        work: impl FnOnce(&mut Vec<T>) -> kmp_mpi::Result<R>,
+    ) -> kmp_mpi::Result<(R, Self::Out)>;
+}
+
+impl<T: Plain> SendRecvBufSpec<T> for SendRecvBuf<&mut Vec<T>> {
+    type Out = ();
+
+    #[inline]
+    fn apply<R>(
+        self,
+        work: impl FnOnce(&mut Vec<T>) -> kmp_mpi::Result<R>,
+    ) -> kmp_mpi::Result<(R, ())> {
+        let r = work(self.0)?;
+        Ok((r, ()))
+    }
+}
+
+impl<T: Plain> SendRecvBufSpec<T> for SendRecvBuf<Vec<T>> {
+    type Out = Vec<T>;
+
+    #[inline]
+    fn apply<R>(
+        mut self,
+        work: impl FnOnce(&mut Vec<T>) -> kmp_mpi::Result<R>,
+    ) -> kmp_mpi::Result<(R, Vec<T>)> {
+        let r = work(&mut self.0)?;
+        Ok((r, self.0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counts / displacements
+// ---------------------------------------------------------------------------
+
+/// A counts-or-displacements slot: provided, absent (compute default), or
+/// requested as an out-parameter (compute default *and* return it).
+///
+/// `PROVIDED` and `REQUESTED` are compile-time constants, so the
+/// default-computation branch (`if !PROVIDED { communicate; }`) is
+/// resolved during monomorphization — no runtime dispatch (§III-A).
+pub trait CountsSlot {
+    /// True if the user supplied the values.
+    const PROVIDED: bool;
+    /// True if the user asked for the computed values back.
+    const REQUESTED: bool;
+    /// The output component (`Vec<usize>` when requested, else `()`).
+    type Out;
+
+    /// The provided values, if any.
+    fn provided(&self) -> Option<&[usize]>;
+
+    /// Consumes the slot, turning the computed default (present iff
+    /// `!PROVIDED`) into the output component.
+    fn finish(self, computed: Option<Vec<usize>>) -> Self::Out;
+}
+
+impl CountsSlot for Absent {
+    const PROVIDED: bool = false;
+    const REQUESTED: bool = false;
+    type Out = ();
+
+    #[inline]
+    fn provided(&self) -> Option<&[usize]> {
+        None
+    }
+
+    #[inline]
+    fn finish(self, _computed: Option<Vec<usize>>) {}
+}
+
+macro_rules! counts_slot_impls {
+    ($in_ty:ident, $out_ty:ident) => {
+        impl<B: AsSlice<usize>> CountsSlot for $in_ty<B> {
+            const PROVIDED: bool = true;
+            const REQUESTED: bool = false;
+            type Out = ();
+
+            #[inline]
+            fn provided(&self) -> Option<&[usize]> {
+                Some(self.0.as_slice())
+            }
+
+            #[inline]
+            fn finish(self, _computed: Option<Vec<usize>>) -> () {}
+        }
+
+        impl CountsSlot for $out_ty {
+            const PROVIDED: bool = false;
+            const REQUESTED: bool = true;
+            type Out = Vec<usize>;
+
+            #[inline]
+            fn provided(&self) -> Option<&[usize]> {
+                None
+            }
+
+            #[inline]
+            fn finish(self, computed: Option<Vec<usize>>) -> Vec<usize> {
+                computed.expect("out-parameter must have been computed")
+            }
+        }
+    };
+}
+
+counts_slot_impls!(SendCounts, SendCountsOut);
+counts_slot_impls!(RecvCounts, RecvCountsOut);
+counts_slot_impls!(SendDispls, SendDisplsOut);
+counts_slot_impls!(RecvDispls, RecvDisplsOut);
+
+/// A counts slot that *must* be user-provided because no default can be
+/// computed — e.g. `send_counts` of an `alltoallv` (only the application
+/// knows how its send buffer partitions across destinations).
+#[diagnostic::on_unimplemented(
+    message = "missing required parameter `send_counts`",
+    note = "`alltoallv` cannot infer how the send buffer splits across \
+            destinations; pass `send_counts(&counts)`"
+)]
+pub trait ProvidedCounts: CountsSlot {}
+
+impl<B: AsSlice<usize>> ProvidedCounts for SendCounts<B> {}
+impl<B: AsSlice<usize>> ProvidedCounts for RecvCounts<B> {}
+impl<B: AsSlice<usize>> ProvidedCounts for SendDispls<B> {}
+impl<B: AsSlice<usize>> ProvidedCounts for RecvDispls<B> {}
+
+// ---------------------------------------------------------------------------
+// Reduction operation
+// ---------------------------------------------------------------------------
+
+/// A slot that provides the reduction operation (satisfied by `op(..)`).
+#[diagnostic::on_unimplemented(
+    message = "missing required parameter `op` for this reduction",
+    label = "this reduction needs `op(..)` over elements of type `{T}`",
+    note = "pass e.g. `op(kamping::ops::Sum)` or `op(|a, b| ...)` via `kamping::params::op`"
+)]
+pub trait ProvidesOp<T> {
+    /// The reduction operation type.
+    type Op: ReduceOp<T>;
+
+    /// Consumes the slot, yielding the operation.
+    fn into_op(self) -> Self::Op;
+}
+
+impl<T, O: ReduceOp<T>> ProvidesOp<T> for OpParam<O> {
+    type Op = O;
+
+    #[inline]
+    fn into_op(self) -> O {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{recv_buf, recv_counts, recv_counts_out, send_buf, send_recv_buf};
+
+    #[test]
+    fn send_data_views() {
+        let v = vec![1u32, 2, 3];
+        let p = send_buf(&v);
+        assert_eq!(p.send_slice(), &[1, 2, 3]);
+        let p = send_buf(v.clone());
+        assert_eq!(ProvidesSendData::<u32>::send_slice(&p), &[1, 2, 3]);
+        assert_eq!(p.reclaim(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn borrowed_send_reclaims_unit() {
+        let v = vec![1u8];
+        let p = send_buf(&v);
+        #[allow(clippy::unused_unit)]
+        let () = p.reclaim();
+    }
+
+    #[test]
+    fn absent_recv_allocates() {
+        let (n, out): (usize, Vec<u16>) = RecvBufSpec::<u16>::apply(Absent, 4, |s| {
+            s[1] = 9;
+            Ok(s.len())
+        })
+        .unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(out, vec![0, 9, 0, 0]);
+    }
+
+    #[test]
+    fn borrowed_recv_writes_in_place() {
+        let mut storage = vec![0u8; 3];
+        let p = recv_buf(&mut storage);
+        let ((), ()) = p.apply(3, |s| {
+            s[0] = 7;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(storage, vec![7, 0, 0]);
+    }
+
+    #[test]
+    fn owned_recv_moves_through() {
+        let p = recv_buf(vec![0u32; 1]).resize_to_fit();
+        let ((), out) = p.apply(2, |s| {
+            s[1] = 5;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 5]);
+    }
+
+    #[test]
+    fn send_recv_buf_shapes() {
+        let mut v = vec![1u64, 2];
+        let p = send_recv_buf(&mut v);
+        let ((), ()) = p.apply(|b| {
+            b.push(3);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+
+        let p = send_recv_buf(vec![9u64]);
+        let ((), out) = p.apply(|b| {
+            b[0] += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn counts_slot_constants() {
+        assert!(!<Absent as CountsSlot>::PROVIDED);
+        assert!(!<Absent as CountsSlot>::REQUESTED);
+        assert!(<RecvCounts<&Vec<usize>> as CountsSlot>::PROVIDED);
+        assert!(<RecvCountsOut as CountsSlot>::REQUESTED);
+    }
+
+    #[test]
+    fn counts_slot_values() {
+        let c = vec![1usize, 2];
+        let p = recv_counts(&c);
+        assert_eq!(p.provided(), Some(&c[..]));
+        p.finish(None);
+
+        let p = recv_counts_out();
+        assert_eq!(p.provided(), None);
+        assert_eq!(p.finish(Some(vec![3, 4])), vec![3, 4]);
+    }
+
+    #[test]
+    fn op_slot_applies() {
+        let p = crate::params::op(kmp_mpi::op::Sum);
+        let o = ProvidesOp::<u32>::into_op(p);
+        assert_eq!(o.apply(&2, &3), 5);
+    }
+}

@@ -1,0 +1,253 @@
+//! Two-dimensional grid all-to-all plugin (§V-A).
+//!
+//! A dense `alltoallv` costs `p-1` message startups per rank. Organizing
+//! the `p` ranks in a virtual `r x c` grid (Kalé et al.) and routing each
+//! message in two hops — first within the sender's *row* to the column of
+//! the destination, then within that *column* to the destination — costs
+//! only `(c-1) + (r-1) = O(sqrt p)` startups at twice the communication
+//! volume: a hardware-agnostic latency reduction with asymptotic
+//! guarantees.
+//!
+//! `p` is factored exactly into `r x c` with `r` the largest divisor
+//! `<= sqrt(p)` (powers of two — the benchmark configuration — give
+//! near-square grids; primes degenerate to `1 x p`, i.e. direct
+//! exchange).
+
+use kmp_mpi::plain::{as_bytes, bytes_to_vec};
+use kmp_mpi::{Plain, Rank, Result};
+
+use crate::communicator::Communicator;
+use crate::params::{send_buf, send_counts};
+
+/// Grid all-to-all as a communicator extension.
+pub trait GridAlltoall {
+    /// Builds the 2D grid overlay (two communicator splits). Reuse the
+    /// returned [`GridCommunicator`] across exchanges.
+    fn make_grid(&self) -> Result<GridCommunicator>;
+}
+
+impl GridAlltoall for Communicator {
+    fn make_grid(&self) -> Result<GridCommunicator> {
+        let p = self.size();
+        let (r, c) = factor_grid(p);
+        let row = self.rank() / c;
+        let col = self.rank() % c;
+        let row_comm = self
+            .split(Some(row as u64), col as i64)?
+            .expect("all ranks participate in the row split");
+        let col_comm = self
+            .split(Some(col as u64), row as i64)?
+            .expect("all ranks participate in the column split");
+        debug_assert_eq!(row_comm.rank(), col);
+        debug_assert_eq!(col_comm.rank(), row);
+        Ok(GridCommunicator { row_comm, col_comm, rows: r, cols: c, rank: self.rank(), p })
+    }
+}
+
+/// Factors `p` into `(rows, cols)` with `rows` the largest divisor not
+/// exceeding `sqrt(p)`.
+pub fn factor_grid(p: usize) -> (usize, usize) {
+    let mut best = 1;
+    let mut d = 1;
+    while d * d <= p {
+        if p.is_multiple_of(d) {
+            best = d;
+        }
+        d += 1;
+    }
+    (best, p / best)
+}
+
+/// The grid overlay: a row communicator, a column communicator, and the
+/// routing metadata.
+pub struct GridCommunicator {
+    row_comm: Communicator,
+    col_comm: Communicator,
+    rows: usize,
+    cols: usize,
+    rank: Rank,
+    p: usize,
+}
+
+/// Per-block routing header: final destination, origin, payload bytes.
+const HEADER_WORDS: usize = 3;
+
+fn pack_block(out: &mut Vec<u8>, dest: Rank, origin: Rank, payload: &[u8]) {
+    let header = [dest as u64, origin as u64, payload.len() as u64];
+    out.extend_from_slice(as_bytes(&header));
+    out.extend_from_slice(payload);
+}
+
+fn unpack_blocks(mut bytes: &[u8], mut f: impl FnMut(Rank, Rank, &[u8])) {
+    while !bytes.is_empty() {
+        let header: Vec<u64> = bytes_to_vec(&bytes[..HEADER_WORDS * 8]);
+        let len = header[2] as usize;
+        let start = HEADER_WORDS * 8;
+        f(header[0] as usize, header[1] as usize, &bytes[start..start + len]);
+        bytes = &bytes[start + len..];
+    }
+}
+
+impl GridCommunicator {
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Personalized all-to-all routed over the grid: semantics of
+    /// `alltoallv((send_buf(data), send_counts(counts)))`, but with
+    /// `O(sqrt p)` message startups per rank. Returns the received
+    /// `(origin, data)` pairs sorted by origin.
+    pub fn alltoallv_sparse<T: Plain>(
+        &self,
+        send: &[T],
+        counts: &[usize],
+    ) -> Result<Vec<(Rank, Vec<T>)>> {
+        assert_eq!(counts.len(), self.p, "one send count per rank");
+        let elem = std::mem::size_of::<T>();
+
+        // Phase 1 (row exchange): bucket per destination *column*.
+        let mut row_bufs: Vec<Vec<u8>> = (0..self.cols).map(|_| Vec::new()).collect();
+        let mut offset = 0usize;
+        for (dest, &count) in counts.iter().enumerate() {
+            let block = &send[offset..offset + count];
+            offset += count;
+            if count == 0 {
+                continue;
+            }
+            let dest_col = dest % self.cols;
+            pack_block(&mut row_bufs[dest_col], dest, self.rank, as_bytes(block));
+        }
+        let row_counts: Vec<usize> = row_bufs.iter().map(Vec::len).collect();
+        let row_data: Vec<u8> = row_bufs.concat();
+        let from_row: Vec<u8> = self
+            .row_comm
+            .alltoallv((send_buf(&row_data), send_counts(&row_counts)))?;
+
+        // Phase 2 (column exchange): bucket per destination *row*.
+        let mut col_bufs: Vec<Vec<u8>> = (0..self.col_comm.size()).map(|_| Vec::new()).collect();
+        unpack_blocks(&from_row, |dest, origin, payload| {
+            let dest_row = dest / self.cols;
+            pack_block(&mut col_bufs[dest_row], dest, origin, payload);
+        });
+        let col_counts: Vec<usize> = col_bufs.iter().map(Vec::len).collect();
+        let col_data: Vec<u8> = col_bufs.concat();
+        let from_col: Vec<u8> = self
+            .col_comm
+            .alltoallv((send_buf(&col_data), send_counts(&col_counts)))?;
+
+        let mut out: Vec<(Rank, Vec<T>)> = Vec::new();
+        unpack_blocks(&from_col, |dest, origin, payload| {
+            debug_assert_eq!(dest, self.rank, "block routed to the wrong rank");
+            debug_assert_eq!(payload.len() % elem.max(1), 0);
+            out.push((origin, bytes_to_vec(payload)));
+        });
+        out.sort_by_key(|(origin, _)| *origin);
+        Ok(out)
+    }
+
+    /// Like [`GridCommunicator::alltoallv_sparse`], but returns only the
+    /// concatenated data (origin-sorted) — a drop-in for the dense
+    /// `alltoallv` in exchange loops.
+    pub fn alltoallv<T: Plain>(&self, send: &[T], counts: &[usize]) -> Result<Vec<T>> {
+        let pairs = self.alltoallv_sparse(send, counts)?;
+        let total = pairs.iter().map(|(_, v)| v.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for (_, mut v) in pairs {
+            out.append(&mut v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmp_mpi::Universe;
+
+    #[test]
+    fn factoring() {
+        assert_eq!(factor_grid(1), (1, 1));
+        assert_eq!(factor_grid(4), (2, 2));
+        assert_eq!(factor_grid(8), (2, 4));
+        assert_eq!(factor_grid(16), (4, 4));
+        assert_eq!(factor_grid(12), (3, 4));
+        assert_eq!(factor_grid(7), (1, 7)); // prime: degenerate grid
+        assert_eq!(factor_grid(36), (6, 6));
+    }
+
+    #[test]
+    fn matches_dense_alltoallv() {
+        for p in [1usize, 2, 4, 6, 8, 9] {
+            Universe::run(p, move |comm| {
+                let comm = Communicator::new(comm);
+                let grid = comm.make_grid().unwrap();
+                // Rank r sends (r+d) to destination d, d elements.
+                let mut send: Vec<u64> = Vec::new();
+                let mut counts = vec![0usize; p];
+                for d in 0..p {
+                    counts[d] = d % 3;
+                    for _ in 0..counts[d] {
+                        send.push((comm.rank() + d) as u64);
+                    }
+                }
+                let got = grid.alltoallv_sparse(&send, &counts).unwrap();
+                // Expected: from each origin o, (o + my_rank) repeated my_rank%3 times.
+                let expect_count = comm.rank() % 3;
+                for (o, data) in &got {
+                    assert_eq!(data.len(), expect_count);
+                    assert!(data.iter().all(|&v| v == (o + comm.rank()) as u64));
+                }
+                let expected_origins: Vec<usize> =
+                    if expect_count == 0 { vec![] } else { (0..p).collect() };
+                let origins: Vec<usize> = got.iter().map(|(o, _)| *o).collect();
+                assert_eq!(origins, expected_origins, "p = {p}");
+            });
+        }
+    }
+
+    #[test]
+    fn startup_count_is_grid_dimension() {
+        // On a 4x4 grid, each exchange costs 2 sub-alltoallvs over size-4
+        // communicators instead of one over size 16.
+        Universe::run(16, |comm| {
+            let comm = Communicator::new(comm);
+            let grid = comm.make_grid().unwrap();
+            assert_eq!(grid.dims(), (4, 4));
+            let before = comm.call_counts();
+            let counts = vec![1usize; 16];
+            let send: Vec<u32> = (0..16).map(|d| d as u32).collect();
+            let _ = grid.alltoallv(&send, &counts).unwrap();
+            let delta = comm.call_counts().since(&before);
+            // Two alltoallv calls (row + column), each in a size-4 comm.
+            assert_eq!(delta.get("alltoallv"), 2);
+        });
+    }
+
+    #[test]
+    fn empty_messages() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let grid = comm.make_grid().unwrap();
+            let got = grid.alltoallv::<u64>(&[], &[0; 4]).unwrap();
+            assert!(got.is_empty());
+        });
+    }
+
+    #[test]
+    fn reuse_across_rounds() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let grid = comm.make_grid().unwrap();
+            for round in 0..3u64 {
+                let mut counts = vec![0usize; 4];
+                counts[(comm.rank() + 1) % 4] = 1;
+                let send = vec![round * 100 + comm.rank() as u64];
+                let got = grid.alltoallv_sparse(&send, &counts).unwrap();
+                assert_eq!(got.len(), 1);
+                let left = (comm.rank() + 3) % 4;
+                assert_eq!(got[0], (left, vec![round * 100 + left as u64]));
+            }
+        });
+    }
+}

@@ -1,0 +1,26 @@
+//! Plugins: library extensions outside the core (§III-F, §V).
+//!
+//! KaMPIng keeps its core small and ships additional functionality as
+//! *plugins* that extend the communicator without touching application
+//! code. In C++ a plugin is a CRTP mixin adding member functions; the
+//! Rust rendering is an **extension trait** implemented for
+//! [`Communicator`](crate::Communicator) — bring the trait into scope and
+//! the communicator gains the operations:
+//!
+//! - [`sorter::Sorter`] — an STL-like distributed sample sort
+//!   (`comm.sort(&mut data)`, §IV-A);
+//! - [`sparse::SparseAlltoall`] — sparse all-to-all using the NBX
+//!   algorithm of Hoefler et al. (§V-A);
+//! - [`grid::GridAlltoall`] — two-dimensional grid all-to-all trading
+//!   2x communication volume for `O(sqrt p)` message startups (§V-A);
+//! - [`repro_reduce::ReproducibleReduce`] — a reduction with a fixed
+//!   binary-tree evaluation order, bit-identical for every rank count
+//!   (§V-C);
+//! - [`ulfm::FaultTolerant`] — User-Level Failure Mitigation: revoke,
+//!   shrink, agree, and failure-aware collectives (§V-B).
+
+pub mod grid;
+pub mod repro_reduce;
+pub mod sorter;
+pub mod sparse;
+pub mod ulfm;

@@ -1,0 +1,166 @@
+//! STL-like distributed sorter plugin (§V intro, §IV-A).
+//!
+//! `comm.sort(&mut data)` sorts data distributed across all ranks: after
+//! the call, each rank holds a sorted run and every element on rank `i`
+//! is `<=` every element on rank `i+1`. The implementation is the
+//! textbook sample sort of §IV-A (Fig. 7) — regular sampling, splitter
+//! selection, bucket exchange via `alltoallv`, local sort.
+
+use kmp_mpi::{Plain, Result};
+
+use crate::communicator::Communicator;
+use crate::params::{send_buf, send_counts};
+
+/// Distributed sorting as a communicator extension.
+pub trait Sorter {
+    /// Sorts distributed data in place (globally: rank order = value
+    /// order). The local vector is replaced by this rank's sorted bucket;
+    /// bucket sizes may differ from the input sizes.
+    fn sort<T: Plain + Ord>(&self, data: &mut Vec<T>) -> Result<()>;
+}
+
+impl Sorter for Communicator {
+    fn sort<T: Plain + Ord>(&self, data: &mut Vec<T>) -> Result<()> {
+        let p = self.size();
+        if p == 1 {
+            data.sort_unstable();
+            return Ok(());
+        }
+
+        // Deterministic regular sampling: s evenly spaced local samples
+        // (oversampling factor chosen as in the paper's sample sort:
+        // 16 log2 p + 1).
+        let num_samples = (16 * p.ilog2() as usize + 1).min(data.len().max(1));
+        let mut local = std::mem::take(data);
+        local.sort_unstable();
+        let mut samples: Vec<T> = Vec::with_capacity(num_samples);
+        if !local.is_empty() {
+            for k in 0..num_samples {
+                let idx = (k * local.len()) / num_samples;
+                samples.push(local[idx]);
+            }
+        }
+
+        // Global splitter selection from all samples.
+        let mut gsamples: Vec<T> = self.allgatherv(send_buf(&samples))?;
+        gsamples.sort_unstable();
+        let splitters: Vec<T> = if gsamples.is_empty() {
+            Vec::new()
+        } else {
+            (1..p).map(|i| gsamples[(i * gsamples.len()) / p]).collect()
+        };
+
+        // Partition into buckets; bucket i gets values in
+        // (splitter[i-1], splitter[i]].
+        let mut counts = vec![0usize; p];
+        for v in &local {
+            let b = splitters.partition_point(|s| s < v);
+            counts[b] += 1;
+        }
+
+        // local is sorted and partition_point is monotone, so the bucket
+        // layout is exactly the sorted order: ship it as-is.
+        let mut received: Vec<T> =
+            self.alltoallv((send_buf(local), send_counts(counts)))?;
+        received.sort_unstable();
+        *data = received;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmp_mpi::Universe;
+    use rand::prelude::*;
+
+    fn check_sorted_distributed(outputs: &[Vec<u64>], mut expected: Vec<u64>) {
+        expected.sort_unstable();
+        // Concatenation in rank order must equal the sorted input.
+        let got: Vec<u64> = outputs.iter().flatten().copied().collect();
+        assert_eq!(got, expected);
+        for run in outputs {
+            assert!(run.is_sorted());
+        }
+    }
+
+    #[test]
+    fn sorts_random_u64() {
+        let per_rank = 500;
+        let p = 4;
+        let outputs = Universe::run(p, |comm| {
+            let comm = Communicator::new(comm);
+            let mut rng = StdRng::seed_from_u64(42 + comm.rank() as u64);
+            let mut data: Vec<u64> = (0..per_rank).map(|_| rng.random()).collect();
+            comm.sort(&mut data).unwrap();
+            data
+        });
+        let mut all = Vec::new();
+        for r in 0..p {
+            let mut rng = StdRng::seed_from_u64(42 + r as u64);
+            all.extend((0..per_rank).map(|_| rng.random::<u64>()));
+        }
+        check_sorted_distributed(&outputs, all);
+    }
+
+    #[test]
+    fn sorts_skewed_input() {
+        // All the data on one rank.
+        let outputs = Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mut data: Vec<u64> =
+                if comm.rank() == 0 { (0..300).rev().collect() } else { vec![] };
+            comm.sort(&mut data).unwrap();
+            data
+        });
+        check_sorted_distributed(&outputs, (0..300).collect());
+    }
+
+    #[test]
+    fn sorts_duplicates() {
+        let outputs = Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let mut data = vec![7u64; 100];
+            comm.sort(&mut data).unwrap();
+            data
+        });
+        check_sorted_distributed(&outputs, vec![7; 400]);
+    }
+
+    #[test]
+    fn sorts_single_rank() {
+        let outputs = Universe::run(1, |comm| {
+            let comm = Communicator::new(comm);
+            let mut data = vec![3u64, 1, 2];
+            comm.sort(&mut data).unwrap();
+            data
+        });
+        assert_eq!(outputs[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sorts_empty_everywhere() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mut data: Vec<u64> = vec![];
+            comm.sort(&mut data).unwrap();
+            assert!(data.is_empty());
+        });
+    }
+
+    #[test]
+    fn global_rank_order_holds() {
+        let outputs = Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let mut rng = StdRng::seed_from_u64(comm.rank() as u64);
+            let mut data: Vec<u64> = (0..200).map(|_| rng.random_range(0..1000)).collect();
+            comm.sort(&mut data).unwrap();
+            data
+        });
+        for w in outputs.windows(2) {
+            if let (Some(hi), Some(lo)) = (w[0].last(), w[1].first()) {
+                assert!(hi <= lo, "rank boundaries must preserve global order");
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Sparse all-to-all plugin: the NBX algorithm (§V-A).
+//!
+//! `MPI_Alltoallv` forces every rank to scan a counts array of length `p`
+//! and to take part in a dense exchange even when it only talks to a
+//! handful of neighbours. For *dynamic* sparse patterns (the frontier
+//! exchanges of graph algorithms), the paper ships a plugin implementing
+//! the NBX dynamic sparse data exchange of Hoefler, Siebert and Lumsdaine
+//! (PPoPP'10):
+//!
+//! 1. every rank posts a **synchronous** non-blocking send (`issend`)
+//!    per destination;
+//! 2. it then loops: probe for incoming messages (receiving any), and
+//!    once all own sends have been matched, start a non-blocking
+//!    **barrier**;
+//! 3. when the barrier completes, every message in the system has been
+//!    received, and the exchange terminates — total cost proportional to
+//!    the *actual* number of messages, independent of `p`.
+
+use std::collections::HashMap;
+
+use kmp_mpi::request::TestOutcome;
+use kmp_mpi::{Plain, Rank, Result, Src, Tag, TagSel};
+
+use crate::communicator::Communicator;
+
+/// Base tag reserved for NBX exchanges; successive exchanges on the same
+/// communicator cycle through `NBX_TAG_BASE..NBX_TAG_BASE + NBX_EPOCHS`
+/// so that rounds cannot bleed into each other. User code must not use
+/// this tag range.
+pub const NBX_TAG_BASE: Tag = 0x7A5C_0000;
+/// Number of distinct NBX round tags.
+pub const NBX_EPOCHS: Tag = 1024;
+
+/// Sparse all-to-all as a communicator extension.
+pub trait SparseAlltoall {
+    /// Exchanges `destination -> message` pairs; returns the received
+    /// `(source, message)` pairs in arrival order. Only actual
+    /// communication partners cost anything — no `Θ(p)` term (§V-A).
+    fn sparse_alltoallv<T: Plain>(
+        &self,
+        messages: &HashMap<Rank, Vec<T>>,
+    ) -> Result<Vec<(Rank, Vec<T>)>>;
+}
+
+impl SparseAlltoall for Communicator {
+    fn sparse_alltoallv<T: Plain>(
+        &self,
+        messages: &HashMap<Rank, Vec<T>>,
+    ) -> Result<Vec<(Rank, Vec<T>)>> {
+        let raw = self.raw();
+        // Distinct tag per round (see NBX_TAG_BASE): all ranks call the
+        // exchange in the same order, so the epochs agree.
+        let epoch = self.sparse_epoch.get();
+        self.sparse_epoch.set(epoch + 1);
+        let tag: Tag = NBX_TAG_BASE + (epoch % NBX_EPOCHS as u64) as Tag;
+
+        // Phase 1: synchronous-mode sends; completion implies the
+        // receiver has matched the message.
+        let mut pending_sends = Vec::with_capacity(messages.len());
+        for (&dest, payload) in messages {
+            pending_sends.push(raw.issend(payload, dest, tag)?);
+        }
+
+        let mut received: Vec<(Rank, Vec<T>)> = Vec::new();
+        let mut barrier = None;
+
+        loop {
+            // Drain every message currently available.
+            while let Some(status) = raw.iprobe(Src::Any, TagSel::Is(tag)) {
+                let (data, st) = raw.recv_vec::<T>(status.source, tag)?;
+                received.push((st.source, data));
+            }
+
+            match barrier.take() {
+                None => {
+                    // Advance local sends; once all are matched, everyone
+                    // I talk to has my data — enter the barrier.
+                    let mut still_pending = Vec::with_capacity(pending_sends.len());
+                    for req in pending_sends {
+                        match req.test()? {
+                            TestOutcome::Ready(_) => {}
+                            TestOutcome::Pending(r) => still_pending.push(r),
+                        }
+                    }
+                    pending_sends = still_pending;
+                    if pending_sends.is_empty() {
+                        barrier = Some(raw.ibarrier()?);
+                    }
+                }
+                Some(b) => match b.test()? {
+                    // Barrier done: all ranks' sends were matched, so no
+                    // message can still be in flight.
+                    TestOutcome::Ready(_) => break,
+                    TestOutcome::Pending(b) => barrier = Some(b),
+                },
+            }
+            std::thread::yield_now();
+        }
+
+        // A final drain: messages that arrived between the last probe and
+        // barrier completion are already queued locally.
+        while let Some(status) = raw.iprobe(Src::Any, TagSel::Is(tag)) {
+            let (data, st) = raw.recv_vec::<T>(status.source, tag)?;
+            received.push((st.source, data));
+        }
+        Ok(received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmp_mpi::Universe;
+
+    fn to_map<T>(pairs: Vec<(Rank, Vec<T>)>) -> HashMap<Rank, Vec<T>> {
+        let mut m = HashMap::new();
+        for (r, v) in pairs {
+            assert!(m.insert(r, v).is_none(), "duplicate source");
+        }
+        m
+    }
+
+    #[test]
+    fn ring_neighbors_only() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let right = (comm.rank() + 1) % 4;
+            let mut msgs = HashMap::new();
+            msgs.insert(right, vec![comm.rank() as u64]);
+            let got = to_map(comm.sparse_alltoallv(&msgs).unwrap());
+            let left = (comm.rank() + 3) % 4;
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[&left], vec![left as u64]);
+        });
+    }
+
+    #[test]
+    fn empty_exchange_terminates() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let msgs: HashMap<Rank, Vec<u8>> = HashMap::new();
+            let got = comm.sparse_alltoallv(&msgs).unwrap();
+            assert!(got.is_empty());
+        });
+    }
+
+    #[test]
+    fn asymmetric_pattern() {
+        // Rank 0 broadcasts to everyone; nobody answers.
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let msgs: HashMap<Rank, Vec<u32>> = if comm.rank() == 0 {
+                (1..4).map(|r| (r, vec![r as u32 * 10])).collect()
+            } else {
+                HashMap::new()
+            };
+            let got = comm.sparse_alltoallv(&msgs).unwrap();
+            if comm.rank() == 0 {
+                assert!(got.is_empty());
+            } else {
+                assert_eq!(got, vec![(0, vec![comm.rank() as u32 * 10])]);
+            }
+        });
+    }
+
+    #[test]
+    fn dense_pattern_still_correct() {
+        // NBX must also work when everyone talks to everyone.
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let msgs: HashMap<Rank, Vec<u16>> =
+                (0..3).map(|r| (r, vec![comm.rank() as u16, r as u16])).collect();
+            let got = to_map(comm.sparse_alltoallv(&msgs).unwrap());
+            assert_eq!(got.len(), 3);
+            for (src, data) in got {
+                assert_eq!(data, vec![src as u16, comm.rank() as u16]);
+            }
+        });
+    }
+
+    #[test]
+    fn repeated_exchanges() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            for round in 0..5u64 {
+                let mut msgs = HashMap::new();
+                msgs.insert((comm.rank() + 1) % 3, vec![round]);
+                let got = comm.sparse_alltoallv(&msgs).unwrap();
+                assert_eq!(got.len(), 1);
+                assert_eq!(got[0].1, vec![round]);
+            }
+        });
+    }
+
+    #[test]
+    fn self_message() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mut msgs = HashMap::new();
+            msgs.insert(comm.rank(), vec![99u8]);
+            let got = comm.sparse_alltoallv(&msgs).unwrap();
+            assert_eq!(got, vec![(comm.rank(), vec![99])]);
+        });
+    }
+
+    #[test]
+    fn message_count_scales_with_partners_not_p() {
+        // The PMPI counters show only `deg` sends, independent of p.
+        Universe::run(6, |comm| {
+            let comm = Communicator::new(comm);
+            let before = comm.call_counts();
+            let mut msgs = HashMap::new();
+            msgs.insert((comm.rank() + 1) % 6, vec![1u8]);
+            comm.sparse_alltoallv(&msgs).unwrap();
+            let delta = comm.call_counts().since(&before);
+            assert_eq!(delta.get("issend"), 1, "one send per actual partner");
+            assert_eq!(delta.get("alltoallv"), 0, "no dense exchange involved");
+        });
+    }
+}

@@ -1,0 +1,154 @@
+//! User-Level Failure Mitigation plugin (§V-B, Fig. 12).
+//!
+//! The upcoming MPI 5.0 standard lets applications survive process
+//! failures via ULFM. This plugin exposes the recovery operations as
+//! idiomatic methods on the communicator, turning the check-return-code
+//! style of the proposal into the error-driven flow of Fig. 12:
+//!
+//! ```
+//! use kamping::prelude::*;
+//!
+//! let out = kmp_mpi::Universe::run_with(kmp_mpi::Config::new(4), |comm| {
+//!     let mut comm = Communicator::new(comm);
+//!     if comm.rank() == 3 {
+//!         comm.fail_now(); // simulated crash
+//!     }
+//!     // Fig. 12: catch the failure, revoke, shrink, continue.
+//!     if let Err(e) = comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))) {
+//!         assert!(Communicator::is_failure(&e) || e == kamping::MpiError::Revoked);
+//!         if !comm.is_revoked() {
+//!             comm.revoke();
+//!         }
+//!         comm = comm.shrink().unwrap();
+//!     }
+//!     comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap()
+//! });
+//! // The three survivors agree on the shrunken communicator's sum.
+//! assert_eq!(out.iter().filter_map(|o| o.clone().completed()).sum::<u64>(), 9);
+//! ```
+
+use kmp_mpi::{MpiError, Result};
+
+use crate::communicator::Communicator;
+
+/// ULFM operations as a communicator extension.
+pub trait FaultTolerant: Sized {
+    /// Simulates a crash of the calling rank (failure injection for
+    /// tests and benchmarks). Never returns.
+    fn fail_now(&self) -> !;
+
+    /// Revokes the communicator: all pending and future operations on it
+    /// fail with [`MpiError::Revoked`] on every rank (mirrors
+    /// `MPI_Comm_revoke`).
+    fn revoke(&self);
+
+    /// True if this communicator has been revoked.
+    fn is_revoked(&self) -> bool;
+
+    /// True if the given rank is known to have failed.
+    fn is_rank_failed(&self, rank: kmp_mpi::Rank) -> bool;
+
+    /// Shrinks to the surviving ranks, returning a fresh working
+    /// communicator (mirrors `MPI_Comm_shrink`). Works on revoked
+    /// communicators.
+    fn shrink(&self) -> Result<Self>;
+
+    /// Failure-aware agreement: logical AND of `flag` over all surviving
+    /// ranks (mirrors `MPI_Comm_agree`).
+    fn agree(&self, flag: bool) -> Result<bool>;
+
+    /// True if `e` indicates a process failure (the recoverable error
+    /// class of §V-B, as opposed to usage errors).
+    fn is_failure(e: &MpiError) -> bool {
+        matches!(e, MpiError::ProcessFailed { .. })
+    }
+}
+
+impl FaultTolerant for Communicator {
+    fn fail_now(&self) -> ! {
+        self.raw().fail_here()
+    }
+
+    fn revoke(&self) {
+        self.raw().revoke()
+    }
+
+    fn is_revoked(&self) -> bool {
+        self.raw().is_revoked()
+    }
+
+    fn is_rank_failed(&self, rank: kmp_mpi::Rank) -> bool {
+        self.raw().is_failed(rank)
+    }
+
+    fn shrink(&self) -> Result<Communicator> {
+        Ok(Communicator::new(self.raw().shrink()?))
+    }
+
+    fn agree(&self, flag: bool) -> Result<bool> {
+        self.raw().agree_and(flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use kmp_mpi::{Config, RankOutcome, Universe};
+
+    #[test]
+    fn fig12_recovery_flow() {
+        let out = Universe::run_with(Config::new(4), |comm| {
+            let mut comm = Communicator::new(comm);
+            if comm.rank() == 1 {
+                comm.fail_now();
+            }
+            let r = comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum)));
+            if let Err(e) = r {
+                assert!(
+                    Communicator::is_failure(&e) || e == MpiError::Revoked,
+                    "unexpected error class: {e}"
+                );
+                if !comm.is_revoked() {
+                    comm.revoke();
+                }
+                comm = comm.shrink().unwrap();
+            }
+            // The shrunken communicator works.
+            comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap()
+        });
+        let survivors: Vec<u64> = out.into_iter().filter_map(|o| o.completed()).collect();
+        assert_eq!(survivors, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn agree_excludes_failed_ranks() {
+        let out = Universe::run_with(Config::new(3), |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 2 {
+                comm.fail_now();
+            }
+            comm.agree(true).unwrap()
+        });
+        assert_eq!(out[0], RankOutcome::Completed(true));
+        assert_eq!(out[1], RankOutcome::Completed(true));
+        assert_eq!(out[2], RankOutcome::Failed);
+    }
+
+    #[test]
+    fn failure_classification() {
+        assert!(Communicator::is_failure(&MpiError::ProcessFailed { world_rank: 1 }));
+        assert!(!Communicator::is_failure(&MpiError::Revoked));
+        assert!(!Communicator::is_failure(&MpiError::InvalidTag { tag: -1 }));
+    }
+
+    #[test]
+    fn shrink_without_failures_is_identity_sized() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let shrunk = comm.shrink().unwrap();
+            assert_eq!(shrunk.size(), 3);
+            assert_eq!(shrunk.rank(), comm.rank());
+        });
+    }
+}

@@ -1,0 +1,118 @@
+//! Utility building blocks.
+//!
+//! [`with_flattened`] is the helper the paper's BFS (Fig. 9) leans on:
+//! it turns a mapping `destination -> messages` into the contiguous
+//! send buffer + send counts an `alltoallv` needs.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use kmp_mpi::Rank;
+
+/// Flattens a `destination -> messages` map into `(data, send_counts)`
+/// suitable for `alltoallv((send_buf(data), send_counts(counts)))`.
+///
+/// Works with any iterable of `(rank, Vec<T>)`; entries for absent ranks
+/// get a zero count.
+pub fn flatten<T, I>(messages: I, comm_size: usize) -> (Vec<T>, Vec<usize>)
+where
+    I: IntoIterator<Item = (Rank, Vec<T>)>,
+{
+    // Collect into rank order first (HashMap iteration order is
+    // arbitrary, but alltoallv block k must target rank k).
+    let mut by_rank: Vec<Vec<T>> = (0..comm_size).map(|_| Vec::new()).collect();
+    for (rank, mut msgs) in messages {
+        assert!(rank < comm_size, "destination {rank} out of range for size {comm_size}");
+        by_rank[rank].append(&mut msgs);
+    }
+    let counts: Vec<usize> = by_rank.iter().map(Vec::len).collect();
+    let mut data = Vec::with_capacity(counts.iter().sum());
+    for mut block in by_rank {
+        data.append(&mut block);
+    }
+    (data, counts)
+}
+
+/// The paper's `with_flattened(frontier, comm.size()).call(...)` idiom:
+/// flattens the message map and passes `(data, counts)` to `f`.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use kamping::prelude::*;
+///
+/// kmp_mpi::Universe::run(2, |comm| {
+///     let comm = Communicator::new(comm);
+///     let mut next: HashMap<usize, Vec<u64>> = HashMap::new();
+///     next.entry(1 - comm.rank()).or_default().push(comm.rank() as u64);
+///     let got: Vec<u64> = with_flattened(next, comm.size(), |data, counts| {
+///         comm.alltoallv((send_buf(data), send_counts(counts)))
+///     })
+///     .unwrap();
+///     assert_eq!(got, vec![1 - comm.rank() as u64]);
+/// });
+/// ```
+pub fn with_flattened<T, R>(
+    messages: HashMap<Rank, Vec<T>>,
+    comm_size: usize,
+    f: impl FnOnce(Vec<T>, Vec<usize>) -> R,
+) -> R {
+    let (data, counts) = flatten(messages, comm_size);
+    f(data, counts)
+}
+
+/// [`with_flattened`] for ordered maps.
+pub fn with_flattened_btree<T, R>(
+    messages: BTreeMap<Rank, Vec<T>>,
+    comm_size: usize,
+    f: impl FnOnce(Vec<T>, Vec<usize>) -> R,
+) -> R {
+    let (data, counts) = flatten(messages, comm_size);
+    f(data, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_orders_by_rank() {
+        let mut m: HashMap<Rank, Vec<u8>> = HashMap::new();
+        m.insert(2, vec![5, 6]);
+        m.insert(0, vec![1]);
+        let (data, counts) = flatten(m, 3);
+        assert_eq!(data, vec![1, 5, 6]);
+        assert_eq!(counts, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn flatten_merges_duplicate_destinations() {
+        let entries = vec![(1usize, vec![1u32]), (1, vec![2])];
+        let (data, counts) = flatten(entries, 2);
+        assert_eq!(data, vec![1, 2]);
+        assert_eq!(counts, vec![0, 2]);
+    }
+
+    #[test]
+    fn flatten_empty() {
+        let (data, counts) = flatten(Vec::<(Rank, Vec<u8>)>::new(), 4);
+        assert!(data.is_empty());
+        assert_eq!(counts, vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flatten_rejects_bad_rank() {
+        flatten(vec![(7usize, vec![1u8])], 2);
+    }
+
+    #[test]
+    fn with_flattened_btree_works() {
+        let mut m: BTreeMap<Rank, Vec<u16>> = BTreeMap::new();
+        m.insert(0, vec![9]);
+        let total = with_flattened_btree(m, 1, |data, counts| {
+            assert_eq!(counts, vec![1]);
+            data.len()
+        });
+        assert_eq!(total, 1);
+    }
+}

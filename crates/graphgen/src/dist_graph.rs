@@ -1,0 +1,162 @@
+//! Distributed adjacency-array graphs.
+//!
+//! "We assume the graph to be distributed among the ranks with each rank
+//! holding a subset of the vertices and their incident edges. Locally,
+//! the graph is represented as an adjacency array." (§IV-B)
+
+use kmp_mpi::Rank;
+
+/// One rank's share of a distributed graph: a contiguous global vertex
+/// range plus a CSR adjacency array over it. Edge targets are *global*
+/// vertex ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistGraph {
+    /// Total number of vertices.
+    pub global_n: usize,
+    /// `vertex_ranges[r]..vertex_ranges[r+1]` is rank r's vertex range.
+    pub vertex_ranges: Vec<usize>,
+    /// This rank's index.
+    pub rank: Rank,
+    /// CSR offsets (length `local_n() + 1`).
+    pub offsets: Vec<usize>,
+    /// Edge targets, global ids.
+    pub targets: Vec<u64>,
+}
+
+impl DistGraph {
+    /// Builds the CSR from per-local-vertex adjacency lists.
+    pub fn from_adjacency(
+        global_n: usize,
+        vertex_ranges: Vec<usize>,
+        rank: Rank,
+        adj: Vec<Vec<u64>>,
+    ) -> Self {
+        let local_n = vertex_ranges[rank + 1] - vertex_ranges[rank];
+        assert_eq!(adj.len(), local_n, "one adjacency list per local vertex");
+        let mut offsets = Vec::with_capacity(local_n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for list in adj {
+            targets.extend_from_slice(&list);
+            offsets.push(targets.len());
+        }
+        DistGraph { global_n, vertex_ranges, rank, offsets, targets }
+    }
+
+    /// First global vertex id owned by this rank.
+    #[inline]
+    pub fn first_vertex(&self) -> usize {
+        self.vertex_ranges[self.rank]
+    }
+
+    /// Number of local vertices.
+    #[inline]
+    pub fn local_n(&self) -> usize {
+        self.vertex_ranges[self.rank + 1] - self.vertex_ranges[self.rank]
+    }
+
+    /// Number of local (directed) edge entries.
+    #[inline]
+    pub fn local_m(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if global vertex `v` lives on this rank.
+    #[inline]
+    pub fn is_local(&self, v: u64) -> bool {
+        let v = v as usize;
+        v >= self.vertex_ranges[self.rank] && v < self.vertex_ranges[self.rank + 1]
+    }
+
+    /// Local index of a local global vertex.
+    #[inline]
+    pub fn local_index(&self, v: u64) -> usize {
+        debug_assert!(self.is_local(v));
+        v as usize - self.vertex_ranges[self.rank]
+    }
+
+    /// Rank owning global vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: u64) -> Rank {
+        let v = v as usize;
+        debug_assert!(v < self.global_n);
+        // ranges is sorted; find the last range start <= v.
+        match self.vertex_ranges.binary_search(&v) {
+            Ok(mut i) => {
+                // Empty ranges share a boundary; advance to the range
+                // that actually contains v.
+                while self.vertex_ranges[i + 1] <= v {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Neighbors (global ids) of a local vertex by local index.
+    #[inline]
+    pub fn neighbors(&self, local: usize) -> &[u64] {
+        &self.targets[self.offsets[local]..self.offsets[local + 1]]
+    }
+
+    /// Iterates `(global_id, neighbors)` for all local vertices.
+    pub fn iter_local(&self) -> impl Iterator<Item = (u64, &[u64])> + '_ {
+        let first = self.first_vertex() as u64;
+        (0..self.local_n()).map(move |i| (first + i as u64, self.neighbors(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistGraph {
+        // 5 vertices over 2 ranks: [0,1,2 | 3,4]; this is rank 0.
+        DistGraph::from_adjacency(
+            5,
+            vec![0, 3, 5],
+            0,
+            vec![vec![1, 3], vec![0], vec![4]],
+        )
+    }
+
+    #[test]
+    fn csr_layout() {
+        let g = sample();
+        assert_eq!(g.local_n(), 3);
+        assert_eq!(g.local_m(), 4);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[4]);
+    }
+
+    #[test]
+    fn ownership() {
+        let g = sample();
+        assert!(g.is_local(0));
+        assert!(g.is_local(2));
+        assert!(!g.is_local(3));
+        assert_eq!(g.owner(0), 0);
+        assert_eq!(g.owner(2), 0);
+        assert_eq!(g.owner(3), 1);
+        assert_eq!(g.owner(4), 1);
+        assert_eq!(g.local_index(2), 2);
+    }
+
+    #[test]
+    fn owner_with_empty_ranges() {
+        let g = DistGraph::from_adjacency(4, vec![0, 2, 2, 4], 0, vec![vec![], vec![]]);
+        assert_eq!(g.owner(1), 0);
+        assert_eq!(g.owner(2), 2); // rank 1 is empty
+        assert_eq!(g.owner(3), 2);
+    }
+
+    #[test]
+    fn iter_local_pairs() {
+        let g = sample();
+        let pairs: Vec<(u64, usize)> =
+            g.iter_local().map(|(v, nb)| (v, nb.len())).collect();
+        assert_eq!(pairs, vec![(0, 2), (1, 1), (2, 1)]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Erdős–Rényi `G(n, m)` generator.
+//!
+//! Almost no locality (edge endpoints are uniform over all ranks) and
+//! small diameter — the family where BFS frontiers are large and touch
+//! every rank (Fig. 10, left).
+
+use crate::dist_graph::DistGraph;
+use crate::{splitmix64, vertex_ranges};
+use kmp_mpi::Rank;
+
+/// Generates rank `rank`'s part of a GNM graph with `n` vertices and `m`
+/// undirected edges. Deterministic in `(n, m, seed)`; every rank derives
+/// the same global edge list and keeps the endpoints it owns
+/// (communication-free).
+pub fn gnm(n: usize, m: usize, seed: u64, rank: Rank, p: usize) -> DistGraph {
+    assert!(n >= 2, "GNM needs at least two vertices");
+    let ranges = vertex_ranges(n, p);
+    let my_lo = ranges[rank] as u64;
+    let my_hi = ranges[rank + 1] as u64;
+    let mut adj: Vec<Vec<u64>> = vec![Vec::new(); (my_hi - my_lo) as usize];
+
+    for e in 0..m as u64 {
+        let h1 = splitmix64(seed ^ splitmix64(2 * e));
+        let h2 = splitmix64(seed ^ splitmix64(2 * e + 1));
+        let u = h1 % n as u64;
+        // Rejection-free distinct endpoint: shift into the remaining n-1
+        // slots.
+        let mut v = h2 % (n as u64 - 1);
+        if v >= u {
+            v += 1;
+        }
+        if u >= my_lo && u < my_hi {
+            adj[(u - my_lo) as usize].push(v);
+        }
+        if v >= my_lo && v < my_hi {
+            adj[(v - my_lo) as usize].push(u);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+    }
+    DistGraph::from_adjacency(n, ranges, rank, adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Gathers all ranks' parts and checks undirected consistency.
+    fn check_symmetric(n: usize, m: usize, p: usize) {
+        let parts: Vec<DistGraph> = (0..p).map(|r| gnm(n, m, 99, r, p)).collect();
+        let mut directed: HashSet<(u64, u64)> = HashSet::new();
+        for g in &parts {
+            for (u, nbrs) in g.iter_local() {
+                for &v in nbrs {
+                    directed.insert((u, v));
+                }
+            }
+        }
+        for &(u, v) in &directed {
+            assert!(directed.contains(&(v, u)), "missing reverse edge ({v},{u})");
+            assert_ne!(u, v, "self loop");
+        }
+        // 2m directed entries (multi-edges possible but rare; count
+        // total entries instead of the deduplicated set).
+        let total: usize = parts.iter().map(|g| g.local_m()).sum();
+        assert_eq!(total, 2 * m);
+    }
+
+    #[test]
+    fn symmetric_across_partitions() {
+        check_symmetric(50, 200, 1);
+        check_symmetric(50, 200, 3);
+        check_symmetric(50, 200, 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = gnm(40, 100, 7, 1, 4);
+        let b = gnm(40, 100, 7, 1, 4);
+        assert_eq!(a, b);
+        let c = gnm(40, 100, 8, 1, 4);
+        assert_ne!(a, c, "different seeds must give different graphs");
+    }
+
+    #[test]
+    fn partition_independent_edges() {
+        // The same global graph regardless of p: compare rank-0-of-1
+        // against the union over 4 ranks.
+        let whole = gnm(30, 90, 5, 0, 1);
+        let parts: Vec<DistGraph> = (0..4).map(|r| gnm(30, 90, 5, r, 4)).collect();
+        let mut union: Vec<(u64, u64)> = Vec::new();
+        for g in &parts {
+            for (u, nbrs) in g.iter_local() {
+                for &v in nbrs {
+                    union.push((u, v));
+                }
+            }
+        }
+        union.sort_unstable();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        for (u, nbrs) in whole.iter_local() {
+            for &v in nbrs {
+                reference.push((u, v));
+            }
+        }
+        reference.sort_unstable();
+        assert_eq!(union, reference);
+    }
+
+    #[test]
+    fn no_locality_signature() {
+        // For GNM, the fraction of cut edges approaches 1 - 1/p.
+        let p = 4;
+        let parts: Vec<DistGraph> = (0..p).map(|r| gnm(400, 3200, 3, r, p)).collect();
+        let mut cut = 0usize;
+        let mut total = 0usize;
+        for g in &parts {
+            for (_, nbrs) in g.iter_local() {
+                for &v in nbrs {
+                    total += 1;
+                    if !g.is_local(v) {
+                        cut += 1;
+                    }
+                }
+            }
+        }
+        let frac = cut as f64 / total as f64;
+        assert!(frac > 0.6, "GNM should have mostly cut edges, got {frac}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Allgather and allgatherv (ring algorithm).
+
+use super::{check_layout, recv_internal, send_internal};
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::plain::{as_bytes, copy_bytes_into};
+use crate::Plain;
+
+/// Ring allgather of equal-size contributions; returns the concatenation
+/// in rank order. Used internally (e.g. by `split`) without counting.
+pub(crate) fn allgather_internal<T: Plain>(comm: &Comm, send: &[T]) -> Result<Vec<T>> {
+    let p = comm.size();
+    let n = send.len();
+    let mut out = vec![send.to_vec(); 1];
+    let mut result: Vec<T> = Vec::with_capacity(p * n);
+    // Collect blocks in ring order, then rotate into rank order.
+    ring_exchange(comm, &mut out)?;
+    debug_assert_eq!(out.len(), p);
+    // `out[i]` is the block of rank `(rank - i + p) % p`; place by owner.
+    let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+    for (i, block) in out.into_iter().enumerate() {
+        let owner = (comm.rank() + p - i) % p;
+        blocks[owner] = Some(block);
+    }
+    for b in blocks {
+        result.extend_from_slice(&b.expect("ring delivered all blocks"));
+    }
+    Ok(result)
+}
+
+/// Ring primitive: starting from `blocks = [own]`, after `p-1` steps each
+/// rank holds `p` blocks where `blocks[i]` originated at `(rank - i) % p`.
+fn ring_exchange<T: Plain>(comm: &Comm, blocks: &mut Vec<Vec<T>>) -> Result<()> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    let tag = comm.next_internal_tag();
+    for step in 0..p - 1 {
+        // Forward the block received in the previous step (own block first).
+        let outgoing = &blocks[step];
+        send_internal(comm, right, tag, bytes::Bytes::copy_from_slice(as_bytes(outgoing)))?;
+        let bytes = recv_internal(comm, left, tag)?;
+        blocks.push(crate::plain::bytes_to_vec(&bytes));
+    }
+    Ok(())
+}
+
+impl Comm {
+    /// Gathers equal-sized contributions from all ranks to all ranks,
+    /// rank-ordered (mirrors `MPI_Allgather`). `recv` must hold
+    /// `p * send.len()` elements. Ring algorithm: `p-1` messages per rank.
+    pub fn allgather_into<T: Plain>(&self, send: &[T], recv: &mut [T]) -> Result<()> {
+        self.count_op("allgather");
+        let p = self.size();
+        let n = send.len();
+        if recv.len() < p * n {
+            return Err(MpiError::InvalidLayout(format!(
+                "allgather: receive buffer holds {} elements, need {}",
+                recv.len(),
+                p * n
+            )));
+        }
+        let all = allgather_internal(self, send)?;
+        recv[..p * n].copy_from_slice(&all);
+        Ok(())
+    }
+
+    /// Gathers equal-sized contributions into a fresh vector.
+    pub fn allgather_vec<T: Plain>(&self, send: &[T]) -> Result<Vec<T>> {
+        self.count_op("allgather");
+        allgather_internal(self, send)
+    }
+
+    /// In-place allgather mirroring the `MPI_IN_PLACE` idiom of Fig. 2:
+    /// `buf` holds `p` blocks of `buf.len() / p` elements; each rank's own
+    /// block is read from position `rank` and every block is filled on
+    /// return.
+    pub fn allgather_in_place<T: Plain>(&self, buf: &mut [T]) -> Result<()> {
+        self.count_op("allgather");
+        let p = self.size();
+        if !buf.len().is_multiple_of(p) {
+            return Err(MpiError::InvalidLayout(format!(
+                "allgather in place: buffer length {} not divisible by {p}",
+                buf.len()
+            )));
+        }
+        let n = buf.len() / p;
+        let own = buf[self.rank() * n..(self.rank() + 1) * n].to_vec();
+        let all = allgather_internal(self, &own)?;
+        buf.copy_from_slice(&all);
+        Ok(())
+    }
+
+    /// Gathers variable-sized contributions from all ranks to all ranks
+    /// (mirrors `MPI_Allgatherv`). All ranks must pass identical
+    /// `counts`/`displs`.
+    pub fn allgatherv_into<T: Plain>(
+        &self,
+        send: &[T],
+        recv: &mut [T],
+        counts: &[usize],
+        displs: &[usize],
+    ) -> Result<()> {
+        self.count_op("allgatherv");
+        allgatherv_internal(self, send, recv, counts, displs)
+    }
+}
+
+/// Ring allgatherv writing each rank's block at its displacement.
+pub(crate) fn allgatherv_internal<T: Plain>(
+    comm: &Comm,
+    send: &[T],
+    recv: &mut [T],
+    counts: &[usize],
+    displs: &[usize],
+) -> Result<()> {
+    let p = comm.size();
+    let rank = comm.rank();
+    check_layout("allgatherv", counts, displs, recv.len(), p)?;
+    if send.len() != counts[rank] {
+        return Err(MpiError::InvalidLayout(format!(
+            "allgatherv: rank {rank} sends {} elements but counts[{rank}] = {}",
+            send.len(),
+            counts[rank]
+        )));
+    }
+    recv[displs[rank]..displs[rank] + counts[rank]].copy_from_slice(send);
+    if p == 1 {
+        return Ok(());
+    }
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    let tag = comm.next_internal_tag();
+    // At step s we forward the block that originated at (rank - s) % p.
+    for step in 0..p - 1 {
+        let origin = (rank + p - step) % p;
+        let block = &recv[displs[origin]..displs[origin] + counts[origin]];
+        send_internal(comm, right, tag, bytes::Bytes::copy_from_slice(as_bytes(block)))?;
+        let incoming_origin = (left + p - step) % p;
+        let bytes = recv_internal(comm, left, tag)?;
+        let dst = &mut recv[displs[incoming_origin]..displs[incoming_origin] + counts[incoming_origin]];
+        let written = copy_bytes_into(&bytes, dst);
+        if written != counts[incoming_origin] {
+            return Err(MpiError::Truncated {
+                message_bytes: bytes.len(),
+                buffer_bytes: std::mem::size_of_val(dst),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        Universe::run(5, |comm| {
+            let mine = [comm.rank() as u64 * 10, comm.rank() as u64 * 10 + 1];
+            let all = comm.allgather_vec(&mine).unwrap();
+            let expected: Vec<u64> = (0..5).flat_map(|r| [r * 10, r * 10 + 1]).collect();
+            assert_eq!(all, expected);
+        });
+    }
+
+    #[test]
+    fn allgather_into_buffer() {
+        Universe::run(3, |comm| {
+            let mine = [comm.rank() as u8];
+            let mut all = [0u8; 3];
+            comm.allgather_into(&mine, &mut all).unwrap();
+            assert_eq!(all, [0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn allgather_in_place_fig2_idiom() {
+        Universe::run(4, |comm| {
+            let mut counts = vec![0usize; 4];
+            counts[comm.rank()] = comm.rank() + 100;
+            comm.allgather_in_place(&mut counts).unwrap();
+            assert_eq!(counts, vec![100, 101, 102, 103]);
+        });
+    }
+
+    #[test]
+    fn allgather_single_rank() {
+        Universe::run(1, |comm| {
+            let all = comm.allgather_vec(&[42u32]).unwrap();
+            assert_eq!(all, vec![42]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_variable_blocks() {
+        Universe::run(4, |comm| {
+            let mine: Vec<u32> = vec![comm.rank() as u32; comm.rank() + 1];
+            let counts = [1usize, 2, 3, 4];
+            let displs = [0usize, 1, 3, 6];
+            let mut recv = vec![u32::MAX; 10];
+            comm.allgatherv_into(&mine, &mut recv, &counts, &displs).unwrap();
+            assert_eq!(recv, vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_with_gaps() {
+        // Displacements may leave gaps; untouched entries must survive.
+        Universe::run(2, |comm| {
+            let mine = vec![comm.rank() as u16 + 1];
+            let counts = [1usize, 1];
+            let displs = [0usize, 2];
+            let mut recv = vec![99u16; 3];
+            comm.allgatherv_into(&mine, &mut recv, &counts, &displs).unwrap();
+            assert_eq!(recv, vec![1, 99, 2]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_wrong_count_errors() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                // counts say rank 0 sends 2 but it sends 1.
+                let counts = [2usize, 1];
+                let displs = [0usize, 2];
+                let mut recv = vec![0u8; 3];
+                assert!(comm.allgatherv_into(&[1u8], &mut recv, &counts, &displs).is_err());
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_empty_contribution() {
+        Universe::run(3, |comm| {
+            let all = comm.allgather_vec::<u64>(&[]).unwrap();
+            assert!(all.is_empty());
+        });
+    }
+}

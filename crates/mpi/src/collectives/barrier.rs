@@ -1,0 +1,85 @@
+//! Dissemination barrier.
+
+use super::{recv_internal, send_internal};
+use crate::comm::Comm;
+use crate::error::Result;
+
+pub(crate) fn barrier_internal(comm: &Comm) -> Result<()> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let rank = comm.rank();
+    let tag = comm.next_internal_tag();
+    let mut step = 1usize;
+    while step < p {
+        let to = (rank + step) % p;
+        let from = (rank + p - step) % p;
+        send_internal(comm, to, tag, bytes::Bytes::new())?;
+        recv_internal(comm, from, tag)?;
+        step <<= 1;
+    }
+    Ok(())
+}
+
+impl Comm {
+    /// Blocks until all ranks of the communicator have entered the barrier
+    /// (mirrors `MPI_Barrier`). Dissemination algorithm:
+    /// `ceil(log2 p)` rounds, one message sent and received per round.
+    pub fn barrier(&self) -> Result<()> {
+        self.count_op("barrier");
+        barrier_internal(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Universe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn barrier_synchronizes() {
+        // No rank may pass the barrier until all have arrived.
+        let before = AtomicUsize::new(0);
+        Universe::run(8, |comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            assert_eq!(before.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn barrier_single_rank() {
+        Universe::run(1, |comm| comm.barrier().unwrap());
+    }
+
+    #[test]
+    fn repeated_barriers() {
+        Universe::run(5, |comm| {
+            for _ in 0..20 {
+                comm.barrier().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_counts_one_op() {
+        Universe::run(3, |comm| {
+            let before = comm.call_counts();
+            comm.barrier().unwrap();
+            let delta = comm.call_counts().since(&before);
+            assert_eq!(delta.get("barrier"), 1);
+            assert_eq!(delta.total(), 1);
+        });
+    }
+
+    #[test]
+    fn barrier_non_power_of_two() {
+        let before = AtomicUsize::new(0);
+        Universe::run(7, |comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            assert_eq!(before.load(Ordering::SeqCst), 7);
+        });
+    }
+}

@@ -1,0 +1,188 @@
+//! Binomial-tree broadcast.
+
+use bytes::Bytes;
+
+use super::{recv_internal, send_internal};
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::plain::{as_bytes, copy_bytes_into};
+use crate::{Plain, Rank};
+
+/// Broadcasts `payload` (significant at root) down a binomial tree over
+/// virtual ranks `vrank = (rank - root) mod p`; returns the payload on
+/// every rank.
+pub(crate) fn bcast_bytes_internal(
+    comm: &Comm,
+    payload: Option<Bytes>,
+    root: Rank,
+) -> Result<Bytes> {
+    let p = comm.size();
+    let rank = comm.rank();
+    if root >= p {
+        return Err(MpiError::InvalidRank { rank: root, comm_size: p });
+    }
+    let tag = comm.next_internal_tag();
+    let vrank = (rank + p - root) % p;
+
+    let mut data = if rank == root {
+        Some(payload.expect("root must supply a payload"))
+    } else {
+        None
+    };
+
+    // Receive from the parent: the parent of vrank v is v with its lowest
+    // set bit cleared.
+    if vrank != 0 {
+        let parent_v = vrank & (vrank - 1);
+        let parent = (parent_v + root) % p;
+        data = Some(recv_internal(comm, parent, tag)?);
+    }
+    let data = data.expect("payload present after receive");
+
+    // Forward to children: vrank v has children v | (1 << k) for each k
+    // above v's lowest set bit (all k for the root).
+    let low = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+    for k in 0..low.min(usize::BITS - 1) {
+        let child_v = vrank | (1usize << k);
+        if child_v == vrank || child_v >= p {
+            break;
+        }
+        let child = (child_v + root) % p;
+        send_internal(comm, child, tag, data.clone())?;
+    }
+    Ok(data)
+}
+
+/// Broadcasts a single plain value (used internally for context ids).
+pub(crate) fn bcast_one_internal<T: Plain>(comm: &Comm, value: T, root: Rank) -> Result<T> {
+    let payload =
+        (comm.rank() == root).then(|| Bytes::copy_from_slice(as_bytes(std::slice::from_ref(&value))));
+    let bytes = bcast_bytes_internal(comm, payload, root)?;
+    let v: Vec<T> = crate::plain::bytes_to_vec(&bytes);
+    Ok(v[0])
+}
+
+impl Comm {
+    /// Broadcasts the root's buffer contents into every rank's buffer
+    /// (mirrors `MPI_Bcast`). All ranks must pass buffers of equal length.
+    pub fn bcast_into<T: Plain>(&self, buf: &mut [T], root: Rank) -> Result<()> {
+        self.count_op("bcast");
+        let payload = (self.rank() == root).then(|| Bytes::copy_from_slice(as_bytes(buf)));
+        let data = bcast_bytes_internal(self, payload, root)?;
+        if self.rank() != root {
+            let expected = std::mem::size_of_val(buf);
+            if data.len() != expected {
+                return Err(MpiError::Truncated {
+                    message_bytes: data.len(),
+                    buffer_bytes: expected,
+                });
+            }
+            copy_bytes_into(&data, buf);
+        }
+        Ok(())
+    }
+
+    /// Broadcasts a vector from the root; non-root ranks receive a fresh
+    /// vector of whatever length the root sent (a convenience the C API
+    /// lacks: the length travels with the message).
+    pub fn bcast_vec<T: Plain>(&self, data: Option<&[T]>, root: Rank) -> Result<Vec<T>> {
+        self.count_op("bcast");
+        let payload = if self.rank() == root {
+            Some(Bytes::copy_from_slice(as_bytes(data.expect("root must supply data"))))
+        } else {
+            None
+        };
+        let bytes = bcast_bytes_internal(self, payload, root)?;
+        Ok(crate::plain::bytes_to_vec(&bytes))
+    }
+
+    /// Broadcasts one plain value from the root.
+    pub fn bcast_one<T: Plain>(&self, value: T, root: Rank) -> Result<T> {
+        self.count_op("bcast");
+        bcast_one_internal(self, value, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+
+    #[test]
+    fn bcast_from_rank_zero() {
+        Universe::run(8, |comm| {
+            let mut buf = if comm.rank() == 0 { [1u64, 2, 3] } else { [0; 3] };
+            comm.bcast_into(&mut buf, 0).unwrap();
+            assert_eq!(buf, [1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        for root in 0..5 {
+            Universe::run(5, move |comm| {
+                let mut buf = if comm.rank() == root { [root as u32 + 100] } else { [0] };
+                comm.bcast_into(&mut buf, root).unwrap();
+                assert_eq!(buf, [root as u32 + 100]);
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_vec_carries_length() {
+        Universe::run(4, |comm| {
+            let data = vec![9u16; 17];
+            let got =
+                comm.bcast_vec(if comm.rank() == 2 { Some(&data[..]) } else { None }, 2).unwrap();
+            assert_eq!(got, data);
+        });
+    }
+
+    #[test]
+    fn bcast_one_value() {
+        Universe::run(6, |comm| {
+            let v = comm.bcast_one(if comm.rank() == 3 { 0xABCDu32 } else { 0 }, 3).unwrap();
+            assert_eq!(v, 0xABCD);
+        });
+    }
+
+    #[test]
+    fn bcast_empty_buffer() {
+        Universe::run(3, |comm| {
+            let mut buf: [u8; 0] = [];
+            comm.bcast_into(&mut buf, 0).unwrap();
+        });
+    }
+
+    #[test]
+    fn bcast_invalid_root() {
+        Universe::run(2, |comm| {
+            let mut buf = [0u8; 1];
+            assert!(comm.bcast_into(&mut buf, 5).is_err());
+        });
+    }
+
+    #[test]
+    fn bcast_length_mismatch_is_truncation() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut buf = [1u32, 2];
+                comm.bcast_into(&mut buf, 0).unwrap();
+            } else {
+                let mut buf = [0u32; 1];
+                let err = comm.bcast_into(&mut buf, 0).unwrap_err();
+                assert!(matches!(err, crate::MpiError::Truncated { .. }));
+            }
+        });
+    }
+
+    #[test]
+    fn large_broadcast() {
+        Universe::run(7, |comm| {
+            let data: Vec<u64> = (0..10_000).collect();
+            let got =
+                comm.bcast_vec(if comm.rank() == 0 { Some(&data[..]) } else { None }, 0).unwrap();
+            assert_eq!(got.len(), 10_000);
+            assert_eq!(got[9_999], 9_999);
+        });
+    }
+}

@@ -1,0 +1,217 @@
+//! Gather and gatherv (flat tree).
+
+use super::{check_layout, send_slice_internal};
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::plain::copy_bytes_into;
+use crate::{Plain, Rank};
+
+impl Comm {
+    /// Gathers equal-sized contributions to the root, rank-ordered
+    /// (mirrors `MPI_Gather`). `recv` is significant only at the root and
+    /// must hold `p * send.len()` elements there.
+    pub fn gather_into<T: Plain>(&self, send: &[T], recv: &mut [T], root: Rank) -> Result<()> {
+        self.count_op("gather");
+        let p = self.size();
+        self.check_rank(root)?;
+        let tag = self.next_internal_tag();
+        if self.rank() == root {
+            let n = send.len();
+            if recv.len() < p * n {
+                return Err(MpiError::InvalidLayout(format!(
+                    "gather: receive buffer holds {} elements, need {}",
+                    recv.len(),
+                    p * n
+                )));
+            }
+            recv[root * n..(root + 1) * n].copy_from_slice(send);
+            for _ in 0..p - 1 {
+                // Accept in arrival order; the tag identifies the call and
+                // the source determines the block.
+                let env = self.recv_envelope(
+                    crate::message::Src::Any,
+                    crate::message::TagSel::Is(tag),
+                )?;
+                let src = env.src;
+                let block = &mut recv[src * n..(src + 1) * n];
+                let written = copy_bytes_into(&env.payload, block);
+                if written != n {
+                    return Err(MpiError::Truncated {
+                        message_bytes: env.payload.len(),
+                        buffer_bytes: std::mem::size_of_val(send),
+                    });
+                }
+            }
+            Ok(())
+        } else {
+            send_slice_internal(self, root, tag, send)
+        }
+    }
+
+    /// Gathers variable-sized contributions to the root
+    /// (mirrors `MPI_Gatherv`). `counts`/`displs` are significant at the
+    /// root only.
+    pub fn gatherv_into<T: Plain>(
+        &self,
+        send: &[T],
+        recv: &mut [T],
+        counts: &[usize],
+        displs: &[usize],
+        root: Rank,
+    ) -> Result<()> {
+        self.count_op("gatherv");
+        let p = self.size();
+        self.check_rank(root)?;
+        let tag = self.next_internal_tag();
+        if self.rank() == root {
+            check_layout("gatherv", counts, displs, recv.len(), p)?;
+            if send.len() != counts[root] {
+                return Err(MpiError::InvalidLayout(format!(
+                    "gatherv: root sends {} elements but counts[{root}] = {}",
+                    send.len(),
+                    counts[root]
+                )));
+            }
+            recv[displs[root]..displs[root] + counts[root]].copy_from_slice(send);
+            for _ in 0..p - 1 {
+                let env = self.recv_envelope(
+                    crate::message::Src::Any,
+                    crate::message::TagSel::Is(tag),
+                )?;
+                let src = env.src;
+                let block = &mut recv[displs[src]..displs[src] + counts[src]];
+                let written = copy_bytes_into(&env.payload, block);
+                if written != counts[src] {
+                    return Err(MpiError::Truncated {
+                        message_bytes: env.payload.len(),
+                        buffer_bytes: counts[src] * std::mem::size_of::<T>(),
+                    });
+                }
+            }
+            Ok(())
+        } else {
+            send_slice_internal(self, root, tag, send)
+        }
+    }
+
+    /// Gathers variable-sized contributions to the root, where only the
+    /// root learns the counts (they travel with the messages). Returns
+    /// `Some((data, counts))` at the root, `None` elsewhere.
+    pub fn gatherv_vec<T: Plain>(
+        &self,
+        send: &[T],
+        root: Rank,
+    ) -> Result<Option<(Vec<T>, Vec<usize>)>> {
+        self.count_op("gatherv");
+        let p = self.size();
+        self.check_rank(root)?;
+        let tag = self.next_internal_tag();
+        if self.rank() == root {
+            let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+            blocks[root] = Some(send.to_vec());
+            for _ in 0..p - 1 {
+                let env = self.recv_envelope(
+                    crate::message::Src::Any,
+                    crate::message::TagSel::Is(tag),
+                )?;
+                blocks[env.src] = Some(crate::plain::bytes_to_vec(&env.payload));
+            }
+            let counts: Vec<usize> =
+                blocks.iter().map(|b| b.as_ref().expect("all blocks arrived").len()).collect();
+            let mut data = Vec::with_capacity(counts.iter().sum());
+            for b in blocks {
+                data.extend_from_slice(&b.expect("block present"));
+            }
+            Ok(Some((data, counts)))
+        } else {
+            send_slice_internal(self, root, tag, send)?;
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Universe;
+
+    #[test]
+    fn gather_rank_ordered() {
+        Universe::run(4, |comm| {
+            let mine = [comm.rank() as u32; 2];
+            let mut all = vec![0u32; 8];
+            comm.gather_into(&mine, &mut all, 0).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(all, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn gather_to_nonzero_root() {
+        Universe::run(3, |comm| {
+            let mine = [comm.rank() as u8];
+            let mut all = vec![0u8; 3];
+            comm.gather_into(&mine, &mut all, 2).unwrap();
+            if comm.rank() == 2 {
+                assert_eq!(all, vec![0, 1, 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn gather_undersized_recv_errors() {
+        Universe::run(2, |comm| {
+            let mine = [1u32, 2];
+            if comm.rank() == 0 {
+                let mut small = vec![0u32; 3];
+                assert!(comm.gather_into(&mine, &mut small, 0).is_err());
+                // The peer's message stays queued; undelivered envelopes
+                // are dropped with the universe.
+            } else {
+                let mut unused = vec![];
+                comm.gather_into(&mine, &mut unused, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn gatherv_variable_counts() {
+        Universe::run(3, |comm| {
+            let mine: Vec<u64> = (0..comm.rank() as u64 + 1).collect();
+            let counts = [1, 2, 3];
+            let displs = [0, 1, 3];
+            let mut all = vec![0u64; 6];
+            comm.gatherv_into(&mine, &mut all, &counts, &displs, 0).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(all, vec![0, 0, 1, 0, 1, 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn gatherv_vec_discovers_counts() {
+        Universe::run(4, |comm| {
+            let mine: Vec<u16> = vec![comm.rank() as u16; comm.rank()];
+            let out = comm.gatherv_vec(&mine, 1).unwrap();
+            if comm.rank() == 1 {
+                let (data, counts) = out.unwrap();
+                assert_eq!(counts, vec![0, 1, 2, 3]);
+                assert_eq!(data, vec![1, 2, 2, 3, 3, 3]);
+            } else {
+                assert!(out.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn gatherv_empty_contributions() {
+        Universe::run(3, |comm| {
+            let out = comm.gatherv_vec::<u8>(&[], 0).unwrap();
+            if comm.rank() == 0 {
+                let (data, counts) = out.unwrap();
+                assert!(data.is_empty());
+                assert_eq!(counts, vec![0, 0, 0]);
+            }
+        });
+    }
+}

@@ -1,0 +1,308 @@
+//! Reduce and allreduce.
+//!
+//! Commutative operations use the latency-optimal tree algorithms
+//! (binomial reduce, recursive doubling with the non-power-of-two fixup).
+//! Non-commutative operations fall back to gather + ordered local fold
+//! (+ broadcast), which preserves strict rank order for any `p`.
+
+use super::{recv_vec_internal, send_slice_internal};
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::op::ReduceOp;
+use crate::{Plain, Rank};
+
+/// Elementwise combine; `low` must come from the lower-ranked block.
+fn combine<T: Plain, O: ReduceOp<T>>(low: &mut [T], high: &[T], op: &O) {
+    debug_assert_eq!(low.len(), high.len());
+    for (a, b) in low.iter_mut().zip(high) {
+        *a = op.apply(a, b);
+    }
+}
+
+pub(crate) fn allreduce_internal<T: Plain, O: ReduceOp<T>>(
+    comm: &Comm,
+    send: &[T],
+    op: &O,
+) -> Result<Vec<T>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut acc = send.to_vec();
+    if p == 1 {
+        return Ok(acc);
+    }
+    if !op.is_commutative() {
+        // Gather + ordered fold + broadcast keeps strict rank order.
+        let gathered = comm.gatherv_vec_uncounted(&acc, 0)?;
+        let result = if rank == 0 {
+            let (data, counts) = gathered.expect("root gathered");
+            Some(fold_blocks(&data, &counts, op))
+        } else {
+            None
+        };
+        let payload = result.map(|r| bytes::Bytes::copy_from_slice(crate::plain::as_bytes(&r)));
+        let bytes = super::bcast_bytes_internal(comm, payload, 0)?;
+        return Ok(crate::plain::bytes_to_vec(&bytes));
+    }
+
+    let tag = comm.next_internal_tag();
+    let p2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
+    let extra = p - p2;
+
+    // Fold the `extra` highest ranks into the low half.
+    if rank >= p2 {
+        send_slice_internal(comm, rank - p2, tag, &acc)?;
+    } else if rank + p2 < p {
+        let theirs: Vec<T> = recv_vec_internal(comm, rank + p2, tag)?;
+        combine(&mut acc, &theirs, op);
+    }
+
+    // Recursive doubling among ranks < p2.
+    if rank < p2 {
+        let mut mask = 1usize;
+        while mask < p2 {
+            let partner = rank ^ mask;
+            send_slice_internal(comm, partner, tag, &acc)?;
+            let theirs: Vec<T> = recv_vec_internal(comm, partner, tag)?;
+            combine(&mut acc, &theirs, op);
+            mask <<= 1;
+        }
+    }
+
+    // Return results to the folded-in ranks.
+    if rank < extra {
+        send_slice_internal(comm, rank + p2, tag, &acc)?;
+    } else if rank >= p2 {
+        acc = recv_vec_internal(comm, rank - p2, tag)?;
+    }
+    Ok(acc)
+}
+
+fn fold_blocks<T: Plain, O: ReduceOp<T>>(data: &[T], counts: &[usize], op: &O) -> Vec<T> {
+    let n = counts[0];
+    debug_assert!(counts.iter().all(|&c| c == n), "reduce blocks must be equal-sized");
+    let mut acc = data[..n].to_vec();
+    for r in 1..counts.len() {
+        combine(&mut acc, &data[r * n..(r + 1) * n], op);
+    }
+    acc
+}
+
+impl Comm {
+    /// Variant of gatherv_vec that does not bump the call counters (used
+    /// inside other collectives).
+    pub(crate) fn gatherv_vec_uncounted<T: Plain>(
+        &self,
+        send: &[T],
+        root: Rank,
+    ) -> Result<Option<(Vec<T>, Vec<usize>)>> {
+        let p = self.size();
+        let tag = self.next_internal_tag();
+        if self.rank() == root {
+            let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+            blocks[root] = Some(send.to_vec());
+            for _ in 0..p - 1 {
+                let env = self
+                    .recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
+                blocks[env.src] = Some(crate::plain::bytes_to_vec(&env.payload));
+            }
+            let counts: Vec<usize> =
+                blocks.iter().map(|b| b.as_ref().expect("all blocks arrived").len()).collect();
+            let mut data = Vec::with_capacity(counts.iter().sum());
+            for b in blocks {
+                data.extend_from_slice(&b.expect("block present"));
+            }
+            Ok(Some((data, counts)))
+        } else {
+            send_slice_internal(self, root, tag, send)?;
+            Ok(None)
+        }
+    }
+
+    /// Elementwise reduction to the root (mirrors `MPI_Reduce`). `recv` is
+    /// significant at the root only and must match `send` in length there.
+    pub fn reduce_into<T: Plain, O: ReduceOp<T>>(
+        &self,
+        send: &[T],
+        recv: &mut [T],
+        op: O,
+        root: Rank,
+    ) -> Result<()> {
+        self.count_op("reduce");
+        let p = self.size();
+        self.check_rank(root)?;
+        let rank = self.rank();
+
+        if !op.is_commutative() {
+            let gathered = self.gatherv_vec_uncounted(send, root)?;
+            if rank == root {
+                let (data, counts) = gathered.expect("root gathered");
+                let folded = fold_blocks(&data, &counts, &op);
+                if recv.len() != folded.len() {
+                    return Err(MpiError::InvalidLayout(format!(
+                        "reduce: receive buffer holds {} elements, need {}",
+                        recv.len(),
+                        folded.len()
+                    )));
+                }
+                recv.copy_from_slice(&folded);
+            }
+            return Ok(());
+        }
+
+        // Binomial tree over virtual ranks.
+        let tag = self.next_internal_tag();
+        let vrank = (rank + p - root) % p;
+        let mut acc = send.to_vec();
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let parent_v = vrank & !mask;
+                let parent = (parent_v + root) % p;
+                send_slice_internal(self, parent, tag, &acc)?;
+                break;
+            }
+            let child_v = vrank | mask;
+            if child_v < p {
+                let child = (child_v + root) % p;
+                let theirs: Vec<T> = recv_vec_internal(self, child, tag)?;
+                combine(&mut acc, &theirs, &op);
+            }
+            mask <<= 1;
+        }
+        if rank == root {
+            if recv.len() != acc.len() {
+                return Err(MpiError::InvalidLayout(format!(
+                    "reduce: receive buffer holds {} elements, need {}",
+                    recv.len(),
+                    acc.len()
+                )));
+            }
+            recv.copy_from_slice(&acc);
+        }
+        Ok(())
+    }
+
+    /// Elementwise reduction to all ranks (mirrors `MPI_Allreduce`).
+    pub fn allreduce_into<T: Plain, O: ReduceOp<T>>(
+        &self,
+        send: &[T],
+        recv: &mut [T],
+        op: O,
+    ) -> Result<()> {
+        self.count_op("allreduce");
+        if send.len() != recv.len() {
+            return Err(MpiError::InvalidLayout(format!(
+                "allreduce: send has {} elements, recv has {}",
+                send.len(),
+                recv.len()
+            )));
+        }
+        let out = allreduce_internal(self, send, &op)?;
+        recv.copy_from_slice(&out);
+        Ok(())
+    }
+
+    /// Reduces a single value to all ranks.
+    pub fn allreduce_one<T: Plain, O: ReduceOp<T>>(&self, value: T, op: O) -> Result<T> {
+        self.count_op("allreduce");
+        let out = allreduce_internal(self, std::slice::from_ref(&value), &op)?;
+        Ok(out[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::op::{Max, Min, Sum};
+    use crate::{non_commutative, Universe};
+
+    #[test]
+    fn allreduce_sum() {
+        for p in [1, 2, 3, 4, 5, 7, 8] {
+            Universe::run(p, move |comm| {
+                let total = comm.allreduce_one(comm.rank() as u64 + 1, Sum).unwrap();
+                let expected = (p * (p + 1) / 2) as u64;
+                assert_eq!(total, expected, "p = {p}");
+            });
+        }
+    }
+
+    #[test]
+    fn allreduce_elementwise_min_max() {
+        Universe::run(4, |comm| {
+            let r = comm.rank() as i64;
+            let mine = [r, -r];
+            let mut lo = [0i64; 2];
+            let mut hi = [0i64; 2];
+            comm.allreduce_into(&mine, &mut lo, Min).unwrap();
+            comm.allreduce_into(&mine, &mut hi, Max).unwrap();
+            assert_eq!(lo, [0, -3]);
+            assert_eq!(hi, [3, 0]);
+        });
+    }
+
+    #[test]
+    fn allreduce_closure_op() {
+        Universe::run(3, |comm| {
+            let prod = comm.allreduce_one(comm.rank() as u64 + 2, |a: &u64, b: &u64| a * b).unwrap();
+            assert_eq!(prod, 2 * 3 * 4);
+        });
+    }
+
+    #[test]
+    fn allreduce_non_commutative_preserves_order() {
+        // String-like concatenation encoded as digit mixing:
+        // f(a, b) = a * 10 + b is associative-ish over this domain for a
+        // left fold; rank order 0..p must be preserved exactly.
+        for p in [2, 3, 5] {
+            Universe::run(p, move |comm| {
+                let op = non_commutative(|a: &u64, b: &u64| a * 10 + b);
+                let out = comm.allreduce_one(comm.rank() as u64 + 1, op).unwrap();
+                let expected = (1..=p as u64).fold(0, |acc, d| if acc == 0 { d } else { acc * 10 + d });
+                assert_eq!(out, expected, "p = {p}");
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_to_each_root() {
+        for root in 0..4 {
+            Universe::run(4, move |comm| {
+                let mine = [comm.rank() as u32, 1];
+                let mut out = [0u32; 2];
+                comm.reduce_into(&mine, &mut out, Sum, root).unwrap();
+                if comm.rank() == root {
+                    assert_eq!(out, [1 + 2 + 3, 4]);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_non_commutative() {
+        Universe::run(4, |comm| {
+            let op = non_commutative(|a: &u64, b: &u64| a * 10 + b);
+            let mine = [comm.rank() as u64];
+            let mut out = [0u64];
+            comm.reduce_into(&mine, &mut out, op, 1).unwrap();
+            if comm.rank() == 1 {
+                assert_eq!(out[0], 123); // 0,1,2,3 folded left-to-right
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_length_mismatch_errors() {
+        Universe::run(1, |comm| {
+            let mut out = [0u8; 2];
+            assert!(comm.allreduce_into(&[1u8], &mut out, Sum).is_err());
+        });
+    }
+
+    #[test]
+    fn allreduce_float_sum() {
+        Universe::run(6, |comm| {
+            let s = comm.allreduce_one(0.5f64, Sum).unwrap();
+            assert!((s - 3.0).abs() < 1e-12);
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Inclusive and exclusive prefix reductions (linear chain).
+
+use super::{recv_vec_internal, send_slice_internal};
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::op::ReduceOp;
+use crate::Plain;
+
+impl Comm {
+    /// Inclusive prefix reduction (mirrors `MPI_Scan`): rank `r` receives
+    /// the elementwise reduction over ranks `0..=r`. Rank order is always
+    /// preserved, so non-commutative operations are safe.
+    pub fn scan_into<T: Plain, O: ReduceOp<T>>(
+        &self,
+        send: &[T],
+        recv: &mut [T],
+        op: O,
+    ) -> Result<()> {
+        self.count_op("scan");
+        if send.len() != recv.len() {
+            return Err(MpiError::InvalidLayout(format!(
+                "scan: send has {} elements, recv has {}",
+                send.len(),
+                recv.len()
+            )));
+        }
+        let rank = self.rank();
+        let p = self.size();
+        let tag = self.next_internal_tag();
+        let mut acc = send.to_vec();
+        if rank > 0 {
+            let prefix: Vec<T> = recv_vec_internal(self, rank - 1, tag)?;
+            for (a, pre) in acc.iter_mut().zip(&prefix) {
+                *a = op.apply(pre, a);
+            }
+        }
+        if rank + 1 < p {
+            send_slice_internal(self, rank + 1, tag, &acc)?;
+        }
+        recv.copy_from_slice(&acc);
+        Ok(())
+    }
+
+    /// Exclusive prefix reduction (mirrors `MPI_Exscan`): rank `r > 0`
+    /// receives the reduction over ranks `0..r`; rank 0 receives `None`
+    /// (its value is undefined in MPI).
+    pub fn exscan_vec<T: Plain, O: ReduceOp<T>>(
+        &self,
+        send: &[T],
+        op: O,
+    ) -> Result<Option<Vec<T>>> {
+        self.count_op("exscan");
+        let rank = self.rank();
+        let p = self.size();
+        let tag = self.next_internal_tag();
+        let prefix: Option<Vec<T>> =
+            if rank > 0 { Some(recv_vec_internal(self, rank - 1, tag)?) } else { None };
+        if rank + 1 < p {
+            // Forward the inclusive prefix over 0..=rank.
+            let mut fwd = send.to_vec();
+            if let Some(pre) = &prefix {
+                for (a, p) in fwd.iter_mut().zip(pre) {
+                    *a = op.apply(p, a);
+                }
+            }
+            send_slice_internal(self, rank + 1, tag, &fwd)?;
+        }
+        Ok(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::op::Sum;
+    use crate::{non_commutative, Universe};
+
+    #[test]
+    fn scan_running_sums() {
+        Universe::run(5, |comm| {
+            let mine = [comm.rank() as u64 + 1];
+            let mut out = [0u64];
+            comm.scan_into(&mine, &mut out, Sum).unwrap();
+            let r = comm.rank() as u64 + 1;
+            assert_eq!(out[0], r * (r + 1) / 2);
+        });
+    }
+
+    #[test]
+    fn scan_preserves_order() {
+        Universe::run(4, |comm| {
+            let op = non_commutative(|a: &u64, b: &u64| a * 10 + b);
+            let mine = [comm.rank() as u64 + 1];
+            let mut out = [0u64];
+            comm.scan_into(&mine, &mut out, op).unwrap();
+            let expected = (1..=comm.rank() as u64 + 1).fold(0, |acc, d| acc * 10 + d);
+            assert_eq!(out[0], expected);
+        });
+    }
+
+    #[test]
+    fn exscan_shifted_prefix() {
+        Universe::run(4, |comm| {
+            let mine = [comm.rank() as u32 + 1];
+            let pre = comm.exscan_vec(&mine, Sum).unwrap();
+            match comm.rank() {
+                0 => assert!(pre.is_none()),
+                r => {
+                    let r = r as u32;
+                    assert_eq!(pre.unwrap(), vec![r * (r + 1) / 2]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn scan_elementwise() {
+        Universe::run(3, |comm| {
+            let mine = [1u32, comm.rank() as u32];
+            let mut out = [0u32; 2];
+            comm.scan_into(&mine, &mut out, Sum).unwrap();
+            assert_eq!(out[0], comm.rank() as u32 + 1);
+            let r = comm.rank() as u32;
+            assert_eq!(out[1], r * (r + 1) / 2);
+        });
+    }
+
+    #[test]
+    fn scan_single_rank() {
+        Universe::run(1, |comm| {
+            let mut out = [0u8];
+            comm.scan_into(&[9u8], &mut out, Sum).unwrap();
+            assert_eq!(out[0], 9);
+            assert!(comm.exscan_vec(&[9u8], Sum).unwrap().is_none());
+        });
+    }
+}

@@ -1,0 +1,420 @@
+//! Communicators.
+//!
+//! A [`Comm`] is a rank's handle to one communication context: it knows
+//! the rank's position in the group, translates communicator ranks to
+//! world ranks, owns the rank's virtual clock (shared between all handles
+//! of the same rank), and provides the internal envelope-level transport
+//! primitives that the point-to-point and collective operations build on.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::clock::Clock;
+use crate::counter::CallCounts;
+use crate::error::{MpiError, Result};
+use crate::message::{AckSlot, Envelope, Src, Status, TagSel};
+use crate::universe::WorldState;
+use crate::{Rank, Tag};
+
+/// A rank's handle to a communicator.
+pub struct Comm {
+    pub(crate) world: Arc<WorldState>,
+    /// Maps communicator rank -> world rank.
+    pub(crate) group: Arc<Vec<Rank>>,
+    /// This rank's position in `group`.
+    pub(crate) rank: Rank,
+    /// Context id separating message streams of different communicators.
+    pub(crate) context: u64,
+    /// Virtual clock, shared by every `Comm` handle of this rank.
+    pub(crate) clock: Rc<RefCell<Clock>>,
+    /// Sequence number for internal (collective) tags.
+    coll_seq: Cell<u64>,
+}
+
+impl Comm {
+    /// Creates the world communicator handle for `rank`. Called by the
+    /// universe when spawning ranks.
+    pub(crate) fn world(world: Arc<WorldState>, rank: Rank) -> Self {
+        let size = world.size();
+        let cost = world.cost;
+        Comm {
+            world,
+            group: Arc::new((0..size).collect()),
+            rank,
+            context: 0,
+            clock: Rc::new(RefCell::new(Clock::new(cost))),
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn derived(&self, group: Arc<Vec<Rank>>, rank: Rank, context: u64) -> Self {
+        Comm {
+            world: Arc::clone(&self.world),
+            group,
+            rank,
+            context,
+            clock: Rc::clone(&self.clock),
+            coll_seq: Cell::new(0),
+        }
+    }
+
+    /// This rank's rank within the communicator.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// True on rank 0 (a common convenience, cf. `comm.is_root()`).
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// This rank's world rank.
+    #[inline]
+    pub fn world_rank(&self) -> Rank {
+        self.group[self.rank]
+    }
+
+    /// Translates a communicator rank to a world rank.
+    pub fn translate_to_world(&self, comm_rank: Rank) -> Result<Rank> {
+        self.group
+            .get(comm_rank)
+            .copied()
+            .ok_or(MpiError::InvalidRank { rank: comm_rank, comm_size: self.group.len() })
+    }
+
+    /// The communicator's context id (unique per universe).
+    #[inline]
+    pub fn context_id(&self) -> u64 {
+        self.context
+    }
+
+    // ----- clock ---------------------------------------------------------
+
+    /// Current virtual time of this rank, in nanoseconds.
+    pub fn clock_now_ns(&self) -> u64 {
+        self.clock.borrow_mut().absorb_cpu();
+        self.clock.borrow().now_ns()
+    }
+
+    /// Manually advances this rank's virtual clock.
+    pub fn clock_add_ns(&self, ns: u64) {
+        self.clock.borrow_mut().add_ns(ns);
+    }
+
+    /// Resets this rank's virtual clock to zero.
+    pub fn clock_reset(&self) {
+        self.clock.borrow_mut().reset();
+    }
+
+    // ----- call counting (PMPI substitute) -------------------------------
+
+    /// Snapshot of this rank's per-operation call counts.
+    pub fn call_counts(&self) -> CallCounts {
+        self.world.counters[self.world_rank()].lock().clone()
+    }
+
+    #[inline]
+    pub(crate) fn count_op(&self, name: &'static str) {
+        self.world.counters[self.world_rank()].lock().inc(name);
+    }
+
+    // ----- internal transport --------------------------------------------
+
+    /// Validates a user-facing destination/source rank.
+    pub(crate) fn check_rank(&self, rank: Rank) -> Result<Rank> {
+        self.translate_to_world(rank)
+    }
+
+    /// Validates a user-supplied tag (must be non-negative).
+    pub(crate) fn check_tag(&self, tag: Tag) -> Result<Tag> {
+        if tag < 0 {
+            return Err(MpiError::InvalidTag { tag });
+        }
+        Ok(tag)
+    }
+
+    /// Allocates an internal tag for one collective call. Internal tags
+    /// are negative and therefore invisible to wildcard receives.
+    pub(crate) fn next_internal_tag(&self) -> Tag {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq.wrapping_add(1));
+        -1 - ((seq % (i32::MAX as u64 - 1)) as i32)
+    }
+
+    /// Core send: stamps the virtual clock, wraps the payload in an
+    /// envelope and pushes it to the destination mailbox. Sending to a
+    /// failed rank succeeds (as a buffered MPI send may).
+    pub(crate) fn deliver_bytes(
+        &self,
+        dest: Rank,
+        tag: Tag,
+        payload: Bytes,
+        ack: Option<Arc<AckSlot>>,
+    ) -> Result<()> {
+        let dest_world = self.translate_to_world(dest)?;
+        if self.world.is_revoked(self.context) {
+            return Err(MpiError::Revoked);
+        }
+        let arrival_ns = {
+            let mut clock = self.clock.borrow_mut();
+            clock.absorb_cpu();
+            clock.on_send(payload.len())
+        };
+        self.world.mailboxes[dest_world].push(Envelope {
+            src: self.rank,
+            src_world: self.world_rank(),
+            context: self.context,
+            tag,
+            payload,
+            arrival_ns,
+            ack,
+        });
+        Ok(())
+    }
+
+    /// Interruption predicate for blocking waits on this communicator:
+    /// revocation always aborts; waiting on a specific failed source (or on
+    /// a wildcard when every peer has failed) reports `ProcessFailed`.
+    pub(crate) fn wait_interrupted(&self, src: Src) -> Option<MpiError> {
+        if self.world.is_revoked(self.context) {
+            return Some(MpiError::Revoked);
+        }
+        match src {
+            Src::Rank(r) => {
+                let w = self.group.get(r).copied()?;
+                self.world.is_failed(w).then_some(MpiError::ProcessFailed { world_rank: w })
+            }
+            Src::Any => {
+                let mut failed_peer = None;
+                for (cr, &w) in self.group.iter().enumerate() {
+                    if cr == self.rank {
+                        continue;
+                    }
+                    if !self.world.is_failed(w) {
+                        return None;
+                    }
+                    failed_peer = Some(w);
+                }
+                failed_peer.map(|w| MpiError::ProcessFailed { world_rank: w })
+            }
+        }
+    }
+
+    /// Core blocking receive at envelope level.
+    pub(crate) fn recv_envelope(&self, src: Src, tag: TagSel) -> Result<Envelope> {
+        self.clock.borrow_mut().absorb_cpu();
+        let mb = &self.world.mailboxes[self.world_rank()];
+        let env = mb.wait_match(self.context, src, tag, || self.wait_interrupted(src))?;
+        self.complete_envelope(&env);
+        Ok(env)
+    }
+
+    /// Core non-blocking receive at envelope level.
+    pub(crate) fn try_recv_envelope(&self, src: Src, tag: TagSel) -> Option<Envelope> {
+        self.clock.borrow_mut().absorb_cpu();
+        let mb = &self.world.mailboxes[self.world_rank()];
+        let env = mb.try_match(self.context, src, tag)?;
+        self.complete_envelope(&env);
+        Some(env)
+    }
+
+    fn complete_envelope(&self, env: &Envelope) {
+        self.clock.borrow_mut().on_recv_complete(env.arrival_ns);
+        if let Some(ack) = &env.ack {
+            ack.complete();
+        }
+    }
+
+    /// Blocking probe at envelope level (does not consume the message).
+    pub(crate) fn peek_envelope(&self, src: Src, tag: TagSel) -> Result<Status> {
+        self.clock.borrow_mut().absorb_cpu();
+        let mb = &self.world.mailboxes[self.world_rank()];
+        mb.wait_peek(self.context, src, tag, || self.wait_interrupted(src))
+    }
+
+    /// Non-blocking probe at envelope level.
+    pub(crate) fn try_peek_envelope(&self, src: Src, tag: TagSel) -> Option<Status> {
+        let mb = &self.world.mailboxes[self.world_rank()];
+        mb.try_peek(self.context, src, tag)
+    }
+
+    // ----- communicator management ---------------------------------------
+
+    /// Duplicates the communicator: same group, fresh context
+    /// (mirrors `MPI_Comm_dup`).
+    pub fn dup(&self) -> Result<Comm> {
+        self.count_op("comm_dup");
+        // Rank 0 allocates the context id and broadcasts it so all members
+        // agree.
+        let base = if self.rank == 0 { self.world.alloc_contexts(1) } else { 0 };
+        let base = crate::collectives::bcast_one_internal(self, base, 0)?;
+        Ok(self.derived(Arc::clone(&self.group), self.rank, base))
+    }
+
+    /// Splits the communicator by `color`; ranks passing the same color
+    /// form a new communicator, ordered by `(key, rank)`. Passing `None`
+    /// as color (mirroring `MPI_UNDEFINED`) yields no communicator.
+    pub fn split(&self, color: Option<u64>, key: i64) -> Result<Option<Comm>> {
+        self.count_op("comm_split");
+        const UNDEF: u64 = u64::MAX;
+        let mine = [color.unwrap_or(UNDEF), key as u64];
+        let all = crate::collectives::allgather_internal(self, &mine)?;
+
+        // Distinct defined colors in sorted order; every rank computes the
+        // same list, so the context offsets agree.
+        let mut colors: Vec<u64> =
+            all.chunks_exact(2).map(|c| c[0]).filter(|&c| c != UNDEF).collect();
+        colors.sort_unstable();
+        colors.dedup();
+
+        let base = if self.rank == 0 { self.world.alloc_contexts(colors.len() as u64) } else { 0 };
+        let base = crate::collectives::bcast_one_internal(self, base, 0)?;
+
+        let Some(my_color) = color else { return Ok(None) };
+        let color_index =
+            colors.binary_search(&my_color).expect("own color must be present") as u64;
+
+        // Members of my color, ordered by (key, old rank).
+        let mut members: Vec<(i64, Rank)> = all
+            .chunks_exact(2)
+            .enumerate()
+            .filter(|(_, c)| c[0] == my_color)
+            .map(|(r, c)| (c[1] as i64, r))
+            .collect();
+        members.sort_unstable();
+
+        let group: Vec<Rank> = members.iter().map(|&(_, r)| self.group[r]).collect();
+        let new_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("calling rank must be in its own color group");
+
+        Ok(Some(self.derived(Arc::new(group), new_rank, base + color_index)))
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size())
+            .field("context", &self.context)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn rank_and_size() {
+        Universe::run(3, |comm| {
+            assert_eq!(comm.size(), 3);
+            assert!(comm.rank() < 3);
+            assert_eq!(comm.world_rank(), comm.rank());
+            assert_eq!(comm.is_root(), comm.rank() == 0);
+        });
+    }
+
+    #[test]
+    fn translate_out_of_range() {
+        Universe::run(2, |comm| {
+            assert!(comm.translate_to_world(1).is_ok());
+            assert!(matches!(
+                comm.translate_to_world(2),
+                Err(MpiError::InvalidRank { rank: 2, comm_size: 2 })
+            ));
+        });
+    }
+
+    #[test]
+    fn internal_tags_are_negative_and_distinct() {
+        Universe::run(1, |comm| {
+            let a = comm.next_internal_tag();
+            let b = comm.next_internal_tag();
+            assert!(a < 0 && b < 0);
+            assert_ne!(a, b);
+        });
+    }
+
+    #[test]
+    fn user_tag_validation() {
+        Universe::run(1, |comm| {
+            assert!(comm.check_tag(0).is_ok());
+            assert!(comm.check_tag(123).is_ok());
+            assert!(matches!(comm.check_tag(-1), Err(MpiError::InvalidTag { tag: -1 })));
+        });
+    }
+
+    #[test]
+    fn dup_creates_distinct_context() {
+        Universe::run(3, |comm| {
+            let dup = comm.dup().unwrap();
+            assert_ne!(dup.context_id(), comm.context_id());
+            assert_eq!(dup.rank(), comm.rank());
+            assert_eq!(dup.size(), comm.size());
+        });
+    }
+
+    #[test]
+    fn split_into_even_and_odd() {
+        Universe::run(5, |comm| {
+            let color = (comm.rank() % 2) as u64;
+            let sub = comm.split(Some(color), comm.rank() as i64).unwrap().unwrap();
+            let expected_size = if color == 0 { 3 } else { 2 };
+            assert_eq!(sub.size(), expected_size);
+            assert_eq!(sub.rank(), comm.rank() / 2);
+            assert_eq!(sub.world_rank(), comm.rank());
+        });
+    }
+
+    #[test]
+    fn split_with_undefined_color() {
+        Universe::run(4, |comm| {
+            let color = if comm.rank() == 0 { None } else { Some(0u64) };
+            let sub = comm.split(color, 0).unwrap();
+            if comm.rank() == 0 {
+                assert!(sub.is_none());
+            } else {
+                let sub = sub.unwrap();
+                assert_eq!(sub.size(), 3);
+                assert_eq!(sub.rank(), comm.rank() - 1);
+            }
+        });
+    }
+
+    #[test]
+    fn split_reverse_key_order() {
+        Universe::run(4, |comm| {
+            // All same color, keys reversed: new ranks are the old reversed.
+            let sub = comm.split(Some(0), -(comm.rank() as i64)).unwrap().unwrap();
+            assert_eq!(sub.rank(), comm.size() - 1 - comm.rank());
+        });
+    }
+
+    #[test]
+    fn nested_split_contexts_are_unique() {
+        Universe::run(4, |comm| {
+            let a = comm.split(Some((comm.rank() % 2) as u64), 0).unwrap().unwrap();
+            let b = comm.dup().unwrap();
+            let ids = [comm.context_id(), a.context_id(), b.context_id()];
+            let mut dedup = ids.to_vec();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "contexts must be pairwise distinct: {ids:?}");
+        });
+    }
+}

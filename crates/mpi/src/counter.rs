@@ -1,0 +1,113 @@
+//! PMPI-style call counting.
+//!
+//! The paper (§III-H) uses MPI's profiling interface to assert that
+//! KaMPIng issues *only* the expected MPI calls when it computes default
+//! parameters. The substrate offers the same observability: every public
+//! operation increments a per-rank counter keyed by operation name, and
+//! the binding tests snapshot/diff these counts.
+
+use std::collections::BTreeMap;
+
+/// Per-rank operation counts, keyed by operation name
+/// (`"send"`, `"allgatherv"`, …).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CallCounts {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl CallCounts {
+    pub fn new() -> Self {
+        CallCounts::default()
+    }
+
+    /// Increments the counter for `op`.
+    pub fn inc(&mut self, op: &'static str) {
+        *self.counts.entry(op).or_insert(0) += 1;
+    }
+
+    /// Count for a single operation.
+    pub fn get(&self, op: &str) -> u64 {
+        self.counts.get(op).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded operations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over `(operation, count)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Difference `self - earlier` per operation (saturating), used to
+    /// isolate the calls issued by a region of code.
+    pub fn since(&self, earlier: &CallCounts) -> CallCounts {
+        let mut out = CallCounts::new();
+        for (op, v) in &self.counts {
+            let delta = v.saturating_sub(earlier.get(op));
+            if delta > 0 {
+                out.counts.insert(op, delta);
+            }
+        }
+        out
+    }
+
+    /// Clears all counters.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
+impl std::fmt::Display for CallCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (op, n) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}: {n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_get_total() {
+        let mut c = CallCounts::new();
+        c.inc("send");
+        c.inc("send");
+        c.inc("allgather");
+        assert_eq!(c.get("send"), 2);
+        assert_eq!(c.get("allgather"), 1);
+        assert_eq!(c.get("bcast"), 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn since_diff() {
+        let mut a = CallCounts::new();
+        a.inc("send");
+        let snapshot = a.clone();
+        a.inc("send");
+        a.inc("recv");
+        let d = a.since(&snapshot);
+        assert_eq!(d.get("send"), 1);
+        assert_eq!(d.get("recv"), 1);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn display_lists_ops() {
+        let mut c = CallCounts::new();
+        c.inc("barrier");
+        let s = c.to_string();
+        assert!(s.contains("barrier"));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,204 @@
+//! Message envelopes, matching selectors, and receive status.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::plain::element_count;
+use crate::{Plain, Rank, Tag};
+
+/// Wildcard source selector (mirrors `MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Src = Src::Any;
+/// Wildcard tag selector (mirrors `MPI_ANY_TAG`).
+pub const ANY_TAG: TagSel = TagSel::Any;
+
+/// Source selector for receives and probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    /// Match messages from any rank.
+    Any,
+    /// Match messages from this communicator rank only.
+    Rank(Rank),
+}
+
+impl From<Rank> for Src {
+    fn from(r: Rank) -> Self {
+        Src::Rank(r)
+    }
+}
+
+/// Tag selector for receives and probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match any tag.
+    Any,
+    /// Match this tag only.
+    Is(Tag),
+}
+
+impl From<Tag> for TagSel {
+    fn from(t: Tag) -> Self {
+        TagSel::Is(t)
+    }
+}
+
+/// Completion slot used by synchronous-mode sends (`issend`): the send
+/// completes only once the receiver has matched the message.
+#[derive(Debug, Default)]
+pub struct AckSlot {
+    state: parking_lot::Mutex<bool>,
+    cond: parking_lot::Condvar,
+}
+
+impl AckSlot {
+    pub fn new() -> Arc<Self> {
+        Arc::new(AckSlot::default())
+    }
+
+    /// Called by the receiver when the message is matched.
+    pub fn complete(&self) {
+        let mut done = self.state.lock();
+        *done = true;
+        self.cond.notify_all();
+    }
+
+    /// Non-blocking completion check.
+    pub fn is_complete(&self) -> bool {
+        *self.state.lock()
+    }
+
+    /// Blocks until the receiver matches the message.
+    pub fn wait(&self) {
+        let mut done = self.state.lock();
+        while !*done {
+            self.cond.wait(&mut done);
+        }
+    }
+}
+
+/// A message in flight: payload plus matching metadata.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sender's rank in the communicator the message was sent on.
+    pub src: Rank,
+    /// Sender's world rank (used for failure attribution).
+    pub src_world: Rank,
+    /// Context id of the communicator.
+    pub context: u64,
+    /// Message tag.
+    pub tag: Tag,
+    /// Raw payload bytes.
+    pub payload: Bytes,
+    /// Virtual-time arrival stamp (see [`crate::clock`]).
+    pub arrival_ns: u64,
+    /// Present for synchronous-mode sends; completed on match.
+    pub ack: Option<Arc<AckSlot>>,
+}
+
+impl Envelope {
+    /// True if this envelope matches the given context/source/tag triple.
+    #[inline]
+    pub fn matches(&self, context: u64, src: Src, tag: TagSel) -> bool {
+        if self.context != context {
+            return false;
+        }
+        let src_ok = match src {
+            Src::Any => true,
+            Src::Rank(r) => self.src == r,
+        };
+        let tag_ok = match tag {
+            // Wildcards only see user messages: internal collective
+            // protocol messages carry negative tags and must never match
+            // an application's wildcard receive.
+            TagSel::Any => self.tag >= 0,
+            TagSel::Is(t) => self.tag == t,
+        };
+        src_ok && tag_ok
+    }
+}
+
+/// The result of a completed receive or probe
+/// (mirrors `MPI_Status`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Status {
+    /// Communicator rank of the sender.
+    pub source: Rank,
+    /// Tag of the matched message.
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+impl Status {
+    /// Number of `T` elements in the message
+    /// (mirrors `MPI_Get_count`).
+    pub fn count<T: Plain>(&self) -> usize {
+        element_count::<T>(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: Rank, context: u64, tag: Tag) -> Envelope {
+        Envelope {
+            src,
+            src_world: src,
+            context,
+            tag,
+            payload: Bytes::new(),
+            arrival_ns: 0,
+            ack: None,
+        }
+    }
+
+    #[test]
+    fn matching_rules() {
+        let e = env(2, 7, 5);
+        assert!(e.matches(7, Src::Any, TagSel::Any));
+        assert!(e.matches(7, Src::Rank(2), TagSel::Is(5)));
+        assert!(!e.matches(8, Src::Any, TagSel::Any)); // wrong context
+        assert!(!e.matches(7, Src::Rank(1), TagSel::Any)); // wrong source
+        assert!(!e.matches(7, Src::Any, TagSel::Is(6))); // wrong tag
+    }
+
+    #[test]
+    fn wildcard_ignores_internal_tags() {
+        let e = env(0, 7, -3);
+        assert!(!e.matches(7, Src::Any, TagSel::Any));
+        assert!(e.matches(7, Src::Any, TagSel::Is(-3)));
+    }
+
+    #[test]
+    fn status_count() {
+        let s = Status { source: 0, tag: 0, bytes: 24 };
+        assert_eq!(s.count::<u64>(), 3);
+        assert_eq!(s.count::<u8>(), 24);
+    }
+
+    #[test]
+    fn ack_slot_completion() {
+        let ack = AckSlot::new();
+        assert!(!ack.is_complete());
+        ack.complete();
+        assert!(ack.is_complete());
+        ack.wait(); // must not block after completion
+    }
+
+    #[test]
+    fn ack_slot_cross_thread() {
+        let ack = AckSlot::new();
+        let a2 = ack.clone();
+        let h = std::thread::spawn(move || a2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        ack.complete();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn selector_conversions() {
+        assert_eq!(Src::from(3), Src::Rank(3));
+        assert_eq!(TagSel::from(9), TagSel::Is(9));
+    }
+}

@@ -1,0 +1,258 @@
+//! Plain-old-data marker trait and byte-view helpers.
+//!
+//! The substrate transfers messages as raw bytes, exactly like an MPI
+//! implementation on a homogeneous system. A type may be transferred this
+//! way when it is *trivially copyable* in the sense of §III-D1 of the
+//! paper: any byte pattern of the right length is a valid value, and the
+//! type contains no padding (so no uninitialized bytes are read).
+//!
+//! [`Plain`] is the substrate-level equivalent of KaMPIng's implicit
+//! "static type" construction for trivially copyable types: primitives,
+//! fixed-size arrays of plain types, and user structs declared through the
+//! [`plain_struct!`](crate::plain_struct) macro (which verifies the
+//! no-padding requirement with a compile-time assertion).
+
+/// Marker for types that can be sent as raw bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee that
+/// - every bit pattern of `size_of::<Self>()` bytes is a valid value, and
+/// - the type has no padding bytes (so reading it as bytes never touches
+///   uninitialized memory).
+pub unsafe trait Plain: Copy + Send + 'static {}
+
+macro_rules! impl_plain_prims {
+    ($($t:ty),* $(,)?) => {
+        $(unsafe impl Plain for $t {})*
+    };
+}
+
+impl_plain_prims!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+unsafe impl<T: Plain, const N: usize> Plain for [T; N] {}
+
+/// Declares a user struct as a plain (trivially copyable) type.
+///
+/// Mirrors KaMPIng's `struct_type<T>` reflection-based type construction
+/// (§III-D1): the macro verifies at compile time that the struct has no
+/// padding (the sum of its field sizes equals its size) and then marks it
+/// [`Plain`], so it is transferred as a contiguous block of bytes — the
+/// paper's recommended default (§III-D4).
+///
+/// ```
+/// use kmp_mpi::plain_struct;
+///
+/// #[derive(Clone, Copy, Debug, PartialEq)]
+/// struct Particle {
+///     id: u64,
+///     x: f64,
+///     y: f64,
+/// }
+/// plain_struct!(Particle { id: u64, x: f64, y: f64 });
+/// ```
+#[macro_export]
+macro_rules! plain_struct {
+    ($name:ident { $($field:ident : $ftype:ty),* $(,)? }) => {
+        const _: () = {
+            // No-padding check: a padded struct would expose uninitialized
+            // bytes when viewed as a byte slice.
+            assert!(
+                ::core::mem::size_of::<$name>() == 0 $(+ ::core::mem::size_of::<$ftype>())*,
+                concat!("plain_struct!(", stringify!($name), "): struct has padding; \
+                         reorder fields or add explicit filler fields")
+            );
+        };
+        unsafe impl $crate::plain::Plain for $name {}
+    };
+}
+
+/// Views a slice of plain values as its underlying bytes.
+#[inline]
+pub fn as_bytes<T: Plain>(s: &[T]) -> &[u8] {
+    // SAFETY: `T: Plain` guarantees no padding, so all bytes are initialized.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+/// Copies a byte buffer into a freshly allocated vector of plain values.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`.
+#[inline]
+pub fn bytes_to_vec<T: Plain>(bytes: &[u8]) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    if size == 0 {
+        return Vec::new();
+    }
+    assert!(
+        bytes.len().is_multiple_of(size),
+        "byte length {} is not a multiple of element size {size}",
+        bytes.len()
+    );
+    let n = bytes.len() / size;
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: the destination has capacity for `n` elements and `T: Plain`
+    // accepts arbitrary byte patterns.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+/// Copies a byte buffer into the prefix of an existing slice of plain
+/// values, returning the number of elements written.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of the element size or if
+/// the destination is too small.
+#[inline]
+pub fn copy_bytes_into<T: Plain>(bytes: &[u8], dst: &mut [T]) -> usize {
+    let size = std::mem::size_of::<T>();
+    if size == 0 {
+        return 0;
+    }
+    assert!(
+        bytes.len().is_multiple_of(size),
+        "byte length {} is not a multiple of element size {size}",
+        bytes.len()
+    );
+    let n = bytes.len() / size;
+    assert!(
+        n <= dst.len(),
+        "receive buffer too small: need {n} elements, have {}",
+        dst.len()
+    );
+    // SAFETY: bounds checked above; `T: Plain` accepts arbitrary bytes.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst.as_mut_ptr().cast::<u8>(), bytes.len());
+    }
+    n
+}
+
+/// The all-zero value of a plain type (valid because `Plain` types accept
+/// every bit pattern).
+#[inline]
+pub fn zeroed<T: Plain>() -> T {
+    // SAFETY: `T: Plain` guarantees all-zero bytes form a valid value.
+    unsafe { std::mem::zeroed() }
+}
+
+/// Allocates a zero-initialized vector of plain values.
+#[inline]
+pub fn zeroed_vec<T: Plain>(n: usize) -> Vec<T> {
+    let mut v = Vec::<T>::with_capacity(n);
+    // SAFETY: capacity reserved above; the zero pattern is valid for
+    // `T: Plain`, and `write_bytes` initializes every byte.
+    unsafe {
+        std::ptr::write_bytes(v.as_mut_ptr(), 0, n);
+        v.set_len(n);
+    }
+    v
+}
+
+/// Number of `T` elements encoded by a byte count.
+#[inline]
+pub fn element_count<T: Plain>(bytes: usize) -> usize {
+    let size = std::mem::size_of::<T>();
+    if size == 0 {
+        0
+    } else {
+        debug_assert!(bytes.is_multiple_of(size));
+        bytes / size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64() {
+        let v = vec![1u64, 2, 3, u64::MAX];
+        let b = as_bytes(&v);
+        assert_eq!(b.len(), 32);
+        let back: Vec<u64> = bytes_to_vec(b);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let v = vec![1.5f64, -0.0, f64::INFINITY, f64::MIN_POSITIVE];
+        let back: Vec<f64> = bytes_to_vec(as_bytes(&v));
+        assert_eq!(back.len(), v.len());
+        for (a, b) in v.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn copy_into_prefix() {
+        let v = vec![7u32, 8, 9];
+        let mut dst = [0u32; 5];
+        let n = copy_bytes_into(as_bytes(&v), &mut dst);
+        assert_eq!(n, 3);
+        assert_eq!(&dst[..3], &[7, 8, 9]);
+        assert_eq!(&dst[3..], &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_length_panics() {
+        let b = [0u8; 7];
+        let _: Vec<u32> = bytes_to_vec(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn too_small_dst_panics() {
+        let v = vec![1u8, 2, 3, 4];
+        let mut dst = [0u16; 1];
+        copy_bytes_into(&v, &mut dst);
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct Edge {
+        src: u64,
+        dst: u64,
+        weight: f64,
+    }
+    plain_struct!(Edge { src: u64, dst: u64, weight: f64 });
+
+    #[test]
+    fn plain_struct_roundtrip() {
+        let v = vec![
+            Edge { src: 1, dst: 2, weight: 0.5 },
+            Edge { src: 3, dst: 4, weight: -1.25 },
+        ];
+        let back: Vec<Edge> = bytes_to_vec(as_bytes(&v));
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn arrays_are_plain() {
+        let v = vec![[1u32, 2, 3], [4, 5, 6]];
+        let back: Vec<[u32; 3]> = bytes_to_vec(as_bytes(&v));
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn element_count_zero_sized_logic() {
+        assert_eq!(element_count::<u64>(24), 3);
+        assert_eq!(element_count::<u8>(7), 7);
+    }
+
+    #[test]
+    fn zeroed_values_and_vectors() {
+        assert_eq!(zeroed::<u64>(), 0);
+        assert_eq!(zeroed::<f64>(), 0.0);
+        let v = zeroed_vec::<u32>(5);
+        assert_eq!(v, vec![0; 5]);
+        let e = zeroed_vec::<Edge>(2);
+        assert_eq!(e[0], Edge { src: 0, dst: 0, weight: 0.0 });
+        assert_eq!(e.len(), 2);
+        assert!(zeroed_vec::<u8>(0).is_empty());
+    }
+}

@@ -1,0 +1,431 @@
+//! Non-blocking operations: requests, test/wait, request sets, ibarrier.
+//!
+//! Substrate requests are byte-level; the binding layer wraps them in the
+//! buffer-owning `NonBlockingResult` that provides the paper's §III-E
+//! memory-safety guarantees. Requests borrow the communicator, so a
+//! request can never outlive the universe it communicates in.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::message::{AckSlot, Src, Status, TagSel};
+use crate::plain::as_bytes;
+use crate::{Plain, Rank, Tag};
+
+/// What a completed request yields: receives carry a payload.
+#[derive(Clone, Debug)]
+pub enum Completion {
+    /// A send (or barrier) completed; nothing to return.
+    Done,
+    /// A receive completed with this payload.
+    Message(Bytes, Status),
+}
+
+impl Completion {
+    /// The payload of a completed receive, decoded as `Vec<T>`.
+    pub fn into_vec<T: Plain>(self) -> Option<(Vec<T>, Status)> {
+        match self {
+            Completion::Done => None,
+            Completion::Message(b, st) => Some((crate::plain::bytes_to_vec(&b), st)),
+        }
+    }
+
+    /// The raw payload of a completed receive.
+    pub fn into_bytes(self) -> Option<(Bytes, Status)> {
+        match self {
+            Completion::Done => None,
+            Completion::Message(b, st) => Some((b, st)),
+        }
+    }
+}
+
+/// Outcome of a non-blocking [`Request::test`].
+pub enum TestOutcome<'a> {
+    /// The operation completed.
+    Ready(Completion),
+    /// Not yet complete; the request is handed back.
+    Pending(Request<'a>),
+}
+
+enum ReqState {
+    /// Eagerly-buffered send: complete on creation.
+    SendDone,
+    /// Synchronous-mode send: completes when the receiver matches.
+    SyncSend { ack: Arc<AckSlot>, dest: Rank },
+    /// Posted receive: matches lazily in test/wait.
+    Recv { src: Src, tag: TagSel },
+    /// Non-blocking dissemination barrier state machine.
+    Barrier { tag: Tag, step: usize, sent: bool },
+}
+
+/// A handle to an in-flight non-blocking operation
+/// (mirrors `MPI_Request`).
+pub struct Request<'a> {
+    comm: &'a Comm,
+    state: ReqState,
+}
+
+impl<'a> Request<'a> {
+    /// Blocks until the operation completes (mirrors `MPI_Wait`).
+    pub fn wait(self) -> Result<Completion> {
+        let comm = self.comm;
+        match self.state {
+            ReqState::SendDone => Ok(Completion::Done),
+            ReqState::SyncSend { ack, dest } => {
+                let dest_world = comm.translate_to_world(dest)?;
+                loop {
+                    if ack.is_complete() {
+                        return Ok(Completion::Done);
+                    }
+                    if comm.world.is_revoked(comm.context) {
+                        return Err(MpiError::Revoked);
+                    }
+                    if comm.world.is_failed(dest_world) {
+                        return Err(MpiError::ProcessFailed { world_rank: dest_world });
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            ReqState::Recv { src, tag } => {
+                let env = comm.recv_envelope(src, tag)?;
+                let st = Status { source: env.src, tag: env.tag, bytes: env.payload.len() };
+                Ok(Completion::Message(env.payload, st))
+            }
+            ReqState::Barrier { tag, mut step, mut sent } => {
+                let p = comm.size();
+                let rank = comm.rank();
+                let mut dist = 1usize << step;
+                while dist < p {
+                    if !sent {
+                        crate::collectives::send_internal(
+                            comm,
+                            (rank + dist) % p,
+                            tag,
+                            Bytes::new(),
+                        )?;
+                    }
+                    comm.recv_envelope(Src::Rank((rank + p - dist) % p), TagSel::Is(tag))?;
+                    step += 1;
+                    sent = false;
+                    dist = 1usize << step;
+                }
+                Ok(Completion::Done)
+            }
+        }
+    }
+
+    /// Non-blocking completion check (mirrors `MPI_Test`). Returns
+    /// [`TestOutcome::Pending`] with the request handed back if the
+    /// operation has not completed yet.
+    pub fn test(self) -> Result<TestOutcome<'a>> {
+        let comm = self.comm;
+        match self.state {
+            ReqState::SendDone => Ok(TestOutcome::Ready(Completion::Done)),
+            ReqState::SyncSend { ack, dest } => {
+                if ack.is_complete() {
+                    return Ok(TestOutcome::Ready(Completion::Done));
+                }
+                let dest_world = comm.translate_to_world(dest)?;
+                if comm.world.is_revoked(comm.context) {
+                    return Err(MpiError::Revoked);
+                }
+                if comm.world.is_failed(dest_world) {
+                    return Err(MpiError::ProcessFailed { world_rank: dest_world });
+                }
+                Ok(TestOutcome::Pending(Request {
+                    comm,
+                    state: ReqState::SyncSend { ack, dest },
+                }))
+            }
+            ReqState::Recv { src, tag } => match comm.try_recv_envelope(src, tag) {
+                Some(env) => {
+                    let st = Status { source: env.src, tag: env.tag, bytes: env.payload.len() };
+                    Ok(TestOutcome::Ready(Completion::Message(env.payload, st)))
+                }
+                None => {
+                    if let Some(err) = comm.wait_interrupted(src) {
+                        return Err(err);
+                    }
+                    Ok(TestOutcome::Pending(Request { comm, state: ReqState::Recv { src, tag } }))
+                }
+            },
+            ReqState::Barrier { tag, mut step, mut sent } => {
+                let p = comm.size();
+                let rank = comm.rank();
+                let mut dist = 1usize << step;
+                while dist < p {
+                    if !sent {
+                        crate::collectives::send_internal(
+                            comm,
+                            (rank + dist) % p,
+                            tag,
+                            Bytes::new(),
+                        )?;
+                        sent = true;
+                    }
+                    let from = Src::Rank((rank + p - dist) % p);
+                    match comm.try_recv_envelope(from, TagSel::Is(tag)) {
+                        Some(_) => {
+                            step += 1;
+                            sent = false;
+                            dist = 1usize << step;
+                        }
+                        None => {
+                            if let Some(err) = comm.wait_interrupted(from) {
+                                return Err(err);
+                            }
+                            return Ok(TestOutcome::Pending(Request {
+                                comm,
+                                state: ReqState::Barrier { tag, step, sent },
+                            }));
+                        }
+                    }
+                }
+                Ok(TestOutcome::Ready(Completion::Done))
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Starts a non-blocking send (mirrors `MPI_Isend`). The eager
+    /// transport buffers the payload, so the request is complete on
+    /// creation — but, as in MPI, completion must still be observed via
+    /// wait/test.
+    pub fn isend<T: Plain>(&self, data: &[T], dest: Rank, tag: Tag) -> Result<Request<'_>> {
+        self.count_op("isend");
+        self.check_tag(tag)?;
+        self.deliver_bytes(dest, tag, Bytes::copy_from_slice(as_bytes(data)), None)?;
+        Ok(Request { comm: self, state: ReqState::SendDone })
+    }
+
+    /// Starts a non-blocking *synchronous-mode* send (mirrors
+    /// `MPI_Issend`): the request completes only once the receiver has
+    /// matched the message. This is the primitive the NBX sparse
+    /// all-to-all (§V-A) is built on.
+    pub fn issend<T: Plain>(&self, data: &[T], dest: Rank, tag: Tag) -> Result<Request<'_>> {
+        self.count_op("issend");
+        self.check_tag(tag)?;
+        let ack = AckSlot::new();
+        self.deliver_bytes(dest, tag, Bytes::copy_from_slice(as_bytes(data)), Some(ack.clone()))?;
+        Ok(Request { comm: self, state: ReqState::SyncSend { ack, dest } })
+    }
+
+    /// Posts a non-blocking receive (mirrors `MPI_Irecv`). The payload is
+    /// delivered by `wait`/`test`.
+    pub fn irecv(&self, src: impl Into<Src>, tag: impl Into<TagSel>) -> Request<'_> {
+        self.count_op("irecv");
+        Request { comm: self, state: ReqState::Recv { src: src.into(), tag: tag.into() } }
+    }
+
+    /// Starts a non-blocking barrier (mirrors `MPI_Ibarrier`);
+    /// dissemination algorithm driven by test/wait.
+    pub fn ibarrier(&self) -> Result<Request<'_>> {
+        self.count_op("ibarrier");
+        let tag = self.next_internal_tag();
+        Ok(Request { comm: self, state: ReqState::Barrier { tag, step: 0, sent: false } })
+    }
+}
+
+/// A set of requests completed together
+/// (mirrors `MPI_Waitall` over an array of requests; the substrate
+/// counterpart of KaMPIng's request pools).
+#[derive(Default)]
+pub struct RequestSet<'a> {
+    requests: Vec<Request<'a>>,
+}
+
+impl<'a> RequestSet<'a> {
+    pub fn new() -> Self {
+        RequestSet { requests: Vec::new() }
+    }
+
+    /// Adds a request to the set.
+    pub fn push(&mut self, req: Request<'a>) {
+        self.requests.push(req);
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the set holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Waits for all requests, returning completions in insertion order.
+    pub fn wait_all(self) -> Result<Vec<Completion>> {
+        self.requests.into_iter().map(|r| r.wait()).collect()
+    }
+
+    /// Tests all requests once; completed ones are returned (with their
+    /// insertion index), pending ones are kept.
+    pub fn test_some(&mut self) -> Result<Vec<(usize, Completion)>> {
+        let mut done = Vec::new();
+        let mut pending = Vec::new();
+        for (i, req) in std::mem::take(&mut self.requests).into_iter().enumerate() {
+            match req.test()? {
+                TestOutcome::Ready(c) => done.push((i, c)),
+                TestOutcome::Pending(r) => pending.push(r),
+            }
+        }
+        self.requests = pending;
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.isend(&[5u32, 6], 1, 0).unwrap();
+                req.wait().unwrap();
+            } else {
+                let req = comm.irecv(0, 0);
+                let (v, st) = req.wait().unwrap().into_vec::<u32>().unwrap();
+                assert_eq!(v, vec![5, 6]);
+                assert_eq!(st.source, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_test_pending_then_ready() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 1 {
+                let mut req = comm.irecv(0, 3);
+                loop {
+                    match req.test().unwrap() {
+                        TestOutcome::Ready(c) => {
+                            let (v, _) = c.into_vec::<u8>().unwrap();
+                            assert_eq!(v, vec![77]);
+                            break;
+                        }
+                        TestOutcome::Pending(r) => {
+                            req = r;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                comm.send(&[77u8], 1, 3).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn issend_completes_only_on_match() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.issend(&[1u8], 1, 0).unwrap();
+                // Until rank 1 posts its receive, the request stays pending.
+                let req = match req.test().unwrap() {
+                    TestOutcome::Pending(r) => r,
+                    TestOutcome::Ready(_) => {
+                        // Possible only if rank 1 already received; tolerated.
+                        return;
+                    }
+                };
+                req.wait().unwrap();
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                let (v, _) = comm.recv_vec::<u8>(0, 0).unwrap();
+                assert_eq!(v, vec![1]);
+            }
+        });
+    }
+
+    #[test]
+    fn ibarrier_overlaps_compute() {
+        Universe::run(4, |comm| {
+            let req = comm.ibarrier().unwrap();
+            // Overlap: do local work while the barrier progresses.
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+            req.wait().unwrap();
+        });
+    }
+
+    #[test]
+    fn ibarrier_via_polling() {
+        Universe::run(3, |comm| {
+            let mut req = comm.ibarrier().unwrap();
+            loop {
+                match req.test().unwrap() {
+                    TestOutcome::Ready(_) => break,
+                    TestOutcome::Pending(r) => {
+                        req = r;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn request_set_wait_all() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut set = RequestSet::new();
+                set.push(comm.irecv(1, 0));
+                set.push(comm.irecv(2, 0));
+                assert_eq!(set.len(), 2);
+                let done = set.wait_all().unwrap();
+                let mut got: Vec<u8> = done
+                    .into_iter()
+                    .map(|c| c.into_vec::<u8>().unwrap().0[0])
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(got, vec![1, 2]);
+            } else {
+                comm.send(&[comm.rank() as u8], 0, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn request_set_test_some_drains() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut set = RequestSet::new();
+                set.push(comm.irecv(1, 0));
+                set.push(comm.irecv(1, 1));
+                let mut seen = 0;
+                while !set.is_empty() {
+                    seen += set.test_some().unwrap().len();
+                    std::thread::yield_now();
+                }
+                assert_eq!(seen, 2);
+            } else {
+                comm.send(&[1u8], 0, 0).unwrap();
+                comm.send(&[2u8], 0, 1).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn completion_done_has_no_payload() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let c = comm.isend(&[1u8], 1, 0).unwrap().wait().unwrap();
+                assert!(c.into_bytes().is_none());
+            } else {
+                comm.recv_vec::<u8>(0, 0).unwrap();
+            }
+        });
+    }
+}

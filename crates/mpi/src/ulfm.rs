@@ -1,0 +1,300 @@
+//! User-Level Failure Mitigation (ULFM) substrate operations.
+//!
+//! The upcoming MPI 5.0 standard lets applications recover from process
+//! failures via ULFM (§V-B of the paper): failed processes surface as
+//! `MPI_ERR_PROC_FAILED`, survivors *revoke* the communicator to make
+//! every pending and future operation on it fail, then *shrink* it to a
+//! new communicator of survivors and continue. `agree` provides a
+//! failure-aware agreement (logical AND) among survivors.
+//!
+//! The substrate implements:
+//! - [`Comm::fail_here`] — failure injection (simulated crash);
+//! - failure detection in all blocking operations (they return
+//!   [`MpiError::ProcessFailed`](crate::MpiError::ProcessFailed) instead
+//!   of hanging);
+//! - [`Comm::revoke`] / [`Comm::is_revoked`];
+//! - [`Comm::shrink`] and [`Comm::agree_and`], built on a shared
+//!   agreement table that acts as the perfect failure detector shared
+//!   memory affords.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Comm;
+use crate::error::Result;
+use crate::universe::RankFailure;
+use crate::Rank;
+
+/// One in-flight agreement instance.
+struct AgreeEntry {
+    /// Contributions by world rank (a rank contributes exactly once).
+    contributions: HashMap<Rank, u64>,
+    /// Set once the agreement freezes: (AND of contributions, surviving
+    /// participant world ranks in canonical order, fresh context id).
+    outcome: Option<(u64, Vec<Rank>, u64)>,
+    /// How many survivors have collected the outcome (for cleanup).
+    collected: usize,
+}
+
+/// Shared table of in-flight agreements, keyed by
+/// `(context id, per-communicator call sequence)`.
+#[derive(Default)]
+pub struct AgreementTable {
+    entries: Mutex<HashMap<(u64, i32), AgreeEntry>>,
+    cond: Condvar,
+}
+
+impl AgreementTable {
+    pub(crate) fn new() -> Self {
+        AgreementTable::default()
+    }
+
+    /// Wakes all waiters so they can re-examine failure flags.
+    pub(crate) fn interrupt(&self) {
+        let _guard = self.entries.lock();
+        self.cond.notify_all();
+    }
+}
+
+impl Comm {
+    /// Simulates a crash of this rank: marks it failed (waking all blocked
+    /// peers, which then observe `ProcessFailed`) and unwinds the rank
+    /// thread. Never returns.
+    pub fn fail_here(&self) -> ! {
+        self.world.mark_failed(self.world_rank());
+        std::panic::panic_any(RankFailure);
+    }
+
+    /// Revokes the communicator: every pending and future operation on it
+    /// (on any rank) fails with
+    /// [`MpiError::Revoked`](crate::MpiError::Revoked). Mirrors
+    /// `MPI_Comm_revoke`; like it, revocation is not itself collective.
+    pub fn revoke(&self) {
+        self.count_op("comm_revoke");
+        self.world.revoke(self.context);
+    }
+
+    /// True if this communicator has been revoked.
+    pub fn is_revoked(&self) -> bool {
+        self.world.is_revoked(self.context)
+    }
+
+    /// True if the given communicator rank is known to have failed.
+    pub fn is_failed(&self, rank: Rank) -> bool {
+        self.translate_to_world(rank).map(|w| self.world.is_failed(w)).unwrap_or(false)
+    }
+
+    /// Failure-aware agreement (mirrors `MPI_Comm_agree`): returns the
+    /// logical AND of `flag` over all *surviving* ranks of the
+    /// communicator. Unlike regular collectives, agreement succeeds in the
+    /// presence of failed ranks (their contributions are excluded) and on
+    /// revoked communicators.
+    pub fn agree_and(&self, flag: bool) -> Result<bool> {
+        self.count_op("comm_agree");
+        let bits = self.agree_raw(u64::from(flag))?;
+        Ok(bits != 0)
+    }
+
+    /// Shrinks the communicator to its surviving ranks (mirrors
+    /// `MPI_Comm_shrink`). Works on revoked communicators; the surviving
+    /// ranks obtain a fresh, non-revoked communicator with ranks assigned
+    /// in the old rank order.
+    pub fn shrink(&self) -> Result<Comm> {
+        self.count_op("comm_shrink");
+        let (_, survivors_world, fresh_context) = self.agree_full(1)?;
+        let my_world = self.world_rank();
+        let new_rank = survivors_world
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("calling rank survives its own shrink");
+        Ok(self.derived(Arc::new(survivors_world), new_rank, fresh_context))
+    }
+
+    fn agree_raw(&self, value: u64) -> Result<u64> {
+        self.agree_full(value).map(|(v, _, _)| v)
+    }
+
+    /// Core agreement: each surviving member contributes once; the call
+    /// returns when every member has contributed or failed. The freezing
+    /// participant computes the result and allocates a fresh context id
+    /// (used by `shrink`) under the table lock, so all survivors observe
+    /// the identical outcome.
+    fn agree_full(&self, value: u64) -> Result<(u64, Vec<Rank>, u64)> {
+        let key = (self.context, self.next_internal_tag());
+        let my_world = self.world_rank();
+        let members: Vec<Rank> = self.group.as_ref().clone();
+        let table = &self.world.agreements;
+
+        let mut entries = table.entries.lock();
+        let entry = entries.entry(key).or_insert_with(|| AgreeEntry {
+            contributions: HashMap::new(),
+            outcome: None,
+            collected: 0,
+        });
+        entry.contributions.insert(my_world, value);
+
+        loop {
+            let entry = entries.get_mut(&key).expect("entry exists while awaited");
+            if entry.outcome.is_none() {
+                let frozen = members
+                    .iter()
+                    .all(|&w| entry.contributions.contains_key(&w) || self.world.is_failed(w));
+                if frozen {
+                    let survivors: Vec<Rank> = members
+                        .iter()
+                        .copied()
+                        .filter(|&w| entry.contributions.contains_key(&w) && !self.world.is_failed(w))
+                        .collect();
+                    let folded = entry
+                        .contributions
+                        .iter()
+                        .filter(|(w, _)| survivors.contains(w))
+                        .fold(u64::MAX, |acc, (_, &v)| acc & v);
+                    let fresh = self.world.alloc_contexts(1);
+                    entry.outcome = Some((folded, survivors, fresh));
+                    table.cond.notify_all();
+                }
+            }
+            if let Some((v, survivors, ctx)) = entry.outcome.clone() {
+                entry.collected += 1;
+                if entry.collected >= survivors.len() {
+                    entries.remove(&key);
+                }
+                return Ok((v, survivors, ctx));
+            }
+            table.cond.wait_for(&mut entries, std::time::Duration::from_millis(50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Config, MpiError, RankOutcome, Universe};
+
+    #[test]
+    fn failure_is_detected_by_blocked_receiver() {
+        let out = Universe::run_with(Config::new(2), |comm| {
+            if comm.rank() == 1 {
+                comm.fail_here();
+            }
+            // Rank 0 blocks on a receive from the failed rank.
+            let err = comm.recv_vec::<u8>(1, 0).unwrap_err();
+            assert!(matches!(err, MpiError::ProcessFailed { world_rank: 1 }));
+            true
+        });
+        assert_eq!(out[0], RankOutcome::Completed(true));
+        assert_eq!(out[1], RankOutcome::Failed);
+    }
+
+    #[test]
+    fn failure_surfaces_in_collectives() {
+        // A collective may fail on some ranks while others would keep
+        // waiting on non-failed peers — the reason ULFM requires revoking
+        // the communicator before recovery. Ranks that observe the error
+        // revoke; the remaining ranks are then released with `Revoked`.
+        let out = Universe::run_with(Config::new(4), |comm| {
+            if comm.rank() == 2 {
+                comm.fail_here();
+            }
+            let r = comm.allreduce_one(1u64, crate::op::Sum);
+            if r.is_err() && !comm.is_revoked() {
+                comm.revoke();
+            }
+            r.is_err()
+        });
+        for (rank, o) in out.iter().enumerate() {
+            match o {
+                RankOutcome::Failed => assert_eq!(rank, 2),
+                RankOutcome::Completed(errored) => {
+                    assert!(errored, "rank {rank} must see the failure")
+                }
+                RankOutcome::Panicked(m) => panic!("rank {rank} panicked: {m}"),
+            }
+        }
+    }
+
+    #[test]
+    fn revoked_comm_rejects_operations() {
+        Universe::run(2, |comm| {
+            // Work on a duplicate so the world communicator stays usable.
+            let dup = comm.dup().unwrap();
+            if comm.rank() == 0 {
+                dup.revoke();
+            }
+            // Spin until the revocation is visible on all ranks.
+            while !dup.is_revoked() {
+                std::thread::yield_now();
+            }
+            let err = dup.send(&[1u8], (comm.rank() + 1) % 2, 0).unwrap_err();
+            assert_eq!(err, MpiError::Revoked);
+        });
+    }
+
+    #[test]
+    fn shrink_after_failure_produces_working_comm() {
+        let out = Universe::run_with(Config::new(4), |comm| {
+            if comm.rank() == 1 {
+                comm.fail_here();
+            }
+            // Survivors: detect the failure, then recover (Fig. 12 flow).
+            let err = comm.allreduce_one(1u64, crate::op::Sum);
+            assert!(err.is_err());
+            if !comm.is_revoked() {
+                comm.revoke();
+            }
+            let shrunk = comm.shrink().unwrap();
+            assert_eq!(shrunk.size(), 3);
+            assert!(!shrunk.is_revoked());
+            // The shrunken communicator is fully operational.
+            shrunk.allreduce_one(shrunk.rank() as u64, crate::op::Sum).unwrap()
+        });
+        let survivors: Vec<u64> =
+            out.into_iter().filter_map(|o| o.completed()).collect();
+        // New ranks are 0,1,2 -> sum 3 on every survivor.
+        assert_eq!(survivors, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn agree_and_over_survivors() {
+        let out = Universe::run_with(Config::new(3), |comm| {
+            if comm.rank() == 0 {
+                comm.fail_here();
+            }
+            // Survivors 1 and 2 both pass true; the failed rank is excluded.
+            comm.agree_and(true).unwrap()
+        });
+        assert_eq!(out[1], RankOutcome::Completed(true));
+        assert_eq!(out[2], RankOutcome::Completed(true));
+    }
+
+    #[test]
+    fn agree_and_is_logical_and() {
+        let out = Universe::run_with(Config::new(3), |comm| {
+            comm.agree_and(comm.rank() != 1).unwrap()
+        });
+        for o in out {
+            assert_eq!(o, RankOutcome::Completed(false));
+        }
+    }
+
+    #[test]
+    fn double_shrink_tolerates_sequential_failures() {
+        let out = Universe::run_with(Config::new(4), |comm| {
+            if comm.rank() == 3 {
+                comm.fail_here();
+            }
+            let shrunk = comm.shrink().unwrap();
+            assert_eq!(shrunk.size(), 3);
+            if shrunk.rank() == 2 {
+                shrunk.fail_here();
+            }
+            let again = shrunk.shrink().unwrap();
+            assert_eq!(again.size(), 2);
+            again.allreduce_one(1u64, crate::op::Sum).unwrap()
+        });
+        let survivors: Vec<u64> = out.into_iter().filter_map(|o| o.completed()).collect();
+        assert_eq!(survivors, vec![2, 2]);
+    }
+}

@@ -1,0 +1,293 @@
+//! SPMD execution: spawning ranks and shared world state.
+//!
+//! [`Universe::run`] is the substrate's `mpirun`: it spawns one OS thread
+//! per rank, hands each a [`Comm`] for the world communicator, and joins
+//! them. Rank panics are contained per-rank; a rank that panics (or calls
+//! [`Comm::fail_here`](crate::Comm::fail_here)) is marked *failed* so that
+//! peers blocked on it observe `MpiError::ProcessFailed` instead of
+//! hanging — the substrate behaviour ULFM (§V-B) builds on.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::CostModel;
+use crate::comm::Comm;
+use crate::counter::CallCounts;
+use crate::mailbox::Mailbox;
+use crate::ulfm::AgreementTable;
+use crate::Rank;
+
+/// Panic payload used by [`Comm::fail_here`](crate::Comm::fail_here) to
+/// simulate a process crash.
+pub(crate) struct RankFailure;
+
+/// Configuration for a universe.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of ranks to spawn.
+    pub size: usize,
+    /// Message cost model for the virtual clock.
+    pub cost: CostModel,
+    /// Stack size per rank thread, in bytes.
+    pub stack_size: usize,
+}
+
+impl Config {
+    pub fn new(size: usize) -> Self {
+        Config { size, cost: CostModel::disabled(), stack_size: 8 << 20 }
+    }
+
+    /// Sets the message cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+/// Shared state of one universe: mailboxes, failure flags, revocation set,
+/// context allocation, call counters, and the ULFM agreement table.
+pub struct WorldState {
+    pub(crate) size: usize,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) failed: Vec<AtomicBool>,
+    pub(crate) revoked: Mutex<HashSet<u64>>,
+    next_context: AtomicU64,
+    pub(crate) cost: CostModel,
+    pub(crate) counters: Vec<Mutex<CallCounts>>,
+    pub(crate) agreements: AgreementTable,
+}
+
+impl WorldState {
+    pub(crate) fn new(config: &Config) -> Arc<Self> {
+        Arc::new(WorldState {
+            size: config.size,
+            mailboxes: (0..config.size).map(|_| Mailbox::new()).collect(),
+            failed: (0..config.size).map(|_| AtomicBool::new(false)).collect(),
+            revoked: Mutex::new(HashSet::new()),
+            // Context 0 is the world communicator.
+            next_context: AtomicU64::new(1),
+            cost: config.cost,
+            counters: (0..config.size).map(|_| Mutex::new(CallCounts::new())).collect(),
+            agreements: AgreementTable::new(),
+        })
+    }
+
+    /// Allocates `n` fresh communicator context ids, returning the first.
+    pub(crate) fn alloc_contexts(&self, n: u64) -> u64 {
+        self.next_context.fetch_add(n, Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn is_failed(&self, world_rank: Rank) -> bool {
+        self.failed[world_rank].load(Ordering::Acquire)
+    }
+
+    /// Marks a rank failed and wakes every blocked waiter so the failure
+    /// is observed.
+    pub(crate) fn mark_failed(&self, world_rank: Rank) {
+        self.failed[world_rank].store(true, Ordering::Release);
+        self.interrupt_all();
+    }
+
+    #[inline]
+    pub(crate) fn is_revoked(&self, context: u64) -> bool {
+        self.revoked.lock().contains(&context)
+    }
+
+    pub(crate) fn revoke(&self, context: u64) {
+        self.revoked.lock().insert(context);
+        self.interrupt_all();
+    }
+
+    pub(crate) fn interrupt_all(&self) {
+        for mb in &self.mailboxes {
+            mb.interrupt();
+        }
+        self.agreements.interrupt();
+    }
+
+    /// Number of ranks in the world communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+/// Outcome of a single rank's execution under
+/// [`Universe::run_with`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankOutcome<R> {
+    /// The rank ran to completion.
+    Completed(R),
+    /// The rank simulated a process failure via `fail_here`.
+    Failed,
+    /// The rank panicked (a bug in rank code).
+    Panicked(String),
+}
+
+impl<R> RankOutcome<R> {
+    /// Unwraps a completed outcome.
+    pub fn unwrap(self) -> R {
+        match self {
+            RankOutcome::Completed(r) => r,
+            RankOutcome::Failed => panic!("rank failed"),
+            RankOutcome::Panicked(msg) => panic!("rank panicked: {msg}"),
+        }
+    }
+
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<R> {
+        match self {
+            RankOutcome::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// The SPMD launcher.
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` on `size` ranks with default configuration and returns the
+    /// per-rank results in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank panics or simulates a failure; use
+    /// [`Universe::run_with`] for fault-tolerance scenarios.
+    pub fn run<R: Send, F: Fn(Comm) -> R + Sync>(size: usize, f: F) -> Vec<R> {
+        Self::run_with(Config::new(size), f)
+            .into_iter()
+            .enumerate()
+            .map(|(rank, o)| match o {
+                RankOutcome::Completed(r) => r,
+                RankOutcome::Failed => panic!("rank {rank} failed"),
+                RankOutcome::Panicked(msg) => panic!("rank {rank} panicked: {msg}"),
+            })
+            .collect()
+    }
+
+    /// Runs `f` on `config.size` ranks, returning each rank's outcome.
+    /// Panics and simulated failures are contained per-rank.
+    pub fn run_with<R: Send, F: Fn(Comm) -> R + Sync>(
+        config: Config,
+        f: F,
+    ) -> Vec<RankOutcome<R>> {
+        assert!(config.size > 0, "universe needs at least one rank");
+        let world = WorldState::new(&config);
+        let f = &f;
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.size)
+                .map(|rank| {
+                    let world = Arc::clone(&world);
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .stack_size(config.stack_size)
+                        .spawn_scoped(scope, move || {
+                            let comm = Comm::world(world.clone(), rank);
+                            let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
+                            match result {
+                                Ok(r) => RankOutcome::Completed(r),
+                                Err(payload) => {
+                                    // Mark the rank dead either way so that
+                                    // peers do not hang on it.
+                                    world.mark_failed(rank);
+                                    if payload.is::<RankFailure>() {
+                                        RankOutcome::Failed
+                                    } else {
+                                        let msg = panic_message(&payload);
+                                        RankOutcome::Panicked(msg)
+                                    }
+                                }
+                            }
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+
+            handles.into_iter().map(|h| h.join().expect("rank thread join failed")).collect()
+        })
+    }
+
+    /// Collected per-rank call counters after a run. Only meaningful if
+    /// the caller kept the `Arc<WorldState>` alive; exposed primarily for
+    /// the binding layer's tests via [`Comm::call_counts`](crate::Comm::call_counts).
+    pub fn collect_counts(world: &WorldState) -> Vec<CallCounts> {
+        world.counters.iter().map(|m| m.lock().clone()).collect()
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_ranks() {
+        let out = Universe::run(4, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let out = Universe::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            assert_eq!(comm.rank(), 0);
+            42
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn panics_are_contained_with_run_with() {
+        let out = Universe::run_with(Config::new(2), |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+            comm.rank()
+        });
+        assert_eq!(out[0], RankOutcome::Completed(0));
+        match &out[1] {
+            RankOutcome::Panicked(msg) => assert!(msg.contains("boom")),
+            o => panic!("expected panic outcome, got {o:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn run_propagates_panics() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("die");
+            }
+        });
+    }
+
+    #[test]
+    fn context_allocation_is_unique() {
+        let ws = WorldState::new(&Config::new(2));
+        let a = ws.alloc_contexts(3);
+        let b = ws.alloc_contexts(1);
+        assert!(a >= 1);
+        assert_eq!(b, a + 3);
+    }
+
+    #[test]
+    fn zero_ranks_rejected() {
+        let r = std::panic::catch_unwind(|| Universe::run(0, |_c| ()));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests on the substrate itself: byte-view round-trips
+//! for plain data, collective results against sequential oracles, and
+//! message-ordering invariants under randomized payloads.
+
+use kmp_mpi::{op, plain, plain_struct, Universe};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Cell {
+    a: u64,
+    b: f64,
+    c: u32,
+    d: u32,
+}
+plain_struct!(Cell { a: u64, b: f64, c: u32, d: u32 });
+
+fn cell_strategy() -> impl Strategy<Value = Cell> {
+    (any::<u64>(), any::<f64>(), any::<u32>(), any::<u32>())
+        .prop_map(|(a, b, c, d)| Cell { a, b, c, d })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn plain_bytes_roundtrip(v in prop::collection::vec(cell_strategy(), 0..50)) {
+        let bytes = plain::as_bytes(&v);
+        let back: Vec<Cell> = plain::bytes_to_vec(bytes);
+        // f64 NaNs compare unequal; compare bit patterns instead.
+        prop_assert_eq!(v.len(), back.len());
+        for (x, y) in v.iter().zip(&back) {
+            prop_assert_eq!(x.a, y.a);
+            prop_assert_eq!(x.b.to_bits(), y.b.to_bits());
+            prop_assert_eq!((x.c, x.d), (y.c, y.d));
+        }
+    }
+
+    #[test]
+    fn p2p_preserves_arbitrary_payloads(payloads in prop::collection::vec(
+        prop::collection::vec(any::<u64>(), 0..40), 1..10))
+    {
+        // Rank 0 sends each payload in order; rank 1 must receive them
+        // unchanged and in order (non-overtaking).
+        let payloads = &payloads;
+        Universe::run(2, move |comm| {
+            if comm.rank() == 0 {
+                for p in payloads {
+                    comm.send(p, 1, 3).unwrap();
+                }
+            } else {
+                for p in payloads {
+                    let (got, _) = comm.recv_vec::<u64>(0, 3).unwrap();
+                    assert_eq!(&got, p);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn substrate_allreduce_matches_fold(
+        blocks in prop::collection::vec(any::<u32>(), 1..7)
+    ) {
+        let p = blocks.len();
+        let blocks = &blocks;
+        let out = Universe::run(p, move |comm| {
+            comm.allreduce_one(blocks[comm.rank()] as u64, op::Sum).unwrap()
+        });
+        let expected: u64 = blocks.iter().map(|&b| b as u64).sum();
+        for got in out {
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn scatter_gather_inverse(
+        data in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        // gather(scatter(x)) == x for any block-divisible layout.
+        let p = data.len();
+        let data = &data;
+        let out = Universe::run(p, move |comm| {
+            let send: Vec<u64> = if comm.rank() == 0 { data.clone() } else { vec![] };
+            let mine = comm.scatter_vec((comm.rank() == 0).then_some(&send[..]), 0).unwrap();
+            let mut gathered = if comm.rank() == 0 { vec![0u64; p] } else { vec![] };
+            comm.gather_into(&mine, &mut gathered, 0).unwrap();
+            gathered
+        });
+        prop_assert_eq!(&out[0], data);
+    }
+
+    #[test]
+    fn split_partitions_the_world(colors in prop::collection::vec(0u64..3, 1..8)) {
+        let p = colors.len();
+        let colors = &colors;
+        let out = Universe::run(p, move |comm| {
+            let sub = comm.split(Some(colors[comm.rank()]), 0).unwrap().unwrap();
+            (colors[comm.rank()], sub.size(), sub.rank())
+        });
+        for (color, size, sub_rank) in &out {
+            let expected = colors.iter().filter(|&&c| c == *color).count();
+            prop_assert_eq!(*size, expected, "subcommunicator size");
+            prop_assert!(sub_rank < size);
+        }
+    }
+
+    #[test]
+    fn scan_is_prefix_of_allreduce(values in prop::collection::vec(any::<u16>(), 1..7)) {
+        let p = values.len();
+        let values = &values;
+        let out = Universe::run(p, move |comm| {
+            let mine = [values[comm.rank()] as u64];
+            let mut inc = [0u64];
+            comm.scan_into(&mine, &mut inc, op::Sum).unwrap();
+            let total = comm.allreduce_one(mine[0], op::Sum).unwrap();
+            (inc[0], total)
+        });
+        // The last rank's inclusive scan equals the allreduce total.
+        let total: u64 = values.iter().map(|&v| v as u64).sum();
+        prop_assert_eq!(out[p - 1].0, total);
+        for (_, t) in &out {
+            prop_assert_eq!(*t, total);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Binary deserializer.
+
+use serde::de::{self, DeserializeSeed, IntoDeserializer, Visitor};
+
+use crate::error::{Error, Result};
+
+/// Deserializes a value from a byte slice, requiring the entire input to
+/// be consumed.
+pub fn from_bytes<'de, T: de::Deserialize<'de>>(input: &'de [u8]) -> Result<T> {
+    let mut de = Deserializer::new(input);
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(Error::TrailingBytes(de.input.len()));
+    }
+    Ok(value)
+}
+
+/// The binary deserializer over a borrowed input slice.
+pub struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    /// Creates a deserializer reading from `input`.
+    pub fn new(input: &'de [u8]) -> Self {
+        Deserializer { input }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
+        if self.input.len() < n {
+            return Err(Error::UnexpectedEof { needed: n, remaining: self.input.len() });
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_len(&mut self) -> Result<usize> {
+        let bytes = self.take(8)?;
+        let len = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+        usize::try_from(len).map_err(|_| Error::InvalidValue(format!("length {len} too large")))
+    }
+}
+
+macro_rules! de_fixed {
+    ($method:ident, $visit:ident, $t:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let bytes = self.take(std::mem::size_of::<$t>())?;
+            visitor.$visit(<$t>::from_le_bytes(bytes.try_into().expect("sized read")))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Message("wire format is not self-describing; deserialize_any unsupported".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(Error::InvalidValue(format!("bool tag {b}"))),
+        }
+    }
+
+    de_fixed!(deserialize_i8, visit_i8, i8);
+    de_fixed!(deserialize_i16, visit_i16, i16);
+    de_fixed!(deserialize_i32, visit_i32, i32);
+    de_fixed!(deserialize_i64, visit_i64, i64);
+    de_fixed!(deserialize_i128, visit_i128, i128);
+    de_fixed!(deserialize_u8, visit_u8, u8);
+    de_fixed!(deserialize_u16, visit_u16, u16);
+    de_fixed!(deserialize_u32, visit_u32, u32);
+    de_fixed!(deserialize_u64, visit_u64, u64);
+    de_fixed!(deserialize_u128, visit_u128, u128);
+    de_fixed!(deserialize_f32, visit_f32, f32);
+    de_fixed!(deserialize_f64, visit_f64, f64);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes = self.take(4)?;
+        let code = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+        let c = char::from_u32(code)
+            .ok_or_else(|| Error::InvalidValue(format!("char code {code:#x}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| Error::InvalidUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(Error::InvalidValue(format!("option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_map(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Message("identifiers are not encoded by this format".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::Message("cannot skip values in a non-self-describing format".into()))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Sequence/map access with a known element count.
+struct CountedAccess<'de, 'a> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de, 'a> de::SeqAccess<'de> for CountedAccess<'de, 'a> {
+    type Error = Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(&mut self, seed: T) -> Result<Option<T::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de, 'a> de::MapAccess<'de> for CountedAccess<'de, 'a> {
+    type Error = Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'de, 'a> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for EnumAccess<'de, 'a> {
+    type Error = Error;
+    type Variant = VariantAccess<'de, 'a>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self::Variant)> {
+        let bytes = self.de.take(4)?;
+        let index = u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, VariantAccess { de: self.de }))
+    }
+}
+
+struct VariantAccess<'de, 'a> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de, 'a> de::VariantAccess<'de> for VariantAccess<'de, 'a> {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_tracks_consumption() {
+        let bytes = crate::to_bytes(&(1u32, 2u32)).unwrap();
+        let mut de = Deserializer::new(&bytes);
+        assert_eq!(de.remaining(), 8);
+        let _: u32 = serde::Deserialize::deserialize(&mut de).unwrap();
+        assert_eq!(de.remaining(), 4);
+    }
+
+    #[test]
+    fn eof_reports_needed_bytes() {
+        let mut de = Deserializer::new(&[1, 2]);
+        let r: Result<u64> = serde::Deserialize::deserialize(&mut de);
+        assert_eq!(r.unwrap_err(), Error::UnexpectedEof { needed: 8, remaining: 2 });
+    }
+
+    #[test]
+    fn invalid_char_rejected() {
+        let bytes = 0xD800u32.to_le_bytes(); // a surrogate, not a char
+        let r: Result<char> = from_bytes(&bytes);
+        assert!(matches!(r, Err(Error::InvalidValue(_))));
+    }
+
+    #[test]
+    fn unknown_enum_variant_errors() {
+        #[derive(serde::Deserialize, Debug)]
+        enum E {
+            #[allow(dead_code)]
+            A,
+        }
+        let bytes = 7u32.to_le_bytes();
+        let r: Result<E> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Codec errors.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes needed by the failed read.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// Input remained after the top-level value was decoded.
+    TrailingBytes(usize),
+    /// A decoded string was not valid UTF-8.
+    InvalidUtf8,
+    /// A decoded `bool`/`Option` tag or `char` was out of range.
+    InvalidValue(String),
+    /// A sequence/map length prefix was required but absent
+    /// (the format is not self-describing).
+    LengthRequired,
+    /// Free-form message from serde.
+    Message(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+            }
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Error::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            Error::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+            Error::LengthRequired => write!(f, "sequence length required by wire format"),
+            Error::Message(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::UnexpectedEof { needed: 8, remaining: 3 };
+        assert!(e.to_string().contains("8"));
+        assert!(e.to_string().contains("3"));
+        assert!(Error::InvalidUtf8.to_string().contains("UTF-8"));
+        assert!(Error::TrailingBytes(2).to_string().contains("2 trailing"));
+    }
+
+    #[test]
+    fn serde_custom_constructors() {
+        let s: Error = serde::ser::Error::custom("ser problem");
+        assert_eq!(s, Error::Message("ser problem".into()));
+        let d: Error = serde::de::Error::custom("de problem");
+        assert_eq!(d, Error::Message("de problem".into()));
+    }
+}

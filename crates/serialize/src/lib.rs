@@ -1,0 +1,191 @@
+//! # kmp-serialize — compact binary serde codec
+//!
+//! KaMPIng uses the Cereal library for its opt-in serialization support
+//! (§III-D3 of the paper): heap-structured types (`std::string`,
+//! `std::unordered_map`, …) that cannot be described by an MPI datatype
+//! are packed into a contiguous byte buffer before communication, and
+//! unpacked on the receiving side. Serialization is *explicit* — the user
+//! writes `send_buf(as_serialized(&data))` — because packing has real
+//! costs that zero-overhead bindings must not hide.
+//!
+//! This crate plays Cereal's role for the Rust reproduction: a
+//! self-contained binary [`serde`] serializer/deserializer with a simple,
+//! deterministic wire format:
+//!
+//! - fixed-width little-endian integers and floats;
+//! - `u64` little-endian length prefixes for sequences, maps, strings and
+//!   byte buffers;
+//! - `u32` variant indices for enums;
+//! - one tag byte for `Option` / `bool`;
+//! - structs and tuples are field concatenations (no self-description).
+//!
+//! ## Example
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//!
+//! let mut dict = BTreeMap::new();
+//! dict.insert("hello".to_string(), 1u32);
+//! dict.insert("world".to_string(), 2u32);
+//!
+//! let bytes = kmp_serialize::to_bytes(&dict).unwrap();
+//! let back: BTreeMap<String, u32> = kmp_serialize::from_bytes(&bytes).unwrap();
+//! assert_eq!(back, dict);
+//! ```
+
+mod de;
+mod error;
+mod ser;
+
+pub use de::{from_bytes, Deserializer};
+pub use error::{Error, Result};
+pub use ser::{to_bytes, Serializer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T>(value: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        let bytes = to_bytes(value).expect("serialize");
+        from_bytes(&bytes).expect("deserialize")
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(roundtrip(&42u8), 42);
+        assert_eq!(roundtrip(&-42i8), -42);
+        assert_eq!(roundtrip(&0xDEAD_BEEFu32), 0xDEAD_BEEF);
+        assert_eq!(roundtrip(&u64::MAX), u64::MAX);
+        assert_eq!(roundtrip(&i64::MIN), i64::MIN);
+        assert_eq!(roundtrip(&u128::MAX), u128::MAX);
+        assert_eq!(roundtrip(&3.5f32), 3.5);
+        assert_eq!(roundtrip(&-2.25f64), -2.25);
+        assert!(roundtrip(&true));
+        assert!(!roundtrip(&false));
+        assert_eq!(roundtrip(&'λ'), 'λ');
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        assert_eq!(roundtrip(&"".to_string()), "");
+        assert_eq!(roundtrip(&"hello κόσμε".to_string()), "hello κόσμε");
+        let v: Vec<u8> = (0..=255).collect();
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn sequences_and_maps() {
+        let v = vec![vec![1u64, 2], vec![], vec![3]];
+        assert_eq!(roundtrip(&v), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1i32, -1]);
+        m.insert("b".to_string(), vec![]);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        assert_eq!(roundtrip(&Some(7u32)), Some(7));
+        assert_eq!(roundtrip(&None::<u32>), None);
+        assert_eq!(roundtrip(&(1u8, "x".to_string(), 2.5f64)), (1, "x".to_string(), 2.5));
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    struct Nested {
+        id: u64,
+        name: String,
+        tags: Vec<String>,
+        score: Option<f64>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Shape {
+        Unit,
+        Newtype(u32),
+        Tuple(u8, u8),
+        Struct { w: f32, h: f32 },
+    }
+
+    #[test]
+    fn derived_structs() {
+        let n = Nested {
+            id: 9,
+            name: "node".into(),
+            tags: vec!["a".into(), "b".into()],
+            score: Some(0.5),
+        };
+        assert_eq!(roundtrip(&n), n);
+    }
+
+    #[test]
+    fn derived_enums_all_variants() {
+        assert_eq!(roundtrip(&Shape::Unit), Shape::Unit);
+        assert_eq!(roundtrip(&Shape::Newtype(7)), Shape::Newtype(7));
+        assert_eq!(roundtrip(&Shape::Tuple(1, 2)), Shape::Tuple(1, 2));
+        assert_eq!(
+            roundtrip(&Shape::Struct { w: 1.0, h: 2.0 }),
+            Shape::Struct { w: 1.0, h: 2.0 }
+        );
+    }
+
+    #[test]
+    fn unit_and_newtype_structs() {
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Unit;
+        #[derive(Serialize, Deserialize, Debug, PartialEq)]
+        struct Meters(f64);
+        assert_eq!(roundtrip(&Unit), Unit);
+        assert_eq!(roundtrip(&Meters(1.5)), Meters(1.5));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&12345u64).unwrap();
+        let r: Result<u64> = from_bytes(&bytes[..4]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = to_bytes(&1u8).unwrap();
+        bytes.push(0);
+        let r: Result<u8> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        // A string of length 2 with invalid UTF-8 content.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let r: Result<String> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invalid_bool_errors() {
+        let r: Result<bool> = from_bytes(&[2]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let n = Nested { id: 1, name: "x".into(), tags: vec![], score: None };
+        assert_eq!(to_bytes(&n).unwrap(), to_bytes(&n.clone()).unwrap());
+    }
+
+    #[test]
+    fn wire_format_is_compact() {
+        // u32 costs exactly 4 bytes, a vec of two u32 costs 8 + 8 bytes.
+        assert_eq!(to_bytes(&7u32).unwrap().len(), 4);
+        assert_eq!(to_bytes(&vec![1u32, 2]).unwrap().len(), 8 + 8);
+        // An empty string is just its length prefix.
+        assert_eq!(to_bytes(&String::new()).unwrap().len(), 8);
+    }
+}

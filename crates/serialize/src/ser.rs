@@ -1,0 +1,291 @@
+//! Binary serializer.
+
+use serde::ser::{self, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Serializes a value into a fresh byte vector.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    value.serialize(&mut Serializer { out: &mut out })?;
+    Ok(out)
+}
+
+/// The binary serializer; writes into a borrowed byte vector so callers
+/// can reuse allocation across messages (an explicit goal of the paper's
+/// allocation-control design, §III-C).
+pub struct Serializer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a> Serializer<'a> {
+    /// Creates a serializer appending to `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        Serializer { out }
+    }
+
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+macro_rules! ser_fixed {
+    ($method:ident, $t:ty) => {
+        fn $method(self, v: $t) -> Result<()> {
+            self.out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a, 'b>;
+    type SerializeTuple = Compound<'a, 'b>;
+    type SerializeTupleStruct = Compound<'a, 'b>;
+    type SerializeTupleVariant = Compound<'a, 'b>;
+    type SerializeMap = Compound<'a, 'b>;
+    type SerializeStruct = Compound<'a, 'b>;
+    type SerializeStructVariant = Compound<'a, 'b>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.push(u8::from(v));
+        Ok(())
+    }
+
+    ser_fixed!(serialize_i8, i8);
+    ser_fixed!(serialize_i16, i16);
+    ser_fixed!(serialize_i32, i32);
+    ser_fixed!(serialize_i64, i64);
+    ser_fixed!(serialize_i128, i128);
+    ser_fixed!(serialize_u8, u8);
+    ser_fixed!(serialize_u16, u16);
+    ser_fixed!(serialize_u32, u32);
+    ser_fixed!(serialize_u64, u64);
+    ser_fixed!(serialize_u128, u128);
+    ser_fixed!(serialize_f32, f32);
+    ser_fixed!(serialize_f64, f64);
+
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.serialize_u32(v as u32)
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.serialize_u32(variant_index)
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(&mut *self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        let len = len.ok_or(Error::LengthRequired)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        self.serialize_u32(variant_index)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        let len = len.ok_or(Error::LengthRequired)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        self.serialize_u32(variant_index)?;
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Compound serialization state (shared by all compound kinds: the format
+/// is a plain concatenation in every case).
+pub struct Compound<'a, 'b> {
+    ser: &'b mut Serializer<'a>,
+}
+
+macro_rules! impl_compound {
+    ($trait:ident, $method:ident) => {
+        impl<'a, 'b> ser::$trait for Compound<'a, 'b> {
+            type Ok = ();
+            type Error = Error;
+
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+                value.serialize(&mut *self.ser)
+            }
+
+            fn end(self) -> Result<()> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound!(SerializeSeq, serialize_element);
+impl_compound!(SerializeTuple, serialize_element);
+impl_compound!(SerializeTupleStruct, serialize_field);
+impl_compound!(SerializeTupleVariant, serialize_field);
+
+impl<'a, 'b> ser::SerializeMap for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStruct for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<'a, 'b> ser::SerializeStructVariant for Compound<'a, 'b> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_layout() {
+        assert_eq!(to_bytes(&0x0102_0304u32).unwrap(), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn reuses_caller_buffer() {
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        7u8.serialize(&mut Serializer::new(&mut buf)).unwrap();
+        8u8.serialize(&mut Serializer::new(&mut buf)).unwrap();
+        assert_eq!(buf, vec![7, 8]);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn string_has_length_prefix() {
+        let b = to_bytes("ab").unwrap();
+        assert_eq!(&b[..8], &2u64.to_le_bytes());
+        assert_eq!(&b[8..], b"ab");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based round-trip tests for the binary codec: every value of
+//! every supported shape must survive `to_bytes` → `from_bytes`
+//! unchanged, and the encoding must be deterministic.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: Serialize + for<'de> Deserialize<'de>,
+{
+    let bytes = kmp_serialize::to_bytes(value).expect("serialize");
+    kmp_serialize::from_bytes(&bytes).expect("deserialize")
+}
+
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+enum Node {
+    Leaf(u32),
+    Pair(Box<Node>, Box<Node>),
+    Tagged { name: String, weight: i16 },
+    Empty,
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        any::<u32>().prop_map(Node::Leaf),
+        (".{0,8}", any::<i16>()).prop_map(|(name, weight)| Node::Tagged { name, weight }),
+        Just(Node::Empty),
+    ];
+    leaf.prop_recursive(4, 16, 2, |inner| {
+        (inner.clone(), inner).prop_map(|(a, b)| Node::Pair(Box::new(a), Box::new(b)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn integers_roundtrip(v in any::<(u8, i8, u16, i16, u32, i32, u64, i64, u128, i128)>()) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn floats_roundtrip_bitwise(a in any::<f32>(), b in any::<f64>()) {
+        let (ra, rb) = roundtrip(&(a, b));
+        prop_assert_eq!(ra.to_bits(), a.to_bits());
+        prop_assert_eq!(rb.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn strings_roundtrip(s in ".{0,64}") {
+        prop_assert_eq!(roundtrip(&s), s);
+    }
+
+    #[test]
+    fn nested_collections_roundtrip(
+        v in prop::collection::vec(
+            prop::collection::btree_map(".{0,8}", prop::collection::vec(any::<i32>(), 0..6), 0..4),
+            0..4,
+        )
+    ) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn options_and_results_roundtrip(v in any::<Vec<Option<(bool, u64)>>>()) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn recursive_enums_roundtrip(n in node_strategy()) {
+        prop_assert_eq!(roundtrip(&n), n);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(v in any::<Vec<(String, u64)>>()) {
+        let a = kmp_serialize::to_bytes(&v).unwrap();
+        let b = kmp_serialize::to_bytes(&v).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncation_never_panics(v in any::<Vec<u64>>(), cut in any::<prop::sample::Index>()) {
+        let bytes = kmp_serialize::to_bytes(&v).unwrap();
+        if !bytes.is_empty() {
+            let cut = cut.index(bytes.len());
+            // Decoding a truncated prefix may fail, but must not panic.
+            let _: Result<Vec<u64>, _> = kmp_serialize::from_bytes(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        // Arbitrary input must be rejected gracefully.
+        let _: Result<Vec<String>, _> = kmp_serialize::from_bytes(&bytes);
+        let _: Result<Node, _> = kmp_serialize::from_bytes(&bytes);
+        let _: Result<(u64, f64, String), _> = kmp_serialize::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's Fig. 9/10: distributed BFS with selectable frontier
+//! exchange (dense alltoallv, neighborhood topology, sparse NBX, 2D
+//! grid).
+//!
+//! Run with: `cargo run --example bfs`
+
+use kamping_repro::apps::bfs::{bfs_sequential, bfs_with_exchange, Exchange, UNDEF};
+use kamping_repro::graphgen::rgg2d;
+use kamping_repro::kamping::Communicator;
+use kamping_repro::mpi::Universe;
+
+fn main() {
+    let p = 4;
+    let n = 2_000;
+    let radius = (16.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    let parts: Vec<_> = (0..p).map(|r| rgg2d(n, radius, 99, r, p)).collect();
+    let reference = bfs_sequential(&parts, 0);
+
+    for exchange in [
+        Exchange::MpiDense,
+        Exchange::MpiNeighbor,
+        Exchange::Kamping,
+        Exchange::KampingSparse,
+        Exchange::KampingGrid,
+    ] {
+        let parts = &parts;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            bfs_with_exchange(&parts[comm.rank()], 0, &comm, exchange).unwrap()
+        });
+        let got: Vec<u64> = out.concat();
+        assert_eq!(got, reference, "{exchange:?} diverged");
+        let reached = got.iter().filter(|&&d| d != UNDEF).count();
+        let depth = got.iter().filter(|&&d| d != UNDEF).max().unwrap();
+        println!("{exchange:?}: reached {reached}/{n} vertices, depth {depth}");
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's Fig. 12: surviving a process failure with the ULFM plugin
+//! — catch the failure, revoke, shrink, continue on the survivors.
+//!
+//! Run with: `cargo run --example fault_tolerance`
+
+use kamping_repro::kamping::prelude::*;
+use kamping_repro::kamping::MpiError;
+use kamping_repro::mpi::{Config, Universe};
+
+fn main() {
+    let outcomes = Universe::run_with(Config::new(4), |comm| {
+        let mut comm = Communicator::new(comm);
+
+        // Rank 2 "crashes" mid-computation.
+        if comm.rank() == 2 {
+            comm.fail_now();
+        }
+
+        // Fig. 12: a collective fails with a process-failure error; the
+        // survivors revoke the communicator and shrink it.
+        let total;
+        match comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))) {
+            Ok(v) => total = v,
+            Err(e) => {
+                assert!(Communicator::is_failure(&e) || e == MpiError::Revoked);
+                if !comm.is_revoked() {
+                    comm.revoke();
+                }
+                // Create a new communicator containing only survivors.
+                comm = comm.shrink().unwrap();
+                total = comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap();
+            }
+        }
+        (comm.rank(), comm.size(), total)
+    });
+
+    for (i, o) in outcomes.into_iter().enumerate() {
+        match o.completed() {
+            Some((new_rank, new_size, total)) => println!(
+                "world rank {i}: continued as rank {new_rank}/{new_size}, sum over survivors = {total}"
+            ),
+            None => println!("world rank {i}: failed (simulated crash)"),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the paper's Fig. 1 and Fig. 3 — one `allgatherv`, three
+//! levels of control.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use kamping_repro::kamping::prelude::*;
+use kamping_repro::mpi::Universe;
+
+fn main() {
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let rank = comm.rank();
+
+        // Every rank holds a vector of varying size.
+        let v: Vec<u64> = vec![rank as u64; rank + 1];
+
+        // (1) Fig. 1, concise: all defaults computed by the library.
+        let v_global: Vec<u64> = comm.allgatherv(send_buf(&v)).unwrap();
+
+        // (2) Fig. 1, full control: request computed parameters back and
+        //     steer memory management with resize policies.
+        let (v_global2, rcounts, rdispls) = comm
+            .allgatherv((send_buf(&v), recv_counts_out(), recv_displs_out()))
+            .unwrap();
+
+        // (3) Fig. 3, version 1: spell everything out (gradual migration
+        //     from existing MPI code).
+        let mut rc = vec![0usize; comm.size()];
+        rc[rank] = v.len();
+        comm.allgather(send_recv_buf(&mut rc)).unwrap();
+        let rd: Vec<usize> = rc
+            .iter()
+            .scan(0usize, |acc, &c| {
+                let d = *acc;
+                *acc += c;
+                Some(d)
+            })
+            .collect();
+        let mut v_glob3: Vec<u64> = Vec::new();
+        comm.allgatherv((
+            send_buf(&v),
+            recv_buf(&mut v_glob3).resize_to_fit(),
+            recv_counts(&rc),
+            recv_displs(&rd),
+        ))
+        .unwrap();
+
+        assert_eq!(v_global, v_global2);
+        assert_eq!(v_global, v_glob3);
+        assert_eq!(rcounts, rc);
+        assert_eq!(rdispls, rd);
+
+        if comm.is_root() {
+            println!("gathered {} elements across {} ranks", v_global.len(), comm.size());
+            println!("counts  = {rcounts:?}");
+            println!("displs  = {rdispls:?}");
+            println!("data    = {v_global:?}");
+        }
+    });
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the KaMPIng-rs reproduction.
+//!
+//! Re-exports the public API of every crate in the workspace so that the
+//! examples and integration tests in this repository can use a single
+//! dependency. Downstream users would normally depend on [`kamping`]
+//! directly (plus [`kmp_mpi`] to launch a message-passing universe).
+pub use kamping;
+pub use kmp_apps as apps;
+pub use kmp_baselines as baselines;
+pub use kmp_graphgen as graphgen;
+pub use kmp_mpi as mpi;
+pub use kmp_serialize as serialize;

@@ -1,0 +1,182 @@
+//! Shape assertions on the virtual-time cost model — the mechanisms
+//! behind the paper's Fig. 8/10 findings must be visible in the model:
+//! sparse exchanges beat dense ones on sparse patterns, the grid
+//! all-to-all beats dense at scale, rebuilding topologies per round does
+//! not scale, and the alltoallw (MPL) path is more expensive.
+
+use std::collections::HashMap;
+
+use kamping_repro::kamping::prelude::*;
+use kamping_repro::mpi::{Comm, Config, CostModel, Universe};
+
+/// Max-over-ranks virtual time (ns) of one run of `f` under the cluster
+/// cost model.
+fn vtime<F: Fn(&Comm) + Sync>(p: usize, f: F) -> u64 {
+    Universe::run_with(Config::new(p).cost(CostModel::cluster()), |comm| {
+        comm.barrier().unwrap();
+        comm.clock_reset();
+        f(&comm);
+        comm.clock_now_ns()
+    })
+    .into_iter()
+    .map(|o| o.unwrap())
+    .max()
+    .unwrap()
+}
+
+#[test]
+fn sparse_beats_dense_on_ring_pattern() {
+    let p = 16;
+    let dense = vtime(p, |comm| {
+        let kc = Communicator::new(comm.dup().unwrap());
+        comm.clock_reset();
+        let mut counts = vec![0usize; p];
+        counts[(kc.rank() + 1) % p] = 1;
+        let _: Vec<u64> =
+            kc.alltoallv((send_buf(&vec![1u64]), send_counts(&counts))).unwrap();
+    });
+    let sparse = vtime(p, |comm| {
+        let kc = Communicator::new(comm.dup().unwrap());
+        comm.clock_reset();
+        let mut msgs = HashMap::new();
+        msgs.insert((kc.rank() + 1) % p, vec![1u64]);
+        let _ = kc.sparse_alltoallv(&msgs).unwrap();
+    });
+    assert!(
+        sparse < dense,
+        "ring pattern: sparse ({sparse} ns) must beat dense ({dense} ns) at p={p}"
+    );
+}
+
+#[test]
+fn grid_beats_dense_alltoallv_at_scale_for_small_messages() {
+    let p = 64;
+    let dense = vtime(p, |comm| {
+        let kc = Communicator::new(comm.dup().unwrap());
+        comm.clock_reset();
+        let counts = vec![1usize; p];
+        let data = vec![1u64; p];
+        let _: Vec<u64> = kc.alltoallv((send_buf(&data), send_counts(&counts))).unwrap();
+    });
+    let grid = vtime(p, |comm| {
+        let kc = Communicator::new(comm.dup().unwrap());
+        let g = kc.make_grid().unwrap();
+        comm.clock_reset();
+        let counts = vec![1usize; p];
+        let data = vec![1u64; p];
+        let _ = g.alltoallv(&data, &counts).unwrap();
+    });
+    assert!(
+        grid < dense,
+        "p={p}: grid ({grid} ns) must beat dense ({dense} ns) for latency-bound exchanges"
+    );
+}
+
+#[test]
+fn dense_beats_grid_for_bandwidth_bound_exchanges() {
+    // The trade-off of §V-A: the grid halves the startup count but
+    // doubles the communication volume, so for large payloads the dense
+    // exchange must win.
+    let p = 4;
+    let n = 8_192usize; // 64 KiB per peer: beta-dominated
+    let dense = vtime(p, |comm| {
+        let kc = Communicator::new(comm.dup().unwrap());
+        comm.clock_reset();
+        let counts = vec![n; p];
+        let data = vec![1u64; n * p];
+        let mut out = vec![0u64; n * p];
+        kc.alltoallv((
+            send_buf(&data),
+            send_counts(&counts),
+            recv_counts(&counts),
+            recv_buf(&mut out),
+        ))
+        .unwrap();
+    });
+    let grid = vtime(p, |comm| {
+        let kc = Communicator::new(comm.dup().unwrap());
+        let g = kc.make_grid().unwrap();
+        comm.clock_reset();
+        let counts = vec![n; p];
+        let data = vec![1u64; n * p];
+        let _ = g.alltoallv(&data, &counts).unwrap();
+    });
+    assert!(
+        dense < grid,
+        "p={p}, 64 KiB blocks: dense ({dense} ns) must beat the volume-doubling grid ({grid} ns)"
+    );
+}
+
+#[test]
+fn topology_rebuild_dwarfs_reuse() {
+    let p = 16;
+    let peers: Vec<usize> = vec![]; // empty neighbourhood: isolate setup cost
+    let reuse = vtime(p, |comm| {
+        let topo = comm.create_dist_graph_adjacent(&peers, &peers).unwrap();
+        comm.clock_reset();
+        for _ in 0..10 {
+            let _ = topo.neighbor_alltoall_vecs::<u64>(&[]).unwrap();
+        }
+    });
+    let rebuild = vtime(p, |comm| {
+        comm.barrier().unwrap();
+        comm.clock_reset();
+        for _ in 0..10 {
+            let topo = comm.create_dist_graph_adjacent(&peers, &peers).unwrap();
+            let _ = topo.neighbor_alltoall_vecs::<u64>(&[]).unwrap();
+        }
+    });
+    assert!(
+        rebuild > reuse * 3,
+        "rebuilding per round ({rebuild} ns) must dwarf reuse ({reuse} ns)"
+    );
+}
+
+#[test]
+fn alltoallw_path_costs_more_than_alltoallv() {
+    let p = 16;
+    let via_v = vtime(p, |comm| {
+        let counts = vec![8usize; p];
+        let displs: Vec<usize> = (0..p).map(|r| r * 8).collect();
+        let data = vec![1u8; 8 * p];
+        let mut out = vec![0u8; 8 * p];
+        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs).unwrap();
+    });
+    let via_w = vtime(p, |comm| {
+        let counts = vec![8usize; p];
+        let displs: Vec<usize> = (0..p).map(|r| r * 8).collect();
+        let data = vec![1u8; 8 * p];
+        let mut out = vec![0u8; 8 * p];
+        comm.alltoallw_bytes(&data, &counts, &displs, &mut out, &counts, &displs).unwrap();
+    });
+    assert!(
+        via_w > via_v,
+        "alltoallw ({via_w} ns) must carry the datatype overhead over alltoallv ({via_v} ns)"
+    );
+}
+
+#[test]
+fn weak_scaling_of_dense_exchange_is_superlinear_in_p() {
+    // Dense personalized exchange: per-rank startups grow linearly in p,
+    // so doubling p roughly doubles the (latency-dominated) cost.
+    let t8 = vtime(8, |comm| {
+        let p = comm.size();
+        let counts = vec![1usize; p];
+        let displs: Vec<usize> = (0..p).collect();
+        let data = vec![1u64; p];
+        let mut out = vec![0u64; p];
+        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs).unwrap();
+    });
+    let t32 = vtime(32, |comm| {
+        let p = comm.size();
+        let counts = vec![1usize; p];
+        let displs: Vec<usize> = (0..p).collect();
+        let data = vec![1u64; p];
+        let mut out = vec![0u64; p];
+        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs).unwrap();
+    });
+    assert!(
+        t32 > 2 * t8,
+        "dense exchange at p=32 ({t32} ns) must cost well over 2x p=8 ({t8} ns)"
+    );
+}

@@ -1,0 +1,144 @@
+//! ULFM integration scenarios (§V-B of the paper): failure detection in
+//! blocking and non-blocking operations, revocation semantics, recovery
+//! by shrinking, agreement, and continued operation of the survivors.
+
+use kamping_repro::kamping::prelude::*;
+use kamping_repro::kamping::MpiError;
+use kamping_repro::mpi::{Config, RankOutcome, Universe};
+
+fn recover(mut comm: Communicator) -> Communicator {
+    if !comm.is_revoked() {
+        comm.revoke();
+    }
+    comm = comm.shrink().unwrap();
+    comm
+}
+
+#[test]
+fn survivors_complete_a_full_pipeline_after_failure() {
+    let out = Universe::run_with(Config::new(5), |comm| {
+        let mut comm = Communicator::new(comm);
+        if comm.rank() == 3 {
+            comm.fail_now();
+        }
+        // Failure surfaces in some collective eventually.
+        if comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).is_err() {
+            comm = recover(comm);
+        }
+        // Survivors run a full sort + allgather pipeline.
+        let mut data = vec![comm.rank() as u64 * 3 % 7, 5, 1];
+        comm.sort(&mut data).unwrap();
+        let lens: Vec<u64> = comm.allgatherv(send_buf(&[data.len() as u64])).unwrap();
+        assert_eq!(lens.len(), comm.size());
+        comm.size()
+    });
+    let sizes: Vec<usize> = out.into_iter().filter_map(|o| o.completed()).collect();
+    assert_eq!(sizes, vec![4, 4, 4, 4]);
+}
+
+#[test]
+fn failure_detected_in_p2p_wait() {
+    let out = Universe::run_with(Config::new(2), |comm| {
+        let comm = Communicator::new(comm);
+        if comm.rank() == 1 {
+            comm.fail_now();
+        }
+        let r = comm.recv::<u64, _>((source(1),));
+        matches!(r, Err(MpiError::ProcessFailed { world_rank: 1 }))
+    });
+    assert_eq!(out[0], RankOutcome::Completed(true));
+}
+
+#[test]
+fn failure_detected_in_nonblocking_test_loop() {
+    let out = Universe::run_with(Config::new(2), |comm| {
+        let comm = Communicator::new(comm);
+        if comm.rank() == 1 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            comm.fail_now();
+        }
+        let mut req = comm.irecv::<u8, _>(source(1)).unwrap();
+        loop {
+            match req.test() {
+                Ok(Ok(_)) => return false,
+                Ok(Err(pending)) => req = pending,
+                Err(e) => return Communicator::is_failure(&e),
+            }
+            std::thread::yield_now();
+        }
+    });
+    assert_eq!(out[0], RankOutcome::Completed(true));
+}
+
+#[test]
+fn revoked_communicator_stops_everything_but_shrink_works() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let dup = comm.dup().unwrap();
+        if dup.rank() == 2 {
+            dup.revoke();
+        }
+        while !dup.is_revoked() {
+            std::thread::yield_now();
+        }
+        // Normal traffic is refused...
+        assert_eq!(dup.barrier().unwrap_err(), MpiError::Revoked);
+        assert!(dup.allgatherv(send_buf(&[1u8])).is_err());
+        // ...but shrink recovers a working communicator of all 3 (nobody
+        // actually failed).
+        let fresh = dup.shrink().unwrap();
+        assert_eq!(fresh.size(), 3);
+        fresh.barrier().unwrap();
+        // The original world communicator was never revoked.
+        comm.barrier().unwrap();
+    });
+}
+
+#[test]
+fn agreement_is_failure_aware_and_consistent() {
+    let out = Universe::run_with(Config::new(4), |comm| {
+        let comm = Communicator::new(comm);
+        if comm.rank() == 0 {
+            comm.fail_now();
+        }
+        // Everyone passes true except rank 2: AND over survivors = false.
+        let flag = comm.rank() != 2;
+        comm.agree(flag).unwrap()
+    });
+    let votes: Vec<bool> = out.into_iter().filter_map(|o| o.completed()).collect();
+    assert_eq!(votes, vec![false, false, false]);
+}
+
+#[test]
+fn cascading_failures_shrink_twice() {
+    let out = Universe::run_with(Config::new(6), |comm| {
+        let mut comm = Communicator::new(comm);
+        if comm.rank() == 1 {
+            comm.fail_now();
+        }
+        comm = comm.shrink().unwrap();
+        assert_eq!(comm.size(), 5);
+        if comm.rank() == 3 {
+            comm.fail_now();
+        }
+        comm = comm.shrink().unwrap();
+        assert_eq!(comm.size(), 4);
+        comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap()
+    });
+    let sums: Vec<u64> = out.into_iter().filter_map(|o| o.completed()).collect();
+    assert_eq!(sums, vec![4, 4, 4, 4]);
+}
+
+#[test]
+fn plain_panic_is_reported_as_panic_not_failure() {
+    let out = Universe::run_with(Config::new(2), |comm| {
+        if comm.rank() == 1 {
+            panic!("application bug");
+        }
+        // Rank 0 notices the dead peer rather than hanging.
+        let r = comm.recv_vec::<u8>(1, 0);
+        r.is_err()
+    });
+    assert_eq!(out[0], RankOutcome::Completed(true));
+    assert!(matches!(out[1], RankOutcome::Panicked(ref m) if m.contains("application bug")));
+}

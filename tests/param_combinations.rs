@@ -1,0 +1,330 @@
+//! Parameter-combination matrix (§III-H of the paper: "All wrapped MPI
+//! functionality has been extensively tested using a large number of
+//! parameter combinations").
+//!
+//! Each test exercises one distinct combination of named parameters —
+//! in/out roles, ordering, resize policies, ownership modes — and checks
+//! the result against the ground truth.
+
+use kamping_repro::kamping::prelude::*;
+use kamping_repro::mpi::Universe;
+
+// --- allgatherv ------------------------------------------------------------
+
+#[test]
+fn allgatherv_send_only() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let v = vec![comm.rank() as u32; comm.rank()];
+        let all: Vec<u32> = comm.allgatherv(send_buf(&v)).unwrap();
+        assert_eq!(all, vec![1, 2, 2]);
+    });
+}
+
+#[test]
+fn allgatherv_params_in_reversed_order() {
+    // Named parameters are order-free (§III-A).
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let v = vec![comm.rank() as u32; comm.rank()];
+        let (all, counts) =
+            comm.allgatherv((recv_counts_out(), send_buf(&v))).unwrap();
+        assert_eq!(all, vec![1, 2, 2]);
+        assert_eq!(counts, vec![0, 1, 2]);
+    });
+}
+
+#[test]
+fn allgatherv_counts_in_displs_out() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let v = vec![comm.rank() as u8; 2];
+        let counts = vec![2usize, 2];
+        let (all, displs) = comm
+            .allgatherv((send_buf(&v), recv_counts(&counts), recv_displs_out()))
+            .unwrap();
+        assert_eq!(all, vec![0, 0, 1, 1]);
+        assert_eq!(displs, vec![0, 2]);
+    });
+}
+
+#[test]
+fn allgatherv_custom_displacements_with_gaps() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let v = vec![comm.rank() as u16 + 1];
+        let counts = vec![1usize, 1];
+        let displs = vec![1usize, 3];
+        let mut out = vec![9u16; 4];
+        comm.allgatherv((
+            send_buf(&v),
+            recv_counts(&counts),
+            recv_displs(&displs),
+            recv_buf(&mut out),
+        ))
+        .unwrap();
+        assert_eq!(out, vec![9, 1, 9, 2]);
+    });
+}
+
+#[test]
+fn allgatherv_grow_only_keeps_excess() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let v = vec![5u8];
+        let mut out = vec![7u8; 10];
+        comm.allgatherv((send_buf(&v), recv_buf(&mut out).grow_only())).unwrap();
+        assert_eq!(&out[..2], &[5, 5]);
+        assert_eq!(out.len(), 10, "grow_only must not shrink");
+    });
+}
+
+#[test]
+#[should_panic(expected = "no_resize")]
+fn allgatherv_no_resize_rejects_small_buffer() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let v = vec![1u8, 2];
+        let mut out = vec![0u8; 1]; // too small, default policy
+        let _ = comm.allgatherv((send_buf(&v), recv_buf(&mut out)));
+    });
+}
+
+// --- gather / scatter roots ------------------------------------------------
+
+#[test]
+fn gather_root_param_any_position() {
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let a: Vec<u8> = comm.gather((root(3), send_buf(&[comm.rank() as u8]))).unwrap();
+        let b: Vec<u8> = comm.gather((send_buf(&[comm.rank() as u8]), root(3))).unwrap();
+        assert_eq!(a, b);
+        if comm.rank() == 3 {
+            assert_eq!(a, vec![0, 1, 2, 3]);
+        }
+    });
+}
+
+#[test]
+fn gatherv_with_recv_buf_and_both_outs() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let v = vec![comm.rank() as u64; comm.rank() + 1];
+        let mut store = Vec::new();
+        let (counts, displs) = comm
+            .gatherv((
+                send_buf(&v),
+                recv_buf(&mut store).resize_to_fit(),
+                recv_counts_out(),
+                recv_displs_out(),
+            ))
+            .unwrap();
+        if comm.rank() == 0 {
+            assert_eq!(store, vec![0, 1, 1, 2, 2, 2]);
+            assert_eq!(counts, vec![1, 2, 3]);
+            assert_eq!(displs, vec![0, 1, 3]);
+        } else {
+            assert!(store.is_empty());
+        }
+    });
+}
+
+#[test]
+fn scatterv_counts_and_explicit_displs() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let send: Vec<u32> = if comm.rank() == 0 { vec![1, 2, 3, 4] } else { vec![] };
+        let counts = vec![1usize, 2];
+        let displs = vec![0usize, 2]; // skip element 1
+        let mine: Vec<u32> = comm
+            .scatterv((send_buf(&send), send_counts(&counts), send_displs(&displs)))
+            .unwrap();
+        if comm.rank() == 0 {
+            assert_eq!(mine, vec![1]);
+        } else {
+            assert_eq!(mine, vec![3, 4]);
+        }
+    });
+}
+
+// --- alltoallv -------------------------------------------------------------
+
+#[test]
+fn alltoallv_owned_send_with_explicit_send_displs() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        // Send buffer has a junk prefix; displacements skip it.
+        let send = vec![99u64, comm.rank() as u64, comm.rank() as u64 + 10];
+        let counts = vec![1usize, 1];
+        let displs = vec![1usize, 2];
+        let got: Vec<u64> = comm
+            .alltoallv((send_buf(send), send_counts(&counts), send_displs(&displs)))
+            .unwrap();
+        // Rank 0 receives each sender's displ-1 element (the sender's
+        // rank); rank 1 each sender's displ-2 element (rank + 10).
+        let offset = comm.rank() as u64 * 10;
+        assert_eq!(got, vec![offset, offset + 1]);
+    });
+}
+
+#[test]
+fn alltoallv_recv_into_owned_moved_container() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let send = vec![comm.rank() as u16; 2];
+        let counts = vec![1usize, 1];
+        let reused = Vec::with_capacity(32);
+        let got: Vec<u16> = comm
+            .alltoallv((
+                send_buf(&send),
+                send_counts(&counts),
+                recv_buf(reused).resize_to_fit(),
+            ))
+            .unwrap();
+        assert_eq!(got, vec![0, 1]);
+        assert!(got.capacity() >= 32, "moved-in allocation is reused");
+    });
+}
+
+// --- reductions ------------------------------------------------------------
+
+#[test]
+fn reduce_with_recv_buf_at_root() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let mut out = vec![0u64; 2];
+        comm.reduce((
+            send_buf(&[1u64, comm.rank() as u64][..]),
+            op(ops::Sum),
+            recv_buf(&mut out).grow_only(),
+            root(1),
+        ))
+        .unwrap();
+        if comm.rank() == 1 {
+            assert_eq!(out, vec![3, 3]);
+        }
+    });
+}
+
+#[test]
+fn allreduce_min_max_pair() {
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let mine = [comm.rank() as i64 - 1];
+        let lo: Vec<i64> = comm.allreduce((send_buf(&mine[..]), op(ops::Min))).unwrap();
+        let hi: Vec<i64> = comm.allreduce((send_buf(&mine[..]), op(ops::Max))).unwrap();
+        assert_eq!((lo[0], hi[0]), (-1, 2));
+    });
+}
+
+#[test]
+fn scan_and_exscan_with_non_commutative_lambda() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let concat = ops::non_commutative(|a: &u64, b: &u64| a * 10 + b);
+        let mine = [comm.rank() as u64 + 1];
+        let inc: Vec<u64> = comm.scan((send_buf(&mine[..]), op(concat))).unwrap();
+        let expected = [1u64, 12, 123][comm.rank()];
+        assert_eq!(inc[0], expected);
+    });
+}
+
+// --- p2p -------------------------------------------------------------------
+
+#[test]
+fn send_from_array_and_slice_shapes() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        if comm.rank() == 0 {
+            comm.send((send_buf([1u32, 2]), destination(1), tag(1))).unwrap();
+            comm.send((send_buf(&[3u32, 4]), destination(1), tag(2))).unwrap();
+            let v = [5u32, 6];
+            comm.send((send_buf(&v[..]), destination(1), tag(3))).unwrap();
+        } else {
+            let a: Vec<u32> = comm.recv((source(0), tag(1))).unwrap();
+            let b: Vec<u32> = comm.recv((source(0), tag(2))).unwrap();
+            let c: Vec<u32> = comm.recv((source(0), tag(3))).unwrap();
+            assert_eq!((a, b, c), (vec![1, 2], vec![3, 4], vec![5, 6]));
+        }
+    });
+}
+
+#[test]
+fn recv_wildcards_and_filters() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        if comm.rank() == 0 {
+            // Two messages from different sources; receive in tag order.
+            let t9: Vec<u8> = comm.recv((any_source(), tag(9))).unwrap();
+            let t8: Vec<u8> = comm.recv((any_source(), tag(8))).unwrap();
+            assert_eq!(t9, vec![2]);
+            assert_eq!(t8, vec![1]);
+        } else if comm.rank() == 1 {
+            comm.send((send_buf(&[1u8][..]), destination(0), tag(8))).unwrap();
+        } else {
+            comm.send((send_buf(&[2u8][..]), destination(0), tag(9))).unwrap();
+        }
+    });
+}
+
+#[test]
+fn irecv_with_source_and_count() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        if comm.rank() == 0 {
+            comm.send((send_buf(&vec![1u64; 8]), destination(1))).unwrap();
+        } else {
+            let r = comm.irecv::<u64, _>((source(0), recv_count(8))).unwrap();
+            assert_eq!(r.wait().unwrap(), vec![1; 8]);
+        }
+    });
+}
+
+#[test]
+fn issend_owned_array_comes_back() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        if comm.rank() == 0 {
+            let r = comm.issend((send_buf(vec![9u8; 3]), destination(1))).unwrap();
+            let v = r.wait().unwrap();
+            assert_eq!(v, vec![9; 3]);
+        } else {
+            let v: Vec<u8> = comm.recv((source(0),)).unwrap();
+            assert_eq!(v, vec![9; 3]);
+        }
+    });
+}
+
+// --- bcast / in-place ------------------------------------------------------
+
+#[test]
+fn bcast_owned_and_borrowed_roundtrip() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        // Borrowed form.
+        let mut a = if comm.rank() == 0 { vec![1u32, 2] } else { vec![] };
+        comm.bcast((send_recv_buf(&mut a),)).unwrap();
+        assert_eq!(a, vec![1, 2]);
+        // Owned (move-through) form.
+        let b = if comm.rank() == 0 { vec![3u32] } else { vec![] };
+        let b: Vec<u32> = comm.bcast((send_recv_buf(b),)).unwrap();
+        assert_eq!(b, vec![3]);
+    });
+}
+
+#[test]
+fn in_place_allgather_owned_matches_borrowed() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let mut borrowed = vec![0u64; 3];
+        borrowed[comm.rank()] = comm.rank() as u64 + 1;
+        comm.allgather(send_recv_buf(&mut borrowed)).unwrap();
+
+        let mut owned_in = vec![0u64; 3];
+        owned_in[comm.rank()] = comm.rank() as u64 + 1;
+        let owned: Vec<u64> = comm.allgather(send_recv_buf(owned_in)).unwrap();
+
+        assert_eq!(borrowed, owned);
+        assert_eq!(owned, vec![1, 2, 3]);
+    });
+}

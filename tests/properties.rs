@@ -1,0 +1,191 @@
+//! Property-based tests: collective results against sequential oracles
+//! for arbitrary rank counts, payload sizes and values; serialization
+//! round-trips; sorting and reduction invariants.
+
+use kamping_repro::kamping::plugins::repro_reduce::ReproducibleReduce;
+use kamping_repro::kamping::prelude::*;
+use kamping_repro::mpi::Universe;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allgatherv_concatenates_any_distribution(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..20), 1..6)
+    ) {
+        let p = blocks.len();
+        let blocks = &blocks;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mine = blocks[comm.rank()].clone();
+            comm.allgatherv(send_buf(&mine)).unwrap()
+        });
+        let expected: Vec<u64> = blocks.iter().flatten().copied().collect();
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_permutation_router(
+        p in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        // Every rank sends (rank, dest, k) records; receivers must get
+        // exactly the records addressed to them, grouped by sender.
+        use rand::prelude::*;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mut rng = StdRng::seed_from_u64(seed ^ comm.rank() as u64);
+            let mut send: Vec<u64> = Vec::new();
+            let mut counts = vec![0usize; p];
+            for dest in 0..p {
+                let k = rng.random_range(0..5);
+                counts[dest] = k;
+                for i in 0..k {
+                    send.push((comm.rank() * 1_000_000 + dest * 1_000 + i) as u64);
+                }
+            }
+            let got: Vec<u64> = comm.alltoallv((send_buf(&send), send_counts(&counts))).unwrap();
+            (comm.rank(), got)
+        });
+        for (rank, got) in out {
+            for v in got {
+                let dest = (v / 1_000 % 1_000) as usize;
+                prop_assert_eq!(dest, rank, "record routed to the wrong rank");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_oracle(
+        blocks in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 1..8), 1..6)
+    ) {
+        let p = blocks.len();
+        let width = blocks.iter().map(Vec::len).min().unwrap();
+        let blocks = &blocks;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mine = blocks[comm.rank()][..width].to_vec();
+            let total: Vec<u64> = comm.allreduce((send_buf(&mine), op(ops::Sum))).unwrap();
+            total
+        });
+        let expected: Vec<u64> = (0..width)
+            .map(|i| blocks.iter().map(|b| b[i]).sum())
+            .collect();
+        for got in out {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn scan_prefixes_match_oracle(values in prop::collection::vec(any::<u32>(), 1..6)) {
+        let p = values.len();
+        let values = &values;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![values[comm.rank()] as u64];
+            let running: Vec<u64> = comm.scan((send_buf(&mine), op(ops::Sum))).unwrap();
+            running[0]
+        });
+        let mut acc = 0u64;
+        for (r, got) in out.into_iter().enumerate() {
+            acc += values[r] as u64;
+            prop_assert_eq!(got, acc);
+        }
+    }
+
+    #[test]
+    fn sorter_produces_globally_sorted_permutation(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..60), 1..6)
+    ) {
+        let p = blocks.len();
+        let blocks = &blocks;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mut data = blocks[comm.rank()].clone();
+            comm.sort(&mut data).unwrap();
+            data
+        });
+        let got: Vec<u64> = out.concat();
+        let mut expected: Vec<u64> = blocks.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reproducible_reduce_independent_of_partition(
+        values in prop::collection::vec(-1e6f64..1e6, 1..80),
+        p1 in 1usize..5,
+        p2 in 1usize..5,
+    ) {
+        let run = |p: usize, values: &Vec<f64>| -> u64 {
+            let values = &values;
+            let out = Universe::run(p, move |comm| {
+                let comm = Communicator::new(comm);
+                let lo = comm.rank() * values.len() / p;
+                let hi = (comm.rank() + 1) * values.len() / p;
+                comm.reproducible_reduce(&values[lo..hi], ops::Sum).unwrap()
+            });
+            let bits = out[0].to_bits();
+            assert!(out.iter().all(|v| v.to_bits() == bits));
+            bits
+        };
+        prop_assert_eq!(run(p1, &values), run(p2, &values));
+    }
+
+    #[test]
+    fn serialization_roundtrip_arbitrary_maps(
+        entries in prop::collection::btree_map(".{0,12}", any::<i64>(), 0..10)
+    ) {
+        let entries = &entries;
+        Universe::run(2, move |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                comm.send((send_buf(as_serialized(entries)), destination(1))).unwrap();
+            } else {
+                let got: std::collections::BTreeMap<String, i64> =
+                    comm.recv((recv_buf(as_deserializable()), source(0))).unwrap();
+                assert_eq!(&got, entries);
+            }
+        });
+    }
+
+    #[test]
+    fn bcast_delivers_root_content_from_any_root(
+        data in prop::collection::vec(any::<u32>(), 0..50),
+        p in 1usize..6,
+        root_pick in any::<usize>(),
+    ) {
+        let root = root_pick % p;
+        let data = &data;
+        Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mut buf = if comm.rank() == root { data.clone() } else { Vec::new() };
+            comm.bcast((send_recv_buf(&mut buf), kamping_repro::kamping::params::root(root)))
+                .unwrap();
+            assert_eq!(&buf, data);
+        });
+    }
+
+    #[test]
+    fn gatherv_then_scatterv_is_identity(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u16>(), 0..16), 1..5)
+    ) {
+        let p = blocks.len();
+        let blocks = &blocks;
+        Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mine = blocks[comm.rank()].clone();
+            let (all, counts) = comm
+                .gatherv((send_buf(&mine), recv_counts_out()))
+                .unwrap();
+            // Root redistributes exactly what it collected.
+            let back: Vec<u16> = comm
+                .scatterv((send_buf(&all), send_counts(&counts)))
+                .unwrap();
+            assert_eq!(back, mine);
+        });
+    }
+}
