@@ -95,7 +95,9 @@ mod tests {
     }
 
     fn expected(p: usize) -> Vec<u64> {
-        (0..p as u64).flat_map(|r| std::iter::repeat_n(r, r as usize + 1)).collect()
+        (0..p as u64)
+            .flat_map(|r| std::iter::repeat_n(r, r as usize + 1))
+            .collect()
     }
 
     #[test]

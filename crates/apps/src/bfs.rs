@@ -53,6 +53,7 @@ pub fn expand_frontier(
 
 /// Plain substrate ("MPI") BFS: counts flattened, transposed and
 /// exchanged by hand every level (Table I: 46 LoC).
+#[allow(clippy::needless_range_loop)] // counts and payload are built in rank order
 pub fn bfs_mpi(g: &DistGraph, source: VId, comm: &Comm) -> Result<Vec<u64>> {
     // loc:begin:bfs_mpi
     let p = comm.size();
@@ -117,8 +118,50 @@ pub fn bfs_kamping(g: &DistGraph, source: VId, comm: &Communicator) -> Result<Ve
     // loc:end:bfs_kamping
 }
 
+/// kamping BFS with **communication/computation overlap** via the
+/// non-blocking collectives (§III-E extended to collectives):
+///
+/// - the level's termination check (`iallreduce`) is in flight while the
+///   frontier is expanded — expansion is a no-op on an empty local
+///   frontier, so running it before the global verdict is known is safe
+///   (a non-empty local frontier already implies "not done");
+/// - self-destined next-frontier vertices never touch the wire: they are
+///   split off and merged locally while the `ialltoallv` for the remote
+///   ones is in flight.
+pub fn bfs_kamping_overlap(g: &DistGraph, source: VId, comm: &Communicator) -> Result<Vec<u64>> {
+    // loc:begin:bfs_kamping_overlap
+    let mut dist = vec![UNDEF; g.local_n()];
+    let mut frontier: Vec<VId> = Vec::new();
+    if g.is_local(source) {
+        frontier.push(source);
+    }
+    let mut level = 0u64;
+    loop {
+        let empty = u8::from(frontier.is_empty());
+        let done_fut = comm.iallreduce((send_buf(vec![empty]), op(ops::LogicalAnd)))?;
+        // Overlap 1: expand the frontier while the reduction is in flight.
+        let mut next = expand_frontier(g, &frontier, &mut dist, level);
+        let (done, _) = done_fut.wait()?;
+        if done[0] != 0 {
+            break;
+        }
+        // Overlap 2: exchange remote vertices while merging the local ones.
+        let own = next.remove(&comm.rank()).unwrap_or_default();
+        let (data, scounts) = flatten(next, comm.size());
+        let exchange = comm.ialltoallv((send_buf(data), send_counts(scounts)))?;
+        let mut merged = own; // local work under the in-flight exchange
+        let (mut remote, _sent) = exchange.wait()?;
+        merged.append(&mut remote);
+        frontier = merged;
+        level += 1;
+    }
+    Ok(dist)
+    // loc:end:bfs_kamping_overlap
+}
+
 /// Boost.MPI-style BFS: no alltoallv binding, the exchange is hand-rolled
 /// (42 LoC).
+#[allow(clippy::needless_range_loop)] // counts and payload are built in rank order
 pub fn bfs_boost(g: &DistGraph, source: VId, comm: &Comm) -> Result<Vec<u64>> {
     // loc:begin:bfs_boost
     let c = boost_like::BoostComm::new(comm);
@@ -148,7 +191,12 @@ pub fn bfs_boost(g: &DistGraph, source: VId, comm: &Comm) -> Result<Vec<u64>> {
         // (receives size themselves, as Boost's serialization does).
         let displs = kmp_mpi::collectives::displacements_from_counts(&scounts);
         for dest in 0..p {
-            boost_like::send(&c, dest, 0, &data[displs[dest]..displs[dest] + scounts[dest]])?;
+            boost_like::send(
+                &c,
+                dest,
+                0,
+                &data[displs[dest]..displs[dest] + scounts[dest]],
+            )?;
         }
         frontier = Vec::new();
         let mut block = Vec::new();
@@ -163,6 +211,7 @@ pub fn bfs_boost(g: &DistGraph, source: VId, comm: &Comm) -> Result<Vec<u64>> {
 }
 
 /// RWTH-MPI-style BFS: explicit counts/displacements every level (32 LoC).
+#[allow(clippy::needless_range_loop)] // counts and payload are built in rank order
 pub fn bfs_rwth(g: &DistGraph, source: VId, comm: &Comm) -> Result<Vec<u64>> {
     // loc:begin:bfs_rwth
     let c = rwth_like::RwthComm::new(comm);
@@ -202,6 +251,7 @@ pub fn bfs_rwth(g: &DistGraph, source: VId, comm: &Comm) -> Result<Vec<u64>> {
 
 /// MPL-style BFS: layouts for both sides of every exchange (49 LoC — the
 /// longest, and the slowest due to the alltoallw-path v-collectives).
+#[allow(clippy::needless_range_loop)] // counts and payload are built in rank order
 pub fn bfs_mpl(g: &DistGraph, source: VId, comm: &Comm) -> Result<Vec<u64>> {
     // loc:begin:bfs_mpl
     let c = mpl_like::MplComm::new(comm);
@@ -214,7 +264,11 @@ pub fn bfs_mpl(g: &DistGraph, source: VId, comm: &Comm) -> Result<Vec<u64>> {
     let mut level = 0u64;
     loop {
         let mut done = [0u8];
-        c.allreduce(&[u8::from(frontier.is_empty())], &mut done, kmp_mpi::op::LogicalAnd)?;
+        c.allreduce(
+            &[u8::from(frontier.is_empty())],
+            &mut done,
+            kmp_mpi::op::LogicalAnd,
+        )?;
         if done[0] != 0 {
             break;
         }
@@ -267,7 +321,8 @@ pub fn comm_graph_peers(g: &DistGraph) -> Vec<Rank> {
     let mut peers: Vec<Rank> = (0..g.vertex_ranges.len() - 1)
         .filter(|&r| {
             r != g.rank
-                && g.iter_local().any(|(_, nbrs)| nbrs.iter().any(|&u| g.owner(u) == r))
+                && g.iter_local()
+                    .any(|(_, nbrs)| nbrs.iter().any(|&u| g.owner(u) == r))
         })
         .collect();
     peers.sort_unstable();
@@ -349,9 +404,14 @@ fn neighbor_exchange(
 ) -> Result<Vec<VId>> {
     // Self-messages do not travel through the topology.
     let own = next.remove(&topo.comm().rank()).unwrap_or_default();
-    let send: Vec<Vec<VId>> =
-        peers.iter().map(|r| next.remove(r).unwrap_or_default()).collect();
-    debug_assert!(next.is_empty(), "message to a rank outside the communication graph");
+    let send: Vec<Vec<VId>> = peers
+        .iter()
+        .map(|r| next.remove(r).unwrap_or_default())
+        .collect();
+    debug_assert!(
+        next.is_empty(),
+        "message to a rank outside the communication graph"
+    );
     let received = topo.neighbor_alltoall_vecs(&send)?;
     let mut frontier = own;
     for block in received {
@@ -441,6 +501,37 @@ mod tests {
             let c = Communicator::new(comm);
             bfs_kamping(g, 0, &c).unwrap()
         });
+    }
+
+    #[test]
+    fn overlap_variant_matches_sequential() {
+        check_bfs(gnm_parts(4), |g, comm| {
+            let c = Communicator::new(comm);
+            bfs_kamping_overlap(g, 0, &c).unwrap()
+        });
+    }
+
+    #[test]
+    fn overlap_variant_matches_on_all_families() {
+        let p = 4;
+        let graphs: Vec<Vec<DistGraph>> = vec![
+            (0..p).map(|r| gnm(100, 400, 3, r, p)).collect(),
+            (0..p).map(|r| rgg2d(150, 0.12, 3, r, p)).collect(),
+            (0..p).map(|r| rhg(120, 8.0, 0.75, 3, r, p)).collect(),
+        ];
+        for parts in graphs {
+            let reference = bfs_sequential(&parts, 0);
+            let out = Universe::run(p, |comm| {
+                let c = Communicator::new(comm);
+                bfs_kamping_overlap(&parts[c.rank()], 0, &c).unwrap()
+            });
+            let mut got = vec![UNDEF; reference.len()];
+            for (r, dists) in out.iter().enumerate() {
+                let lo = parts[r].vertex_ranges[r];
+                got[lo..lo + dists.len()].copy_from_slice(dists);
+            }
+            assert_eq!(got, reference);
+        }
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct LabelUpdate {
     pub vertex: u64,
     pub label: u64,
 }
-plain_struct!(LabelUpdate { vertex: u64, label: u64 });
+plain_struct!(LabelUpdate {
+    vertex: u64,
+    label: u64
+});
 
 /// Number of hash buckets for the approximate global cluster-size
 /// accounting (the exact per-cluster tracking of dKaMinPar is out of
@@ -49,8 +52,9 @@ pub struct LpState {
 impl LpState {
     /// Initializes singleton clusters and computes the boundary lists.
     pub fn new(g: &DistGraph) -> Self {
-        let labels: Vec<u64> =
-            (0..g.local_n()).map(|i| (g.first_vertex() + i) as u64).collect();
+        let labels: Vec<u64> = (0..g.local_n())
+            .map(|i| (g.first_vertex() + i) as u64)
+            .collect();
         let mut seen: HashMap<Rank, std::collections::BTreeSet<u64>> = HashMap::new();
         for (v, nbrs) in g.iter_local() {
             for &u in nbrs {
@@ -60,14 +64,21 @@ impl LpState {
                 }
             }
         }
-        let mut boundary: Vec<(Rank, Vec<u64>)> =
-            seen.into_iter().map(|(r, s)| (r, s.into_iter().collect())).collect();
+        let mut boundary: Vec<(Rank, Vec<u64>)> = seen
+            .into_iter()
+            .map(|(r, s)| (r, s.into_iter().collect()))
+            .collect();
         boundary.sort_by_key(|(r, _)| *r);
         let mut sizes = vec![0u64; SIZE_BUCKETS];
         for &l in &labels {
             sizes[bucket(l)] += 1;
         }
-        LpState { labels, ghost: HashMap::new(), sizes, boundary }
+        LpState {
+            labels,
+            ghost: HashMap::new(),
+            sizes,
+            boundary,
+        }
     }
 
     /// The label of any (local or ghost) vertex.
@@ -114,7 +125,10 @@ impl LpState {
         for (peer, verts) in &self.boundary {
             let ups: Vec<LabelUpdate> = verts
                 .iter()
-                .map(|&v| LabelUpdate { vertex: v, label: self.labels[g.local_index(v)] })
+                .map(|&v| LabelUpdate {
+                    vertex: v,
+                    label: self.labels[g.local_index(v)],
+                })
                 .collect();
             out.insert(*peer, ups);
         }
@@ -131,7 +145,13 @@ impl LpState {
 
 /// Plain substrate variant: counts transposed by hand, explicit
 /// displacements, size vector allreduced manually.
-pub fn label_prop_mpi(g: &DistGraph, rounds: usize, max_size: u64, comm: &Comm) -> Result<Vec<u64>> {
+#[allow(clippy::needless_range_loop)] // counts and payload are built in rank order
+pub fn label_prop_mpi(
+    g: &DistGraph,
+    rounds: usize,
+    max_size: u64,
+    comm: &Comm,
+) -> Result<Vec<u64>> {
     // loc:begin:lp_mpi
     let p = comm.size();
     let mut st = LpState::new(g);
@@ -149,7 +169,13 @@ pub fn label_prop_mpi(g: &DistGraph, rounds: usize, max_size: u64, comm: &Comm) 
         let mut rcounts = vec![0usize; p];
         comm.alltoall_into(&scounts, &mut rcounts)?;
         let rdispls = kmp_mpi::collectives::displacements_from_counts(&rcounts);
-        let mut recv = vec![LabelUpdate { vertex: 0, label: 0 }; rcounts.iter().sum()];
+        let mut recv = vec![
+            LabelUpdate {
+                vertex: 0,
+                label: 0
+            };
+            rcounts.iter().sum()
+        ];
         comm.alltoallv_into(&data, &scounts, &sdispls, &mut recv, &rcounts, &rdispls)?;
         st.apply_updates(recv);
         let local = st.sizes.clone();
@@ -197,9 +223,15 @@ impl<'a> GraphCommLayer<'a> {
 
     /// Exchanges update lists along the precomputed boundary topology.
     pub fn exchange(&self, mut msgs: HashMap<Rank, Vec<LabelUpdate>>) -> Result<Vec<LabelUpdate>> {
-        let mut out = msgs.remove(&self.comm.rank()).map(|v| v.to_vec()).unwrap_or_default();
-        let sparse: HashMap<Rank, Vec<LabelUpdate>> =
-            self.peers.iter().filter_map(|r| msgs.remove(r).map(|v| (*r, v))).collect();
+        let mut out = msgs
+            .remove(&self.comm.rank())
+            .map(|v| v.to_vec())
+            .unwrap_or_default();
+        let sparse: HashMap<Rank, Vec<LabelUpdate>> = self
+            .peers
+            .iter()
+            .filter_map(|r| msgs.remove(r).map(|v| (*r, v)))
+            .collect();
         for (_, block) in self.comm.sparse_alltoallv(&sparse)? {
             out.extend_from_slice(&block);
         }
@@ -297,7 +329,10 @@ mod tests {
             *counts.entry(l).or_default() += 1;
         }
         let max = counts.values().max().copied().unwrap_or(0);
-        assert!(max <= 64, "a cluster grew far past the size constraint: {max}");
+        assert!(
+            max <= 64,
+            "a cluster grew far past the size constraint: {max}"
+        );
     }
 
     #[test]

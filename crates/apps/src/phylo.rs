@@ -101,20 +101,31 @@ pub mod custom_layer {
         let name_len = u64::from_le_bytes(take(8).try_into().unwrap()) as usize;
         let name = String::from_utf8(take(name_len).to_vec()).unwrap();
         let bl_len = u64::from_le_bytes(take(8).try_into().unwrap()) as usize;
-        let branch_lengths =
-            (0..bl_len).map(|_| f64::from_le_bytes(take(8).try_into().unwrap())).collect();
+        let branch_lengths = (0..bl_len)
+            .map(|_| f64::from_le_bytes(take(8).try_into().unwrap()))
+            .collect();
         let sr_len = u64::from_le_bytes(take(8).try_into().unwrap()) as usize;
-        let substitution_rates =
-            (0..sr_len).map(|_| f64::from_le_bytes(take(8).try_into().unwrap())).collect();
+        let substitution_rates = (0..sr_len)
+            .map(|_| f64::from_le_bytes(take(8).try_into().unwrap()))
+            .collect();
         let alpha = f64::from_le_bytes(take(8).try_into().unwrap());
-        Model { name, branch_lengths, substitution_rates, alpha }
+        Model {
+            name,
+            branch_lengths,
+            substitution_rates,
+            alpha,
+        }
     }
 
     /// The original `mpi_broadcast`: size first, then payload (two
     /// broadcasts), then deserialize on non-masters.
     pub fn mpi_broadcast(model: &mut Model, comm: &Comm) -> Result<()> {
         if comm.size() > 1 {
-            let bytes = if comm.rank() == 0 { serialize(model) } else { Vec::new() };
+            let bytes = if comm.rank() == 0 {
+                serialize(model)
+            } else {
+                Vec::new()
+            };
             let mut size = [bytes.len() as u64];
             comm.bcast_into(&mut size, 0)?;
             let mut buf = bytes;
@@ -139,11 +150,7 @@ pub fn kamping_broadcast(model: &mut Model, comm: &Communicator) -> Result<()> {
 /// One optimization run: `iterations` rounds of (perturb at master →
 /// broadcast model → local likelihood → allreduce), through the custom
 /// layer. Returns the final global log-likelihood.
-pub fn run_custom_layer(
-    sites_per_rank: u64,
-    iterations: u64,
-    comm: &Comm,
-) -> Result<f64> {
+pub fn run_custom_layer(sites_per_rank: u64, iterations: u64, comm: &Comm) -> Result<f64> {
     let rank = comm.rank() as u64;
     let range = rank * sites_per_rank..(rank + 1) * sites_per_rank;
     let mut model = Model::initial(16);

@@ -26,6 +26,7 @@ pub fn draw_samples<T: Plain>(data: &[T], count: usize, seed: u64) -> Vec<T> {
 }
 
 /// Picks `p - 1` evenly spaced splitters from the sorted global samples.
+#[allow(clippy::ptr_arg, clippy::multiple_bound_locations)] // sorts the samples in place
 pub fn pick_splitters<T: Plain>(gsamples: &mut Vec<T>, p: usize) -> Vec<T>
 where
     T: Ord,
@@ -90,7 +91,12 @@ pub fn sample_sort_boost<T: Plain + Ord>(data: &mut Vec<T>, comm: &Comm) -> Resu
     // (receives size themselves, as Boost's serialization does).
     let displs = kmp_mpi::collectives::displacements_from_counts(&scounts);
     for dest in 0..p {
-        boost_like::send(&c, dest, 0, &data[displs[dest]..displs[dest] + scounts[dest]])?;
+        boost_like::send(
+            &c,
+            dest,
+            0,
+            &data[displs[dest]..displs[dest] + scounts[dest]],
+        )?;
     }
     let mut recv: Vec<T> = Vec::new();
     let mut block = Vec::new();
@@ -288,7 +294,10 @@ mod tests {
         assert!(rwth < boost, "rwth ({rwth}) < boost ({boost})");
         assert!(rwth < mpi, "rwth ({rwth}) < mpi ({mpi})");
         // Paper ratio: 16/32 = 0.5; our rendering lands near 12/20.
-        assert!(kamping * 3 <= mpi * 2, "kamping ({kamping}) well below mpi ({mpi})");
+        assert!(
+            kamping * 3 <= mpi * 2,
+            "kamping ({kamping}) well below mpi ({mpi})"
+        );
         let _ = mpl;
     }
 
@@ -296,13 +305,15 @@ mod tests {
     fn empty_rank_input() {
         let out = Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
-            let mut data: Vec<u64> =
-                if comm.rank() == 1 { vec![] } else { gen_input(comm.rank(), 50) };
+            let mut data: Vec<u64> = if comm.rank() == 1 {
+                vec![]
+            } else {
+                gen_input(comm.rank(), 50)
+            };
             sample_sort_kamping(&mut data, &comm).unwrap();
             data
         });
-        let mut expected: Vec<u64> =
-            [0usize, 2].iter().flat_map(|&r| gen_input(r, 50)).collect();
+        let mut expected: Vec<u64> = [0usize, 2].iter().flat_map(|&r| gen_input(r, 50)).collect();
         expected.sort_unstable();
         let got: Vec<u64> = out.iter().flatten().copied().collect();
         assert_eq!(got, expected);

@@ -25,7 +25,11 @@ pub struct PdTriple {
     pub r2: u64,
     pub idx: u64,
 }
-plain_struct!(PdTriple { r1: u64, r2: u64, idx: u64 });
+plain_struct!(PdTriple {
+    r1: u64,
+    r2: u64,
+    idx: u64
+});
 
 /// An `(index, value)` pair used for rank writebacks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -101,7 +105,10 @@ pub fn suffix_array_kamping(text_block: &[u8], n: usize, comm: &Communicator) ->
             .iter()
             .enumerate()
             .filter(|&(off, _)| my_lo + off >= h)
-            .map(|(off, &r)| IdxVal { idx: (my_lo + off - h) as u64, val: r })
+            .map(|(off, &r)| IdxVal {
+                idx: (my_lo + off - h) as u64,
+                val: r,
+            })
             .collect();
         let (data, counts) = bucket_by_owner(outgoing, &ranges);
         let shifted: Vec<IdxVal> = comm.alltoallv((send_buf(data), send_counts(counts)))?;
@@ -114,15 +121,17 @@ pub fn suffix_array_kamping(text_block: &[u8], n: usize, comm: &Communicator) ->
             .iter()
             .zip(&r2)
             .enumerate()
-            .map(|(off, (&r1, &r2))| PdTriple { r1, r2, idx: (my_lo + off) as u64 })
+            .map(|(off, (&r1, &r2))| PdTriple {
+                r1,
+                r2,
+                idx: (my_lo + off) as u64,
+            })
             .collect();
         comm.sort(&mut triples)?;
         // Re-rank: cross-boundary predecessor keys via allgatherv of each
         // rank's last key, then a prefix sum over distinct counts.
-        let last: Vec<u64> =
-            triples.last().map(|t| vec![t.r1, t.r2]).unwrap_or_default();
-        let (bounds, bcounts) =
-            comm.allgatherv((send_buf(&last), recv_counts_out()))?;
+        let last: Vec<u64> = triples.last().map(|t| vec![t.r1, t.r2]).unwrap_or_default();
+        let (bounds, bcounts) = comm.allgatherv((send_buf(&last), recv_counts_out()))?;
         let prev_key = prev_boundary_key(&bounds, &bcounts, comm.rank());
         let (flags, distinct) = distinct_flags(&triples, prev_key);
         let base: Vec<u64> = comm.exscan((send_buf(&[distinct]), op(ops::Sum)))?;
@@ -133,7 +142,10 @@ pub fn suffix_array_kamping(text_block: &[u8], n: usize, comm: &Communicator) ->
             .zip(&flags)
             .map(|(t, &f)| {
                 next += f;
-                IdxVal { idx: t.idx, val: next }
+                IdxVal {
+                    idx: t.idx,
+                    val: next,
+                }
             })
             .collect();
         let (data, counts) = bucket_by_owner(writeback, &ranges);
@@ -150,7 +162,10 @@ pub fn suffix_array_kamping(text_block: &[u8], n: usize, comm: &Communicator) ->
     let pairs: Vec<IdxVal> = rank_of
         .iter()
         .enumerate()
-        .map(|(off, &r)| IdxVal { idx: r - 1, val: (my_lo + off) as u64 })
+        .map(|(off, &r)| IdxVal {
+            idx: r - 1,
+            val: (my_lo + off) as u64,
+        })
         .collect();
     let (data, counts) = bucket_by_owner(pairs, &ranges);
     let mut placed: Vec<IdxVal> = comm.alltoallv((send_buf(data), send_counts(counts)))?;
@@ -173,7 +188,10 @@ pub fn suffix_array_mpi(text_block: &[u8], n: usize, comm: &Comm) -> Result<Vec<
             .iter()
             .enumerate()
             .filter(|&(off, _)| my_lo + off >= h)
-            .map(|(off, &r)| IdxVal { idx: (my_lo + off - h) as u64, val: r })
+            .map(|(off, &r)| IdxVal {
+                idx: (my_lo + off - h) as u64,
+                val: r,
+            })
             .collect();
         let (data, counts) = bucket_by_owner(outgoing, &ranges);
         let sdispls = kmp_mpi::collectives::displacements_from_counts(&counts);
@@ -190,11 +208,14 @@ pub fn suffix_array_mpi(text_block: &[u8], n: usize, comm: &Comm) -> Result<Vec<
             .iter()
             .zip(&r2)
             .enumerate()
-            .map(|(off, (&r1, &r2))| PdTriple { r1, r2, idx: (my_lo + off) as u64 })
+            .map(|(off, (&r1, &r2))| PdTriple {
+                r1,
+                r2,
+                idx: (my_lo + off) as u64,
+            })
             .collect();
         plain_sample_sort(comm, &mut triples)?;
-        let last: Vec<u64> =
-            triples.last().map(|t| vec![t.r1, t.r2]).unwrap_or_default();
+        let last: Vec<u64> = triples.last().map(|t| vec![t.r1, t.r2]).unwrap_or_default();
         let mut bcounts = vec![0usize; p];
         bcounts[comm.rank()] = last.len();
         comm.allgather_in_place(&mut bcounts)?;
@@ -203,7 +224,9 @@ pub fn suffix_array_mpi(text_block: &[u8], n: usize, comm: &Comm) -> Result<Vec<
         comm.allgatherv_into(&last, &mut bounds, &bcounts, &bdispls)?;
         let prev_key = prev_boundary_key(&bounds, &bcounts, comm.rank());
         let (flags, distinct) = distinct_flags(&triples, prev_key);
-        let base = comm.exscan_vec(&[distinct], kmp_mpi::op::Sum)?.unwrap_or(vec![0])[0];
+        let base = comm
+            .exscan_vec(&[distinct], kmp_mpi::op::Sum)?
+            .unwrap_or(vec![0])[0];
         let mut total = [0u64];
         comm.allreduce_into(&[distinct], &mut total, kmp_mpi::op::Sum)?;
         let mut next = base;
@@ -212,7 +235,10 @@ pub fn suffix_array_mpi(text_block: &[u8], n: usize, comm: &Comm) -> Result<Vec<
             .zip(&flags)
             .map(|(t, &f)| {
                 next += f;
-                IdxVal { idx: t.idx, val: next }
+                IdxVal {
+                    idx: t.idx,
+                    val: next,
+                }
             })
             .collect();
         let (data, counts) = bucket_by_owner(writeback, &ranges);
@@ -233,10 +259,13 @@ pub fn suffix_array_mpi(text_block: &[u8], n: usize, comm: &Comm) -> Result<Vec<
     let pairs: Vec<IdxVal> = rank_of
         .iter()
         .enumerate()
-        .map(|(off, &r)| IdxVal { idx: r - 1, val: (my_lo + off) as u64 })
+        .map(|(off, &r)| IdxVal {
+            idx: r - 1,
+            val: (my_lo + off) as u64,
+        })
         .collect();
     let (data, counts) = bucket_by_owner(pairs, &ranges);
-        let sdispls = kmp_mpi::collectives::displacements_from_counts(&counts);
+    let sdispls = kmp_mpi::collectives::displacements_from_counts(&counts);
     let mut rcounts = vec![0usize; p];
     comm.alltoall_into(&counts, &mut rcounts)?;
     let rdispls = kmp_mpi::collectives::displacements_from_counts(&rcounts);
@@ -290,7 +319,9 @@ mod tests {
 
     fn distribute(text: &[u8], p: usize) -> Vec<Vec<u8>> {
         let ranges = blocks(text.len(), p);
-        (0..p).map(|r| text[ranges[r]..ranges[r + 1]].to_vec()).collect()
+        (0..p)
+            .map(|r| text[ranges[r]..ranges[r + 1]].to_vec())
+            .collect()
     }
 
     fn run_distributed(text: &[u8], p: usize) -> Vec<u64> {
@@ -313,7 +344,11 @@ mod tests {
     fn matches_sequential_on_repetitive_text() {
         let text = b"abababababababab$";
         for p in [1, 2, 4] {
-            assert_eq!(run_distributed(text, p), suffix_array_sequential(text), "p = {p}");
+            assert_eq!(
+                run_distributed(text, p),
+                suffix_array_sequential(text),
+                "p = {p}"
+            );
         }
     }
 

@@ -60,10 +60,9 @@ pub fn all_gatherv<T: Plain>(comm: &BoostComm<'_>, send: &[T], out: &mut Vec<T>)
 
 /// `boost::mpi::broadcast`.
 pub fn broadcast<T: Plain>(comm: &BoostComm<'_>, value: &mut Vec<T>, root: Rank) -> Result<()> {
-    let data = comm.raw.bcast_vec(
-        (comm.rank() == root).then_some(&value[..]),
-        root,
-    )?;
+    let data = comm
+        .raw
+        .bcast_vec((comm.rank() == root).then_some(&value[..]), root)?;
     *value = data;
     Ok(())
 }
@@ -88,13 +87,10 @@ pub fn gather<T: Plain>(
 }
 
 /// `boost::mpi::scatter`.
-pub fn scatter<T: Plain>(
-    comm: &BoostComm<'_>,
-    send: &[T],
-    out: &mut T,
-    root: Rank,
-) -> Result<()> {
-    let block = comm.raw.scatter_vec((comm.rank() == root).then_some(send), root)?;
+pub fn scatter<T: Plain>(comm: &BoostComm<'_>, send: &[T], out: &mut T, root: Rank) -> Result<()> {
+    let block = comm
+        .raw
+        .scatter_vec((comm.rank() == root).then_some(send), root)?;
     *out = block[0];
     Ok(())
 }
@@ -169,7 +165,11 @@ mod tests {
     fn broadcast_and_all_reduce() {
         Universe::run(4, |raw| {
             let comm = BoostComm::new(&raw);
-            let mut v = if comm.rank() == 0 { vec![1u64, 2] } else { vec![] };
+            let mut v = if comm.rank() == 0 {
+                vec![1u64, 2]
+            } else {
+                vec![]
+            };
             broadcast(&comm, &mut v, 0).unwrap();
             assert_eq!(v, vec![1, 2]);
             let s = all_reduce(&comm, &(comm.rank() as u64), kmp_mpi::op::Sum).unwrap();
@@ -187,7 +187,11 @@ mod tests {
                 assert_eq!(all, vec![0, 3, 6]);
             }
             let mut mine = 0u16;
-            let send: Vec<u16> = if comm.rank() == 0 { vec![5, 6, 7] } else { vec![] };
+            let send: Vec<u16> = if comm.rank() == 0 {
+                vec![5, 6, 7]
+            } else {
+                vec![]
+            };
             scatter(&comm, &send, &mut mine, 0).unwrap();
             assert_eq!(mine, 5 + comm.rank() as u16);
         });

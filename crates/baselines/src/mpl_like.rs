@@ -75,7 +75,11 @@ impl Layouts {
     }
 
     fn total_extent(&self) -> usize {
-        self.inner.iter().map(|l| l.displ + l.count).max().unwrap_or(0)
+        self.inner
+            .iter()
+            .map(|l| l.displ + l.count)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -98,8 +102,14 @@ impl<'a> MplComm<'a> {
     }
 
     /// `communicator::bcast` with a layout.
-    pub fn bcast<T: Plain>(&self, root: Rank, data: &mut [T], layout: ContiguousLayout) -> Result<()> {
-        self.raw.bcast_into(&mut data[layout.displ..layout.displ + layout.count], root)
+    pub fn bcast<T: Plain>(
+        &self,
+        root: Rank,
+        data: &mut [T],
+        layout: ContiguousLayout,
+    ) -> Result<()> {
+        self.raw
+            .bcast_into(&mut data[layout.displ..layout.displ + layout.count], root)
     }
 
     /// `communicator::allgather` (fixed-size).
@@ -126,8 +136,15 @@ impl<'a> MplComm<'a> {
         recv: &mut [T],
         recv_layouts: &Layouts,
     ) -> Result<()> {
-        assert_eq!(recv_layouts.len(), self.size(), "one receive layout per rank");
-        assert!(recv_layouts.total_extent() <= recv.len(), "receive layouts exceed buffer");
+        assert_eq!(
+            recv_layouts.len(),
+            self.size(),
+            "one receive layout per rank"
+        );
+        assert!(
+            recv_layouts.total_extent() <= recv.len(),
+            "receive layouts exceed buffer"
+        );
         let block = &send[send_layout.displ..send_layout.displ + send_layout.count];
         // alltoallw-equivalent: identical data to each peer, one message
         // per peer (this is the overhead the paper measures for MPL).
@@ -144,7 +161,8 @@ impl<'a> MplComm<'a> {
         let dup = send_buf_repeated(block, p);
         let sd: Vec<usize> = (0..p).map(|i| i * block.len()).collect();
         let _ = send_displs;
-        self.raw.alltoallv_into(&dup, &send_counts, &sd, recv, &recv_counts, &recv_displs)
+        self.raw
+            .alltoallv_into(&dup, &send_counts, &sd, recv, &recv_counts, &recv_displs)
     }
 
     /// `communicator::alltoallv` with per-peer layouts; routed through
@@ -234,7 +252,11 @@ mod tests {
     fn bcast_with_layout() {
         Universe::run(3, |raw| {
             let comm = MplComm::new(&raw);
-            let mut data = if comm.rank() == 0 { vec![7u32, 8] } else { vec![0, 0] };
+            let mut data = if comm.rank() == 0 {
+                vec![7u32, 8]
+            } else {
+                vec![0, 0]
+            };
             comm.bcast(0, &mut data, ContiguousLayout::new(2)).unwrap();
             assert_eq!(data, vec![7, 8]);
         });
@@ -248,8 +270,13 @@ mod tests {
             let counts = [1usize, 2, 3];
             let layouts = Layouts::from_counts(&counts);
             let mut recv = vec![0u16; 6];
-            comm.allgatherv(&mine, ContiguousLayout::new(mine.len()), &mut recv, &layouts)
-                .unwrap();
+            comm.allgatherv(
+                &mine,
+                ContiguousLayout::new(mine.len()),
+                &mut recv,
+                &layouts,
+            )
+            .unwrap();
             assert_eq!(recv, vec![0, 1, 1, 2, 2, 2]);
         });
     }
@@ -263,7 +290,8 @@ mod tests {
             let send_layouts = Layouts::from_counts(&[1, 1]);
             let recv_layouts = Layouts::from_counts(&[1, 1]);
             let mut recv = vec![0u64; 2];
-            comm.alltoallv(&send, &send_layouts, &mut recv, &recv_layouts).unwrap();
+            comm.alltoallv(&send, &send_layouts, &mut recv, &recv_layouts)
+                .unwrap();
             assert_eq!(recv, vec![comm.rank() as u64, 10 + comm.rank() as u64]);
         });
     }

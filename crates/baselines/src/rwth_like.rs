@@ -74,8 +74,14 @@ impl<'a> RwthComm<'a> {
         recv_counts: &[usize],
         recv_displs: &[usize],
     ) -> Result<()> {
-        self.raw
-            .alltoallv_into(send, send_counts, send_displs, recv, recv_counts, recv_displs)
+        self.raw.alltoallv_into(
+            send,
+            send_counts,
+            send_displs,
+            recv,
+            recv_counts,
+            recv_displs,
+        )
     }
 
     /// Mirror of `MPI_Bcast`.
@@ -127,7 +133,8 @@ mod tests {
             comm.all_gather_varying_in_place(&mut counts).unwrap();
             let displs = kmp_mpi::collectives::displacements_from_counts(&counts);
             let mut recv = vec![0u8; counts.iter().sum()];
-            comm.all_gather_varying(&mine, &mut recv, &counts, &displs).unwrap();
+            comm.all_gather_varying(&mine, &mut recv, &counts, &displs)
+                .unwrap();
             assert_eq!(recv, vec![0, 1, 1, 2, 2, 2]);
         });
     }

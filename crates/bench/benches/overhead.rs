@@ -81,12 +81,8 @@ fn bench_allgatherv_counts_known(c: &mut Criterion) {
                 let counts = vec![N; kc.size()];
                 let mut out = kmp_mpi::plain::zeroed_vec::<u64>(N * kc.size());
                 for _ in 0..iters {
-                    kc.allgatherv((
-                        send_buf(&v),
-                        recv_counts(&counts),
-                        recv_buf(&mut out),
-                    ))
-                    .unwrap();
+                    kc.allgatherv((send_buf(&v), recv_counts(&counts), recv_buf(&mut out)))
+                        .unwrap();
                     std::hint::black_box(&out);
                 }
             })
@@ -101,7 +97,8 @@ fn bench_allgatherv_counts_known(c: &mut Criterion) {
                 let displs = kmp_mpi::collectives::displacements_from_counts(&counts);
                 let mut out = kmp_mpi::plain::zeroed_vec::<u64>(N * comm.size());
                 for _ in 0..iters {
-                    comm.allgatherv_into(&v, &mut out, &counts, &displs).unwrap();
+                    comm.allgatherv_into(&v, &mut out, &counts, &displs)
+                        .unwrap();
                     std::hint::black_box(&out);
                 }
             })
@@ -121,8 +118,9 @@ fn bench_alltoallv(c: &mut Criterion) {
                 let counts = vec![N / P; P];
                 let data = vec![kc.rank() as u64; N];
                 for _ in 0..iters {
-                    let out: Vec<u64> =
-                        kc.alltoallv((send_buf(&data), send_counts(&counts))).unwrap();
+                    let out: Vec<u64> = kc
+                        .alltoallv((send_buf(&data), send_counts(&counts)))
+                        .unwrap();
                     std::hint::black_box(out);
                 }
             })
@@ -140,7 +138,8 @@ fn bench_alltoallv(c: &mut Criterion) {
                     comm.alltoall_into(&counts, &mut rcounts).unwrap();
                     let rd = kmp_mpi::collectives::displacements_from_counts(&rcounts);
                     let mut out = kmp_mpi::plain::zeroed_vec::<u64>(rcounts.iter().sum());
-                    comm.alltoallv_into(&data, &counts, &sd, &mut out, &rcounts, &rd).unwrap();
+                    comm.alltoallv_into(&data, &counts, &sd, &mut out, &rcounts, &rd)
+                        .unwrap();
                     std::hint::black_box(out);
                 }
             })
@@ -160,7 +159,8 @@ fn bench_allreduce(c: &mut Criterion) {
                 let v = vec![1.5f64; N];
                 let mut out = vec![0.0f64; N];
                 for _ in 0..iters {
-                    kc.allreduce((send_buf(&v), op(ops::Sum), recv_buf(&mut out))).unwrap();
+                    kc.allreduce((send_buf(&v), op(ops::Sum), recv_buf(&mut out)))
+                        .unwrap();
                     std::hint::black_box(&out);
                 }
             })

@@ -60,7 +60,8 @@ fn bench_serialization_cost(c: &mut Criterion) {
                 let payload: Vec<u64> = (0..N as u64).collect();
                 if kc.rank() == 0 {
                     for _ in 0..iters {
-                        kc.send((send_buf(as_serialized(&payload)), destination(1))).unwrap();
+                        kc.send((send_buf(as_serialized(&payload)), destination(1)))
+                            .unwrap();
                     }
                 } else {
                     for _ in 0..iters {
@@ -82,14 +83,24 @@ struct Record {
     value: f64,
     tag: u64, // would be u8 + 7 bytes padding in the field-wise view
 }
-plain_struct!(Record { key: u64, value: f64, tag: u64 });
+plain_struct!(Record {
+    key: u64,
+    value: f64,
+    tag: u64
+});
 
 fn bench_datatype_layout(c: &mut Criterion) {
     let mut g = c.benchmark_group("struct_transfer");
     g.sample_size(10);
 
     let make = || -> Vec<Record> {
-        (0..N as u64).map(|i| Record { key: i, value: i as f64, tag: i % 251 }).collect()
+        (0..N as u64)
+            .map(|i| Record {
+                key: i,
+                value: i as f64,
+                tag: i % 251,
+            })
+            .collect()
     };
 
     g.bench_function("contiguous_bytes", |b| {

@@ -15,9 +15,7 @@ fn main() {
     let max_p = arg_usize("--max-p", 32);
     let n_per_rank = arg_usize("--n-per-rank", 512);
     let reps = arg_usize("--reps", 3);
-    println!(
-        "FIG. 10 — BFS WEAK SCALING ({n_per_rank} vertices/rank, ~8x edges, virtual time)"
-    );
+    println!("FIG. 10 — BFS WEAK SCALING ({n_per_rank} vertices/rank, ~8x edges, virtual time)");
 
     let strategies = [
         ("mpi", Exchange::MpiDense),
@@ -28,18 +26,20 @@ fn main() {
         ("neighbor_rebuild", Exchange::MpiNeighborRebuild),
     ];
 
-    for (family, gen) in [
-        ("GNM", 0usize),
-        ("RGG-2D", 1),
-        ("RHG", 2),
-    ] {
+    for (family, gen) in [("GNM", 0usize), ("RGG-2D", 1), ("RHG", 2)] {
         println!("== {family} ==");
         for p in scaling_ranks(max_p) {
             let n = n_per_rank * p;
             let parts: Vec<DistGraph> = (0..p)
                 .map(|r| match gen {
                     0 => gnm(n, 8 * n, 7, r, p),
-                    1 => rgg2d(n, (16.0 / (std::f64::consts::PI * n as f64)).sqrt(), 7, r, p),
+                    1 => rgg2d(
+                        n,
+                        (16.0 / (std::f64::consts::PI * n as f64)).sqrt(),
+                        7,
+                        r,
+                        p,
+                    ),
                     _ => rhg(n, 8.0, 0.75, 7, r, p),
                 })
                 .collect();
@@ -55,8 +55,7 @@ fn main() {
                 let parts = &parts;
                 let ms = measure_virtual_kamping_ms(p, reps, move |c| {
                     let _ = bfs_with_exchange(&parts[c.rank()], 0, c, ex).unwrap();
-                    let local_work =
-                        (parts[c.rank()].local_m() as f64 * ns_per_edge) as u64;
+                    let local_work = (parts[c.rank()].local_m() as f64 * ns_per_edge) as u64;
                     c.raw().clock_add_ns(local_work);
                 });
                 println!("{}", row(label, p, ms));

@@ -6,7 +6,9 @@
 //! 1..=`--max-p` (default 32) ranks, reporting virtual time (DESIGN.md).
 
 use kmp_apps::sample_sort::*;
-use kmp_bench::{arg_usize, calibrate_ns, measure_virtual_kamping_ms, measure_virtual_ms, row, scaling_ranks};
+use kmp_bench::{
+    arg_usize, calibrate_ns, measure_virtual_kamping_ms, measure_virtual_ms, row, scaling_ranks,
+};
 use rand::prelude::*;
 
 fn input(rank: usize, n: usize) -> Vec<u64> {
@@ -27,7 +29,10 @@ fn main() {
     });
     let compute_ns = 2 * sort_ns + (n as u64) / 2;
     println!("FIG. 8 — SAMPLE SORT WEAK SCALING ({n} x u64 per rank, virtual time)");
-    println!("(calibrated local compute: {:.3} ms per rank)", compute_ns as f64 / 1e6);
+    println!(
+        "(calibrated local compute: {:.3} ms per rank)",
+        compute_ns as f64 / 1e6
+    );
 
     for p in scaling_ranks(max_p) {
         let mpi = measure_virtual_ms(p, reps, |comm| {

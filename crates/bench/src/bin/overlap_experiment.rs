@@ -1,0 +1,107 @@
+//! Communication/computation overlap: blocking `allgatherv` + local work
+//! vs `iallgatherv` with the same work performed *while the collective is
+//! in flight*.
+//!
+//! Virtual-time model (see `kmp_mpi::clock`): a message posted at `t`
+//! arrives at `t + alpha + beta * bytes`. The blocking path completes the
+//! exchange first (the clock jumps to the arrival time) and then charges
+//! the local work on top; the non-blocking path charges the work first,
+//! so completion costs only `max(now, arrival)` — the textbook
+//! `max(T_comm, T_comp)` vs `T_comm + T_comp`. Wall-clock rows for the
+//! same pair are printed alongside as a sanity check (thread-parallel
+//! ranks on one host, so wall time mostly shows the overlap is not
+//! *slower*).
+//!
+//! Run with: `cargo run --release -p kmp_bench --bin overlap_experiment`
+
+use kmp_bench::{arg_usize, measure_virtual_kamping_ms, row};
+
+use kamping::prelude::*;
+
+const REPS: usize = 5;
+
+/// Per-rank payload elements (u64) for each scenario.
+const PAYLOAD: usize = 64 * 1024;
+
+fn main() {
+    let max_p = arg_usize("--max-p", 8);
+
+    println!("overlap experiment: allgatherv({PAYLOAD} x u64/rank) + local work");
+    println!("virtual time (alpha-beta cluster model), median of {REPS} reps, max over ranks\n");
+
+    for p in [4, max_p] {
+        for work_us in [0u64, 100, 500, 2_000] {
+            let work_ns = work_us * 1_000;
+
+            let blocking = measure_virtual_kamping_ms(p, REPS, |comm| {
+                let mine = vec![comm.rank() as u64; PAYLOAD];
+                let all: Vec<u64> = comm.allgatherv(send_buf(&mine)).unwrap();
+                std::hint::black_box(&all);
+                comm.raw().clock_add_ns(work_ns); // local work after the exchange
+            });
+
+            let nonblocking = measure_virtual_kamping_ms(p, REPS, |comm| {
+                let mine = vec![comm.rank() as u64; PAYLOAD];
+                let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+                comm.raw().clock_add_ns(work_ns); // local work under the exchange
+                let (all, _mine) = fut.wait().unwrap();
+                std::hint::black_box(&all);
+            });
+
+            println!(
+                "{}  |  {}  |  work {work_us:>5} us  speedup {:>5.2}x",
+                row("allgatherv+work", p, blocking),
+                row("iallgatherv||work", p, nonblocking),
+                blocking / nonblocking.max(1e-9),
+            );
+        }
+        println!();
+    }
+
+    // Wall-clock sanity check: the non-blocking path must not be slower
+    // than blocking + the same serial work.
+    println!("wall-clock sanity (p = 4, spin work, median of {REPS} reps)");
+    for spin_iters in [0u64, 2_000_000] {
+        let blocking = wall_ms(4, spin_iters, false);
+        let nonblocking = wall_ms(4, spin_iters, true);
+        println!(
+            "spin {spin_iters:>9}: blocking {blocking:>8.3} ms   nonblocking {nonblocking:>8.3} ms   ratio {:>5.2}",
+            blocking / nonblocking.max(1e-9)
+        );
+    }
+}
+
+fn spin(iters: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..iters {
+        acc = acc.wrapping_add(i.wrapping_mul(i));
+    }
+    std::hint::black_box(acc)
+}
+
+fn wall_ms(p: usize, spin_iters: u64, nonblocking: bool) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let outs = kmp_mpi::Universe::run(p, |comm| {
+                let comm = kamping::Communicator::new(comm);
+                comm.barrier().unwrap();
+                let t = std::time::Instant::now();
+                let mine = vec![comm.rank() as u64; PAYLOAD];
+                if nonblocking {
+                    let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+                    spin(spin_iters);
+                    let (all, _) = fut.wait().unwrap();
+                    std::hint::black_box(&all);
+                } else {
+                    let all: Vec<u64> = comm.allgatherv(send_buf(&mine)).unwrap();
+                    spin(spin_iters);
+                    std::hint::black_box(&all);
+                }
+                t.elapsed().as_secs_f64() * 1e3
+            });
+            outs.into_iter().fold(0f64, f64::max)
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}

@@ -37,7 +37,8 @@ fn main() {
     for p in scaling_ranks(max_p) {
         let out = kmp_mpi::Universe::run(p, move |comm| {
             let c = Communicator::new(comm);
-            c.reproducible_reduce(&block(all_ref, c.rank(), p), ops::Sum).unwrap()
+            c.reproducible_reduce(&block(all_ref, c.rank(), p), ops::Sum)
+                .unwrap()
         });
         let bits = out[0].to_bits();
         assert!(out.iter().all(|r| r.to_bits() == bits));
@@ -45,7 +46,10 @@ fn main() {
         println!("  p={p:<4} sum = {:+.17e}", f64::from_bits(bits));
     }
     let first = results[0];
-    assert!(results.iter().all(|&b| b == first), "results must be bit-identical for every p");
+    assert!(
+        results.iter().all(|&b| b == first),
+        "results must be bit-identical for every p"
+    );
     println!("  => bit-identical for every p OK");
 
     // Naive allreduce results (expected to drift with p).
@@ -54,7 +58,8 @@ fn main() {
         let out = kmp_mpi::Universe::run(p, move |comm| {
             let c = Communicator::new(comm);
             let local: f64 = block(all_ref, c.rank(), p).iter().sum();
-            c.allreduce_single((send_buf(&[local]), op(ops::Sum))).unwrap()
+            c.allreduce_single((send_buf(&[local]), op(ops::Sum)))
+                .unwrap()
         });
         println!("  p={p:<4} sum = {:+.17e}", out[0]);
     }
@@ -65,7 +70,10 @@ fn main() {
         std::hint::black_box(all_ref.iter().sum::<f64>());
     });
     let per_elem = (fold_ns as f64 / n as f64).max(0.5);
-    println!("cost comparison (virtual time; calibrated fold {:.2} ns/element):", per_elem);
+    println!(
+        "cost comparison (virtual time; calibrated fold {:.2} ns/element):",
+        per_elem
+    );
     for p in scaling_ranks(max_p) {
         let tree = measure_virtual_kamping_ms(p, reps, move |c| {
             let mine = block(all_ref, c.rank(), p);
@@ -89,7 +97,9 @@ fn main() {
             let mine = block(all_ref, c.rank(), p);
             let local: f64 = mine.iter().sum();
             c.raw().clock_add_ns((mine.len() as f64 * per_elem) as u64);
-            let _ = c.allreduce_single((send_buf(&[local]), op(ops::Sum))).unwrap();
+            let _ = c
+                .allreduce_single((send_buf(&[local]), op(ops::Sum)))
+                .unwrap();
         });
         println!(
             "  p={p:<4} repro-tree {tree:>9.3} ms | gather+reduce+bcast {gather_all:>9.3} ms | builtin allreduce {naive:>9.3} ms"

@@ -3,8 +3,8 @@
 //! variants on random and repetitive texts.
 
 use kamping::Communicator;
-use kmp_apps::suffix::*;
 use kmp_apps::count_loc;
+use kmp_apps::suffix::*;
 use kmp_bench::{arg_usize, measure_virtual_kamping_ms, measure_virtual_ms};
 use rand::prelude::*;
 
@@ -17,12 +17,17 @@ fn main() {
     let kamping_loc = count_loc(SOURCE, "sa_kamping");
     let mpi_loc = count_loc(SOURCE, "sa_mpi");
     println!("LoC: kamping {kamping_loc} (paper 163) vs plain {mpi_loc} (paper 426, incl. wrapper layer)");
-    println!("LoC ratio plain/kamping: {:.2} (paper: 2.61)", mpi_loc as f64 / kamping_loc as f64);
+    println!(
+        "LoC ratio plain/kamping: {:.2} (paper: 2.61)",
+        mpi_loc as f64 / kamping_loc as f64
+    );
 
     let mut rng = StdRng::seed_from_u64(4242);
     let text: Vec<u8> = (0..n).map(|_| rng.random_range(b'a'..=b'f')).collect();
     let ranges = blocks(n, p);
-    let parts: Vec<Vec<u8>> = (0..p).map(|r| text[ranges[r]..ranges[r + 1]].to_vec()).collect();
+    let parts: Vec<Vec<u8>> = (0..p)
+        .map(|r| text[ranges[r]..ranges[r + 1]].to_vec())
+        .collect();
 
     let parts_ref = &parts;
     let t_kamping = measure_virtual_kamping_ms(p, reps, move |c| {
@@ -32,14 +37,18 @@ fn main() {
         let _ = suffix_array_mpi(&parts_ref[comm.rank()], n, comm).unwrap();
     });
     println!("virtual time (random text, n={n}, p={p}):");
-    println!("  kamping {t_kamping:.3} ms | plain {t_mpi:.3} ms | ratio {:.3}", t_kamping / t_mpi);
+    println!(
+        "  kamping {t_kamping:.3} ms | plain {t_mpi:.3} ms | ratio {:.3}",
+        t_kamping / t_mpi
+    );
 
     // Correctness spot check against the sequential reference.
     let seq = suffix_array_sequential(&text[..2_000.min(n)]);
     let small: Vec<u8> = text[..2_000.min(n)].to_vec();
     let ranges2 = blocks(small.len(), p);
-    let parts2: Vec<Vec<u8>> =
-        (0..p).map(|r| small[ranges2[r]..ranges2[r + 1]].to_vec()).collect();
+    let parts2: Vec<Vec<u8>> = (0..p)
+        .map(|r| small[ranges2[r]..ranges2[r + 1]].to_vec())
+        .collect();
     let parts2_ref = &parts2;
     let sn = small.len();
     let out = kmp_mpi::Universe::run(p, move |comm| {

@@ -159,14 +159,16 @@ mod tests {
             let data = vec![0u64; comm.size()];
             let mut recv = vec![0u64; comm.size()];
             let displs: Vec<usize> = (0..comm.size()).collect();
-            comm.alltoallv_into(&data, &counts, &displs, &mut recv, &counts, &displs).unwrap();
+            comm.alltoallv_into(&data, &counts, &displs, &mut recv, &counts, &displs)
+                .unwrap();
         });
         let large = measure_virtual_ms(16, 3, |comm| {
             let counts = vec![1usize; comm.size()];
             let data = vec![0u64; comm.size()];
             let mut recv = vec![0u64; comm.size()];
             let displs: Vec<usize> = (0..comm.size()).collect();
-            comm.alltoallv_into(&data, &counts, &displs, &mut recv, &counts, &displs).unwrap();
+            comm.alltoallv_into(&data, &counts, &displs, &mut recv, &counts, &displs)
+                .unwrap();
         });
         assert!(
             large > small,

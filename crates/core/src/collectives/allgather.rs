@@ -45,22 +45,34 @@ where
         };
         let counts: &[usize] = match self.recv_counts.provided() {
             Some(c) => c,
-            None => computed_counts.as_deref().expect("computed when not provided"),
+            None => computed_counts
+                .as_deref()
+                .expect("computed when not provided"),
         };
 
         // Default recv displacements: exclusive prefix sum (local).
-        let computed_displs: Option<Vec<usize>> =
-            if RD::PROVIDED { None } else { Some(displacements_from_counts(counts)) };
+        let computed_displs: Option<Vec<usize>> = if RD::PROVIDED {
+            None
+        } else {
+            Some(displacements_from_counts(counts))
+        };
         let displs: &[usize] = match self.recv_displs.provided() {
             Some(d) => d,
-            None => computed_displs.as_deref().expect("computed when not provided"),
+            None => computed_displs
+                .as_deref()
+                .expect("computed when not provided"),
         };
 
-        let needed = displs.iter().zip(counts).map(|(d, c)| d + c).max().unwrap_or(0);
+        let needed = displs
+            .iter()
+            .zip(counts)
+            .map(|(d, c)| d + c)
+            .max()
+            .unwrap_or(0);
         let raw = comm.raw();
-        let ((), rb_out) = self
-            .recv_buf
-            .apply(needed, |storage| raw.allgatherv_into(send, storage, counts, displs))?;
+        let ((), rb_out) = self.recv_buf.apply(needed, |storage| {
+            raw.allgatherv_into(send, storage, counts, displs)
+        })?;
 
         let acc = ();
         let acc = rb_out.push_component(acc);
@@ -94,8 +106,9 @@ where
         let send = self.send_buf.send_slice();
         let needed = send.len() * comm.size();
         let raw = comm.raw();
-        let ((), rb_out) =
-            self.recv_buf.apply(needed, |storage| raw.allgather_into(send, storage))?;
+        let ((), rb_out) = self
+            .recv_buf
+            .apply(needed, |storage| raw.allgather_into(send, storage))?;
         Ok(rb_out.push_component(()).finalize())
     }
 }
@@ -123,7 +136,9 @@ where
 
     fn run(self, comm: &Communicator) -> Result<Self::Output> {
         let raw = comm.raw();
-        let ((), out) = self.send_recv_buf.apply(|buf| raw.allgather_in_place(buf))?;
+        let ((), out) = self
+            .send_recv_buf
+            .apply(|buf| raw.allgather_in_place(buf))?;
         Ok(out.push_component(()).finalize())
     }
 }
@@ -251,8 +266,9 @@ mod tests {
             let mine = vec![comm.rank() as u8; 2];
             let counts = vec![2usize; 3];
             let before = comm.call_counts();
-            let all: Vec<u8> =
-                comm.allgatherv((send_buf(&mine), recv_counts(&counts))).unwrap();
+            let all: Vec<u8> = comm
+                .allgatherv((send_buf(&mine), recv_counts(&counts)))
+                .unwrap();
             let delta = comm.call_counts().since(&before);
             // Exactly one allgatherv, zero count-exchanging allgathers:
             // the PMPI-style check of §III-H.
@@ -283,7 +299,8 @@ mod tests {
             let mine = vec![comm.rank() as u16; comm.rank() + 1];
             let mut out = Vec::new();
             // Version 2 of Fig. 3: explicit recv_buf with resize policy.
-            comm.allgatherv((send_buf(&mine), recv_buf(&mut out).resize_to_fit())).unwrap();
+            comm.allgatherv((send_buf(&mine), recv_buf(&mut out).resize_to_fit()))
+                .unwrap();
             assert_eq!(out, vec![0, 1, 1, 2, 2, 2]);
         });
     }

@@ -37,11 +37,17 @@ where
 
     fn run(self, comm: &Communicator) -> Result<Self::Output> {
         let send = self.send_buf.send_slice();
-        let send_counts = self.send_counts.provided().expect("send_counts is required");
+        let send_counts = self
+            .send_counts
+            .provided()
+            .expect("send_counts is required");
 
         // Default send displacements: local exclusive prefix sum.
-        let computed_sd: Option<Vec<usize>> =
-            if SD::PROVIDED { None } else { Some(displacements_from_counts(send_counts)) };
+        let computed_sd: Option<Vec<usize>> = if SD::PROVIDED {
+            None
+        } else {
+            Some(displacements_from_counts(send_counts))
+        };
         let send_displs: &[usize] = match self.send_displs.provided() {
             Some(d) => d,
             None => computed_sd.as_deref().expect("computed when not provided"),
@@ -62,8 +68,11 @@ where
             None => computed_rc.as_deref().expect("computed when not provided"),
         };
 
-        let computed_rd: Option<Vec<usize>> =
-            if RD::PROVIDED { None } else { Some(displacements_from_counts(recv_counts)) };
+        let computed_rd: Option<Vec<usize>> = if RD::PROVIDED {
+            None
+        } else {
+            Some(displacements_from_counts(recv_counts))
+        };
         let recv_displs: &[usize] = match self.recv_displs.provided() {
             Some(d) => d,
             None => computed_rd.as_deref().expect("computed when not provided"),
@@ -77,10 +86,22 @@ where
             crate::assertions::check_count_matrix(comm, send_counts, recv_counts)?;
         }
 
-        let needed = recv_displs.iter().zip(recv_counts).map(|(d, c)| d + c).max().unwrap_or(0);
+        let needed = recv_displs
+            .iter()
+            .zip(recv_counts)
+            .map(|(d, c)| d + c)
+            .max()
+            .unwrap_or(0);
         let raw = comm.raw();
         let ((), rb_out) = self.recv_buf.apply(needed, |storage| {
-            raw.alltoallv_into(send, send_counts, send_displs, storage, recv_counts, recv_displs)
+            raw.alltoallv_into(
+                send,
+                send_counts,
+                send_displs,
+                storage,
+                recv_counts,
+                recv_displs,
+            )
         })?;
 
         let acc = ();
@@ -115,8 +136,9 @@ where
     fn run(self, comm: &Communicator) -> Result<Self::Output> {
         let send = self.send_buf.send_slice();
         let raw = comm.raw();
-        let ((), rb_out) =
-            self.recv_buf.apply(send.len(), |storage| raw.alltoall_into(send, storage))?;
+        let ((), rb_out) = self
+            .recv_buf
+            .apply(send.len(), |storage| raw.alltoall_into(send, storage))?;
         Ok(rb_out.push_component(()).finalize())
     }
 }
@@ -167,7 +189,9 @@ mod tests {
             let r = comm.rank();
             let send: Vec<u64> = vec![r as u64; 3 * r];
             let counts = vec![r; 3];
-            let data: Vec<u64> = comm.alltoallv((send_buf(&send), send_counts(&counts))).unwrap();
+            let data: Vec<u64> = comm
+                .alltoallv((send_buf(&send), send_counts(&counts)))
+                .unwrap();
             // Receives j copies of j from each rank j.
             assert_eq!(data, vec![1, 2, 2]);
         });
@@ -180,7 +204,9 @@ mod tests {
             let send = vec![comm.rank() as u32 * 10, comm.rank() as u32 * 10 + 1];
             let counts = vec![1usize, 1];
             // data = comm.alltoallv(send_buf(data), send_counts(...)) from Fig. 7.
-            let data: Vec<u32> = comm.alltoallv((send_buf(send), send_counts(counts))).unwrap();
+            let data: Vec<u32> = comm
+                .alltoallv((send_buf(send), send_counts(counts)))
+                .unwrap();
             assert_eq!(data, vec![comm.rank() as u32, 10 + comm.rank() as u32]);
         });
     }
@@ -230,7 +256,9 @@ mod tests {
             let send = vec![comm.rank() as u16; 2];
             let counts = vec![1usize, 1];
             let before = comm.call_counts();
-            let _: Vec<u16> = comm.alltoallv((send_buf(&send), send_counts(&counts))).unwrap();
+            let _: Vec<u16> = comm
+                .alltoallv((send_buf(&send), send_counts(&counts)))
+                .unwrap();
             let delta = comm.call_counts().since(&before);
             assert_eq!(delta.get("alltoall"), 1);
             assert_eq!(delta.get("alltoallv"), 1);

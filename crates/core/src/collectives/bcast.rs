@@ -16,7 +16,8 @@ pub trait BcastArgs<T: Plain> {
     fn run(self, comm: &Communicator) -> Result<Self::Output>;
 }
 
-impl<T, B> BcastArgs<T> for ArgSet<Absent, SendRecvBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent>
+impl<T, B> BcastArgs<T>
+    for ArgSet<Absent, SendRecvBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent>
 where
     T: Plain,
     SendRecvBuf<B>: SendRecvBufSpec<T>,
@@ -93,7 +94,11 @@ mod tests {
     fn bcast_overwrites_non_roots() {
         Universe::run(4, |comm| {
             let comm = Communicator::new(comm);
-            let mut data = if comm.rank() == 0 { vec![5u64, 6] } else { vec![0; 9] };
+            let mut data = if comm.rank() == 0 {
+                vec![5u64, 6]
+            } else {
+                vec![0; 9]
+            };
             comm.bcast((send_recv_buf(&mut data),)).unwrap();
             assert_eq!(data, vec![5, 6]);
         });
@@ -113,7 +118,9 @@ mod tests {
     fn bcast_single_value() {
         Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
-            let v = comm.bcast_single(if comm.rank() == 1 { 42u32 } else { 0 }, 1).unwrap();
+            let v = comm
+                .bcast_single(if comm.rank() == 1 { 42u32 } else { 0 }, 1)
+                .unwrap();
             assert_eq!(v, 42);
         });
     }

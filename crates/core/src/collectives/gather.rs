@@ -41,13 +41,19 @@ where
         let computed_counts: Option<Vec<usize>> = if RC::PROVIDED {
             None
         } else {
-            let mut counts = if is_root { vec![0usize; comm.size()] } else { vec![] };
+            let mut counts = if is_root {
+                vec![0usize; comm.size()]
+            } else {
+                vec![]
+            };
             comm.raw().gather_into(&[send.len()], &mut counts, root)?;
             Some(counts)
         };
         let counts: &[usize] = match self.recv_counts.provided() {
             Some(c) => c,
-            None => computed_counts.as_deref().expect("computed when not provided"),
+            None => computed_counts
+                .as_deref()
+                .expect("computed when not provided"),
         };
 
         // Default displacements at the root: exclusive prefix sum.
@@ -60,18 +66,25 @@ where
         };
         let displs: &[usize] = match self.recv_displs.provided() {
             Some(d) => d,
-            None => computed_displs.as_deref().expect("computed when not provided"),
+            None => computed_displs
+                .as_deref()
+                .expect("computed when not provided"),
         };
 
         let needed = if is_root {
-            displs.iter().zip(counts).map(|(d, c)| d + c).max().unwrap_or(0)
+            displs
+                .iter()
+                .zip(counts)
+                .map(|(d, c)| d + c)
+                .max()
+                .unwrap_or(0)
         } else {
             0
         };
         let raw = comm.raw();
-        let ((), rb_out) = self
-            .recv_buf
-            .apply(needed, |storage| raw.gatherv_into(send, storage, counts, displs, root))?;
+        let ((), rb_out) = self.recv_buf.apply(needed, |storage| {
+            raw.gatherv_into(send, storage, counts, displs, root)
+        })?;
 
         let acc = ();
         let acc = rb_out.push_component(acc);
@@ -103,10 +116,15 @@ where
     fn run(self, comm: &Communicator) -> Result<Self::Output> {
         let root = self.meta.root.unwrap_or(0);
         let send = self.send_buf.send_slice();
-        let needed = if comm.rank() == root { send.len() * comm.size() } else { 0 };
+        let needed = if comm.rank() == root {
+            send.len() * comm.size()
+        } else {
+            0
+        };
         let raw = comm.raw();
-        let ((), rb_out) =
-            self.recv_buf.apply(needed, |storage| raw.gather_into(send, storage, root))?;
+        let ((), rb_out) = self
+            .recv_buf
+            .apply(needed, |storage| raw.gather_into(send, storage, root))?;
         Ok(rb_out.push_component(()).finalize())
     }
 }
@@ -161,8 +179,9 @@ mod tests {
     fn gather_to_explicit_root() {
         Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
-            let all: Vec<u32> =
-                comm.gather((send_buf(&[comm.rank() as u32 * 2]), root(2))).unwrap();
+            let all: Vec<u32> = comm
+                .gather((send_buf(&[comm.rank() as u32 * 2]), root(2)))
+                .unwrap();
             if comm.rank() == 2 {
                 assert_eq!(all, vec![0, 2, 4]);
             } else {
@@ -176,8 +195,7 @@ mod tests {
         Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
             let mine = vec![comm.rank() as u8; comm.rank()];
-            let (all, counts) =
-                comm.gatherv((send_buf(&mine), recv_counts_out())).unwrap();
+            let (all, counts) = comm.gatherv((send_buf(&mine), recv_counts_out())).unwrap();
             if comm.rank() == 0 {
                 assert_eq!(all, vec![1, 2, 2]);
                 assert_eq!(counts, vec![0, 1, 2]);
@@ -207,7 +225,8 @@ mod tests {
             let comm = Communicator::new(comm);
             let mine = vec![comm.rank() as u64 + 5];
             let mut out = Vec::new();
-            comm.gatherv((send_buf(&mine), recv_buf(&mut out).resize_to_fit())).unwrap();
+            comm.gatherv((send_buf(&mine), recv_buf(&mut out).resize_to_fit()))
+                .unwrap();
             if comm.rank() == 0 {
                 assert_eq!(out, vec![5, 6]);
             } else {

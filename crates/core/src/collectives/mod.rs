@@ -22,6 +22,7 @@ mod allgather;
 mod alltoall;
 mod bcast;
 mod gather;
+pub mod nonblocking;
 mod reduce;
 mod scatter;
 
@@ -29,5 +30,9 @@ pub use allgather::{AllgatherArgs, AllgatherInPlaceArgs, AllgathervArgs};
 pub use alltoall::{AlltoallArgs, AlltoallvArgs};
 pub use bcast::{BcastArgs, BcastSingleArgs};
 pub use gather::{GatherArgs, GathervArgs};
+pub use nonblocking::{
+    IallgatherArgs, IallreduceArgs, IalltoallvArgs, IbcastArgs, NonBlockingBcast,
+    NonBlockingCollective,
+};
 pub use reduce::{AllreduceArgs, AllreduceSingleArgs, ExscanArgs, ReduceArgs, ScanArgs};
 pub use scatter::{ScatterArgs, ScattervArgs};

@@ -1,0 +1,589 @@
+//! Non-blocking collectives with named parameters (§III-E of the paper,
+//! extended from point-to-point to collectives).
+//!
+//! Every `i*` operation returns a **typed future** that owns whatever the
+//! caller moved into the call:
+//!
+//! - [`NonBlockingCollective`] (for `iallgatherv` / `iallgather` /
+//!   `ialltoallv` / `iallreduce`): [`NonBlockingCollective::wait`]
+//!   returns `(received_data, moved_in_send_buffer)` — the send buffer
+//!   comes back to the caller exactly like Fig. 6's `v = r1.wait()`, and
+//!   the received data *does not exist* before completion, so neither
+//!   §III-E hazard (mutating an in-flight send buffer, reading an
+//!   incomplete receive buffer) can be expressed.
+//! - [`NonBlockingBcast`] (for `ibcast`): takes the `send_recv_buf` by
+//!   value (owned `Vec<T>` only — a borrowed buffer would be accessible
+//!   while in flight, so it does not compile) and hands the broadcast
+//!   content back on `wait()`.
+//!
+//! Unlike their blocking counterparts, the variable-size operations need
+//! **no receive counts at all** — not even a hidden count exchange: the
+//! substrate engine discovers block sizes from the messages themselves,
+//! and `wait_with_counts()` hands them back for free. Compare
+//! `allgatherv`, which issues an extra `allgather` when counts are
+//! omitted (Fig. 2).
+//!
+//! All futures compose with [`RequestPool`](crate::p2p::RequestPool) and
+//! [`BoundedRequestPool`](crate::p2p::BoundedRequestPool) via
+//! `submit_collective` / `submit_bcast`.
+
+use std::marker::PhantomData;
+
+use kmp_mpi::request::{Completion, Request, TestOutcome};
+use kmp_mpi::{Plain, Result};
+
+use crate::communicator::Communicator;
+use crate::params::argset::{ArgSet, IntoArgs};
+use crate::params::slots::{ProvidedCounts, ProvidesOp, ProvidesSendData, SendReclaim};
+use crate::params::{Absent, OpParam, SendBuf, SendRecvBuf};
+
+/// Decodes a completed collective into `(data, per-rank counts)`.
+fn decode<T: Plain>(completion: Completion) -> (Vec<T>, Vec<usize>) {
+    match completion.into_blocks() {
+        None => (Vec::new(), Vec::new()),
+        Some(blocks) => {
+            let mut data = Vec::with_capacity(
+                blocks.iter().map(|b| b.len()).sum::<usize>() / std::mem::size_of::<T>().max(1),
+            );
+            let mut counts = Vec::with_capacity(blocks.len());
+            for b in &blocks {
+                let block: Vec<T> = kmp_mpi::plain::bytes_to_vec(b);
+                counts.push(block.len());
+                data.extend(block);
+            }
+            (data, counts)
+        }
+    }
+}
+
+/// A non-blocking collective in flight: owns the moved-in send container
+/// (`B`), produces the received data on completion.
+#[must_use = "non-blocking operations must be completed with wait() or test()"]
+pub struct NonBlockingCollective<'a, T: Plain, B> {
+    req: Request<'a>,
+    back: B,
+    _elem: PhantomData<T>,
+}
+
+impl<'a, T: Plain, B> NonBlockingCollective<'a, T, B> {
+    /// Blocks until the collective completes; returns the received data
+    /// and hands back the moved-in send buffer.
+    pub fn wait(self) -> Result<(Vec<T>, B)> {
+        let (data, _counts) = decode::<T>(self.req.wait()?);
+        Ok((data, self.back))
+    }
+
+    /// Like [`NonBlockingCollective::wait`], additionally returning the
+    /// per-rank element counts (the v-collectives' receive counts,
+    /// discovered from the messages — no extra communication).
+    pub fn wait_with_counts(self) -> Result<(Vec<T>, Vec<usize>, B)> {
+        let (data, counts) = decode::<T>(self.req.wait()?);
+        Ok((data, counts, self.back))
+    }
+
+    /// Completion test: `Ok(Ok((data, buffer)))` when complete,
+    /// `Ok(Err(self))` when still pending.
+    #[allow(clippy::type_complexity)]
+    pub fn test(self) -> Result<std::result::Result<(Vec<T>, B), Self>> {
+        match self.req.test()? {
+            TestOutcome::Ready(c) => {
+                let (data, _counts) = decode::<T>(c);
+                Ok(Ok((data, self.back)))
+            }
+            TestOutcome::Pending(req) => Ok(Err(NonBlockingCollective {
+                req,
+                back: self.back,
+                _elem: PhantomData,
+            })),
+        }
+    }
+
+    pub(crate) fn wait_discard(self) -> Result<()> {
+        self.req.wait()?;
+        Ok(())
+    }
+
+    pub(crate) fn test_discard(self) -> Result<std::result::Result<(), Self>> {
+        match self.req.test()? {
+            TestOutcome::Ready(_) => Ok(Ok(())),
+            TestOutcome::Pending(req) => Ok(Err(NonBlockingCollective {
+                req,
+                back: self.back,
+                _elem: PhantomData,
+            })),
+        }
+    }
+}
+
+/// A non-blocking broadcast in flight: owns the moved-in buffer and
+/// yields the broadcast content on `wait()`.
+#[must_use = "non-blocking operations must be completed with wait() or test()"]
+pub struct NonBlockingBcast<'a, T: Plain> {
+    req: Request<'a>,
+    /// The root's moved-in buffer, handed back without copying.
+    root_buf: Option<Vec<T>>,
+}
+
+impl<'a, T: Plain> NonBlockingBcast<'a, T> {
+    /// Blocks until the broadcast completes; returns the broadcast
+    /// content (on the root: the moved-in vector itself).
+    pub fn wait(self) -> Result<Vec<T>> {
+        let completion = self.req.wait()?;
+        match self.root_buf {
+            Some(buf) => Ok(buf),
+            None => {
+                let (data, _) = decode::<T>(completion);
+                Ok(data)
+            }
+        }
+    }
+
+    /// Completion test: `Ok(Ok(content))` when complete, `Ok(Err(self))`
+    /// when still pending.
+    pub fn test(self) -> Result<std::result::Result<Vec<T>, Self>> {
+        match self.req.test()? {
+            TestOutcome::Ready(c) => match self.root_buf {
+                Some(buf) => Ok(Ok(buf)),
+                None => {
+                    let (data, _) = decode::<T>(c);
+                    Ok(Ok(data))
+                }
+            },
+            TestOutcome::Pending(req) => Ok(Err(NonBlockingBcast {
+                req,
+                root_buf: self.root_buf,
+            })),
+        }
+    }
+
+    pub(crate) fn wait_discard(self) -> Result<()> {
+        self.req.wait()?;
+        Ok(())
+    }
+
+    pub(crate) fn test_discard(self) -> Result<std::result::Result<(), Self>> {
+        match self.req.test()? {
+            TestOutcome::Ready(_) => Ok(Ok(())),
+            TestOutcome::Pending(req) => Ok(Err(NonBlockingBcast {
+                req,
+                root_buf: self.root_buf,
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Argument traits
+// ---------------------------------------------------------------------------
+
+/// Valid argument sets for [`Communicator::iallgatherv`] /
+/// [`Communicator::iallgather`]: `send_buf` only — receive storage is
+/// produced by the completion (§III-E: results by value), and receive
+/// counts are discovered, not exchanged.
+pub trait IallgatherArgs<T: Plain> {
+    /// The moved-in send container handed back by `wait()`.
+    type Back;
+    /// Starts the operation (`equal_blocks` selects allgather vs
+    /// allgatherv call counting).
+    fn run<'c>(
+        self,
+        comm: &'c Communicator,
+        equal_blocks: bool,
+    ) -> Result<NonBlockingCollective<'c, T, Self::Back>>;
+}
+
+impl<T, B> IallgatherArgs<T>
+    for ArgSet<SendBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent, Absent>
+where
+    T: Plain,
+    SendBuf<B>: ProvidesSendData<T> + SendReclaim,
+{
+    type Back = <SendBuf<B> as SendReclaim>::Back;
+
+    fn run<'c>(
+        self,
+        comm: &'c Communicator,
+        equal_blocks: bool,
+    ) -> Result<NonBlockingCollective<'c, T, Self::Back>> {
+        let req = if equal_blocks {
+            comm.raw().iallgather(self.send_buf.send_slice())?
+        } else {
+            comm.raw().iallgatherv(self.send_buf.send_slice())?
+        };
+        Ok(NonBlockingCollective {
+            req,
+            back: self.send_buf.reclaim(),
+            _elem: PhantomData,
+        })
+    }
+}
+
+/// Valid argument sets for [`Communicator::ialltoallv`]: `send_buf` and
+/// `send_counts` (required), `send_displs` (optional; omitted means the
+/// send buffer is packed contiguously in rank order).
+pub trait IalltoallvArgs<T: Plain> {
+    /// The moved-in send container handed back by `wait()`.
+    type Back;
+    /// Starts the operation.
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Back>>;
+}
+
+impl<T, B, SC, SD> IalltoallvArgs<T>
+    for ArgSet<SendBuf<B>, Absent, Absent, SC, Absent, SD, Absent, Absent>
+where
+    T: Plain,
+    SendBuf<B>: ProvidesSendData<T> + SendReclaim,
+    SC: ProvidedCounts,
+    SD: crate::params::slots::CountsSlot,
+{
+    type Back = <SendBuf<B> as SendReclaim>::Back;
+
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Back>> {
+        let send = self.send_buf.send_slice();
+        let counts = self
+            .send_counts
+            .provided()
+            .expect("send_counts is required");
+        let req = match self.send_displs.provided() {
+            None => comm.raw().ialltoallv(send, counts)?,
+            Some(displs) => {
+                // Repack into contiguous rank order so displacement gaps
+                // (or overlaps) never travel.
+                let mut packed = Vec::with_capacity(counts.iter().sum());
+                for (r, &c) in counts.iter().enumerate() {
+                    let d = displs[r];
+                    packed.extend_from_slice(&send[d..d + c]);
+                }
+                comm.raw().ialltoallv(&packed, counts)?
+            }
+        };
+        Ok(NonBlockingCollective {
+            req,
+            back: self.send_buf.reclaim(),
+            _elem: PhantomData,
+        })
+    }
+}
+
+/// Valid argument sets for [`Communicator::ibcast`]: an **owned**
+/// `send_recv_buf(Vec<T>)` plus optional `root`. Borrowed buffers do not
+/// compile — while the broadcast is in flight nothing may read or write
+/// the buffer (§III-E), which ownership transfer enforces for free.
+pub trait IbcastArgs<T: Plain> {
+    /// Starts the operation.
+    fn run(self, comm: &Communicator) -> Result<NonBlockingBcast<'_, T>>;
+}
+
+impl<T> IbcastArgs<T>
+    for ArgSet<Absent, SendRecvBuf<Vec<T>>, Absent, Absent, Absent, Absent, Absent, Absent>
+where
+    T: Plain,
+{
+    fn run(self, comm: &Communicator) -> Result<NonBlockingBcast<'_, T>> {
+        let root = self.meta.root.unwrap_or(0);
+        crate::assertions::check_same_root(comm, root)?;
+        let buf = self.send_recv_buf.0;
+        let is_root = comm.rank() == root;
+        let req = comm.raw().ibcast(is_root.then_some(&buf[..]), root)?;
+        Ok(NonBlockingBcast {
+            req,
+            root_buf: is_root.then_some(buf),
+        })
+    }
+}
+
+/// Valid argument sets for [`Communicator::iallreduce`]: `send_buf` and
+/// `op` (both required).
+pub trait IallreduceArgs<T: Plain> {
+    /// The moved-in send container handed back by `wait()`.
+    type Back;
+    /// Starts the operation.
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Back>>;
+}
+
+impl<T, B, O> IallreduceArgs<T>
+    for ArgSet<SendBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent, OpParam<O>>
+where
+    T: Plain,
+    SendBuf<B>: ProvidesSendData<T> + SendReclaim,
+    OpParam<O>: ProvidesOp<T>,
+    <OpParam<O> as ProvidesOp<T>>::Op: 'static,
+{
+    type Back = <SendBuf<B> as SendReclaim>::Back;
+
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Back>> {
+        let op = self.op.into_op();
+        let req = comm.raw().iallreduce(self.send_buf.send_slice(), op)?;
+        Ok(NonBlockingCollective {
+            req,
+            back: self.send_buf.reclaim(),
+            _elem: PhantomData,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Communicator methods
+// ---------------------------------------------------------------------------
+
+impl Communicator {
+    /// Starts a non-blocking allgatherv (wraps `MPI_Iallgatherv`).
+    ///
+    /// Parameters: `send_buf` (required; owned containers are moved in
+    /// and handed back by `wait()`). Returns a
+    /// [`NonBlockingCollective`]; the concatenated data (and, via
+    /// `wait_with_counts()`, the per-rank counts) only exist after
+    /// completion.
+    ///
+    /// ```
+    /// use kamping::prelude::*;
+    ///
+    /// kmp_mpi::Universe::run(3, |comm| {
+    ///     let comm = Communicator::new(comm);
+    ///     let mine = vec![comm.rank() as u64; comm.rank() + 1];
+    ///     let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+    ///     // ... overlap local work here ...
+    ///     let (all, mine) = fut.wait().unwrap();
+    ///     assert_eq!(all, vec![0, 1, 1, 2, 2, 2]);
+    ///     assert_eq!(mine.len(), comm.rank() + 1); // moved-in buffer is back
+    /// });
+    /// ```
+    pub fn iallgatherv<T, A>(
+        &self,
+        args: A,
+    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallgatherArgs<T>>::Back>>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: IallgatherArgs<T>,
+    {
+        args.into_args().run(self, false)
+    }
+
+    /// Starts a non-blocking allgather of equal-size blocks (wraps
+    /// `MPI_Iallgather`). Same parameters and future as
+    /// [`Communicator::iallgatherv`].
+    pub fn iallgather<T, A>(
+        &self,
+        args: A,
+    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallgatherArgs<T>>::Back>>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: IallgatherArgs<T>,
+    {
+        args.into_args().run(self, true)
+    }
+
+    /// Starts a non-blocking personalized all-to-all (wraps
+    /// `MPI_Ialltoallv`).
+    ///
+    /// Parameters: `send_buf` and `send_counts` (required),
+    /// `send_displs` (optional). No receive-side parameters exist: counts
+    /// are discovered from the incoming messages and the data is returned
+    /// by `wait()` — `wait_with_counts()` also yields the per-source
+    /// counts.
+    pub fn ialltoallv<T, A>(
+        &self,
+        args: A,
+    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IalltoallvArgs<T>>::Back>>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: IalltoallvArgs<T>,
+    {
+        args.into_args().run(self)
+    }
+
+    /// Starts a non-blocking broadcast (wraps `MPI_Ibcast`).
+    ///
+    /// Parameters: `send_recv_buf` holding an **owned** `Vec<T>` (moved
+    /// in; borrowed buffers do not compile — §III-E), `root` (default 0).
+    /// `wait()` returns the broadcast content on every rank.
+    pub fn ibcast<T, A>(&self, args: A) -> Result<NonBlockingBcast<'_, T>>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: IbcastArgs<T>,
+    {
+        args.into_args().run(self)
+    }
+
+    /// Starts a non-blocking all-reduce (wraps `MPI_Iallreduce`).
+    ///
+    /// Parameters: `send_buf` and `op` (required). `wait()` returns the
+    /// elementwise reduction over all ranks (strict rank order — safe for
+    /// non-commutative operations) plus the moved-in send buffer.
+    pub fn iallreduce<T, A>(
+        &self,
+        args: A,
+    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallreduceArgs<T>>::Back>>
+    where
+        T: Plain,
+        A: IntoArgs,
+        A::Out: IallreduceArgs<T>,
+    {
+        args.into_args().run(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use kmp_mpi::Universe;
+
+    #[test]
+    fn iallgatherv_returns_data_and_buffer() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u32; comm.rank() + 1];
+            let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+            let (all, mine) = fut.wait().unwrap();
+            assert_eq!(all, vec![0, 1, 1, 2, 2, 2]);
+            assert_eq!(mine, vec![comm.rank() as u32; comm.rank() + 1]);
+        });
+    }
+
+    #[test]
+    fn iallgatherv_borrowed_send_buf_returns_unit() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u8];
+            let fut = comm.iallgatherv(send_buf(&mine)).unwrap();
+            let (all, ()) = fut.wait().unwrap();
+            assert_eq!(all, vec![0, 1]);
+            // `mine` stayed accessible: it was only borrowed.
+            assert_eq!(mine, vec![comm.rank() as u8]);
+        });
+    }
+
+    #[test]
+    fn iallgatherv_counts_discovered_without_exchange() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![9u16; comm.rank()];
+            let before = comm.call_counts();
+            let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+            let (all, counts, _mine) = fut.wait_with_counts().unwrap();
+            let delta = comm.call_counts().since(&before);
+            assert_eq!(all.len(), 3);
+            assert_eq!(counts, vec![0, 1, 2]);
+            // One iallgatherv; zero count-exchanging allgathers (compare
+            // the blocking path, which issues one when counts are
+            // omitted).
+            assert_eq!(delta.get("iallgatherv"), 1);
+            assert_eq!(delta.get("allgather"), 0);
+            assert_eq!(delta.total(), 1);
+        });
+    }
+
+    #[test]
+    fn ialltoallv_roundtrip_with_counts() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let send = vec![comm.rank() as u64 * 10, comm.rank() as u64 * 10 + 1];
+            let counts = vec![1usize, 1];
+            let fut = comm
+                .ialltoallv((send_buf(send), send_counts(&counts)))
+                .unwrap();
+            let (data, rc, send) = fut.wait_with_counts().unwrap();
+            assert_eq!(data, vec![comm.rank() as u64, 10 + comm.rank() as u64]);
+            assert_eq!(rc, vec![1, 1]);
+            assert_eq!(send.len(), 2, "moved-in send buffer handed back");
+        });
+    }
+
+    #[test]
+    fn ialltoallv_with_explicit_send_displs() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            // Junk prefix skipped by displacements.
+            let send = vec![99u32, comm.rank() as u32, comm.rank() as u32 + 10];
+            let counts = vec![1usize, 1];
+            let displs = vec![1usize, 2];
+            let fut = comm
+                .ialltoallv((send_buf(&send), send_counts(&counts), send_displs(&displs)))
+                .unwrap();
+            let (got, ()) = fut.wait().unwrap();
+            let offset = comm.rank() as u32 * 10;
+            assert_eq!(got, vec![offset, offset + 1]);
+        });
+    }
+
+    #[test]
+    fn ibcast_owned_roundtrip() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let data = if comm.rank() == 1 {
+                vec![5u64, 6, 7]
+            } else {
+                vec![]
+            };
+            let fut = comm.ibcast((send_recv_buf(data), root(1))).unwrap();
+            let data = fut.wait().unwrap();
+            assert_eq!(data, vec![5, 6, 7]);
+        });
+    }
+
+    #[test]
+    fn iallreduce_with_op() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u64 + 1, 1];
+            let fut = comm.iallreduce((send_buf(mine), op(ops::Sum))).unwrap();
+            let (total, mine) = fut.wait().unwrap();
+            assert_eq!(total, vec![10, 4]);
+            assert_eq!(mine.len(), 2);
+        });
+    }
+
+    #[test]
+    fn iallreduce_non_commutative_lambda() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            let concat = ops::non_commutative(|a: &u64, b: &u64| a * 10 + b);
+            let fut = comm
+                .iallreduce((send_buf(vec![comm.rank() as u64 + 1]), op(concat)))
+                .unwrap();
+            let (folded, _) = fut.wait().unwrap();
+            assert_eq!(folded, vec![123]);
+        });
+    }
+
+    #[test]
+    fn test_polls_to_completion() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mut fut = comm
+                .iallreduce((send_buf(vec![1u32]), op(ops::Sum)))
+                .unwrap();
+            let (sum, _) = loop {
+                match fut.test().unwrap() {
+                    Ok(done) => break done,
+                    Err(pending) => {
+                        fut = pending;
+                        std::thread::yield_now();
+                    }
+                }
+            };
+            assert_eq!(sum, vec![2]);
+        });
+    }
+
+    #[test]
+    fn overlap_compute_between_start_and_wait() {
+        Universe::run(4, |comm| {
+            let comm = Communicator::new(comm);
+            let mine = vec![comm.rank() as u64; 256];
+            let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+            // The communication is in flight; do real local work.
+            let mut acc = 0u64;
+            for i in 0..50_000u64 {
+                acc = acc.wrapping_add(i.wrapping_mul(i));
+            }
+            std::hint::black_box(acc);
+            let (all, _) = fut.wait().unwrap();
+            assert_eq!(all.len(), 4 * 256);
+        });
+    }
+}

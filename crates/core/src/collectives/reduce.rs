@@ -53,8 +53,9 @@ where
     let op = args.op.into_op();
     let needed = if comm.rank() == root { send.len() } else { 0 };
     let raw = comm.raw();
-    let ((), rb_out) =
-        args.recv_buf.apply(needed, |storage| raw.reduce_into(send, storage, op, root))?;
+    let ((), rb_out) = args
+        .recv_buf
+        .apply(needed, |storage| raw.reduce_into(send, storage, op, root))?;
     Ok(rb_out)
 }
 
@@ -71,8 +72,9 @@ where
     let send = args.send_buf.send_slice();
     let op = args.op.into_op();
     let raw = comm.raw();
-    let ((), rb_out) =
-        args.recv_buf.apply(send.len(), |storage| raw.allreduce_into(send, storage, op))?;
+    let ((), rb_out) = args
+        .recv_buf
+        .apply(send.len(), |storage| raw.allreduce_into(send, storage, op))?;
     Ok(rb_out)
 }
 
@@ -89,8 +91,9 @@ where
     let send = args.send_buf.send_slice();
     let op = args.op.into_op();
     let raw = comm.raw();
-    let ((), rb_out) =
-        args.recv_buf.apply(send.len(), |storage| raw.scan_into(send, storage, op))?;
+    let ((), rb_out) = args
+        .recv_buf
+        .apply(send.len(), |storage| raw.scan_into(send, storage, op))?;
     Ok(rb_out)
 }
 
@@ -160,7 +163,11 @@ where
 
     fn run(self, comm: &Communicator) -> Result<T> {
         let send = self.send_buf.send_slice();
-        assert_eq!(send.len(), 1, "allreduce_single requires exactly one element");
+        assert_eq!(
+            send.len(),
+            1,
+            "allreduce_single requires exactly one element"
+        );
         let op = self.op.into_op();
         comm.raw().allreduce_one(send[0], op)
     }
@@ -264,7 +271,10 @@ mod tests {
             // calls out (§II).
             let mine = vec![comm.rank() as u32 + 1];
             let prod: Vec<u32> = comm
-                .allreduce((send_buf(&mine), op(ops::commutative(|a: &u32, b: &u32| a * b))))
+                .allreduce((
+                    send_buf(&mine),
+                    op(ops::commutative(|a: &u32, b: &u32| a * b)),
+                ))
                 .unwrap();
             assert_eq!(prod, vec![6]);
         });
@@ -275,7 +285,9 @@ mod tests {
         Universe::run(4, |comm| {
             let comm = Communicator::new(comm);
             let mine = vec![1u32];
-            let out: Vec<u32> = comm.reduce((send_buf(&mine), op(ops::Sum), root(2))).unwrap();
+            let out: Vec<u32> = comm
+                .reduce((send_buf(&mine), op(ops::Sum), root(2)))
+                .unwrap();
             if comm.rank() == 2 {
                 assert_eq!(out, vec![4]);
             } else {
@@ -313,7 +325,8 @@ mod tests {
             let comm = Communicator::new(comm);
             let mine = vec![2.5f64];
             let mut out = vec![0.0f64];
-            comm.allreduce((send_buf(&mine), op(ops::Sum), recv_buf(&mut out))).unwrap();
+            comm.allreduce((send_buf(&mine), op(ops::Sum), recv_buf(&mut out)))
+                .unwrap();
             assert_eq!(out, vec![5.0]);
         });
     }

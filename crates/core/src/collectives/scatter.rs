@@ -33,8 +33,9 @@ where
         let send = self.send_buf.send_slice();
         // The block travels with its length, so non-root ranks need no
         // recv_count parameter.
-        let block =
-            comm.raw().scatter_vec((comm.rank() == root).then_some(send), root)?;
+        let block = comm
+            .raw()
+            .scatter_vec((comm.rank() == root).then_some(send), root)?;
         let ((), rb_out) = self.recv_buf.apply(block.len(), |storage| {
             storage[..block.len()].copy_from_slice(&block);
             Ok(())
@@ -139,9 +140,16 @@ mod tests {
     fn scatter_equal_blocks() {
         Universe::run(4, |comm| {
             let comm = Communicator::new(comm);
-            let send: Vec<u32> = if comm.rank() == 0 { (0..8).collect() } else { vec![] };
+            let send: Vec<u32> = if comm.rank() == 0 {
+                (0..8).collect()
+            } else {
+                vec![]
+            };
             let mine: Vec<u32> = comm.scatter(send_buf(&send)).unwrap();
-            assert_eq!(mine, vec![2 * comm.rank() as u32, 2 * comm.rank() as u32 + 1]);
+            assert_eq!(
+                mine,
+                vec![2 * comm.rank() as u32, 2 * comm.rank() as u32 + 1]
+            );
         });
     }
 
@@ -149,10 +157,15 @@ mod tests {
     fn scatterv_variable_blocks() {
         Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
-            let send: Vec<u64> = if comm.rank() == 1 { (0..6).collect() } else { vec![] };
+            let send: Vec<u64> = if comm.rank() == 1 {
+                (0..6).collect()
+            } else {
+                vec![]
+            };
             let counts = vec![3usize, 1, 2];
-            let mine: Vec<u64> =
-                comm.scatterv((send_buf(&send), send_counts(&counts), root(1))).unwrap();
+            let mine: Vec<u64> = comm
+                .scatterv((send_buf(&send), send_counts(&counts), root(1)))
+                .unwrap();
             match comm.rank() {
                 0 => assert_eq!(mine, vec![0, 1, 2]),
                 1 => assert_eq!(mine, vec![3]),
@@ -166,7 +179,11 @@ mod tests {
     fn scatterv_displs_out_at_root() {
         Universe::run(2, |comm| {
             let comm = Communicator::new(comm);
-            let send: Vec<u8> = if comm.rank() == 0 { vec![1, 2, 3] } else { vec![] };
+            let send: Vec<u8> = if comm.rank() == 0 {
+                vec![1, 2, 3]
+            } else {
+                vec![]
+            };
             let counts = vec![1usize, 2];
             let (mine, sd) = comm
                 .scatterv((send_buf(&send), send_counts(&counts), send_displs_out()))
@@ -187,7 +204,8 @@ mod tests {
             let comm = Communicator::new(comm);
             let send: Vec<u16> = if comm.rank() == 0 { vec![7, 8] } else { vec![] };
             let mut out = Vec::new();
-            comm.scatter((send_buf(&send), recv_buf(&mut out).grow_only())).unwrap();
+            comm.scatter((send_buf(&send), recv_buf(&mut out).grow_only()))
+                .unwrap();
             assert_eq!(out, vec![7 + comm.rank() as u16]);
         });
     }

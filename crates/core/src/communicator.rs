@@ -22,7 +22,10 @@ impl Communicator {
     /// Wraps a substrate communicator (the `Communicator comm(comm_)`
     /// idiom from the paper's sample sort, Fig. 7).
     pub fn new(raw: Comm) -> Self {
-        Communicator { raw, sparse_epoch: std::cell::Cell::new(0) }
+        Communicator {
+            raw,
+            sparse_epoch: std::cell::Cell::new(0),
+        }
     }
 
     /// The underlying substrate communicator, for interoperability with
@@ -129,7 +132,10 @@ mod tests {
             let comm = Communicator::new(comm);
             let dup = comm.dup().unwrap();
             assert_eq!(dup.size(), 4);
-            let half = comm.split(Some((comm.rank() / 2) as u64), 0).unwrap().unwrap();
+            let half = comm
+                .split(Some((comm.rank() / 2) as u64), 0)
+                .unwrap()
+                .unwrap();
             assert_eq!(half.size(), 2);
         });
     }

@@ -97,6 +97,48 @@
 //! }
 //! ```
 //!
+//! The same ownership rule covers non-blocking **collectives**: a buffer
+//! moved into `iallgatherv` is gone until `wait()` hands it back:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn use_after_move_collective(comm: &Communicator) {
+//!     let v = vec![1u32, 2, 3];
+//!     let fut = comm.iallgatherv(send_buf(v)).unwrap();
+//!     let _len = v.len(); // ERROR: v was moved into the future
+//!     let _ = fut.wait().unwrap();
+//! }
+//! ```
+//!
+//! ## No in-flight access for `ibcast` (§III-E)
+//!
+//! `ibcast` refuses *borrowed* buffers: while the broadcast is in flight
+//! nothing may read or write the buffer, which only ownership transfer
+//! can guarantee — so `send_recv_buf(&mut v)` does not compile, only
+//! `send_recv_buf(v)`:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn ibcast_borrowed(comm: &Communicator) {
+//!     let mut v = vec![1u32, 2, 3];
+//!     let _ = comm.ibcast((send_recv_buf(&mut v),)).unwrap();
+//! }
+//! ```
+//!
+//! ## Received data inaccessible before completion (§III-E)
+//!
+//! The result of a non-blocking collective is *produced by* `wait()`;
+//! there is no receive buffer to peek at while it is in flight:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn peek_before_completion(comm: &Communicator) {
+//!     let fut = comm.iallgatherv(send_buf(vec![1u32])).unwrap();
+//!     let _n = fut.0.len(); // ERROR: no accessible data inside the future
+//!     let _ = fut.wait().unwrap();
+//! }
+//! ```
+//!
 //! And the positive control — the same code *with* the parameter —
 //! compiles:
 //!
@@ -104,6 +146,19 @@
 //! use kamping::prelude::*;
 //! fn positive_control(comm: &Communicator, data: &Vec<u64>) {
 //!     let _: Vec<u64> = comm.allgatherv(send_buf(data)).unwrap();
+//! }
+//! ```
+//!
+//! Positive control for the non-blocking collectives (owned buffers move
+//! through and come back):
+//!
+//! ```no_run
+//! use kamping::prelude::*;
+//! fn positive_control_nonblocking(comm: &Communicator) {
+//!     let fut = comm.iallgatherv(send_buf(vec![1u32])).unwrap();
+//!     let (_all, _mine) = fut.wait().unwrap();
+//!     let fut = comm.ibcast((send_recv_buf(vec![1u32]),)).unwrap();
+//!     let _data = fut.wait().unwrap();
 //! }
 //! ```
 

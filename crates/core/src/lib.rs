@@ -20,6 +20,18 @@
 //! - **Non-blocking safety** (§III-E): `isend` takes ownership of the
 //!   send buffer and hands it back on `wait()`; received data is only
 //!   accessible after completion.
+//! - **Non-blocking collectives** (§III-E, extended): `iallgatherv`,
+//!   `iallgather`, `ialltoallv`, `ibcast` and `iallreduce` return typed
+//!   futures ([`collectives::NonBlockingCollective`] /
+//!   [`collectives::NonBlockingBcast`]) that own the moved-in send
+//!   buffers and produce the received data on `wait()` — so local work
+//!   placed between the call and `wait()` genuinely overlaps with the
+//!   collective (all outgoing traffic is posted eagerly by the
+//!   substrate), and no §III-E hazard is expressible. The v-collectives
+//!   need **no receive counts**, not even a hidden exchange: block sizes
+//!   are discovered from the messages and `wait_with_counts()` returns
+//!   them for free. Futures compose with [`p2p::RequestPool`] /
+//!   [`p2p::BoundedRequestPool`] (including `wait_any` / `wait_some`).
 //! - **Serialization** (§III-D3): explicit, via
 //!   [`serialization::as_serialized`] /
 //!   [`serialization::as_deserializable`].
@@ -44,8 +56,8 @@
 
 pub mod assertions;
 pub mod collectives;
-pub mod compile_checks;
 pub mod communicator;
+pub mod compile_checks;
 pub mod p2p;
 pub mod params;
 pub mod plugins;
@@ -66,10 +78,13 @@ pub mod ops {
 }
 
 /// Everything needed to write kamping code: the communicator, the
-/// parameter factories and the plugin traits.
+/// parameter factories, the non-blocking futures and pools, and the
+/// plugin traits.
 pub mod prelude {
+    pub use crate::collectives::{NonBlockingBcast, NonBlockingCollective};
     pub use crate::communicator::Communicator;
     pub use crate::ops;
+    pub use crate::p2p::{BoundedRequestPool, RequestPool};
     pub use crate::params::{
         any_source, destination, op, recv_buf, recv_count, recv_counts, recv_counts_out,
         recv_displs, recv_displs_out, root, send_buf, send_count, send_counts, send_counts_out,

@@ -165,9 +165,10 @@ impl<'a, B> NonBlockingSend<'a, B> {
     pub fn test(self) -> Result<std::result::Result<B, Self>> {
         match self.req.test()? {
             kmp_mpi::request::TestOutcome::Ready(_) => Ok(Ok(self.back)),
-            kmp_mpi::request::TestOutcome::Pending(req) => {
-                Ok(Err(NonBlockingSend { req, back: self.back }))
-            }
+            kmp_mpi::request::TestOutcome::Pending(req) => Ok(Err(NonBlockingSend {
+                req,
+                back: self.back,
+            })),
         }
     }
 }
@@ -186,8 +187,9 @@ impl<'a, T: Plain> NonBlockingRecv<'a, T> {
     /// Blocks until a message arrives and returns it.
     pub fn wait(self) -> Result<Vec<T>> {
         let completion = self.req.wait()?;
-        let (data, status) =
-            completion.into_vec::<T>().expect("receive requests complete with a payload");
+        let (data, status) = completion
+            .into_vec::<T>()
+            .expect("receive requests complete with a payload");
         check_count::<T>(self.expected_count, &data, status.bytes)?;
         Ok(data)
     }
@@ -198,8 +200,9 @@ impl<'a, T: Plain> NonBlockingRecv<'a, T> {
     pub fn test(self) -> Result<std::result::Result<Vec<T>, Self>> {
         match self.req.test()? {
             kmp_mpi::request::TestOutcome::Ready(c) => {
-                let (data, status) =
-                    c.into_vec::<T>().expect("receive requests complete with a payload");
+                let (data, status) = c
+                    .into_vec::<T>()
+                    .expect("receive requests complete with a payload");
                 check_count::<T>(self.expected_count, &data, status.bytes)?;
                 Ok(Ok(data))
             }
@@ -242,17 +245,61 @@ pub trait IsendArgs<M> {
 /// Type-erased entry of a [`RequestPool`].
 trait Pooled<'a> {
     fn wait_boxed(self: Box<Self>) -> Result<()>;
+    /// One non-blocking poll: `Ok(None)` when complete, `Ok(Some(self))`
+    /// when still pending.
+    #[allow(clippy::type_complexity)]
+    fn test_boxed(self: Box<Self>) -> Result<Option<Box<dyn Pooled<'a> + 'a>>>;
 }
 
-impl<'a, B> Pooled<'a> for NonBlockingSend<'a, B> {
+impl<'a, B: 'a> Pooled<'a> for NonBlockingSend<'a, B> {
     fn wait_boxed(self: Box<Self>) -> Result<()> {
         self.wait().map(|_| ())
+    }
+
+    fn test_boxed(self: Box<Self>) -> Result<Option<Box<dyn Pooled<'a> + 'a>>> {
+        match (*self).test()? {
+            Ok(_) => Ok(None),
+            Err(pending) => Ok(Some(Box::new(pending))),
+        }
     }
 }
 
 impl<'a, T: Plain> Pooled<'a> for NonBlockingRecv<'a, T> {
     fn wait_boxed(self: Box<Self>) -> Result<()> {
         self.wait().map(|_| ())
+    }
+
+    fn test_boxed(self: Box<Self>) -> Result<Option<Box<dyn Pooled<'a> + 'a>>> {
+        match (*self).test()? {
+            Ok(_) => Ok(None),
+            Err(pending) => Ok(Some(Box::new(pending))),
+        }
+    }
+}
+
+impl<'a, T: Plain, B: 'a> Pooled<'a> for crate::collectives::NonBlockingCollective<'a, T, B> {
+    fn wait_boxed(self: Box<Self>) -> Result<()> {
+        self.wait_discard()
+    }
+
+    fn test_boxed(self: Box<Self>) -> Result<Option<Box<dyn Pooled<'a> + 'a>>> {
+        match (*self).test_discard()? {
+            Ok(()) => Ok(None),
+            Err(pending) => Ok(Some(Box::new(pending))),
+        }
+    }
+}
+
+impl<'a, T: Plain> Pooled<'a> for crate::collectives::NonBlockingBcast<'a, T> {
+    fn wait_boxed(self: Box<Self>) -> Result<()> {
+        self.wait_discard()
+    }
+
+    fn test_boxed(self: Box<Self>) -> Result<Option<Box<dyn Pooled<'a> + 'a>>> {
+        match (*self).test_discard()? {
+            Ok(()) => Ok(None),
+            Err(pending) => Ok(Some(Box::new(pending))),
+        }
     }
 }
 
@@ -267,7 +314,9 @@ pub struct RequestPool<'a> {
 impl<'a> RequestPool<'a> {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        RequestPool { entries: Vec::new() }
+        RequestPool {
+            entries: Vec::new(),
+        }
     }
 
     /// Submits a non-blocking send.
@@ -277,6 +326,21 @@ impl<'a> RequestPool<'a> {
 
     /// Submits a non-blocking receive.
     pub fn submit_recv<T: Plain>(&mut self, op: NonBlockingRecv<'a, T>) {
+        self.entries.push(Box::new(op));
+    }
+
+    /// Submits a non-blocking collective (`iallgatherv`, `ialltoallv`,
+    /// `iallreduce`, …). The carried values are discarded on completion;
+    /// await the future individually when its result is needed.
+    pub fn submit_collective<T: Plain, B: 'a>(
+        &mut self,
+        op: crate::collectives::NonBlockingCollective<'a, T, B>,
+    ) {
+        self.entries.push(Box::new(op));
+    }
+
+    /// Submits a non-blocking broadcast.
+    pub fn submit_bcast<T: Plain>(&mut self, op: crate::collectives::NonBlockingBcast<'a, T>) {
         self.entries.push(Box::new(op));
     }
 
@@ -296,6 +360,75 @@ impl<'a> RequestPool<'a> {
             e.wait_boxed()?;
         }
         Ok(())
+    }
+
+    /// Blocks until *one* pooled operation completes (mirrors
+    /// `MPI_Waitany`), removing it. Returns its index at call time, or
+    /// `None` for an empty pool; later entries shift down by one.
+    pub fn wait_any(&mut self) -> Result<Option<usize>> {
+        if self.entries.is_empty() {
+            return Ok(None);
+        }
+        loop {
+            let mut ready: Option<usize> = None;
+            let mut erred = None;
+            let mut kept: Vec<Box<dyn Pooled<'a> + 'a>> = Vec::with_capacity(self.entries.len());
+            for (i, entry) in std::mem::take(&mut self.entries).into_iter().enumerate() {
+                if ready.is_some() || erred.is_some() {
+                    kept.push(entry);
+                    continue;
+                }
+                match entry.test_boxed() {
+                    Ok(None) => ready = Some(i),
+                    Ok(Some(pending)) => kept.push(pending),
+                    // The erroring operation is consumed; the rest stay
+                    // pooled so survivors remain completable.
+                    Err(e) => erred = Some(e),
+                }
+            }
+            self.entries = kept;
+            if let Some(e) = erred {
+                return Err(e);
+            }
+            if ready.is_some() {
+                return Ok(ready);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Blocks until *at least one* pooled operation completes (mirrors
+    /// `MPI_Waitsome`), removing all completed ones. Returns their
+    /// indices at call time, in order; an empty pool yields an empty
+    /// vector.
+    pub fn wait_some(&mut self) -> Result<Vec<usize>> {
+        if self.entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        loop {
+            let mut done = Vec::new();
+            let mut erred = None;
+            let mut kept: Vec<Box<dyn Pooled<'a> + 'a>> = Vec::with_capacity(self.entries.len());
+            for (i, entry) in std::mem::take(&mut self.entries).into_iter().enumerate() {
+                if erred.is_some() {
+                    kept.push(entry);
+                    continue;
+                }
+                match entry.test_boxed() {
+                    Ok(None) => done.push(i),
+                    Ok(Some(pending)) => kept.push(pending),
+                    Err(e) => erred = Some(e),
+                }
+            }
+            self.entries = kept;
+            if let Some(e) = erred {
+                return Err(e);
+            }
+            if !done.is_empty() {
+                return Ok(done);
+            }
+            std::thread::yield_now();
+        }
     }
 }
 
@@ -317,7 +450,10 @@ impl<'a> BoundedRequestPool<'a> {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "a request pool needs at least one slot");
-        BoundedRequestPool { slots: std::collections::VecDeque::new(), capacity }
+        BoundedRequestPool {
+            slots: std::collections::VecDeque::new(),
+            capacity,
+        }
     }
 
     /// Number of in-flight operations.
@@ -354,6 +490,18 @@ impl<'a> BoundedRequestPool<'a> {
     /// Submits a non-blocking receive, completing the oldest operation
     /// first if the pool is full.
     pub fn submit_recv<T: Plain>(&mut self, op: NonBlockingRecv<'a, T>) -> Result<()> {
+        self.make_room()?;
+        self.slots.push_back(Box::new(op));
+        Ok(())
+    }
+
+    /// Submits a non-blocking collective, completing the oldest operation
+    /// first if the pool is full — bounding both in-flight requests and
+    /// the buffer memory held by moved-in send containers.
+    pub fn submit_collective<T: Plain, B: 'a>(
+        &mut self,
+        op: crate::collectives::NonBlockingCollective<'a, T, B>,
+    ) -> Result<()> {
         self.make_room()?;
         self.slots.push_back(Box::new(op));
         Ok(())
@@ -399,7 +547,10 @@ impl Communicator {
     /// Non-blocking send (wraps `MPI_Isend`). Owned send buffers are
     /// moved into the returned [`NonBlockingSend`] and handed back by
     /// `wait()` — the ownership-based safety of §III-E (Fig. 6).
-    pub fn isend<M, A>(&self, args: A) -> Result<NonBlockingSend<'_, <A::Out as IsendArgs<M>>::Back>>
+    pub fn isend<M, A>(
+        &self,
+        args: A,
+    ) -> Result<NonBlockingSend<'_, <A::Out as IsendArgs<M>>::Back>>
     where
         A: IntoArgs,
         A::Out: IsendArgs<M>,
@@ -432,7 +583,11 @@ impl Communicator {
         let args = args.into_args().into_meta();
         let (src, tag) = recv_meta(&args);
         let req = self.raw().irecv(src, tag);
-        Ok(NonBlockingRecv { req, expected_count: args.recv_count, _elem: std::marker::PhantomData })
+        Ok(NonBlockingRecv {
+            req,
+            expected_count: args.recv_count,
+            _elem: std::marker::PhantomData,
+        })
     }
 }
 
@@ -459,7 +614,8 @@ mod tests {
         Universe::run(2, |comm| {
             let comm = Communicator::new(comm);
             if comm.rank() == 0 {
-                comm.send((send_buf(&[1u32, 2, 3][..]), destination(1))).unwrap();
+                comm.send((send_buf(&[1u32, 2, 3][..]), destination(1)))
+                    .unwrap();
             } else {
                 let v: Vec<u32> = comm.recv((source(0),)).unwrap();
                 assert_eq!(v, vec![1, 2, 3]);
@@ -472,8 +628,10 @@ mod tests {
         Universe::run(2, |comm| {
             let comm = Communicator::new(comm);
             if comm.rank() == 0 {
-                comm.send((send_buf(&vec![1u8]), destination(1), tag(7))).unwrap();
-                comm.send((send_buf(&vec![2u8]), destination(1), tag(8))).unwrap();
+                comm.send((send_buf(&vec![1u8]), destination(1), tag(7)))
+                    .unwrap();
+                comm.send((send_buf(&vec![2u8]), destination(1), tag(8)))
+                    .unwrap();
             } else {
                 let v8: Vec<u8> = comm.recv((source(0), tag(8))).unwrap();
                 let v7: Vec<u8> = comm.recv((source(0), tag(7))).unwrap();
@@ -487,10 +645,12 @@ mod tests {
         Universe::run(2, |comm| {
             let comm = Communicator::new(comm);
             if comm.rank() == 0 {
-                comm.send((send_buf(&vec![9u64; 4]), destination(1))).unwrap();
+                comm.send((send_buf(&vec![9u64; 4]), destination(1)))
+                    .unwrap();
             } else {
                 let mut buf = Vec::new();
-                comm.recv::<u64, _>((recv_buf(&mut buf).resize_to_fit(),)).unwrap();
+                comm.recv::<u64, _>((recv_buf(&mut buf).resize_to_fit(),))
+                    .unwrap();
                 assert_eq!(buf, vec![9; 4]);
             }
         });
@@ -519,7 +679,8 @@ mod tests {
         Universe::run(2, |comm| {
             let comm = Communicator::new(comm);
             if comm.rank() == 0 {
-                comm.send((send_buf(&vec![5u16; 42]), destination(1))).unwrap();
+                comm.send((send_buf(&vec![5u16; 42]), destination(1)))
+                    .unwrap();
             } else {
                 // Fig. 6: r2 = comm.irecv<int>(recv_count(42)).
                 let r2 = comm.irecv::<u16, _>(recv_count(42)).unwrap();
@@ -574,7 +735,9 @@ mod tests {
             if comm.rank() == 0 {
                 let mut pool = crate::p2p::RequestPool::new();
                 for peer in 1..3 {
-                    let r = comm.isend((send_buf(vec![peer as u8]), destination(peer))).unwrap();
+                    let r = comm
+                        .isend((send_buf(vec![peer as u8]), destination(peer)))
+                        .unwrap();
                     pool.submit_send(r);
                 }
                 assert_eq!(pool.len(), 2);
@@ -591,7 +754,8 @@ mod tests {
         Universe::run(2, |comm| {
             let comm = Communicator::new(comm);
             if comm.rank() == 0 {
-                comm.send((send_buf(&vec![1u8; 3]), destination(1))).unwrap();
+                comm.send((send_buf(&vec![1u8; 3]), destination(1)))
+                    .unwrap();
             } else {
                 let r = comm.recv::<u8, _>((recv_count(5),));
                 assert!(r.is_err());
@@ -624,6 +788,69 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn bounded_pool_rejects_zero_capacity() {
         let _ = crate::p2p::BoundedRequestPool::with_capacity(0);
+    }
+
+    #[test]
+    fn pool_wait_any_and_wait_some() {
+        Universe::run(3, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                let mut pool = crate::p2p::RequestPool::new();
+                assert!(pool.wait_any().unwrap().is_none());
+                pool.submit_recv(comm.irecv::<u8, _>(source(1)).unwrap());
+                pool.submit_recv(comm.irecv::<u8, _>(source(2)).unwrap());
+                let first = pool.wait_any().unwrap().expect("one completes");
+                assert!(first <= 1);
+                assert_eq!(pool.len(), 1);
+                let rest = pool.wait_some().unwrap();
+                assert_eq!(rest, vec![0]);
+                assert!(pool.is_empty());
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(comm.rank() as u64 * 2));
+                comm.send((send_buf(&[comm.rank() as u8][..]), destination(0)))
+                    .unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn pool_mixes_p2p_and_collectives() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mut pool = crate::p2p::RequestPool::new();
+            // Collectives must be started in the same order on all ranks.
+            pool.submit_collective(
+                comm.iallreduce((send_buf(vec![1u64]), op(ops::Sum)))
+                    .unwrap(),
+            );
+            pool.submit_collective(
+                comm.iallgatherv(send_buf(vec![comm.rank() as u32]))
+                    .unwrap(),
+            );
+            if comm.rank() == 0 {
+                pool.submit_send(comm.isend((send_buf(vec![7u8]), destination(1))).unwrap());
+            } else {
+                pool.submit_recv(comm.irecv::<u8, _>(source(0)).unwrap());
+            }
+            assert_eq!(pool.len(), 3);
+            pool.wait_all().unwrap();
+        });
+    }
+
+    #[test]
+    fn bounded_pool_accepts_collectives() {
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            let mut pool = crate::p2p::BoundedRequestPool::with_capacity(2);
+            for _ in 0..5 {
+                let fut = comm
+                    .iallreduce((send_buf(vec![1u32]), op(ops::Sum)))
+                    .unwrap();
+                pool.submit_collective(fut).unwrap();
+                assert!(pool.len() <= 2);
+            }
+            pool.wait_all().unwrap();
+        });
     }
 
     #[test]

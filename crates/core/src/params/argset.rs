@@ -262,8 +262,8 @@ impl<O, SB, SRB, RB, SC, RC, SD, RD> ApplyParam<ArgSet<SB, SRB, RB, SC, RC, SD, 
 // Scalar parameters fold into `meta` and leave the slot types unchanged.
 macro_rules! apply_scalar_param {
     ($param:ty, $field:ident, $name:literal) => {
-        impl<SB, SRB, RB, SC, RC, SD, RD, OP>
-            ApplyParam<ArgSet<SB, SRB, RB, SC, RC, SD, RD, OP>> for $param
+        impl<SB, SRB, RB, SC, RC, SD, RD, OP> ApplyParam<ArgSet<SB, SRB, RB, SC, RC, SD, RD, OP>>
+            for $param
         {
             type Out = ArgSet<SB, SRB, RB, SC, RC, SD, RD, OP>;
 

@@ -75,23 +75,35 @@ pub struct RecvBuf<B, P = NoResize> {
 /// [`RecvBuf::resize_to_fit`] or [`RecvBuf::grow_only`] to opt into
 /// automatic resizing.
 pub fn recv_buf<B>(buf: B) -> RecvBuf<B, NoResize> {
-    RecvBuf { buf, _policy: NoResize }
+    RecvBuf {
+        buf,
+        _policy: NoResize,
+    }
 }
 
 impl<B, P> RecvBuf<B, P> {
     /// Always resize the buffer to exactly the received size.
     pub fn resize_to_fit(self) -> RecvBuf<B, ResizeToFit> {
-        RecvBuf { buf: self.buf, _policy: ResizeToFit }
+        RecvBuf {
+            buf: self.buf,
+            _policy: ResizeToFit,
+        }
     }
 
     /// Resize only if the buffer is too small; never shrink.
     pub fn grow_only(self) -> RecvBuf<B, GrowOnly> {
-        RecvBuf { buf: self.buf, _policy: GrowOnly }
+        RecvBuf {
+            buf: self.buf,
+            _policy: GrowOnly,
+        }
     }
 
     /// Never resize; assert the buffer is large enough (the default).
     pub fn no_resize(self) -> RecvBuf<B, NoResize> {
-        RecvBuf { buf: self.buf, _policy: NoResize }
+        RecvBuf {
+            buf: self.buf,
+            _policy: NoResize,
+        }
     }
 }
 

@@ -151,6 +151,7 @@ mod tests {
     #[test]
     fn unit_components_vanish() {
         // A chain of unit components stays unit through the fold.
+        #[allow(clippy::let_unit_value)] // the unit accumulator chain is what is under test
         fn folded() {
             let acc = ();
             let acc = ().push_component(acc);

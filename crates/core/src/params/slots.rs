@@ -344,22 +344,24 @@ mod tests {
     fn borrowed_recv_writes_in_place() {
         let mut storage = vec![0u8; 3];
         let p = recv_buf(&mut storage);
-        let ((), ()) = p.apply(3, |s| {
-            s[0] = 7;
-            Ok(())
-        })
-        .unwrap();
+        let ((), ()) = p
+            .apply(3, |s| {
+                s[0] = 7;
+                Ok(())
+            })
+            .unwrap();
         assert_eq!(storage, vec![7, 0, 0]);
     }
 
     #[test]
     fn owned_recv_moves_through() {
         let p = recv_buf(vec![0u32; 1]).resize_to_fit();
-        let ((), out) = p.apply(2, |s| {
-            s[1] = 5;
-            Ok(())
-        })
-        .unwrap();
+        let ((), out) = p
+            .apply(2, |s| {
+                s[1] = 5;
+                Ok(())
+            })
+            .unwrap();
         assert_eq!(out, vec![0, 5]);
     }
 
@@ -367,23 +369,26 @@ mod tests {
     fn send_recv_buf_shapes() {
         let mut v = vec![1u64, 2];
         let p = send_recv_buf(&mut v);
-        let ((), ()) = p.apply(|b| {
-            b.push(3);
-            Ok(())
-        })
-        .unwrap();
+        let ((), ()) = p
+            .apply(|b| {
+                b.push(3);
+                Ok(())
+            })
+            .unwrap();
         assert_eq!(v, vec![1, 2, 3]);
 
         let p = send_recv_buf(vec![9u64]);
-        let ((), out) = p.apply(|b| {
-            b[0] += 1;
-            Ok(())
-        })
-        .unwrap();
+        let ((), out) = p
+            .apply(|b| {
+                b[0] += 1;
+                Ok(())
+            })
+            .unwrap();
         assert_eq!(out, vec![10]);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // asserting the compile-time slot flags is the point
     fn counts_slot_constants() {
         assert!(!<Absent as CountsSlot>::PROVIDED);
         assert!(!<Absent as CountsSlot>::REQUESTED);

@@ -40,7 +40,14 @@ impl GridAlltoall for Communicator {
             .expect("all ranks participate in the column split");
         debug_assert_eq!(row_comm.rank(), col);
         debug_assert_eq!(col_comm.rank(), row);
-        Ok(GridCommunicator { row_comm, col_comm, rows: r, cols: c, rank: self.rank(), p })
+        Ok(GridCommunicator {
+            row_comm,
+            col_comm,
+            rows: r,
+            cols: c,
+            rank: self.rank(),
+            p,
+        })
     }
 }
 
@@ -83,7 +90,11 @@ fn unpack_blocks(mut bytes: &[u8], mut f: impl FnMut(Rank, Rank, &[u8])) {
         let header: Vec<u64> = bytes_to_vec(&bytes[..HEADER_WORDS * 8]);
         let len = header[2] as usize;
         let start = HEADER_WORDS * 8;
-        f(header[0] as usize, header[1] as usize, &bytes[start..start + len]);
+        f(
+            header[0] as usize,
+            header[1] as usize,
+            &bytes[start..start + len],
+        );
         bytes = &bytes[start + len..];
     }
 }
@@ -177,6 +188,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn matches_dense_alltoallv() {
         for p in [1usize, 2, 4, 6, 8, 9] {
             Universe::run(p, move |comm| {
@@ -198,8 +210,11 @@ mod tests {
                     assert_eq!(data.len(), expect_count);
                     assert!(data.iter().all(|&v| v == (o + comm.rank()) as u64));
                 }
-                let expected_origins: Vec<usize> =
-                    if expect_count == 0 { vec![] } else { (0..p).collect() };
+                let expected_origins: Vec<usize> = if expect_count == 0 {
+                    vec![]
+                } else {
+                    (0..p).collect()
+                };
                 let origins: Vec<usize> = got.iter().map(|(o, _)| *o).collect();
                 assert_eq!(origins, expected_origins, "p = {p}");
             });

@@ -60,8 +60,9 @@ impl ReproducibleReduce for Communicator {
 
         // The tree root lands on the owner of element 0; share it.
         let owner0 = ctx.owner(0);
-        let result =
-            self.raw().bcast_one(root_value.unwrap_or_else(kmp_mpi::plain::zeroed), owner0)?;
+        let result = self
+            .raw()
+            .bcast_one(root_value.unwrap_or_else(kmp_mpi::plain::zeroed), owner0)?;
         Ok(result)
     }
 }
@@ -225,7 +226,8 @@ mod tests {
             let blocks = distribute(&values, p, false);
             let results = Universe::run(p, |comm| {
                 let comm = Communicator::new(comm);
-                comm.reproducible_reduce(&blocks[comm.rank()], ops::Sum).unwrap()
+                comm.reproducible_reduce(&blocks[comm.rank()], ops::Sum)
+                    .unwrap()
             });
             for r in results {
                 assert_eq!(
@@ -244,7 +246,8 @@ mod tests {
         let blocks = distribute(&values, 4, true);
         let results = Universe::run(4, |comm| {
             let comm = Communicator::new(comm);
-            comm.reproducible_reduce(&blocks[comm.rank()], ops::Sum).unwrap()
+            comm.reproducible_reduce(&blocks[comm.rank()], ops::Sum)
+                .unwrap()
         });
         for r in results {
             assert_eq!(r.to_bits(), reference.to_bits());
@@ -261,7 +264,8 @@ mod tests {
             let blocks = distribute(&values, p, false);
             let repro = Universe::run(p, |comm| {
                 let comm = Communicator::new(comm);
-                comm.reproducible_reduce(&blocks[comm.rank()], ops::Sum).unwrap()
+                comm.reproducible_reduce(&blocks[comm.rank()], ops::Sum)
+                    .unwrap()
             });
             assert!(repro.iter().all(|r| r.to_bits() == reference.to_bits()));
         }
@@ -281,7 +285,11 @@ mod tests {
     fn empty_block_on_some_ranks() {
         let results = Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
-            let local: Vec<f64> = if comm.rank() == 1 { vec![] } else { vec![1.5, 2.5] };
+            let local: Vec<f64> = if comm.rank() == 1 {
+                vec![]
+            } else {
+                vec![1.5, 2.5]
+            };
             comm.reproducible_reduce(&local, ops::Sum).unwrap()
         });
         for r in results {
@@ -294,11 +302,11 @@ mod tests {
         // Fig. 13: 7 elements on 3 ranks (3, 2, 2).
         let values: Vec<f64> = vec![1e16, 1.0, -1e16, 2.0, 3.0, -2.0, 0.5];
         let reference = tree_fold(&values);
-        let blocks: [Vec<f64>; 3] =
-            [vec![1e16, 1.0, -1e16], vec![2.0, 3.0], vec![-2.0, 0.5]];
+        let blocks: [Vec<f64>; 3] = [vec![1e16, 1.0, -1e16], vec![2.0, 3.0], vec![-2.0, 0.5]];
         let results = Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
-            comm.reproducible_reduce(&blocks[comm.rank()], ops::Sum).unwrap()
+            comm.reproducible_reduce(&blocks[comm.rank()], ops::Sum)
+                .unwrap()
         });
         for r in results {
             assert_eq!(r.to_bits(), reference.to_bits());

@@ -60,8 +60,7 @@ impl Sorter for Communicator {
 
         // local is sorted and partition_point is monotone, so the bucket
         // layout is exactly the sorted order: ship it as-is.
-        let mut received: Vec<T> =
-            self.alltoallv((send_buf(local), send_counts(counts)))?;
+        let mut received: Vec<T> = self.alltoallv((send_buf(local), send_counts(counts)))?;
         received.sort_unstable();
         *data = received;
         Ok(())
@@ -108,8 +107,11 @@ mod tests {
         // All the data on one rank.
         let outputs = Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
-            let mut data: Vec<u64> =
-                if comm.rank() == 0 { (0..300).rev().collect() } else { vec![] };
+            let mut data: Vec<u64> = if comm.rank() == 0 {
+                (0..300).rev().collect()
+            } else {
+                vec![]
+            };
             comm.sort(&mut data).unwrap();
             data
         });

@@ -168,8 +168,9 @@ mod tests {
         // NBX must also work when everyone talks to everyone.
         Universe::run(3, |comm| {
             let comm = Communicator::new(comm);
-            let msgs: HashMap<Rank, Vec<u16>> =
-                (0..3).map(|r| (r, vec![comm.rank() as u16, r as u16])).collect();
+            let msgs: HashMap<Rank, Vec<u16>> = (0..3)
+                .map(|r| (r, vec![comm.rank() as u16, r as u16]))
+                .collect();
             let got = to_map(comm.sparse_alltoallv(&msgs).unwrap());
             assert_eq!(got.len(), 3);
             for (src, data) in got {

@@ -115,7 +115,8 @@ mod tests {
                 comm = comm.shrink().unwrap();
             }
             // The shrunken communicator works.
-            comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap()
+            comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum)))
+                .unwrap()
         });
         let survivors: Vec<u64> = out.into_iter().filter_map(|o| o.completed()).collect();
         assert_eq!(survivors, vec![3, 3, 3]);
@@ -137,7 +138,9 @@ mod tests {
 
     #[test]
     fn failure_classification() {
-        assert!(Communicator::is_failure(&MpiError::ProcessFailed { world_rank: 1 }));
+        assert!(Communicator::is_failure(&MpiError::ProcessFailed {
+            world_rank: 1
+        }));
         assert!(!Communicator::is_failure(&MpiError::Revoked));
         assert!(!Communicator::is_failure(&MpiError::InvalidTag { tag: -1 }));
     }

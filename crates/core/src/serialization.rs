@@ -114,13 +114,26 @@ impl<'a, T> SendReclaim for SendBuf<Serialized<'a, T>> {
 // --- recv ------------------------------------------------------------------
 
 impl<T: DeserializeOwned> RecvArgs<SerialMode>
-    for ArgSet<Absent, Absent, RecvBuf<Deserializable<T>, NoResize>, Absent, Absent, Absent, Absent, Absent>
+    for ArgSet<
+        Absent,
+        Absent,
+        RecvBuf<Deserializable<T>, NoResize>,
+        Absent,
+        Absent,
+        Absent,
+        Absent,
+        Absent,
+    >
 {
     type Output = T;
 
     fn run(self, comm: &Communicator) -> Result<T> {
         let src = self.meta.source.unwrap_or(kmp_mpi::Src::Any);
-        let tag = self.meta.tag.map(kmp_mpi::TagSel::Is).unwrap_or(kmp_mpi::TagSel::Any);
+        let tag = self
+            .meta
+            .tag
+            .map(kmp_mpi::TagSel::Is)
+            .unwrap_or(kmp_mpi::TagSel::Any);
         let (bytes, _status) = comm.raw().recv_bytes(src, tag)?;
         kmp_serialize::from_bytes(&bytes).map_err(de_err)
     }
@@ -151,7 +164,16 @@ pub trait BcastSerializedArgs<T> {
 }
 
 impl<'a, T: Serialize + DeserializeOwned> BcastSerializedArgs<T>
-    for ArgSet<Absent, SendRecvBuf<SerializedInout<'a, T>>, Absent, Absent, Absent, Absent, Absent, Absent>
+    for ArgSet<
+        Absent,
+        SendRecvBuf<SerializedInout<'a, T>>,
+        Absent,
+        Absent,
+        Absent,
+        Absent,
+        Absent,
+        Absent,
+    >
 {
     fn run(self, comm: &Communicator) -> Result<()> {
         let root = self.meta.root.unwrap_or(0);
@@ -183,10 +205,12 @@ mod tests {
                 let mut dict: BTreeMap<String, String> = BTreeMap::new();
                 dict.insert("alpha".into(), "1".into());
                 dict.insert("beta".into(), "2".into());
-                comm.send((send_buf(as_serialized(&dict)), destination(1))).unwrap();
+                comm.send((send_buf(as_serialized(&dict)), destination(1)))
+                    .unwrap();
             } else {
-                let dict: BTreeMap<String, String> =
-                    comm.recv((recv_buf(as_deserializable()), source(0))).unwrap();
+                let dict: BTreeMap<String, String> = comm
+                    .recv((recv_buf(as_deserializable()), source(0)))
+                    .unwrap();
                 assert_eq!(dict.len(), 2);
                 assert_eq!(dict["alpha"], "1");
                 assert_eq!(dict["beta"], "2");
@@ -204,12 +228,23 @@ mod tests {
         Universe::run(2, |comm| {
             let comm = Communicator::new(comm);
             if comm.rank() == 1 {
-                let m = Model { name: "GTR".into(), rates: vec![0.1, 0.2] };
-                comm.send((send_buf(as_serialized(&m)), destination(0), tag(3))).unwrap();
+                let m = Model {
+                    name: "GTR".into(),
+                    rates: vec![0.1, 0.2],
+                };
+                comm.send((send_buf(as_serialized(&m)), destination(0), tag(3)))
+                    .unwrap();
             } else {
-                let m: Model =
-                    comm.recv((recv_buf(as_deserializable()), source(1), tag(3))).unwrap();
-                assert_eq!(m, Model { name: "GTR".into(), rates: vec![0.1, 0.2] });
+                let m: Model = comm
+                    .recv((recv_buf(as_deserializable()), source(1), tag(3)))
+                    .unwrap();
+                assert_eq!(
+                    m,
+                    Model {
+                        name: "GTR".into(),
+                        rates: vec![0.1, 0.2]
+                    }
+                );
             }
         });
     }
@@ -224,9 +259,9 @@ mod tests {
             } else {
                 Vec::new()
             };
-            comm.bcast_serialized::<Vec<String>, _>((send_recv_buf(as_serialized_inout(
-                &mut obj,
-            )),))
+            comm.bcast_serialized::<Vec<String>, _>(
+                (send_recv_buf(as_serialized_inout(&mut obj)),),
+            )
             .unwrap();
             assert_eq!(obj, vec!["tree".to_string(), "model".to_string()]);
         });
@@ -239,7 +274,8 @@ mod tests {
         Universe::run(2, |comm| {
             let comm = Communicator::new(comm);
             if comm.rank() == 0 {
-                comm.send((send_buf(as_serialized(&42u8)), destination(1))).unwrap();
+                comm.send((send_buf(as_serialized(&42u8)), destination(1)))
+                    .unwrap();
             } else {
                 let r: kmp_mpi::Result<Vec<u64>> =
                     comm.recv((recv_buf(as_deserializable()), source(0)));

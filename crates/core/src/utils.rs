@@ -22,7 +22,10 @@ where
     // arbitrary, but alltoallv block k must target rank k).
     let mut by_rank: Vec<Vec<T>> = (0..comm_size).map(|_| Vec::new()).collect();
     for (rank, mut msgs) in messages {
-        assert!(rank < comm_size, "destination {rank} out of range for size {comm_size}");
+        assert!(
+            rank < comm_size,
+            "destination {rank} out of range for size {comm_size}"
+        );
         by_rank[rank].append(&mut msgs);
     }
     let counts: Vec<usize> = by_rank.iter().map(Vec::len).collect();

@@ -1,16 +1,25 @@
 fn main() {
     let p = 4;
-    let parts: Vec<kmp_graphgen::DistGraph> = (0..p).map(|r| kmp_graphgen::rhg(600, 8.0, 0.75, 31, r, p)).collect();
+    let parts: Vec<kmp_graphgen::DistGraph> = (0..p)
+        .map(|r| kmp_graphgen::rhg(600, 8.0, 0.75, 31, r, p))
+        .collect();
     let (mut cut, mut total) = (0usize, 0usize);
     for g in &parts {
         for i in 0..g.local_n() {
             for &v in g.neighbors(i) {
                 total += 1;
-                if !g.is_local(v) { cut += 1; }
+                if !g.is_local(v) {
+                    cut += 1;
+                }
             }
         }
     }
-    println!("total {} cut {} frac {}", total, cut, cut as f64 / total as f64);
+    println!(
+        "total {} cut {} frac {}",
+        total,
+        cut,
+        cut as f64 / total as f64
+    );
     let g1 = kmp_graphgen::rhg(600, 8.0, 1.0, 31, 0, 1);
     println!("avg deg {}", g1.local_m() as f64 / g1.local_n() as f64);
 }

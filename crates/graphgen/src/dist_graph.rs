@@ -40,7 +40,13 @@ impl DistGraph {
             targets.extend_from_slice(&list);
             offsets.push(targets.len());
         }
-        DistGraph { global_n, vertex_ranges, rank, offsets, targets }
+        DistGraph {
+            global_n,
+            vertex_ranges,
+            rank,
+            offsets,
+            targets,
+        }
     }
 
     /// First global vertex id owned by this rank.
@@ -113,12 +119,7 @@ mod tests {
 
     fn sample() -> DistGraph {
         // 5 vertices over 2 ranks: [0,1,2 | 3,4]; this is rank 0.
-        DistGraph::from_adjacency(
-            5,
-            vec![0, 3, 5],
-            0,
-            vec![vec![1, 3], vec![0], vec![4]],
-        )
+        DistGraph::from_adjacency(5, vec![0, 3, 5], 0, vec![vec![1, 3], vec![0], vec![4]])
     }
 
     #[test]
@@ -155,8 +156,7 @@ mod tests {
     #[test]
     fn iter_local_pairs() {
         let g = sample();
-        let pairs: Vec<(u64, usize)> =
-            g.iter_local().map(|(v, nb)| (v, nb.len())).collect();
+        let pairs: Vec<(u64, usize)> = g.iter_local().map(|(v, nb)| (v, nb.len())).collect();
         assert_eq!(pairs, vec![(0, 2), (1, 1), (2, 1)]);
     }
 }

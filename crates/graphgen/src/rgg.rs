@@ -155,7 +155,10 @@ mod tests {
         }
         assert!(total > 0);
         let frac = cut as f64 / total as f64;
-        assert!(frac < 0.35, "RGG should be mostly local, cut fraction {frac}");
+        assert!(
+            frac < 0.35,
+            "RGG should be mostly local, cut fraction {frac}"
+        );
     }
 
     #[test]

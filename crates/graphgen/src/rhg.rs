@@ -58,8 +58,9 @@ pub fn rhg(n: usize, avg_deg: f64, alpha: f64, seed: u64, rank: Rank, p: usize) 
     let my_lo = ranges[rank];
     let my_hi = ranges[rank + 1];
 
-    let positions: Vec<(f64, f64)> =
-        (0..n).map(|i| position(i, seed, &ranges, r_disk, alpha)).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|i| position(i, seed, &ranges, r_disk, alpha))
+        .collect();
 
     // Candidate pruning: points within hyperbolic distance R satisfy
     // dtheta <= ~ 2 * exp((R - r1 - r2) / 2); sort by angle and scan a
@@ -76,9 +77,10 @@ pub fn rhg(n: usize, avg_deg: f64, alpha: f64, seed: u64, rank: Rank, p: usize) 
             // hyperbolic metric): if even the chordal lower bound
             // exceeds R, skip the expensive acosh.
             if ((ri + rj) < r_disk || angular_ok(ti, tj, ri, rj, r_disk))
-                && hyp_dist(ti, ri, tj, rj) <= r_disk {
-                    adj[i - my_lo].push(j as u64);
-                }
+                && hyp_dist(ti, ri, tj, rj) <= r_disk
+            {
+                adj[i - my_lo].push(j as u64);
+            }
         }
         adj[i - my_lo].sort_unstable();
     }
@@ -135,8 +137,7 @@ mod tests {
     fn degree_distribution_is_skewed() {
         // Power-law-ish: the max degree should far exceed the average.
         let g = rhg(800, 10.0, 0.75, 9, 0, 1);
-        let degrees: Vec<usize> =
-            (0..g.local_n()).map(|i| g.neighbors(i).len()).collect();
+        let degrees: Vec<usize> = (0..g.local_n()).map(|i| g.neighbors(i).len()).collect();
         let avg = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
         let max = *degrees.iter().max().unwrap() as f64;
         assert!(
@@ -164,8 +165,14 @@ mod tests {
         let frac = cut as f64 / total as f64;
         // Between GNM (~1 - 1/p = 0.75) and RGG (~0.05): sectors keep a
         // noticeable share local, hubs still cut across.
-        assert!(frac < 0.7, "RHG should have some locality, cut fraction {frac}");
-        assert!(frac > 0.05, "RHG should not be fully local, cut fraction {frac}");
+        assert!(
+            frac < 0.7,
+            "RHG should have some locality, cut fraction {frac}"
+        );
+        assert!(
+            frac > 0.05,
+            "RHG should not be fully local, cut fraction {frac}"
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl CostModel {
     /// No network costs, no CPU measurement: virtual time stays zero unless
     /// advanced manually. The default for unit tests.
     pub const fn disabled() -> Self {
-        CostModel { alpha_ns: 0, beta_ns_per_byte: 0.0, recv_overhead_ns: 0, measure_cpu: false }
+        CostModel {
+            alpha_ns: 0,
+            beta_ns_per_byte: 0.0,
+            recv_overhead_ns: 0,
+            measure_cpu: false,
+        }
     }
 
     /// A cluster-like configuration loosely modelled on the paper's
@@ -93,8 +98,16 @@ pub struct Clock {
 
 impl Clock {
     pub fn new(model: CostModel) -> Self {
-        let last_cpu_ns = if model.measure_cpu { thread_cpu_ns() } else { 0 };
-        Clock { model, vtime_ns: 0, last_cpu_ns }
+        let last_cpu_ns = if model.measure_cpu {
+            thread_cpu_ns()
+        } else {
+            0
+        };
+        Clock {
+            model,
+            vtime_ns: 0,
+            last_cpu_ns,
+        }
     }
 
     /// The cost model this clock runs under.
@@ -212,7 +225,10 @@ mod tests {
     fn cpu_measurement_advances() {
         // Thread-CPU clocks may tick as coarsely as 10 ms; burn CPU in
         // rounds until the measuring clock advances.
-        let model = CostModel { measure_cpu: true, ..CostModel::disabled() };
+        let model = CostModel {
+            measure_cpu: true,
+            ..CostModel::disabled()
+        };
         let mut c = Clock::new(model);
         let mut x = 1u64;
         for round in 0..2_000u64 {

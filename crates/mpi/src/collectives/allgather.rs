@@ -42,7 +42,12 @@ fn ring_exchange<T: Plain>(comm: &Comm, blocks: &mut Vec<Vec<T>>) -> Result<()> 
     for step in 0..p - 1 {
         // Forward the block received in the previous step (own block first).
         let outgoing = &blocks[step];
-        send_internal(comm, right, tag, bytes::Bytes::copy_from_slice(as_bytes(outgoing)))?;
+        send_internal(
+            comm,
+            right,
+            tag,
+            bytes::Bytes::copy_from_slice(as_bytes(outgoing)),
+        )?;
         let bytes = recv_internal(comm, left, tag)?;
         blocks.push(crate::plain::bytes_to_vec(&bytes));
     }
@@ -139,10 +144,16 @@ pub(crate) fn allgatherv_internal<T: Plain>(
     for step in 0..p - 1 {
         let origin = (rank + p - step) % p;
         let block = &recv[displs[origin]..displs[origin] + counts[origin]];
-        send_internal(comm, right, tag, bytes::Bytes::copy_from_slice(as_bytes(block)))?;
+        send_internal(
+            comm,
+            right,
+            tag,
+            bytes::Bytes::copy_from_slice(as_bytes(block)),
+        )?;
         let incoming_origin = (left + p - step) % p;
         let bytes = recv_internal(comm, left, tag)?;
-        let dst = &mut recv[displs[incoming_origin]..displs[incoming_origin] + counts[incoming_origin]];
+        let dst =
+            &mut recv[displs[incoming_origin]..displs[incoming_origin] + counts[incoming_origin]];
         let written = copy_bytes_into(&bytes, dst);
         if written != counts[incoming_origin] {
             return Err(MpiError::Truncated {
@@ -203,7 +214,8 @@ mod tests {
             let counts = [1usize, 2, 3, 4];
             let displs = [0usize, 1, 3, 6];
             let mut recv = vec![u32::MAX; 10];
-            comm.allgatherv_into(&mine, &mut recv, &counts, &displs).unwrap();
+            comm.allgatherv_into(&mine, &mut recv, &counts, &displs)
+                .unwrap();
             assert_eq!(recv, vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3]);
         });
     }
@@ -216,7 +228,8 @@ mod tests {
             let counts = [1usize, 1];
             let displs = [0usize, 2];
             let mut recv = vec![99u16; 3];
-            comm.allgatherv_into(&mine, &mut recv, &counts, &displs).unwrap();
+            comm.allgatherv_into(&mine, &mut recv, &counts, &displs)
+                .unwrap();
             assert_eq!(recv, vec![1, 99, 2]);
         });
     }
@@ -229,7 +242,9 @@ mod tests {
                 let counts = [2usize, 1];
                 let displs = [0usize, 2];
                 let mut recv = vec![0u8; 3];
-                assert!(comm.allgatherv_into(&[1u8], &mut recv, &counts, &displs).is_err());
+                assert!(comm
+                    .allgatherv_into(&[1u8], &mut recv, &counts, &displs)
+                    .is_err());
             }
         });
     }

@@ -40,7 +40,15 @@ impl Comm {
         recv_displs: &[usize],
     ) -> Result<()> {
         self.count_op("alltoallv");
-        alltoallv_internal(self, send, send_counts, send_displs, recv, recv_counts, recv_displs)
+        alltoallv_internal(
+            self,
+            send,
+            send_counts,
+            send_displs,
+            recv,
+            recv_counts,
+            recv_displs,
+        )
     }
 
     /// Byte-level alltoallw: counts and displacements are in bytes, so
@@ -65,7 +73,15 @@ impl Comm {
         self.count_op("alltoallw");
         let datatype_overhead = self.size() as u64 * self.clock.borrow().model().alpha_ns;
         self.clock.borrow_mut().add_ns(datatype_overhead);
-        alltoallv_internal(self, send, send_counts, send_displs, recv, recv_counts, recv_displs)
+        alltoallv_internal(
+            self,
+            send,
+            send_counts,
+            send_displs,
+            recv,
+            recv_counts,
+            recv_displs,
+        )
     }
 }
 
@@ -104,7 +120,12 @@ pub(crate) fn alltoallv_internal<T: Plain>(
         let to = (rank + step) % p;
         let from = (rank + p - step) % p;
         let block = &send[send_displs[to]..send_displs[to] + send_counts[to]];
-        send_internal(comm, to, tag, bytes::Bytes::copy_from_slice(as_bytes(block)))?;
+        send_internal(
+            comm,
+            to,
+            tag,
+            bytes::Bytes::copy_from_slice(as_bytes(block)),
+        )?;
         let bytes = recv_internal(comm, from, tag)?;
         let dst = &mut recv[recv_displs[from]..recv_displs[from] + recv_counts[from]];
         let written = copy_bytes_into(&bytes, dst);
@@ -159,8 +180,15 @@ mod tests {
             let recv_counts = vec![1usize, 2, 3];
             let recv_displs = vec![0usize, 1, 3];
             let mut recv = vec![0u8; 6];
-            comm.alltoallv_into(&send, &send_counts, &send_displs, &mut recv, &recv_counts, &recv_displs)
-                .unwrap();
+            comm.alltoallv_into(
+                &send,
+                &send_counts,
+                &send_displs,
+                &mut recv,
+                &recv_counts,
+                &recv_displs,
+            )
+            .unwrap();
             assert_eq!(recv, vec![0, 1, 1, 2, 2, 2]);
         });
     }
@@ -175,12 +203,22 @@ mod tests {
                 (vec![], vec![0, 0, 0])
             };
             let send_displs = vec![0usize, 0, send_counts[1]];
-            let recv_counts: Vec<usize> =
-                if comm.rank() == 1 { vec![2, 0, 0] } else { vec![0, 0, 0] };
+            let recv_counts: Vec<usize> = if comm.rank() == 1 {
+                vec![2, 0, 0]
+            } else {
+                vec![0, 0, 0]
+            };
             let recv_displs = vec![0usize; 3];
             let mut recv = vec![0u32; 2];
-            comm.alltoallv_into(&send, &send_counts, &send_displs, &mut recv, &recv_counts, &recv_displs)
-                .unwrap();
+            comm.alltoallv_into(
+                &send,
+                &send_counts,
+                &send_displs,
+                &mut recv,
+                &recv_counts,
+                &recv_displs,
+            )
+            .unwrap();
             if comm.rank() == 1 {
                 assert_eq!(recv, vec![7, 8]);
             }
@@ -194,7 +232,8 @@ mod tests {
             let counts = vec![2usize, 2];
             let displs = vec![0usize, 2];
             let mut recv = vec![0u8; 4];
-            comm.alltoallw_bytes(&send, &counts, &displs, &mut recv, &counts, &displs).unwrap();
+            comm.alltoallw_bytes(&send, &counts, &displs, &mut recv, &counts, &displs)
+                .unwrap();
             assert_eq!(recv, vec![0, 0, 1, 1]);
         });
     }

@@ -34,7 +34,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::{Universe};
+    use crate::Universe;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]

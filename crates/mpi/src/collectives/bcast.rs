@@ -19,7 +19,10 @@ pub(crate) fn bcast_bytes_internal(
     let p = comm.size();
     let rank = comm.rank();
     if root >= p {
-        return Err(MpiError::InvalidRank { rank: root, comm_size: p });
+        return Err(MpiError::InvalidRank {
+            rank: root,
+            comm_size: p,
+        });
     }
     let tag = comm.next_internal_tag();
     let vrank = (rank + p - root) % p;
@@ -39,24 +42,41 @@ pub(crate) fn bcast_bytes_internal(
     }
     let data = data.expect("payload present after receive");
 
-    // Forward to children: vrank v has children v | (1 << k) for each k
-    // above v's lowest set bit (all k for the root).
-    let low = if vrank == 0 { usize::BITS } else { vrank.trailing_zeros() };
+    bcast_forward(comm, vrank, root, tag, &data)?;
+    Ok(data)
+}
+
+/// Forwards `data` to the binomial-tree children of `vrank` (relative to
+/// `root`): vrank v has children v | (1 << k) for each k above v's
+/// lowest set bit (all k for the root). Shared with the non-blocking
+/// `ibcast` / `iallreduce` engines.
+pub(crate) fn bcast_forward(
+    comm: &Comm,
+    vrank: usize,
+    root: Rank,
+    tag: crate::Tag,
+    data: &Bytes,
+) -> Result<()> {
+    let p = comm.size();
+    let low = if vrank == 0 {
+        usize::BITS
+    } else {
+        vrank.trailing_zeros()
+    };
     for k in 0..low.min(usize::BITS - 1) {
         let child_v = vrank | (1usize << k);
         if child_v == vrank || child_v >= p {
             break;
         }
-        let child = (child_v + root) % p;
-        send_internal(comm, child, tag, data.clone())?;
+        send_internal(comm, (child_v + root) % p, tag, data.clone())?;
     }
-    Ok(data)
+    Ok(())
 }
 
 /// Broadcasts a single plain value (used internally for context ids).
 pub(crate) fn bcast_one_internal<T: Plain>(comm: &Comm, value: T, root: Rank) -> Result<T> {
-    let payload =
-        (comm.rank() == root).then(|| Bytes::copy_from_slice(as_bytes(std::slice::from_ref(&value))));
+    let payload = (comm.rank() == root)
+        .then(|| Bytes::copy_from_slice(as_bytes(std::slice::from_ref(&value))));
     let bytes = bcast_bytes_internal(comm, payload, root)?;
     let v: Vec<T> = crate::plain::bytes_to_vec(&bytes);
     Ok(v[0])
@@ -88,7 +108,9 @@ impl Comm {
     pub fn bcast_vec<T: Plain>(&self, data: Option<&[T]>, root: Rank) -> Result<Vec<T>> {
         self.count_op("bcast");
         let payload = if self.rank() == root {
-            Some(Bytes::copy_from_slice(as_bytes(data.expect("root must supply data"))))
+            Some(Bytes::copy_from_slice(as_bytes(
+                data.expect("root must supply data"),
+            )))
         } else {
             None
         };
@@ -110,7 +132,11 @@ mod tests {
     #[test]
     fn bcast_from_rank_zero() {
         Universe::run(8, |comm| {
-            let mut buf = if comm.rank() == 0 { [1u64, 2, 3] } else { [0; 3] };
+            let mut buf = if comm.rank() == 0 {
+                [1u64, 2, 3]
+            } else {
+                [0; 3]
+            };
             comm.bcast_into(&mut buf, 0).unwrap();
             assert_eq!(buf, [1, 2, 3]);
         });
@@ -120,7 +146,11 @@ mod tests {
     fn bcast_from_nonzero_root() {
         for root in 0..5 {
             Universe::run(5, move |comm| {
-                let mut buf = if comm.rank() == root { [root as u32 + 100] } else { [0] };
+                let mut buf = if comm.rank() == root {
+                    [root as u32 + 100]
+                } else {
+                    [0]
+                };
                 comm.bcast_into(&mut buf, root).unwrap();
                 assert_eq!(buf, [root as u32 + 100]);
             });
@@ -131,8 +161,16 @@ mod tests {
     fn bcast_vec_carries_length() {
         Universe::run(4, |comm| {
             let data = vec![9u16; 17];
-            let got =
-                comm.bcast_vec(if comm.rank() == 2 { Some(&data[..]) } else { None }, 2).unwrap();
+            let got = comm
+                .bcast_vec(
+                    if comm.rank() == 2 {
+                        Some(&data[..])
+                    } else {
+                        None
+                    },
+                    2,
+                )
+                .unwrap();
             assert_eq!(got, data);
         });
     }
@@ -140,7 +178,9 @@ mod tests {
     #[test]
     fn bcast_one_value() {
         Universe::run(6, |comm| {
-            let v = comm.bcast_one(if comm.rank() == 3 { 0xABCDu32 } else { 0 }, 3).unwrap();
+            let v = comm
+                .bcast_one(if comm.rank() == 3 { 0xABCDu32 } else { 0 }, 3)
+                .unwrap();
             assert_eq!(v, 0xABCD);
         });
     }
@@ -179,8 +219,16 @@ mod tests {
     fn large_broadcast() {
         Universe::run(7, |comm| {
             let data: Vec<u64> = (0..10_000).collect();
-            let got =
-                comm.bcast_vec(if comm.rank() == 0 { Some(&data[..]) } else { None }, 0).unwrap();
+            let got = comm
+                .bcast_vec(
+                    if comm.rank() == 0 {
+                        Some(&data[..])
+                    } else {
+                        None
+                    },
+                    0,
+                )
+                .unwrap();
             assert_eq!(got.len(), 10_000);
             assert_eq!(got[9_999], 9_999);
         });

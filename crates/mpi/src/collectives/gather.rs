@@ -28,10 +28,8 @@ impl Comm {
             for _ in 0..p - 1 {
                 // Accept in arrival order; the tag identifies the call and
                 // the source determines the block.
-                let env = self.recv_envelope(
-                    crate::message::Src::Any,
-                    crate::message::TagSel::Is(tag),
-                )?;
+                let env =
+                    self.recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
                 let src = env.src;
                 let block = &mut recv[src * n..(src + 1) * n];
                 let written = copy_bytes_into(&env.payload, block);
@@ -74,10 +72,8 @@ impl Comm {
             }
             recv[displs[root]..displs[root] + counts[root]].copy_from_slice(send);
             for _ in 0..p - 1 {
-                let env = self.recv_envelope(
-                    crate::message::Src::Any,
-                    crate::message::TagSel::Is(tag),
-                )?;
+                let env =
+                    self.recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
                 let src = env.src;
                 let block = &mut recv[displs[src]..displs[src] + counts[src]];
                 let written = copy_bytes_into(&env.payload, block);
@@ -110,14 +106,14 @@ impl Comm {
             let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
             blocks[root] = Some(send.to_vec());
             for _ in 0..p - 1 {
-                let env = self.recv_envelope(
-                    crate::message::Src::Any,
-                    crate::message::TagSel::Is(tag),
-                )?;
+                let env =
+                    self.recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
                 blocks[env.src] = Some(crate::plain::bytes_to_vec(&env.payload));
             }
-            let counts: Vec<usize> =
-                blocks.iter().map(|b| b.as_ref().expect("all blocks arrived").len()).collect();
+            let counts: Vec<usize> = blocks
+                .iter()
+                .map(|b| b.as_ref().expect("all blocks arrived").len())
+                .collect();
             let mut data = Vec::with_capacity(counts.iter().sum());
             for b in blocks {
                 data.extend_from_slice(&b.expect("block present"));
@@ -181,7 +177,8 @@ mod tests {
             let counts = [1, 2, 3];
             let displs = [0, 1, 3];
             let mut all = vec![0u64; 6];
-            comm.gatherv_into(&mine, &mut all, &counts, &displs, 0).unwrap();
+            comm.gatherv_into(&mine, &mut all, &counts, &displs, 0)
+                .unwrap();
             if comm.rank() == 0 {
                 assert_eq!(all, vec![0, 0, 1, 0, 1, 2]);
             }

@@ -31,6 +31,7 @@ mod alltoall;
 mod barrier;
 mod bcast;
 mod gather;
+pub(crate) mod nonblocking;
 mod reduce;
 mod scan;
 mod scatter;

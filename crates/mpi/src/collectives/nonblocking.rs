@@ -1,0 +1,856 @@
+//! Non-blocking collectives: resumable state machines behind [`Request`].
+//!
+//! Each `i*` collective allocates its internal tag(s) at call time (so
+//! ranks must start non-blocking collectives in the same order, the MPI
+//! rule), posts every send it can *eagerly* (the substrate transport is
+//! eager, so sends never block), and packages the remaining receives into
+//! a [`CollEngine`] state machine stored inside the returned [`Request`].
+//! `Request::test` advances the machine without blocking;
+//! `Request::wait` drives it to completion — MPI's progress-on-call
+//! semantics. Communication therefore genuinely overlaps local compute:
+//! all outgoing traffic is in flight from the moment the call returns,
+//! and incoming traffic is drained whenever the caller polls.
+//!
+//! Algorithms (startups per rank):
+//!
+//! | operation            | algorithm                         | startups      |
+//! |----------------------|-----------------------------------|---------------|
+//! | `ibcast`             | binomial tree, forward on poll    | <= log2 p     |
+//! | `igather(v)`         | flat tree (linear at root)        | 1 (root: p-1) |
+//! | `iscatter(v)`        | flat tree (eager at root)         | p-1 (other: 1)|
+//! | `iallgather(v)`      | flat dissemination                | p-1           |
+//! | `ialltoall(v)`       | pairwise eager exchange           | p-1           |
+//! | `ireduce`            | flat gather + ordered fold        | 1 (root: p-1) |
+//! | `iallreduce`         | flat gather + fold + binomial bcast | mixed       |
+//!
+//! The flat algorithms trade the blocking collectives' latency-optimal
+//! trees for *immediacy*: every byte a rank contributes is on the wire
+//! before the call returns, which is what makes communication/computation
+//! overlap (§III-E of the paper, extended to collectives) effective.
+//!
+//! Completion payloads: single-result operations complete with
+//! [`Completion::Message`]; per-rank-block operations (`igatherv`,
+//! `iallgatherv`, `ialltoallv`) complete with [`Completion::Blocks`]
+//! holding one [`Bytes`] per rank in rank order — the binding layer
+//! derives receive counts from the block lengths without any extra
+//! count exchange.
+
+use bytes::Bytes;
+
+use super::send_internal;
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::message::{Src, Status, TagSel};
+use crate::op::ReduceOp;
+use crate::plain::{as_bytes, bytes_to_vec};
+use crate::request::{Completion, Request};
+use crate::{Plain, Rank, Tag};
+
+/// A resumable non-blocking collective. `advance(block = false)` makes as
+/// much progress as possible without blocking; `advance(block = true)`
+/// runs to completion. Returns `Some` exactly once.
+pub(crate) trait CollEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>>;
+}
+
+/// Receives one message from every peer rank (everything except
+/// `blocks[i].is_some()` holes pre-filled at creation), collecting
+/// payloads in rank order.
+struct RecvFromEach {
+    tag: Tag,
+    blocks: Vec<Option<Bytes>>,
+    missing: usize,
+}
+
+/// One receive attempt from `src` on `tag`: blocking when `block` is
+/// set, otherwise a single poll that still surfaces peer failure and
+/// revocation. The one receive primitive every engine drives.
+fn recv_one(comm: &Comm, src: Rank, tag: Tag, block: bool) -> Result<Option<Bytes>> {
+    if block {
+        let env = comm.recv_envelope(Src::Rank(src), TagSel::Is(tag))?;
+        return Ok(Some(env.payload));
+    }
+    match comm.try_recv_envelope(Src::Rank(src), TagSel::Is(tag)) {
+        Some(env) => Ok(Some(env.payload)),
+        None => match comm.wait_interrupted(Src::Rank(src)) {
+            Some(err) => Err(err),
+            None => Ok(None),
+        },
+    }
+}
+
+impl RecvFromEach {
+    /// `own` pre-fills this rank's slot (None for rooted gathers where
+    /// the root contributes in-band).
+    fn new(comm: &Comm, tag: Tag, own: Option<Bytes>) -> Self {
+        let p = comm.size();
+        let mut blocks: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
+        let mut missing = p;
+        if let Some(own) = own {
+            blocks[comm.rank()] = Some(own);
+            missing -= 1;
+        }
+        RecvFromEach {
+            tag,
+            blocks,
+            missing,
+        }
+    }
+
+    /// Drains matching envelopes; `Ok(true)` once every slot is filled.
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<bool> {
+        for r in 0..self.blocks.len() {
+            if self.blocks[r].is_some() {
+                continue;
+            }
+            if let Some(payload) = recv_one(comm, r, self.tag, block)? {
+                self.blocks[r] = Some(payload);
+                self.missing -= 1;
+            }
+        }
+        Ok(self.missing == 0)
+    }
+
+    fn take_blocks(&mut self) -> Vec<Bytes> {
+        self.blocks
+            .iter_mut()
+            .map(|b| b.take().expect("all blocks received"))
+            .collect()
+    }
+}
+
+fn message_completion(source: Rank, tag: Tag, payload: Bytes) -> Completion {
+    let status = Status {
+        source,
+        tag,
+        bytes: payload.len(),
+    };
+    Completion::Message(payload, status)
+}
+
+// ---------------------------------------------------------------------------
+// Binomial-tree broadcast machinery (shared with the blocking bcast)
+// ---------------------------------------------------------------------------
+
+use super::bcast::bcast_forward;
+
+/// Non-root side of a binomial broadcast: waits for the parent, forwards
+/// to children on receipt.
+struct BcastRecv {
+    tag: Tag,
+    root: Rank,
+}
+
+impl BcastRecv {
+    /// `Ok(Some(payload))` once the parent's message arrived (children
+    /// already forwarded to).
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Bytes>> {
+        let p = comm.size();
+        let vrank = (comm.rank() + p - self.root) % p;
+        debug_assert!(vrank != 0, "the root never waits for a bcast parent");
+        let parent_v = vrank & (vrank - 1);
+        let parent = (parent_v + self.root) % p;
+        let Some(payload) = recv_one(comm, parent, self.tag, block)? else {
+            return Ok(None);
+        };
+        bcast_forward(comm, vrank, self.root, self.tag, &payload)?;
+        Ok(Some(payload))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engines
+// ---------------------------------------------------------------------------
+
+/// Already finished at creation (eager sends only, or `p == 1`).
+struct ReadyEngine(Option<Completion>);
+
+impl CollEngine for ReadyEngine {
+    fn advance(&mut self, _comm: &Comm, _block: bool) -> Result<Option<Completion>> {
+        Ok(Some(
+            self.0.take().expect("ready engine polled after completion"),
+        ))
+    }
+}
+
+/// Non-root `ibcast` / phase 2 of non-root `iallreduce`.
+struct BcastRecvEngine {
+    recv: BcastRecv,
+    root: Rank,
+}
+
+impl CollEngine for BcastRecvEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        match self.recv.advance(comm, block)? {
+            Some(payload) => Ok(Some(message_completion(self.root, self.recv.tag, payload))),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Collects one block per rank and completes with
+/// [`Completion::Blocks`]: the root side of `igather(v)` and every rank
+/// of `iallgather(v)` / `ialltoall(v)` (whose sends were all posted
+/// eagerly at call time).
+struct BlocksEngine {
+    recv: RecvFromEach,
+}
+
+impl CollEngine for BlocksEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        if self.recv.advance(comm, block)? {
+            Ok(Some(Completion::Blocks(self.recv.take_blocks())))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Non-root side of `iscatter(v)`: receive this rank's block from the
+/// root.
+struct ScatterRecvEngine {
+    tag: Tag,
+    root: Rank,
+}
+
+impl CollEngine for ScatterRecvEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        let payload = recv_one(comm, self.root, self.tag, block)?;
+        Ok(payload.map(|p| message_completion(self.root, self.tag, p)))
+    }
+}
+
+/// Root side of `ireduce`: flat gather, then a strictly rank-ordered fold
+/// (correct for non-commutative operations by construction).
+struct ReduceRootEngine {
+    recv: RecvFromEach,
+    fold: Box<dyn FnMut(Vec<Bytes>) -> Result<Bytes>>,
+    source: Rank,
+}
+
+impl CollEngine for ReduceRootEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        if self.recv.advance(comm, block)? {
+            let folded = (self.fold)(self.recv.take_blocks())?;
+            Ok(Some(message_completion(self.source, self.recv.tag, folded)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Rank 0 of `iallreduce`: gather + fold, then broadcast the result down
+/// the binomial tree.
+struct AllreduceRootEngine {
+    recv: RecvFromEach,
+    fold: Box<dyn FnMut(Vec<Bytes>) -> Result<Bytes>>,
+    bcast_tag: Tag,
+}
+
+impl CollEngine for AllreduceRootEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        if self.recv.advance(comm, block)? {
+            let folded = (self.fold)(self.recv.take_blocks())?;
+            bcast_forward(comm, 0, 0, self.bcast_tag, &folded)?;
+            Ok(Some(message_completion(0, self.bcast_tag, folded)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared construction helpers
+// ---------------------------------------------------------------------------
+
+fn ordered_fold<T: Plain, O: ReduceOp<T> + 'static>(
+    op: O,
+) -> Box<dyn FnMut(Vec<Bytes>) -> Result<Bytes>> {
+    Box::new(move |blocks: Vec<Bytes>| {
+        let mut acc: Option<Vec<T>> = None;
+        for (r, block) in blocks.iter().enumerate() {
+            let theirs: Vec<T> = bytes_to_vec(block);
+            match &mut acc {
+                None => acc = Some(theirs),
+                Some(acc) => {
+                    if acc.len() != theirs.len() {
+                        return Err(MpiError::InvalidLayout(format!(
+                            "ireduce: rank {r} contributed {} elements, expected {}",
+                            theirs.len(),
+                            acc.len()
+                        )));
+                    }
+                    for (a, b) in acc.iter_mut().zip(&theirs) {
+                        *a = op.apply(a, b);
+                    }
+                }
+            }
+        }
+        Ok(Bytes::copy_from_slice(as_bytes(
+            &acc.expect("at least one block"),
+        )))
+    })
+}
+
+fn check_v_layout(what: &str, len: usize, counts: &[usize], p: usize) -> Result<()> {
+    if counts.len() != p {
+        return Err(MpiError::InvalidLayout(format!(
+            "{what}: counts has {} entries for communicator of size {p}",
+            counts.len()
+        )));
+    }
+    let total: usize = counts.iter().sum();
+    if total != len {
+        return Err(MpiError::InvalidLayout(format!(
+            "{what}: buffer holds {len} elements but counts sum to {total}"
+        )));
+    }
+    Ok(())
+}
+
+impl Comm {
+    fn coll_request(&self, engine: Box<dyn CollEngine>) -> Request<'_> {
+        Request::collective(self, engine)
+    }
+
+    /// Starts a non-blocking broadcast (mirrors `MPI_Ibcast`). The root
+    /// passes `Some(data)`; completion yields the payload on every rank
+    /// ([`Completion::Message`]).
+    pub fn ibcast<T: Plain>(&self, data: Option<&[T]>, root: Rank) -> Result<Request<'_>> {
+        self.count_op("ibcast");
+        self.check_rank(root)?;
+        let tag = self.next_internal_tag();
+        if self.rank() == root {
+            let payload = Bytes::copy_from_slice(as_bytes(data.expect("root must supply data")));
+            let vrank = 0;
+            bcast_forward(self, vrank, root, tag, &payload)?;
+            Ok(
+                self.coll_request(Box::new(ReadyEngine(Some(message_completion(
+                    root, tag, payload,
+                ))))),
+            )
+        } else {
+            Ok(self.coll_request(Box::new(BcastRecvEngine {
+                recv: BcastRecv { tag, root },
+                root,
+            })))
+        }
+    }
+
+    /// Starts a non-blocking gather of per-rank blocks to `root` (mirrors
+    /// `MPI_Igatherv`; blocks may differ in size). The root completes
+    /// with [`Completion::Blocks`] in rank order, other ranks with
+    /// [`Completion::Done`].
+    pub fn igatherv<T: Plain>(&self, send: &[T], root: Rank) -> Result<Request<'_>> {
+        self.count_op("igatherv");
+        self.igather_impl(send, root)
+    }
+
+    /// Equal-block flavour of [`Comm::igatherv`] (mirrors `MPI_Igather`);
+    /// the substrate does not enforce equal block lengths.
+    pub fn igather<T: Plain>(&self, send: &[T], root: Rank) -> Result<Request<'_>> {
+        self.count_op("igather");
+        self.igather_impl(send, root)
+    }
+
+    fn igather_impl<T: Plain>(&self, send: &[T], root: Rank) -> Result<Request<'_>> {
+        self.check_rank(root)?;
+        let tag = self.next_internal_tag();
+        if self.rank() == root {
+            let own = Bytes::copy_from_slice(as_bytes(send));
+            let recv = RecvFromEach::new(self, tag, Some(own));
+            Ok(self.coll_request(Box::new(BlocksEngine { recv })))
+        } else {
+            send_internal(self, root, tag, Bytes::copy_from_slice(as_bytes(send)))?;
+            Ok(self.coll_request(Box::new(ReadyEngine(Some(Completion::Done)))))
+        }
+    }
+
+    /// Starts a non-blocking scatter of variable-size blocks from `root`
+    /// (mirrors `MPI_Iscatterv`): the root passes the packed buffer and
+    /// per-rank counts. Every rank completes with its own block
+    /// ([`Completion::Message`]).
+    pub fn iscatterv<T: Plain>(
+        &self,
+        send: Option<(&[T], &[usize])>,
+        root: Rank,
+    ) -> Result<Request<'_>> {
+        self.count_op("iscatterv");
+        self.iscatter_impl(send, root)
+    }
+
+    /// Equal-block flavour of [`Comm::iscatterv`] (mirrors
+    /// `MPI_Iscatter`): the root's buffer splits into `p` equal blocks.
+    pub fn iscatter<T: Plain>(&self, send: Option<&[T]>, root: Rank) -> Result<Request<'_>> {
+        self.count_op("iscatter");
+        let p = self.size();
+        if self.rank() == root {
+            let data = send.expect("root must supply data");
+            if !data.len().is_multiple_of(p) {
+                // Burn this operation's tag before erroring: peers (who
+                // cannot see the root's buffer length) have already
+                // allocated theirs, and the per-rank tag counters must
+                // stay aligned for every *subsequent* collective.
+                self.next_internal_tag();
+                return Err(MpiError::InvalidLayout(format!(
+                    "iscatter: buffer length {} not divisible by {p}",
+                    data.len()
+                )));
+            }
+            let counts = vec![data.len() / p; p];
+            self.iscatter_impl(Some((data, &counts)), root)
+        } else {
+            self.iscatter_impl::<T>(None, root)
+        }
+    }
+
+    fn iscatter_impl<T: Plain>(
+        &self,
+        send: Option<(&[T], &[usize])>,
+        root: Rank,
+    ) -> Result<Request<'_>> {
+        // Rank-local validation failures must come *after* the tag
+        // allocation so an erroring rank stays tag-aligned with its
+        // peers (`check_rank` is symmetric: every rank sees the same
+        // root, so erroring before the tag is fine there).
+        self.check_rank(root)?;
+        let tag = self.next_internal_tag();
+        if self.rank() == root {
+            let (data, counts) = send.expect("root must supply data and counts");
+            check_v_layout("iscatterv", data.len(), counts, self.size())?;
+            let mut offset = 0usize;
+            let mut own = Bytes::new();
+            for (r, &c) in counts.iter().enumerate() {
+                let block = Bytes::copy_from_slice(as_bytes(&data[offset..offset + c]));
+                offset += c;
+                if r == self.rank() {
+                    own = block;
+                } else {
+                    send_internal(self, r, tag, block)?;
+                }
+            }
+            Ok(
+                self.coll_request(Box::new(ReadyEngine(Some(message_completion(
+                    root, tag, own,
+                ))))),
+            )
+        } else {
+            Ok(self.coll_request(Box::new(ScatterRecvEngine { tag, root })))
+        }
+    }
+
+    /// Starts a non-blocking allgather of variable-size blocks (mirrors
+    /// `MPI_Iallgatherv`). No counts are needed: every rank's block is
+    /// posted eagerly and the lengths travel with the messages.
+    /// Completion yields [`Completion::Blocks`] in rank order.
+    pub fn iallgatherv<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
+        self.count_op("iallgatherv");
+        self.iallgather_impl(send)
+    }
+
+    /// Equal-block flavour of [`Comm::iallgatherv`] (mirrors
+    /// `MPI_Iallgather`).
+    pub fn iallgather<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
+        self.count_op("iallgather");
+        self.iallgather_impl(send)
+    }
+
+    fn iallgather_impl<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
+        let tag = self.next_internal_tag();
+        let own = Bytes::copy_from_slice(as_bytes(send));
+        for r in 0..self.size() {
+            if r != self.rank() {
+                send_internal(self, r, tag, own.clone())?;
+            }
+        }
+        let recv = RecvFromEach::new(self, tag, Some(own));
+        Ok(self.coll_request(Box::new(BlocksEngine { recv })))
+    }
+
+    /// Starts a non-blocking personalized all-to-all with per-destination
+    /// counts (mirrors `MPI_Ialltoallv`). Only the *send* layout is
+    /// needed; receive counts are discovered from the incoming block
+    /// lengths. Completion yields [`Completion::Blocks`]: one block per
+    /// source rank.
+    pub fn ialltoallv<T: Plain>(&self, send: &[T], counts: &[usize]) -> Result<Request<'_>> {
+        self.count_op("ialltoallv");
+        self.ialltoall_impl(send, counts)
+    }
+
+    /// Equal-block flavour of [`Comm::ialltoallv`] (mirrors
+    /// `MPI_Ialltoall`).
+    pub fn ialltoall<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
+        self.count_op("ialltoall");
+        let p = self.size();
+        if !send.len().is_multiple_of(p) {
+            // Rank-local error: keep the tag counters aligned with the
+            // peers that proceeded (see `iscatter`).
+            self.next_internal_tag();
+            return Err(MpiError::InvalidLayout(format!(
+                "ialltoall: buffer length {} not divisible by {p}",
+                send.len()
+            )));
+        }
+        let counts = vec![send.len() / p; p];
+        self.ialltoall_impl(send, &counts)
+    }
+
+    fn ialltoall_impl<T: Plain>(&self, send: &[T], counts: &[usize]) -> Result<Request<'_>> {
+        // Tag first: the layout check is rank-local, and an erroring
+        // rank must stay tag-aligned with peers whose layouts are fine.
+        let tag = self.next_internal_tag();
+        check_v_layout("ialltoallv", send.len(), counts, self.size())?;
+        let mut offset = 0usize;
+        let mut own = Bytes::new();
+        for (r, &c) in counts.iter().enumerate() {
+            let block = Bytes::copy_from_slice(as_bytes(&send[offset..offset + c]));
+            offset += c;
+            if r == self.rank() {
+                own = block;
+            } else {
+                send_internal(self, r, tag, block)?;
+            }
+        }
+        let recv = RecvFromEach::new(self, tag, Some(own));
+        Ok(self.coll_request(Box::new(BlocksEngine { recv })))
+    }
+
+    /// Starts a non-blocking reduction to `root` (mirrors `MPI_Ireduce`).
+    /// Flat gather + strictly rank-ordered fold, so non-commutative
+    /// operations are safe. The root completes with the folded vector;
+    /// other ranks with [`Completion::Done`].
+    pub fn ireduce<T: Plain, O: ReduceOp<T> + 'static>(
+        &self,
+        send: &[T],
+        op: O,
+        root: Rank,
+    ) -> Result<Request<'_>> {
+        self.count_op("ireduce");
+        self.check_rank(root)?;
+        let tag = self.next_internal_tag();
+        if self.rank() == root {
+            let own = Bytes::copy_from_slice(as_bytes(send));
+            let recv = RecvFromEach::new(self, tag, Some(own));
+            Ok(self.coll_request(Box::new(ReduceRootEngine {
+                recv,
+                fold: ordered_fold::<T, O>(op),
+                source: root,
+            })))
+        } else {
+            send_internal(self, root, tag, Bytes::copy_from_slice(as_bytes(send)))?;
+            Ok(self.coll_request(Box::new(ReadyEngine(Some(Completion::Done)))))
+        }
+    }
+
+    /// Starts a non-blocking all-reduce (mirrors `MPI_Iallreduce`): flat
+    /// gather to rank 0, rank-ordered fold, binomial broadcast of the
+    /// result. Every rank completes with the reduced vector.
+    pub fn iallreduce<T: Plain, O: ReduceOp<T> + 'static>(
+        &self,
+        send: &[T],
+        op: O,
+    ) -> Result<Request<'_>> {
+        self.count_op("iallreduce");
+        let gather_tag = self.next_internal_tag();
+        let bcast_tag = self.next_internal_tag();
+        if self.rank() == 0 {
+            let own = Bytes::copy_from_slice(as_bytes(send));
+            let recv = RecvFromEach::new(self, gather_tag, Some(own));
+            Ok(self.coll_request(Box::new(AllreduceRootEngine {
+                recv,
+                fold: ordered_fold::<T, O>(op),
+                bcast_tag,
+            })))
+        } else {
+            send_internal(self, 0, gather_tag, Bytes::copy_from_slice(as_bytes(send)))?;
+            Ok(self.coll_request(Box::new(BcastRecvEngine {
+                recv: BcastRecv {
+                    tag: bcast_tag,
+                    root: 0,
+                },
+                root: 0,
+            })))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::op::Sum;
+    use crate::request::TestOutcome;
+    use crate::{non_commutative, Universe};
+
+    /// Polls a request to completion via `test`, counting the polls.
+    fn poll_to_completion(mut req: crate::Request<'_>) -> crate::request::Completion {
+        loop {
+            match req.test().unwrap() {
+                TestOutcome::Ready(c) => return c,
+                TestOutcome::Pending(r) => {
+                    req = r;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ibcast_delivers_everywhere() {
+        for p in [1, 2, 3, 5, 8] {
+            Universe::run(p, |comm| {
+                let data = vec![42u64, 43, 44];
+                let req = comm
+                    .ibcast(
+                        if comm.rank() == 0 {
+                            Some(&data[..])
+                        } else {
+                            None
+                        },
+                        0,
+                    )
+                    .unwrap();
+                let (got, st) = req.wait().unwrap().into_vec::<u64>().unwrap();
+                assert_eq!(got, data);
+                assert_eq!(st.source, 0);
+            });
+        }
+    }
+
+    #[test]
+    fn ibcast_nonzero_root_via_polling() {
+        Universe::run(4, |comm| {
+            let data = vec![7u32; 5];
+            let req = comm
+                .ibcast(
+                    if comm.rank() == 2 {
+                        Some(&data[..])
+                    } else {
+                        None
+                    },
+                    2,
+                )
+                .unwrap();
+            let (got, _) = poll_to_completion(req).into_vec::<u32>().unwrap();
+            assert_eq!(got, data);
+        });
+    }
+
+    #[test]
+    fn igatherv_collects_variable_blocks() {
+        Universe::run(4, |comm| {
+            let mine = vec![comm.rank() as u16; comm.rank() + 1];
+            let req = comm.igatherv(&mine, 1).unwrap();
+            let c = req.wait().unwrap();
+            if comm.rank() == 1 {
+                let blocks = c.into_blocks().unwrap();
+                assert_eq!(blocks.len(), 4);
+                for (r, b) in blocks.iter().enumerate() {
+                    let v: Vec<u16> = crate::plain::bytes_to_vec(b);
+                    assert_eq!(v, vec![r as u16; r + 1]);
+                }
+            } else {
+                assert!(c.into_blocks().is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn iscatterv_distributes_blocks() {
+        Universe::run(3, |comm| {
+            let send: Vec<u32> = vec![10, 20, 20, 30, 30, 30];
+            let counts = [1usize, 2, 3];
+            let req = comm
+                .iscatterv(
+                    if comm.rank() == 0 {
+                        Some((&send[..], &counts[..]))
+                    } else {
+                        None
+                    },
+                    0,
+                )
+                .unwrap();
+            let (got, _) = req.wait().unwrap().into_vec::<u32>().unwrap();
+            let expected = vec![(comm.rank() as u32 + 1) * 10; comm.rank() + 1];
+            assert_eq!(got, expected);
+        });
+    }
+
+    #[test]
+    fn iscatter_equal_blocks() {
+        Universe::run(4, |comm| {
+            let send: Vec<u8> = (0..8).collect();
+            let req = comm
+                .iscatter(
+                    if comm.rank() == 0 {
+                        Some(&send[..])
+                    } else {
+                        None
+                    },
+                    0,
+                )
+                .unwrap();
+            let (got, _) = req.wait().unwrap().into_vec::<u8>().unwrap();
+            assert_eq!(got, vec![comm.rank() as u8 * 2, comm.rank() as u8 * 2 + 1]);
+        });
+    }
+
+    #[test]
+    fn iallgatherv_concatenates_in_rank_order() {
+        for p in [1, 2, 3, 5] {
+            Universe::run(p, |comm| {
+                let mine = vec![comm.rank() as u64; comm.rank() + 1];
+                let req = comm.iallgatherv(&mine).unwrap();
+                let blocks = req.wait().unwrap().into_blocks().unwrap();
+                let mut all = Vec::new();
+                for b in &blocks {
+                    all.extend(crate::plain::bytes_to_vec::<u64>(b));
+                }
+                let expected: Vec<u64> = (0..p as u64)
+                    .flat_map(|r| std::iter::repeat_n(r, r as usize + 1))
+                    .collect();
+                assert_eq!(all, expected);
+            });
+        }
+    }
+
+    #[test]
+    fn ialltoallv_routes_blocks() {
+        Universe::run(3, |comm| {
+            // Rank r sends one element `r * 10 + dest` to each dest.
+            let send: Vec<u32> = (0..3).map(|d| comm.rank() as u32 * 10 + d).collect();
+            let counts = vec![1usize; 3];
+            let req = comm.ialltoallv(&send, &counts).unwrap();
+            let blocks = req.wait().unwrap().into_blocks().unwrap();
+            for (src, b) in blocks.iter().enumerate() {
+                let v: Vec<u32> = crate::plain::bytes_to_vec(b);
+                assert_eq!(v, vec![src as u32 * 10 + comm.rank() as u32]);
+            }
+        });
+    }
+
+    #[test]
+    fn ireduce_folds_at_root() {
+        Universe::run(4, |comm| {
+            let mine = [comm.rank() as u64 + 1, 1];
+            let req = comm.ireduce(&mine, Sum, 2).unwrap();
+            let c = req.wait().unwrap();
+            if comm.rank() == 2 {
+                let (got, _) = c.into_vec::<u64>().unwrap();
+                assert_eq!(got, vec![10, 4]);
+            }
+        });
+    }
+
+    #[test]
+    fn ireduce_non_commutative_rank_order() {
+        Universe::run(4, |comm| {
+            let op = non_commutative(|a: &u64, b: &u64| a * 10 + b);
+            let req = comm.ireduce(&[comm.rank() as u64], op, 0).unwrap();
+            let c = req.wait().unwrap();
+            if comm.rank() == 0 {
+                let (got, _) = c.into_vec::<u64>().unwrap();
+                assert_eq!(got, vec![123]);
+            }
+        });
+    }
+
+    #[test]
+    fn iallreduce_sums_everywhere() {
+        for p in [1, 2, 3, 5, 8] {
+            Universe::run(p, move |comm| {
+                let req = comm.iallreduce(&[comm.rank() as u64 + 1], Sum).unwrap();
+                let (got, _) = req.wait().unwrap().into_vec::<u64>().unwrap();
+                assert_eq!(got, vec![(p * (p + 1) / 2) as u64], "p = {p}");
+            });
+        }
+    }
+
+    #[test]
+    fn iallreduce_overlaps_with_local_work() {
+        Universe::run(4, |comm| {
+            let req = comm.iallreduce(&[1u32], Sum).unwrap();
+            // Local work while the reduction is in flight.
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+            let (got, _) = req.wait().unwrap().into_vec::<u32>().unwrap();
+            assert_eq!(got, vec![4]);
+        });
+    }
+
+    #[test]
+    fn two_icollectives_in_flight_complete_in_any_order() {
+        Universe::run(3, |comm| {
+            // Same creation order on every rank (the MPI rule); the
+            // *completions* may be observed in either order.
+            let r1 = comm.iallgatherv(&[comm.rank() as u32]).unwrap();
+            let r2 = comm.iallreduce(&[1u64], Sum).unwrap();
+            let (sum, _) = r2.wait().unwrap().into_vec::<u64>().unwrap();
+            let blocks = r1.wait().unwrap().into_blocks().unwrap();
+            assert_eq!(sum, vec![3]);
+            assert_eq!(blocks.len(), 3);
+        });
+    }
+
+    #[test]
+    fn icollectives_interoperate_with_request_set() {
+        Universe::run(3, |comm| {
+            let mut set = crate::RequestSet::new();
+            set.push(comm.iallreduce(&[comm.rank() as u64], Sum).unwrap());
+            set.push(comm.ibarrier().unwrap());
+            let done = set.wait_all().unwrap();
+            assert_eq!(done.len(), 2);
+            let (sum, _) = done.into_iter().next().unwrap().into_vec::<u64>().unwrap();
+            assert_eq!(sum, vec![3]);
+        });
+    }
+
+    #[test]
+    fn ialltoallv_layout_errors() {
+        Universe::run(2, |comm| {
+            // counts sum != buffer length
+            assert!(comm.ialltoallv(&[1u8, 2, 3], &[1, 1]).is_err());
+            // counts length != p
+            assert!(comm.ialltoallv(&[1u8], &[1]).is_err());
+            // keep the peer in sync for the valid follow-up call
+            let req = comm
+                .ialltoallv(&[comm.rank() as u8, comm.rank() as u8], &[1, 1])
+                .unwrap();
+            req.wait().unwrap();
+        });
+    }
+
+    #[test]
+    fn rank_local_error_keeps_tag_counters_aligned() {
+        Universe::run(3, |comm| {
+            // Root-local failure: only rank 0 can see that 7 elements do
+            // not split into 3 equal blocks; ranks 1 and 2 post their
+            // receive and allocate a tag for the operation.
+            if comm.rank() == 0 {
+                assert!(comm.iscatter(Some(&[1u8; 7][..]), 0).is_err());
+            } else {
+                // The operation can never complete (the root bailed);
+                // dropping the pending request is the recovery path.
+                let _pending = comm.iscatter::<u8>(None, 0).unwrap();
+            }
+            // The *next* collective must still line up on every rank —
+            // this hangs (mismatched internal tags) if the erroring rank
+            // skipped its tag allocation.
+            let req = comm.iallreduce(&[1u64], Sum).unwrap();
+            let (sum, _) = req.wait().unwrap().into_vec::<u64>().unwrap();
+            assert_eq!(sum, vec![3]);
+        });
+    }
+
+    #[test]
+    fn iallgatherv_empty_contributions() {
+        Universe::run(3, |comm| {
+            let mine: Vec<u64> = if comm.rank() == 1 { vec![5] } else { vec![] };
+            let req = comm.iallgatherv(&mine).unwrap();
+            let blocks = req.wait().unwrap().into_blocks().unwrap();
+            let total: usize = blocks.iter().map(|b| b.len()).sum();
+            assert_eq!(total, std::mem::size_of::<u64>());
+        });
+    }
+}

@@ -79,7 +79,10 @@ pub(crate) fn allreduce_internal<T: Plain, O: ReduceOp<T>>(
 
 fn fold_blocks<T: Plain, O: ReduceOp<T>>(data: &[T], counts: &[usize], op: &O) -> Vec<T> {
     let n = counts[0];
-    debug_assert!(counts.iter().all(|&c| c == n), "reduce blocks must be equal-sized");
+    debug_assert!(
+        counts.iter().all(|&c| c == n),
+        "reduce blocks must be equal-sized"
+    );
     let mut acc = data[..n].to_vec();
     for r in 1..counts.len() {
         combine(&mut acc, &data[r * n..(r + 1) * n], op);
@@ -101,12 +104,14 @@ impl Comm {
             let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
             blocks[root] = Some(send.to_vec());
             for _ in 0..p - 1 {
-                let env = self
-                    .recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
+                let env =
+                    self.recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
                 blocks[env.src] = Some(crate::plain::bytes_to_vec(&env.payload));
             }
-            let counts: Vec<usize> =
-                blocks.iter().map(|b| b.as_ref().expect("all blocks arrived").len()).collect();
+            let counts: Vec<usize> = blocks
+                .iter()
+                .map(|b| b.as_ref().expect("all blocks arrived").len())
+                .collect();
             let mut data = Vec::with_capacity(counts.iter().sum());
             for b in blocks {
                 data.extend_from_slice(&b.expect("block present"));
@@ -243,7 +248,9 @@ mod tests {
     #[test]
     fn allreduce_closure_op() {
         Universe::run(3, |comm| {
-            let prod = comm.allreduce_one(comm.rank() as u64 + 2, |a: &u64, b: &u64| a * b).unwrap();
+            let prod = comm
+                .allreduce_one(comm.rank() as u64 + 2, |a: &u64, b: &u64| a * b)
+                .unwrap();
             assert_eq!(prod, 2 * 3 * 4);
         });
     }
@@ -257,7 +264,8 @@ mod tests {
             Universe::run(p, move |comm| {
                 let op = non_commutative(|a: &u64, b: &u64| a * 10 + b);
                 let out = comm.allreduce_one(comm.rank() as u64 + 1, op).unwrap();
-                let expected = (1..=p as u64).fold(0, |acc, d| if acc == 0 { d } else { acc * 10 + d });
+                let expected =
+                    (1..=p as u64).fold(0, |acc, d| if acc == 0 { d } else { acc * 10 + d });
                 assert_eq!(out, expected, "p = {p}");
             });
         }

@@ -53,8 +53,11 @@ impl Comm {
         let rank = self.rank();
         let p = self.size();
         let tag = self.next_internal_tag();
-        let prefix: Option<Vec<T>> =
-            if rank > 0 { Some(recv_vec_internal(self, rank - 1, tag)?) } else { None };
+        let prefix: Option<Vec<T>> = if rank > 0 {
+            Some(recv_vec_internal(self, rank - 1, tag)?)
+        } else {
+            None
+        };
         if rank + 1 < p {
             // Forward the inclusive prefix over 0..=rank.
             let mut fwd = send.to_vec();

@@ -148,7 +148,11 @@ mod tests {
     #[test]
     fn scatter_equal_blocks() {
         Universe::run(4, |comm| {
-            let send: Vec<u32> = if comm.rank() == 0 { (0..8).collect() } else { vec![] };
+            let send: Vec<u32> = if comm.rank() == 0 {
+                (0..8).collect()
+            } else {
+                vec![]
+            };
             let mut mine = [0u32; 2];
             comm.scatter_into(&send, &mut mine, 0).unwrap();
             assert_eq!(mine, [2 * comm.rank() as u32, 2 * comm.rank() as u32 + 1]);
@@ -158,7 +162,11 @@ mod tests {
     #[test]
     fn scatter_from_nonzero_root() {
         Universe::run(3, |comm| {
-            let send: Vec<u8> = if comm.rank() == 1 { vec![10, 20, 30] } else { vec![] };
+            let send: Vec<u8> = if comm.rank() == 1 {
+                vec![10, 20, 30]
+            } else {
+                vec![]
+            };
             let mut mine = [0u8; 1];
             comm.scatter_into(&send, &mut mine, 1).unwrap();
             assert_eq!(mine[0], 10 * (comm.rank() as u8 + 1));
@@ -168,7 +176,11 @@ mod tests {
     #[test]
     fn scatterv_variable_blocks() {
         Universe::run(3, |comm| {
-            let send: Vec<u64> = if comm.rank() == 0 { (0..6).collect() } else { vec![] };
+            let send: Vec<u64> = if comm.rank() == 0 {
+                (0..6).collect()
+            } else {
+                vec![]
+            };
             let counts = [3, 1, 2];
             let displs = [0, 3, 4];
             let got = comm
@@ -189,11 +201,16 @@ mod tests {
     #[test]
     fn scatterv_into_prefix() {
         Universe::run(2, |comm| {
-            let send: Vec<u16> = if comm.rank() == 0 { vec![7, 8, 9] } else { vec![] };
+            let send: Vec<u16> = if comm.rank() == 0 {
+                vec![7, 8, 9]
+            } else {
+                vec![]
+            };
             let counts = [1, 2];
             let displs = [0, 1];
             let mut buf = [0u16; 4];
-            comm.scatterv_into(&send, &counts, &displs, &mut buf, 0).unwrap();
+            comm.scatterv_into(&send, &counts, &displs, &mut buf, 0)
+                .unwrap();
             if comm.rank() == 0 {
                 assert_eq!(buf[0], 7);
             } else {

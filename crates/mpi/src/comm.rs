@@ -90,7 +90,10 @@ impl Comm {
         self.group
             .get(comm_rank)
             .copied()
-            .ok_or(MpiError::InvalidRank { rank: comm_rank, comm_size: self.group.len() })
+            .ok_or(MpiError::InvalidRank {
+                rank: comm_rank,
+                comm_size: self.group.len(),
+            })
     }
 
     /// The communicator's context id (unique per universe).
@@ -193,7 +196,9 @@ impl Comm {
         match src {
             Src::Rank(r) => {
                 let w = self.group.get(r).copied()?;
-                self.world.is_failed(w).then_some(MpiError::ProcessFailed { world_rank: w })
+                self.world
+                    .is_failed(w)
+                    .then_some(MpiError::ProcessFailed { world_rank: w })
             }
             Src::Any => {
                 let mut failed_peer = None;
@@ -257,7 +262,11 @@ impl Comm {
         self.count_op("comm_dup");
         // Rank 0 allocates the context id and broadcasts it so all members
         // agree.
-        let base = if self.rank == 0 { self.world.alloc_contexts(1) } else { 0 };
+        let base = if self.rank == 0 {
+            self.world.alloc_contexts(1)
+        } else {
+            0
+        };
         let base = crate::collectives::bcast_one_internal(self, base, 0)?;
         Ok(self.derived(Arc::clone(&self.group), self.rank, base))
     }
@@ -273,17 +282,27 @@ impl Comm {
 
         // Distinct defined colors in sorted order; every rank computes the
         // same list, so the context offsets agree.
-        let mut colors: Vec<u64> =
-            all.chunks_exact(2).map(|c| c[0]).filter(|&c| c != UNDEF).collect();
+        let mut colors: Vec<u64> = all
+            .chunks_exact(2)
+            .map(|c| c[0])
+            .filter(|&c| c != UNDEF)
+            .collect();
         colors.sort_unstable();
         colors.dedup();
 
-        let base = if self.rank == 0 { self.world.alloc_contexts(colors.len() as u64) } else { 0 };
+        let base = if self.rank == 0 {
+            self.world.alloc_contexts(colors.len() as u64)
+        } else {
+            0
+        };
         let base = crate::collectives::bcast_one_internal(self, base, 0)?;
 
-        let Some(my_color) = color else { return Ok(None) };
-        let color_index =
-            colors.binary_search(&my_color).expect("own color must be present") as u64;
+        let Some(my_color) = color else {
+            return Ok(None);
+        };
+        let color_index = colors
+            .binary_search(&my_color)
+            .expect("own color must be present") as u64;
 
         // Members of my color, ordered by (key, old rank).
         let mut members: Vec<(i64, Rank)> = all
@@ -300,7 +319,11 @@ impl Comm {
             .position(|&(_, r)| r == self.rank)
             .expect("calling rank must be in its own color group");
 
-        Ok(Some(self.derived(Arc::new(group), new_rank, base + color_index)))
+        Ok(Some(self.derived(
+            Arc::new(group),
+            new_rank,
+            base + color_index,
+        )))
     }
 }
 
@@ -335,7 +358,10 @@ mod tests {
             assert!(comm.translate_to_world(1).is_ok());
             assert!(matches!(
                 comm.translate_to_world(2),
-                Err(MpiError::InvalidRank { rank: 2, comm_size: 2 })
+                Err(MpiError::InvalidRank {
+                    rank: 2,
+                    comm_size: 2
+                })
             ));
         });
     }
@@ -355,7 +381,10 @@ mod tests {
         Universe::run(1, |comm| {
             assert!(comm.check_tag(0).is_ok());
             assert!(comm.check_tag(123).is_ok());
-            assert!(matches!(comm.check_tag(-1), Err(MpiError::InvalidTag { tag: -1 })));
+            assert!(matches!(
+                comm.check_tag(-1),
+                Err(MpiError::InvalidTag { tag: -1 })
+            ));
         });
     }
 
@@ -373,7 +402,10 @@ mod tests {
     fn split_into_even_and_odd() {
         Universe::run(5, |comm| {
             let color = (comm.rank() % 2) as u64;
-            let sub = comm.split(Some(color), comm.rank() as i64).unwrap().unwrap();
+            let sub = comm
+                .split(Some(color), comm.rank() as i64)
+                .unwrap()
+                .unwrap();
             let expected_size = if color == 0 { 3 } else { 2 };
             assert_eq!(sub.size(), expected_size);
             assert_eq!(sub.rank(), comm.rank() / 2);
@@ -408,13 +440,20 @@ mod tests {
     #[test]
     fn nested_split_contexts_are_unique() {
         Universe::run(4, |comm| {
-            let a = comm.split(Some((comm.rank() % 2) as u64), 0).unwrap().unwrap();
+            let a = comm
+                .split(Some((comm.rank() % 2) as u64), 0)
+                .unwrap()
+                .unwrap();
             let b = comm.dup().unwrap();
             let ids = [comm.context_id(), a.context_id(), b.context_id()];
             let mut dedup = ids.to_vec();
             dedup.sort_unstable();
             dedup.dedup();
-            assert_eq!(dedup.len(), 3, "contexts must be pairwise distinct: {ids:?}");
+            assert_eq!(
+                dedup.len(),
+                3,
+                "contexts must be pairwise distinct: {ids:?}"
+            );
         });
     }
 }

@@ -47,12 +47,18 @@ impl std::fmt::Display for MpiError {
                 write!(f, "process failure detected (world rank {world_rank})")
             }
             MpiError::Revoked => write!(f, "communicator has been revoked"),
-            MpiError::Truncated { message_bytes, buffer_bytes } => write!(
+            MpiError::Truncated {
+                message_bytes,
+                buffer_bytes,
+            } => write!(
                 f,
                 "message truncated: {message_bytes} bytes arrived, buffer holds {buffer_bytes}"
             ),
             MpiError::InvalidRank { rank, comm_size } => {
-                write!(f, "invalid rank {rank} for communicator of size {comm_size}")
+                write!(
+                    f,
+                    "invalid rank {rank} for communicator of size {comm_size}"
+                )
             }
             MpiError::InvalidTag { tag } => {
                 write!(f, "invalid tag {tag}: user tags must be non-negative")
@@ -77,10 +83,16 @@ mod tests {
     fn display_messages_are_human_readable() {
         let e = MpiError::ProcessFailed { world_rank: 3 };
         assert!(e.to_string().contains("world rank 3"));
-        let e = MpiError::Truncated { message_bytes: 100, buffer_bytes: 10 };
+        let e = MpiError::Truncated {
+            message_bytes: 100,
+            buffer_bytes: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
-        let e = MpiError::InvalidRank { rank: 9, comm_size: 4 };
+        let e = MpiError::InvalidRank {
+            rank: 9,
+            comm_size: 4,
+        };
         assert!(e.to_string().contains("size 4"));
     }
 

@@ -60,7 +60,7 @@ pub use clock::{Clock, CostModel};
 pub use comm::Comm;
 pub use counter::CallCounts;
 pub use error::{MpiError, Result};
-pub use message::{Status, Src, TagSel, ANY_SOURCE, ANY_TAG};
+pub use message::{Src, Status, TagSel, ANY_SOURCE, ANY_TAG};
 pub use op::{commutative, non_commutative, ReduceOp};
 pub use plain::{as_bytes, bytes_to_vec, Plain};
 pub use request::{Request, RequestSet};

@@ -56,11 +56,13 @@ impl Mailbox {
     /// it (probe semantics).
     pub fn try_peek(&self, context: u64, src: Src, tag: TagSel) -> Option<Status> {
         let q = self.queue.lock();
-        q.iter().find(|e| e.matches(context, src, tag)).map(|e| Status {
-            source: e.src,
-            tag: e.tag,
-            bytes: e.payload.len(),
-        })
+        q.iter()
+            .find(|e| e.matches(context, src, tag))
+            .map(|e| Status {
+                source: e.src,
+                tag: e.tag,
+                bytes: e.payload.len(),
+            })
     }
 
     /// Blocks until a matching envelope arrives and removes it.
@@ -88,7 +90,8 @@ impl Mailbox {
             // between our check and the wait are caught by the interrupt()
             // lock protocol, but a bounded wait keeps any missed corner
             // (e.g. a rank dying without unwinding) from hanging forever.
-            self.cond.wait_for(&mut q, std::time::Duration::from_millis(50));
+            self.cond
+                .wait_for(&mut q, std::time::Duration::from_millis(50));
         }
     }
 
@@ -104,12 +107,17 @@ impl Mailbox {
         let mut q = self.queue.lock();
         loop {
             if let Some(e) = q.iter().find(|e| e.matches(context, src, tag)) {
-                return Ok(Status { source: e.src, tag: e.tag, bytes: e.payload.len() });
+                return Ok(Status {
+                    source: e.src,
+                    tag: e.tag,
+                    bytes: e.payload.len(),
+                });
             }
             if let Some(err) = interrupted() {
                 return Err(err);
             }
-            self.cond.wait_for(&mut q, std::time::Duration::from_millis(50));
+            self.cond
+                .wait_for(&mut q, std::time::Duration::from_millis(50));
         }
     }
 
@@ -167,7 +175,14 @@ mod tests {
         let mb = Mailbox::new();
         mb.push(env(3, 1, 9, 4));
         let s = mb.try_peek(1, Src::Any, TagSel::Any).unwrap();
-        assert_eq!(s, Status { source: 3, tag: 9, bytes: 4 });
+        assert_eq!(
+            s,
+            Status {
+                source: 3,
+                tag: 9,
+                bytes: 4
+            }
+        );
         assert_eq!(mb.len(), 1);
         assert!(mb.try_match(1, Src::Rank(3), TagSel::Is(9)).is_some());
         assert!(mb.is_empty());
@@ -178,7 +193,8 @@ mod tests {
         let mb = std::sync::Arc::new(Mailbox::new());
         let mb2 = mb.clone();
         let h = std::thread::spawn(move || {
-            mb2.wait_match(1, Src::Rank(0), TagSel::Is(1), || None).unwrap()
+            mb2.wait_match(1, Src::Rank(0), TagSel::Is(1), || None)
+                .unwrap()
         });
         std::thread::sleep(std::time::Duration::from_millis(5));
         mb.push(env(0, 1, 1, 8));
@@ -194,7 +210,8 @@ mod tests {
         let f2 = flag.clone();
         let h = std::thread::spawn(move || {
             mb2.wait_match(1, Src::Rank(0), TagSel::Is(1), || {
-                f2.load(std::sync::atomic::Ordering::SeqCst).then_some(MpiError::Revoked)
+                f2.load(std::sync::atomic::Ordering::SeqCst)
+                    .then_some(MpiError::Revoked)
             })
         });
         std::thread::sleep(std::time::Duration::from_millis(5));

@@ -172,7 +172,11 @@ mod tests {
 
     #[test]
     fn status_count() {
-        let s = Status { source: 0, tag: 0, bytes: 24 };
+        let s = Status {
+            source: 0,
+            tag: 0,
+            bytes: 24,
+        };
         assert_eq!(s.count::<u64>(), 3);
         assert_eq!(s.count::<u8>(), 24);
     }

@@ -146,13 +146,19 @@ impl<T, F: Fn(&T, &T) -> T> ReduceOp<T> for Lambda<F> {
 
 /// Wraps a lambda as a commutative reduction operation.
 pub fn commutative<T, F: Fn(&T, &T) -> T>(f: F) -> Lambda<F> {
-    Lambda { f, commutative: true }
+    Lambda {
+        f,
+        commutative: true,
+    }
 }
 
 /// Wraps a lambda as a non-commutative reduction operation; reduction
 /// algorithms will preserve rank order for it.
 pub fn non_commutative<T, F: Fn(&T, &T) -> T>(f: F) -> Lambda<F> {
-    Lambda { f, commutative: false }
+    Lambda {
+        f,
+        commutative: false,
+    }
 }
 
 // Plain `Fn(&T, &T) -> T` closures are accepted directly and treated as

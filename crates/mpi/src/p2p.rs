@@ -40,7 +40,11 @@ impl Comm {
     ) -> Result<Status> {
         self.count_op("recv");
         let env = self.recv_envelope(src.into(), tag.into())?;
-        let status = Status { source: env.src, tag: env.tag, bytes: env.payload.len() };
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
         if env.payload.len() > std::mem::size_of_val(buf) {
             return Err(MpiError::Truncated {
                 message_bytes: env.payload.len(),
@@ -59,7 +63,11 @@ impl Comm {
     ) -> Result<(Vec<T>, Status)> {
         self.count_op("recv");
         let env = self.recv_envelope(src.into(), tag.into())?;
-        let status = Status { source: env.src, tag: env.tag, bytes: env.payload.len() };
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
         Ok((bytes_to_vec(&env.payload), status))
     }
 
@@ -87,7 +95,11 @@ impl Comm {
     ) -> Result<(Bytes, Status)> {
         self.count_op("recv");
         let env = self.recv_envelope(src.into(), tag.into())?;
-        let status = Status { source: env.src, tag: env.tag, bytes: env.payload.len() };
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
         Ok((env.payload, status))
     }
 
@@ -105,9 +117,18 @@ impl Comm {
     ) -> Result<Status> {
         self.count_op("sendrecv");
         self.check_tag(send_tag)?;
-        self.deliver_bytes(dest, send_tag, Bytes::copy_from_slice(as_bytes(send_data)), None)?;
+        self.deliver_bytes(
+            dest,
+            send_tag,
+            Bytes::copy_from_slice(as_bytes(send_data)),
+            None,
+        )?;
         let env = self.recv_envelope(src.into(), recv_tag.into())?;
-        let status = Status { source: env.src, tag: env.tag, bytes: env.payload.len() };
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        };
         if env.payload.len() > std::mem::size_of_val(recv_buf) {
             return Err(MpiError::Truncated {
                 message_bytes: env.payload.len(),
@@ -181,7 +202,8 @@ mod tests {
                 }
                 assert_eq!(seen, [true, true]);
             } else {
-                comm.send(&[comm.rank() as u8], 0, comm.rank() as i32 * 10).unwrap();
+                comm.send(&[comm.rank() as u8], 0, comm.rank() as i32 * 10)
+                    .unwrap();
             }
         });
     }
@@ -225,7 +247,13 @@ mod tests {
             } else {
                 let mut small = [0u32; 2];
                 let err = comm.recv_into(&mut small, 0, 0).unwrap_err();
-                assert!(matches!(err, MpiError::Truncated { message_bytes: 40, buffer_bytes: 8 }));
+                assert!(matches!(
+                    err,
+                    MpiError::Truncated {
+                        message_bytes: 40,
+                        buffer_bytes: 8
+                    }
+                ));
             }
         });
     }
@@ -236,7 +264,8 @@ mod tests {
             let right = (comm.rank() + 1) % 4;
             let left = (comm.rank() + 3) % 4;
             let mut got = [0usize];
-            comm.sendrecv(&[comm.rank()], right, 3, &mut got, left, 3).unwrap();
+            comm.sendrecv(&[comm.rank()], right, 3, &mut got, left, 3)
+                .unwrap();
             assert_eq!(got[0], left);
         });
     }
@@ -281,7 +310,10 @@ mod tests {
     fn negative_user_tag_rejected() {
         Universe::run(2, |comm| {
             if comm.rank() == 0 {
-                assert!(matches!(comm.send(&[1u8], 1, -5), Err(MpiError::InvalidTag { tag: -5 })));
+                assert!(matches!(
+                    comm.send(&[1u8], 1, -5),
+                    Err(MpiError::InvalidTag { tag: -5 })
+                ));
             }
         });
     }

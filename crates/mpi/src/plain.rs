@@ -219,13 +219,25 @@ mod tests {
         dst: u64,
         weight: f64,
     }
-    plain_struct!(Edge { src: u64, dst: u64, weight: f64 });
+    plain_struct!(Edge {
+        src: u64,
+        dst: u64,
+        weight: f64
+    });
 
     #[test]
     fn plain_struct_roundtrip() {
         let v = vec![
-            Edge { src: 1, dst: 2, weight: 0.5 },
-            Edge { src: 3, dst: 4, weight: -1.25 },
+            Edge {
+                src: 1,
+                dst: 2,
+                weight: 0.5,
+            },
+            Edge {
+                src: 3,
+                dst: 4,
+                weight: -1.25,
+            },
         ];
         let back: Vec<Edge> = bytes_to_vec(as_bytes(&v));
         assert_eq!(back, v);
@@ -251,7 +263,14 @@ mod tests {
         let v = zeroed_vec::<u32>(5);
         assert_eq!(v, vec![0; 5]);
         let e = zeroed_vec::<Edge>(2);
-        assert_eq!(e[0], Edge { src: 0, dst: 0, weight: 0.0 });
+        assert_eq!(
+            e[0],
+            Edge {
+                src: 0,
+                dst: 0,
+                weight: 0.0
+            }
+        );
         assert_eq!(e.len(), 2);
         assert!(zeroed_vec::<u8>(0).is_empty());
     }

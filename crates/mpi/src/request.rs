@@ -15,20 +15,26 @@ use crate::message::{AckSlot, Src, Status, TagSel};
 use crate::plain::as_bytes;
 use crate::{Plain, Rank, Tag};
 
-/// What a completed request yields: receives carry a payload.
+/// What a completed request yields: receives carry a payload,
+/// per-rank-block collectives carry one payload per rank.
 #[derive(Clone, Debug)]
 pub enum Completion {
-    /// A send (or barrier) completed; nothing to return.
+    /// A send (or barrier, or the no-result side of a rooted collective)
+    /// completed; nothing to return.
     Done,
-    /// A receive completed with this payload.
+    /// A receive (or single-result collective) completed with this
+    /// payload.
     Message(Bytes, Status),
+    /// A per-rank-block collective (`igatherv`, `iallgatherv`,
+    /// `ialltoallv`) completed: one payload per rank, in rank order.
+    Blocks(Vec<Bytes>),
 }
 
 impl Completion {
     /// The payload of a completed receive, decoded as `Vec<T>`.
     pub fn into_vec<T: Plain>(self) -> Option<(Vec<T>, Status)> {
         match self {
-            Completion::Done => None,
+            Completion::Done | Completion::Blocks(_) => None,
             Completion::Message(b, st) => Some((crate::plain::bytes_to_vec(&b), st)),
         }
     }
@@ -36,8 +42,19 @@ impl Completion {
     /// The raw payload of a completed receive.
     pub fn into_bytes(self) -> Option<(Bytes, Status)> {
         match self {
-            Completion::Done => None,
+            Completion::Done | Completion::Blocks(_) => None,
             Completion::Message(b, st) => Some((b, st)),
+        }
+    }
+
+    /// The per-rank payloads of a completed collective. Single-payload
+    /// completions yield one block, so callers can treat every data-
+    /// carrying completion uniformly.
+    pub fn into_blocks(self) -> Option<Vec<Bytes>> {
+        match self {
+            Completion::Done => None,
+            Completion::Message(b, _) => Some(vec![b]),
+            Completion::Blocks(blocks) => Some(blocks),
         }
     }
 }
@@ -59,6 +76,9 @@ enum ReqState {
     Recv { src: Src, tag: TagSel },
     /// Non-blocking dissemination barrier state machine.
     Barrier { tag: Tag, step: usize, sent: bool },
+    /// Non-blocking collective engine
+    /// (see [`crate::collectives::nonblocking`]).
+    Coll(Box<dyn crate::collectives::nonblocking::CollEngine>),
 }
 
 /// A handle to an in-flight non-blocking operation
@@ -69,6 +89,18 @@ pub struct Request<'a> {
 }
 
 impl<'a> Request<'a> {
+    /// Wraps a non-blocking collective engine (crate-internal; users
+    /// obtain these from the `Comm::i*` collectives).
+    pub(crate) fn collective(
+        comm: &'a Comm,
+        engine: Box<dyn crate::collectives::nonblocking::CollEngine>,
+    ) -> Self {
+        Request {
+            comm,
+            state: ReqState::Coll(engine),
+        }
+    }
+
     /// Blocks until the operation completes (mirrors `MPI_Wait`).
     pub fn wait(self) -> Result<Completion> {
         let comm = self.comm;
@@ -84,17 +116,27 @@ impl<'a> Request<'a> {
                         return Err(MpiError::Revoked);
                     }
                     if comm.world.is_failed(dest_world) {
-                        return Err(MpiError::ProcessFailed { world_rank: dest_world });
+                        return Err(MpiError::ProcessFailed {
+                            world_rank: dest_world,
+                        });
                     }
                     std::thread::yield_now();
                 }
             }
             ReqState::Recv { src, tag } => {
                 let env = comm.recv_envelope(src, tag)?;
-                let st = Status { source: env.src, tag: env.tag, bytes: env.payload.len() };
+                let st = Status {
+                    source: env.src,
+                    tag: env.tag,
+                    bytes: env.payload.len(),
+                };
                 Ok(Completion::Message(env.payload, st))
             }
-            ReqState::Barrier { tag, mut step, mut sent } => {
+            ReqState::Barrier {
+                tag,
+                mut step,
+                mut sent,
+            } => {
                 let p = comm.size();
                 let rank = comm.rank();
                 let mut dist = 1usize << step;
@@ -113,6 +155,10 @@ impl<'a> Request<'a> {
                     dist = 1usize << step;
                 }
                 Ok(Completion::Done)
+            }
+            ReqState::Coll(mut engine) => {
+                let c = engine.advance(comm, true)?;
+                Ok(c.expect("blocking advance completes the collective"))
             }
         }
     }
@@ -133,7 +179,9 @@ impl<'a> Request<'a> {
                     return Err(MpiError::Revoked);
                 }
                 if comm.world.is_failed(dest_world) {
-                    return Err(MpiError::ProcessFailed { world_rank: dest_world });
+                    return Err(MpiError::ProcessFailed {
+                        world_rank: dest_world,
+                    });
                 }
                 Ok(TestOutcome::Pending(Request {
                     comm,
@@ -142,17 +190,28 @@ impl<'a> Request<'a> {
             }
             ReqState::Recv { src, tag } => match comm.try_recv_envelope(src, tag) {
                 Some(env) => {
-                    let st = Status { source: env.src, tag: env.tag, bytes: env.payload.len() };
+                    let st = Status {
+                        source: env.src,
+                        tag: env.tag,
+                        bytes: env.payload.len(),
+                    };
                     Ok(TestOutcome::Ready(Completion::Message(env.payload, st)))
                 }
                 None => {
                     if let Some(err) = comm.wait_interrupted(src) {
                         return Err(err);
                     }
-                    Ok(TestOutcome::Pending(Request { comm, state: ReqState::Recv { src, tag } }))
+                    Ok(TestOutcome::Pending(Request {
+                        comm,
+                        state: ReqState::Recv { src, tag },
+                    }))
                 }
             },
-            ReqState::Barrier { tag, mut step, mut sent } => {
+            ReqState::Barrier {
+                tag,
+                mut step,
+                mut sent,
+            } => {
                 let p = comm.size();
                 let rank = comm.rank();
                 let mut dist = 1usize << step;
@@ -186,6 +245,13 @@ impl<'a> Request<'a> {
                 }
                 Ok(TestOutcome::Ready(Completion::Done))
             }
+            ReqState::Coll(mut engine) => match engine.advance(comm, false)? {
+                Some(c) => Ok(TestOutcome::Ready(c)),
+                None => Ok(TestOutcome::Pending(Request {
+                    comm,
+                    state: ReqState::Coll(engine),
+                })),
+            },
         }
     }
 }
@@ -199,7 +265,10 @@ impl Comm {
         self.count_op("isend");
         self.check_tag(tag)?;
         self.deliver_bytes(dest, tag, Bytes::copy_from_slice(as_bytes(data)), None)?;
-        Ok(Request { comm: self, state: ReqState::SendDone })
+        Ok(Request {
+            comm: self,
+            state: ReqState::SendDone,
+        })
     }
 
     /// Starts a non-blocking *synchronous-mode* send (mirrors
@@ -210,15 +279,29 @@ impl Comm {
         self.count_op("issend");
         self.check_tag(tag)?;
         let ack = AckSlot::new();
-        self.deliver_bytes(dest, tag, Bytes::copy_from_slice(as_bytes(data)), Some(ack.clone()))?;
-        Ok(Request { comm: self, state: ReqState::SyncSend { ack, dest } })
+        self.deliver_bytes(
+            dest,
+            tag,
+            Bytes::copy_from_slice(as_bytes(data)),
+            Some(ack.clone()),
+        )?;
+        Ok(Request {
+            comm: self,
+            state: ReqState::SyncSend { ack, dest },
+        })
     }
 
     /// Posts a non-blocking receive (mirrors `MPI_Irecv`). The payload is
     /// delivered by `wait`/`test`.
     pub fn irecv(&self, src: impl Into<Src>, tag: impl Into<TagSel>) -> Request<'_> {
         self.count_op("irecv");
-        Request { comm: self, state: ReqState::Recv { src: src.into(), tag: tag.into() } }
+        Request {
+            comm: self,
+            state: ReqState::Recv {
+                src: src.into(),
+                tag: tag.into(),
+            },
+        }
     }
 
     /// Starts a non-blocking barrier (mirrors `MPI_Ibarrier`);
@@ -226,7 +309,14 @@ impl Comm {
     pub fn ibarrier(&self) -> Result<Request<'_>> {
         self.count_op("ibarrier");
         let tag = self.next_internal_tag();
-        Ok(Request { comm: self, state: ReqState::Barrier { tag, step: 0, sent: false } })
+        Ok(Request {
+            comm: self,
+            state: ReqState::Barrier {
+                tag,
+                step: 0,
+                sent: false,
+            },
+        })
     }
 }
 
@@ -240,7 +330,9 @@ pub struct RequestSet<'a> {
 
 impl<'a> RequestSet<'a> {
     pub fn new() -> Self {
-        RequestSet { requests: Vec::new() }
+        RequestSet {
+            requests: Vec::new(),
+        }
     }
 
     /// Adds a request to the set.
@@ -264,18 +356,84 @@ impl<'a> RequestSet<'a> {
     }
 
     /// Tests all requests once; completed ones are returned (with their
-    /// insertion index), pending ones are kept.
+    /// insertion index), pending ones are kept. If a request errors
+    /// (peer failure, revocation), that request is consumed but every
+    /// other one stays in the set, so fault-tolerant callers can keep
+    /// waiting on the survivors.
     pub fn test_some(&mut self) -> Result<Vec<(usize, Completion)>> {
         let mut done = Vec::new();
         let mut pending = Vec::new();
+        let mut erred = None;
         for (i, req) in std::mem::take(&mut self.requests).into_iter().enumerate() {
-            match req.test()? {
-                TestOutcome::Ready(c) => done.push((i, c)),
-                TestOutcome::Pending(r) => pending.push(r),
+            if erred.is_some() {
+                pending.push(req);
+                continue;
+            }
+            match req.test() {
+                Ok(TestOutcome::Ready(c)) => done.push((i, c)),
+                Ok(TestOutcome::Pending(r)) => pending.push(r),
+                Err(e) => erred = Some(e),
             }
         }
         self.requests = pending;
-        Ok(done)
+        match erred {
+            Some(e) => Err(e),
+            None => Ok(done),
+        }
+    }
+
+    /// Blocks until *one* request completes (mirrors `MPI_Waitany`),
+    /// removing it from the set. Returns the completed request's index
+    /// *at call time* together with its completion, or `None` if the set
+    /// is empty. Remaining requests shift down by one, as after
+    /// `Vec::remove`.
+    pub fn wait_any(&mut self) -> Result<Option<(usize, Completion)>> {
+        if self.requests.is_empty() {
+            return Ok(None);
+        }
+        loop {
+            let mut ready: Option<(usize, Completion)> = None;
+            let mut erred = None;
+            let mut kept = Vec::with_capacity(self.requests.len());
+            for (i, req) in std::mem::take(&mut self.requests).into_iter().enumerate() {
+                if ready.is_some() || erred.is_some() {
+                    kept.push(req);
+                    continue;
+                }
+                match req.test() {
+                    Ok(TestOutcome::Ready(c)) => ready = Some((i, c)),
+                    Ok(TestOutcome::Pending(r)) => kept.push(r),
+                    // The erroring request is consumed; the others stay
+                    // in the set so survivors remain completable.
+                    Err(e) => erred = Some(e),
+                }
+            }
+            self.requests = kept;
+            if let Some(e) = erred {
+                return Err(e);
+            }
+            if let Some(hit) = ready {
+                return Ok(Some(hit));
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Blocks until *at least one* request completes (mirrors
+    /// `MPI_Waitsome`), removing every completed request from the set.
+    /// Returns `(index at call time, completion)` pairs in index order;
+    /// an empty set yields an empty vector.
+    pub fn wait_some(&mut self) -> Result<Vec<(usize, Completion)>> {
+        if self.requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        loop {
+            let done = self.test_some()?;
+            if !done.is_empty() {
+                return Ok(done);
+            }
+            std::thread::yield_now();
+        }
     }
 }
 
@@ -413,6 +571,93 @@ mod tests {
             } else {
                 comm.send(&[1u8], 0, 0).unwrap();
                 comm.send(&[2u8], 0, 1).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn wait_any_returns_first_completed() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut set = RequestSet::new();
+                set.push(comm.irecv(1, 0)); // arrives late
+                set.push(comm.irecv(2, 0)); // arrives immediately
+                let (idx, c) = set.wait_any().unwrap().expect("non-empty set");
+                let (v, st) = c.into_vec::<u8>().unwrap();
+                assert_eq!(v, vec![st.source as u8]);
+                assert_eq!(set.len(), 1);
+                // Drain the other one too.
+                let (idx2, c2) = set.wait_any().unwrap().expect("one left");
+                assert_eq!(idx2, 0, "indices are relative to the shrunken set");
+                c2.into_vec::<u8>().unwrap();
+                assert!(idx <= 1);
+                assert!(set.wait_any().unwrap().is_none(), "empty set yields None");
+            } else if comm.rank() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                comm.send(&[1u8], 0, 0).unwrap();
+            } else {
+                comm.send(&[2u8], 0, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn wait_any_error_keeps_surviving_requests() {
+        // A failed peer must error its own request out of the set while
+        // the survivor's request stays completable (ULFM recovery).
+        let outcomes = crate::Universe::run_with(crate::Config::new(3), |comm| {
+            if comm.rank() == 0 {
+                let mut set = RequestSet::new();
+                set.push(comm.irecv(1, 0)); // peer that dies
+                set.push(comm.irecv(2, 0)); // survivor (sends late)
+                let mut survivor_data = None;
+                let mut saw_error = false;
+                while !set.is_empty() {
+                    match set.wait_any() {
+                        Ok(Some((_, c))) => survivor_data = c.into_vec::<u8>(),
+                        Ok(None) => break,
+                        Err(crate::MpiError::ProcessFailed { world_rank }) => {
+                            assert_eq!(world_rank, 1);
+                            saw_error = true;
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                assert!(saw_error, "the dead peer's request must error");
+                let (v, _) = survivor_data.expect("survivor's message delivered");
+                assert_eq!(v, vec![2]);
+            } else if comm.rank() == 1 {
+                comm.fail_here();
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                comm.send(&[2u8], 0, 0).unwrap();
+            }
+        });
+        assert!(matches!(outcomes[1], crate::RankOutcome::Failed));
+    }
+
+    #[test]
+    fn wait_some_drains_everything_eventually() {
+        Universe::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut set = RequestSet::new();
+                for peer in 1..4 {
+                    set.push(comm.irecv(peer, 7));
+                }
+                let mut seen = 0;
+                while !set.is_empty() {
+                    let done = set.wait_some().unwrap();
+                    assert!(!done.is_empty(), "wait_some blocks until progress");
+                    seen += done.len();
+                }
+                assert_eq!(seen, 3);
+                assert!(
+                    set.wait_some().unwrap().is_empty(),
+                    "empty set yields empty vec"
+                );
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(comm.rank() as u64 * 3));
+                comm.send(&[comm.rank() as u8], 0, 7).unwrap();
             }
         });
     }

@@ -22,7 +22,10 @@ mod imp {
 
     /// Nanoseconds of CPU time consumed by the calling thread.
     pub fn thread_cpu_ns() -> u64 {
-        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
         // SAFETY: `ts` is a valid out-pointer; the clock id is a Linux constant.
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         if rc != 0 {
@@ -83,7 +86,10 @@ mod tests {
         let slept = handle.join().unwrap();
         // Generous bound: sleeping 30ms should cost far less than 20ms CPU.
         #[cfg(target_os = "linux")]
-        assert!(slept < 20_000_000, "sleeping thread consumed {slept} ns CPU");
+        assert!(
+            slept < 20_000_000,
+            "sleeping thread consumed {slept} ns CPU"
+        );
         #[cfg(not(target_os = "linux"))]
         let _ = slept;
     }

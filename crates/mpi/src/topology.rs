@@ -142,7 +142,12 @@ impl DistGraphComm {
         let tag = comm.next_internal_tag();
         for (k, &dest) in self.destinations.iter().enumerate() {
             let block = &send[send_displs[k]..send_displs[k] + send_counts[k]];
-            comm.deliver_bytes(dest, tag, bytes::Bytes::copy_from_slice(as_bytes(block)), None)?;
+            comm.deliver_bytes(
+                dest,
+                tag,
+                bytes::Bytes::copy_from_slice(as_bytes(block)),
+                None,
+            )?;
         }
         for (j, &src) in self.sources.iter().enumerate() {
             let env = comm.recv_envelope(
@@ -166,7 +171,11 @@ impl DistGraphComm {
     pub fn neighbor_alltoall_vecs<T: Plain>(&self, send: &[Vec<T>]) -> Result<Vec<Vec<T>>> {
         self.comm.count_op("neighbor_alltoallv");
         let comm = &self.comm;
-        assert_eq!(send.len(), self.destinations.len(), "one block per destination");
+        assert_eq!(
+            send.len(),
+            self.destinations.len(),
+            "one block per destination"
+        );
         let tag = comm.next_internal_tag();
         for (k, &dest) in self.destinations.iter().enumerate() {
             comm.deliver_bytes(
@@ -192,7 +201,11 @@ impl Comm {
     /// Communicator duplication without bumping call counters (used for
     /// derived communicators inside other operations).
     pub(crate) fn dup_uncounted(&self) -> Result<Comm> {
-        let base = if self.rank() == 0 { self.world.alloc_contexts(1) } else { 0 };
+        let base = if self.rank() == 0 {
+            self.world.alloc_contexts(1)
+        } else {
+            0
+        };
         let base = crate::collectives::bcast_one_internal(self, base, 0)?;
         Ok(self.derived(std::sync::Arc::clone(&self.group), self.rank(), base))
     }
@@ -209,7 +222,9 @@ mod tests {
             let right = (comm.rank() + 1) % 4;
             // Receive from left, send to right.
             let g = comm.create_dist_graph_adjacent(&[left], &[right]).unwrap();
-            let got = g.neighbor_alltoall_vecs(&[vec![comm.rank() as u32]]).unwrap();
+            let got = g
+                .neighbor_alltoall_vecs(&[vec![comm.rank() as u32]])
+                .unwrap();
             assert_eq!(got, vec![vec![left as u32]]);
         });
     }
@@ -224,7 +239,9 @@ mod tests {
                 assert_eq!(got, vec![vec![1], vec![2], vec![3]]);
             } else {
                 let g = comm.create_dist_graph_adjacent(&[], &[0]).unwrap();
-                let got = g.neighbor_alltoall_vecs(&[vec![comm.rank() as u8]]).unwrap();
+                let got = g
+                    .neighbor_alltoall_vecs(&[vec![comm.rank() as u8]])
+                    .unwrap();
                 assert!(got.is_empty());
             }
         });
@@ -265,8 +282,7 @@ mod tests {
                 &recv_displs,
             )
             .unwrap();
-            let expected: Vec<u64> =
-                others.iter().flat_map(|&r| [r as u64, r as u64]).collect();
+            let expected: Vec<u64> = others.iter().flat_map(|&r| [r as u64, r as u64]).collect();
             assert_eq!(&recv[..], &expected[..]);
         });
     }
@@ -278,7 +294,9 @@ mod tests {
             let left = (comm.rank() + 2) % 3;
             let g = comm.create_dist_graph_adjacent(&[left], &[right]).unwrap();
             for round in 0..5u32 {
-                let got = g.neighbor_alltoall_vecs(&[vec![round * 10 + comm.rank() as u32]]).unwrap();
+                let got = g
+                    .neighbor_alltoall_vecs(&[vec![round * 10 + comm.rank() as u32]])
+                    .unwrap();
                 assert_eq!(got[0], vec![round * 10 + left as u32]);
             }
         });

@@ -83,7 +83,9 @@ impl Comm {
 
     /// True if the given communicator rank is known to have failed.
     pub fn is_failed(&self, rank: Rank) -> bool {
-        self.translate_to_world(rank).map(|w| self.world.is_failed(w)).unwrap_or(false)
+        self.translate_to_world(rank)
+            .map(|w| self.world.is_failed(w))
+            .unwrap_or(false)
     }
 
     /// Failure-aware agreement (mirrors `MPI_Comm_agree`): returns the
@@ -145,7 +147,9 @@ impl Comm {
                     let survivors: Vec<Rank> = members
                         .iter()
                         .copied()
-                        .filter(|&w| entry.contributions.contains_key(&w) && !self.world.is_failed(w))
+                        .filter(|&w| {
+                            entry.contributions.contains_key(&w) && !self.world.is_failed(w)
+                        })
                         .collect();
                     let folded = entry
                         .contributions
@@ -164,7 +168,9 @@ impl Comm {
                 }
                 return Ok((v, survivors, ctx));
             }
-            table.cond.wait_for(&mut entries, std::time::Duration::from_millis(50));
+            table
+                .cond
+                .wait_for(&mut entries, std::time::Duration::from_millis(50));
         }
     }
 }
@@ -248,10 +254,11 @@ mod tests {
             assert_eq!(shrunk.size(), 3);
             assert!(!shrunk.is_revoked());
             // The shrunken communicator is fully operational.
-            shrunk.allreduce_one(shrunk.rank() as u64, crate::op::Sum).unwrap()
+            shrunk
+                .allreduce_one(shrunk.rank() as u64, crate::op::Sum)
+                .unwrap()
         });
-        let survivors: Vec<u64> =
-            out.into_iter().filter_map(|o| o.completed()).collect();
+        let survivors: Vec<u64> = out.into_iter().filter_map(|o| o.completed()).collect();
         // New ranks are 0,1,2 -> sum 3 on every survivor.
         assert_eq!(survivors, vec![3, 3, 3]);
     }

@@ -38,7 +38,11 @@ pub struct Config {
 
 impl Config {
     pub fn new(size: usize) -> Self {
-        Config { size, cost: CostModel::disabled(), stack_size: 8 << 20 }
+        Config {
+            size,
+            cost: CostModel::disabled(),
+            stack_size: 8 << 20,
+        }
     }
 
     /// Sets the message cost model.
@@ -71,7 +75,9 @@ impl WorldState {
             // Context 0 is the world communicator.
             next_context: AtomicU64::new(1),
             cost: config.cost,
-            counters: (0..config.size).map(|_| Mutex::new(CallCounts::new())).collect(),
+            counters: (0..config.size)
+                .map(|_| Mutex::new(CallCounts::new()))
+                .collect(),
             agreements: AgreementTable::new(),
         })
     }
@@ -172,10 +178,7 @@ impl Universe {
 
     /// Runs `f` on `config.size` ranks, returning each rank's outcome.
     /// Panics and simulated failures are contained per-rank.
-    pub fn run_with<R: Send, F: Fn(Comm) -> R + Sync>(
-        config: Config,
-        f: F,
-    ) -> Vec<RankOutcome<R>> {
+    pub fn run_with<R: Send, F: Fn(Comm) -> R + Sync>(config: Config, f: F) -> Vec<RankOutcome<R>> {
         assert!(config.size > 0, "universe needs at least one rank");
         let world = WorldState::new(&config);
         let f = &f;
@@ -209,7 +212,10 @@ impl Universe {
                 })
                 .collect();
 
-            handles.into_iter().map(|h| h.join().expect("rank thread join failed")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread join failed"))
+                .collect()
         })
     }
 

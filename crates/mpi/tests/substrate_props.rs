@@ -12,11 +12,20 @@ struct Cell {
     c: u32,
     d: u32,
 }
-plain_struct!(Cell { a: u64, b: f64, c: u32, d: u32 });
+plain_struct!(Cell {
+    a: u64,
+    b: f64,
+    c: u32,
+    d: u32
+});
 
 fn cell_strategy() -> impl Strategy<Value = Cell> {
-    (any::<u64>(), any::<f64>(), any::<u32>(), any::<u32>())
-        .prop_map(|(a, b, c, d)| Cell { a, b, c, d })
+    (any::<u64>(), any::<f64>(), any::<u32>(), any::<u32>()).prop_map(|(a, b, c, d)| Cell {
+        a,
+        b,
+        c,
+        d,
+    })
 }
 
 proptest! {

@@ -33,7 +33,10 @@ impl<'de> Deserializer<'de> {
 
     fn take(&mut self, n: usize) -> Result<&'de [u8]> {
         if self.input.len() < n {
-            return Err(Error::UnexpectedEof { needed: n, remaining: self.input.len() });
+            return Err(Error::UnexpectedEof {
+                needed: n,
+                remaining: self.input.len(),
+            });
         }
         let (head, tail) = self.input.split_at(n);
         self.input = tail;
@@ -60,7 +63,9 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     type Error = Error;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(Error::Message("wire format is not self-describing; deserialize_any unsupported".into()))
+        Err(Error::Message(
+            "wire format is not self-describing; deserialize_any unsupported".into(),
+        ))
     }
 
     fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
@@ -142,11 +147,17 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.take_len()?;
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -160,7 +171,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
         let len = self.take_len()?;
-        visitor.visit_map(CountedAccess { de: self, remaining: len })
+        visitor.visit_map(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -182,11 +196,15 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     }
 
     fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(Error::Message("identifiers are not encoded by this format".into()))
+        Err(Error::Message(
+            "identifiers are not encoded by this format".into(),
+        ))
     }
 
     fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(Error::Message("cannot skip values in a non-self-describing format".into()))
+        Err(Error::Message(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
     }
 
     fn is_human_readable(&self) -> bool {
@@ -297,7 +315,13 @@ mod tests {
     fn eof_reports_needed_bytes() {
         let mut de = Deserializer::new(&[1, 2]);
         let r: Result<u64> = serde::Deserialize::deserialize(&mut de);
-        assert_eq!(r.unwrap_err(), Error::UnexpectedEof { needed: 8, remaining: 2 });
+        assert_eq!(
+            r.unwrap_err(),
+            Error::UnexpectedEof {
+                needed: 8,
+                remaining: 2
+            }
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
             }
             Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             Error::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
@@ -63,7 +66,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = Error::UnexpectedEof { needed: 8, remaining: 3 };
+        let e = Error::UnexpectedEof {
+            needed: 8,
+            remaining: 3,
+        };
         assert!(e.to_string().contains("8"));
         assert!(e.to_string().contains("3"));
         assert!(Error::InvalidUtf8.to_string().contains("UTF-8"));

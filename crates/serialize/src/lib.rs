@@ -92,7 +92,10 @@ mod tests {
     fn options_and_tuples() {
         assert_eq!(roundtrip(&Some(7u32)), Some(7));
         assert_eq!(roundtrip(&None::<u32>), None);
-        assert_eq!(roundtrip(&(1u8, "x".to_string(), 2.5f64)), (1, "x".to_string(), 2.5));
+        assert_eq!(
+            roundtrip(&(1u8, "x".to_string(), 2.5f64)),
+            (1, "x".to_string(), 2.5)
+        );
     }
 
     #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
@@ -176,7 +179,12 @@ mod tests {
 
     #[test]
     fn deterministic_encoding() {
-        let n = Nested { id: 1, name: "x".into(), tags: vec![], score: None };
+        let n = Nested {
+            id: 1,
+            name: "x".into(),
+            tags: vec![],
+            score: None,
+        };
         assert_eq!(to_bytes(&n).unwrap(), to_bytes(&n.clone()).unwrap());
     }
 

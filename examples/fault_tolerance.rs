@@ -28,7 +28,9 @@ fn main() {
                 }
                 // Create a new communicator containing only survivors.
                 comm = comm.shrink().unwrap();
-                total = comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap();
+                total = comm
+                    .allreduce_single((send_buf(&[1u64]), op(ops::Sum)))
+                    .unwrap();
             }
         }
         (comm.rank(), comm.size(), total)

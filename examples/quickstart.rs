@@ -51,7 +51,11 @@ fn main() {
         assert_eq!(rdispls, rd);
 
         if comm.is_root() {
-            println!("gathered {} elements across {} ranks", v_global.len(), comm.size());
+            println!(
+                "gathered {} elements across {} ranks",
+                v_global.len(),
+                comm.size()
+            );
             println!("counts  = {rcounts:?}");
             println!("displs  = {rdispls:?}");
             println!("data    = {v_global:?}");

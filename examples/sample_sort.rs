@@ -13,7 +13,9 @@ fn main() {
     let outputs = Universe::run(4, |comm| {
         let comm = Communicator::new(comm);
         let mut rng = StdRng::seed_from_u64(comm.rank() as u64);
-        let mut data: Vec<u64> = (0..10_000).map(|_| rng.random_range(0..1_000_000)).collect();
+        let mut data: Vec<u64> = (0..10_000)
+            .map(|_| rng.random_range(0..1_000_000))
+            .collect();
 
         // Fig. 7, explicit:
         sample_sort_kamping(&mut data, &comm).unwrap();

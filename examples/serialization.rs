@@ -19,11 +19,13 @@ fn main() {
             dict.insert("hello".into(), "world".into());
             dict.insert("kamping".into(), "serialization".into());
             for dest in 1..comm.size() {
-                comm.send((send_buf(as_serialized(&dict)), destination(dest))).unwrap();
+                comm.send((send_buf(as_serialized(&dict)), destination(dest)))
+                    .unwrap();
             }
         } else {
-            let dict: BTreeMap<String, String> =
-                comm.recv((recv_buf(as_deserializable()), source(0))).unwrap();
+            let dict: BTreeMap<String, String> = comm
+                .recv((recv_buf(as_deserializable()), source(0)))
+                .unwrap();
             assert_eq!(dict["hello"], "world");
         }
 
@@ -34,7 +36,10 @@ fn main() {
             rates: Vec<f64>,
         }
         let mut model = if comm.is_root() {
-            Model { taxa: vec!["A".into(), "B".into()], rates: vec![0.3, 0.7] }
+            Model {
+                taxa: vec!["A".into(), "B".into()],
+                rates: vec![0.3, 0.7],
+            }
         } else {
             Model::default()
         };
@@ -43,7 +48,10 @@ fn main() {
         assert_eq!(model.taxa.len(), 2);
 
         if comm.is_root() {
-            println!("dictionary sent to {} ranks, model broadcast OK", comm.size() - 1);
+            println!(
+                "dictionary sent to {} ranks, model broadcast OK",
+                comm.size() - 1
+            );
         }
     });
 }

@@ -12,8 +12,9 @@ fn main() {
     let p = 4;
     let n = text.len();
     let ranges = blocks(n, p);
-    let parts: Vec<Vec<u8>> =
-        (0..p).map(|r| text[ranges[r]..ranges[r + 1]].to_vec()).collect();
+    let parts: Vec<Vec<u8>> = (0..p)
+        .map(|r| text[ranges[r]..ranges[r + 1]].to_vec())
+        .collect();
 
     let parts_ref = &parts;
     let out = Universe::run(p, move |comm| {
@@ -26,7 +27,13 @@ fn main() {
     println!("suffix array of a {n}-char text over {p} ranks:");
     for &i in sa.iter().take(8) {
         let suffix = &text[i as usize..];
-        println!("  {i:>3}: {}", String::from_utf8_lossy(&suffix[..suffix.len().min(24)]));
+        println!(
+            "  {i:>3}: {}",
+            String::from_utf8_lossy(&suffix[..suffix.len().min(24)])
+        );
     }
-    println!("  ... ({} suffixes total, matches sequential reference)", sa.len());
+    println!(
+        "  ... ({} suffixes total, matches sequential reference)",
+        sa.len()
+    );
 }

@@ -49,7 +49,11 @@ fn allgatherv_fully_specified_is_single_call() {
         .unwrap();
     });
     assert_eq!(d.get("allgatherv"), 1);
-    assert_eq!(d.total(), 1, "fully specified call must not communicate extra: {d}");
+    assert_eq!(
+        d.total(),
+        1,
+        "fully specified call must not communicate extra: {d}"
+    );
 }
 
 #[test]
@@ -57,7 +61,9 @@ fn alltoallv_defaults_add_exactly_one_alltoall() {
     let d = footprint(|comm| {
         let counts = vec![1usize; comm.size()];
         let data = vec![comm.rank() as u32; comm.size()];
-        let _: Vec<u32> = comm.alltoallv((send_buf(&data), send_counts(&counts))).unwrap();
+        let _: Vec<u32> = comm
+            .alltoallv((send_buf(&data), send_counts(&counts)))
+            .unwrap();
     });
     assert_eq!(d.get("alltoall"), 1, "count transpose");
     assert_eq!(d.get("alltoallv"), 1);

@@ -32,8 +32,9 @@ fn sparse_beats_dense_on_ring_pattern() {
         comm.clock_reset();
         let mut counts = vec![0usize; p];
         counts[(kc.rank() + 1) % p] = 1;
-        let _: Vec<u64> =
-            kc.alltoallv((send_buf(&vec![1u64]), send_counts(&counts))).unwrap();
+        let _: Vec<u64> = kc
+            .alltoallv((send_buf(&vec![1u64]), send_counts(&counts)))
+            .unwrap();
     });
     let sparse = vtime(p, |comm| {
         let kc = Communicator::new(comm.dup().unwrap());
@@ -56,7 +57,9 @@ fn grid_beats_dense_alltoallv_at_scale_for_small_messages() {
         comm.clock_reset();
         let counts = vec![1usize; p];
         let data = vec![1u64; p];
-        let _: Vec<u64> = kc.alltoallv((send_buf(&data), send_counts(&counts))).unwrap();
+        let _: Vec<u64> = kc
+            .alltoallv((send_buf(&data), send_counts(&counts)))
+            .unwrap();
     });
     let grid = vtime(p, |comm| {
         let kc = Communicator::new(comm.dup().unwrap());
@@ -140,14 +143,16 @@ fn alltoallw_path_costs_more_than_alltoallv() {
         let displs: Vec<usize> = (0..p).map(|r| r * 8).collect();
         let data = vec![1u8; 8 * p];
         let mut out = vec![0u8; 8 * p];
-        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs).unwrap();
+        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs)
+            .unwrap();
     });
     let via_w = vtime(p, |comm| {
         let counts = vec![8usize; p];
         let displs: Vec<usize> = (0..p).map(|r| r * 8).collect();
         let data = vec![1u8; 8 * p];
         let mut out = vec![0u8; 8 * p];
-        comm.alltoallw_bytes(&data, &counts, &displs, &mut out, &counts, &displs).unwrap();
+        comm.alltoallw_bytes(&data, &counts, &displs, &mut out, &counts, &displs)
+            .unwrap();
     });
     assert!(
         via_w > via_v,
@@ -165,7 +170,8 @@ fn weak_scaling_of_dense_exchange_is_superlinear_in_p() {
         let displs: Vec<usize> = (0..p).collect();
         let data = vec![1u64; p];
         let mut out = vec![0u64; p];
-        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs).unwrap();
+        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs)
+            .unwrap();
     });
     let t32 = vtime(32, |comm| {
         let p = comm.size();
@@ -173,7 +179,8 @@ fn weak_scaling_of_dense_exchange_is_superlinear_in_p() {
         let displs: Vec<usize> = (0..p).collect();
         let data = vec![1u64; p];
         let mut out = vec![0u64; p];
-        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs).unwrap();
+        comm.alltoallv_into(&data, &counts, &displs, &mut out, &counts, &displs)
+            .unwrap();
     });
     assert!(
         t32 > 2 * t8,

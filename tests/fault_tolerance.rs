@@ -22,7 +22,10 @@ fn survivors_complete_a_full_pipeline_after_failure() {
             comm.fail_now();
         }
         // Failure surfaces in some collective eventually.
-        if comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).is_err() {
+        if comm
+            .allreduce_single((send_buf(&[1u64]), op(ops::Sum)))
+            .is_err()
+        {
             comm = recover(comm);
         }
         // Survivors run a full sort + allgather pipeline.
@@ -123,7 +126,8 @@ fn cascading_failures_shrink_twice() {
         }
         comm = comm.shrink().unwrap();
         assert_eq!(comm.size(), 4);
-        comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap()
+        comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum)))
+            .unwrap()
     });
     let sums: Vec<u64> = out.into_iter().filter_map(|o| o.completed()).collect();
     assert_eq!(sums, vec![4, 4, 4, 4]);

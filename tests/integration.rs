@@ -74,7 +74,9 @@ fn suffix_array_on_dna_like_text() {
     let p = 4;
     let n = text.len();
     let ranges = blocks(n, p);
-    let parts: Vec<Vec<u8>> = (0..p).map(|r| text[ranges[r]..ranges[r + 1]].to_vec()).collect();
+    let parts: Vec<Vec<u8>> = (0..p)
+        .map(|r| text[ranges[r]..ranges[r + 1]].to_vec())
+        .collect();
     let parts = &parts;
     let out = Universe::run(p, move |comm| {
         let comm = Communicator::new(comm);
@@ -109,8 +111,11 @@ fn serialized_objects_flow_through_collectives_and_p2p() {
         // Ring-forward the object via serialized p2p.
         let next = (comm.rank() + 1) % comm.size();
         let prev = (comm.rank() + comm.size() - 1) % comm.size();
-        comm.send((send_buf(as_serialized(&obj)), destination(next), tag(5))).unwrap();
-        let got: Payload = comm.recv((recv_buf(as_deserializable()), source(prev), tag(5))).unwrap();
+        comm.send((send_buf(as_serialized(&obj)), destination(next), tag(5)))
+            .unwrap();
+        let got: Payload = comm
+            .recv((recv_buf(as_deserializable()), source(prev), tag(5)))
+            .unwrap();
         assert_eq!(got, obj);
     });
 }
@@ -120,13 +125,20 @@ fn mixed_binding_layers_interoperate_on_one_communicator() {
     // §III-F: kamping coexists with raw substrate calls and the baseline
     // layers on the same communicator.
     Universe::run(4, |comm| {
-        let total_raw = comm.allreduce_one(1u64, kamping_repro::mpi::op::Sum).unwrap();
+        let total_raw = comm
+            .allreduce_one(1u64, kamping_repro::mpi::op::Sum)
+            .unwrap();
         let boost = kamping_repro::baselines::boost_like::BoostComm::new(&comm);
-        let total_boost =
-            kamping_repro::baselines::boost_like::all_reduce(&boost, &1u64, kamping_repro::mpi::op::Sum)
-                .unwrap();
+        let total_boost = kamping_repro::baselines::boost_like::all_reduce(
+            &boost,
+            &1u64,
+            kamping_repro::mpi::op::Sum,
+        )
+        .unwrap();
         let kc = Communicator::new(comm);
-        let total_kamping = kc.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap();
+        let total_kamping = kc
+            .allreduce_single((send_buf(&[1u64]), op(ops::Sum)))
+            .unwrap();
         assert_eq!(total_raw, 4);
         assert_eq!(total_boost, 4);
         assert_eq!(total_kamping, 4);
@@ -149,7 +161,9 @@ fn subcommunicators_run_independent_algorithms() {
             assert_eq!(all.len(), sub.size());
         }
         // The parent communicator still works afterwards.
-        let n = comm.allreduce_single((send_buf(&[1u64]), op(ops::Sum))).unwrap();
+        let n = comm
+            .allreduce_single((send_buf(&[1u64]), op(ops::Sum)))
+            .unwrap();
         assert_eq!(n, 6);
     });
 }

@@ -27,8 +27,7 @@ fn allgatherv_params_in_reversed_order() {
     Universe::run(3, |comm| {
         let comm = Communicator::new(comm);
         let v = vec![comm.rank() as u32; comm.rank()];
-        let (all, counts) =
-            comm.allgatherv((recv_counts_out(), send_buf(&v))).unwrap();
+        let (all, counts) = comm.allgatherv((recv_counts_out(), send_buf(&v))).unwrap();
         assert_eq!(all, vec![1, 2, 2]);
         assert_eq!(counts, vec![0, 1, 2]);
     });
@@ -73,7 +72,8 @@ fn allgatherv_grow_only_keeps_excess() {
         let comm = Communicator::new(comm);
         let v = vec![5u8];
         let mut out = vec![7u8; 10];
-        comm.allgatherv((send_buf(&v), recv_buf(&mut out).grow_only())).unwrap();
+        comm.allgatherv((send_buf(&v), recv_buf(&mut out).grow_only()))
+            .unwrap();
         assert_eq!(&out[..2], &[5, 5]);
         assert_eq!(out.len(), 10, "grow_only must not shrink");
     });
@@ -96,8 +96,12 @@ fn allgatherv_no_resize_rejects_small_buffer() {
 fn gather_root_param_any_position() {
     Universe::run(4, |comm| {
         let comm = Communicator::new(comm);
-        let a: Vec<u8> = comm.gather((root(3), send_buf(&[comm.rank() as u8]))).unwrap();
-        let b: Vec<u8> = comm.gather((send_buf(&[comm.rank() as u8]), root(3))).unwrap();
+        let a: Vec<u8> = comm
+            .gather((root(3), send_buf(&[comm.rank() as u8])))
+            .unwrap();
+        let b: Vec<u8> = comm
+            .gather((send_buf(&[comm.rank() as u8]), root(3)))
+            .unwrap();
         assert_eq!(a, b);
         if comm.rank() == 3 {
             assert_eq!(a, vec![0, 1, 2, 3]);
@@ -133,7 +137,11 @@ fn gatherv_with_recv_buf_and_both_outs() {
 fn scatterv_counts_and_explicit_displs() {
     Universe::run(2, |comm| {
         let comm = Communicator::new(comm);
-        let send: Vec<u32> = if comm.rank() == 0 { vec![1, 2, 3, 4] } else { vec![] };
+        let send: Vec<u32> = if comm.rank() == 0 {
+            vec![1, 2, 3, 4]
+        } else {
+            vec![]
+        };
         let counts = vec![1usize, 2];
         let displs = vec![0usize, 2]; // skip element 1
         let mine: Vec<u32> = comm
@@ -236,10 +244,13 @@ fn send_from_array_and_slice_shapes() {
     Universe::run(2, |comm| {
         let comm = Communicator::new(comm);
         if comm.rank() == 0 {
-            comm.send((send_buf([1u32, 2]), destination(1), tag(1))).unwrap();
-            comm.send((send_buf(&[3u32, 4]), destination(1), tag(2))).unwrap();
+            comm.send((send_buf([1u32, 2]), destination(1), tag(1)))
+                .unwrap();
+            comm.send((send_buf(&[3u32, 4]), destination(1), tag(2)))
+                .unwrap();
             let v = [5u32, 6];
-            comm.send((send_buf(&v[..]), destination(1), tag(3))).unwrap();
+            comm.send((send_buf(&v[..]), destination(1), tag(3)))
+                .unwrap();
         } else {
             let a: Vec<u32> = comm.recv((source(0), tag(1))).unwrap();
             let b: Vec<u32> = comm.recv((source(0), tag(2))).unwrap();
@@ -260,9 +271,11 @@ fn recv_wildcards_and_filters() {
             assert_eq!(t9, vec![2]);
             assert_eq!(t8, vec![1]);
         } else if comm.rank() == 1 {
-            comm.send((send_buf(&[1u8][..]), destination(0), tag(8))).unwrap();
+            comm.send((send_buf(&[1u8][..]), destination(0), tag(8)))
+                .unwrap();
         } else {
-            comm.send((send_buf(&[2u8][..]), destination(0), tag(9))).unwrap();
+            comm.send((send_buf(&[2u8][..]), destination(0), tag(9)))
+                .unwrap();
         }
     });
 }
@@ -272,7 +285,8 @@ fn irecv_with_source_and_count() {
     Universe::run(2, |comm| {
         let comm = Communicator::new(comm);
         if comm.rank() == 0 {
-            comm.send((send_buf(&vec![1u64; 8]), destination(1))).unwrap();
+            comm.send((send_buf(&vec![1u64; 8]), destination(1)))
+                .unwrap();
         } else {
             let r = comm.irecv::<u64, _>((source(0), recv_count(8))).unwrap();
             assert_eq!(r.wait().unwrap(), vec![1; 8]);
@@ -285,13 +299,160 @@ fn issend_owned_array_comes_back() {
     Universe::run(2, |comm| {
         let comm = Communicator::new(comm);
         if comm.rank() == 0 {
-            let r = comm.issend((send_buf(vec![9u8; 3]), destination(1))).unwrap();
+            let r = comm
+                .issend((send_buf(vec![9u8; 3]), destination(1)))
+                .unwrap();
             let v = r.wait().unwrap();
             assert_eq!(v, vec![9; 3]);
         } else {
             let v: Vec<u8> = comm.recv((source(0),)).unwrap();
             assert_eq!(v, vec![9; 3]);
         }
+    });
+}
+
+// --- non-blocking collectives ----------------------------------------------
+
+#[test]
+fn iallgatherv_owned_send_buf_comes_back() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        // §III-E for collectives: the moved-in container is handed back
+        // by wait(), alongside data that did not exist before completion.
+        let mine = vec![comm.rank() as u32; comm.rank()];
+        let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+        let (all, mine) = fut.wait().unwrap();
+        assert_eq!(all, vec![1, 2, 2]);
+        assert_eq!(mine, vec![comm.rank() as u32; comm.rank()]);
+    });
+}
+
+#[test]
+fn iallgatherv_borrowed_send_buf_stays_usable() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let mine = vec![comm.rank() as u16 + 1];
+        let fut = comm.iallgatherv(send_buf(&mine)).unwrap();
+        let (all, ()) = fut.wait().unwrap();
+        assert_eq!(all, vec![1, 2]);
+        assert_eq!(mine, vec![comm.rank() as u16 + 1]);
+    });
+}
+
+#[test]
+fn iallgatherv_counts_without_extra_exchange() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let mine = vec![7u8; comm.rank() + 1];
+        let before = comm.call_counts();
+        let fut = comm.iallgatherv(send_buf(&mine)).unwrap();
+        let (all, counts, ()) = fut.wait_with_counts().unwrap();
+        let delta = comm.call_counts().since(&before);
+        assert_eq!(all.len(), 6);
+        assert_eq!(counts, vec![1, 2, 3]);
+        // Exactly one operation: counts are discovered, never exchanged
+        // (the blocking path issues an extra allgather here).
+        assert_eq!(delta.total(), 1);
+        assert_eq!(delta.get("iallgatherv"), 1);
+    });
+}
+
+#[test]
+fn ialltoallv_params_in_any_order() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let send = vec![comm.rank() as u64; 2];
+        let counts = vec![1usize, 1];
+        let a = comm
+            .ialltoallv((send_buf(&send), send_counts(&counts)))
+            .unwrap();
+        let b = comm
+            .ialltoallv((send_counts(&counts), send_buf(&send)))
+            .unwrap();
+        let (va, ()) = a.wait().unwrap();
+        let (vb, ()) = b.wait().unwrap();
+        assert_eq!(va, vec![0, 1]);
+        assert_eq!(va, vb);
+    });
+}
+
+#[test]
+fn ialltoallv_owned_send_with_explicit_displs() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        // Junk prefix at index 0, skipped via send_displs.
+        let send = vec![77u64, comm.rank() as u64, comm.rank() as u64 + 10];
+        let counts = vec![1usize, 1];
+        let displs = vec![1usize, 2];
+        let fut = comm
+            .ialltoallv((send_buf(send), send_counts(&counts), send_displs(&displs)))
+            .unwrap();
+        let (got, sent_back) = fut.wait().unwrap();
+        let offset = comm.rank() as u64 * 10;
+        assert_eq!(got, vec![offset, offset + 1]);
+        assert_eq!(sent_back.len(), 3, "moved-in buffer returned intact");
+        assert_eq!(sent_back[0], 77);
+    });
+}
+
+#[test]
+fn ibcast_owned_move_through_any_root() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let data = if comm.rank() == 2 {
+            vec![9u8, 8]
+        } else {
+            vec![]
+        };
+        let fut = comm.ibcast((send_recv_buf(data), root(2))).unwrap();
+        let data = fut.wait().unwrap();
+        assert_eq!(data, vec![9, 8]);
+    });
+}
+
+#[test]
+fn iallreduce_op_and_buf_any_order() {
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let fut = comm
+            .iallreduce((op(ops::Max), send_buf(vec![comm.rank() as i64])))
+            .unwrap();
+        let (hi, _) = fut.wait().unwrap();
+        assert_eq!(hi, vec![3]);
+    });
+}
+
+#[test]
+fn icollectives_test_polling_and_pool() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        // test()-driven completion.
+        let mut fut = comm
+            .iallreduce((send_buf(vec![2u64]), op(ops::Prod)))
+            .unwrap();
+        let (prod, _) = loop {
+            match fut.test().unwrap() {
+                Ok(done) => break done,
+                Err(pending) => {
+                    fut = pending;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(prod, vec![4]);
+        // Pool composition: collectives + p2p drained together.
+        let mut pool = RequestPool::new();
+        pool.submit_collective(comm.iallgatherv(send_buf(vec![comm.rank() as u8])).unwrap());
+        pool.submit_bcast(
+            comm.ibcast((send_recv_buf(if comm.rank() == 0 {
+                vec![1u32]
+            } else {
+                vec![]
+            }),))
+                .unwrap(),
+        );
+        assert_eq!(pool.len(), 2);
+        pool.wait_all().unwrap();
     });
 }
 
@@ -302,7 +463,11 @@ fn bcast_owned_and_borrowed_roundtrip() {
     Universe::run(3, |comm| {
         let comm = Communicator::new(comm);
         // Borrowed form.
-        let mut a = if comm.rank() == 0 { vec![1u32, 2] } else { vec![] };
+        let mut a = if comm.rank() == 0 {
+            vec![1u32, 2]
+        } else {
+            vec![]
+        };
         comm.bcast((send_recv_buf(&mut a),)).unwrap();
         assert_eq!(a, vec![1, 2]);
         // Owned (move-through) form.

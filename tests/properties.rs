@@ -28,6 +28,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // counts built in rank order
     fn alltoallv_is_a_permutation_router(
         p in 1usize..5,
         seed in any::<u64>()
@@ -166,6 +167,101 @@ proptest! {
             comm.bcast((send_recv_buf(&mut buf), kamping_repro::kamping::params::root(root)))
                 .unwrap();
             assert_eq!(&buf, data);
+        });
+    }
+
+    #[test]
+    fn iallgatherv_matches_blocking_for_any_distribution(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..20), 1..6)
+    ) {
+        let p = blocks.len();
+        let blocks = &blocks;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mine = blocks[comm.rank()].clone();
+            let blocking: Vec<u64> = comm.allgatherv(send_buf(&mine)).unwrap();
+            // Ownership handback (§III-E): `mine` moves in and comes back.
+            let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+            let (nonblocking, counts, mine) = fut.wait_with_counts().unwrap();
+            (blocking, nonblocking, counts, mine)
+        });
+        let expected: Vec<u64> = blocks.iter().flatten().copied().collect();
+        let expected_counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
+        for (rank, (blocking, nonblocking, counts, mine)) in out.into_iter().enumerate() {
+            prop_assert_eq!(&blocking, &expected);
+            prop_assert_eq!(&nonblocking, &expected);
+            prop_assert_eq!(&counts, &expected_counts);
+            prop_assert_eq!(&mine, &blocks[rank], "moved-in buffer returned unchanged");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // counts built in rank order
+    fn ialltoallv_matches_blocking_router(
+        p in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        use rand::prelude::*;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mut rng = StdRng::seed_from_u64(seed ^ (comm.rank() as u64).wrapping_mul(0x9E37));
+            let mut send: Vec<u64> = Vec::new();
+            let mut counts = vec![0usize; p];
+            for dest in 0..p {
+                let k = rng.random_range(0..5);
+                counts[dest] = k;
+                for i in 0..k {
+                    send.push((comm.rank() * 1_000_000 + dest * 1_000 + i) as u64);
+                }
+            }
+            let blocking: Vec<u64> =
+                comm.alltoallv((send_buf(&send), send_counts(&counts))).unwrap();
+            let fut = comm.ialltoallv((send_buf(send), send_counts(&counts))).unwrap();
+            let (nonblocking, rcounts, _send) = fut.wait_with_counts().unwrap();
+            (blocking, nonblocking, rcounts)
+        });
+        for (blocking, nonblocking, rcounts) in out {
+            prop_assert_eq!(&blocking, &nonblocking, "non-blocking must route identically");
+            prop_assert_eq!(rcounts.iter().sum::<usize>(), nonblocking.len());
+        }
+    }
+
+    #[test]
+    fn iallreduce_matches_blocking_sum(
+        blocks in prop::collection::vec(prop::collection::vec(0u64..1_000_000, 1..8), 1..6)
+    ) {
+        let p = blocks.len();
+        let width = blocks.iter().map(Vec::len).min().unwrap();
+        let blocks = &blocks;
+        let out = Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let mine = blocks[comm.rank()][..width].to_vec();
+            let blocking: Vec<u64> = comm.allreduce((send_buf(&mine), op(ops::Sum))).unwrap();
+            let fut = comm.iallreduce((send_buf(mine), op(ops::Sum))).unwrap();
+            let (nonblocking, _mine) = fut.wait().unwrap();
+            (blocking, nonblocking)
+        });
+        for (blocking, nonblocking) in out {
+            prop_assert_eq!(blocking, nonblocking);
+        }
+    }
+
+    #[test]
+    fn ibcast_delivers_root_content(
+        data in prop::collection::vec(any::<u32>(), 0..50),
+        p in 1usize..6,
+        root_pick in any::<usize>(),
+    ) {
+        let root = root_pick % p;
+        let data = &data;
+        Universe::run(p, move |comm| {
+            let comm = Communicator::new(comm);
+            let buf = if comm.rank() == root { data.clone() } else { Vec::new() };
+            let fut = comm
+                .ibcast((send_recv_buf(buf), kamping_repro::kamping::params::root(root)))
+                .unwrap();
+            let got = fut.wait().unwrap();
+            assert_eq!(&got, data);
         });
     }
 

@@ -1,0 +1,18 @@
+//! Minimal stand-in for `serde`: the serialization/deserialization
+//! data-model traits, implementations for the standard types the
+//! workspace serializes, and re-exports of the derive macros.
+//!
+//! Only the API surface the workspace exercises is provided; the trait
+//! *shapes* (method names, signatures, the visitor pattern) follow real
+//! serde so the codec in `crates/serialize` reads identically to one
+//! written against the real crate.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the macro namespace; the names intentionally
+// shadow the traits, exactly as real serde's `derive` feature does.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,496 @@
+//! Minimal stand-in for `serde_derive`.
+//!
+//! Supports exactly what the workspace derives on: non-generic structs
+//! (named-field, tuple/newtype, unit) and enums whose variants are unit,
+//! newtype, tuple, or struct shaped. No `#[serde(...)]` attributes. The
+//! generated code targets the sibling `serde` shim's data model and is
+//! wire-compatible with it (struct fields in declaration order, enum
+//! variants by `u32` index).
+//!
+//! Implemented without `syn`/`quote`: the input item is parsed by walking
+//! the raw token stream, and the impl is emitted as a formatted string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct; field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields (1 ⇒ newtype).
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum; per variant: name + shape.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive shim does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    };
+
+    Ok(Item { name, shape })
+}
+
+/// Skips `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on commas at angle-bracket depth zero.
+/// Groups are single tokens, so only `<`/`>` need explicit tracking.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for part in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        match part.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            None => continue, // trailing comma
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match part.get(i) {
+            None => VariantShape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantShape::Newtype,
+                    n => VariantShape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "explicit discriminants unsupported (variant {name})"
+                ))
+            }
+            other => return Err(format!("unexpected variant body: {other:?}")),
+        };
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("__s.serialize_unit_struct({name:?})"),
+        Shape::TupleStruct(1) => {
+            format!("__s.serialize_newtype_struct({name:?}, &self.0)")
+        }
+        Shape::TupleStruct(n) => {
+            let mut b = format!(
+                "{{ let mut __t = serde::ser::Serializer::serialize_tuple_struct(__s, {name:?}, {n})?;\n"
+            );
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __t, &self.{i})?;\n"
+                ));
+            }
+            b.push_str("serde::ser::SerializeTupleStruct::end(__t) }");
+            b
+        }
+        Shape::Struct(fields) => {
+            let n = fields.len();
+            let mut b = format!(
+                "{{ let mut __t = serde::ser::Serializer::serialize_struct(__s, {name:?}, {n})?;\n"
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __t, {f:?}, &self.{f})?;\n"
+                ));
+            }
+            b.push_str("serde::ser::SerializeStruct::end(__t) }");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, (vname, vshape)) in variants.iter().enumerate() {
+                let idx = idx as u32;
+                match vshape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __s.serialize_unit_variant({name:?}, {idx}u32, {vname:?}),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => __s.serialize_newtype_variant({name:?}, {idx}u32, {vname:?}, __f0),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{ let mut __t = serde::ser::Serializer::serialize_tuple_variant(__s, {name:?}, {idx}u32, {vname:?}, {n})?;\n",
+                            pats.join(", ")
+                        );
+                        for p in &pats {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeTupleVariant::serialize_field(&mut __t, {p})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeTupleVariant::end(__t) },\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Struct(fields) => {
+                        let n = fields.len();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{ let mut __t = serde::ser::Serializer::serialize_struct_variant(__s, {name:?}, {idx}u32, {vname:?}, {n})?;\n",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(&mut __t, {f:?}, {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeStructVariant::end(__t) },\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: serde::ser::Serializer>(&self, __s: __S)\n\
+                 -> core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits a sequence-reading visitor whose `visit_seq` builds
+/// `constructor(field0, field1, ...)` or a braced literal.
+fn seq_visitor(value_ty: &str, expecting: &str, n: usize, build: &str) -> String {
+    let mut reads = String::new();
+    for i in 0..n {
+        reads.push_str(&format!(
+            "let __f{i} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 Some(v) => v,\n\
+                 None => return Err(<__A::Error as serde::de::Error>::invalid_length({i}, {expecting:?})),\n\
+             }};\n"
+        ));
+    }
+    format!(
+        "{{\n\
+         struct __SeqVisitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __SeqVisitor {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+                 __f.write_str({expecting:?})\n\
+             }}\n\
+             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                 -> core::result::Result<Self::Value, __A::Error> {{\n\
+                 {reads}\n\
+                 Ok({build})\n\
+             }}\n\
+         }}\n\
+         __SeqVisitor\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!(
+            "{{\n\
+             struct __UnitVisitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __UnitVisitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+                     __f.write_str({name:?})\n\
+                 }}\n\
+                 fn visit_unit<__E: serde::de::Error>(self) -> core::result::Result<{name}, __E> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}\n\
+             serde::de::Deserializer::deserialize_unit_struct(__d, {name:?}, __UnitVisitor)\n\
+             }}"
+        ),
+        Shape::TupleStruct(1) => format!(
+            "{{\n\
+             struct __NewtypeVisitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __NewtypeVisitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+                     __f.write_str({name:?})\n\
+                 }}\n\
+                 fn visit_newtype_struct<__D: serde::de::Deserializer<'de>>(self, __d: __D)\n\
+                     -> core::result::Result<{name}, __D::Error> {{\n\
+                     Ok({name}(serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+             }}\n\
+             serde::de::Deserializer::deserialize_newtype_struct(__d, {name:?}, __NewtypeVisitor)\n\
+             }}"
+        ),
+        Shape::TupleStruct(n) => {
+            let args: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let visitor = seq_visitor(
+                name,
+                &format!("tuple struct {name}"),
+                *n,
+                &format!("{name}({})", args.join(", ")),
+            );
+            format!(
+                "serde::de::Deserializer::deserialize_tuple_struct(__d, {name:?}, {n}, {visitor})"
+            )
+        }
+        Shape::Struct(fields) => {
+            let n = fields.len();
+            let build = format!(
+                "{name} {{ {} }}",
+                fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: __f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let visitor = seq_visitor(name, &format!("struct {name}"), n, &build);
+            let field_names =
+                fields.iter().map(|f| format!("{f:?}")).collect::<Vec<_>>().join(", ");
+            format!(
+                "serde::de::Deserializer::deserialize_struct(__d, {name:?}, &[{field_names}], {visitor})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let variant_names =
+                variants.iter().map(|(v, _)| format!("{v:?}")).collect::<Vec<_>>().join(", ");
+            let mut arms = String::new();
+            for (idx, (vname, vshape)) in variants.iter().enumerate() {
+                let idx = idx as u32;
+                let arm_body = match vshape {
+                    VariantShape::Unit => format!(
+                        "{{ serde::de::VariantAccess::unit_variant(__var)?; Ok({name}::{vname}) }}"
+                    ),
+                    VariantShape::Newtype => format!(
+                        "Ok({name}::{vname}(serde::de::VariantAccess::newtype_variant(__var)?))"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let args: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let visitor = seq_visitor(
+                            name,
+                            &format!("tuple variant {name}::{vname}"),
+                            *n,
+                            &format!("{name}::{vname}({})", args.join(", ")),
+                        );
+                        format!("serde::de::VariantAccess::tuple_variant(__var, {n}, {visitor})")
+                    }
+                    VariantShape::Struct(fields) => {
+                        let n = fields.len();
+                        let build = format!(
+                            "{name}::{vname} {{ {} }}",
+                            fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| format!("{f}: __f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        let visitor = seq_visitor(
+                            name,
+                            &format!("struct variant {name}::{vname}"),
+                            n,
+                            &build,
+                        );
+                        let field_names = fields
+                            .iter()
+                            .map(|f| format!("{f:?}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "serde::de::VariantAccess::struct_variant(__var, &[{field_names}], {visitor})"
+                        )
+                    }
+                };
+                arms.push_str(&format!("{idx}u32 => {arm_body},\n"));
+            }
+            format!(
+                "{{\n\
+                 struct __EnumVisitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __EnumVisitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut core::fmt::Formatter) -> core::fmt::Result {{\n\
+                         __f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> core::result::Result<{name}, __A::Error> {{\n\
+                         let (__idx, __var): (u32, __A::Variant) =\n\
+                             serde::de::EnumAccess::variant(__data)?;\n\
+                         match __idx {{\n\
+                             {arms}\n\
+                             __other => Err(<__A::Error as serde::de::Error>::unknown_variant(__other, {name:?})),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 serde::de::Deserializer::deserialize_enum(__d, {name:?}, &[{variant_names}], __EnumVisitor)\n\
+                 }}"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D)\n\
+                 -> core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
