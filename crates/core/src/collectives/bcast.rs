@@ -33,13 +33,15 @@ where
         let is_root = comm.rank() == root;
         let ((), out) = self.send_recv_buf.apply(|buf| {
             if is_root {
-                raw.bcast_vec(Some(&buf[..]), root)?;
+                raw.bcast_bytes(Some(kmp_mpi::bytes_from_slice(&buf[..])), root)?;
             } else {
-                let incoming = raw.bcast_vec::<T>(None, root)?;
-                // The broadcast length is dictated by the root; receivers
-                // adopt it (bcast has no independent receive sizing).
+                // Adopt the delivered payload straight into the buffer:
+                // a single copy, no intermediate vector. The broadcast
+                // length is dictated by the root (bcast has no
+                // independent receive sizing).
+                let incoming = raw.bcast_bytes(None, root)?;
                 buf.clear();
-                buf.extend_from_slice(&incoming);
+                kmp_mpi::plain::extend_vec_from_bytes(buf, &incoming);
             }
             Ok(())
         })?;

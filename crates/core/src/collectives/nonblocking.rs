@@ -34,10 +34,11 @@ use kmp_mpi::{Plain, Result};
 
 use crate::communicator::Communicator;
 use crate::params::argset::{ArgSet, IntoArgs};
-use crate::params::slots::{ProvidedCounts, ProvidesOp, ProvidesSendData, SendReclaim};
+use crate::params::slots::{ProvidedCounts, ProvidesOp, ReclaimHold, SendToTransport};
 use crate::params::{Absent, OpParam, SendBuf, SendRecvBuf};
 
-/// Decodes a completed collective into `(data, per-rank counts)`.
+/// Decodes a completed collective into `(data, per-rank counts)`: each
+/// delivered block is copied **once**, straight into the final vector.
 fn decode<T: Plain>(completion: Completion) -> (Vec<T>, Vec<usize>) {
     match completion.into_blocks() {
         None => (Vec::new(), Vec::new()),
@@ -47,52 +48,53 @@ fn decode<T: Plain>(completion: Completion) -> (Vec<T>, Vec<usize>) {
             );
             let mut counts = Vec::with_capacity(blocks.len());
             for b in &blocks {
-                let block: Vec<T> = kmp_mpi::plain::bytes_to_vec(b);
-                counts.push(block.len());
-                data.extend(block);
+                counts.push(kmp_mpi::plain::extend_vec_from_bytes(&mut data, b));
             }
             (data, counts)
         }
     }
 }
 
-/// A non-blocking collective in flight: owns the moved-in send container
-/// (`B`), produces the received data on completion.
+/// A non-blocking collective in flight. An owned send container has
+/// **moved into the transport** (the wire payload aliases its
+/// allocation — zero call-time copies); the stored [`ReclaimHold`]
+/// resolves back to it on completion, and the received data is produced
+/// by `wait()`.
 #[must_use = "non-blocking operations must be completed with wait() or test()"]
-pub struct NonBlockingCollective<'a, T: Plain, B> {
+pub struct NonBlockingCollective<'a, T: Plain, H> {
     req: Request<'a>,
-    back: B,
+    hold: H,
     _elem: PhantomData<T>,
 }
 
-impl<'a, T: Plain, B> NonBlockingCollective<'a, T, B> {
+impl<'a, T: Plain, H: ReclaimHold> NonBlockingCollective<'a, T, H> {
     /// Blocks until the collective completes; returns the received data
     /// and hands back the moved-in send buffer.
-    pub fn wait(self) -> Result<(Vec<T>, B)> {
+    pub fn wait(self) -> Result<(Vec<T>, H::Back)> {
         let (data, _counts) = decode::<T>(self.req.wait()?);
-        Ok((data, self.back))
+        Ok((data, self.hold.finish()))
     }
 
     /// Like [`NonBlockingCollective::wait`], additionally returning the
     /// per-rank element counts (the v-collectives' receive counts,
     /// discovered from the messages — no extra communication).
-    pub fn wait_with_counts(self) -> Result<(Vec<T>, Vec<usize>, B)> {
+    pub fn wait_with_counts(self) -> Result<(Vec<T>, Vec<usize>, H::Back)> {
         let (data, counts) = decode::<T>(self.req.wait()?);
-        Ok((data, counts, self.back))
+        Ok((data, counts, self.hold.finish()))
     }
 
     /// Completion test: `Ok(Ok((data, buffer)))` when complete,
     /// `Ok(Err(self))` when still pending.
     #[allow(clippy::type_complexity)]
-    pub fn test(self) -> Result<std::result::Result<(Vec<T>, B), Self>> {
+    pub fn test(self) -> Result<std::result::Result<(Vec<T>, H::Back), Self>> {
         match self.req.test()? {
             TestOutcome::Ready(c) => {
                 let (data, _counts) = decode::<T>(c);
-                Ok(Ok((data, self.back)))
+                Ok(Ok((data, self.hold.finish())))
             }
             TestOutcome::Pending(req) => Ok(Err(NonBlockingCollective {
                 req,
-                back: self.back,
+                hold: self.hold,
                 _elem: PhantomData,
             })),
         }
@@ -108,20 +110,21 @@ impl<'a, T: Plain, B> NonBlockingCollective<'a, T, B> {
             TestOutcome::Ready(_) => Ok(Ok(())),
             TestOutcome::Pending(req) => Ok(Err(NonBlockingCollective {
                 req,
-                back: self.back,
+                hold: self.hold,
                 _elem: PhantomData,
             })),
         }
     }
 }
 
-/// A non-blocking broadcast in flight: owns the moved-in buffer and
-/// yields the broadcast content on `wait()`.
+/// A non-blocking broadcast in flight: the root's moved-in buffer is
+/// the wire payload itself (zero call-time copies), reclaimed and
+/// handed back by `wait()`.
 #[must_use = "non-blocking operations must be completed with wait() or test()"]
 pub struct NonBlockingBcast<'a, T: Plain> {
     req: Request<'a>,
-    /// The root's moved-in buffer, handed back without copying.
-    root_buf: Option<Vec<T>>,
+    /// The root's moved-in buffer, aliased by the in-flight payload.
+    root_buf: Option<kmp_mpi::SharedPayload<T>>,
 }
 
 impl<'a, T: Plain> NonBlockingBcast<'a, T> {
@@ -130,7 +133,12 @@ impl<'a, T: Plain> NonBlockingBcast<'a, T> {
     pub fn wait(self) -> Result<Vec<T>> {
         let completion = self.req.wait()?;
         match self.root_buf {
-            Some(buf) => Ok(buf),
+            Some(buf) => {
+                // Release the engine's view of the payload before
+                // reclaiming, so the handback stays zero-copy.
+                drop(completion);
+                Ok(buf.take())
+            }
             None => {
                 let (data, _) = decode::<T>(completion);
                 Ok(data)
@@ -143,7 +151,10 @@ impl<'a, T: Plain> NonBlockingBcast<'a, T> {
     pub fn test(self) -> Result<std::result::Result<Vec<T>, Self>> {
         match self.req.test()? {
             TestOutcome::Ready(c) => match self.root_buf {
-                Some(buf) => Ok(Ok(buf)),
+                Some(buf) => {
+                    drop(c);
+                    Ok(Ok(buf.take()))
+                }
                 None => {
                     let (data, _) = decode::<T>(c);
                     Ok(Ok(data))
@@ -181,38 +192,41 @@ impl<'a, T: Plain> NonBlockingBcast<'a, T> {
 /// produced by the completion (§III-E: results by value), and receive
 /// counts are discovered, not exchanged.
 pub trait IallgatherArgs<T: Plain> {
-    /// The moved-in send container handed back by `wait()`.
-    type Back;
+    /// The handback token resolved by `wait()` to the moved-in send
+    /// container (or `()` for borrowed buffers).
+    type Hold: ReclaimHold;
     /// Starts the operation (`equal_blocks` selects allgather vs
     /// allgatherv call counting).
     fn run<'c>(
         self,
         comm: &'c Communicator,
         equal_blocks: bool,
-    ) -> Result<NonBlockingCollective<'c, T, Self::Back>>;
+    ) -> Result<NonBlockingCollective<'c, T, Self::Hold>>;
 }
 
 impl<T, B> IallgatherArgs<T>
     for ArgSet<SendBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent, Absent>
 where
     T: Plain,
-    SendBuf<B>: ProvidesSendData<T> + SendReclaim,
+    SendBuf<B>: SendToTransport<T>,
 {
-    type Back = <SendBuf<B> as SendReclaim>::Back;
+    type Hold = <SendBuf<B> as SendToTransport<T>>::Hold;
 
     fn run<'c>(
         self,
         comm: &'c Communicator,
         equal_blocks: bool,
-    ) -> Result<NonBlockingCollective<'c, T, Self::Back>> {
+    ) -> Result<NonBlockingCollective<'c, T, Self::Hold>> {
+        // Owned buffers move into the transport: zero call-time copies.
+        let (payload, hold) = self.send_buf.into_payload();
         let req = if equal_blocks {
-            comm.raw().iallgather(self.send_buf.send_slice())?
+            comm.raw().iallgather_bytes(payload)?
         } else {
-            comm.raw().iallgatherv(self.send_buf.send_slice())?
+            comm.raw().iallgatherv_bytes(payload)?
         };
         Ok(NonBlockingCollective {
             req,
-            back: self.send_buf.reclaim(),
+            hold,
             _elem: PhantomData,
         })
     }
@@ -222,44 +236,54 @@ where
 /// `send_counts` (required), `send_displs` (optional; omitted means the
 /// send buffer is packed contiguously in rank order).
 pub trait IalltoallvArgs<T: Plain> {
-    /// The moved-in send container handed back by `wait()`.
-    type Back;
+    /// The handback token resolved by `wait()` to the moved-in send
+    /// container (or `()` for borrowed buffers).
+    type Hold: ReclaimHold;
     /// Starts the operation.
-    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Back>>;
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Hold>>;
 }
 
 impl<T, B, SC, SD> IalltoallvArgs<T>
     for ArgSet<SendBuf<B>, Absent, Absent, SC, Absent, SD, Absent, Absent>
 where
     T: Plain,
-    SendBuf<B>: ProvidesSendData<T> + SendReclaim,
+    SendBuf<B>: SendToTransport<T>,
     SC: ProvidedCounts,
     SD: crate::params::slots::CountsSlot,
 {
-    type Back = <SendBuf<B> as SendReclaim>::Back;
+    type Hold = <SendBuf<B> as SendToTransport<T>>::Hold;
 
-    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Back>> {
-        let send = self.send_buf.send_slice();
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Hold>> {
         let counts = self
             .send_counts
             .provided()
-            .expect("send_counts is required");
-        let req = match self.send_displs.provided() {
-            None => comm.raw().ialltoallv(send, counts)?,
+            .expect("send_counts is required")
+            .to_vec();
+        let elem = std::mem::size_of::<T>();
+        let byte_counts: Vec<usize> = counts.iter().map(|&c| c * elem).collect();
+        let (payload, hold) = match self.send_displs.provided().map(<[usize]>::to_vec) {
+            // Contiguous rank order: the buffer is the wire payload
+            // (zero copies for owned containers); per-peer blocks are
+            // refcount slices.
+            None => self.send_buf.into_payload(),
             Some(displs) => {
                 // Repack into contiguous rank order so displacement gaps
-                // (or overlaps) never travel.
-                let mut packed = Vec::with_capacity(counts.iter().sum());
-                for (r, &c) in counts.iter().enumerate() {
-                    let d = displs[r];
-                    packed.extend_from_slice(&send[d..d + c]);
-                }
-                comm.raw().ialltoallv(&packed, counts)?
+                // (or overlaps) never travel; the original container is
+                // still handed back by `wait()`.
+                self.send_buf.into_packed(|send| {
+                    let mut packed = Vec::with_capacity(counts.iter().sum());
+                    for (r, &c) in counts.iter().enumerate() {
+                        let d = displs[r];
+                        packed.extend_from_slice(&send[d..d + c]);
+                    }
+                    packed
+                })
             }
         };
+        let req = comm.raw().ialltoallv_bytes(payload, &byte_counts)?;
         Ok(NonBlockingCollective {
             req,
-            back: self.send_buf.reclaim(),
+            hold,
             _elem: PhantomData,
         })
     }
@@ -283,40 +307,52 @@ where
         let root = self.meta.root.unwrap_or(0);
         crate::assertions::check_same_root(comm, root)?;
         let buf = self.send_recv_buf.0;
-        let is_root = comm.rank() == root;
-        let req = comm.raw().ibcast(is_root.then_some(&buf[..]), root)?;
-        Ok(NonBlockingBcast {
-            req,
-            root_buf: is_root.then_some(buf),
-        })
+        if comm.rank() == root {
+            // The moved-in vector is the wire payload (zero call-time
+            // copies); it is reclaimed and handed back by `wait()`.
+            let (hold, payload) = kmp_mpi::SharedPayload::new(buf);
+            let req = comm.raw().ibcast_bytes(Some(payload), root)?;
+            Ok(NonBlockingBcast {
+                req,
+                root_buf: Some(hold),
+            })
+        } else {
+            let req = comm.raw().ibcast_bytes(None, root)?;
+            Ok(NonBlockingBcast {
+                req,
+                root_buf: None,
+            })
+        }
     }
 }
 
 /// Valid argument sets for [`Communicator::iallreduce`]: `send_buf` and
 /// `op` (both required).
 pub trait IallreduceArgs<T: Plain> {
-    /// The moved-in send container handed back by `wait()`.
-    type Back;
+    /// The handback token resolved by `wait()` to the moved-in send
+    /// container (or `()` for borrowed buffers).
+    type Hold: ReclaimHold;
     /// Starts the operation.
-    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Back>>;
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Hold>>;
 }
 
 impl<T, B, O> IallreduceArgs<T>
     for ArgSet<SendBuf<B>, Absent, Absent, Absent, Absent, Absent, Absent, OpParam<O>>
 where
     T: Plain,
-    SendBuf<B>: ProvidesSendData<T> + SendReclaim,
+    SendBuf<B>: SendToTransport<T>,
     OpParam<O>: ProvidesOp<T>,
     <OpParam<O> as ProvidesOp<T>>::Op: 'static,
 {
-    type Back = <SendBuf<B> as SendReclaim>::Back;
+    type Hold = <SendBuf<B> as SendToTransport<T>>::Hold;
 
-    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Back>> {
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Hold>> {
         let op = self.op.into_op();
-        let req = comm.raw().iallreduce(self.send_buf.send_slice(), op)?;
+        let (payload, hold) = self.send_buf.into_payload();
+        let req = comm.raw().iallreduce_bytes::<T, _>(payload, op)?;
         Ok(NonBlockingCollective {
             req,
-            back: self.send_buf.reclaim(),
+            hold,
             _elem: PhantomData,
         })
     }
@@ -351,7 +387,7 @@ impl Communicator {
     pub fn iallgatherv<T, A>(
         &self,
         args: A,
-    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallgatherArgs<T>>::Back>>
+    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallgatherArgs<T>>::Hold>>
     where
         T: Plain,
         A: IntoArgs,
@@ -366,7 +402,7 @@ impl Communicator {
     pub fn iallgather<T, A>(
         &self,
         args: A,
-    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallgatherArgs<T>>::Back>>
+    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallgatherArgs<T>>::Hold>>
     where
         T: Plain,
         A: IntoArgs,
@@ -386,7 +422,7 @@ impl Communicator {
     pub fn ialltoallv<T, A>(
         &self,
         args: A,
-    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IalltoallvArgs<T>>::Back>>
+    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IalltoallvArgs<T>>::Hold>>
     where
         T: Plain,
         A: IntoArgs,
@@ -417,7 +453,7 @@ impl Communicator {
     pub fn iallreduce<T, A>(
         &self,
         args: A,
-    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallreduceArgs<T>>::Back>>
+    ) -> Result<NonBlockingCollective<'_, T, <A::Out as IallreduceArgs<T>>::Hold>>
     where
         T: Plain,
         A: IntoArgs,

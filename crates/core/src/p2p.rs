@@ -15,7 +15,7 @@ use kmp_mpi::{Plain, Request, Result, Src, TagSel};
 use crate::communicator::Communicator;
 use crate::params::argset::{ArgSet, IntoArgs};
 use crate::params::output::{FinalOf, Finalize, Push1, PushComponent};
-use crate::params::slots::{ProvidesSendData, RecvBufSpec, SendReclaim};
+use crate::params::slots::{ProvidesSendData, ReclaimHold, RecvBufSpec, SendToTransport};
 use crate::params::{Absent, Meta, SendBuf};
 
 fn send_meta(meta: &Meta) -> (usize, i32) {
@@ -59,34 +59,57 @@ macro_rules! plain_send_impls {
                 comm.raw().send(self.send_buf.send_slice(), dest, tag)
             }
         }
-
-        impl<$($gen)* T: Plain> IsendArgs<T>
-            for ArgSet<SendBuf<$container>, Absent, Absent, Absent, Absent, Absent, Absent, Absent>
-        where
-            SendBuf<$container>: ProvidesSendData<T> + SendReclaim,
-        {
-            type Back = <SendBuf<$container> as SendReclaim>::Back;
-
-            fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Back>> {
-                let (dest, tag) = send_meta(&self.meta);
-                let req = comm.raw().isend(self.send_buf.send_slice(), dest, tag)?;
-                Ok(NonBlockingSend { req, back: self.send_buf.reclaim() })
-            }
-
-            fn run_sync<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Back>> {
-                let (dest, tag) = send_meta(&self.meta);
-                let req = comm.raw().issend(self.send_buf.send_slice(), dest, tag)?;
-                Ok(NonBlockingSend { req, back: self.send_buf.reclaim() })
-            }
-        }
     )+};
 }
 
 plain_send_impls!(
     ['a,] &'a Vec<T>,
-    [] Vec<T>,
     ['a,] &'a [T],
     [const N: usize,] [T; N],
+    ['a, const N: usize,] &'a [T; N],
+);
+
+// Owned vectors move into the transport without copying (§III-E meets
+// zero-copy: the allocation itself becomes the in-flight payload).
+impl<T: Plain> SendArgs<T>
+    for ArgSet<SendBuf<Vec<T>>, Absent, Absent, Absent, Absent, Absent, Absent, Absent>
+{
+    fn run(self, comm: &Communicator) -> Result<()> {
+        let (dest, tag) = send_meta(&self.meta);
+        comm.raw().send_vec(self.send_buf.0, dest, tag)
+    }
+}
+
+macro_rules! plain_isend_impls {
+    ($([$($gen:tt)*] $container:ty),+ $(,)?) => {$(
+        impl<$($gen)* T: Plain> IsendArgs<T>
+            for ArgSet<SendBuf<$container>, Absent, Absent, Absent, Absent, Absent, Absent, Absent>
+        where
+            SendBuf<$container>: SendToTransport<T>,
+        {
+            type Hold = <SendBuf<$container> as SendToTransport<T>>::Hold;
+
+            fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Hold>> {
+                let (dest, tag) = send_meta(&self.meta);
+                let (payload, hold) = self.send_buf.into_payload();
+                let req = comm.raw().isend_bytes(payload, dest, tag)?;
+                Ok(NonBlockingSend { req, hold })
+            }
+
+            fn run_sync<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Hold>> {
+                let (dest, tag) = send_meta(&self.meta);
+                let (payload, hold) = self.send_buf.into_payload();
+                let req = comm.raw().issend_bytes(payload, dest, tag)?;
+                Ok(NonBlockingSend { req, hold })
+            }
+        }
+    )+};
+}
+
+plain_isend_impls!(
+    ['a,] &'a Vec<T>,
+    [] Vec<T>,
+    ['a,] &'a [T],
     ['a, const N: usize,] &'a [T; N],
 );
 
@@ -115,19 +138,17 @@ macro_rules! plain_recv_impls {
             fn run(self, comm: &Communicator) -> Result<Self::Output> {
                 let (src, tag) = recv_meta(&self.meta);
                 let (bytes, status) = comm.raw().recv_bytes(src, tag)?;
-                let n = status.count::<T>();
                 if let Some(expected) = self.meta.recv_count {
-                    if expected != n {
+                    if expected != status.count::<T>() {
                         return Err(kmp_mpi::MpiError::Truncated {
                             message_bytes: status.bytes,
                             buffer_bytes: expected * std::mem::size_of::<T>(),
                         });
                     }
                 }
-                let ((), rb_out) = self.recv_buf.apply(n, |storage| {
-                    kmp_mpi::plain::copy_bytes_into(&bytes, &mut storage[..n]);
-                    Ok(())
-                })?;
+                // Adopt the delivered payload: one copy into prepared
+                // buffers, zero for library-allocated byte targets.
+                let rb_out = self.recv_buf.adopt(bytes)?;
                 Ok(rb_out.push_component(()).finalize())
             }
         }
@@ -144,30 +165,31 @@ plain_recv_impls!(
 // Non-blocking results
 // ---------------------------------------------------------------------------
 
-/// A non-blocking send in flight. Owns whatever the caller moved into the
-/// call; [`NonBlockingSend::wait`] completes the request and hands the
-/// buffer back (Fig. 6: `v = r1.wait()`).
+/// A non-blocking send in flight. An owned send buffer has **moved into
+/// the transport** (zero-copy: the payload aliases its allocation);
+/// [`NonBlockingSend::wait`] completes the request and hands the buffer
+/// back (Fig. 6: `v = r1.wait()`).
 #[must_use = "non-blocking operations must be completed with wait() or test()"]
-pub struct NonBlockingSend<'a, B> {
+pub struct NonBlockingSend<'a, H> {
     req: Request<'a>,
-    back: B,
+    hold: H,
 }
 
-impl<'a, B> NonBlockingSend<'a, B> {
+impl<'a, H: ReclaimHold> NonBlockingSend<'a, H> {
     /// Blocks until the send completes, returning the moved-in buffer.
-    pub fn wait(self) -> Result<B> {
+    pub fn wait(self) -> Result<H::Back> {
         self.req.wait()?;
-        Ok(self.back)
+        Ok(self.hold.finish())
     }
 
     /// Completion test: `Ok(Ok(buffer))` when complete, `Ok(Err(self))`
     /// when still pending.
-    pub fn test(self) -> Result<std::result::Result<B, Self>> {
+    pub fn test(self) -> Result<std::result::Result<H::Back, Self>> {
         match self.req.test()? {
-            kmp_mpi::request::TestOutcome::Ready(_) => Ok(Ok(self.back)),
+            kmp_mpi::request::TestOutcome::Ready(_) => Ok(Ok(self.hold.finish())),
             kmp_mpi::request::TestOutcome::Pending(req) => Ok(Err(NonBlockingSend {
                 req,
-                back: self.back,
+                hold: self.hold,
             })),
         }
     }
@@ -229,13 +251,14 @@ fn check_count<T>(expected: Option<usize>, data: &[T], bytes: usize) -> Result<(
 
 /// Valid argument sets for [`Communicator::isend`] / `issend`.
 pub trait IsendArgs<M> {
-    /// What `wait()` returns: the moved-in container for owned send
-    /// buffers, `()` for borrowed ones.
-    type Back;
+    /// The handback token the in-flight send stores; `wait()` resolves
+    /// it to the moved-in container for owned send buffers, `()` for
+    /// borrowed ones.
+    type Hold: ReclaimHold;
     /// Starts the (standard-mode) send.
-    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Back>>;
+    fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Hold>>;
     /// Starts the synchronous-mode send (completes on receiver match).
-    fn run_sync<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Back>>;
+    fn run_sync<'c>(self, comm: &'c Communicator) -> Result<NonBlockingSend<'c, Self::Hold>>;
 }
 
 // ---------------------------------------------------------------------------
@@ -251,7 +274,7 @@ trait Pooled<'a> {
     fn test_boxed(self: Box<Self>) -> Result<Option<Box<dyn Pooled<'a> + 'a>>>;
 }
 
-impl<'a, B: 'a> Pooled<'a> for NonBlockingSend<'a, B> {
+impl<'a, H: ReclaimHold + 'a> Pooled<'a> for NonBlockingSend<'a, H> {
     fn wait_boxed(self: Box<Self>) -> Result<()> {
         self.wait().map(|_| ())
     }
@@ -277,7 +300,9 @@ impl<'a, T: Plain> Pooled<'a> for NonBlockingRecv<'a, T> {
     }
 }
 
-impl<'a, T: Plain, B: 'a> Pooled<'a> for crate::collectives::NonBlockingCollective<'a, T, B> {
+impl<'a, T: Plain, H: ReclaimHold + 'a> Pooled<'a>
+    for crate::collectives::NonBlockingCollective<'a, T, H>
+{
     fn wait_boxed(self: Box<Self>) -> Result<()> {
         self.wait_discard()
     }
@@ -320,7 +345,7 @@ impl<'a> RequestPool<'a> {
     }
 
     /// Submits a non-blocking send.
-    pub fn submit_send<B: 'a>(&mut self, op: NonBlockingSend<'a, B>) {
+    pub fn submit_send<H: ReclaimHold + 'a>(&mut self, op: NonBlockingSend<'a, H>) {
         self.entries.push(Box::new(op));
     }
 
@@ -332,9 +357,9 @@ impl<'a> RequestPool<'a> {
     /// Submits a non-blocking collective (`iallgatherv`, `ialltoallv`,
     /// `iallreduce`, …). The carried values are discarded on completion;
     /// await the future individually when its result is needed.
-    pub fn submit_collective<T: Plain, B: 'a>(
+    pub fn submit_collective<T: Plain, H: ReclaimHold + 'a>(
         &mut self,
-        op: crate::collectives::NonBlockingCollective<'a, T, B>,
+        op: crate::collectives::NonBlockingCollective<'a, T, H>,
     ) {
         self.entries.push(Box::new(op));
     }
@@ -481,7 +506,7 @@ impl<'a> BoundedRequestPool<'a> {
 
     /// Submits a non-blocking send, completing the oldest operation
     /// first if the pool is full.
-    pub fn submit_send<B: 'a>(&mut self, op: NonBlockingSend<'a, B>) -> Result<()> {
+    pub fn submit_send<H: ReclaimHold + 'a>(&mut self, op: NonBlockingSend<'a, H>) -> Result<()> {
         self.make_room()?;
         self.slots.push_back(Box::new(op));
         Ok(())
@@ -498,9 +523,9 @@ impl<'a> BoundedRequestPool<'a> {
     /// Submits a non-blocking collective, completing the oldest operation
     /// first if the pool is full — bounding both in-flight requests and
     /// the buffer memory held by moved-in send containers.
-    pub fn submit_collective<T: Plain, B: 'a>(
+    pub fn submit_collective<T: Plain, H: ReclaimHold + 'a>(
         &mut self,
-        op: crate::collectives::NonBlockingCollective<'a, T, B>,
+        op: crate::collectives::NonBlockingCollective<'a, T, H>,
     ) -> Result<()> {
         self.make_room()?;
         self.slots.push_back(Box::new(op));
@@ -550,7 +575,7 @@ impl Communicator {
     pub fn isend<M, A>(
         &self,
         args: A,
-    ) -> Result<NonBlockingSend<'_, <A::Out as IsendArgs<M>>::Back>>
+    ) -> Result<NonBlockingSend<'_, <A::Out as IsendArgs<M>>::Hold>>
     where
         A: IntoArgs,
         A::Out: IsendArgs<M>,
@@ -564,7 +589,7 @@ impl Communicator {
     pub fn issend<M, A>(
         &self,
         args: A,
-    ) -> Result<NonBlockingSend<'_, <A::Out as IsendArgs<M>>::Back>>
+    ) -> Result<NonBlockingSend<'_, <A::Out as IsendArgs<M>>::Hold>>
     where
         A: IntoArgs,
         A::Out: IsendArgs<M>,

@@ -67,18 +67,18 @@ impl<T, const N: usize> AsSliceMut<T> for [T; N] {
 pub trait ResizePolicy {
     /// Prepares `buf` to hold `needed` elements according to the policy.
     ///
-    /// # Panics
-    ///
-    /// `NoResize` panics if the buffer is too small — the Rust rendering
-    /// of KaMPIng's "no checking, assume capacity is large enough"
-    /// default, upgraded from undefined behaviour to a checked assertion.
-    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize);
+    /// `NoResize` reports an undersized buffer as
+    /// [`MpiError::Truncated`](kmp_mpi::MpiError::Truncated) — the Rust
+    /// rendering of KaMPIng's "no checking, assume capacity is large
+    /// enough" default, upgraded from undefined behaviour to a
+    /// recoverable error.
+    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) -> kmp_mpi::Result<()>;
 
-    /// Human-readable policy name (used in assertion messages).
+    /// Human-readable policy name (used in diagnostics).
     const NAME: &'static str;
 }
 
-/// Never resize; assert the buffer is already large enough (default).
+/// Never resize; error if the buffer is already too small (default).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoResize;
 
@@ -91,31 +91,34 @@ pub struct ResizeToFit;
 pub struct GrowOnly;
 
 impl ResizePolicy for NoResize {
-    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) {
-        assert!(
-            buf.len() >= needed,
-            "receive buffer too small under no_resize policy: \
-             have {} elements, need {needed} (consider .resize_to_fit())",
-            buf.len()
-        );
+    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) -> kmp_mpi::Result<()> {
+        if buf.len() < needed {
+            return Err(kmp_mpi::MpiError::Truncated {
+                message_bytes: needed * std::mem::size_of::<T>(),
+                buffer_bytes: std::mem::size_of_val(buf.as_slice()),
+            });
+        }
+        Ok(())
     }
     const NAME: &'static str = "no_resize";
 }
 
 impl ResizePolicy for ResizeToFit {
-    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) {
+    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) -> kmp_mpi::Result<()> {
         // `T: Plain` guarantees the zero pattern is a valid value.
         buf.clear();
         buf.resize_with(needed, || kmp_mpi::plain::zeroed::<T>());
+        Ok(())
     }
     const NAME: &'static str = "resize_to_fit";
 }
 
 impl ResizePolicy for GrowOnly {
-    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) {
+    fn prepare<T: Plain>(buf: &mut Vec<T>, needed: usize) -> kmp_mpi::Result<()> {
         if buf.len() < needed {
             buf.resize_with(needed, || kmp_mpi::plain::zeroed::<T>());
         }
+        Ok(())
     }
     const NAME: &'static str = "grow_only";
 }
@@ -146,18 +149,18 @@ mod tests {
     #[test]
     fn resize_to_fit_always_matches() {
         let mut v = vec![5u32; 10];
-        ResizeToFit::prepare(&mut v, 3);
+        ResizeToFit::prepare(&mut v, 3).unwrap();
         assert_eq!(v.len(), 3);
-        ResizeToFit::prepare(&mut v, 8);
+        ResizeToFit::prepare(&mut v, 8).unwrap();
         assert_eq!(v.len(), 8);
     }
 
     #[test]
     fn grow_only_never_shrinks() {
         let mut v = vec![5u32; 10];
-        GrowOnly::prepare(&mut v, 3);
+        GrowOnly::prepare(&mut v, 3).unwrap();
         assert_eq!(v.len(), 10);
-        GrowOnly::prepare(&mut v, 20);
+        GrowOnly::prepare(&mut v, 20).unwrap();
         assert_eq!(v.len(), 20);
         assert_eq!(&v[..10], &[5; 10]);
     }
@@ -165,14 +168,23 @@ mod tests {
     #[test]
     fn no_resize_accepts_fitting_buffer() {
         let mut v = vec![0u8; 4];
-        NoResize::prepare(&mut v, 4);
+        NoResize::prepare(&mut v, 4).unwrap();
         assert_eq!(v.len(), 4);
     }
 
     #[test]
-    #[should_panic(expected = "no_resize")]
-    fn no_resize_panics_when_too_small() {
+    fn no_resize_errors_when_too_small() {
         let mut v = vec![0u8; 2];
-        NoResize::prepare(&mut v, 4);
+        let err = NoResize::prepare(&mut v, 4).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                kmp_mpi::MpiError::Truncated {
+                    message_bytes: 4,
+                    buffer_bytes: 2
+                }
+            ),
+            "undersized no_resize buffers report Truncated, got {err}"
+        );
     }
 }

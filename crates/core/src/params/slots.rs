@@ -9,7 +9,9 @@
 //! `#[diagnostic::on_unimplemented]` messages (§III-G's human-readable
 //! compile errors).
 
+use bytes::Bytes;
 use kmp_mpi::op::ReduceOp;
+use kmp_mpi::plain::{bytes_from_slice, bytes_into_vec, SharedPayload};
 use kmp_mpi::Plain;
 
 use super::containers::{AsSlice, ResizePolicy};
@@ -71,6 +73,98 @@ impl<T> SendReclaim for SendBuf<&[T]> {
 }
 
 // ---------------------------------------------------------------------------
+// Zero-copy transport handoff
+// ---------------------------------------------------------------------------
+
+/// The handback token a non-blocking operation stores until `wait()`:
+/// resolves to the caller's reclaimed container (or `()` for borrowed
+/// send buffers) once the operation has completed.
+pub trait ReclaimHold {
+    /// What the caller gets back.
+    type Back;
+    /// Resolves the hold after completion.
+    fn finish(self) -> Self::Back;
+}
+
+impl ReclaimHold for () {
+    type Back = ();
+    #[inline]
+    fn finish(self) {}
+}
+
+impl<T: Plain> ReclaimHold for SharedPayload<T> {
+    type Back = Vec<T>;
+    #[inline]
+    fn finish(self) -> Vec<T> {
+        self.take()
+    }
+}
+
+/// Converts a send slot into the wire payload plus a [`ReclaimHold`].
+///
+/// Owned `Vec<T>` buffers **move into the transport**: the payload
+/// aliases the vector's allocation (zero copies at call time) and the
+/// hold reclaims it on `wait()` (§III-E's move-in/move-out). Borrowed
+/// buffers are serialized with one counted copy and hold nothing.
+pub trait SendToTransport<T: Plain>: ProvidesSendData<T> {
+    /// The handback token stored by the in-flight operation.
+    type Hold: ReclaimHold;
+
+    /// Splits into the wire payload and the handback token.
+    fn into_payload(self) -> (Bytes, Self::Hold);
+
+    /// Like [`SendToTransport::into_payload`], but the wire payload is a
+    /// repacked copy produced by `pack` (used when displacements reorder
+    /// the buffer); the original container is still handed back.
+    fn into_packed(self, pack: impl FnOnce(&[T]) -> Vec<T>) -> (Bytes, Self::Hold);
+}
+
+impl<T: Plain> SendToTransport<T> for SendBuf<Vec<T>> {
+    type Hold = SharedPayload<T>;
+
+    #[inline]
+    fn into_payload(self) -> (Bytes, SharedPayload<T>) {
+        let (hold, payload) = SharedPayload::new(self.0);
+        (payload, hold)
+    }
+
+    #[inline]
+    fn into_packed(self, pack: impl FnOnce(&[T]) -> Vec<T>) -> (Bytes, SharedPayload<T>) {
+        let packed = pack(&self.0);
+        (
+            kmp_mpi::plain::bytes_from_vec(packed),
+            SharedPayload::ready(self.0),
+        )
+    }
+}
+
+macro_rules! borrowed_send_to_transport {
+    ($([$($gen:tt)*] $container:ty),+ $(,)?) => {$(
+        impl<$($gen)* T: Plain> SendToTransport<T> for SendBuf<$container>
+        where
+            SendBuf<$container>: ProvidesSendData<T>,
+        {
+            type Hold = ();
+
+            #[inline]
+            fn into_payload(self) -> (Bytes, ()) {
+                (bytes_from_slice(self.send_slice()), ())
+            }
+
+            #[inline]
+            fn into_packed(self, pack: impl FnOnce(&[T]) -> Vec<T>) -> (Bytes, ()) {
+                (kmp_mpi::plain::bytes_from_vec(pack(self.send_slice())), ())
+            }
+        }
+    )+};
+}
+
+borrowed_send_to_transport!(
+    ['a, B: AsSlice<T>,] &'a B,
+    ['a,] &'a [T],
+);
+
+// ---------------------------------------------------------------------------
 // Receive storage
 // ---------------------------------------------------------------------------
 
@@ -95,6 +189,12 @@ pub trait RecvBufSpec<T: Plain> {
         needed: usize,
         fill: impl FnOnce(&mut [T]) -> kmp_mpi::Result<R>,
     ) -> kmp_mpi::Result<(R, Self::Out)>;
+
+    /// Adopts a delivered payload directly into the slot's storage: a
+    /// single copy into prepared buffers — and **zero** copies when the
+    /// slot allocates its own `Vec<u8>`-shaped result and the payload is
+    /// the unique view of its allocation.
+    fn adopt(self, payload: Bytes) -> kmp_mpi::Result<Self::Out>;
 }
 
 impl<T: Plain> RecvBufSpec<T> for Absent {
@@ -110,6 +210,11 @@ impl<T: Plain> RecvBufSpec<T> for Absent {
         let r = fill(&mut v)?;
         Ok((r, v))
     }
+
+    #[inline]
+    fn adopt(self, payload: Bytes) -> kmp_mpi::Result<Vec<T>> {
+        Ok(bytes_into_vec(payload))
+    }
 }
 
 impl<T: Plain, P: ResizePolicy> RecvBufSpec<T> for RecvBuf<&mut Vec<T>, P> {
@@ -121,9 +226,14 @@ impl<T: Plain, P: ResizePolicy> RecvBufSpec<T> for RecvBuf<&mut Vec<T>, P> {
         needed: usize,
         fill: impl FnOnce(&mut [T]) -> kmp_mpi::Result<R>,
     ) -> kmp_mpi::Result<(R, ())> {
-        P::prepare(self.buf, needed);
+        P::prepare(self.buf, needed)?;
         let r = fill(self.buf)?;
         Ok((r, ()))
+    }
+
+    #[inline]
+    fn adopt(self, payload: Bytes) -> kmp_mpi::Result<()> {
+        adopt_into::<T, P>(self.buf, payload)
     }
 }
 
@@ -136,10 +246,25 @@ impl<T: Plain, P: ResizePolicy> RecvBufSpec<T> for RecvBuf<Vec<T>, P> {
         needed: usize,
         fill: impl FnOnce(&mut [T]) -> kmp_mpi::Result<R>,
     ) -> kmp_mpi::Result<(R, Vec<T>)> {
-        P::prepare(&mut self.buf, needed);
+        P::prepare(&mut self.buf, needed)?;
         let r = fill(&mut self.buf)?;
         Ok((r, self.buf))
     }
+
+    #[inline]
+    fn adopt(mut self, payload: Bytes) -> kmp_mpi::Result<Vec<T>> {
+        adopt_into::<T, P>(&mut self.buf, payload)?;
+        Ok(self.buf)
+    }
+}
+
+/// Prepares `buf` under policy `P` for the payload's element count and
+/// copies the payload in (one copy).
+fn adopt_into<T: Plain, P: ResizePolicy>(buf: &mut Vec<T>, payload: Bytes) -> kmp_mpi::Result<()> {
+    let n = kmp_mpi::plain::element_count::<T>(payload.len());
+    P::prepare(buf, n)?;
+    kmp_mpi::plain::copy_bytes_into(&payload, &mut buf[..n]);
+    Ok(())
 }
 
 /// Like [`RecvBufSpec`], for the in-place `send_recv_buf` slot.

@@ -102,7 +102,8 @@ impl<'a, T: Serialize> SendArgs<SerialMode>
             .expect("missing required parameter `destination` (pass destination(rank))");
         let tag = self.meta.tag.unwrap_or(0);
         let bytes = kmp_serialize::to_bytes(self.send_buf.0 .0).map_err(ser_err)?;
-        comm.raw().send_bytes(&bytes, dest, tag)
+        // The serialized buffer moves into the transport (no second copy).
+        comm.raw().send_vec(bytes, dest, tag)
     }
 }
 

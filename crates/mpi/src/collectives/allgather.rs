@@ -1,57 +1,55 @@
-//! Allgather and allgatherv (ring algorithm).
+//! Allgather and allgatherv (ring algorithm with block forwarding).
+
+use bytes::Bytes;
 
 use super::{check_layout, recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::plain::{as_bytes, copy_bytes_into};
+use crate::plain::{bytes_from_slice, copy_bytes_into, copy_slice, extend_vec_from_bytes};
 use crate::Plain;
+
+/// Ring primitive on shared payloads: each rank contributes `own` and
+/// receives every other rank's block, returned **by origin rank**. At
+/// every step the block received in the previous step is forwarded as
+/// the *same* [`Bytes`] (a refcount clone) — a payload is serialized
+/// exactly once, at its origin, no matter how many hops it travels.
+pub(crate) fn allgather_blocks(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut blocks: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
+    blocks[rank] = Some(own);
+    if p > 1 {
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        let tag = comm.next_internal_tag();
+        for step in 0..p - 1 {
+            // Forward the block that originated at (rank - step) % p; the
+            // incoming block originated one rank further left.
+            let outgoing_origin = (rank + p - step) % p;
+            let outgoing = blocks[outgoing_origin]
+                .clone()
+                .expect("block arrived in a previous step");
+            send_internal(comm, right, tag, outgoing)?;
+            let incoming_origin = (rank + p - 1 - step) % p;
+            blocks[incoming_origin] = Some(recv_internal(comm, left, tag)?);
+        }
+    }
+    Ok(blocks
+        .into_iter()
+        .map(|b| b.expect("ring delivered all blocks"))
+        .collect())
+}
 
 /// Ring allgather of equal-size contributions; returns the concatenation
 /// in rank order. Used internally (e.g. by `split`) without counting.
 pub(crate) fn allgather_internal<T: Plain>(comm: &Comm, send: &[T]) -> Result<Vec<T>> {
-    let p = comm.size();
-    let n = send.len();
-    let mut out = vec![send.to_vec(); 1];
-    let mut result: Vec<T> = Vec::with_capacity(p * n);
-    // Collect blocks in ring order, then rotate into rank order.
-    ring_exchange(comm, &mut out)?;
-    debug_assert_eq!(out.len(), p);
-    // `out[i]` is the block of rank `(rank - i + p) % p`; place by owner.
-    let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
-    for (i, block) in out.into_iter().enumerate() {
-        let owner = (comm.rank() + p - i) % p;
-        blocks[owner] = Some(block);
-    }
-    for b in blocks {
-        result.extend_from_slice(&b.expect("ring delivered all blocks"));
+    let blocks = allgather_blocks(comm, bytes_from_slice(send))?;
+    let total: usize = blocks.iter().map(|b| b.len()).sum();
+    let mut result: Vec<T> = Vec::with_capacity(crate::plain::element_count::<T>(total));
+    for b in &blocks {
+        extend_vec_from_bytes(&mut result, b);
     }
     Ok(result)
-}
-
-/// Ring primitive: starting from `blocks = [own]`, after `p-1` steps each
-/// rank holds `p` blocks where `blocks[i]` originated at `(rank - i) % p`.
-fn ring_exchange<T: Plain>(comm: &Comm, blocks: &mut Vec<Vec<T>>) -> Result<()> {
-    let p = comm.size();
-    if p == 1 {
-        return Ok(());
-    }
-    let rank = comm.rank();
-    let right = (rank + 1) % p;
-    let left = (rank + p - 1) % p;
-    let tag = comm.next_internal_tag();
-    for step in 0..p - 1 {
-        // Forward the block received in the previous step (own block first).
-        let outgoing = &blocks[step];
-        send_internal(
-            comm,
-            right,
-            tag,
-            bytes::Bytes::copy_from_slice(as_bytes(outgoing)),
-        )?;
-        let bytes = recv_internal(comm, left, tag)?;
-        blocks.push(crate::plain::bytes_to_vec(&bytes));
-    }
-    Ok(())
 }
 
 impl Comm {
@@ -70,7 +68,7 @@ impl Comm {
             )));
         }
         let all = allgather_internal(self, send)?;
-        recv[..p * n].copy_from_slice(&all);
+        copy_slice(&all, &mut recv[..p * n]);
         Ok(())
     }
 
@@ -94,9 +92,21 @@ impl Comm {
             )));
         }
         let n = buf.len() / p;
-        let own = buf[self.rank() * n..(self.rank() + 1) * n].to_vec();
-        let all = allgather_internal(self, &own)?;
-        buf.copy_from_slice(&all);
+        let own = &buf[self.rank() * n..(self.rank() + 1) * n];
+        let blocks = allgather_blocks(self, bytes_from_slice(own))?;
+        for (origin, bytes) in blocks.iter().enumerate() {
+            if origin == self.rank() {
+                continue; // own block is already in place
+            }
+            let dst = &mut buf[origin * n..(origin + 1) * n];
+            if bytes.len() != std::mem::size_of_val(dst) {
+                return Err(MpiError::Truncated {
+                    message_bytes: bytes.len(),
+                    buffer_bytes: std::mem::size_of_val(dst),
+                });
+            }
+            copy_bytes_into(bytes, dst);
+        }
         Ok(())
     }
 
@@ -115,7 +125,9 @@ impl Comm {
     }
 }
 
-/// Ring allgatherv writing each rank's block at its displacement.
+/// Ring allgatherv: forwards shared blocks around the ring (no per-hop
+/// re-serialization) and writes each rank's block at its displacement
+/// exactly once.
 pub(crate) fn allgatherv_internal<T: Plain>(
     comm: &Comm,
     send: &[T],
@@ -133,34 +145,23 @@ pub(crate) fn allgatherv_internal<T: Plain>(
             counts[rank]
         )));
     }
-    recv[displs[rank]..displs[rank] + counts[rank]].copy_from_slice(send);
+    copy_slice(send, &mut recv[displs[rank]..displs[rank] + counts[rank]]);
     if p == 1 {
         return Ok(());
     }
-    let right = (rank + 1) % p;
-    let left = (rank + p - 1) % p;
-    let tag = comm.next_internal_tag();
-    // At step s we forward the block that originated at (rank - s) % p.
-    for step in 0..p - 1 {
-        let origin = (rank + p - step) % p;
-        let block = &recv[displs[origin]..displs[origin] + counts[origin]];
-        send_internal(
-            comm,
-            right,
-            tag,
-            bytes::Bytes::copy_from_slice(as_bytes(block)),
-        )?;
-        let incoming_origin = (left + p - step) % p;
-        let bytes = recv_internal(comm, left, tag)?;
-        let dst =
-            &mut recv[displs[incoming_origin]..displs[incoming_origin] + counts[incoming_origin]];
-        let written = copy_bytes_into(&bytes, dst);
-        if written != counts[incoming_origin] {
+    let blocks = allgather_blocks(comm, bytes_from_slice(send))?;
+    for (origin, bytes) in blocks.iter().enumerate() {
+        if origin == rank {
+            continue; // own block already placed
+        }
+        let dst = &mut recv[displs[origin]..displs[origin] + counts[origin]];
+        if bytes.len() != std::mem::size_of_val(dst) {
             return Err(MpiError::Truncated {
                 message_bytes: bytes.len(),
                 buffer_bytes: std::mem::size_of_val(dst),
             });
         }
+        copy_bytes_into(bytes, dst);
     }
     Ok(())
 }

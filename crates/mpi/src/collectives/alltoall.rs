@@ -3,7 +3,7 @@
 use super::{check_layout, recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::plain::{as_bytes, copy_bytes_into};
+use crate::plain::{bytes_from_slice, copy_bytes_into, copy_slice};
 use crate::Plain;
 
 impl Comm {
@@ -100,7 +100,7 @@ pub(crate) fn alltoallv_internal<T: Plain>(
     check_layout("alltoallv(recv)", recv_counts, recv_displs, recv.len(), p)?;
     let tag = comm.next_internal_tag();
 
-    // Own block: straight copy.
+    // Own block: straight copy (send and recv are distinct buffers).
     {
         let src = &send[send_displs[rank]..send_displs[rank] + send_counts[rank]];
         if src.len() != recv_counts[rank] {
@@ -110,31 +110,39 @@ pub(crate) fn alltoallv_internal<T: Plain>(
                 recv_counts[rank]
             )));
         }
-        let src = src.to_vec();
-        recv[recv_displs[rank]..recv_displs[rank] + recv_counts[rank]].copy_from_slice(&src);
+        copy_slice(
+            src,
+            &mut recv[recv_displs[rank]..recv_displs[rank] + recv_counts[rank]],
+        );
     }
+
+    if p == 1 {
+        return Ok(());
+    }
+
+    // Pack the whole send buffer into one shared payload and carve
+    // per-peer blocks out of it by refcount slicing: one serialization
+    // pass total instead of one allocation + copy per peer.
+    let elem = std::mem::size_of::<T>();
+    let packed = bytes_from_slice(send);
 
     // Pairwise exchange; a message is sent for every peer, including
     // zero-sized blocks (dense-exchange semantics).
     for step in 1..p {
         let to = (rank + step) % p;
         let from = (rank + p - step) % p;
-        let block = &send[send_displs[to]..send_displs[to] + send_counts[to]];
-        send_internal(
-            comm,
-            to,
-            tag,
-            bytes::Bytes::copy_from_slice(as_bytes(block)),
-        )?;
+        let start = send_displs[to] * elem;
+        let block = packed.slice(start..start + send_counts[to] * elem);
+        send_internal(comm, to, tag, block)?;
         let bytes = recv_internal(comm, from, tag)?;
         let dst = &mut recv[recv_displs[from]..recv_displs[from] + recv_counts[from]];
-        let written = copy_bytes_into(&bytes, dst);
-        if written != recv_counts[from] {
+        if bytes.len() != std::mem::size_of_val(dst) {
             return Err(MpiError::Truncated {
                 message_bytes: bytes.len(),
                 buffer_bytes: std::mem::size_of_val(dst),
             });
         }
+        copy_bytes_into(&bytes, dst);
     }
     Ok(())
 }

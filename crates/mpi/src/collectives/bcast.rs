@@ -5,7 +5,7 @@ use bytes::Bytes;
 use super::{recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::plain::{as_bytes, copy_bytes_into};
+use crate::plain::{bytes_from_slice, bytes_into_vec, copy_bytes_into};
 use crate::{Plain, Rank};
 
 /// Broadcasts `payload` (significant at root) down a binomial tree over
@@ -75,19 +75,28 @@ pub(crate) fn bcast_forward(
 
 /// Broadcasts a single plain value (used internally for context ids).
 pub(crate) fn bcast_one_internal<T: Plain>(comm: &Comm, value: T, root: Rank) -> Result<T> {
-    let payload = (comm.rank() == root)
-        .then(|| Bytes::copy_from_slice(as_bytes(std::slice::from_ref(&value))));
+    let payload = (comm.rank() == root).then(|| bytes_from_slice(std::slice::from_ref(&value)));
     let bytes = bcast_bytes_internal(comm, payload, root)?;
-    let v: Vec<T> = crate::plain::bytes_to_vec(&bytes);
+    let v: Vec<T> = bytes_into_vec(bytes);
     Ok(v[0])
 }
 
 impl Comm {
+    /// Broadcasts a raw payload from the root down the binomial tree,
+    /// returning the shared payload on every rank (zero-copy transport:
+    /// forwarding clones a refcount, and the returned [`Bytes`] aliases
+    /// the delivered message). The binding layer adopts the payload
+    /// directly into the caller's buffer with a single copy.
+    pub fn bcast_bytes(&self, payload: Option<Bytes>, root: Rank) -> Result<Bytes> {
+        self.count_op("bcast");
+        bcast_bytes_internal(self, payload, root)
+    }
+
     /// Broadcasts the root's buffer contents into every rank's buffer
     /// (mirrors `MPI_Bcast`). All ranks must pass buffers of equal length.
     pub fn bcast_into<T: Plain>(&self, buf: &mut [T], root: Rank) -> Result<()> {
         self.count_op("bcast");
-        let payload = (self.rank() == root).then(|| Bytes::copy_from_slice(as_bytes(buf)));
+        let payload = (self.rank() == root).then(|| bytes_from_slice(buf));
         let data = bcast_bytes_internal(self, payload, root)?;
         if self.rank() != root {
             let expected = std::mem::size_of_val(buf);
@@ -107,15 +116,10 @@ impl Comm {
     /// lacks: the length travels with the message).
     pub fn bcast_vec<T: Plain>(&self, data: Option<&[T]>, root: Rank) -> Result<Vec<T>> {
         self.count_op("bcast");
-        let payload = if self.rank() == root {
-            Some(Bytes::copy_from_slice(as_bytes(
-                data.expect("root must supply data"),
-            )))
-        } else {
-            None
-        };
+        let payload =
+            (self.rank() == root).then(|| bytes_from_slice(data.expect("root must supply data")));
         let bytes = bcast_bytes_internal(self, payload, root)?;
-        Ok(crate::plain::bytes_to_vec(&bytes))
+        Ok(bytes_into_vec(bytes))
     }
 
     /// Broadcasts one plain value from the root.

@@ -3,7 +3,7 @@
 use super::{check_layout, send_slice_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::plain::copy_bytes_into;
+use crate::plain::{copy_bytes_into, copy_slice, element_count, extend_vec_from_bytes};
 use crate::{Plain, Rank};
 
 impl Comm {
@@ -24,7 +24,7 @@ impl Comm {
                     p * n
                 )));
             }
-            recv[root * n..(root + 1) * n].copy_from_slice(send);
+            copy_slice(send, &mut recv[root * n..(root + 1) * n]);
             for _ in 0..p - 1 {
                 // Accept in arrival order; the tag identifies the call and
                 // the source determines the block.
@@ -70,7 +70,7 @@ impl Comm {
                     counts[root]
                 )));
             }
-            recv[displs[root]..displs[root] + counts[root]].copy_from_slice(send);
+            copy_slice(send, &mut recv[displs[root]..displs[root] + counts[root]]);
             for _ in 0..p - 1 {
                 let env =
                     self.recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
@@ -99,31 +99,54 @@ impl Comm {
         root: Rank,
     ) -> Result<Option<(Vec<T>, Vec<usize>)>> {
         self.count_op("gatherv");
-        let p = self.size();
         self.check_rank(root)?;
         let tag = self.next_internal_tag();
         if self.rank() == root {
-            let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
-            blocks[root] = Some(send.to_vec());
-            for _ in 0..p - 1 {
-                let env =
-                    self.recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
-                blocks[env.src] = Some(crate::plain::bytes_to_vec(&env.payload));
-            }
-            let counts: Vec<usize> = blocks
-                .iter()
-                .map(|b| b.as_ref().expect("all blocks arrived").len())
-                .collect();
-            let mut data = Vec::with_capacity(counts.iter().sum());
-            for b in blocks {
-                data.extend_from_slice(&b.expect("block present"));
-            }
+            let (data, counts) = gather_assemble(self, tag, send, root)?;
             Ok(Some((data, counts)))
         } else {
             send_slice_internal(self, root, tag, send)?;
             Ok(None)
         }
     }
+}
+
+/// Root side of a counts-discovering gatherv: collects one shared payload
+/// per rank and writes every block **straight into the final buffer** —
+/// no intermediate per-rank vectors.
+pub(crate) fn gather_assemble<T: Plain>(
+    comm: &Comm,
+    tag: crate::Tag,
+    own: &[T],
+    root: Rank,
+) -> Result<(Vec<T>, Vec<usize>)> {
+    let p = comm.size();
+    let mut blocks: Vec<Option<bytes::Bytes>> = (0..p).map(|_| None).collect();
+    for _ in 0..p - 1 {
+        let env = comm.recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
+        blocks[env.src] = Some(env.payload);
+    }
+    let counts: Vec<usize> = blocks
+        .iter()
+        .enumerate()
+        .map(|(r, b)| {
+            if r == root {
+                own.len()
+            } else {
+                element_count::<T>(b.as_ref().expect("all blocks arrived").len())
+            }
+        })
+        .collect();
+    let mut data: Vec<T> = Vec::with_capacity(counts.iter().sum());
+    for (r, b) in blocks.iter().enumerate() {
+        if r == root {
+            crate::metrics::record_copy(std::mem::size_of_val(own));
+            data.extend_from_slice(own);
+        } else {
+            extend_vec_from_bytes(&mut data, b.as_ref().expect("block present"));
+        }
+    }
+    Ok((data, counts))
 }
 
 #[cfg(test)]

@@ -4,16 +4,27 @@
 //! with its textbook algorithm (Sanders et al., "Sequential and Parallel
 //! Algorithms and Data Structures"):
 //!
-//! | operation        | algorithm                              | startups (per rank) |
-//! |------------------|----------------------------------------|---------------------|
-//! | `barrier`        | dissemination                          | ceil(log2 p)        |
-//! | `bcast`          | binomial tree                          | <= log2 p           |
-//! | `gather/scatter` | flat tree (linear at root)             | 1 (root: p-1)       |
-//! | `allgather(v)`   | ring                                   | p-1                 |
-//! | `alltoall(v/w)`  | pairwise exchange                      | p-1                 |
-//! | `reduce`         | binomial tree (commutative ops)        | <= log2 p           |
-//! | `allreduce`      | recursive doubling with non-pow2 fixup | ~log2 p             |
-//! | `scan/exscan`    | linear chain                           | 1                   |
+//! With `s` = bytes this rank sends and `r` = bytes of its final result,
+//! the copies-per-rank column states the payload bytes memcpy'd by that
+//! rank on the shared-`Bytes` datapath (forwarding a received payload is
+//! a refcount clone, never a re-serialization; see [`crate::metrics`]):
+//!
+//! | operation        | algorithm                              | startups (per rank) | copies per rank      |
+//! |------------------|----------------------------------------|---------------------|----------------------|
+//! | `barrier`        | dissemination                          | ceil(log2 p)        | 0                    |
+//! | `bcast`          | binomial tree                          | <= log2 p           | root: s; other: r    |
+//! | `gather/scatter` | flat tree (linear at root)             | 1 (root: p-1)       | root: s + r; other: s + r |
+//! | `allgather(v)`   | ring, block forwarding                 | p-1                 | s + r                |
+//! | `alltoall(v/w)`  | pairwise exchange, pack-once + slice   | p-1                 | s + r                |
+//! | `reduce`         | binomial tree (commutative ops)        | <= log2 p           | O(s log p) (folds)   |
+//! | `allreduce`      | recursive doubling with non-pow2 fixup | ~log2 p             | O(s log p) (folds)   |
+//! | `scan/exscan`    | linear chain                           | 1                   | O(s)                 |
+//!
+//! The reductions copy at every combining step because folding *reads
+//! and rewrites* the accumulator — that is compute, not transport
+//! overhead. Every non-reducing collective is bounded by `s + r`: each
+//! payload byte is serialized once at its origin and materialized once
+//! at each destination, independent of hop count or child count.
 //!
 //! This matters for the reproduction: the paper's §V-A compares all-to-all
 //! strategies whose distinguishing property is *how many messages* they
@@ -46,16 +57,18 @@ use bytes::Bytes;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::message::{Src, TagSel};
-use crate::plain::as_bytes;
+use crate::plain::bytes_from_slice;
 use crate::{Plain, Rank, Tag};
 
-/// Sends raw bytes on an internal (negative) tag.
+/// Sends raw bytes on an internal (negative) tag. Passing a clone of an
+/// already-shared payload costs a refcount bump, not a copy.
 #[inline]
 pub(crate) fn send_internal(comm: &Comm, dest: Rank, tag: Tag, payload: Bytes) -> Result<()> {
     comm.deliver_bytes(dest, tag, payload, None)
 }
 
-/// Sends a typed slice on an internal tag.
+/// Sends a typed slice on an internal tag (one counted copy into the
+/// transport).
 #[inline]
 pub(crate) fn send_slice_internal<T: Plain>(
     comm: &Comm,
@@ -63,10 +76,11 @@ pub(crate) fn send_slice_internal<T: Plain>(
     tag: Tag,
     data: &[T],
 ) -> Result<()> {
-    send_internal(comm, dest, tag, Bytes::copy_from_slice(as_bytes(data)))
+    send_internal(comm, dest, tag, bytes_from_slice(data))
 }
 
-/// Receives raw bytes from an exact source on an internal tag.
+/// Receives raw bytes from an exact source on an internal tag (the
+/// payload is moved out of the envelope — no copy).
 #[inline]
 pub(crate) fn recv_internal(comm: &Comm, src: Rank, tag: Tag) -> Result<Bytes> {
     let env = comm.recv_envelope(Src::Rank(src), TagSel::Is(tag))?;
@@ -77,7 +91,7 @@ pub(crate) fn recv_internal(comm: &Comm, src: Rank, tag: Tag) -> Result<Bytes> {
 #[inline]
 pub(crate) fn recv_vec_internal<T: Plain>(comm: &Comm, src: Rank, tag: Tag) -> Result<Vec<T>> {
     let bytes = recv_internal(comm, src, tag)?;
-    Ok(crate::plain::bytes_to_vec(&bytes))
+    Ok(crate::plain::bytes_into_vec(bytes))
 }
 
 /// Validates a counts/displacements layout against a buffer length.

@@ -11,17 +11,21 @@
 //! all outgoing traffic is in flight from the moment the call returns,
 //! and incoming traffic is drained whenever the caller polls.
 //!
-//! Algorithms (startups per rank):
+//! Algorithms (startups per rank; copies with `s` = bytes sent by the
+//! rank, `r` = bytes of its result — a payload is serialized at most
+//! once at its origin and materialized once per destination; forwarding
+//! and fan-out are refcount clones, and the `*_bytes` entry points adopt
+//! owned buffers with **zero** call-time copies):
 //!
-//! | operation            | algorithm                         | startups      |
-//! |----------------------|-----------------------------------|---------------|
-//! | `ibcast`             | binomial tree, forward on poll    | <= log2 p     |
-//! | `igather(v)`         | flat tree (linear at root)        | 1 (root: p-1) |
-//! | `iscatter(v)`        | flat tree (eager at root)         | p-1 (other: 1)|
-//! | `iallgather(v)`      | flat dissemination                | p-1           |
-//! | `ialltoall(v)`       | pairwise eager exchange           | p-1           |
-//! | `ireduce`            | flat gather + ordered fold        | 1 (root: p-1) |
-//! | `iallreduce`         | flat gather + fold + binomial bcast | mixed       |
+//! | operation            | algorithm                         | startups      | copies per rank    |
+//! |----------------------|-----------------------------------|---------------|--------------------|
+//! | `ibcast`             | binomial tree, forward on poll    | <= log2 p     | root: <= s; other: r |
+//! | `igather(v)`         | flat tree (linear at root)        | 1 (root: p-1) | s + r              |
+//! | `iscatter(v)`        | flat tree (eager, pack-once root) | p-1 (other: 1)| root: s; other: r  |
+//! | `iallgather(v)`      | flat dissemination                | p-1           | <= s, + r at wait  |
+//! | `ialltoall(v)`       | pairwise eager, pack-once + slice | p-1           | <= s, + r at wait  |
+//! | `ireduce`            | flat gather + ordered fold        | 1 (root: p-1) | s (+ folds at root)|
+//! | `iallreduce`         | flat gather + fold + binomial bcast | mixed       | s (+ folds, fan-out free) |
 //!
 //! The flat algorithms trade the blocking collectives' latency-optimal
 //! trees for *immediacy*: every byte a rank contributes is on the wire
@@ -42,7 +46,7 @@ use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::message::{Src, Status, TagSel};
 use crate::op::ReduceOp;
-use crate::plain::{as_bytes, bytes_to_vec};
+use crate::plain::{bytes_from_slice, bytes_from_vec, bytes_to_vec};
 use crate::request::{Completion, Request};
 use crate::{Plain, Rank, Tag};
 
@@ -286,9 +290,7 @@ fn ordered_fold<T: Plain, O: ReduceOp<T> + 'static>(
                 }
             }
         }
-        Ok(Bytes::copy_from_slice(as_bytes(
-            &acc.expect("at least one block"),
-        )))
+        Ok(bytes_from_vec(acc.expect("at least one block")))
     })
 }
 
@@ -317,11 +319,20 @@ impl Comm {
     /// passes `Some(data)`; completion yields the payload on every rank
     /// ([`Completion::Message`]).
     pub fn ibcast<T: Plain>(&self, data: Option<&[T]>, root: Rank) -> Result<Request<'_>> {
+        let payload =
+            (self.rank() == root).then(|| bytes_from_slice(data.expect("root must supply data")));
+        self.ibcast_bytes(payload, root)
+    }
+
+    /// Byte-level [`Comm::ibcast`]: the root's payload enters the
+    /// transport as-is (zero-copy for adopted vectors; forwarding down
+    /// the tree clones refcounts).
+    pub fn ibcast_bytes(&self, payload: Option<Bytes>, root: Rank) -> Result<Request<'_>> {
         self.count_op("ibcast");
         self.check_rank(root)?;
         let tag = self.next_internal_tag();
         if self.rank() == root {
-            let payload = Bytes::copy_from_slice(as_bytes(data.expect("root must supply data")));
+            let payload = payload.expect("root must supply a payload");
             let vrank = 0;
             bcast_forward(self, vrank, root, tag, &payload)?;
             Ok(
@@ -357,11 +368,11 @@ impl Comm {
         self.check_rank(root)?;
         let tag = self.next_internal_tag();
         if self.rank() == root {
-            let own = Bytes::copy_from_slice(as_bytes(send));
+            let own = bytes_from_slice(send);
             let recv = RecvFromEach::new(self, tag, Some(own));
             Ok(self.coll_request(Box::new(BlocksEngine { recv })))
         } else {
-            send_internal(self, root, tag, Bytes::copy_from_slice(as_bytes(send)))?;
+            send_internal(self, root, tag, bytes_from_slice(send))?;
             Ok(self.coll_request(Box::new(ReadyEngine(Some(Completion::Done)))))
         }
     }
@@ -418,10 +429,13 @@ impl Comm {
         if self.rank() == root {
             let (data, counts) = send.expect("root must supply data and counts");
             check_v_layout("iscatterv", data.len(), counts, self.size())?;
+            // Pack once, slice per destination (refcount clones).
+            let elem = std::mem::size_of::<T>();
+            let packed = bytes_from_slice(data);
             let mut offset = 0usize;
             let mut own = Bytes::new();
             for (r, &c) in counts.iter().enumerate() {
-                let block = Bytes::copy_from_slice(as_bytes(&data[offset..offset + c]));
+                let block = packed.slice(offset * elem..(offset + c) * elem);
                 offset += c;
                 if r == self.rank() {
                     own = block;
@@ -445,19 +459,32 @@ impl Comm {
     /// Completion yields [`Completion::Blocks`] in rank order.
     pub fn iallgatherv<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
         self.count_op("iallgatherv");
-        self.iallgather_impl(send)
+        self.iallgather_impl(bytes_from_slice(send))
+    }
+
+    /// Byte-level [`Comm::iallgatherv`]: the payload is posted to every
+    /// peer as a refcount clone — an adopted owned buffer enters the
+    /// transport without any copy.
+    pub fn iallgatherv_bytes(&self, own: Bytes) -> Result<Request<'_>> {
+        self.count_op("iallgatherv");
+        self.iallgather_impl(own)
     }
 
     /// Equal-block flavour of [`Comm::iallgatherv`] (mirrors
     /// `MPI_Iallgather`).
     pub fn iallgather<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
         self.count_op("iallgather");
-        self.iallgather_impl(send)
+        self.iallgather_impl(bytes_from_slice(send))
     }
 
-    fn iallgather_impl<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
+    /// Byte-level [`Comm::iallgather`].
+    pub fn iallgather_bytes(&self, own: Bytes) -> Result<Request<'_>> {
+        self.count_op("iallgather");
+        self.iallgather_impl(own)
+    }
+
+    fn iallgather_impl(&self, own: Bytes) -> Result<Request<'_>> {
         let tag = self.next_internal_tag();
-        let own = Bytes::copy_from_slice(as_bytes(send));
         for r in 0..self.size() {
             if r != self.rank() {
                 send_internal(self, r, tag, own.clone())?;
@@ -474,7 +501,18 @@ impl Comm {
     /// source rank.
     pub fn ialltoallv<T: Plain>(&self, send: &[T], counts: &[usize]) -> Result<Request<'_>> {
         self.count_op("ialltoallv");
-        self.ialltoall_impl(send, counts)
+        let elem = std::mem::size_of::<T>();
+        let byte_counts: Vec<usize> = counts.iter().map(|&c| c * elem).collect();
+        self.ialltoall_impl(bytes_from_slice(send), &byte_counts, "ialltoallv")
+    }
+
+    /// Byte-level [`Comm::ialltoallv`]: `packed` holds the per-peer
+    /// blocks contiguously in rank order, `byte_counts[r]` bytes each;
+    /// blocks are carved out by refcount slicing, so an adopted owned
+    /// buffer is scattered to all peers without a single copy.
+    pub fn ialltoallv_bytes(&self, packed: Bytes, byte_counts: &[usize]) -> Result<Request<'_>> {
+        self.count_op("ialltoallv");
+        self.ialltoall_impl(packed, byte_counts, "ialltoallv")
     }
 
     /// Equal-block flavour of [`Comm::ialltoallv`] (mirrors
@@ -491,19 +529,38 @@ impl Comm {
                 send.len()
             )));
         }
-        let counts = vec![send.len() / p; p];
-        self.ialltoall_impl(send, &counts)
+        let elem = std::mem::size_of::<T>();
+        let byte_counts = vec![send.len() / p * elem; p];
+        self.ialltoall_impl(bytes_from_slice(send), &byte_counts, "ialltoall")
     }
 
-    fn ialltoall_impl<T: Plain>(&self, send: &[T], counts: &[usize]) -> Result<Request<'_>> {
+    fn ialltoall_impl(
+        &self,
+        packed: Bytes,
+        byte_counts: &[usize],
+        what: &str,
+    ) -> Result<Request<'_>> {
         // Tag first: the layout check is rank-local, and an erroring
         // rank must stay tag-aligned with peers whose layouts are fine.
         let tag = self.next_internal_tag();
-        check_v_layout("ialltoallv", send.len(), counts, self.size())?;
+        let p = self.size();
+        if byte_counts.len() != p {
+            return Err(MpiError::InvalidLayout(format!(
+                "{what}: counts has {} entries for communicator of size {p}",
+                byte_counts.len()
+            )));
+        }
+        let total: usize = byte_counts.iter().sum();
+        if total != packed.len() {
+            return Err(MpiError::InvalidLayout(format!(
+                "{what}: send buffer holds {} bytes but counts sum to {total} bytes",
+                packed.len()
+            )));
+        }
         let mut offset = 0usize;
         let mut own = Bytes::new();
-        for (r, &c) in counts.iter().enumerate() {
-            let block = Bytes::copy_from_slice(as_bytes(&send[offset..offset + c]));
+        for (r, &c) in byte_counts.iter().enumerate() {
+            let block = packed.slice(offset..offset + c);
             offset += c;
             if r == self.rank() {
                 own = block;
@@ -529,7 +586,7 @@ impl Comm {
         self.check_rank(root)?;
         let tag = self.next_internal_tag();
         if self.rank() == root {
-            let own = Bytes::copy_from_slice(as_bytes(send));
+            let own = bytes_from_slice(send);
             let recv = RecvFromEach::new(self, tag, Some(own));
             Ok(self.coll_request(Box::new(ReduceRootEngine {
                 recv,
@@ -537,7 +594,7 @@ impl Comm {
                 source: root,
             })))
         } else {
-            send_internal(self, root, tag, Bytes::copy_from_slice(as_bytes(send)))?;
+            send_internal(self, root, tag, bytes_from_slice(send))?;
             Ok(self.coll_request(Box::new(ReadyEngine(Some(Completion::Done)))))
         }
     }
@@ -550,11 +607,21 @@ impl Comm {
         send: &[T],
         op: O,
     ) -> Result<Request<'_>> {
+        self.iallreduce_bytes(bytes_from_slice(send), op)
+    }
+
+    /// Byte-level [`Comm::iallreduce`]: the contribution enters the
+    /// transport as-is (zero-copy for adopted owned buffers). `own` must
+    /// encode a `[T]` slice.
+    pub fn iallreduce_bytes<T: Plain, O: ReduceOp<T> + 'static>(
+        &self,
+        own: Bytes,
+        op: O,
+    ) -> Result<Request<'_>> {
         self.count_op("iallreduce");
         let gather_tag = self.next_internal_tag();
         let bcast_tag = self.next_internal_tag();
         if self.rank() == 0 {
-            let own = Bytes::copy_from_slice(as_bytes(send));
             let recv = RecvFromEach::new(self, gather_tag, Some(own));
             Ok(self.coll_request(Box::new(AllreduceRootEngine {
                 recv,
@@ -562,7 +629,7 @@ impl Comm {
                 bcast_tag,
             })))
         } else {
-            send_internal(self, 0, gather_tag, Bytes::copy_from_slice(as_bytes(send)))?;
+            send_internal(self, 0, gather_tag, own)?;
             Ok(self.coll_request(Box::new(BcastRecvEngine {
                 recv: BcastRecv {
                     tag: bcast_tag,

@@ -39,9 +39,10 @@ pub(crate) fn allreduce_internal<T: Plain, O: ReduceOp<T>>(
         } else {
             None
         };
-        let payload = result.map(|r| bytes::Bytes::copy_from_slice(crate::plain::as_bytes(&r)));
+        // The folded result moves into the broadcast payload (no copy).
+        let payload = result.map(crate::plain::bytes_from_vec);
         let bytes = super::bcast_bytes_internal(comm, payload, 0)?;
-        return Ok(crate::plain::bytes_to_vec(&bytes));
+        return Ok(crate::plain::bytes_into_vec(bytes));
     }
 
     let tag = comm.next_internal_tag();
@@ -98,24 +99,9 @@ impl Comm {
         send: &[T],
         root: Rank,
     ) -> Result<Option<(Vec<T>, Vec<usize>)>> {
-        let p = self.size();
         let tag = self.next_internal_tag();
         if self.rank() == root {
-            let mut blocks: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
-            blocks[root] = Some(send.to_vec());
-            for _ in 0..p - 1 {
-                let env =
-                    self.recv_envelope(crate::message::Src::Any, crate::message::TagSel::Is(tag))?;
-                blocks[env.src] = Some(crate::plain::bytes_to_vec(&env.payload));
-            }
-            let counts: Vec<usize> = blocks
-                .iter()
-                .map(|b| b.as_ref().expect("all blocks arrived").len())
-                .collect();
-            let mut data = Vec::with_capacity(counts.iter().sum());
-            for b in blocks {
-                data.extend_from_slice(&b.expect("block present"));
-            }
+            let (data, counts) = super::gather::gather_assemble(self, tag, send, root)?;
             Ok(Some((data, counts)))
         } else {
             send_slice_internal(self, root, tag, send)?;
@@ -149,7 +135,7 @@ impl Comm {
                         folded.len()
                     )));
                 }
-                recv.copy_from_slice(&folded);
+                crate::plain::copy_slice(&folded, recv);
             }
             return Ok(());
         }
@@ -182,7 +168,7 @@ impl Comm {
                     acc.len()
                 )));
             }
-            recv.copy_from_slice(&acc);
+            crate::plain::copy_slice(&acc, recv);
         }
         Ok(())
     }
@@ -203,7 +189,7 @@ impl Comm {
             )));
         }
         let out = allreduce_internal(self, send, &op)?;
-        recv.copy_from_slice(&out);
+        crate::plain::copy_slice(&out, recv);
         Ok(())
     }
 

@@ -37,7 +37,7 @@ impl Comm {
         if rank + 1 < p {
             send_slice_internal(self, rank + 1, tag, &acc)?;
         }
-        recv.copy_from_slice(&acc);
+        crate::plain::copy_slice(&acc, recv);
         Ok(())
     }
 

@@ -1,10 +1,42 @@
-//! Scatter and scatterv (flat tree).
+//! Scatter and scatterv (flat tree, pack-once at the root).
+//!
+//! The root serializes its send buffer into **one** shared payload and
+//! carves per-destination blocks out of it by refcount slicing — one
+//! copy and one allocation total, instead of one of each per peer.
 
-use super::{check_layout, recv_internal, send_slice_internal};
+use bytes::Bytes;
+
+use super::{check_layout, recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::plain::copy_bytes_into;
+use crate::plain::{bytes_from_slice, bytes_into_vec, copy_bytes_into, copy_slice};
 use crate::{Plain, Rank};
+
+/// Packs `send` once and sends `counts[r]`-element blocks at
+/// `displs[r]` to every rank except the root; returns the root's own
+/// block as a shared slice.
+fn scatter_blocks<T: Plain>(
+    comm: &Comm,
+    tag: crate::Tag,
+    send: &[T],
+    counts: &[usize],
+    displs: &[usize],
+    root: Rank,
+) -> Result<Bytes> {
+    let elem = std::mem::size_of::<T>();
+    let packed = bytes_from_slice(send);
+    let mut own = Bytes::new();
+    for r in 0..comm.size() {
+        let start = displs[r] * elem;
+        let block = packed.slice(start..start + counts[r] * elem);
+        if r == root {
+            own = block;
+        } else {
+            send_internal(comm, r, tag, block)?;
+        }
+    }
+    Ok(own)
+}
 
 impl Comm {
     /// Scatters equal-sized blocks of the root's buffer to all ranks
@@ -24,13 +56,10 @@ impl Comm {
                     p * n
                 )));
             }
-            for r in 0..p {
-                if r == root {
-                    continue;
-                }
-                send_slice_internal(self, r, tag, &send[r * n..(r + 1) * n])?;
-            }
-            recv.copy_from_slice(&send[root * n..(root + 1) * n]);
+            let counts = vec![n; p];
+            let displs: Vec<usize> = (0..p).map(|r| r * n).collect();
+            scatter_blocks(self, tag, &send[..p * n], &counts, &displs, root)?;
+            copy_slice(&send[root * n..(root + 1) * n], recv);
             Ok(())
         } else {
             let bytes = recv_internal(self, root, tag)?;
@@ -61,12 +90,7 @@ impl Comm {
         let tag = self.next_internal_tag();
         if self.rank() == root {
             check_layout("scatterv", counts, displs, send.len(), p)?;
-            for r in 0..p {
-                if r == root {
-                    continue;
-                }
-                send_slice_internal(self, r, tag, &send[displs[r]..displs[r] + counts[r]])?;
-            }
+            scatter_blocks(self, tag, send, counts, displs, root)?;
             let own = &send[displs[root]..displs[root] + counts[root]];
             if recv.len() < own.len() {
                 return Err(MpiError::Truncated {
@@ -74,7 +98,7 @@ impl Comm {
                     buffer_bytes: std::mem::size_of_val(recv),
                 });
             }
-            recv[..own.len()].copy_from_slice(own);
+            copy_slice(own, &mut recv[..own.len()]);
             Ok(())
         } else {
             let bytes = recv_internal(self, root, tag)?;
@@ -100,16 +124,13 @@ impl Comm {
                 )));
             }
             let n = data.len() / p;
-            for r in 0..p {
-                if r == root {
-                    continue;
-                }
-                send_slice_internal(self, r, tag, &data[r * n..(r + 1) * n])?;
-            }
-            Ok(data[root * n..(root + 1) * n].to_vec())
+            let counts = vec![n; p];
+            let displs: Vec<usize> = (0..p).map(|r| r * n).collect();
+            let own = scatter_blocks(self, tag, data, &counts, &displs, root)?;
+            Ok(bytes_into_vec(own))
         } else {
             let bytes = recv_internal(self, root, tag)?;
-            Ok(crate::plain::bytes_to_vec(&bytes))
+            Ok(bytes_into_vec(bytes))
         }
     }
 
@@ -127,16 +148,11 @@ impl Comm {
         if self.rank() == root {
             let (data, counts, displs) = send.expect("root must supply data and layout");
             check_layout("scatterv", counts, displs, data.len(), p)?;
-            for r in 0..p {
-                if r == root {
-                    continue;
-                }
-                send_slice_internal(self, r, tag, &data[displs[r]..displs[r] + counts[r]])?;
-            }
-            Ok(data[displs[root]..displs[root] + counts[root]].to_vec())
+            let own = scatter_blocks(self, tag, data, counts, displs, root)?;
+            Ok(bytes_into_vec(own))
         } else {
             let bytes = recv_internal(self, root, tag)?;
-            Ok(crate::plain::bytes_to_vec(&bytes))
+            Ok(bytes_into_vec(bytes))
         }
     }
 }

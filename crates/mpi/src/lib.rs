@@ -47,6 +47,7 @@ pub mod counter;
 pub mod error;
 pub mod mailbox;
 pub mod message;
+pub mod metrics;
 pub mod op;
 pub mod p2p;
 pub mod plain;
@@ -61,8 +62,11 @@ pub use comm::Comm;
 pub use counter::CallCounts;
 pub use error::{MpiError, Result};
 pub use message::{Src, Status, TagSel, ANY_SOURCE, ANY_TAG};
+pub use metrics::CopyStats;
 pub use op::{commutative, non_commutative, ReduceOp};
-pub use plain::{as_bytes, bytes_to_vec, Plain};
+pub use plain::{
+    as_bytes, bytes_from_slice, bytes_from_vec, bytes_into_vec, bytes_to_vec, Plain, SharedPayload,
+};
 pub use request::{Request, RequestSet};
 pub use topology::DistGraphComm;
 pub use universe::{Config, RankOutcome, Universe};

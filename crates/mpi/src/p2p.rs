@@ -5,7 +5,7 @@ use bytes::Bytes;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::message::{Src, Status, TagSel};
-use crate::plain::{as_bytes, bytes_to_vec, copy_bytes_into};
+use crate::plain::{bytes_from_slice, bytes_from_vec, bytes_into_vec, copy_bytes_into};
 use crate::{Plain, Rank, Tag};
 
 impl Comm {
@@ -14,7 +14,16 @@ impl Comm {
     pub fn send<T: Plain>(&self, data: &[T], dest: Rank, tag: Tag) -> Result<()> {
         self.count_op("send");
         self.check_tag(tag)?;
-        self.deliver_bytes(dest, tag, Bytes::copy_from_slice(as_bytes(data)), None)
+        self.deliver_bytes(dest, tag, bytes_from_slice(data), None)
+    }
+
+    /// Sends an owned vector, **moving** it into the transport without
+    /// copying (the zero-copy owned send path): the allocation itself
+    /// becomes the in-flight payload.
+    pub fn send_vec<T: Plain>(&self, data: Vec<T>, dest: Rank, tag: Tag) -> Result<()> {
+        self.count_op("send");
+        self.check_tag(tag)?;
+        self.deliver_bytes(dest, tag, bytes_from_vec(data), None)
     }
 
     /// Sends a single value.
@@ -26,7 +35,15 @@ impl Comm {
     pub fn send_bytes(&self, data: &[u8], dest: Rank, tag: Tag) -> Result<()> {
         self.count_op("send");
         self.check_tag(tag)?;
-        self.deliver_bytes(dest, tag, Bytes::copy_from_slice(data), None)
+        self.deliver_bytes(dest, tag, bytes_from_slice(data), None)
+    }
+
+    /// Sends an already-shared payload without copying (zero-copy path
+    /// for the serialization layer and for relaying received payloads).
+    pub fn send_shared(&self, data: Bytes, dest: Rank, tag: Tag) -> Result<()> {
+        self.count_op("send");
+        self.check_tag(tag)?;
+        self.deliver_bytes(dest, tag, data, None)
     }
 
     /// Receives into a caller-provided buffer (mirrors `MPI_Recv`).
@@ -68,7 +85,7 @@ impl Comm {
             tag: env.tag,
             bytes: env.payload.len(),
         };
-        Ok((bytes_to_vec(&env.payload), status))
+        Ok((bytes_into_vec(env.payload), status))
     }
 
     /// Receives a single value.
@@ -117,12 +134,7 @@ impl Comm {
     ) -> Result<Status> {
         self.count_op("sendrecv");
         self.check_tag(send_tag)?;
-        self.deliver_bytes(
-            dest,
-            send_tag,
-            Bytes::copy_from_slice(as_bytes(send_data)),
-            None,
-        )?;
+        self.deliver_bytes(dest, send_tag, bytes_from_slice(send_data), None)?;
         let env = self.recv_envelope(src.into(), recv_tag.into())?;
         let status = Status {
             source: env.src,

@@ -12,6 +12,13 @@
 //! [`plain_struct!`](crate::plain_struct) macro (which verifies the
 //! no-padding requirement with a compile-time assertion).
 
+use std::any::TypeId;
+use std::sync::Arc;
+
+use bytes::{ByteOwner, Bytes};
+
+use crate::metrics;
+
 /// Marker for types that can be sent as raw bytes.
 ///
 /// # Safety
@@ -20,7 +27,7 @@
 /// - every bit pattern of `size_of::<Self>()` bytes is a valid value, and
 /// - the type has no padding bytes (so reading it as bytes never touches
 ///   uninitialized memory).
-pub unsafe trait Plain: Copy + Send + 'static {}
+pub unsafe trait Plain: Copy + Send + Sync + 'static {}
 
 macro_rules! impl_plain_prims {
     ($($t:ty),* $(,)?) => {
@@ -91,6 +98,8 @@ pub fn bytes_to_vec<T: Plain>(bytes: &[u8]) -> Vec<T> {
         bytes.len()
     );
     let n = bytes.len() / size;
+    metrics::record_alloc();
+    metrics::record_copy(bytes.len());
     let mut out = Vec::<T>::with_capacity(n);
     // SAFETY: the destination has capacity for `n` elements and `T: Plain`
     // accepts arbitrary byte patterns.
@@ -125,6 +134,7 @@ pub fn copy_bytes_into<T: Plain>(bytes: &[u8], dst: &mut [T]) -> usize {
         "receive buffer too small: need {n} elements, have {}",
         dst.len()
     );
+    metrics::record_copy(bytes.len());
     // SAFETY: bounds checked above; `T: Plain` accepts arbitrary bytes.
     unsafe {
         std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst.as_mut_ptr().cast::<u8>(), bytes.len());
@@ -143,6 +153,7 @@ pub fn zeroed<T: Plain>() -> T {
 /// Allocates a zero-initialized vector of plain values.
 #[inline]
 pub fn zeroed_vec<T: Plain>(n: usize) -> Vec<T> {
+    metrics::record_alloc();
     let mut v = Vec::<T>::with_capacity(n);
     // SAFETY: capacity reserved above; the zero pattern is valid for
     // `T: Plain`, and `write_bytes` initializes every byte.
@@ -151,6 +162,160 @@ pub fn zeroed_vec<T: Plain>(n: usize) -> Vec<T> {
         v.set_len(n);
     }
     v
+}
+
+/// Copies between typed slices, charging the copy counters. Use instead
+/// of `copy_from_slice` for payload-sized copies in the datapath.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn copy_slice<T: Plain>(src: &[T], dst: &mut [T]) {
+    metrics::record_copy(std::mem::size_of_val(src));
+    dst.copy_from_slice(src);
+}
+
+/// Appends the typed content of a byte buffer to a vector with a single
+/// copy (no intermediate vector, no zero-fill), returning the number of
+/// elements appended.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`.
+#[inline]
+pub fn extend_vec_from_bytes<T: Plain>(dst: &mut Vec<T>, bytes: &[u8]) -> usize {
+    let size = std::mem::size_of::<T>();
+    if size == 0 {
+        return 0;
+    }
+    assert!(
+        bytes.len().is_multiple_of(size),
+        "byte length {} is not a multiple of element size {size}",
+        bytes.len()
+    );
+    let n = bytes.len() / size;
+    metrics::record_copy(bytes.len());
+    dst.reserve(n);
+    let old_len = dst.len();
+    // SAFETY: capacity reserved above; `T: Plain` accepts arbitrary bytes.
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            bytes.as_ptr(),
+            dst.as_mut_ptr().add(old_len).cast::<u8>(),
+            bytes.len(),
+        );
+        dst.set_len(old_len + n);
+    }
+    n
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy Bytes conversions
+// ---------------------------------------------------------------------------
+
+/// Copies a typed slice into a fresh [`Bytes`] payload (the borrowed send
+/// path: one counted copy).
+#[inline]
+pub fn bytes_from_slice<T: Plain>(s: &[T]) -> Bytes {
+    metrics::record_alloc();
+    metrics::record_copy(std::mem::size_of_val(s));
+    Bytes::copy_from_slice(as_bytes(s))
+}
+
+/// A `Vec<T>` adopted as [`ByteOwner`] backing storage for a [`Bytes`].
+struct PlainVec<T: Plain>(Vec<T>);
+
+impl<T: Plain> ByteOwner for PlainVec<T> {
+    fn as_bytes(&self) -> &[u8] {
+        as_bytes(&self.0)
+    }
+}
+
+/// Moves an owned vector into a [`Bytes`] payload **without copying**:
+/// the allocation is adopted, not re-serialized. `Vec<u8>` payloads stay
+/// recoverable on the receive side via [`bytes_into_vec`].
+pub fn bytes_from_vec<T: Plain>(v: Vec<T>) -> Bytes {
+    if TypeId::of::<T>() == TypeId::of::<u8>() {
+        // SAFETY: T is u8 (checked above), so this is a no-op transmute
+        // of the vector's type parameter.
+        let v = unsafe {
+            let mut v = std::mem::ManuallyDrop::new(v);
+            Vec::from_raw_parts(v.as_mut_ptr().cast::<u8>(), v.len(), v.capacity())
+        };
+        Bytes::from(v)
+    } else {
+        Bytes::from_owner(Arc::new(PlainVec(v)))
+    }
+}
+
+/// Converts a received payload into a typed vector with at most one copy —
+/// and **zero** copies for `Vec<u8>`-shaped targets when the payload is
+/// the unique view of its allocation (the common case for a delivered
+/// point-to-point message).
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of the element size.
+pub fn bytes_into_vec<T: Plain>(b: Bytes) -> Vec<T> {
+    if TypeId::of::<T>() == TypeId::of::<u8>() {
+        let v: Vec<u8> = match b.try_into_vec() {
+            Ok(v) => v,
+            Err(b) => bytes_to_vec::<u8>(&b),
+        };
+        // SAFETY: T is u8 (checked above).
+        return unsafe {
+            let mut v = std::mem::ManuallyDrop::new(v);
+            Vec::from_raw_parts(v.as_mut_ptr().cast::<T>(), v.len(), v.capacity())
+        };
+    }
+    bytes_to_vec(&b)
+}
+
+/// An owned send container moved into the transport (§III-E): the
+/// transport holds [`Bytes`] views aliasing the same allocation, and the
+/// caller reclaims the container through [`SharedPayload::take`] once the
+/// operation completes.
+pub struct SharedPayload<T: Plain>(SharedRepr<T>);
+
+enum SharedRepr<T: Plain> {
+    /// The vector is aliased by in-flight `Bytes` views.
+    Shared(Arc<PlainVec<T>>),
+    /// The vector never entered the transport (e.g. it was repacked
+    /// first); hand it back directly.
+    Ready(Vec<T>),
+}
+
+impl<T: Plain> SharedPayload<T> {
+    /// Moves `v` into the transport: returns the reclaim handle and the
+    /// zero-copy [`Bytes`] payload aliasing it.
+    pub fn new(v: Vec<T>) -> (Self, Bytes) {
+        let arc = Arc::new(PlainVec(v));
+        let payload = Bytes::from_owner(Arc::clone(&arc) as Arc<dyn ByteOwner>);
+        (SharedPayload(SharedRepr::Shared(arc)), payload)
+    }
+
+    /// Wraps a vector that is handed back as-is (no transport aliasing).
+    pub fn ready(v: Vec<T>) -> Self {
+        SharedPayload(SharedRepr::Ready(v))
+    }
+
+    /// Reclaims the container. Zero-copy when the transport has dropped
+    /// every alias (the usual case after completion); falls back to one
+    /// counted copy if a peer still holds a view of the payload.
+    pub fn take(self) -> Vec<T> {
+        match self.0 {
+            SharedRepr::Ready(v) => v,
+            SharedRepr::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(pv) => pv.0,
+                Err(arc) => {
+                    metrics::record_alloc();
+                    metrics::record_copy(std::mem::size_of_val(arc.0.as_slice()));
+                    arc.0.clone()
+                }
+            },
+        }
+    }
 }
 
 /// Number of `T` elements encoded by a byte count.
@@ -254,6 +419,92 @@ mod tests {
     fn element_count_zero_sized_logic() {
         assert_eq!(element_count::<u64>(24), 3);
         assert_eq!(element_count::<u8>(7), 7);
+    }
+
+    #[test]
+    fn bytes_from_vec_adopts_u8_without_copy() {
+        let v = vec![3u8; 64];
+        let ptr = v.as_ptr();
+        let b = bytes_from_vec(v);
+        assert_eq!(b.as_ptr(), ptr, "u8 vectors are adopted in place");
+        let back: Vec<u8> = bytes_into_vec(b);
+        assert_eq!(
+            back.as_ptr(),
+            ptr,
+            "unique byte payloads come back in place"
+        );
+        assert_eq!(back, vec![3u8; 64]);
+    }
+
+    #[test]
+    fn bytes_from_vec_adopts_typed_without_copy() {
+        let v = vec![7u64, 8, 9];
+        let ptr = v.as_ptr();
+        let b = bytes_from_vec(v);
+        assert_eq!(b.as_ptr().cast::<u64>(), ptr, "typed vectors are adopted");
+        assert_eq!(b.len(), 24);
+        let back: Vec<u64> = bytes_into_vec(b);
+        assert_eq!(back, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn bytes_into_vec_copies_shared_payloads() {
+        let b = bytes_from_vec(vec![1u8, 2, 3]);
+        let keep = b.clone();
+        let back: Vec<u8> = bytes_into_vec(b);
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(&*keep, &[1, 2, 3], "the shared view stays valid");
+    }
+
+    #[test]
+    fn shared_payload_take_is_zero_copy_when_unique() {
+        let v = vec![5u32; 8];
+        let ptr = v.as_ptr();
+        let (hold, payload) = SharedPayload::new(v);
+        assert_eq!(payload.len(), 32);
+        drop(payload); // transport done with it
+        let back = hold.take();
+        assert_eq!(back.as_ptr(), ptr, "unique payloads are reclaimed in place");
+        assert_eq!(back, vec![5u32; 8]);
+    }
+
+    #[test]
+    fn shared_payload_take_falls_back_to_copy() {
+        let (hold, payload) = SharedPayload::new(vec![9u16; 4]);
+        let back = hold.take(); // payload still alive: copy
+        assert_eq!(back, vec![9u16; 4]);
+        assert_eq!(&*payload, as_bytes(&[9u16; 4]));
+    }
+
+    #[test]
+    fn shared_payload_ready_hands_back_directly() {
+        let v = vec![1u8, 2];
+        let ptr = v.as_ptr();
+        let back = SharedPayload::ready(v).take();
+        assert_eq!(back.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn extend_from_bytes_appends_typed() {
+        let mut v = vec![1u32];
+        let n = extend_vec_from_bytes(&mut v, as_bytes(&[2u32, 3]));
+        assert_eq!(n, 2);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn extend_from_bytes_rejects_misaligned() {
+        let mut v: Vec<u32> = Vec::new();
+        extend_vec_from_bytes(&mut v, &[0u8; 7]);
+    }
+
+    #[test]
+    fn counted_slice_copy() {
+        let src = [1u64, 2];
+        let mut dst = [0u64; 2];
+        copy_slice(&src, &mut dst);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use bytes::Bytes;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::message::{AckSlot, Src, Status, TagSel};
-use crate::plain::as_bytes;
+use crate::plain::bytes_from_slice;
 use crate::{Plain, Rank, Tag};
 
 /// What a completed request yields: receives carry a payload,
@@ -262,9 +262,15 @@ impl Comm {
     /// creation — but, as in MPI, completion must still be observed via
     /// wait/test.
     pub fn isend<T: Plain>(&self, data: &[T], dest: Rank, tag: Tag) -> Result<Request<'_>> {
+        self.isend_bytes(bytes_from_slice(data), dest, tag)
+    }
+
+    /// Byte-level [`Comm::isend`]: the payload enters the transport
+    /// as-is (zero-copy for adopted owned buffers).
+    pub fn isend_bytes(&self, payload: Bytes, dest: Rank, tag: Tag) -> Result<Request<'_>> {
         self.count_op("isend");
         self.check_tag(tag)?;
-        self.deliver_bytes(dest, tag, Bytes::copy_from_slice(as_bytes(data)), None)?;
+        self.deliver_bytes(dest, tag, payload, None)?;
         Ok(Request {
             comm: self,
             state: ReqState::SendDone,
@@ -276,15 +282,15 @@ impl Comm {
     /// matched the message. This is the primitive the NBX sparse
     /// all-to-all (§V-A) is built on.
     pub fn issend<T: Plain>(&self, data: &[T], dest: Rank, tag: Tag) -> Result<Request<'_>> {
+        self.issend_bytes(bytes_from_slice(data), dest, tag)
+    }
+
+    /// Byte-level [`Comm::issend`] (zero-copy for adopted owned buffers).
+    pub fn issend_bytes(&self, payload: Bytes, dest: Rank, tag: Tag) -> Result<Request<'_>> {
         self.count_op("issend");
         self.check_tag(tag)?;
         let ack = AckSlot::new();
-        self.deliver_bytes(
-            dest,
-            tag,
-            Bytes::copy_from_slice(as_bytes(data)),
-            Some(ack.clone()),
-        )?;
+        self.deliver_bytes(dest, tag, payload, Some(ack.clone()))?;
         Ok(Request {
             comm: self,
             state: ReqState::SyncSend { ack, dest },

@@ -13,7 +13,7 @@
 
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::plain::{as_bytes, copy_bytes_into};
+use crate::plain::copy_bytes_into;
 use crate::{Plain, Rank};
 
 /// A communicator with an attached directed communication graph
@@ -142,12 +142,7 @@ impl DistGraphComm {
         let tag = comm.next_internal_tag();
         for (k, &dest) in self.destinations.iter().enumerate() {
             let block = &send[send_displs[k]..send_displs[k] + send_counts[k]];
-            comm.deliver_bytes(
-                dest,
-                tag,
-                bytes::Bytes::copy_from_slice(as_bytes(block)),
-                None,
-            )?;
+            comm.deliver_bytes(dest, tag, crate::plain::bytes_from_slice(block), None)?;
         }
         for (j, &src) in self.sources.iter().enumerate() {
             let env = comm.recv_envelope(
@@ -178,12 +173,7 @@ impl DistGraphComm {
         );
         let tag = comm.next_internal_tag();
         for (k, &dest) in self.destinations.iter().enumerate() {
-            comm.deliver_bytes(
-                dest,
-                tag,
-                bytes::Bytes::copy_from_slice(as_bytes(&send[k])),
-                None,
-            )?;
+            comm.deliver_bytes(dest, tag, crate::plain::bytes_from_slice(&send[k]), None)?;
         }
         let mut out = Vec::with_capacity(self.sources.len());
         for &src in &self.sources {
@@ -191,7 +181,7 @@ impl DistGraphComm {
                 crate::message::Src::Rank(src),
                 crate::message::TagSel::Is(tag),
             )?;
-            out.push(crate::plain::bytes_to_vec(&env.payload));
+            out.push(crate::plain::bytes_into_vec(env.payload));
         }
         Ok(out)
     }

@@ -1,0 +1,215 @@
+//! Copy-accounting bounds: the substrate's shared-`Bytes` datapath must
+//! not copy payloads more often than the algorithm requires — the
+//! testable core of the paper's "(near) zero overhead" claim.
+//!
+//! Counters are per-rank (thread-local); every test snapshots/diffs
+//! inside the rank closure, exactly like the PMPI-style call counters.
+
+#![cfg(feature = "copy-metrics")]
+
+use kmp_mpi::{metrics, Universe};
+
+/// Non-root bcast ranks copy O(N) bytes for an N-byte payload no matter
+/// how many children they forward to; the root pays exactly one
+/// serialization. At p = 8 the root forwards to 3 children and vrank 4
+/// to 2 — with per-hop re-serialization those ranks would copy 4N / 3N.
+#[test]
+fn bcast_copies_payload_once_regardless_of_children() {
+    const N: usize = 1 << 20;
+    Universe::run(8, |comm| {
+        let mut buf = vec![comm.rank() as u8; N];
+        let before = metrics::snapshot();
+        comm.bcast_into(&mut buf, 0).unwrap();
+        let delta = metrics::snapshot().since(&before);
+        assert_eq!(
+            delta.bytes_copied,
+            N as u64,
+            "rank {}: bcast of {N} bytes must copy exactly {N} (root: pack; \
+             non-root: unpack; forwarding is refcount cloning)",
+            comm.rank()
+        );
+    });
+}
+
+/// The allgather ring forwards each block as the same shared payload: a
+/// rank copies its own block once (serialization) plus the full result
+/// (assembly) — per-hop re-serialization would triple that.
+#[test]
+fn allgather_ring_forwards_blocks_without_reserialization() {
+    const N: usize = 64 * 1024; // bytes per rank
+    let p = 8usize;
+    Universe::run(p, move |comm| {
+        let mine = vec![comm.rank() as u8; N];
+        let before = metrics::snapshot();
+        let all = comm.allgather_vec(&mine).unwrap();
+        let delta = metrics::snapshot().since(&before);
+        assert_eq!(all.len(), p * N);
+        let bound = (N + p * N) as u64; // own serialization + assembly
+        assert_eq!(
+            delta.bytes_copied,
+            bound,
+            "rank {}: ring allgather must copy s + r = {bound} bytes, \
+             not O(p) copies per block",
+            comm.rank()
+        );
+    });
+}
+
+/// Same bound for allgatherv into a user buffer (plus the up-front copy
+/// of the own block into the receive buffer).
+#[test]
+fn allgatherv_into_is_single_copy_per_block() {
+    const N: usize = 32 * 1024;
+    let p = 4usize;
+    Universe::run(p, move |comm| {
+        let mine = vec![comm.rank() as u64; N / 8];
+        let counts = vec![N / 8; p];
+        let displs: Vec<usize> = (0..p).map(|r| r * (N / 8)).collect();
+        let mut recv = vec![0u64; p * (N / 8)];
+        let before = metrics::snapshot();
+        comm.allgatherv_into(&mine, &mut recv, &counts, &displs)
+            .unwrap();
+        let delta = metrics::snapshot().since(&before);
+        // own into recv + own serialization + each *other* block into recv.
+        let bound = (2 * N + (p - 1) * N) as u64;
+        assert_eq!(delta.bytes_copied, bound, "rank {}", comm.rank());
+    });
+}
+
+/// An owned vector moves into the transport without any copy, and a
+/// `Vec<u8>`-shaped receive adopts the delivered allocation without any
+/// copy either: a zero-copy end-to-end point-to-point path.
+#[test]
+fn owned_send_and_byte_recv_are_zero_copy_end_to_end() {
+    const N: usize = 1 << 20;
+    Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            let data = vec![7u8; N];
+            let before = metrics::snapshot();
+            comm.send_vec(data, 1, 0).unwrap();
+            let delta = metrics::snapshot().since(&before);
+            assert_eq!(delta.bytes_copied, 0, "owned send must not copy");
+        } else {
+            let before = metrics::snapshot();
+            let (got, _) = comm.recv_vec::<u8>(0, 0).unwrap();
+            let delta = metrics::snapshot().since(&before);
+            assert_eq!(got.len(), N);
+            assert_eq!(got[0], 7);
+            assert_eq!(
+                delta.bytes_copied, 0,
+                "byte-shaped receive must adopt the delivered allocation"
+            );
+        }
+    });
+}
+
+/// Typed (non-u8) receives pay exactly one copy — materializing into the
+/// caller's element type — never two.
+#[test]
+fn typed_recv_pays_exactly_one_copy() {
+    const N: usize = 128 * 1024;
+    Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            let data: Vec<u64> = (0..N as u64 / 8).collect();
+            let before = metrics::snapshot();
+            comm.send_vec(data, 1, 0).unwrap();
+            let delta = metrics::snapshot().since(&before);
+            assert_eq!(delta.bytes_copied, 0, "owned typed send must not copy");
+        } else {
+            let before = metrics::snapshot();
+            let (got, _) = comm.recv_vec::<u64>(0, 0).unwrap();
+            let delta = metrics::snapshot().since(&before);
+            assert_eq!(got.len(), N / 8);
+            assert_eq!(delta.bytes_copied, N as u64);
+        }
+    });
+}
+
+/// The pairwise alltoallv packs the send buffer once and slices per-peer
+/// blocks by refcount: total copies are s + r, and the whole exchange
+/// performs one payload allocation per rank.
+#[test]
+fn alltoallv_packs_once_and_slices() {
+    let p = 4usize;
+    const PER_PEER: usize = 8 * 1024; // u32 elements per destination
+    Universe::run(p, move |comm| {
+        let send: Vec<u32> = vec![comm.rank() as u32; p * PER_PEER];
+        let counts = vec![PER_PEER; p];
+        let displs: Vec<usize> = (0..p).map(|r| r * PER_PEER).collect();
+        let mut recv = vec![0u32; p * PER_PEER];
+        let before = metrics::snapshot();
+        comm.alltoallv_into(&send, &counts, &displs, &mut recv, &counts, &displs)
+            .unwrap();
+        let delta = metrics::snapshot().since(&before);
+        let s = (p * PER_PEER * 4) as u64;
+        let r = s;
+        assert_eq!(
+            delta.bytes_copied,
+            s + r,
+            "rank {}: pack-once exchange copies s + r",
+            comm.rank()
+        );
+        assert_eq!(
+            delta.allocations,
+            1,
+            "rank {}: one packed payload, per-peer blocks are slices",
+            comm.rank()
+        );
+    });
+}
+
+/// The non-blocking allgatherv posts the same shared payload to every
+/// peer: zero copies at call time for an adopted owned payload, and the
+/// eager fan-out to p-1 peers costs no copies at all.
+#[test]
+fn iallgatherv_bytes_fan_out_is_copy_free() {
+    const N: usize = 256 * 1024;
+    let p = 4usize;
+    Universe::run(p, move |comm| {
+        let own = kmp_mpi::bytes_from_vec(vec![comm.rank() as u8; N]);
+        let before = metrics::snapshot();
+        let req = comm.iallgatherv_bytes(own).unwrap();
+        let call_delta = metrics::snapshot().since(&before);
+        assert_eq!(
+            call_delta.bytes_copied,
+            0,
+            "rank {}: posting an adopted payload to {} peers must not copy",
+            comm.rank(),
+            p - 1
+        );
+        let blocks = req.wait().unwrap().into_blocks().unwrap();
+        assert_eq!(blocks.len(), p);
+        assert!(blocks.iter().all(|b| b.len() == N));
+    });
+}
+
+/// Scatter packs the root's buffer once; every per-destination block is
+/// a refcount slice of it.
+#[test]
+fn scatter_root_packs_once() {
+    let p = 4usize;
+    const PER_RANK: usize = 16 * 1024;
+    Universe::run(p, move |comm| {
+        let before = metrics::snapshot();
+        let got = comm
+            .scatter_vec(
+                (comm.rank() == 0)
+                    .then(|| vec![9u8; p * PER_RANK])
+                    .as_deref(),
+                0,
+            )
+            .unwrap();
+        let delta = metrics::snapshot().since(&before);
+        assert_eq!(got.len(), PER_RANK);
+        if comm.rank() == 0 {
+            // One pack of the whole buffer + materializing the own block.
+            assert_eq!(delta.bytes_copied, (p * PER_RANK + PER_RANK) as u64);
+            assert!(
+                delta.allocations <= 2,
+                "pack + own-block vector, not one allocation per peer"
+            );
+        } else {
+            assert_eq!(delta.bytes_copied, PER_RANK as u64);
+        }
+    });
+}

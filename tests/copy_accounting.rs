@@ -1,0 +1,166 @@
+//! End-to-end copy accounting through the **binding layer**: the named-
+//! parameter API must add no copies on top of the substrate datapath —
+//! the testable form of the paper's "(near) zero overhead" claim (§IV).
+//!
+//! Counters are per-rank (thread-local, see `kmp_mpi::metrics`); deltas
+//! are measured inside the rank closure.
+
+#![cfg(feature = "copy-metrics")]
+
+use kamping_repro::kamping::prelude::*;
+use kamping_repro::mpi::{metrics, Universe};
+
+/// An owned send buffer moves into the transport at call time with zero
+/// copies (§III-E meets zero-copy), and the fan-out to all peers is
+/// refcount cloning.
+#[test]
+fn iallgatherv_owned_send_is_zero_copy_at_call() {
+    const N: usize = 1 << 18; // u64 elements
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let mine = vec![comm.rank() as u64; N];
+        let before = metrics::snapshot();
+        let fut = comm.iallgatherv(send_buf(mine)).unwrap();
+        let call_delta = metrics::snapshot().since(&before);
+        assert_eq!(
+            call_delta.bytes_copied,
+            0,
+            "rank {}: posting an owned send_buf must not copy",
+            comm.rank()
+        );
+        let (all, mine) = fut.wait().unwrap();
+        assert_eq!(all.len(), 4 * N);
+        assert_eq!(mine.len(), N, "moved-in buffer handed back");
+    });
+}
+
+/// Same call-time zero-copy for the non-blocking personalized exchange.
+#[test]
+fn ialltoallv_owned_send_is_zero_copy_at_call() {
+    const PER_PEER: usize = 1 << 14;
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let send = vec![comm.rank() as u32; 4 * PER_PEER];
+        let counts = vec![PER_PEER; 4];
+        let before = metrics::snapshot();
+        let fut = comm
+            .ialltoallv((send_buf(send), send_counts(&counts)))
+            .unwrap();
+        let call_delta = metrics::snapshot().since(&before);
+        assert_eq!(
+            call_delta.bytes_copied,
+            0,
+            "rank {}: owned ialltoallv send must not copy at call time",
+            comm.rank()
+        );
+        let (data, send) = fut.wait().unwrap();
+        assert_eq!(data.len(), 4 * PER_PEER);
+        assert_eq!(send.len(), 4 * PER_PEER, "moved-in buffer handed back");
+    });
+}
+
+/// The root of a non-blocking broadcast moves its vector into the
+/// transport (zero call-time copies) and gets it back from `wait()`.
+#[test]
+fn ibcast_owned_root_buffer_is_zero_copy_at_call() {
+    const N: usize = 1 << 18;
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let data = if comm.rank() == 1 {
+            vec![42u64; N]
+        } else {
+            vec![]
+        };
+        let before = metrics::snapshot();
+        let fut = comm.ibcast((send_recv_buf(data), root(1))).unwrap();
+        let call_delta = metrics::snapshot().since(&before);
+        assert_eq!(
+            call_delta.bytes_copied,
+            0,
+            "rank {}: ibcast must not copy at call time on any rank",
+            comm.rank()
+        );
+        let data = fut.wait().unwrap();
+        assert_eq!(data.len(), N);
+        assert_eq!(data[0], 42);
+    });
+}
+
+/// The blocking bcast adopts the delivered payload straight into the
+/// caller's buffer: non-root ranks copy exactly N bytes, independent of
+/// their number of binomial-tree children.
+#[test]
+fn bcast_binding_single_copy_per_rank() {
+    const N: usize = 1 << 20; // u8 payload
+    Universe::run(8, |comm| {
+        let comm = Communicator::new(comm);
+        let mut data = if comm.rank() == 0 {
+            vec![5u8; N]
+        } else {
+            Vec::new()
+        };
+        let before = metrics::snapshot();
+        comm.bcast((send_recv_buf(&mut data),)).unwrap();
+        let delta = metrics::snapshot().since(&before);
+        assert_eq!(data.len(), N);
+        assert_eq!(
+            delta.bytes_copied,
+            N as u64,
+            "rank {}: binding bcast copies the payload exactly once",
+            comm.rank()
+        );
+    });
+}
+
+/// A serialized send moves the encoder's output buffer into the
+/// transport: the payload bytes are written once by serialization and
+/// never copied again before delivery.
+#[test]
+fn serialized_send_does_not_recopy_encoder_output() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        if comm.rank() == 0 {
+            let payload: Vec<(u64, String)> = (0..512).map(|i| (i, format!("value-{i}"))).collect();
+            let before = metrics::snapshot();
+            comm.send((send_buf(as_serialized(&payload)), destination(1), tag(3)))
+                .unwrap();
+            let delta = metrics::snapshot().since(&before);
+            assert_eq!(
+                delta.bytes_copied, 0,
+                "the encoder's output buffer moves into the transport"
+            );
+        } else {
+            let got: Vec<(u64, String)> = comm
+                .recv((source(0), tag(3), recv_buf(as_deserializable())))
+                .unwrap();
+            assert_eq!(got.len(), 512);
+            assert_eq!(got[9].1, "value-9");
+        }
+    });
+}
+
+/// The blocking allgatherv binding writes every delivered block straight
+/// into the caller's buffer: s + r copies total, through the full
+/// named-parameter path.
+#[test]
+fn allgatherv_binding_copies_s_plus_r() {
+    const N: usize = 1 << 16; // u8 per rank
+    let p = 4usize;
+    Universe::run(p, move |comm| {
+        let comm = Communicator::new(comm);
+        let mine = vec![comm.rank() as u8; N];
+        let counts = vec![N; p];
+        let mut out = vec![0u8; p * N];
+        let before = metrics::snapshot();
+        comm.allgatherv((send_buf(&mine), recv_counts(&counts), recv_buf(&mut out)))
+            .unwrap();
+        let delta = metrics::snapshot().since(&before);
+        // own into recv + own serialization + (p-1) delivered blocks.
+        assert_eq!(
+            delta.bytes_copied,
+            (2 * N + (p - 1) * N) as u64,
+            "rank {}: the binding must add no copies over the substrate",
+            comm.rank()
+        );
+    });
+}

@@ -80,13 +80,156 @@ fn allgatherv_grow_only_keeps_excess() {
 }
 
 #[test]
-#[should_panic(expected = "no_resize")]
 fn allgatherv_no_resize_rejects_small_buffer() {
     Universe::run(2, |comm| {
         let comm = Communicator::new(comm);
         let v = vec![1u8, 2];
         let mut out = vec![0u8; 1]; // too small, default policy
-        let _ = comm.allgatherv((send_buf(&v), recv_buf(&mut out)));
+        let err = comm
+            .allgatherv((send_buf(&v), recv_buf(&mut out)))
+            .unwrap_err();
+        // Undersized no_resize buffers are a recoverable error, not a
+        // panic (§III-C upgraded from KaMPIng's unchecked default).
+        assert!(matches!(
+            err,
+            kamping_repro::mpi::MpiError::Truncated { .. }
+        ));
+    });
+}
+
+// --- resize policies across collectives (§III-C) ---------------------------
+//
+// Each v-collective × {grow_only, resize_to_fit, no_resize}, including the
+// undersized-no_resize case, which must surface as a recoverable error
+// (MpiError::Truncated), never a panic.
+
+#[test]
+fn gatherv_resize_policies_matrix() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let mine = vec![comm.rank() as u32; comm.rank() + 1]; // 6 total at root
+
+        // grow_only: an oversized buffer keeps its excess.
+        let mut grow = vec![77u32; 10];
+        comm.gatherv((send_buf(&mine), recv_buf(&mut grow).grow_only()))
+            .unwrap();
+        if comm.rank() == 0 {
+            assert_eq!(&grow[..6], &[0, 1, 1, 2, 2, 2]);
+            assert_eq!(grow.len(), 10, "grow_only must not shrink");
+        }
+
+        // resize_to_fit: exact fit from any starting size.
+        let mut fit = vec![0u32; 1];
+        comm.gatherv((send_buf(&mine), recv_buf(&mut fit).resize_to_fit()))
+            .unwrap();
+        if comm.rank() == 0 {
+            assert_eq!(fit, vec![0, 1, 1, 2, 2, 2]);
+        } else {
+            assert!(fit.is_empty(), "non-roots need no storage");
+        }
+
+        // no_resize with a large-enough buffer succeeds…
+        let mut exact = vec![0u32; if comm.rank() == 0 { 6 } else { 0 }];
+        comm.gatherv((send_buf(&mine), recv_buf(&mut exact)))
+            .unwrap();
+
+        // …and an undersized root buffer errors (only the root needs
+        // storage; its failure is root-local and non-roots have already
+        // completed their eager sends).
+        let mut small = vec![0u32; if comm.rank() == 0 { 2 } else { 0 }];
+        let res = comm.gatherv((send_buf(&mine), recv_buf(&mut small)));
+        if comm.rank() == 0 {
+            assert!(matches!(
+                res.unwrap_err(),
+                kamping_repro::mpi::MpiError::Truncated { .. }
+            ));
+        } else {
+            res.unwrap();
+        }
+    });
+}
+
+#[test]
+fn allgatherv_resize_policies_matrix() {
+    Universe::run(3, |comm| {
+        let comm = Communicator::new(comm);
+        let mine = vec![comm.rank() as u8; comm.rank() + 1]; // 6 total
+
+        let mut grow = vec![9u8; 8];
+        comm.allgatherv((send_buf(&mine), recv_buf(&mut grow).grow_only()))
+            .unwrap();
+        assert_eq!(&grow[..6], &[0, 1, 1, 2, 2, 2]);
+        assert_eq!(grow.len(), 8);
+
+        let mut fit = Vec::new();
+        comm.allgatherv((send_buf(&mine), recv_buf(&mut fit).resize_to_fit()))
+            .unwrap();
+        assert_eq!(fit, vec![0, 1, 1, 2, 2, 2]);
+
+        let mut exact = vec![0u8; 6];
+        comm.allgatherv((send_buf(&mine), recv_buf(&mut exact)))
+            .unwrap();
+        assert_eq!(exact, fit);
+
+        // Undersized no_resize: every rank errors symmetrically (the
+        // needed size is known before any payload exchange).
+        let mut small = vec![0u8; 3];
+        let err = comm
+            .allgatherv((send_buf(&mine), recv_buf(&mut small)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            kamping_repro::mpi::MpiError::Truncated { .. }
+        ));
+    });
+}
+
+#[test]
+fn alltoallv_resize_policies_matrix() {
+    Universe::run(2, |comm| {
+        let comm = Communicator::new(comm);
+        let send = vec![comm.rank() as u16; 4];
+        let counts = vec![2usize, 2];
+
+        let mut grow = vec![8u16; 6];
+        comm.alltoallv((
+            send_buf(&send),
+            send_counts(&counts),
+            recv_buf(&mut grow).grow_only(),
+        ))
+        .unwrap();
+        assert_eq!(&grow[..4], &[0, 0, 1, 1]);
+        assert_eq!(grow.len(), 6);
+
+        let mut fit = vec![0u16; 9];
+        comm.alltoallv((
+            send_buf(&send),
+            send_counts(&counts),
+            recv_buf(&mut fit).resize_to_fit(),
+        ))
+        .unwrap();
+        assert_eq!(fit, vec![0, 0, 1, 1]);
+
+        let mut exact = vec![0u16; 4];
+        comm.alltoallv((send_buf(&send), send_counts(&counts), recv_buf(&mut exact)))
+            .unwrap();
+        assert_eq!(exact, fit);
+
+        // Undersized no_resize: provide recv_counts so the failure is
+        // detected before any payload exchange, symmetrically.
+        let mut small = vec![0u16; 1];
+        let err = comm
+            .alltoallv((
+                send_buf(&send),
+                send_counts(&counts),
+                recv_counts(&counts),
+                recv_buf(&mut small),
+            ))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            kamping_repro::mpi::MpiError::Truncated { .. }
+        ));
     });
 }
 

@@ -1,59 +1,198 @@
 //! Minimal stand-in for the `bytes` crate: an immutable, cheaply
 //! cloneable, reference-counted byte buffer. Only the surface the
 //! workspace uses is provided.
+//!
+//! Unlike the original shim (which always copied into a fresh
+//! `Arc<[u8]>`), this version supports the zero-copy datapath:
+//!
+//! - [`Bytes::from`]`(Vec<u8>)` adopts the vector **without copying** the
+//!   payload (only the `Vec` header moves into the refcount allocation);
+//! - [`Bytes::slice`] produces sub-views that share the same allocation
+//!   (a refcount bump, no memcpy) — collectives use this to carve
+//!   per-peer blocks out of one packed buffer;
+//! - [`Bytes::from_owner`] adopts any [`ByteOwner`] (e.g. a typed
+//!   `Vec<T>` of plain values), so typed send buffers can move into the
+//!   transport without being re-serialized;
+//! - [`Bytes::try_into_vec`] recovers the owned vector without copying
+//!   when the buffer is unique and un-sliced (the zero-copy receive path
+//!   for byte-shaped targets).
 
+use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage that a [`Bytes`] can adopt without copying.
+///
+/// Implementors expose their payload as a stable byte slice: the bytes
+/// must not move or change for as long as the owner is alive (holding it
+/// behind `Arc` and never mutating satisfies this trivially for `Vec`-like
+/// containers).
+pub trait ByteOwner: Send + Sync + 'static {
+    /// The owned payload viewed as bytes.
+    fn as_bytes(&self) -> &[u8];
+}
+
+impl ByteOwner for Vec<u8> {
+    fn as_bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// An adopted `Vec<u8>`: recoverable without copy via
+    /// [`Bytes::try_into_vec`] when unique and un-sliced.
+    Vec(Arc<Vec<u8>>),
+    /// Any other adopted owner (typically a typed `Vec<T>`).
+    Owner(Arc<dyn ByteOwner>),
+}
+
+impl Repr {
+    #[inline]
+    fn full(&self) -> &[u8] {
+        match self {
+            Repr::Vec(v) => v,
+            Repr::Owner(o) => o.as_bytes(),
+        }
+    }
+}
+
 /// A cheaply cloneable contiguous slice of bytes.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            repr: Repr::Vec(Arc::new(Vec::new())),
+            off: 0,
+            len: 0,
         }
     }
 
-    /// Copies the slice into a new buffer.
+    /// Copies the slice into a new buffer (the one intentionally copying
+    /// constructor).
     pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from(src.to_vec())
+    }
+
+    /// Adopts shared backing storage without copying. The returned buffer
+    /// views the owner's full payload; callers typically keep a typed
+    /// `Arc` clone of the owner to reclaim it later.
+    pub fn from_owner(owner: Arc<dyn ByteOwner>) -> Self {
+        let len = owner.as_bytes().len();
         Bytes {
-            data: Arc::from(src),
+            repr: Repr::Owner(owner),
+            off: 0,
+            len,
         }
     }
 
     /// Number of bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True if the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// A sub-view sharing the same allocation (refcount bump, no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Recovers the backing `Vec<u8>` without copying, if this buffer is
+    /// the unique, un-sliced view of an adopted vector. Otherwise hands
+    /// the buffer back unchanged so the caller can fall back to a copy.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        match self.repr {
+            Repr::Vec(arc) if self.off == 0 && self.len == arc.len() => {
+                match Arc::try_unwrap(arc) {
+                    Ok(v) => Ok(v),
+                    Err(arc) => Err(Bytes {
+                        repr: Repr::Vec(arc),
+                        off: self.off,
+                        len: self.len,
+                    }),
+                }
+            }
+            repr => Err(Bytes {
+                repr,
+                off: self.off,
+                len: self.len,
+            }),
+        }
+    }
+
+    /// True if no other `Bytes` shares this allocation (diagnostic; used
+    /// by copy-accounting tests).
+    pub fn is_unique(&self) -> bool {
+        match &self.repr {
+            Repr::Vec(v) => Arc::strong_count(v) == 1,
+            Repr::Owner(o) => Arc::strong_count(o) == 1,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
 impl std::ops::Deref for Bytes {
     type Target = [u8];
 
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.repr.full()[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Adopts the vector without copying the payload.
     fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            repr: Repr::Vec(Arc::new(v)),
+            off: 0,
+            len,
         }
     }
 }
@@ -67,10 +206,10 @@ impl From<&[u8]> for Bytes {
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter().take(32) {
+        for &b in self.iter().take(32) {
             write!(f, "\\x{b:02x}")?;
         }
-        if self.data.len() > 32 {
+        if self.len() > 32 {
             write!(f, "..")?;
         }
         write!(f, "\"")
@@ -79,7 +218,7 @@ impl std::fmt::Debug for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self[..] == other[..]
     }
 }
 
@@ -87,7 +226,7 @@ impl Eq for Bytes {}
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self[..].hash(state);
     }
 }
 
@@ -104,5 +243,62 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn from_vec_adopts_without_copy() {
+        let v = vec![7u8; 16];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), ptr, "payload must not move");
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn try_into_vec_recovers_unique_buffer() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.try_into_vec().expect("unique and un-sliced");
+        assert_eq!(back.as_ptr(), ptr, "zero-copy recovery");
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_into_vec_refuses_shared_or_sliced() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let c = b.clone();
+        let b = b.try_into_vec().expect_err("shared buffer");
+        drop(c);
+        let s = b.slice(1..3);
+        assert_eq!(&*s, &[2, 3]);
+        assert!(s.try_into_vec().is_err(), "sliced view");
+    }
+
+    #[test]
+    fn slices_share_and_nest() {
+        let b = Bytes::from((0u8..10).collect::<Vec<_>>());
+        let s = b.slice(2..8);
+        assert_eq!(&*s, &[2, 3, 4, 5, 6, 7]);
+        let s2 = s.slice(1..=2);
+        assert_eq!(&*s2, &[3, 4]);
+        assert_eq!(s2.as_ptr(), unsafe { b.as_ptr().add(3) });
+        assert!(!b.is_unique());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![0u8; 4]);
+        let _ = b.slice(2..6);
+    }
+
+    #[test]
+    fn from_owner_views_payload() {
+        let owner: Arc<Vec<u8>> = Arc::new(vec![9u8; 8]);
+        let keep = Arc::clone(&owner);
+        let b = Bytes::from_owner(owner);
+        assert_eq!(&*b, &[9u8; 8]);
+        assert_eq!(b.as_ptr(), keep.as_slice().as_ptr());
     }
 }
