@@ -36,6 +36,7 @@ where
     type Output = FinalOf<Push4<RB::Out, SD::Out, RC::Out, RD::Out>>;
 
     fn run(self, comm: &Communicator) -> Result<Self::Output> {
+        let _tuning = comm.raw().tuning_guard(self.meta.tuning);
         let send = self.send_buf.send_slice();
         let send_counts = self
             .send_counts
@@ -134,6 +135,7 @@ where
     type Output = FinalOf<Push1<RB::Out>>;
 
     fn run(self, comm: &Communicator) -> Result<Self::Output> {
+        let _tuning = comm.raw().tuning_guard(self.meta.tuning);
         let send = self.send_buf.send_slice();
         let raw = comm.raw();
         let ((), rb_out) = self

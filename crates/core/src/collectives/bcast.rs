@@ -29,10 +29,48 @@ where
     fn run(self, comm: &Communicator) -> Result<Self::Output> {
         let root = self.meta.root.unwrap_or(0);
         crate::assertions::check_same_root(comm, root)?;
+        let _tuning = comm.raw().tuning_guard(self.meta.tuning);
+        let recv_count = self.meta.recv_count;
         let raw = comm.raw();
         let is_root = comm.rank() == root;
         let ((), out) = self.send_recv_buf.apply(|buf| {
-            if is_root {
+            if let Some(n) = recv_count {
+                // Sized broadcast: `recv_count(n)` tells every rank the
+                // payload size up front, which lets the substrate's
+                // tuning select the large-message algorithm — without
+                // it, non-roots cannot agree on a size they have not
+                // received yet and the binomial tree is the only safe
+                // choice.
+                let size = n * std::mem::size_of::<T>();
+                if is_root && buf.len() != n {
+                    return Err(kmp_mpi::MpiError::InvalidLayout(format!(
+                        "bcast: root buffer holds {} elements but recv_count says {n}",
+                        buf.len()
+                    )));
+                }
+                let payload = is_root.then(|| kmp_mpi::bytes_from_slice(&buf[..]));
+                let parts = raw.bcast_parts(payload, size, root)?;
+                if !is_root {
+                    // The root dictates the payload; it must match this
+                    // rank's recv_count claim (the scatter+allgather
+                    // branch enforces this on the wire already — keep
+                    // the binomial branch equally strict).
+                    if parts.len() != size {
+                        return Err(kmp_mpi::MpiError::Truncated {
+                            message_bytes: parts.len(),
+                            buffer_bytes: size,
+                        });
+                    }
+                    // One copy of `r`, whichever shape was delivered —
+                    // into the caller's storage when it is already
+                    // correctly sized, else into one fresh allocation.
+                    if buf.len() == n {
+                        parts.write_into(kmp_mpi::plain::as_bytes_mut(&mut buf[..]))?;
+                    } else {
+                        *buf = parts.into_vec();
+                    }
+                }
+            } else if is_root {
                 raw.bcast_bytes(Some(kmp_mpi::bytes_from_slice(&buf[..])), root)?;
             } else {
                 // Adopt the delivered payload straight into the buffer:
@@ -55,7 +93,10 @@ impl Communicator {
     /// The buffer is passed as `send_recv_buf` on every rank — read at
     /// the root, overwritten elsewhere — following the paper's unified
     /// in-place semantics (§III-G). Parameters: `send_recv_buf`
-    /// (required), `root` (default 0).
+    /// (required), `root` (default 0), `recv_count` (optional: declares
+    /// the element count on every rank, enabling size-based algorithm
+    /// selection for large messages), `tuning` (optional per-call
+    /// algorithm override).
     ///
     /// ```
     /// use kamping::prelude::*;

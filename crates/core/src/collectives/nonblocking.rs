@@ -217,6 +217,7 @@ where
         comm: &'c Communicator,
         equal_blocks: bool,
     ) -> Result<NonBlockingCollective<'c, T, Self::Hold>> {
+        let _tuning = comm.raw().tuning_guard(self.meta.tuning);
         // Owned buffers move into the transport: zero call-time copies.
         let (payload, hold) = self.send_buf.into_payload();
         let req = if equal_blocks {
@@ -254,6 +255,7 @@ where
     type Hold = <SendBuf<B> as SendToTransport<T>>::Hold;
 
     fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Hold>> {
+        let _tuning = comm.raw().tuning_guard(self.meta.tuning);
         let counts = self
             .send_counts
             .provided()
@@ -306,6 +308,7 @@ where
     fn run(self, comm: &Communicator) -> Result<NonBlockingBcast<'_, T>> {
         let root = self.meta.root.unwrap_or(0);
         crate::assertions::check_same_root(comm, root)?;
+        let _tuning = comm.raw().tuning_guard(self.meta.tuning);
         let buf = self.send_recv_buf.0;
         if comm.rank() == root {
             // The moved-in vector is the wire payload (zero call-time
@@ -347,6 +350,10 @@ where
     type Hold = <SendBuf<B> as SendToTransport<T>>::Hold;
 
     fn run<'c>(self, comm: &'c Communicator) -> Result<NonBlockingCollective<'c, T, Self::Hold>> {
+        // The algorithm is selected at call time, so the guard-scoped
+        // override covers engine construction (e.g. a forced
+        // `ReduceAlgo::BinomialTree` engages the tree engine).
+        let _tuning = comm.raw().tuning_guard(self.meta.tuning);
         let op = self.op.into_op();
         let (payload, hold) = self.send_buf.into_payload();
         let req = comm.raw().iallreduce_bytes::<T, _>(payload, op)?;

@@ -48,6 +48,7 @@ where
     RB: RecvBufSpec<T>,
     OpParam<O>: ProvidesOp<T>,
 {
+    let _tuning = comm.raw().tuning_guard(args.meta.tuning);
     let root = args.meta.root.unwrap_or(0);
     let send = args.send_buf.send_slice();
     let op = args.op.into_op();
@@ -69,6 +70,7 @@ where
     RB: RecvBufSpec<T>,
     OpParam<O>: ProvidesOp<T>,
 {
+    let _tuning = comm.raw().tuning_guard(args.meta.tuning);
     let send = args.send_buf.send_slice();
     let op = args.op.into_op();
     let raw = comm.raw();
@@ -88,6 +90,7 @@ where
     RB: RecvBufSpec<T>,
     OpParam<O>: ProvidesOp<T>,
 {
+    let _tuning = comm.raw().tuning_guard(args.meta.tuning);
     let send = args.send_buf.send_slice();
     let op = args.op.into_op();
     let raw = comm.raw();
@@ -107,6 +110,7 @@ where
     RB: RecvBufSpec<T>,
     OpParam<O>: ProvidesOp<T>,
 {
+    let _tuning = comm.raw().tuning_guard(args.meta.tuning);
     let send = args.send_buf.send_slice();
     let op = args.op.into_op();
     let raw = comm.raw();

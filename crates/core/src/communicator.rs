@@ -1,6 +1,6 @@
 //! The kamping communicator.
 
-use kmp_mpi::{CallCounts, Comm, Rank, Result};
+use kmp_mpi::{CallCounts, CollTuning, Comm, Rank, Result};
 
 /// A communicator wrapping a substrate [`Comm`], the entry point for all
 /// kamping operations.
@@ -73,6 +73,19 @@ impl Communicator {
     /// §III-H).
     pub fn call_counts(&self) -> CallCounts {
         self.raw.call_counts()
+    }
+
+    /// The communicator's collective-algorithm tuning policy.
+    pub fn tuning(&self) -> CollTuning {
+        self.raw.tuning()
+    }
+
+    /// Sets the communicator's collective-algorithm tuning policy for
+    /// all subsequent calls (a single call is overridden with the
+    /// [`tuning(...)`](crate::params::tuning) named parameter). All
+    /// ranks must agree on the tuning of matching calls.
+    pub fn set_tuning(&self, tuning: CollTuning) {
+        self.raw.set_tuning(tuning);
     }
 
     /// Current virtual time of this rank (see `kmp_mpi::clock`).

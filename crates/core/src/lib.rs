@@ -32,6 +32,13 @@
 //!   are discovered from the messages and `wait_with_counts()` returns
 //!   them for free. Futures compose with [`p2p::RequestPool`] /
 //!   [`p2p::BoundedRequestPool`] (including `wait_any` / `wait_some`).
+//! - **Algorithm tuning**: the binding stays policy-free while the
+//!   substrate's selection engine
+//!   ([`kmp_mpi::collectives::algos`]) picks per-collective algorithms
+//!   by message size (Rabenseifner allreduce, van de Geijn bcast, Bruck
+//!   alltoall, in-place binomial reduce). A per-call override travels
+//!   as the [`params::tuning`] named parameter; a per-communicator
+//!   policy is set with [`Communicator::set_tuning`].
 //! - **Serialization** (§III-D3): explicit, via
 //!   [`serialization::as_serialized`] /
 //!   [`serialization::as_deserializable`].
@@ -65,7 +72,10 @@ pub mod serialization;
 pub mod utils;
 
 pub use communicator::Communicator;
-pub use kmp_mpi::{MpiError, Plain, Rank, Result, Tag};
+pub use kmp_mpi::{
+    AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, MpiError, Plain, Rank, ReduceAlgo, Result,
+    Select, Tag,
+};
 
 /// Reduction operations (re-exported from the substrate): built-ins
 /// ([`ops::Sum`], [`ops::Min`], …) that play the role of `MPI_SUM` etc.,
@@ -88,7 +98,7 @@ pub mod prelude {
     pub use crate::params::{
         any_source, destination, op, recv_buf, recv_count, recv_counts, recv_counts_out,
         recv_displs, recv_displs_out, root, send_buf, send_count, send_counts, send_counts_out,
-        send_displs, send_displs_out, send_recv_buf, source, tag,
+        send_displs, send_displs_out, send_recv_buf, source, tag, tuning,
     };
     pub use crate::plugins::grid::GridAlltoall;
     pub use crate::plugins::repro_reduce::ReproducibleReduce;
@@ -97,4 +107,5 @@ pub mod prelude {
     pub use crate::plugins::ulfm::FaultTolerant;
     pub use crate::serialization::{as_deserializable, as_serialized, as_serialized_inout};
     pub use crate::utils::{flatten, with_flattened};
+    pub use kmp_mpi::{AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, ReduceAlgo};
 }

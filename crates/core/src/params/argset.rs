@@ -12,7 +12,7 @@
 use super::{
     Absent, Destination, Meta, OpParam, RecvBuf, RecvCount, RecvCounts, RecvCountsOut, RecvDispls,
     RecvDisplsOut, Root, SendBuf, SendCount, SendCounts, SendCountsOut, SendDispls, SendDisplsOut,
-    SendRecvBuf, Source, TagParam,
+    SendRecvBuf, Source, TagParam, TuningParam,
 };
 
 /// The folded argument set of one operation call. Type parameters:
@@ -286,6 +286,7 @@ apply_scalar_param!(Source, source, "source");
 apply_scalar_param!(TagParam, tag, "tag");
 apply_scalar_param!(RecvCount, recv_count, "recv_count");
 apply_scalar_param!(SendCount, send_count, "send_count");
+apply_scalar_param!(TuningParam, tuning, "tuning");
 
 /// Anything that can be turned into an argument set: a single parameter
 /// object or a tuple of them (in any order).
@@ -341,6 +342,7 @@ into_args_single!(Source, []);
 into_args_single!(TagParam, []);
 into_args_single!(RecvCount, []);
 into_args_single!(SendCount, []);
+into_args_single!(TuningParam, []);
 
 /// Left-fold of a parameter tuple into an argument set: the head is
 /// applied, then the tail tuple folds into the result. This recursive

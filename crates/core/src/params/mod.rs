@@ -21,7 +21,7 @@ pub mod slots;
 pub use argset::{ArgSet, EmptyArgs, IntoArgs};
 pub use containers::{AsSlice, AsSliceMut, GrowOnly, NoResize, ResizePolicy, ResizeToFit};
 
-use kmp_mpi::{Rank, Src, Tag};
+use kmp_mpi::{CollTuning, Rank, Src, Tag};
 
 /// Marker for an omitted parameter slot. The library computes a default
 /// (possibly issuing additional communication) exactly when a slot is
@@ -201,6 +201,7 @@ pub struct Meta {
     pub(crate) tag: Option<Tag>,
     pub(crate) recv_count: Option<usize>,
     pub(crate) send_count: Option<usize>,
+    pub(crate) tuning: Option<CollTuning>,
 }
 
 macro_rules! scalar_param {
@@ -269,6 +270,23 @@ pub struct TagParam(pub(crate) Tag);
 /// Sets the message tag of a send or receive.
 pub fn tag(value: Tag) -> TagParam {
     TagParam(value)
+}
+
+/// A per-call collective tuning override. Created by [`tuning`].
+#[derive(Clone, Copy, Debug)]
+pub struct TuningParam(pub(crate) CollTuning);
+
+/// Overrides the communicator's collective-algorithm tuning for this
+/// one call (see [`kmp_mpi::CollTuning`]): force an algorithm or move
+/// the size thresholds, e.g.
+/// `tuning(CollTuning::default().allreduce(AllreduceAlgo::Rabenseifner))`.
+/// The binding stays policy-free — the substrate's selection engine
+/// reads the tuning at call time. Like every collective argument, all
+/// ranks must pass the same tuning to matching calls. A persistent
+/// per-communicator policy is set with
+/// [`Communicator::set_tuning`](crate::Communicator::set_tuning).
+pub fn tuning(t: CollTuning) -> TuningParam {
+    TuningParam(t)
 }
 
 #[cfg(test)]

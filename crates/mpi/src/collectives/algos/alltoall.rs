@@ -1,0 +1,181 @@
+//! Bruck's algorithm for small-message all-to-all.
+//!
+//! The pairwise exchange sends `p-1` messages per rank; for small blocks
+//! that cost is pure startup latency. Bruck routes every block through
+//! `ceil(log2 p)` rounds instead: in round `k` each rank packs all
+//! blocks whose (rotated) index has bit `k` set into **one** message to
+//! rank `rank + 2^k`. A block destined `i` ranks ahead travels exactly
+//! the set bits of `i`, so after the rounds plus a final inverse
+//! rotation every block is home. Works for any `p` (not just powers of
+//! two).
+//!
+//! Copy bill: `s` (initial pack) `+ r` (final placement) `+` the
+//! per-round repacks (`~s/2` each, `ceil(log2 p)` rounds) — a deliberate
+//! bandwidth-for-latency trade that only pays off for small blocks,
+//! which is exactly when [`CollTuning::alltoall_algo`] selects it.
+//!
+//! [`CollTuning::alltoall_algo`]: super::CollTuning::alltoall_algo
+
+use bytes::Bytes;
+
+use crate::collectives::{recv_internal, send_internal};
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::plain::{bytes_from_slice, bytes_from_vec, copy_bytes_into, extend_vec_from_bytes};
+use crate::{Plain, Rank, Tag};
+
+/// One Bruck round: the peers and the (rotated) block indices exchanged.
+pub(crate) struct BruckRound {
+    /// Destination of this rank's packed message.
+    pub dest: Rank,
+    /// Source of the packed message this rank receives.
+    pub src: Rank,
+    /// Block indices (into the rotated block array) sent and replaced,
+    /// in ascending order.
+    pub indices: Vec<usize>,
+}
+
+/// The round plan for `rank` in a `p`-rank Bruck exchange
+/// (`ceil(log2 p)` rounds).
+pub(crate) fn bruck_rounds(rank: Rank, p: usize) -> Vec<BruckRound> {
+    let mut rounds = Vec::new();
+    let mut step = 1usize;
+    while step < p {
+        let indices: Vec<usize> = (1..p).filter(|i| i & step != 0).collect();
+        rounds.push(BruckRound {
+            dest: (rank + step) % p,
+            src: (rank + p - step) % p,
+            indices,
+        });
+        step <<= 1;
+    }
+    rounds
+}
+
+/// Initial rotation: `blocks[i]` = the caller's block destined to rank
+/// `(rank + i) % p`, sliced out of one packed payload.
+pub(crate) fn bruck_rotate(packed: &Bytes, rank: Rank, p: usize, block_bytes: usize) -> Vec<Bytes> {
+    (0..p)
+        .map(|i| {
+            let dest = (rank + i) % p;
+            packed.slice(dest * block_bytes..(dest + 1) * block_bytes)
+        })
+        .collect()
+}
+
+/// Packs the blocks of one round into a single message (one counted
+/// repack; the message adopts the fresh buffer without another copy).
+pub(crate) fn bruck_pack(blocks: &[Bytes], indices: &[usize]) -> Bytes {
+    let total: usize = indices.iter().map(|&i| blocks[i].len()).sum();
+    let mut packed: Vec<u8> = Vec::with_capacity(total);
+    crate::metrics::record_alloc();
+    for &i in indices {
+        extend_vec_from_bytes(&mut packed, &blocks[i]);
+    }
+    bytes_from_vec(packed)
+}
+
+/// Unpacks a received round message back into the block array (refcount
+/// slices, no copies).
+pub(crate) fn bruck_unpack(
+    blocks: &mut [Bytes],
+    indices: &[usize],
+    payload: &Bytes,
+    block_bytes: usize,
+) -> Result<()> {
+    if payload.len() != indices.len() * block_bytes {
+        return Err(MpiError::Truncated {
+            message_bytes: payload.len(),
+            buffer_bytes: indices.len() * block_bytes,
+        });
+    }
+    for (j, &i) in indices.iter().enumerate() {
+        blocks[i] = payload.slice(j * block_bytes..(j + 1) * block_bytes);
+    }
+    Ok(())
+}
+
+/// After the rounds, the block received *from* rank `j` sits at rotated
+/// index `(rank - j) mod p`.
+#[inline]
+pub(crate) fn bruck_source_index(rank: Rank, j: usize, p: usize) -> usize {
+    (rank + p - j) % p
+}
+
+/// Blocking Bruck alltoall of `p` equal blocks of `n` elements; writes
+/// the result (rank-ordered by source) into `recv[..p * n]`.
+pub(crate) fn bruck<T: Plain>(comm: &Comm, send: &[T], n: usize, recv: &mut [T]) -> Result<()> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let block_bytes = n * std::mem::size_of::<T>();
+    let rounds = bruck_rounds(rank, p);
+    // One tag per round, allocated in the same order on every rank.
+    let tags: Vec<Tag> = rounds.iter().map(|_| comm.next_internal_tag()).collect();
+
+    let packed = bytes_from_slice(send);
+    let mut blocks = bruck_rotate(&packed, rank, p, block_bytes);
+
+    for (round, &tag) in rounds.iter().zip(&tags) {
+        let msg = bruck_pack(&blocks, &round.indices);
+        send_internal(comm, round.dest, tag, msg)?;
+        let payload = recv_internal(comm, round.src, tag)?;
+        bruck_unpack(&mut blocks, &round.indices, &payload, block_bytes)?;
+    }
+
+    for j in 0..p {
+        let block = &blocks[bruck_source_index(rank, j, p)];
+        copy_bytes_into(block, &mut recv[j * n..(j + 1) * n]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn bruck_matches_pairwise_semantics() {
+        for p in [2, 3, 4, 5, 7, 8] {
+            for n in [1usize, 3] {
+                Universe::run(p, move |comm| {
+                    let rank = comm.rank();
+                    let send: Vec<u32> =
+                        (0..p * n).map(|i| rank as u32 * 1000 + i as u32).collect();
+                    let mut recv = vec![0u32; p * n];
+                    bruck(&comm, &send, n, &mut recv).unwrap();
+                    let expected: Vec<u32> = (0..p)
+                        .flat_map(|src| {
+                            (0..n).map(move |e| src as u32 * 1000 + (rank * n + e) as u32)
+                        })
+                        .collect();
+                    assert_eq!(recv, expected, "p = {p}, n = {n}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_zero_sized_blocks() {
+        Universe::run(3, |comm| {
+            let send: Vec<u64> = vec![];
+            let mut recv: Vec<u64> = vec![];
+            bruck(&comm, &send, 0, &mut recv).unwrap();
+        });
+    }
+
+    #[test]
+    fn round_plan_has_log_rounds() {
+        assert_eq!(bruck_rounds(0, 2).len(), 1);
+        assert_eq!(bruck_rounds(0, 4).len(), 2);
+        assert_eq!(bruck_rounds(0, 5).len(), 3);
+        assert_eq!(bruck_rounds(0, 8).len(), 3);
+        // Round k exchanges the indices with bit k set.
+        let rounds = bruck_rounds(1, 5);
+        assert_eq!(rounds[0].indices, vec![1, 3]);
+        assert_eq!(rounds[1].indices, vec![2, 3]);
+        assert_eq!(rounds[2].indices, vec![4]);
+        assert_eq!(rounds[0].dest, 2);
+        assert_eq!(rounds[0].src, 0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Tunable collective algorithms: the selection engine.
+//!
+//! Real MPI implementations do not hard-wire one algorithm per
+//! collective — they switch algorithms by message size and communicator
+//! size, which is exactly the baseline the paper's §V overhead
+//! measurements compete against. This module gives the substrate the
+//! same structure: each hot collective has at least two algorithm
+//! implementations, and a per-communicator [`CollTuning`] policy picks
+//! one at call time. The binding layer stays policy-free; it forwards a
+//! user-provided tuning (the `tuning(...)` named parameter in `kamping`)
+//! through [`Comm::tuning_guard`](crate::Comm::tuning_guard).
+//!
+//! Algorithm menu (`s` = bytes a rank contributes, `r` = bytes of its
+//! result, `b` = bytes of one all-to-all block, `p` = communicator
+//! size). "Copies per rank" is the payload-byte memcpy bill on the
+//! shared-`Bytes` datapath; folds that combine a received payload into
+//! an accumulator *in place* read the delivered bytes directly and are
+//! compute, not copies:
+//!
+//! | collective  | algorithm              | startups   | copies/rank | auto-selected when |
+//! |-------------|------------------------|------------|-------------|--------------------|
+//! | `allreduce` | recursive doubling     | log2 p     | s·log2 p    | `s <` [`CollTuning::rabenseifner_min_bytes`] |
+//! | `allreduce` | Rabenseifner (reduce-scatter + ring allgather) | log2 p + p | ~2s | `p >= 4` and `s >=` threshold |
+//! | `bcast`     | binomial tree          | <= log2 p  | root s, other r | `s <` [`CollTuning::bcast_scatter_min_bytes`] (and always on unsized paths) |
+//! | `bcast`     | scatter + ring allgather (van de Geijn) | ~2p | root s, other r | sized paths, `p >= 4` and `s >=` threshold |
+//! | `alltoall`  | pairwise exchange      | p-1        | s + r       | `b >` [`CollTuning::bruck_max_block_bytes`] |
+//! | `alltoall`  | Bruck                  | ceil(log2 p) | s + r + s·ceil(log2 p)/2 | `p >= 4` and `b <=` threshold |
+//! | `reduce`    | binomial tree, in-place fold | <= log2 p | non-root s, root r | op commutative |
+//! | `reduce`    | flat gather + ordered fold | 1 (root p-1) | s (root: + r) | op non-commutative, or forced |
+//!
+//! Selection must be *symmetric*: every rank of a communicator must
+//! arrive at a collective with the same tuning (like MPI info hints) and
+//! the same message size, otherwise ranks would disagree on the wire
+//! protocol. The `Auto` policies only consult values MPI already
+//! requires to agree across ranks.
+
+pub(crate) mod allreduce;
+pub(crate) mod alltoall;
+pub(crate) mod bcast;
+pub(crate) mod reduce;
+
+pub use bcast::BcastParts;
+
+use crate::error::{MpiError, Result};
+use crate::op::ReduceOp;
+use crate::Plain;
+
+/// An algorithm slot of [`CollTuning`]: either the size-thresholded
+/// default policy or a forced algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Select<A> {
+    /// Pick by the tuning's thresholds (the default).
+    #[default]
+    Auto,
+    /// Always use this algorithm (when it is correct for the call; e.g.
+    /// a non-commutative reduction ignores a forced tree algorithm).
+    Force(A),
+}
+
+/// Allreduce algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllreduceAlgo {
+    /// Latency-optimal: log2 p rounds exchanging the full vector.
+    RecursiveDoubling,
+    /// Bandwidth-optimal: recursive-halving reduce-scatter followed by a
+    /// ring allgather of the reduced chunks (~2s copied per rank).
+    Rabenseifner,
+}
+
+/// Broadcast algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcastAlgo {
+    /// Latency-optimal binomial tree (forwarding is refcount cloning).
+    Binomial,
+    /// Bandwidth-optimal van de Geijn: scatter chunks from the root,
+    /// then ring-allgather them. Requires the payload size to be known
+    /// on every rank (the sized bcast paths).
+    ScatterAllgather,
+}
+
+/// All-to-all algorithm (equal-sized blocks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlltoallAlgo {
+    /// One message per peer; bandwidth-optimal.
+    Pairwise,
+    /// ceil(log2 p) rounds of packed block forwarding; latency-optimal
+    /// for small blocks.
+    Bruck,
+}
+
+/// Reduce algorithm (also selects the reduction phase of `iallreduce`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceAlgo {
+    /// Binomial tree with in-place folds over delivered payloads.
+    /// Requires a commutative operation.
+    BinomialTree,
+    /// Gather everything to the root, fold in strict rank order. Works
+    /// for any operation; the only choice for non-commutative ones.
+    FlatGather,
+}
+
+/// Per-communicator collective tuning policy.
+///
+/// Stored on every [`Comm`](crate::Comm) (inherited by `dup`/`split`)
+/// and consulted at each collective call. All ranks of a communicator
+/// must use the same tuning for the same call — the policy is part of
+/// the wire protocol, exactly like an MPI info hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollTuning {
+    /// Allreduce algorithm slot.
+    pub allreduce: Select<AllreduceAlgo>,
+    /// Broadcast algorithm slot (sized paths only; unsized broadcasts
+    /// always run the binomial tree, because non-roots cannot agree on
+    /// a size they do not know).
+    pub bcast: Select<BcastAlgo>,
+    /// All-to-all algorithm slot (equal-block exchanges only).
+    pub alltoall: Select<AlltoallAlgo>,
+    /// Reduce algorithm slot. Blocking `reduce` defaults to the
+    /// binomial tree; the non-blocking `ireduce`/`iallreduce` default to
+    /// the flat gather (whose eager sends are what makes overlap work)
+    /// and switch to the tree only when forced.
+    pub reduce: Select<ReduceAlgo>,
+    /// `Auto` switches allreduce to Rabenseifner at this many payload
+    /// bytes per rank (and `p >= 4`).
+    pub rabenseifner_min_bytes: usize,
+    /// `Auto` switches sized broadcasts to scatter+allgather at this
+    /// many payload bytes (and `p >= 4`).
+    pub bcast_scatter_min_bytes: usize,
+    /// `Auto` switches alltoall to Bruck at or below this many bytes
+    /// per block (and `p >= 4`).
+    pub bruck_max_block_bytes: usize,
+}
+
+impl Default for CollTuning {
+    fn default() -> Self {
+        CollTuning {
+            allreduce: Select::Auto,
+            bcast: Select::Auto,
+            alltoall: Select::Auto,
+            reduce: Select::Auto,
+            // Crossover points measured with the cluster cost model
+            // (alpha = 1.5 us, beta = 0.1 ns/B): the bandwidth-optimal
+            // algorithms overtake at ~100-180 KiB for p in {4, 8}, so
+            // the defaults sit just above — Auto never picks an
+            // algorithm into its losing regime.
+            rabenseifner_min_bytes: 128 * 1024,
+            bcast_scatter_min_bytes: 256 * 1024,
+            bruck_max_block_bytes: 1024,
+        }
+    }
+}
+
+impl CollTuning {
+    /// Forces the allreduce algorithm.
+    pub fn allreduce(mut self, algo: AllreduceAlgo) -> Self {
+        self.allreduce = Select::Force(algo);
+        self
+    }
+
+    /// Forces the (sized) broadcast algorithm.
+    pub fn bcast(mut self, algo: BcastAlgo) -> Self {
+        self.bcast = Select::Force(algo);
+        self
+    }
+
+    /// Forces the alltoall algorithm.
+    pub fn alltoall(mut self, algo: AlltoallAlgo) -> Self {
+        self.alltoall = Select::Force(algo);
+        self
+    }
+
+    /// Forces the reduce algorithm.
+    pub fn reduce(mut self, algo: ReduceAlgo) -> Self {
+        self.reduce = Select::Force(algo);
+        self
+    }
+
+    /// Sets the Rabenseifner switch-over size (bytes per rank).
+    pub fn rabenseifner_min_bytes(mut self, bytes: usize) -> Self {
+        self.rabenseifner_min_bytes = bytes;
+        self
+    }
+
+    /// Sets the scatter+allgather broadcast switch-over size (bytes).
+    pub fn bcast_scatter_min_bytes(mut self, bytes: usize) -> Self {
+        self.bcast_scatter_min_bytes = bytes;
+        self
+    }
+
+    /// Sets the Bruck block-size ceiling (bytes per block).
+    pub fn bruck_max_block_bytes(mut self, bytes: usize) -> Self {
+        self.bruck_max_block_bytes = bytes;
+        self
+    }
+
+    /// Selects the allreduce algorithm for `bytes` payload bytes per
+    /// rank on a communicator of `p` ranks.
+    pub fn allreduce_algo(&self, p: usize, bytes: usize) -> AllreduceAlgo {
+        match self.allreduce {
+            Select::Force(a) => a,
+            Select::Auto => {
+                if p >= 4 && bytes >= self.rabenseifner_min_bytes {
+                    AllreduceAlgo::Rabenseifner
+                } else {
+                    AllreduceAlgo::RecursiveDoubling
+                }
+            }
+        }
+    }
+
+    /// Selects the broadcast algorithm for a payload of `bytes` bytes
+    /// whose size is known on every rank.
+    pub fn bcast_algo(&self, p: usize, bytes: usize) -> BcastAlgo {
+        match self.bcast {
+            Select::Force(a) => a,
+            Select::Auto => {
+                if p >= 4 && bytes >= self.bcast_scatter_min_bytes {
+                    BcastAlgo::ScatterAllgather
+                } else {
+                    BcastAlgo::Binomial
+                }
+            }
+        }
+    }
+
+    /// Selects the alltoall algorithm for equal blocks of `block_bytes`
+    /// bytes.
+    pub fn alltoall_algo(&self, p: usize, block_bytes: usize) -> AlltoallAlgo {
+        match self.alltoall {
+            Select::Force(a) => a,
+            Select::Auto => {
+                if p >= 4 && block_bytes <= self.bruck_max_block_bytes {
+                    AlltoallAlgo::Bruck
+                } else {
+                    AlltoallAlgo::Pairwise
+                }
+            }
+        }
+    }
+
+    /// Selects the reduce algorithm. `auto` is the caller's default
+    /// (binomial tree for blocking reduce, flat gather for the
+    /// non-blocking engines); non-commutative operations always fold in
+    /// strict rank order via the flat gather.
+    pub fn reduce_algo(&self, commutative: bool, auto: ReduceAlgo) -> ReduceAlgo {
+        if !commutative {
+            return ReduceAlgo::FlatGather;
+        }
+        match self.reduce {
+            Select::Force(a) => a,
+            Select::Auto => auto,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-place folds over delivered payloads
+// ---------------------------------------------------------------------------
+
+/// Checks that a delivered payload matches the accumulator's byte size.
+fn check_fold_len<T: Plain>(what: &str, acc: &[T], bytes: &[u8]) -> Result<()> {
+    if bytes.len() != std::mem::size_of_val(acc) {
+        return Err(MpiError::InvalidLayout(format!(
+            "{what}: received {} payload bytes for a {}-byte accumulator",
+            bytes.len(),
+            std::mem::size_of_val(acc)
+        )));
+    }
+    Ok(())
+}
+
+/// Elementwise `acc[i] = op(acc[i], bytes[i])`, reading the delivered
+/// payload in place (unaligned reads; `T: Plain` accepts any pattern).
+/// The received block is the *right* (higher-ranked) operand. This is
+/// compute, not a payload copy — the reductions' former
+/// `O(s log p)` materialization bill becomes zero.
+pub(crate) fn fold_bytes_right<T: Plain, O: ReduceOp<T>>(
+    acc: &mut [T],
+    bytes: &[u8],
+    op: &O,
+) -> Result<()> {
+    check_fold_len("reduce fold", acc, bytes)?;
+    let base = bytes.as_ptr();
+    for (i, a) in acc.iter_mut().enumerate() {
+        // SAFETY: bounds checked above; `T: Plain` permits unaligned
+        // reads of arbitrary byte patterns.
+        let b = unsafe {
+            base.add(i * std::mem::size_of::<T>())
+                .cast::<T>()
+                .read_unaligned()
+        };
+        *a = op.apply(a, &b);
+    }
+    Ok(())
+}
+
+/// `dst[i] = op(prefix[i], send[i])` where `prefix` is a delivered
+/// payload read in place — the scan datapath: the upstream prefix is the
+/// *left* operand, so non-commutative operations stay rank-ordered.
+pub(crate) fn fold_bytes_map<T: Plain, O: ReduceOp<T>>(
+    prefix: &[u8],
+    send: &[T],
+    dst: &mut [T],
+    op: &O,
+) -> Result<()> {
+    check_fold_len("scan fold", send, prefix)?;
+    debug_assert_eq!(send.len(), dst.len());
+    let base = prefix.as_ptr();
+    for (i, (s, d)) in send.iter().zip(dst.iter_mut()).enumerate() {
+        // SAFETY: as in `fold_bytes_right`.
+        let pre = unsafe {
+            base.add(i * std::mem::size_of::<T>())
+                .cast::<T>()
+                .read_unaligned()
+        };
+        *d = op.apply(&pre, s);
+    }
+    Ok(())
+}
+
+/// `out[i] = op(prefix[i], send[i])` into a fresh vector (the exscan
+/// forward path; the result moves into the transport without a copy).
+pub(crate) fn fold_bytes_to_vec<T: Plain, O: ReduceOp<T>>(
+    prefix: &[u8],
+    send: &[T],
+    op: &O,
+) -> Result<Vec<T>> {
+    check_fold_len("exscan fold", send, prefix)?;
+    let base = prefix.as_ptr();
+    let mut out = Vec::with_capacity(send.len());
+    for (i, s) in send.iter().enumerate() {
+        // SAFETY: as in `fold_bytes_right`.
+        let pre = unsafe {
+            base.add(i * std::mem::size_of::<T>())
+                .cast::<T>()
+                .read_unaligned()
+        };
+        out.push(op.apply(&pre, s));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Sum;
+    use crate::plain::as_bytes;
+
+    #[test]
+    fn default_tuning_thresholds() {
+        let t = CollTuning::default();
+        assert_eq!(t.allreduce_algo(8, 1024), AllreduceAlgo::RecursiveDoubling);
+        assert_eq!(t.allreduce_algo(8, 1 << 20), AllreduceAlgo::Rabenseifner);
+        // Small communicators never switch automatically.
+        assert_eq!(
+            t.allreduce_algo(2, 1 << 20),
+            AllreduceAlgo::RecursiveDoubling
+        );
+        assert_eq!(t.bcast_algo(8, 1 << 20), BcastAlgo::ScatterAllgather);
+        assert_eq!(t.bcast_algo(8, 1024), BcastAlgo::Binomial);
+        assert_eq!(t.alltoall_algo(8, 64), AlltoallAlgo::Bruck);
+        assert_eq!(t.alltoall_algo(8, 1 << 20), AlltoallAlgo::Pairwise);
+        assert_eq!(t.alltoall_algo(2, 64), AlltoallAlgo::Pairwise);
+    }
+
+    #[test]
+    fn forced_algorithms_win() {
+        let t = CollTuning::default()
+            .allreduce(AllreduceAlgo::Rabenseifner)
+            .bcast(BcastAlgo::ScatterAllgather)
+            .alltoall(AlltoallAlgo::Bruck)
+            .reduce(ReduceAlgo::FlatGather);
+        assert_eq!(t.allreduce_algo(2, 1), AllreduceAlgo::Rabenseifner);
+        assert_eq!(t.bcast_algo(2, 1), BcastAlgo::ScatterAllgather);
+        assert_eq!(t.alltoall_algo(2, 1 << 20), AlltoallAlgo::Bruck);
+        assert_eq!(
+            t.reduce_algo(true, ReduceAlgo::BinomialTree),
+            ReduceAlgo::FlatGather
+        );
+    }
+
+    #[test]
+    fn non_commutative_reduce_never_uses_the_tree() {
+        let t = CollTuning::default().reduce(ReduceAlgo::BinomialTree);
+        assert_eq!(
+            t.reduce_algo(false, ReduceAlgo::BinomialTree),
+            ReduceAlgo::FlatGather
+        );
+        assert_eq!(
+            t.reduce_algo(true, ReduceAlgo::BinomialTree),
+            ReduceAlgo::BinomialTree
+        );
+    }
+
+    #[test]
+    fn fold_right_combines_in_place() {
+        let mut acc = vec![1u64, 2, 3];
+        let theirs = [10u64, 20, 30];
+        fold_bytes_right(&mut acc, as_bytes(&theirs), &Sum).unwrap();
+        assert_eq!(acc, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn fold_map_keeps_prefix_on_the_left() {
+        let op = crate::op::non_commutative(|a: &u64, b: &u64| a * 10 + b);
+        let prefix = [1u64, 2];
+        let send = [3u64, 4];
+        let mut dst = [0u64; 2];
+        fold_bytes_map(as_bytes(&prefix), &send, &mut dst, &op).unwrap();
+        assert_eq!(dst, [13, 24]);
+    }
+
+    #[test]
+    fn fold_length_mismatch_errors() {
+        let mut acc = vec![1u64];
+        assert!(fold_bytes_right(&mut acc, &[0u8; 4], &Sum).is_err());
+        assert!(fold_bytes_to_vec::<u64, _>(&[0u8; 4], &[1u64], &Sum).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Binomial-tree reduction with in-place folds.
+//!
+//! The PR 2 datapath still materialized every child's block
+//! (`recv_vec` + fold), paying `O(s log p)` copies at inner nodes. Here
+//! a child's delivered payload folds straight into the accumulator
+//! ([`fold_bytes_right`]): the only payload copy left is the single
+//! serialization towards the parent, halving (or better) every inner
+//! node's bill.
+
+use super::fold_bytes_right;
+use crate::collectives::{recv_internal, send_slice_internal};
+use crate::comm::Comm;
+use crate::error::Result;
+use crate::op::ReduceOp;
+use crate::{Plain, Rank, Tag};
+
+/// Binomial-tree shape for `vrank` (rank relative to the root):
+/// children in receive order, and the parent (None for the root).
+pub(crate) fn binomial_children(vrank: usize, p: usize) -> (Vec<usize>, Option<usize>) {
+    let mut children = Vec::new();
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            return (children, Some(vrank & !mask));
+        }
+        let child_v = vrank | mask;
+        if child_v < p {
+            children.push(child_v);
+        }
+        mask <<= 1;
+    }
+    (children, None)
+}
+
+/// Blocking binomial reduce over virtual ranks. Returns `Some(folded)`
+/// at the root, `None` elsewhere. Commutative operations only: the tree
+/// combines blocks out of rank order.
+pub(crate) fn binomial_inplace<T: Plain, O: ReduceOp<T>>(
+    comm: &Comm,
+    tag: Tag,
+    send: &[T],
+    op: &O,
+    root: Rank,
+) -> Result<Option<Vec<T>>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let vrank = (rank + p - root) % p;
+    let (children, parent) = binomial_children(vrank, p);
+    let mut acc = send.to_vec();
+    for child_v in children {
+        let child = (child_v + root) % p;
+        let theirs = recv_internal(comm, child, tag)?;
+        fold_bytes_right(&mut acc, &theirs, op)?;
+    }
+    if let Some(parent_v) = parent {
+        let parent = (parent_v + root) % p;
+        send_slice_internal(comm, parent, tag, &acc)?;
+        Ok(None)
+    } else {
+        Ok(Some(acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Sum;
+    use crate::Universe;
+
+    #[test]
+    fn tree_shape_matches_the_classic_binomial_tree() {
+        // p = 8: vrank 0 has children 1, 2, 4; vrank 4 has 5, 6; leaves
+        // have none.
+        assert_eq!(binomial_children(0, 8), (vec![1, 2, 4], None));
+        assert_eq!(binomial_children(4, 8), (vec![5, 6], Some(0)));
+        assert_eq!(binomial_children(6, 8), (vec![7], Some(4)));
+        assert_eq!(binomial_children(7, 8), (vec![], Some(6)));
+        // Truncated tree at p = 5.
+        assert_eq!(binomial_children(0, 5), (vec![1, 2, 4], None));
+        assert_eq!(binomial_children(2, 5), (vec![3], Some(0)));
+        assert_eq!(binomial_children(4, 5), (vec![], Some(0)));
+    }
+
+    #[test]
+    fn inplace_reduce_sums_to_any_root() {
+        for p in [1, 2, 3, 5, 8] {
+            for root in [0, p - 1] {
+                Universe::run(p, move |comm| {
+                    let tag = comm.next_internal_tag();
+                    let mine = [comm.rank() as u64 + 1, 1];
+                    let out = binomial_inplace(&comm, tag, &mine, &Sum, root).unwrap();
+                    if comm.rank() == root {
+                        let total = (p * (p + 1) / 2) as u64;
+                        assert_eq!(out.unwrap(), vec![total, p as u64]);
+                    } else {
+                        assert!(out.is_none());
+                    }
+                });
+            }
+        }
+    }
+}

@@ -1,5 +1,10 @@
-//! Alltoall, alltoallv and a byte-level alltoallw (pairwise exchange).
+//! Alltoall, alltoallv and a byte-level alltoallw.
+//!
+//! The v/w exchanges run the pairwise algorithm; the equal-block
+//! `alltoall` dispatches between pairwise and Bruck through the
+//! communicator's [`CollTuning`](super::algos::CollTuning).
 
+use super::algos::{self, AlltoallAlgo};
 use super::{check_layout, recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
@@ -9,9 +14,10 @@ use crate::Plain;
 impl Comm {
     /// Personalized all-to-all of equal-sized blocks (mirrors
     /// `MPI_Alltoall`): block `i` of `send` goes to rank `i`; block `j` of
-    /// `recv` comes from rank `j`. Pairwise exchange: `p-1` messages per
-    /// rank, sent even when a block is empty — exactly the dense-exchange
-    /// behaviour the sparse/grid plugins of §V-A improve on.
+    /// `recv` comes from rank `j`. The tuning selects pairwise exchange
+    /// (`p-1` messages per rank, sent even when a block is empty — the
+    /// dense-exchange behaviour the sparse/grid plugins of §V-A improve
+    /// on) or Bruck (`ceil(log2 p)` packed messages) for small blocks.
     pub fn alltoall_into<T: Plain>(&self, send: &[T], recv: &mut [T]) -> Result<()> {
         self.count_op("alltoall");
         let p = self.size();
@@ -23,6 +29,11 @@ impl Comm {
             )));
         }
         let n = send.len() / p;
+        if p > 1
+            && self.tuning().alltoall_algo(p, n * std::mem::size_of::<T>()) == AlltoallAlgo::Bruck
+        {
+            return algos::alltoall::bruck(self, send, n, recv);
+        }
         let counts: Vec<usize> = vec![n; p];
         let displs: Vec<usize> = (0..p).map(|r| r * n).collect();
         alltoallv_internal(self, send, &counts, &displs, recv, &counts, &displs)

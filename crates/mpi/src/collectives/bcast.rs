@@ -1,11 +1,13 @@
-//! Binomial-tree broadcast.
+//! Broadcast: binomial tree, plus the size-dispatched large-message
+//! algorithm for paths where every rank knows the payload size.
 
 use bytes::Bytes;
 
+use super::algos::{self, BcastAlgo, BcastParts};
 use super::{recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::plain::{bytes_from_slice, bytes_into_vec, copy_bytes_into};
+use crate::plain::{as_bytes_mut, bytes_from_slice, bytes_into_vec};
 use crate::{Plain, Rank};
 
 /// Broadcasts `payload` (significant at root) down a binomial tree over
@@ -73,6 +75,28 @@ pub(crate) fn bcast_forward(
     Ok(())
 }
 
+/// Sized broadcast: `size` (bytes) is known and identical on every rank
+/// (as `MPI_Bcast`'s count is), which lets the tuning pick the
+/// large-message algorithm. Returns the payload as [`BcastParts`].
+pub(crate) fn bcast_parts_internal(
+    comm: &Comm,
+    payload: Option<Bytes>,
+    size: usize,
+    root: Rank,
+) -> Result<BcastParts> {
+    let p = comm.size();
+    if root >= p {
+        return Err(MpiError::InvalidRank {
+            rank: root,
+            comm_size: p,
+        });
+    }
+    match comm.tuning().bcast_algo(p, size) {
+        BcastAlgo::Binomial => bcast_bytes_internal(comm, payload, root).map(BcastParts::Whole),
+        BcastAlgo::ScatterAllgather => algos::bcast::scatter_allgather(comm, payload, size, root),
+    }
+}
+
 /// Broadcasts a single plain value (used internally for context ids).
 pub(crate) fn bcast_one_internal<T: Plain>(comm: &Comm, value: T, root: Rank) -> Result<T> {
     let payload = (comm.rank() == root).then(|| bytes_from_slice(std::slice::from_ref(&value)));
@@ -93,22 +117,40 @@ impl Comm {
     }
 
     /// Broadcasts the root's buffer contents into every rank's buffer
-    /// (mirrors `MPI_Bcast`). All ranks must pass buffers of equal length.
+    /// (mirrors `MPI_Bcast`). All ranks must pass buffers of equal
+    /// length — which is what lets the tuning switch to the
+    /// large-message algorithm on this path.
     pub fn bcast_into<T: Plain>(&self, buf: &mut [T], root: Rank) -> Result<()> {
         self.count_op("bcast");
+        let size = std::mem::size_of_val(buf);
         let payload = (self.rank() == root).then(|| bytes_from_slice(buf));
-        let data = bcast_bytes_internal(self, payload, root)?;
+        let parts = bcast_parts_internal(self, payload, size, root)?;
         if self.rank() != root {
-            let expected = std::mem::size_of_val(buf);
-            if data.len() != expected {
-                return Err(MpiError::Truncated {
-                    message_bytes: data.len(),
-                    buffer_bytes: expected,
-                });
-            }
-            copy_bytes_into(&data, buf);
+            parts.write_into(as_bytes_mut(buf))?;
         }
         Ok(())
+    }
+
+    /// Sized byte-level broadcast: every rank passes the payload size
+    /// (so the tuning may pick the large-message algorithm, which the
+    /// size-discovering [`Comm::bcast_bytes`] cannot). The root's
+    /// payload length must equal `size`.
+    pub fn bcast_parts(
+        &self,
+        payload: Option<Bytes>,
+        size: usize,
+        root: Rank,
+    ) -> Result<BcastParts> {
+        self.count_op("bcast");
+        if let Some(p) = &payload {
+            if p.len() != size {
+                return Err(MpiError::InvalidLayout(format!(
+                    "bcast: root payload holds {} bytes but size says {size}",
+                    p.len()
+                )));
+            }
+        }
+        bcast_parts_internal(self, payload, size, root)
     }
 
     /// Broadcasts a vector from the root; non-root ranks receive a fresh

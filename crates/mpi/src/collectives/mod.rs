@@ -4,27 +4,41 @@
 //! with its textbook algorithm (Sanders et al., "Sequential and Parallel
 //! Algorithms and Data Structures"):
 //!
-//! With `s` = bytes this rank sends and `r` = bytes of its final result,
-//! the copies-per-rank column states the payload bytes memcpy'd by that
-//! rank on the shared-`Bytes` datapath (forwarding a received payload is
-//! a refcount clone, never a re-serialization; see [`crate::metrics`]):
+//! With `s` = bytes this rank sends, `r` = bytes of its final result and
+//! `b` = bytes of one alltoall block, the copies-per-rank column states
+//! the payload bytes memcpy'd by that rank on the shared-`Bytes`
+//! datapath (forwarding a received payload is a refcount clone, never a
+//! re-serialization, and in-place folds over delivered payloads are
+//! compute, not copies; see [`crate::metrics`]).
 //!
-//! | operation        | algorithm                              | startups (per rank) | copies per rank      |
-//! |------------------|----------------------------------------|---------------------|----------------------|
-//! | `barrier`        | dissemination                          | ceil(log2 p)        | 0                    |
-//! | `bcast`          | binomial tree                          | <= log2 p           | root: s; other: r    |
-//! | `gather/scatter` | flat tree (linear at root)             | 1 (root: p-1)       | root: s + r; other: s + r |
-//! | `allgather(v)`   | ring, block forwarding                 | p-1                 | s + r                |
-//! | `alltoall(v/w)`  | pairwise exchange, pack-once + slice   | p-1                 | s + r                |
-//! | `reduce`         | binomial tree (commutative ops)        | <= log2 p           | O(s log p) (folds)   |
-//! | `allreduce`      | recursive doubling with non-pow2 fixup | ~log2 p             | O(s log p) (folds)   |
-//! | `scan/exscan`    | linear chain                           | 1                   | O(s)                 |
+//! The hot collectives are **tunable** (see [`algos`]): a
+//! per-communicator [`CollTuning`] policy selects the
+//! algorithm at call time, by default switching at the listed size
+//! thresholds (chosen so the default is never slower under the cluster
+//! cost model than the former single-algorithm behaviour):
 //!
-//! The reductions copy at every combining step because folding *reads
-//! and rewrites* the accumulator — that is compute, not transport
-//! overhead. Every non-reducing collective is bounded by `s + r`: each
-//! payload byte is serialized once at its origin and materialized once
-//! at each destination, independent of hop count or child count.
+//! | operation        | algorithm                              | startups (per rank) | copies per rank      | selected when |
+//! |------------------|----------------------------------------|---------------------|----------------------|---------------|
+//! | `barrier`        | dissemination                          | ceil(log2 p)        | 0                    | always |
+//! | `bcast`          | binomial tree                          | <= log2 p           | root: s; other: r    | `s < 256 KiB`, or size unknown at non-roots |
+//! | `bcast`          | scatter + ring allgather (van de Geijn)| ~2p                 | root: s; other: r    | sized paths, `p >= 4`, `s >= 256 KiB` |
+//! | `gather/scatter` | flat tree (linear at root)             | 1 (root: p-1)       | root: s + r; other: s + r | always |
+//! | `allgather(v)`   | ring, block forwarding                 | p-1                 | s + r                | always |
+//! | `alltoall`       | pairwise exchange, pack-once + slice   | p-1                 | s + r                | `b > 1 KiB` |
+//! | `alltoall`       | Bruck (packed log-round forwarding)    | ceil(log2 p)        | s + r + s·ceil(log2 p)/2 | `p >= 4`, `b <= 1 KiB` |
+//! | `alltoall(v/w)`  | pairwise exchange, pack-once + slice   | p-1                 | s + r                | always |
+//! | `reduce`         | binomial tree, in-place folds          | <= log2 p           | non-root: s; root: r | op commutative |
+//! | `reduce`         | flat gather + ordered fold             | 1 (root: p-1)       | s (root: + r)        | op non-commutative |
+//! | `allreduce`      | recursive doubling, in-place folds     | ~log2 p             | s·log2 p             | `s < 128 KiB` |
+//! | `allreduce`      | Rabenseifner (reduce-scatter + ring allgather) | log2 p + p  | ~2s                  | `p >= 4`, `s >= 128 KiB` |
+//! | `scan/exscan`    | linear chain, in-place folds           | 1                   | scan: <= 2s; exscan: s | always |
+//!
+//! Every non-reducing collective is bounded by `s + r` (+ Bruck's
+//! deliberate repack trade): each payload byte is serialized once at its
+//! origin and materialized once at each destination, independent of hop
+//! count or child count. The reductions' former `O(s log p)`
+//! materialization bill is gone: combining steps fold the delivered
+//! payload into the accumulator in place.
 //!
 //! This matters for the reproduction: the paper's §V-A compares all-to-all
 //! strategies whose distinguishing property is *how many messages* they
@@ -37,6 +51,7 @@
 //! user-visible call, so binding tests can assert which MPI operations a
 //! KaMPIng call expands to.
 
+pub mod algos;
 mod allgather;
 mod alltoall;
 mod barrier;
@@ -47,7 +62,10 @@ mod reduce;
 mod scan;
 mod scatter;
 
-pub(crate) use allgather::allgather_internal;
+pub use algos::{
+    AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning, ReduceAlgo, Select,
+};
+pub(crate) use allgather::{allgather_blocks, allgather_internal};
 pub(crate) use alltoall::alltoallv_internal;
 pub(crate) use bcast::{bcast_bytes_internal, bcast_one_internal};
 pub(crate) use reduce::allreduce_internal;
@@ -85,13 +103,6 @@ pub(crate) fn send_slice_internal<T: Plain>(
 pub(crate) fn recv_internal(comm: &Comm, src: Rank, tag: Tag) -> Result<Bytes> {
     let env = comm.recv_envelope(Src::Rank(src), TagSel::Is(tag))?;
     Ok(env.payload)
-}
-
-/// Receives a typed vector from an exact source on an internal tag.
-#[inline]
-pub(crate) fn recv_vec_internal<T: Plain>(comm: &Comm, src: Rank, tag: Tag) -> Result<Vec<T>> {
-    let bytes = recv_internal(comm, src, tag)?;
-    Ok(crate::plain::bytes_into_vec(bytes))
 }
 
 /// Validates a counts/displacements layout against a buffer length.

@@ -24,13 +24,22 @@
 //! | `iscatter(v)`        | flat tree (eager, pack-once root) | p-1 (other: 1)| root: s; other: r  |
 //! | `iallgather(v)`      | flat dissemination                | p-1           | <= s, + r at wait  |
 //! | `ialltoall(v)`       | pairwise eager, pack-once + slice | p-1           | <= s, + r at wait  |
-//! | `ireduce`            | flat gather + ordered fold        | 1 (root: p-1) | s (+ folds at root)|
-//! | `iallreduce`         | flat gather + fold + binomial bcast | mixed       | s (+ folds, fan-out free) |
+//! | `ialltoall` (forced) | Bruck, resumable rounds           | ceil(log2 p)  | s + r + repacks    |
+//! | `ireduce`            | flat gather + in-place ordered fold | 1 (root: p-1) | s (root: r)      |
+//! | `ireduce` (forced)   | binomial tree, in-place folds     | <= log2 p     | s (root: r)        |
+//! | `iallreduce`         | flat gather + fold + binomial bcast | mixed       | s (folds/fan-out free) |
+//! | `iallreduce` (forced)| binomial tree reduce + binomial bcast | <= 2 log2 p | s (folds/fan-out free) |
 //!
 //! The flat algorithms trade the blocking collectives' latency-optimal
 //! trees for *immediacy*: every byte a rank contributes is on the wire
 //! before the call returns, which is what makes communication/computation
 //! overlap (§III-E of the paper, extended to collectives) effective.
+//! They therefore stay the `Auto` choice of the communicator's
+//! [`CollTuning`](super::algos::CollTuning); the tree/Bruck engines
+//! (resumable state machines like everything here) engage when the
+//! tuning *forces* [`ReduceAlgo::BinomialTree`](super::algos::ReduceAlgo)
+//! or [`AlltoallAlgo::Bruck`](super::algos::AlltoallAlgo) — the
+//! tuning-policy seam is shared with the blocking engines.
 //!
 //! Completion payloads: single-result operations complete with
 //! [`Completion::Message`]; per-rank-block operations (`igatherv`,
@@ -41,12 +50,15 @@
 
 use bytes::Bytes;
 
+use super::algos::{
+    self, alltoall as bruck_algo, fold_bytes_right, AlltoallAlgo, ReduceAlgo, Select,
+};
 use super::send_internal;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::message::{Src, Status, TagSel};
 use crate::op::ReduceOp;
-use crate::plain::{bytes_from_slice, bytes_from_vec, bytes_to_vec};
+use crate::plain::{bytes_from_slice, bytes_from_vec, bytes_into_vec};
 use crate::request::{Completion, Request};
 use crate::{Plain, Rank, Tag};
 
@@ -263,6 +275,178 @@ impl CollEngine for AllreduceRootEngine {
     }
 }
 
+/// What a [`TreeReduceEngine`] does once its subtree is folded and (for
+/// non-roots) forwarded to the parent.
+enum AfterTreeReduce {
+    /// `ireduce` non-root: complete with [`Completion::Done`].
+    Done,
+    /// `ireduce` root: complete with the folded payload.
+    Complete,
+    /// `iallreduce` root (rank 0): forward down the binomial broadcast
+    /// tree, then complete with the payload.
+    BcastSend(Tag),
+    /// `iallreduce` non-root: wait for the broadcast of the result.
+    BcastRecvPhase(Tag),
+}
+
+/// Resumable binomial-tree reduction (commutative operations): receive
+/// from each binomial child as messages arrive, fold the delivered
+/// payload in place, then forward the subtree result to the parent.
+/// Selected by forcing [`ReduceAlgo::BinomialTree`]; the flat engines
+/// remain the overlap-friendly default.
+struct TreeReduceEngine<T: Plain, O: ReduceOp<T>> {
+    tag: Tag,
+    root: Rank,
+    op: O,
+    /// This rank's contribution; folds lazily into `acc` so leaves
+    /// forward it without materializing.
+    own: Option<Bytes>,
+    acc: Option<Vec<T>>,
+    /// Children (actual ranks) still to be received from.
+    pending: Vec<Rank>,
+    parent: Option<Rank>,
+    after: AfterTreeReduce,
+    /// Engaged for the broadcast phase of a non-root `iallreduce`.
+    bcast: Option<BcastRecv>,
+    sent: bool,
+}
+
+impl<T: Plain, O: ReduceOp<T>> TreeReduceEngine<T, O> {
+    fn new(comm: &Comm, tag: Tag, own: Bytes, op: O, root: Rank, after: AfterTreeReduce) -> Self {
+        let p = comm.size();
+        let vrank = (comm.rank() + p - root) % p;
+        let (children, parent) = algos::reduce::binomial_children(vrank, p);
+        TreeReduceEngine {
+            tag,
+            root,
+            op,
+            own: Some(own),
+            acc: None,
+            pending: children.iter().map(|&c| (c + root) % p).collect(),
+            parent: parent.map(|pv| (pv + root) % p),
+            after,
+            bcast: None,
+            sent: false,
+        }
+    }
+
+    /// The folded subtree contribution as a payload (a leaf's own block
+    /// moves out untouched; an inner node's accumulator moves in
+    /// without a serialization copy).
+    fn take_payload(&mut self) -> Bytes {
+        match self.acc.take() {
+            Some(acc) => bytes_from_vec(acc),
+            None => self.own.take().expect("payload taken once"),
+        }
+    }
+}
+
+impl<T: Plain, O: ReduceOp<T>> CollEngine for TreeReduceEngine<T, O> {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        if let Some(bcast) = &mut self.bcast {
+            return Ok(bcast
+                .advance(comm, block)?
+                .map(|payload| message_completion(0, bcast.tag, payload)));
+        }
+        while let Some(&child) = self.pending.last() {
+            let Some(theirs) = recv_one(comm, child, self.tag, block)? else {
+                return Ok(None);
+            };
+            self.pending.pop();
+            let acc = match &mut self.acc {
+                Some(acc) => acc,
+                None => {
+                    let own = self.own.take().expect("own block present before folding");
+                    self.acc.insert(crate::plain::bytes_to_vec(&own))
+                }
+            };
+            if theirs.len() != std::mem::size_of_val(acc.as_slice()) {
+                return Err(MpiError::InvalidLayout(format!(
+                    "ireduce: rank {child} contributed {} payload bytes, expected {}",
+                    theirs.len(),
+                    std::mem::size_of_val(acc.as_slice())
+                )));
+            }
+            fold_bytes_right(acc, &theirs, &self.op)?;
+        }
+        debug_assert!(!self.sent, "engine polled after completion");
+        self.sent = true;
+        let payload = self.take_payload();
+        if let Some(parent) = self.parent {
+            send_internal(comm, parent, self.tag, payload.clone())?;
+        }
+        match self.after {
+            AfterTreeReduce::Done => Ok(Some(Completion::Done)),
+            AfterTreeReduce::Complete => Ok(Some(message_completion(self.root, self.tag, payload))),
+            AfterTreeReduce::BcastSend(bcast_tag) => {
+                bcast_forward(comm, 0, 0, bcast_tag, &payload)?;
+                Ok(Some(message_completion(0, bcast_tag, payload)))
+            }
+            AfterTreeReduce::BcastRecvPhase(bcast_tag) => {
+                let mut recv = BcastRecv {
+                    tag: bcast_tag,
+                    root: 0,
+                };
+                let done = recv
+                    .advance(comm, block)?
+                    .map(|p| message_completion(0, bcast_tag, p));
+                self.bcast = Some(recv);
+                Ok(done)
+            }
+        }
+    }
+}
+
+/// Resumable Bruck all-to-all: each round's packed message is sent as
+/// soon as the previous round's payload arrived; receives drain on
+/// test/wait like every engine here. Completes with
+/// [`Completion::Blocks`] (one block per source rank), exactly like the
+/// pairwise engine.
+struct BruckEngine {
+    rounds: Vec<bruck_algo::BruckRound>,
+    tags: Vec<Tag>,
+    blocks: Vec<Bytes>,
+    block_bytes: usize,
+    round: usize,
+}
+
+impl BruckEngine {
+    /// Packs and posts the sends of round `k` (round 0 is posted by the
+    /// caller at call time).
+    fn post_round(&self, comm: &Comm, k: usize) -> Result<()> {
+        let round = &self.rounds[k];
+        let msg = bruck_algo::bruck_pack(&self.blocks, &round.indices);
+        send_internal(comm, round.dest, self.tags[k], msg)
+    }
+}
+
+impl CollEngine for BruckEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        while self.round < self.rounds.len() {
+            let k = self.round;
+            let Some(payload) = recv_one(comm, self.rounds[k].src, self.tags[k], block)? else {
+                return Ok(None);
+            };
+            bruck_algo::bruck_unpack(
+                &mut self.blocks,
+                &self.rounds[k].indices,
+                &payload,
+                self.block_bytes,
+            )?;
+            self.round += 1;
+            if self.round < self.rounds.len() {
+                self.post_round(comm, self.round)?;
+            }
+        }
+        let p = comm.size();
+        let rank = comm.rank();
+        let by_source: Vec<Bytes> = (0..p)
+            .map(|j| self.blocks[bruck_algo::bruck_source_index(rank, j, p)].clone())
+            .collect();
+        Ok(Some(Completion::Blocks(by_source)))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Shared construction helpers
 // ---------------------------------------------------------------------------
@@ -271,26 +455,25 @@ fn ordered_fold<T: Plain, O: ReduceOp<T> + 'static>(
     op: O,
 ) -> Box<dyn FnMut(Vec<Bytes>) -> Result<Bytes>> {
     Box::new(move |blocks: Vec<Bytes>| {
-        let mut acc: Option<Vec<T>> = None;
-        for (r, block) in blocks.iter().enumerate() {
-            let theirs: Vec<T> = bytes_to_vec(block);
-            match &mut acc {
-                None => acc = Some(theirs),
-                Some(acc) => {
-                    if acc.len() != theirs.len() {
-                        return Err(MpiError::InvalidLayout(format!(
-                            "ireduce: rank {r} contributed {} elements, expected {}",
-                            theirs.len(),
-                            acc.len()
-                        )));
-                    }
-                    for (a, b) in acc.iter_mut().zip(&theirs) {
-                        *a = op.apply(a, b);
-                    }
-                }
+        // Rank 0's block materializes the accumulator (zero-copy for
+        // byte-shaped payloads); every other block folds in place from
+        // the delivered bytes, and the result moves back out without a
+        // serialization copy.
+        let mut iter = blocks.into_iter();
+        let first = iter.next().expect("at least one block");
+        let mut acc: Vec<T> = bytes_into_vec(first);
+        for (r, block) in iter.enumerate() {
+            if block.len() != std::mem::size_of_val(acc.as_slice()) {
+                return Err(MpiError::InvalidLayout(format!(
+                    "ireduce: rank {} contributed {} payload bytes, expected {}",
+                    r + 1,
+                    block.len(),
+                    std::mem::size_of_val(acc.as_slice())
+                )));
             }
+            fold_bytes_right(&mut acc, &block, &op)?;
         }
-        Ok(bytes_from_vec(acc.expect("at least one block")))
+        Ok(bytes_from_vec(acc))
     })
 }
 
@@ -516,7 +699,10 @@ impl Comm {
     }
 
     /// Equal-block flavour of [`Comm::ialltoallv`] (mirrors
-    /// `MPI_Ialltoall`).
+    /// `MPI_Ialltoall`). Forcing
+    /// [`AlltoallAlgo::Bruck`](super::algos::AlltoallAlgo) in the tuning
+    /// switches to the resumable Bruck engine (`ceil(log2 p)` packed
+    /// rounds instead of `p-1` eager sends).
     pub fn ialltoall<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
         self.count_op("ialltoall");
         let p = self.size();
@@ -530,8 +716,35 @@ impl Comm {
             )));
         }
         let elem = std::mem::size_of::<T>();
-        let byte_counts = vec![send.len() / p * elem; p];
+        let block_bytes = send.len() / p * elem;
+        // The eager pairwise engine stays the `Auto` choice: its
+        // call-time sends are what make overlap effective. Bruck
+        // engages only when forced.
+        if p > 1 && self.tuning().alltoall == Select::Force(AlltoallAlgo::Bruck) {
+            return self.ialltoall_bruck(bytes_from_slice(send), block_bytes);
+        }
+        let byte_counts = vec![block_bytes; p];
         self.ialltoall_impl(bytes_from_slice(send), &byte_counts, "ialltoall")
+    }
+
+    fn ialltoall_bruck(&self, packed: Bytes, block_bytes: usize) -> Result<Request<'_>> {
+        let p = self.size();
+        let rank = self.rank();
+        let rounds = bruck_algo::bruck_rounds(rank, p);
+        // One tag per round, allocated in the same order on every rank.
+        let tags: Vec<Tag> = rounds.iter().map(|_| self.next_internal_tag()).collect();
+        let blocks = bruck_algo::bruck_rotate(&packed, rank, p, block_bytes);
+        let engine = BruckEngine {
+            rounds,
+            tags,
+            blocks,
+            block_bytes,
+            round: 0,
+        };
+        // Round 0 is posted eagerly at call time; later rounds depend
+        // on received payloads and go out as polling drains them.
+        engine.post_round(self, 0)?;
+        Ok(self.coll_request(Box::new(engine)))
     }
 
     fn ialltoall_impl(
@@ -573,9 +786,13 @@ impl Comm {
     }
 
     /// Starts a non-blocking reduction to `root` (mirrors `MPI_Ireduce`).
-    /// Flat gather + strictly rank-ordered fold, so non-commutative
-    /// operations are safe. The root completes with the folded vector;
-    /// other ranks with [`Completion::Done`].
+    /// The default is the flat gather + strictly rank-ordered in-place
+    /// fold, so non-commutative operations are safe; forcing
+    /// [`ReduceAlgo::BinomialTree`](super::algos::ReduceAlgo) in the
+    /// tuning runs the resumable binomial-tree engine instead
+    /// (commutative operations only — the flat fold remains the fallback
+    /// otherwise). The root completes with the folded vector; other
+    /// ranks with [`Completion::Done`].
     pub fn ireduce<T: Plain, O: ReduceOp<T> + 'static>(
         &self,
         send: &[T],
@@ -584,7 +801,20 @@ impl Comm {
     ) -> Result<Request<'_>> {
         self.count_op("ireduce");
         self.check_rank(root)?;
+        let algo = self
+            .tuning()
+            .reduce_algo(op.is_commutative(), ReduceAlgo::FlatGather);
         let tag = self.next_internal_tag();
+        if algo == ReduceAlgo::BinomialTree {
+            let after = if self.rank() == root {
+                AfterTreeReduce::Complete
+            } else {
+                AfterTreeReduce::Done
+            };
+            let engine =
+                TreeReduceEngine::<T, O>::new(self, tag, bytes_from_slice(send), op, root, after);
+            return self.start_tree_engine(engine);
+        }
         if self.rank() == root {
             let own = bytes_from_slice(send);
             let recv = RecvFromEach::new(self, tag, Some(own));
@@ -597,6 +827,22 @@ impl Comm {
             send_internal(self, root, tag, bytes_from_slice(send))?;
             Ok(self.coll_request(Box::new(ReadyEngine(Some(Completion::Done)))))
         }
+    }
+
+    /// Starts a tree-reduce engine: a leaf's send must be posted
+    /// *eagerly at call time* (the property overlap relies on), which
+    /// one non-blocking advance achieves — inner nodes simply find no
+    /// child payloads yet.
+    fn start_tree_engine<T: Plain, O: ReduceOp<T> + 'static>(
+        &self,
+        mut engine: TreeReduceEngine<T, O>,
+    ) -> Result<Request<'_>> {
+        if engine.pending.is_empty() {
+            if let Some(done) = engine.advance(self, false)? {
+                return Ok(self.coll_request(Box::new(ReadyEngine(Some(done)))));
+            }
+        }
+        Ok(self.coll_request(Box::new(engine)))
     }
 
     /// Starts a non-blocking all-reduce (mirrors `MPI_Iallreduce`): flat
@@ -612,15 +858,30 @@ impl Comm {
 
     /// Byte-level [`Comm::iallreduce`]: the contribution enters the
     /// transport as-is (zero-copy for adopted owned buffers). `own` must
-    /// encode a `[T]` slice.
+    /// encode a `[T]` slice. Forcing
+    /// [`ReduceAlgo::BinomialTree`](super::algos::ReduceAlgo) replaces
+    /// the flat gather phase with the resumable binomial-tree reduction
+    /// (commutative operations only).
     pub fn iallreduce_bytes<T: Plain, O: ReduceOp<T> + 'static>(
         &self,
         own: Bytes,
         op: O,
     ) -> Result<Request<'_>> {
         self.count_op("iallreduce");
+        let algo = self
+            .tuning()
+            .reduce_algo(op.is_commutative(), ReduceAlgo::FlatGather);
         let gather_tag = self.next_internal_tag();
         let bcast_tag = self.next_internal_tag();
+        if algo == ReduceAlgo::BinomialTree {
+            let after = if self.rank() == 0 {
+                AfterTreeReduce::BcastSend(bcast_tag)
+            } else {
+                AfterTreeReduce::BcastRecvPhase(bcast_tag)
+            };
+            let engine = TreeReduceEngine::<T, O>::new(self, gather_tag, own, op, 0, after);
+            return self.start_tree_engine(engine);
+        }
         if self.rank() == 0 {
             let recv = RecvFromEach::new(self, gather_tag, Some(own));
             Ok(self.coll_request(Box::new(AllreduceRootEngine {
@@ -907,6 +1168,73 @@ mod tests {
             let req = comm.iallreduce(&[1u64], Sum).unwrap();
             let (sum, _) = req.wait().unwrap().into_vec::<u64>().unwrap();
             assert_eq!(sum, vec![3]);
+        });
+    }
+
+    #[test]
+    fn forced_bruck_ialltoall_matches_pairwise() {
+        use crate::collectives::{AlltoallAlgo, CollTuning};
+        for p in [2, 3, 4, 5, 8] {
+            Universe::run(p, move |comm| {
+                let send: Vec<u32> = (0..p as u32).map(|d| comm.rank() as u32 * 10 + d).collect();
+                let pairwise = comm.ialltoall(&send).unwrap();
+                let expected = pairwise.wait().unwrap().into_blocks().unwrap();
+                comm.set_tuning(CollTuning::default().alltoall(AlltoallAlgo::Bruck));
+                let bruck = comm.ialltoall(&send).unwrap();
+                let got = poll_to_completion(bruck).into_blocks().unwrap();
+                for (a, b) in expected.iter().zip(&got) {
+                    assert_eq!(&a[..], &b[..], "p = {p}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn forced_tree_ireduce_and_iallreduce_match_flat() {
+        use crate::collectives::{CollTuning, ReduceAlgo};
+        for p in [1, 2, 3, 5, 8] {
+            Universe::run(p, move |comm| {
+                let mine = [comm.rank() as u64 + 1, 7];
+                let flat = comm.ireduce(&mine, Sum, 0).unwrap().wait().unwrap();
+                comm.set_tuning(CollTuning::default().reduce(ReduceAlgo::BinomialTree));
+                let tree = comm.ireduce(&mine, Sum, 0).unwrap().wait().unwrap();
+                if comm.rank() == 0 {
+                    assert_eq!(
+                        flat.into_vec::<u64>().unwrap().0,
+                        tree.into_vec::<u64>().unwrap().0,
+                        "p = {p}"
+                    );
+                }
+                let req = comm.iallreduce(&mine, Sum).unwrap();
+                let (got, _) = poll_to_completion(req).into_vec::<u64>().unwrap();
+                let total = (p * (p + 1) / 2) as u64;
+                assert_eq!(got, vec![total, 7 * p as u64], "p = {p}");
+            });
+        }
+    }
+
+    #[test]
+    fn forced_tree_iallreduce_overlaps_and_interoperates() {
+        use crate::collectives::{CollTuning, ReduceAlgo};
+        Universe::run(4, |comm| {
+            comm.set_tuning(CollTuning::default().reduce(ReduceAlgo::BinomialTree));
+            let req = comm.iallreduce(&[1u32], Sum).unwrap();
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+            let (got, _) = req.wait().unwrap().into_vec::<u32>().unwrap();
+            assert_eq!(got, vec![4]);
+            // Non-commutative ops silently keep the rank-ordered flat
+            // fold even under the forced tree.
+            let op = non_commutative(|a: &u64, b: &u64| a * 10 + b);
+            let req = comm.ireduce(&[comm.rank() as u64], op, 0).unwrap();
+            let c = req.wait().unwrap();
+            if comm.rank() == 0 {
+                let (got, _) = c.into_vec::<u64>().unwrap();
+                assert_eq!(got, vec![123]);
+            }
         });
     }
 

@@ -1,11 +1,14 @@
 //! Reduce and allreduce.
 //!
-//! Commutative operations use the latency-optimal tree algorithms
-//! (binomial reduce, recursive doubling with the non-power-of-two fixup).
-//! Non-commutative operations fall back to gather + ordered local fold
-//! (+ broadcast), which preserves strict rank order for any `p`.
+//! Commutative operations run the tree algorithms selected by the
+//! communicator's [`CollTuning`](super::algos::CollTuning): binomial
+//! reduce with in-place folds, and recursive doubling or Rabenseifner
+//! for allreduce (see [`super::algos`]). Non-commutative operations fall
+//! back to gather + ordered local fold (+ broadcast), which preserves
+//! strict rank order for any `p`.
 
-use super::{recv_vec_internal, send_slice_internal};
+use super::algos::{self, ReduceAlgo};
+use super::send_slice_internal;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::op::ReduceOp;
@@ -26,13 +29,12 @@ pub(crate) fn allreduce_internal<T: Plain, O: ReduceOp<T>>(
 ) -> Result<Vec<T>> {
     let p = comm.size();
     let rank = comm.rank();
-    let mut acc = send.to_vec();
     if p == 1 {
-        return Ok(acc);
+        return Ok(send.to_vec());
     }
     if !op.is_commutative() {
         // Gather + ordered fold + broadcast keeps strict rank order.
-        let gathered = comm.gatherv_vec_uncounted(&acc, 0)?;
+        let gathered = comm.gatherv_vec_uncounted(send, 0)?;
         let result = if rank == 0 {
             let (data, counts) = gathered.expect("root gathered");
             Some(fold_blocks(&data, &counts, op))
@@ -44,38 +46,7 @@ pub(crate) fn allreduce_internal<T: Plain, O: ReduceOp<T>>(
         let bytes = super::bcast_bytes_internal(comm, payload, 0)?;
         return Ok(crate::plain::bytes_into_vec(bytes));
     }
-
-    let tag = comm.next_internal_tag();
-    let p2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
-    let extra = p - p2;
-
-    // Fold the `extra` highest ranks into the low half.
-    if rank >= p2 {
-        send_slice_internal(comm, rank - p2, tag, &acc)?;
-    } else if rank + p2 < p {
-        let theirs: Vec<T> = recv_vec_internal(comm, rank + p2, tag)?;
-        combine(&mut acc, &theirs, op);
-    }
-
-    // Recursive doubling among ranks < p2.
-    if rank < p2 {
-        let mut mask = 1usize;
-        while mask < p2 {
-            let partner = rank ^ mask;
-            send_slice_internal(comm, partner, tag, &acc)?;
-            let theirs: Vec<T> = recv_vec_internal(comm, partner, tag)?;
-            combine(&mut acc, &theirs, op);
-            mask <<= 1;
-        }
-    }
-
-    // Return results to the folded-in ranks.
-    if rank < extra {
-        send_slice_internal(comm, rank + p2, tag, &acc)?;
-    } else if rank >= p2 {
-        acc = recv_vec_internal(comm, rank - p2, tag)?;
-    }
-    Ok(acc)
+    algos::allreduce::dispatch(comm, &comm.tuning(), send, op)
 }
 
 fn fold_blocks<T: Plain, O: ReduceOp<T>>(data: &[T], counts: &[usize], op: &O) -> Vec<T> {
@@ -119,56 +90,34 @@ impl Comm {
         root: Rank,
     ) -> Result<()> {
         self.count_op("reduce");
-        let p = self.size();
         self.check_rank(root)?;
         let rank = self.rank();
 
-        if !op.is_commutative() {
-            let gathered = self.gatherv_vec_uncounted(send, root)?;
-            if rank == root {
-                let (data, counts) = gathered.expect("root gathered");
-                let folded = fold_blocks(&data, &counts, &op);
-                if recv.len() != folded.len() {
-                    return Err(MpiError::InvalidLayout(format!(
-                        "reduce: receive buffer holds {} elements, need {}",
-                        recv.len(),
-                        folded.len()
-                    )));
-                }
-                crate::plain::copy_slice(&folded, recv);
+        let algo = self
+            .tuning()
+            .reduce_algo(op.is_commutative(), ReduceAlgo::BinomialTree);
+        let folded: Option<Vec<T>> = match algo {
+            ReduceAlgo::FlatGather => {
+                let gathered = self.gatherv_vec_uncounted(send, root)?;
+                gathered.map(|(data, counts)| fold_blocks(&data, &counts, &op))
             }
-            return Ok(());
-        }
-
-        // Binomial tree over virtual ranks.
-        let tag = self.next_internal_tag();
-        let vrank = (rank + p - root) % p;
-        let mut acc = send.to_vec();
-        let mut mask = 1usize;
-        while mask < p {
-            if vrank & mask != 0 {
-                let parent_v = vrank & !mask;
-                let parent = (parent_v + root) % p;
-                send_slice_internal(self, parent, tag, &acc)?;
-                break;
+            ReduceAlgo::BinomialTree => {
+                // Binomial tree over virtual ranks, folding delivered
+                // payloads in place (no materialization per child).
+                let tag = self.next_internal_tag();
+                algos::reduce::binomial_inplace(self, tag, send, &op, root)?
             }
-            let child_v = vrank | mask;
-            if child_v < p {
-                let child = (child_v + root) % p;
-                let theirs: Vec<T> = recv_vec_internal(self, child, tag)?;
-                combine(&mut acc, &theirs, &op);
-            }
-            mask <<= 1;
-        }
+        };
         if rank == root {
-            if recv.len() != acc.len() {
+            let folded = folded.expect("root holds the folded result");
+            if recv.len() != folded.len() {
                 return Err(MpiError::InvalidLayout(format!(
                     "reduce: receive buffer holds {} elements, need {}",
                     recv.len(),
-                    acc.len()
+                    folded.len()
                 )));
             }
-            crate::plain::copy_slice(&acc, recv);
+            crate::plain::copy_slice(&folded, recv);
         }
         Ok(())
     }
@@ -191,6 +140,13 @@ impl Comm {
         let out = allreduce_internal(self, send, &op)?;
         crate::plain::copy_slice(&out, recv);
         Ok(())
+    }
+
+    /// Elementwise reduction to all ranks, returning a fresh vector (no
+    /// receive-buffer copy; the algorithm's accumulator moves out).
+    pub fn allreduce_vec<T: Plain, O: ReduceOp<T>>(&self, send: &[T], op: O) -> Result<Vec<T>> {
+        self.count_op("allreduce");
+        allreduce_internal(self, send, &op)
     }
 
     /// Reduces a single value to all ranks.

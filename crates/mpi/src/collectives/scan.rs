@@ -1,9 +1,14 @@
-//! Inclusive and exclusive prefix reductions (linear chain).
+//! Inclusive and exclusive prefix reductions (linear chain) on the
+//! shared-`Bytes` datapath: the upstream prefix is folded straight from
+//! the delivered payload (no per-hop `Vec` materialization), and the
+//! forwarded prefix moves into the transport without a copy.
 
-use super::{recv_vec_internal, send_slice_internal};
+use super::algos::{fold_bytes_map, fold_bytes_to_vec};
+use super::{recv_internal, send_internal, send_slice_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::op::ReduceOp;
+use crate::plain::{bytes_from_vec, bytes_into_vec};
 use crate::Plain;
 
 impl Comm {
@@ -27,17 +32,16 @@ impl Comm {
         let rank = self.rank();
         let p = self.size();
         let tag = self.next_internal_tag();
-        let mut acc = send.to_vec();
         if rank > 0 {
-            let prefix: Vec<T> = recv_vec_internal(self, rank - 1, tag)?;
-            for (a, pre) in acc.iter_mut().zip(&prefix) {
-                *a = op.apply(pre, a);
-            }
+            // Fold the delivered prefix directly into the result buffer.
+            let prefix = recv_internal(self, rank - 1, tag)?;
+            fold_bytes_map(&prefix, send, recv, &op)?;
+        } else {
+            crate::plain::copy_slice(send, recv);
         }
         if rank + 1 < p {
-            send_slice_internal(self, rank + 1, tag, &acc)?;
+            send_slice_internal(self, rank + 1, tag, recv)?;
         }
-        crate::plain::copy_slice(&acc, recv);
         Ok(())
     }
 
@@ -53,22 +57,25 @@ impl Comm {
         let rank = self.rank();
         let p = self.size();
         let tag = self.next_internal_tag();
-        let prefix: Option<Vec<T>> = if rank > 0 {
-            Some(recv_vec_internal(self, rank - 1, tag)?)
+        let prefix_bytes = if rank > 0 {
+            Some(recv_internal(self, rank - 1, tag)?)
         } else {
             None
         };
         if rank + 1 < p {
-            // Forward the inclusive prefix over 0..=rank.
-            let mut fwd = send.to_vec();
-            if let Some(pre) = &prefix {
-                for (a, p) in fwd.iter_mut().zip(pre) {
-                    *a = op.apply(p, a);
-                }
-            }
-            send_slice_internal(self, rank + 1, tag, &fwd)?;
+            // Forward the inclusive prefix over 0..=rank. Middle ranks'
+            // fold output moves into the transport (no serialization
+            // copy); rank 0 forwards its own data, which is one counted
+            // serialization like any other borrowed send.
+            let payload = match &prefix_bytes {
+                Some(pre) => bytes_from_vec(fold_bytes_to_vec(pre, send, &op)?),
+                None => crate::plain::bytes_from_slice(send),
+            };
+            send_internal(self, rank + 1, tag, payload)?;
         }
-        Ok(prefix)
+        // Materialize the returned prefix once (zero-copy for unique
+        // byte-shaped payloads).
+        Ok(prefix_bytes.map(bytes_into_vec))
     }
 }
 

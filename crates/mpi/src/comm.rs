@@ -13,6 +13,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use crate::clock::Clock;
+use crate::collectives::CollTuning;
 use crate::counter::CallCounts;
 use crate::error::{MpiError, Result};
 use crate::message::{AckSlot, Envelope, Src, Status, TagSel};
@@ -32,6 +33,8 @@ pub struct Comm {
     pub(crate) clock: Rc<RefCell<Clock>>,
     /// Sequence number for internal (collective) tags.
     coll_seq: Cell<u64>,
+    /// Collective algorithm tuning policy (see [`crate::collectives::algos`]).
+    tuning: Cell<CollTuning>,
 }
 
 impl Comm {
@@ -47,6 +50,7 @@ impl Comm {
             context: 0,
             clock: Rc::new(RefCell::new(Clock::new(cost))),
             coll_seq: Cell::new(0),
+            tuning: Cell::new(CollTuning::default()),
         }
     }
 
@@ -58,6 +62,9 @@ impl Comm {
             context,
             clock: Rc::clone(&self.clock),
             coll_seq: Cell::new(0),
+            // Derived communicators inherit the parent's tuning, like
+            // MPI info hints.
+            tuning: Cell::new(self.tuning.get()),
         }
     }
 
@@ -120,11 +127,42 @@ impl Comm {
         self.clock.borrow_mut().reset();
     }
 
+    // ----- collective tuning ---------------------------------------------
+
+    /// The communicator's collective tuning policy.
+    #[inline]
+    pub fn tuning(&self) -> CollTuning {
+        self.tuning.get()
+    }
+
+    /// Replaces the communicator's collective tuning policy. All ranks
+    /// must use the same tuning for matching calls — the policy is part
+    /// of the wire protocol, like an MPI info hint.
+    pub fn set_tuning(&self, tuning: CollTuning) {
+        self.tuning.set(tuning);
+    }
+
+    /// Temporarily overrides the tuning for the duration of the guard
+    /// (used by the binding layer's `tuning(...)` named parameter).
+    /// `None` is a no-op guard.
+    pub fn tuning_guard(&self, tuning: Option<CollTuning>) -> TuningGuard<'_> {
+        let prev = tuning.map(|t| self.tuning.replace(t));
+        TuningGuard { comm: self, prev }
+    }
+
     // ----- call counting (PMPI substitute) -------------------------------
 
     /// Snapshot of this rank's per-operation call counts.
     pub fn call_counts(&self) -> CallCounts {
         self.world.counters[self.world_rank()].lock().clone()
+    }
+
+    /// Snapshot of this rank's payload copy counters (convenience
+    /// mirror of [`crate::metrics::snapshot`]; per-rank totals of a
+    /// whole run are available without any in-closure snapshotting via
+    /// [`crate::Universe::run_stats`]).
+    pub fn copy_stats(&self) -> crate::metrics::CopyStats {
+        crate::metrics::snapshot()
     }
 
     #[inline]
@@ -324,6 +362,21 @@ impl Comm {
             new_rank,
             base + color_index,
         )))
+    }
+}
+
+/// Restores a communicator's previous tuning when dropped (see
+/// [`Comm::tuning_guard`]).
+pub struct TuningGuard<'a> {
+    comm: &'a Comm,
+    prev: Option<CollTuning>,
+}
+
+impl Drop for TuningGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            self.comm.tuning.set(prev);
+        }
     }
 }
 

@@ -58,7 +58,10 @@ pub mod ulfm;
 pub mod universe;
 
 pub use clock::{Clock, CostModel};
-pub use comm::Comm;
+pub use collectives::{
+    AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning, ReduceAlgo, Select,
+};
+pub use comm::{Comm, TuningGuard};
 pub use counter::CallCounts;
 pub use error::{MpiError, Result};
 pub use message::{Src, Status, TagSel, ANY_SOURCE, ANY_TAG};

@@ -81,6 +81,17 @@ pub fn as_bytes<T: Plain>(s: &[T]) -> &[u8] {
     unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
 }
 
+/// Views a slice of plain values as its underlying bytes, mutably —
+/// for writing payload chunks whose boundaries need not align with the
+/// element size (e.g. the scatter+allgather broadcast).
+#[inline]
+pub fn as_bytes_mut<T: Plain>(s: &mut [T]) -> &mut [u8] {
+    let len = std::mem::size_of_val(s);
+    // SAFETY: `T: Plain` has no padding and accepts every byte pattern,
+    // so byte-level writes cannot create an invalid value.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u8>(), len) }
+}
+
 /// Copies a byte buffer into a freshly allocated vector of plain values.
 ///
 /// # Panics

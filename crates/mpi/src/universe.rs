@@ -18,6 +18,7 @@ use crate::clock::CostModel;
 use crate::comm::Comm;
 use crate::counter::CallCounts;
 use crate::mailbox::Mailbox;
+use crate::metrics::{self, CopyStats};
 use crate::ulfm::AgreementTable;
 use crate::Rank;
 
@@ -62,6 +63,9 @@ pub struct WorldState {
     next_context: AtomicU64,
     pub(crate) cost: CostModel,
     pub(crate) counters: Vec<Mutex<CallCounts>>,
+    /// Final per-rank copy statistics, written when each rank's thread
+    /// finishes (the thread-local counters die with the thread).
+    pub(crate) copy_stats: Vec<Mutex<CopyStats>>,
     pub(crate) agreements: AgreementTable,
 }
 
@@ -77,6 +81,9 @@ impl WorldState {
             cost: config.cost,
             counters: (0..config.size)
                 .map(|_| Mutex::new(CallCounts::new()))
+                .collect(),
+            copy_stats: (0..config.size)
+                .map(|_| Mutex::new(CopyStats::default()))
                 .collect(),
             agreements: AgreementTable::new(),
         })
@@ -179,20 +186,47 @@ impl Universe {
     /// Runs `f` on `config.size` ranks, returning each rank's outcome.
     /// Panics and simulated failures are contained per-rank.
     pub fn run_with<R: Send, F: Fn(Comm) -> R + Sync>(config: Config, f: F) -> Vec<RankOutcome<R>> {
-        assert!(config.size > 0, "universe needs at least one rank");
         let world = WorldState::new(&config);
+        Self::run_on(&config, &world, f)
+    }
+
+    /// Runs `f` on `config.size` ranks and additionally returns each
+    /// rank's total [`CopyStats`] — the universe-level aggregation that
+    /// lets benches read per-rank copy bills without threading
+    /// snapshots through their closures (the per-operation diffing of
+    /// [`crate::metrics::snapshot`] remains available inside the
+    /// closure).
+    pub fn run_stats<R: Send, F: Fn(Comm) -> R + Sync>(
+        config: Config,
+        f: F,
+    ) -> (Vec<RankOutcome<R>>, Vec<CopyStats>) {
+        let world = WorldState::new(&config);
+        let outcomes = Self::run_on(&config, &world, f);
+        let stats = Self::collect_copy_stats(&world);
+        (outcomes, stats)
+    }
+
+    fn run_on<R: Send, F: Fn(Comm) -> R + Sync>(
+        config: &Config,
+        world: &Arc<WorldState>,
+        f: F,
+    ) -> Vec<RankOutcome<R>> {
+        assert!(config.size > 0, "universe needs at least one rank");
         let f = &f;
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..config.size)
                 .map(|rank| {
-                    let world = Arc::clone(&world);
+                    let world = Arc::clone(world);
                     std::thread::Builder::new()
                         .name(format!("rank-{rank}"))
                         .stack_size(config.stack_size)
                         .spawn_scoped(scope, move || {
                             let comm = Comm::world(world.clone(), rank);
                             let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
+                            // Preserve the rank's copy counters before the
+                            // thread (and its thread-locals) exits.
+                            *world.copy_stats[rank].lock() = metrics::snapshot();
                             match result {
                                 Ok(r) => RankOutcome::Completed(r),
                                 Err(payload) => {
@@ -224,6 +258,12 @@ impl Universe {
     /// the binding layer's tests via [`Comm::call_counts`](crate::Comm::call_counts).
     pub fn collect_counts(world: &WorldState) -> Vec<CallCounts> {
         world.counters.iter().map(|m| m.lock().clone()).collect()
+    }
+
+    /// Collected per-rank copy statistics after a run (the
+    /// [`CopyStats`] analogue of [`Universe::collect_counts`]).
+    pub fn collect_copy_stats(world: &WorldState) -> Vec<CopyStats> {
+        world.copy_stats.iter().map(|m| *m.lock()).collect()
     }
 }
 
@@ -289,6 +329,26 @@ mod tests {
         let b = ws.alloc_contexts(1);
         assert!(a >= 1);
         assert_eq!(b, a + 3);
+    }
+
+    #[test]
+    #[cfg(feature = "copy-metrics")]
+    fn run_stats_aggregates_per_rank_copy_bills() {
+        let (outcomes, stats) = Universe::run_stats(Config::new(3), |comm| {
+            // Rank r sends r+1 bytes to the next rank; serialization
+            // copies are charged to the sender.
+            let next = (comm.rank() + 1) % comm.size();
+            let data = vec![7u8; comm.rank() + 1];
+            comm.send(&data, next, 0).unwrap();
+            let (_got, _) = comm.recv_vec::<u8>((comm.rank() + 2) % 3, 0).unwrap();
+        });
+        assert!(outcomes.into_iter().all(|o| o.completed().is_some()));
+        for (rank, s) in stats.iter().enumerate() {
+            assert!(
+                s.bytes_copied >= (rank + 1) as u64,
+                "rank {rank} must have charged its send serialization: {s:?}"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 #![cfg(feature = "copy-metrics")]
 
-use kmp_mpi::{metrics, Universe};
+use kmp_mpi::{metrics, AllreduceAlgo, CollTuning, Universe};
 
 /// Non-root bcast ranks copy O(N) bytes for an N-byte payload no matter
 /// how many children they forward to; the root pays exactly one
@@ -180,6 +180,139 @@ fn iallgatherv_bytes_fan_out_is_copy_free() {
         let blocks = req.wait().unwrap().into_blocks().unwrap();
         assert_eq!(blocks.len(), p);
         assert!(blocks.iter().all(|b| b.len() == N));
+    });
+}
+
+/// Rabenseifner allreduce copies ~2s per rank — `s·(1 - 1/p)` of
+/// reduce-scatter serialization, `s/p` packing the rank's reduced
+/// chunk, and `s` assembling the result — where recursive doubling
+/// serializes the full vector every round (`s·log2 p`). This is the
+/// O(s log p) → ~2s reduction-bill drop of the tunable-algorithm
+/// engine; the in-place folds make the former per-round
+/// materialization free on both algorithms.
+#[test]
+fn rabenseifner_allreduce_copies_two_s_per_rank() {
+    const ELEMS: usize = 128 * 1024; // u64 -> s = 1 MiB, divisible by p
+    let p = 8usize;
+    let s = (ELEMS * 8) as u64;
+    Universe::run(p, move |comm| {
+        let mine = vec![comm.rank() as u64 + 1; ELEMS];
+
+        comm.set_tuning(CollTuning::default().allreduce(AllreduceAlgo::Rabenseifner));
+        let before = metrics::snapshot();
+        let fast = comm.allreduce_vec(&mine, kmp_mpi::op::Sum).unwrap();
+        let rab = metrics::snapshot().since(&before);
+        assert_eq!(fast[0], (p * (p + 1) / 2) as u64);
+        assert_eq!(
+            rab.bytes_copied,
+            2 * s,
+            "rank {}: Rabenseifner must copy exactly 2s",
+            comm.rank()
+        );
+
+        comm.set_tuning(CollTuning::default().allreduce(AllreduceAlgo::RecursiveDoubling));
+        let before = metrics::snapshot();
+        let slow = comm.allreduce_vec(&mine, kmp_mpi::op::Sum).unwrap();
+        let rd = metrics::snapshot().since(&before);
+        assert_eq!(slow, fast);
+        assert_eq!(
+            rd.bytes_copied,
+            3 * s, // log2(8) rounds, one serialization of s each
+            "rank {}: recursive doubling serializes s per round",
+            comm.rank()
+        );
+    });
+}
+
+/// The default thresholds select by size: small payloads stay on
+/// recursive doubling (s·log2 p bill), large ones switch to
+/// Rabenseifner (~2s) without any tuning call.
+#[test]
+fn auto_allreduce_switches_algorithms_by_size() {
+    let p = 4usize;
+    Universe::run(p, move |comm| {
+        // 1 KiB: below every threshold -> recursive doubling (2 rounds).
+        let small = vec![1u64; 128];
+        let before = metrics::snapshot();
+        comm.allreduce_vec(&small, kmp_mpi::op::Sum).unwrap();
+        let d = metrics::snapshot().since(&before);
+        assert_eq!(d.bytes_copied, 2 * 1024, "rank {}", comm.rank());
+
+        // 256 KiB: above the Rabenseifner threshold -> ~2s.
+        let big = vec![1u64; 32 * 1024];
+        let s = (32 * 1024 * 8) as u64;
+        let before = metrics::snapshot();
+        comm.allreduce_vec(&big, kmp_mpi::op::Sum).unwrap();
+        let d = metrics::snapshot().since(&before);
+        assert_eq!(d.bytes_copied, 2 * s, "rank {}", comm.rank());
+    });
+}
+
+/// The binomial reduce folds delivered payloads in place: a non-root
+/// rank's whole bill is the single serialization towards its parent
+/// (`s`), and the root pays only the copy into the caller's receive
+/// buffer — previously the root of p = 4 paid `3s` (two materialized
+/// children + the output copy).
+#[test]
+fn inplace_binomial_reduce_halves_the_bill() {
+    const ELEMS: usize = 64 * 1024; // u64 -> s = 512 KiB
+    let p = 4usize;
+    let s = (ELEMS * 8) as u64;
+    Universe::run(p, move |comm| {
+        let mine = vec![comm.rank() as u64; ELEMS];
+        let mut out = vec![0u64; ELEMS];
+        let before = metrics::snapshot();
+        comm.reduce_into(&mine, &mut out, kmp_mpi::op::Sum, 0)
+            .unwrap();
+        let delta = metrics::snapshot().since(&before);
+        let expected = s; // non-root: one send; root: one output copy
+        assert_eq!(
+            delta.bytes_copied,
+            expected,
+            "rank {}: in-place binomial reduce copies exactly s",
+            comm.rank()
+        );
+        if comm.rank() == 0 {
+            assert_eq!(out[0], 6); // 0 + 1 + 2 + 3
+        }
+    });
+}
+
+/// Scan and exscan ride the shared-`Bytes` datapath: the upstream
+/// prefix folds straight out of the delivered payload (no per-hop
+/// `Vec` materialization) and middle ranks' forwarded prefixes move
+/// into the transport. Per-rank bills: scan — rank 0 copies `2s`
+/// (seed + send), middle ranks `s` (send only), the last rank `0`;
+/// exscan — `s` everywhere (rank 0: the forward serialization; others:
+/// the returned prefix, their fold output moving out copy-free).
+#[test]
+fn scan_and_exscan_fold_in_place() {
+    const ELEMS: usize = 32 * 1024; // u64 -> s = 256 KiB
+    let p = 4usize;
+    let s = (ELEMS * 8) as u64;
+    Universe::run(p, move |comm| {
+        let mine = vec![comm.rank() as u64 + 1; ELEMS];
+        let mut out = vec![0u64; ELEMS];
+        let before = metrics::snapshot();
+        comm.scan_into(&mine, &mut out, kmp_mpi::op::Sum).unwrap();
+        let delta = metrics::snapshot().since(&before);
+        let expected = match comm.rank() {
+            0 => 2 * s,
+            r if r + 1 == p => 0,
+            _ => s,
+        };
+        assert_eq!(delta.bytes_copied, expected, "scan rank {}", comm.rank());
+        let r = comm.rank() as u64 + 1;
+        assert_eq!(out[0], r * (r + 1) / 2);
+
+        let before = metrics::snapshot();
+        let prefix = comm.exscan_vec(&mine, kmp_mpi::op::Sum).unwrap();
+        let delta = metrics::snapshot().since(&before);
+        assert_eq!(delta.bytes_copied, s, "exscan rank {}", comm.rank());
+        if comm.rank() > 0 {
+            let r = comm.rank() as u64;
+            assert_eq!(prefix.unwrap()[0], r * (r + 1) / 2);
+        }
     });
 }
 

@@ -1,0 +1,292 @@
+//! Algorithm-equivalence properties: every algorithm a collective's
+//! tuning can select must produce the identical result on random
+//! payloads and communicator sizes — the correctness contract of the
+//! selection engine (`kmp_mpi::collectives::algos`). Exercised both at
+//! the substrate level (forced via `Comm::set_tuning`) and through the
+//! binding's `tuning(...)` named parameter.
+
+use kamping_repro::kamping::prelude::*;
+use kamping_repro::mpi::op::Sum;
+use kamping_repro::mpi::{
+    AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, ReduceAlgo, Universe,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn allreduce_algorithms_agree(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u64>(), 1..40), 1..9)
+    ) {
+        let p = blocks.len();
+        let width = blocks.iter().map(Vec::len).min().unwrap();
+        let blocks = &blocks;
+        let out = Universe::run(p, move |comm| {
+            let mine = blocks[comm.rank()][..width].to_vec();
+            let mut results = Vec::new();
+            for algo in [AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::Rabenseifner] {
+                comm.set_tuning(CollTuning::default().allreduce(algo));
+                results.push(
+                    comm.allreduce_vec(&mine, |a: &u64, b: &u64| a.wrapping_add(*b))
+                        .unwrap(),
+                );
+            }
+            comm.set_tuning(CollTuning::default());
+            results.push(
+                comm.allreduce_vec(&mine, |a: &u64, b: &u64| a.wrapping_add(*b))
+                    .unwrap(),
+            );
+            results
+        });
+        let expected: Vec<u64> = (0..width)
+            .map(|i| blocks.iter().fold(0u64, |acc, b| acc.wrapping_add(b[i])))
+            .collect();
+        for results in out {
+            for got in results {
+                prop_assert_eq!(&got, &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_algorithms_agree(
+        p in 1usize..9,
+        n in 0usize..5,
+        seed in any::<u32>()
+    ) {
+        let out = Universe::run(p, move |comm| {
+            let send: Vec<u32> = (0..p * n)
+                .map(|i| seed ^ (comm.rank() as u32) << 16 ^ i as u32)
+                .collect();
+            let mut pairwise = vec![0u32; p * n];
+            let mut bruck = vec![0u32; p * n];
+            comm.set_tuning(CollTuning::default().alltoall(AlltoallAlgo::Pairwise));
+            comm.alltoall_into(&send, &mut pairwise).unwrap();
+            comm.set_tuning(CollTuning::default().alltoall(AlltoallAlgo::Bruck));
+            comm.alltoall_into(&send, &mut bruck).unwrap();
+            (pairwise, bruck)
+        });
+        for (pairwise, bruck) in out {
+            prop_assert_eq!(pairwise, bruck);
+        }
+    }
+
+    #[test]
+    fn bcast_algorithms_agree(
+        p in 1usize..9,
+        len in 0usize..600,
+        root_pick in any::<u32>(),
+        seed in any::<u8>()
+    ) {
+        let root = root_pick as usize % p;
+        let out = Universe::run(p, move |comm| {
+            let mut results = Vec::new();
+            for algo in [BcastAlgo::Binomial, BcastAlgo::ScatterAllgather] {
+                comm.set_tuning(CollTuning::default().bcast(algo));
+                let mut buf: Vec<u8> = if comm.rank() == root {
+                    (0..len).map(|i| seed.wrapping_add(i as u8)).collect()
+                } else {
+                    vec![0; len]
+                };
+                comm.bcast_into(&mut buf, root).unwrap();
+                results.push(buf);
+            }
+            results
+        });
+        let expected: Vec<u8> = (0..len).map(|i| seed.wrapping_add(i as u8)).collect();
+        for results in out {
+            for got in results {
+                prop_assert_eq!(&got, &expected);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_algorithms_agree(
+        blocks in prop::collection::vec(prop::collection::vec(any::<u64>(), 1..30), 1..9),
+        root_pick in any::<u32>()
+    ) {
+        let p = blocks.len();
+        let root = root_pick as usize % p;
+        let width = blocks.iter().map(Vec::len).min().unwrap();
+        let blocks = &blocks;
+        let out = Universe::run(p, move |comm| {
+            let mine = blocks[comm.rank()][..width].to_vec();
+            let mut results = Vec::new();
+            for algo in [ReduceAlgo::BinomialTree, ReduceAlgo::FlatGather] {
+                comm.set_tuning(CollTuning::default().reduce(algo));
+                let mut out = vec![0u64; width];
+                comm.reduce_into(&mine, &mut out, |a: &u64, b: &u64| a.wrapping_add(*b), root)
+                    .unwrap();
+                results.push(out);
+            }
+            (comm.rank(), results)
+        });
+        let expected: Vec<u64> = (0..width)
+            .map(|i| blocks.iter().fold(0u64, |acc, b| acc.wrapping_add(b[i])))
+            .collect();
+        for (rank, results) in out {
+            if rank == root {
+                for got in results {
+                    prop_assert_eq!(&got, &expected);
+                }
+            }
+        }
+    }
+}
+
+/// The binding's `tuning(...)` parameter overrides a single call —
+/// results are identical across algorithms, and the communicator's own
+/// policy is untouched afterwards.
+#[test]
+fn tuning_parameter_overrides_one_call() {
+    Universe::run(5, |comm| {
+        let comm = Communicator::new(comm);
+        let mine = vec![comm.rank() as u64 + 1, 10];
+        let defaulted: Vec<u64> = comm.allreduce((send_buf(&mine), op(ops::Sum))).unwrap();
+        let forced: Vec<u64> = comm
+            .allreduce((
+                send_buf(&mine),
+                op(ops::Sum),
+                tuning(CollTuning::default().allreduce(AllreduceAlgo::Rabenseifner)),
+            ))
+            .unwrap();
+        assert_eq!(defaulted, forced);
+        assert_eq!(
+            comm.tuning(),
+            CollTuning::default(),
+            "the per-call override must not stick"
+        );
+    });
+}
+
+/// The per-call override must reach the *non-blocking* engine
+/// selection too: forcing the binomial tree changes the message
+/// pattern of `iallreduce`, which the deterministic virtual clock
+/// observes (results stay identical).
+#[test]
+fn tuning_parameter_reaches_nonblocking_engines() {
+    use kamping_repro::mpi::{Config, CostModel};
+    let vtime = |force_tree: bool| -> u64 {
+        Universe::run_with(Config::new(8).cost(CostModel::cluster()), move |comm| {
+            let comm = Communicator::new(comm);
+            comm.barrier().unwrap();
+            comm.raw().clock_reset();
+            let mine = vec![comm.rank() as u64; 8192];
+            let fut = if force_tree {
+                comm.iallreduce((
+                    send_buf(mine),
+                    op(ops::Sum),
+                    tuning(CollTuning::default().reduce(ReduceAlgo::BinomialTree)),
+                ))
+                .unwrap()
+            } else {
+                comm.iallreduce((send_buf(mine), op(ops::Sum))).unwrap()
+            };
+            let (total, _mine) = fut.wait().unwrap();
+            assert_eq!(total[0], 28); // 0 + 1 + ... + 7
+            assert_eq!(
+                comm.tuning(),
+                CollTuning::default(),
+                "the per-call override must not stick"
+            );
+            comm.raw().clock_now_ns()
+        })
+        .into_iter()
+        .map(|o| o.unwrap())
+        .max()
+        .unwrap()
+    };
+    assert_ne!(
+        vtime(false),
+        vtime(true),
+        "forcing ReduceAlgo::BinomialTree through tuning(...) must change the \
+         iallreduce engine (flat gather vs tree message patterns differ)"
+    );
+}
+
+/// A persistent policy set through the binding applies to subsequent
+/// calls on the communicator (and its algorithms stay result-correct).
+#[test]
+fn communicator_level_tuning_applies() {
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        comm.set_tuning(
+            CollTuning::default()
+                .alltoall(AlltoallAlgo::Bruck)
+                .allreduce(AllreduceAlgo::Rabenseifner),
+        );
+        let send: Vec<u32> = (0..4).map(|d| comm.rank() as u32 * 10 + d).collect();
+        let recv: Vec<u32> = comm.alltoall(send_buf(&send)).unwrap();
+        let expected: Vec<u32> = (0..4).map(|j| j * 10 + comm.rank() as u32).collect();
+        assert_eq!(recv, expected);
+        let total: Vec<u64> = comm
+            .allreduce((send_buf(&[comm.rank() as u64 + 1][..]), op(ops::Sum)))
+            .unwrap();
+        assert_eq!(total, vec![10]);
+    });
+}
+
+/// `recv_count` on bcast unlocks size-based selection: with a large
+/// payload and a forced scatter+allgather the result must still match,
+/// through the full named-parameter path.
+#[test]
+fn sized_bcast_selects_large_message_algorithm() {
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let n = 100_000usize; // u64: 800 KB, above the vdG threshold
+        let data: Vec<u64> = if comm.rank() == 2 {
+            (0..n as u64).collect()
+        } else {
+            Vec::new()
+        };
+        let data: Vec<u64> = comm
+            .bcast((send_recv_buf(data), root(2), recv_count(n)))
+            .unwrap();
+        assert_eq!(data.len(), n);
+        assert_eq!(data[n - 1], n as u64 - 1);
+
+        // Forced small-size vdG through the named parameter.
+        let mut small = if comm.rank() == 0 {
+            vec![7u8; 33]
+        } else {
+            vec![]
+        };
+        comm.bcast((
+            send_recv_buf(&mut small),
+            recv_count(33),
+            tuning(CollTuning::default().bcast(BcastAlgo::ScatterAllgather)),
+        ))
+        .unwrap();
+        assert_eq!(small, vec![7u8; 33]);
+    });
+}
+
+/// Scan/exscan on the shared-`Bytes` datapath stay rank-ordered for
+/// non-commutative operations (the fold keeps the upstream prefix as
+/// the left operand).
+#[test]
+fn scan_datapath_preserves_rank_order() {
+    Universe::run(5, |comm| {
+        let op = kamping_repro::mpi::non_commutative(|a: &u64, b: &u64| a * 10 + b);
+        let mut out = [0u64];
+        comm.scan_into(&[comm.rank() as u64 + 1], &mut out, op)
+            .unwrap();
+        let expected = (1..=comm.rank() as u64 + 1).fold(0, |acc, d| acc * 10 + d);
+        assert_eq!(out[0], expected);
+    });
+}
+
+/// Oracle check that the default (auto) policy is used end-to-end by
+/// an application-shaped call: a large allreduce through the binding.
+#[test]
+fn large_allreduce_auto_matches_sum() {
+    Universe::run(4, |comm| {
+        let comm = Communicator::new(comm);
+        let n = 40_000usize; // 320 KB: auto selects Rabenseifner
+        let mine = vec![comm.rank() as u64; n];
+        let total: Vec<u64> = comm.allreduce((send_buf(&mine), op(Sum))).unwrap();
+        assert_eq!(total, vec![6u64; n]);
+    });
+}
