@@ -81,7 +81,7 @@ where
     // clock bookkeeping copy nothing).
     let copied = stats
         .iter()
-        .map(|s| s.bytes_copied / (reps as u64 + 1))
+        .map(|s| s.copy.bytes_copied / (reps as u64 + 1))
         .max()
         .unwrap();
     (vtime_us, wall_us, copied)

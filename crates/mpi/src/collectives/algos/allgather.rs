@@ -1,0 +1,78 @@
+//! Recursive-doubling allgather (power-of-two communicators).
+//!
+//! Round `k` pairs each rank with `rank ^ 2^k`; the pair exchanges the
+//! `2^k` origin blocks each side has accumulated so far, so after
+//! `log2 p` rounds every rank holds all `p` blocks. Compared to the
+//! ring this trades `p-1` startups for `log2 p` at the same total
+//! volume — but rounds past the first must *pack* their block group
+//! into one contiguous message (`s·(p-2)` bytes memcpy'd per rank),
+//! which is why the `Auto` selection keeps it to small contributions
+//! (see [`CollTuning::allgather_rd_max_bytes`](super::CollTuning)).
+//!
+//! Round 0 sends a single block and therefore forwards the caller's
+//! payload as a refcount clone, copy-free; incoming groups are carved
+//! into per-origin blocks by refcount slicing, also copy-free.
+
+use bytes::Bytes;
+
+use crate::collectives::{recv_internal, send_internal};
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::plain::{bytes_from_vec, extend_vec_from_bytes};
+
+/// Equal-block recursive-doubling allgather at the shared-payload
+/// level: contributes `own`, returns one block per origin rank.
+/// Requires `comm.size()` to be a power of two (the selection engine
+/// guarantees this) and every rank to contribute `own.len()` bytes
+/// (MPI's equal-count contract for `MPI_Allgather`; violations surface
+/// as [`MpiError::InvalidLayout`]).
+pub(crate) fn allgather_blocks_rd(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    debug_assert!(p.is_power_of_two(), "selection gates RD to power-of-two p");
+    let s = own.len();
+    let mut blocks: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
+    blocks[rank] = Some(own);
+    let rounds = p.trailing_zeros() as usize;
+    // One tag per round, allocated in the same order on every rank.
+    let tags: Vec<_> = (0..rounds).map(|_| comm.next_internal_tag()).collect();
+    for (k, &tag) in tags.iter().enumerate() {
+        let group = 1usize << k;
+        let partner = rank ^ group;
+        // Origins this rank has accumulated: the `group`-aligned span
+        // containing it.
+        let base = rank & !(group - 1);
+        let outgoing = if group == 1 {
+            blocks[rank].clone().expect("own block present")
+        } else {
+            // Pack the group in ascending origin order (the counted
+            // copy this algorithm trades for its latency win).
+            let mut packed: Vec<u8> = Vec::with_capacity(group * s);
+            for b in &blocks[base..base + group] {
+                let b = b.as_ref().expect("block from earlier round");
+                extend_vec_from_bytes(&mut packed, b);
+            }
+            bytes_from_vec(packed)
+        };
+        send_internal(comm, partner, tag, outgoing)?;
+        let incoming = recv_internal(comm, partner, tag)?;
+        if incoming.len() != group * s {
+            return Err(MpiError::InvalidLayout(format!(
+                "allgather (recursive doubling): round {k} delivered {} bytes, \
+                 expected {} ({} blocks of {s}) — unequal contributions?",
+                incoming.len(),
+                group * s,
+                group
+            )));
+        }
+        let partner_base = partner & !(group - 1);
+        for (i, origin) in (partner_base..partner_base + group).enumerate() {
+            // Carve per-origin blocks as refcount sub-views (copy-free).
+            blocks[origin] = Some(incoming.slice(i * s..(i + 1) * s));
+        }
+    }
+    Ok(blocks
+        .into_iter()
+        .map(|b| b.expect("all groups exchanged"))
+        .collect())
+}

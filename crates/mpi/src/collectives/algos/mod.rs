@@ -23,6 +23,8 @@
 //! | `allreduce` | Rabenseifner (reduce-scatter + ring allgather) | log2 p + p | ~2s | `p >= 4` and `s >=` threshold |
 //! | `bcast`     | binomial tree          | <= log2 p  | root s, other r | `s <` [`CollTuning::bcast_scatter_min_bytes`] (and always on unsized paths) |
 //! | `bcast`     | scatter + ring allgather (van de Geijn) | ~2p | root s, other r | sized paths, `p >= 4` and `s >=` threshold |
+//! | `allgather` | ring, block forwarding | p-1        | s + r       | `s >` [`CollTuning::allgather_rd_max_bytes`], or p not a power of two |
+//! | `allgather` | recursive doubling (packed rounds) | log2 p | s·(p-1) + r | `p >= 4` power of two and `s <=` threshold |
 //! | `alltoall`  | pairwise exchange      | p-1        | s + r       | `b >` [`CollTuning::bruck_max_block_bytes`] |
 //! | `alltoall`  | Bruck                  | ceil(log2 p) | s + r + s·ceil(log2 p)/2 | `p >= 4` and `b <=` threshold |
 //! | `reduce`    | binomial tree, in-place fold | <= log2 p | non-root s, root r | op commutative |
@@ -34,6 +36,7 @@
 //! protocol. The `Auto` policies only consult values MPI already
 //! requires to agree across ranks.
 
+pub(crate) mod allgather;
 pub(crate) mod allreduce;
 pub(crate) mod alltoall;
 pub(crate) mod bcast;
@@ -78,6 +81,19 @@ pub enum BcastAlgo {
     ScatterAllgather,
 }
 
+/// Allgather algorithm (equal-sized blocks; `allgatherv` always rings).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllgatherAlgo {
+    /// `p-1` rounds forwarding one block per step as a refcount clone —
+    /// bandwidth-friendly (no repacking) but `p-1` startups.
+    Ring,
+    /// log2 p rounds exchanging doubling-size packed block groups.
+    /// Latency-optimal for small blocks; requires a power-of-two
+    /// communicator (falls back to the ring otherwise) and pays
+    /// `s·(p-2)` packing copies per rank.
+    RecursiveDoubling,
+}
+
 /// All-to-all algorithm (equal-sized blocks).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AlltoallAlgo {
@@ -113,6 +129,9 @@ pub struct CollTuning {
     /// always run the binomial tree, because non-roots cannot agree on
     /// a size they do not know).
     pub bcast: Select<BcastAlgo>,
+    /// Allgather algorithm slot (equal-block exchanges only;
+    /// `allgatherv`'s variable blocks always travel the ring).
+    pub allgather: Select<AllgatherAlgo>,
     /// All-to-all algorithm slot (equal-block exchanges only).
     pub alltoall: Select<AlltoallAlgo>,
     /// Reduce algorithm slot. Blocking `reduce` defaults to the
@@ -129,6 +148,9 @@ pub struct CollTuning {
     /// `Auto` switches alltoall to Bruck at or below this many bytes
     /// per block (and `p >= 4`).
     pub bruck_max_block_bytes: usize,
+    /// `Auto` switches allgather to recursive doubling at or below this
+    /// many contribution bytes per rank (and `p >= 4`, power of two).
+    pub allgather_rd_max_bytes: usize,
 }
 
 impl Default for CollTuning {
@@ -136,6 +158,7 @@ impl Default for CollTuning {
         CollTuning {
             allreduce: Select::Auto,
             bcast: Select::Auto,
+            allgather: Select::Auto,
             alltoall: Select::Auto,
             reduce: Select::Auto,
             // Crossover points measured with the cluster cost model
@@ -146,6 +169,12 @@ impl Default for CollTuning {
             rabenseifner_min_bytes: 128 * 1024,
             bcast_scatter_min_bytes: 256 * 1024,
             bruck_max_block_bytes: 1024,
+            // In alpha-beta terms recursive doubling never loses to the
+            // ring on a power-of-two communicator (log2 p vs p-1
+            // startups, same volume), but its packed rounds memcpy
+            // s·(p-2) bytes the ring forwards for free — so Auto keeps
+            // it in the latency regime where packing cost is noise.
+            allgather_rd_max_bytes: 8 * 1024,
         }
     }
 }
@@ -160,6 +189,13 @@ impl CollTuning {
     /// Forces the (sized) broadcast algorithm.
     pub fn bcast(mut self, algo: BcastAlgo) -> Self {
         self.bcast = Select::Force(algo);
+        self
+    }
+
+    /// Forces the allgather algorithm (recursive doubling still falls
+    /// back to the ring on non-power-of-two communicators).
+    pub fn allgather(mut self, algo: AllgatherAlgo) -> Self {
+        self.allgather = Select::Force(algo);
         self
     }
 
@@ -193,6 +229,12 @@ impl CollTuning {
         self
     }
 
+    /// Sets the recursive-doubling allgather ceiling (bytes per rank).
+    pub fn allgather_rd_max_bytes(mut self, bytes: usize) -> Self {
+        self.allgather_rd_max_bytes = bytes;
+        self
+    }
+
     /// Selects the allreduce algorithm for `bytes` payload bytes per
     /// rank on a communicator of `p` ranks.
     pub fn allreduce_algo(&self, p: usize, bytes: usize) -> AllreduceAlgo {
@@ -218,6 +260,27 @@ impl CollTuning {
                     BcastAlgo::ScatterAllgather
                 } else {
                     BcastAlgo::Binomial
+                }
+            }
+        }
+    }
+
+    /// Selects the allgather algorithm for equal contributions of
+    /// `bytes` bytes per rank. Recursive doubling requires a
+    /// power-of-two communicator: on any other size (or `p < 2`) even a
+    /// forced selection resolves to the ring, mirroring how a forced
+    /// tree reduce yields to non-commutative operations.
+    pub fn allgather_algo(&self, p: usize, bytes: usize) -> AllgatherAlgo {
+        if !p.is_power_of_two() || p < 2 {
+            return AllgatherAlgo::Ring;
+        }
+        match self.allgather {
+            Select::Force(a) => a,
+            Select::Auto => {
+                if p >= 4 && bytes <= self.allgather_rd_max_bytes {
+                    AllgatherAlgo::RecursiveDoubling
+                } else {
+                    AllgatherAlgo::Ring
                 }
             }
         }
@@ -361,6 +424,26 @@ mod tests {
         assert_eq!(t.alltoall_algo(8, 64), AlltoallAlgo::Bruck);
         assert_eq!(t.alltoall_algo(8, 1 << 20), AlltoallAlgo::Pairwise);
         assert_eq!(t.alltoall_algo(2, 64), AlltoallAlgo::Pairwise);
+        assert_eq!(t.allgather_algo(8, 64), AllgatherAlgo::RecursiveDoubling);
+        assert_eq!(t.allgather_algo(8, 1 << 20), AllgatherAlgo::Ring);
+        // Non-power-of-two communicators always ring.
+        assert_eq!(t.allgather_algo(6, 64), AllgatherAlgo::Ring);
+        assert_eq!(t.allgather_algo(2, 64), AllgatherAlgo::Ring);
+    }
+
+    #[test]
+    fn forced_rd_allgather_yields_on_non_power_of_two() {
+        let t = CollTuning::default().allgather(AllgatherAlgo::RecursiveDoubling);
+        assert_eq!(
+            t.allgather_algo(4, 1 << 20),
+            AllgatherAlgo::RecursiveDoubling
+        );
+        assert_eq!(
+            t.allgather_algo(2, 1 << 20),
+            AllgatherAlgo::RecursiveDoubling
+        );
+        assert_eq!(t.allgather_algo(5, 1), AllgatherAlgo::Ring);
+        assert_eq!(t.allgather_algo(1, 1), AllgatherAlgo::Ring);
     }
 
     #[test]

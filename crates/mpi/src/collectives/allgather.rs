@@ -1,7 +1,15 @@
-//! Allgather and allgatherv (ring algorithm with block forwarding).
+//! Allgather and allgatherv.
+//!
+//! Equal-block allgathers are tunable (see [`super::algos`]): the ring
+//! with block forwarding stays the bandwidth default, recursive
+//! doubling takes the small-message latency regime on power-of-two
+//! communicators. `allgatherv`'s variable blocks always travel the
+//! ring (recursive doubling's packed rounds need one agreed block
+//! size).
 
 use bytes::Bytes;
 
+use super::algos::{allgather::allgather_blocks_rd, AllgatherAlgo};
 use super::{check_layout, recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
@@ -40,10 +48,21 @@ pub(crate) fn allgather_blocks(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
         .collect())
 }
 
-/// Ring allgather of equal-size contributions; returns the concatenation
+/// Equal-block primitive with algorithm selection: every rank
+/// contributes the same number of bytes (the `MPI_Allgather` contract),
+/// so all ranks resolve the same [`AllgatherAlgo`] from the shared
+/// tuning and the agreed block size.
+pub(crate) fn allgather_blocks_tuned(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
+    match comm.tuning().allgather_algo(comm.size(), own.len()) {
+        AllgatherAlgo::RecursiveDoubling => allgather_blocks_rd(comm, own),
+        AllgatherAlgo::Ring => allgather_blocks(comm, own),
+    }
+}
+
+/// Allgather of equal-size contributions; returns the concatenation
 /// in rank order. Used internally (e.g. by `split`) without counting.
 pub(crate) fn allgather_internal<T: Plain>(comm: &Comm, send: &[T]) -> Result<Vec<T>> {
-    let blocks = allgather_blocks(comm, bytes_from_slice(send))?;
+    let blocks = allgather_blocks_tuned(comm, bytes_from_slice(send))?;
     let total: usize = blocks.iter().map(|b| b.len()).sum();
     let mut result: Vec<T> = Vec::with_capacity(crate::plain::element_count::<T>(total));
     for b in &blocks {
@@ -93,7 +112,7 @@ impl Comm {
         }
         let n = buf.len() / p;
         let own = &buf[self.rank() * n..(self.rank() + 1) * n];
-        let blocks = allgather_blocks(self, bytes_from_slice(own))?;
+        let blocks = allgather_blocks_tuned(self, bytes_from_slice(own))?;
         for (origin, bytes) in blocks.iter().enumerate() {
             if origin == self.rank() {
                 continue; // own block is already in place
@@ -247,6 +266,48 @@ mod tests {
                     .allgatherv_into(&[1u8], &mut recv, &counts, &displs)
                     .is_err());
             }
+        });
+    }
+
+    #[test]
+    fn recursive_doubling_matches_ring() {
+        use crate::{AllgatherAlgo, CollTuning};
+        for p in [1, 2, 4, 8, 16] {
+            Universe::run(p, move |comm| {
+                let mine: Vec<u64> = (0..3).map(|i| comm.rank() as u64 * 100 + i).collect();
+                comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::Ring));
+                let ring = comm.allgather_vec(&mine).unwrap();
+                comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::RecursiveDoubling));
+                let rd = comm.allgather_vec(&mine).unwrap();
+                assert_eq!(ring, rd, "p = {p}");
+            });
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_in_place_and_auto() {
+        use crate::{AllgatherAlgo, CollTuning};
+        Universe::run(8, |comm| {
+            comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::RecursiveDoubling));
+            let mut counts = vec![0usize; 8];
+            counts[comm.rank()] = comm.rank() + 100;
+            comm.allgather_in_place(&mut counts).unwrap();
+            assert_eq!(counts, (100..108).collect::<Vec<_>>());
+            // Auto picks RD below the threshold on this power-of-two
+            // communicator; the result is identical either way.
+            comm.set_tuning(CollTuning::default());
+            let all = comm.allgather_vec(&[comm.rank() as u32]).unwrap();
+            assert_eq!(all, (0..8).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn forced_rd_on_non_power_of_two_falls_back() {
+        use crate::{AllgatherAlgo, CollTuning};
+        Universe::run(5, |comm| {
+            comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::RecursiveDoubling));
+            let all = comm.allgather_vec(&[comm.rank() as u16 * 2]).unwrap();
+            assert_eq!(all, vec![0, 2, 4, 6, 8]);
         });
     }
 

@@ -23,7 +23,9 @@
 //! | `bcast`          | binomial tree                          | <= log2 p           | root: s; other: r    | `s < 256 KiB`, or size unknown at non-roots |
 //! | `bcast`          | scatter + ring allgather (van de Geijn)| ~2p                 | root: s; other: r    | sized paths, `p >= 4`, `s >= 256 KiB` |
 //! | `gather/scatter` | flat tree (linear at root)             | 1 (root: p-1)       | root: s + r; other: s + r | always |
-//! | `allgather(v)`   | ring, block forwarding                 | p-1                 | s + r                | always |
+//! | `allgather`      | ring, block forwarding                 | p-1                 | s + r                | `s > 8 KiB`, or p not a power of two |
+//! | `allgather`      | recursive doubling (packed rounds)     | log2 p              | s·(p-1) + r          | `p >= 4` power of two, `s <= 8 KiB` |
+//! | `allgatherv`     | ring, block forwarding                 | p-1                 | s + r                | always |
 //! | `alltoall`       | pairwise exchange, pack-once + slice   | p-1                 | s + r                | `b > 1 KiB` |
 //! | `alltoall`       | Bruck (packed log-round forwarding)    | ceil(log2 p)        | s + r + s·ceil(log2 p)/2 | `p >= 4`, `b <= 1 KiB` |
 //! | `alltoall(v/w)`  | pairwise exchange, pack-once + slice   | p-1                 | s + r                | always |
@@ -63,7 +65,8 @@ mod scan;
 mod scatter;
 
 pub use algos::{
-    AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning, ReduceAlgo, Select,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning, ReduceAlgo,
+    Select,
 };
 pub(crate) use allgather::{allgather_blocks, allgather_internal};
 pub(crate) use alltoall::alltoallv_internal;

@@ -80,7 +80,11 @@ struct RecvFromEach {
 
 /// One receive attempt from `src` on `tag`: blocking when `block` is
 /// set, otherwise a single poll that still surfaces peer failure and
-/// revocation. The one receive primitive every engine drives.
+/// revocation. The one receive primitive every engine drives. Both
+/// sides route through the matching engine ([`crate::mailbox`]): the
+/// poll is an O(1) `(source, tag)` index hit and the blocking wait a
+/// targeted per-waiter wakeup, so drain loops stay cheap even when
+/// other collectives' traffic is piled up at the rank.
 fn recv_one(comm: &Comm, src: Rank, tag: Tag, block: bool) -> Result<Option<Bytes>> {
     if block {
         let env = comm.recv_envelope(Src::Rank(src), TagSel::Is(tag))?;

@@ -165,6 +165,15 @@ impl Comm {
         crate::metrics::snapshot()
     }
 
+    /// Snapshot of this rank's matching-engine diagnostics: current and
+    /// high-water unexpected-queue depth (how far senders ran ahead of
+    /// this rank's receives) and the number of targeted deliveries.
+    /// Whole-run per-rank values are available without in-closure
+    /// snapshotting via [`crate::Universe::run_stats`].
+    pub fn mailbox_stats(&self) -> crate::mailbox::MailboxStats {
+        self.world.mailboxes[self.world_rank()].stats()
+    }
+
     #[inline]
     pub(crate) fn count_op(&self, name: &'static str) {
         self.world.counters[self.world_rank()].lock().inc(name);

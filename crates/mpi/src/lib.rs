@@ -59,11 +59,13 @@ pub mod universe;
 
 pub use clock::{Clock, CostModel};
 pub use collectives::{
-    AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning, ReduceAlgo, Select,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning, ReduceAlgo,
+    Select,
 };
 pub use comm::{Comm, TuningGuard};
 pub use counter::CallCounts;
 pub use error::{MpiError, Result};
+pub use mailbox::MailboxStats;
 pub use message::{Src, Status, TagSel, ANY_SOURCE, ANY_TAG};
 pub use metrics::CopyStats;
 pub use op::{commutative, non_commutative, ReduceOp};
@@ -72,7 +74,7 @@ pub use plain::{
 };
 pub use request::{Request, RequestSet};
 pub use topology::DistGraphComm;
-pub use universe::{Config, RankOutcome, Universe};
+pub use universe::{Config, RankOutcome, RunStats, Universe};
 
 /// A rank identifier within a communicator (also used for world ranks).
 pub type Rank = usize;

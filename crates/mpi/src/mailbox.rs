@@ -1,28 +1,329 @@
-//! Per-rank incoming message queue with MPI matching semantics.
+//! The message-matching engine: per-rank, per-context two-queue matching
+//! with targeted wakeups.
 //!
 //! Each rank owns one [`Mailbox`]. Senders push envelopes (the transport
 //! is an eager protocol, as in shared-memory MPI for small/medium
-//! messages); receivers scan for the *first* envelope matching
-//! `(context, source, tag)`, which — together with the fact that a sender
-//! pushes its messages in program order — yields MPI's non-overtaking
-//! guarantee per (source, tag) pair.
+//! messages); receivers match on `(context, source, tag)` with optional
+//! wildcards. This module is the transport hot path: every p2p message,
+//! every probe, and every round of every collective algorithm — blocking
+//! or non-blocking — funnels through it.
 //!
-//! Blocking waits are interruptible: failure injection and communicator
-//! revocation (see [`crate::ulfm`]) wake all mailboxes so that waiting
-//! ranks can observe the condition and return an error instead of hanging.
+//! # Design: the two-queue matching structure
+//!
+//! Real MPI implementations (MPICH, Open MPI — the runtimes that MPL- and
+//! RWTH-style bindings inherit their matching from) do not keep one flat
+//! message queue. They keep two, and so does this engine:
+//!
+//! - the **unexpected-message queue** (UMQ) holds envelopes that arrived
+//!   before a matching receive was posted. Here it is an index: a hash
+//!   map from `(source, tag)` to a FIFO of envelopes, so the common case
+//!   — a receive with both selectors specific — pops in O(1) instead of
+//!   linearly scanning past every unrelated message. Wildcard receives
+//!   (`Src::Any` / `TagSel::Any`) scan only the *head* of each per-key
+//!   FIFO, i.e. O(distinct live (source, tag) pairs), not O(messages).
+//! - the **posted-receive queue** (PRQ) holds waiting receivers (and
+//!   blocking probes). When an envelope arrives, [`Mailbox::push`]
+//!   matches it against the PRQ in posting order and, on a hit, delivers
+//!   it *directly into that waiter's slot* and wakes exactly that waiter
+//!   via its own condition variable. The envelope never touches the UMQ,
+//!   and no other waiter is disturbed — the `notify_all` thundering herd
+//!   (every waiter waking to rescan on every push) is gone.
+//!
+//! Queues are **sharded by communicator context**: each context id maps
+//! to its own shard with its own lock, so collective rounds on a
+//! dup'd communicator never contend with application point-to-point
+//! traffic on the world communicator.
+//!
+//! # Why matching order survives the index (proof sketch)
+//!
+//! MPI requires (a) *non-overtaking*: two messages from the same sender
+//! matching the same receive are received in send order, and (b) FIFO
+//! matching between wildcard and specific receives: a receive matches the
+//! *earliest-arrived* envelope its selectors admit.
+//!
+//! Every envelope is stamped with a per-shard arrival sequence number
+//! under the shard lock, so stamps are totally ordered per context and
+//! respect per-sender program order (a sender's pushes to one rank
+//! happen in program order). Within one `(source, tag)` FIFO, envelopes
+//! are therefore in arrival = send order, which gives (a) for fully
+//! specific receives directly. A wildcard receive takes the minimum
+//! stamp over the matching FIFO *heads*; since each FIFO is
+//! arrival-ordered, the minimum over heads is the global
+//! earliest-arrived matching envelope, which gives (b) — and (a) as a
+//! special case, because the earliest matching envelope from a given
+//! source is always that source's FIFO head. Sharding cannot reorder
+//! anything: matching never crosses contexts, and stamps are only ever
+//! compared within one shard.
+//!
+//! # Blocking waits: targeted wakeups, no polling
+//!
+//! A blocking receive first scans the UMQ; on a miss it registers a
+//! waiter in the PRQ and sleeps on its *private* condvar until a push
+//! fulfills it. There is no timed-poll safety net: the 50 ms bounded
+//! wait of the previous linear-scan mailbox (a latency floor whenever a
+//! wakeup was missed) is retired. Interruption (ULFM failure injection
+//! and communicator revocation, see [`crate::ulfm`]) instead uses an
+//! epoch protocol: [`Mailbox::interrupt`] bumps the mailbox epoch
+//! *before* waking every posted waiter while holding its lock, and a
+//! waiter re-reads the epoch under its own lock before every sleep.
+//! Since the interrupting thread raises its condition before bumping the
+//! epoch, and the waiter captures the epoch before its final
+//! pre-registration interruption check, every interleaving either makes
+//! the condition visible to a check or makes the epochs differ — a
+//! waiter can never sleep through an interrupt. A waiter that observes
+//! an interruption deregisters under the shard lock and *re-checks its
+//! delivery slot*: a push that matched it concurrently wins, so an
+//! already-matched message is delivered, never dropped (MPI completes
+//! operations that already matched).
+//!
+//! The seed implementation — one coarse `Mutex<VecDeque>` with O(n)
+//! scans and broadcast wakeups — is preserved verbatim in
+//! [`reference`](mod@reference) as the differential-testing oracle and the benchmark
+//! baseline (`matching_experiment`).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::error::{MpiError, Result};
 use crate::message::{Envelope, Src, Status, TagSel};
+use crate::{Rank, Tag};
 
-/// A rank's incoming message queue.
+/// FxHash-style multiply-rotate hasher for the hot-path indices. The
+/// keys are tiny (`(Rank, Tag)` pairs, context ids) and under the shard
+/// lock there is no untrusted input to defend against, so the default
+/// SipHash's DoS resistance would be pure overhead — at shallow queue
+/// depths the hash itself dominates matching cost.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add(n as u32 as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// What a posted waiter is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PostKind {
+    /// A receive: consumes the matching envelope.
+    Recv,
+    /// A blocking probe: observes the matching envelope's status; the
+    /// envelope stays available.
+    Peek,
+}
+
+/// A waiter's delivery slot. Fulfilled by [`Mailbox::push`] under the
+/// waiter's own lock; the waiting thread sleeps on the private condvar.
+#[derive(Default)]
+struct WaiterState {
+    env: Option<Envelope>,
+    status: Option<Status>,
+}
+
+#[derive(Default)]
+struct Waiter {
+    state: Mutex<WaiterState>,
+    cond: Condvar,
+}
+
+thread_local! {
+    /// Waiter cache: a rank thread blocks on at most one receive at a
+    /// time, so its waiter allocation is reused across waits instead of
+    /// hitting the allocator on every blocking receive (a measurable
+    /// cost in shallow-queue round-trip patterns). Reuse is gated on
+    /// the refcount: a waiter still referenced by a posted entry (which
+    /// cannot happen on the normal paths, but costs one branch to rule
+    /// out) is left alone and a fresh one allocated.
+    static WAITER_CACHE: std::cell::RefCell<Option<Arc<Waiter>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A cleared waiter for this thread, reusing the cached allocation when
+/// nothing else still references it.
+fn fresh_waiter() -> Arc<Waiter> {
+    WAITER_CACHE.with(|cache| {
+        let mut slot = cache.borrow_mut();
+        if let Some(w) = slot.as_ref() {
+            if Arc::strong_count(w) == 1 {
+                let mut st = w.state.lock();
+                st.env = None;
+                st.status = None;
+                drop(st);
+                return Arc::clone(w);
+            }
+        }
+        let w = Arc::new(Waiter::default());
+        *slot = Some(Arc::clone(&w));
+        w
+    })
+}
+
+/// One entry of the posted-receive queue.
+struct Posted {
+    src: Src,
+    tag: TagSel,
+    kind: PostKind,
+    waiter: Arc<Waiter>,
+}
+
+/// Per-context matching state: the `(source, tag)`-indexed unexpected-
+/// message queue and the posted-receive queue.
+#[derive(Default)]
+struct ShardState {
+    /// Arrival stamp source; assigned under the shard lock.
+    next_seq: u64,
+    /// Unexpected-message queue. Invariant: no empty FIFOs (keys are
+    /// removed when drained), so wildcard head-scans touch only live
+    /// `(source, tag)` pairs.
+    umq: FxMap<(Rank, Tag), VecDeque<(u64, Envelope)>>,
+    /// Posted receives and probes, in posting order.
+    posted: VecDeque<Posted>,
+    /// Retired FIFO allocations, reused for new keys. Collective
+    /// traffic burns one `(source, tag)` key per peer per operation
+    /// (fresh internal tags); without the pool every such key would
+    /// allocate a fresh queue buffer.
+    pool: Vec<VecDeque<(u64, Envelope)>>,
+}
+
+impl ShardState {
+    /// Key of the earliest-arrived envelope admitted by the selectors
+    /// (wildcard path: scans per-key FIFO heads only).
+    fn earliest_key(&self, src: Src, tag: TagSel) -> Option<(Rank, Tag)> {
+        let mut best: Option<(u64, (Rank, Tag))> = None;
+        for (&key, q) in &self.umq {
+            if !src.admits(key.0) || !tag.admits(key.1) {
+                continue;
+            }
+            let &(seq, _) = q.front().expect("drained UMQ keys are removed");
+            if best.is_none_or(|(b, _)| seq < b) {
+                best = Some((seq, key));
+            }
+        }
+        best.map(|(_, k)| k)
+    }
+
+    /// Removes and returns the first matching envelope, if any.
+    fn pop_match(&mut self, src: Src, tag: TagSel) -> Option<Envelope> {
+        let key = match (src, tag) {
+            // Fully specific: O(1) index hit.
+            (Src::Rank(r), TagSel::Is(t)) => (r, t),
+            _ => self.earliest_key(src, tag)?,
+        };
+        // One hash op for lookup, pop and removal via the entry API.
+        let std::collections::hash_map::Entry::Occupied(mut o) = self.umq.entry(key) else {
+            return None;
+        };
+        let (_, env) = o
+            .get_mut()
+            .pop_front()
+            .expect("drained UMQ keys are removed");
+        if o.get().is_empty() {
+            let q = o.remove();
+            if self.pool.len() < 64 {
+                self.pool.push(q);
+            }
+        }
+        Some(env)
+    }
+
+    /// Indexes an unexpected envelope, reusing a pooled FIFO buffer for
+    /// a new key.
+    fn enqueue(&mut self, seq: u64, env: Envelope) {
+        let q = match self.umq.entry((env.src, env.tag)) {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.pool.pop().unwrap_or_default())
+            }
+        };
+        q.push_back((seq, env));
+    }
+
+    /// Status of the first matching envelope without removing it.
+    fn peek_match(&self, src: Src, tag: TagSel) -> Option<Status> {
+        let q = match (src, tag) {
+            (Src::Rank(r), TagSel::Is(t)) => self.umq.get(&(r, t))?,
+            _ => &self.umq[&self.earliest_key(src, tag)?],
+        };
+        let (_, env) = q.front().expect("drained UMQ keys are removed");
+        Some(Status {
+            source: env.src,
+            tag: env.tag,
+            bytes: env.payload.len(),
+        })
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    state: Mutex<ShardState>,
+}
+
+/// Post-run diagnostics of one rank's matching engine (see
+/// [`crate::Comm::mailbox_stats`] and
+/// [`crate::Universe::run_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MailboxStats {
+    /// Messages currently queued as unexpected (all contexts).
+    pub queued: usize,
+    /// High-water mark of the unexpected-queue depth — the matching
+    /// pressure: how far senders ran ahead of this rank's receives.
+    pub max_unexpected_depth: usize,
+    /// Number of envelopes delivered straight into a posted waiter's
+    /// slot (each such delivery wakes exactly that one waiter).
+    pub targeted_wakeups: u64,
+}
+
+/// A rank's matching engine: per-context shards of the two-queue
+/// structure described in the [module docs](self).
 #[derive(Default)]
 pub struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
-    cond: Condvar,
+    /// The world communicator's shard (context 0), reached without
+    /// touching the shard map — the hot path for every universe.
+    world_shard: Arc<Shard>,
+    /// Shards of derived communicators (dup/split contexts).
+    shards: RwLock<FxMap<u64, Arc<Shard>>>,
+    /// Unexpected messages across all shards (O(1) `len`).
+    queued: AtomicUsize,
+    /// High-water mark of `queued`.
+    max_depth: AtomicUsize,
+    /// Direct posted-waiter deliveries (receives and probes).
+    wakeups: AtomicU64,
+    /// Interruption epoch; bumped by [`Mailbox::interrupt`].
+    epoch: AtomicU64,
 }
 
 impl Mailbox {
@@ -30,47 +331,119 @@ impl Mailbox {
         Mailbox::default()
     }
 
-    /// Delivers an envelope and wakes any waiting receiver.
-    pub fn push(&self, env: Envelope) {
-        let mut q = self.queue.lock();
-        q.push_back(env);
-        self.cond.notify_all();
+    /// The shard of `context`, created on first use (receivers may post
+    /// before the first message of a context arrives, and vice versa).
+    fn shard(&self, context: u64) -> Arc<Shard> {
+        if context == 0 {
+            return Arc::clone(&self.world_shard);
+        }
+        if let Some(s) = self.shards.read().get(&context) {
+            return Arc::clone(s);
+        }
+        Arc::clone(self.shards.write().entry(context).or_default())
     }
 
-    /// Wakes all waiters without delivering anything, so they can re-check
-    /// interruption conditions (failure / revocation). Acquires the queue
-    /// lock, which guarantees no waiter misses the wakeup.
+    /// The shard of `context` if it exists (the non-blocking paths never
+    /// create shards).
+    fn existing_shard(&self, context: u64) -> Option<Arc<Shard>> {
+        if context == 0 {
+            return Some(Arc::clone(&self.world_shard));
+        }
+        self.shards.read().get(&context).cloned()
+    }
+
+    /// Delivers an envelope: hands it directly to the first matching
+    /// posted receiver (waking exactly that waiter) or, if none is
+    /// posted, indexes it into the unexpected-message queue. Matching
+    /// blocking probes observe the envelope's status on the way.
+    pub fn push(&self, env: Envelope) {
+        let shard = self.shard(env.context);
+        let mut st = shard.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        // Posted-receive queue first, in posting order: every matching
+        // probe is fulfilled (the message stays available); the first
+        // matching receive consumes the envelope — it never touches the
+        // UMQ and nobody else is woken.
+        let mut i = 0;
+        while i < st.posted.len() {
+            let p = &st.posted[i];
+            if !env.matches(env.context, p.src, p.tag) {
+                i += 1;
+                continue;
+            }
+            let p = st.posted.remove(i).expect("index in bounds");
+            let mut w = p.waiter.state.lock();
+            match p.kind {
+                PostKind::Peek => {
+                    w.status = Some(Status {
+                        source: env.src,
+                        tag: env.tag,
+                        bytes: env.payload.len(),
+                    });
+                    p.waiter.cond.notify_one();
+                    drop(w);
+                    self.wakeups.fetch_add(1, Ordering::Relaxed);
+                    // The envelope is still available; keep scanning at
+                    // the same index (entry `i` was removed).
+                }
+                PostKind::Recv => {
+                    w.env = Some(env);
+                    p.waiter.cond.notify_one();
+                    drop(w);
+                    self.wakeups.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        st.enqueue(seq, env);
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Wakes all posted waiters without delivering anything, so they can
+    /// re-check interruption conditions (failure / revocation). The
+    /// epoch is bumped *before* any waiter is woken, and each wakeup is
+    /// issued while holding that waiter's lock — together with the
+    /// waiters' capture-epoch-then-check protocol this guarantees no
+    /// waiter misses the interrupt (see the module docs).
     pub fn interrupt(&self) {
-        let _q = self.queue.lock();
-        self.cond.notify_all();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let mut shards: Vec<Arc<Shard>> = self.shards.read().values().cloned().collect();
+        shards.push(Arc::clone(&self.world_shard));
+        for shard in shards {
+            let st = shard.state.lock();
+            for p in &st.posted {
+                let _w = p.waiter.state.lock();
+                p.waiter.cond.notify_one();
+            }
+        }
     }
 
     /// Removes and returns the first matching envelope, if any.
     pub fn try_match(&self, context: u64, src: Src, tag: TagSel) -> Option<Envelope> {
-        let mut q = self.queue.lock();
-        let idx = q.iter().position(|e| e.matches(context, src, tag))?;
-        q.remove(idx)
+        let shard = self.existing_shard(context)?;
+        let env = shard.state.lock().pop_match(src, tag)?;
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        Some(env)
     }
 
-    /// Returns the status of the first matching envelope without removing
-    /// it (probe semantics).
+    /// Returns the status of the first matching envelope without
+    /// removing it (probe semantics).
     pub fn try_peek(&self, context: u64, src: Src, tag: TagSel) -> Option<Status> {
-        let q = self.queue.lock();
-        q.iter()
-            .find(|e| e.matches(context, src, tag))
-            .map(|e| Status {
-                source: e.src,
-                tag: e.tag,
-                bytes: e.payload.len(),
-            })
+        let shard = self.existing_shard(context)?;
+        let st = shard.state.lock();
+        st.peek_match(src, tag)
     }
 
     /// Blocks until a matching envelope arrives and removes it.
     ///
-    /// `interrupted` is evaluated whenever the waiter wakes; returning
-    /// `Some(err)` aborts the wait. It is checked *after* the queue scan, so
-    /// a message that has already arrived from a subsequently-failed sender
-    /// is still delivered (MPI completes operations that already matched).
+    /// `interrupted` is evaluated whenever the epoch protocol wakes the
+    /// waiter; returning `Some(err)` aborts the wait. It is checked
+    /// *after* the queue scan (and after the delivery slot on
+    /// interruption), so a message that has already arrived — or already
+    /// matched this waiter — from a subsequently-failed sender is still
+    /// delivered (MPI completes operations that already matched).
     pub fn wait_match(
         &self,
         context: u64,
@@ -78,20 +451,52 @@ impl Mailbox {
         tag: TagSel,
         mut interrupted: impl FnMut() -> Option<MpiError>,
     ) -> Result<Envelope> {
-        let mut q = self.queue.lock();
-        loop {
-            if let Some(idx) = q.iter().position(|e| e.matches(context, src, tag)) {
-                return Ok(q.remove(idx).expect("index valid under lock"));
+        let shard = self.shard(context);
+        // The epoch must be captured before the interruption check: an
+        // interrupt bumps the epoch before waking, so a condition raised
+        // after this load is caught by the epoch comparison below, and
+        // one raised before it is caught by `interrupted()`.
+        let mut seen_epoch = self.epoch.load(Ordering::SeqCst);
+        let waiter = {
+            let mut st = shard.state.lock();
+            if let Some(env) = st.pop_match(src, tag) {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return Ok(env);
             }
             if let Some(err) = interrupted() {
                 return Err(err);
             }
-            // Timed wait as a safety net: interruption conditions raised
-            // between our check and the wait are caught by the interrupt()
-            // lock protocol, but a bounded wait keeps any missed corner
-            // (e.g. a rank dying without unwinding) from hanging forever.
-            self.cond
-                .wait_for(&mut q, std::time::Duration::from_millis(50));
+            let waiter = fresh_waiter();
+            st.posted.push_back(Posted {
+                src,
+                tag,
+                kind: PostKind::Recv,
+                waiter: Arc::clone(&waiter),
+            });
+            waiter
+        };
+        loop {
+            let mut w = waiter.state.lock();
+            loop {
+                if let Some(env) = w.env.take() {
+                    return Ok(env);
+                }
+                let now = self.epoch.load(Ordering::SeqCst);
+                if now != seen_epoch {
+                    seen_epoch = now;
+                    break;
+                }
+                waiter.cond.wait(&mut w);
+            }
+            drop(w);
+            if let Some(err) = interrupted() {
+                // Deregister — but a concurrent push may have fulfilled
+                // the waiter already; the delivery slot decides.
+                return match self.cancel(&shard, &waiter) {
+                    Some(w) => Ok(w.env.expect("receive waiter fulfilled with an envelope")),
+                    None => Err(err),
+                };
+            }
         }
     }
 
@@ -104,31 +509,219 @@ impl Mailbox {
         tag: TagSel,
         mut interrupted: impl FnMut() -> Option<MpiError>,
     ) -> Result<Status> {
-        let mut q = self.queue.lock();
-        loop {
-            if let Some(e) = q.iter().find(|e| e.matches(context, src, tag)) {
-                return Ok(Status {
-                    source: e.src,
-                    tag: e.tag,
-                    bytes: e.payload.len(),
-                });
+        let shard = self.shard(context);
+        let mut seen_epoch = self.epoch.load(Ordering::SeqCst);
+        let waiter = {
+            let mut st = shard.state.lock();
+            if let Some(status) = st.peek_match(src, tag) {
+                return Ok(status);
             }
             if let Some(err) = interrupted() {
                 return Err(err);
             }
-            self.cond
-                .wait_for(&mut q, std::time::Duration::from_millis(50));
+            let waiter = fresh_waiter();
+            st.posted.push_back(Posted {
+                src,
+                tag,
+                kind: PostKind::Peek,
+                waiter: Arc::clone(&waiter),
+            });
+            waiter
+        };
+        loop {
+            let mut w = waiter.state.lock();
+            loop {
+                if let Some(status) = w.status.take() {
+                    return Ok(status);
+                }
+                let now = self.epoch.load(Ordering::SeqCst);
+                if now != seen_epoch {
+                    seen_epoch = now;
+                    break;
+                }
+                waiter.cond.wait(&mut w);
+            }
+            drop(w);
+            if let Some(err) = interrupted() {
+                return match self.cancel(&shard, &waiter) {
+                    Some(w) => Ok(w.status.expect("probe waiter fulfilled with a status")),
+                    None => Err(err),
+                };
+            }
         }
     }
 
-    /// Number of queued messages (all contexts). Diagnostic only.
-    pub fn len(&self) -> usize {
-        self.queue.lock().len()
+    /// Deregisters a waiter. Returns `None` if the entry was still
+    /// posted (nothing was delivered; removing it cannot lose a
+    /// message), or the fulfilled slot if a push got there first.
+    fn cancel(&self, shard: &Shard, waiter: &Arc<Waiter>) -> Option<WaiterState> {
+        let mut st = shard.state.lock();
+        if let Some(pos) = st
+            .posted
+            .iter()
+            .position(|p| Arc::ptr_eq(&p.waiter, waiter))
+        {
+            st.posted.remove(pos);
+            return None;
+        }
+        // Already removed by a push: take the delivery.
+        let mut w = waiter.state.lock();
+        (w.env.is_some() || w.status.is_some()).then(|| std::mem::take(&mut *w))
     }
 
-    /// True if no messages are queued.
+    /// Number of unexpected (queued) messages across all contexts. O(1):
+    /// maintained counter, no locks. Diagnostic only.
+    pub fn len(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// True if no messages are queued. O(1).
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().is_empty()
+        self.len() == 0
+    }
+
+    /// High-water mark of the unexpected-queue depth.
+    pub fn max_unexpected_depth(&self) -> usize {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Number of envelopes delivered directly into a posted waiter's
+    /// slot (each delivery wakes exactly one waiter).
+    pub fn targeted_wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the engine's diagnostics.
+    pub fn stats(&self) -> MailboxStats {
+        MailboxStats {
+            queued: self.len(),
+            max_unexpected_depth: self.max_unexpected_depth(),
+            targeted_wakeups: self.targeted_wakeups(),
+        }
+    }
+}
+
+pub mod reference {
+    //! The seed mailbox: one coarse queue, linear-scan matching,
+    //! broadcast wakeups, 50 ms timed-wait safety net.
+    //!
+    //! Kept (verbatim, minus the counters the engine grew) for two jobs:
+    //! it is the *oracle* the property tests replay randomized
+    //! push/match interleavings against — the linear scan over one FIFO
+    //! is trivially correct for MPI's matching laws, so any divergence
+    //! convicts the indexed engine — and it is the *baseline* the
+    //! `matching_experiment` benchmark measures the engine's speedup
+    //! over.
+
+    use std::collections::VecDeque;
+
+    use parking_lot::{Condvar, Mutex};
+
+    use crate::error::{MpiError, Result};
+    use crate::message::{Envelope, Src, Status, TagSel};
+
+    /// The seed implementation: linear scan over one coarse FIFO.
+    #[derive(Default)]
+    pub struct ScanMailbox {
+        queue: Mutex<VecDeque<Envelope>>,
+        cond: Condvar,
+    }
+
+    impl ScanMailbox {
+        pub fn new() -> Self {
+            ScanMailbox::default()
+        }
+
+        /// Delivers an envelope and wakes every waiting receiver.
+        pub fn push(&self, env: Envelope) {
+            let mut q = self.queue.lock();
+            q.push_back(env);
+            self.cond.notify_all();
+        }
+
+        /// Wakes all waiters so they can re-check interruption.
+        pub fn interrupt(&self) {
+            let _q = self.queue.lock();
+            self.cond.notify_all();
+        }
+
+        /// Removes and returns the first matching envelope, if any.
+        pub fn try_match(&self, context: u64, src: Src, tag: TagSel) -> Option<Envelope> {
+            let mut q = self.queue.lock();
+            let idx = q.iter().position(|e| e.matches(context, src, tag))?;
+            q.remove(idx)
+        }
+
+        /// Status of the first matching envelope, without removing it.
+        pub fn try_peek(&self, context: u64, src: Src, tag: TagSel) -> Option<Status> {
+            let q = self.queue.lock();
+            q.iter()
+                .find(|e| e.matches(context, src, tag))
+                .map(|e| Status {
+                    source: e.src,
+                    tag: e.tag,
+                    bytes: e.payload.len(),
+                })
+        }
+
+        /// Blocks until a matching envelope arrives and removes it.
+        pub fn wait_match(
+            &self,
+            context: u64,
+            src: Src,
+            tag: TagSel,
+            mut interrupted: impl FnMut() -> Option<MpiError>,
+        ) -> Result<Envelope> {
+            let mut q = self.queue.lock();
+            loop {
+                if let Some(idx) = q.iter().position(|e| e.matches(context, src, tag)) {
+                    return Ok(q.remove(idx).expect("index valid under lock"));
+                }
+                if let Some(err) = interrupted() {
+                    return Err(err);
+                }
+                // The poll safety net the engine retired: a bounded wait
+                // kept missed wakeups from hanging forever — at the cost
+                // of a 50 ms latency floor whenever one was missed.
+                self.cond
+                    .wait_for(&mut q, std::time::Duration::from_millis(50));
+            }
+        }
+
+        /// Blocking probe.
+        pub fn wait_peek(
+            &self,
+            context: u64,
+            src: Src,
+            tag: TagSel,
+            mut interrupted: impl FnMut() -> Option<MpiError>,
+        ) -> Result<Status> {
+            let mut q = self.queue.lock();
+            loop {
+                if let Some(e) = q.iter().find(|e| e.matches(context, src, tag)) {
+                    return Ok(Status {
+                        source: e.src,
+                        tag: e.tag,
+                        bytes: e.payload.len(),
+                    });
+                }
+                if let Some(err) = interrupted() {
+                    return Err(err);
+                }
+                self.cond
+                    .wait_for(&mut q, std::time::Duration::from_millis(50));
+            }
+        }
+
+        /// Number of queued messages (O(n) lock-and-count).
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
     }
 }
 
@@ -171,6 +764,36 @@ mod tests {
     }
 
     #[test]
+    fn wildcard_matches_in_arrival_order_across_sources() {
+        let mb = Mailbox::new();
+        mb.push(env(3, 1, 9, 1));
+        mb.push(env(1, 1, 4, 2));
+        mb.push(env(3, 1, 2, 3));
+        // Any/Any must deliver by global arrival order even though the
+        // envelopes live in three different (source, tag) FIFOs.
+        let order: Vec<(usize, i32)> = (0..3)
+            .map(|_| {
+                let e = mb.try_match(1, Src::Any, TagSel::Any).unwrap();
+                (e.src, e.tag)
+            })
+            .collect();
+        assert_eq!(order, vec![(3, 9), (1, 4), (3, 2)]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn contexts_are_sharded_independently() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1, 5, 1));
+        mb.push(env(0, 2, 5, 2));
+        assert!(mb.try_match(3, Src::Any, TagSel::Any).is_none());
+        let c2 = mb.try_match(2, Src::Rank(0), TagSel::Is(5)).unwrap();
+        assert_eq!(c2.payload.len(), 2);
+        let c1 = mb.try_match(1, Src::Rank(0), TagSel::Is(5)).unwrap();
+        assert_eq!(c1.payload.len(), 1);
+    }
+
+    #[test]
     fn peek_does_not_consume() {
         let mb = Mailbox::new();
         mb.push(env(3, 1, 9, 4));
@@ -203,6 +826,84 @@ mod tests {
     }
 
     #[test]
+    fn posted_receive_bypasses_the_queue() {
+        let mb = std::sync::Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            mb2.wait_match(1, Src::Rank(0), TagSel::Is(1), || None)
+                .unwrap()
+        });
+        // Wait until the receiver is registered in the PRQ, then pile
+        // on non-matching noise.
+        while mb
+            .shards
+            .read()
+            .get(&1)
+            .is_none_or(|s| s.state.lock().posted.is_empty())
+        {
+            std::thread::yield_now();
+        }
+        for _ in 0..3 {
+            mb.push(env(9, 1, 9, 1));
+        }
+        mb.push(env(0, 1, 1, 8));
+        h.join().unwrap();
+        // The matching envelope was handed straight to the waiter: only
+        // the noise is queued, and exactly one targeted wakeup fired.
+        assert_eq!(mb.targeted_wakeups(), 1);
+        assert_eq!(mb.len(), 3);
+        assert_eq!(mb.max_unexpected_depth(), 3);
+    }
+
+    #[test]
+    fn single_push_wakes_exactly_one_of_n_specific_waiters() {
+        const N: i32 = 8;
+        let mb = std::sync::Arc::new(Mailbox::new());
+        let done = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..N)
+            .map(|t| {
+                let mb = mb.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let e = mb
+                        .wait_match(1, Src::Rank(0), TagSel::Is(t), || None)
+                        .unwrap();
+                    done.fetch_add(1, Ordering::SeqCst);
+                    e.tag
+                })
+            })
+            .collect();
+        // Wait until all N waiters are posted (no message queued yet).
+        while mb
+            .shards
+            .read()
+            .get(&1)
+            .is_none_or(|s| s.state.lock().posted.len() < N as usize)
+        {
+            std::thread::yield_now();
+        }
+        mb.push(env(0, 1, 3, 1));
+        // Exactly one waiter (tag 3) completes; one targeted wakeup, no
+        // broadcast. The others stay asleep.
+        while done.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(mb.targeted_wakeups(), 1);
+        assert!(mb.is_empty(), "the envelope went straight to its waiter");
+        for t in 0..N {
+            if t != 3 {
+                mb.push(env(0, 1, t, 1));
+            }
+        }
+        let mut tags: Vec<i32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..N).collect::<Vec<_>>());
+        assert_eq!(mb.targeted_wakeups(), N as u64);
+    }
+
+    #[test]
     fn wait_match_interruptible() {
         let mb = std::sync::Arc::new(Mailbox::new());
         let mb2 = mb.clone();
@@ -221,6 +922,28 @@ mod tests {
     }
 
     #[test]
+    fn wait_peek_interruptible_and_fulfillable() {
+        let mb = std::sync::Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h =
+            std::thread::spawn(move || mb2.wait_peek(1, Src::Any, TagSel::Any, || None).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        mb.push(env(2, 1, 6, 3));
+        let st = h.join().unwrap();
+        assert_eq!(
+            st,
+            Status {
+                source: 2,
+                tag: 6,
+                bytes: 3
+            }
+        );
+        // Probe does not consume: the envelope was queued after the peek.
+        assert_eq!(mb.len(), 1);
+        assert!(mb.try_match(1, Src::Rank(2), TagSel::Is(6)).is_some());
+    }
+
+    #[test]
     fn queued_message_beats_interruption() {
         // A message that already arrived is delivered even if the
         // interruption condition holds (matches MPI completion semantics).
@@ -228,5 +951,97 @@ mod tests {
         mb.push(env(0, 1, 1, 3));
         let r = mb.wait_match(1, Src::Rank(0), TagSel::Is(1), || Some(MpiError::Revoked));
         assert!(r.is_ok());
+    }
+
+    #[test]
+    fn interruption_racing_push_never_hangs_or_drops() {
+        // The satellite regression: a revocation raised concurrently
+        // with a matching push must neither hang the waiter (there is no
+        // 50 ms poll to paper over a lost wakeup any more) nor lose the
+        // message. Every iteration must end in exactly one of:
+        //   Ok(env)                      — the push won the race;
+        //   Err(..) with the message queued — the interrupt won; the
+        //                                  envelope stays matchable.
+        for i in 0..500u64 {
+            let mb = std::sync::Arc::new(Mailbox::new());
+            let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let (mb2, f2) = (mb.clone(), flag.clone());
+            let waiter = std::thread::spawn(move || {
+                mb2.wait_match(7, Src::Rank(0), TagSel::Is(1), || {
+                    f2.load(std::sync::atomic::Ordering::SeqCst)
+                        .then_some(MpiError::Revoked)
+                })
+            });
+            let (mb3, f3) = (mb.clone(), flag.clone());
+            let revoker = std::thread::spawn(move || {
+                if i % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                f3.store(true, std::sync::atomic::Ordering::SeqCst);
+                mb3.interrupt();
+            });
+            let mb4 = mb.clone();
+            let pusher = std::thread::spawn(move || {
+                if i % 2 == 0 {
+                    std::thread::yield_now();
+                }
+                mb4.push(env(0, 7, 1, 5));
+            });
+            revoker.join().unwrap();
+            pusher.join().unwrap();
+            match waiter.join().unwrap() {
+                Ok(e) => {
+                    assert_eq!(e.payload.len(), 5);
+                    assert!(mb.is_empty(), "iteration {i}: delivered AND queued");
+                }
+                Err(MpiError::Revoked) => {
+                    // The push must still be matchable — never dropped.
+                    let e = mb
+                        .try_match(7, Src::Rank(0), TagSel::Is(1))
+                        .unwrap_or_else(|| panic!("iteration {i}: message dropped"));
+                    assert_eq!(e.payload.len(), 5);
+                }
+                Err(other) => panic!("iteration {i}: unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn len_and_depth_counters() {
+        let mb = Mailbox::new();
+        assert!(mb.is_empty());
+        for k in 0..5 {
+            mb.push(env(0, 1, k, 1));
+        }
+        assert_eq!(mb.len(), 5);
+        assert_eq!(mb.max_unexpected_depth(), 5);
+        for k in 0..5 {
+            mb.try_match(1, Src::Rank(0), TagSel::Is(k)).unwrap();
+        }
+        assert!(mb.is_empty());
+        // The high-water mark survives the drain.
+        assert_eq!(mb.max_unexpected_depth(), 5);
+        assert_eq!(
+            mb.stats(),
+            MailboxStats {
+                queued: 0,
+                max_unexpected_depth: 5,
+                targeted_wakeups: 0
+            }
+        );
+    }
+
+    #[test]
+    fn specific_receive_is_index_hit_under_noise() {
+        // A deep pile of unrelated messages must not affect a specific
+        // (source, tag) match — the O(1) index path.
+        let mb = Mailbox::new();
+        for k in 0..1000 {
+            mb.push(env(1, 1, 100 + (k % 50), 1));
+        }
+        mb.push(env(2, 1, 7, 3));
+        let e = mb.try_match(1, Src::Rank(2), TagSel::Is(7)).unwrap();
+        assert_eq!(e.payload.len(), 3);
+        assert_eq!(mb.len(), 1000);
     }
 }

@@ -21,6 +21,18 @@ pub enum Src {
     Rank(Rank),
 }
 
+impl Src {
+    /// True if this selector admits messages from `rank`. Shared by
+    /// envelope matching and the matching engine's queue index.
+    #[inline]
+    pub fn admits(&self, rank: Rank) -> bool {
+        match self {
+            Src::Any => true,
+            Src::Rank(r) => *r == rank,
+        }
+    }
+}
+
 impl From<Rank> for Src {
     fn from(r: Rank) -> Self {
         Src::Rank(r)
@@ -34,6 +46,20 @@ pub enum TagSel {
     Any,
     /// Match this tag only.
     Is(Tag),
+}
+
+impl TagSel {
+    /// True if this selector admits tag `tag`. The wildcard only sees
+    /// user messages: internal collective protocol messages carry
+    /// negative tags and must never match an application's wildcard
+    /// receive.
+    #[inline]
+    pub fn admits(&self, tag: Tag) -> bool {
+        match self {
+            TagSel::Any => tag >= 0,
+            TagSel::Is(t) => *t == tag,
+        }
+    }
 }
 
 impl From<Tag> for TagSel {
@@ -99,21 +125,7 @@ impl Envelope {
     /// True if this envelope matches the given context/source/tag triple.
     #[inline]
     pub fn matches(&self, context: u64, src: Src, tag: TagSel) -> bool {
-        if self.context != context {
-            return false;
-        }
-        let src_ok = match src {
-            Src::Any => true,
-            Src::Rank(r) => self.src == r,
-        };
-        let tag_ok = match tag {
-            // Wildcards only see user messages: internal collective
-            // protocol messages carry negative tags and must never match
-            // an application's wildcard receive.
-            TagSel::Any => self.tag >= 0,
-            TagSel::Is(t) => self.tag == t,
-        };
-        src_ok && tag_ok
+        self.context == context && src.admits(self.src) && tag.admits(self.tag)
     }
 }
 
@@ -198,6 +210,17 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(5));
         ack.complete();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn selector_admission() {
+        assert!(Src::Any.admits(3));
+        assert!(Src::Rank(3).admits(3));
+        assert!(!Src::Rank(3).admits(4));
+        assert!(TagSel::Any.admits(0));
+        assert!(!TagSel::Any.admits(-2), "wildcards never see internal tags");
+        assert!(TagSel::Is(-2).admits(-2));
+        assert!(!TagSel::Is(5).admits(6));
     }
 
     #[test]

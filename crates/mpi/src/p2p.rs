@@ -331,6 +331,57 @@ mod tests {
     }
 
     #[test]
+    fn probe_then_match_coherent_under_backlog() {
+        // A probe's status must identify a message that the matching
+        // receive then actually gets, even with unrelated traffic piled
+        // up in the unexpected queue ahead of and behind it.
+        Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..20u32 {
+                    comm.send(&[i], 2, 7).unwrap();
+                }
+            } else if comm.rank() == 1 {
+                comm.send(&[1u16, 2, 3], 2, 9).unwrap();
+            } else {
+                // Wait for the tag-9 message amid the tag-7 backlog.
+                let st = comm.probe(1, 9).unwrap();
+                assert_eq!(st.count::<u16>(), 3);
+                let mut buf = vec![0u16; st.count::<u16>()];
+                let got = comm.recv_into(&mut buf, st.source, st.tag).unwrap();
+                assert_eq!(got, st, "the probed message is the matched one");
+                assert_eq!(buf, vec![1, 2, 3]);
+                for i in 0..20u32 {
+                    let (v, _) = comm.recv_vec::<u32>(0, 7).unwrap();
+                    assert_eq!(v, vec![i], "backlog drains in order");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn mailbox_stats_expose_matching_pressure() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..8u8 {
+                    comm.send(&[i], 1, i as i32).unwrap();
+                }
+                comm.send(&[255u8], 1, 100).unwrap();
+            } else {
+                // Receiving the last-sent message first forces the
+                // earlier eight through the unexpected queue.
+                let (v, _) = comm.recv_vec::<u8>(0, 100).unwrap();
+                assert_eq!(v, vec![255]);
+                let depth = comm.mailbox_stats().max_unexpected_depth;
+                assert!(depth >= 8, "burst must register as pressure: {depth}");
+                for i in 0..8u8 {
+                    comm.recv_vec::<u8>(0, i as i32).unwrap();
+                }
+                assert_eq!(comm.mailbox_stats().queued, 0);
+            }
+        });
+    }
+
+    #[test]
     fn send_to_self() {
         Universe::run(1, |comm| {
             comm.send(&[42u8], 0, 0).unwrap();

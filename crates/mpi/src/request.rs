@@ -4,6 +4,15 @@
 //! buffer-owning `NonBlockingResult` that provides the paper's §III-E
 //! memory-safety guarantees. Requests borrow the communicator, so a
 //! request can never outlive the universe it communicates in.
+//!
+//! Every completion path drains through the matching engine
+//! ([`crate::mailbox`]): `wait` on a posted receive parks on a targeted
+//! per-waiter wakeup, and the polling paths (`test`,
+//! [`RequestSet::wait_any`]/[`RequestSet::wait_some`], the collective
+//! engines' drain loops) hit the engine's `(source, tag)` index — each
+//! poll is an O(1) lookup rather than a linear scan of everything else
+//! queued at the rank, which is what keeps request sets cheap under
+//! matching pressure.
 
 use std::sync::Arc;
 

@@ -239,6 +239,38 @@ mod tests {
     }
 
     #[test]
+    fn revocation_racing_a_send_never_hangs_the_receiver() {
+        // Regression for the matching engine's interruption protocol:
+        // the receiver blocks in `wait_match` with no timed-poll safety
+        // net while the peer's send and the revocation race each other.
+        // Every iteration must terminate — with the message if the push
+        // matched first, with `Revoked` otherwise. Before the
+        // targeted-wakeup engine this interleaving was only guarded by
+        // the 50 ms poll.
+        for i in 0..200u32 {
+            Universe::run(2, move |comm| {
+                let dup = comm.dup().unwrap();
+                if comm.rank() == 1 {
+                    if i % 2 == 0 {
+                        std::thread::yield_now();
+                    }
+                    let sent = dup.send(&[i], 0, 3).is_ok();
+                    dup.revoke();
+                    sent
+                } else {
+                    match dup.recv_vec::<u32>(1, 3) {
+                        Ok((v, _)) => v == vec![i],
+                        Err(MpiError::Revoked) => true,
+                        Err(e) => panic!("iteration {i}: unexpected error {e}"),
+                    }
+                }
+            })
+            .into_iter()
+            .for_each(|ok| assert!(ok));
+        }
+    }
+
+    #[test]
     fn shrink_after_failure_produces_working_comm() {
         let out = Universe::run_with(Config::new(4), |comm| {
             if comm.rank() == 1 {

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use crate::clock::CostModel;
 use crate::comm::Comm;
 use crate::counter::CallCounts;
-use crate::mailbox::Mailbox;
+use crate::mailbox::{Mailbox, MailboxStats};
 use crate::metrics::{self, CopyStats};
 use crate::ulfm::AgreementTable;
 use crate::Rank;
@@ -191,18 +191,19 @@ impl Universe {
     }
 
     /// Runs `f` on `config.size` ranks and additionally returns each
-    /// rank's total [`CopyStats`] — the universe-level aggregation that
-    /// lets benches read per-rank copy bills without threading
-    /// snapshots through their closures (the per-operation diffing of
+    /// rank's total [`RunStats`] — copy bill plus matching-engine
+    /// diagnostics — the universe-level aggregation that lets benches
+    /// read per-rank statistics without threading snapshots through
+    /// their closures (the per-operation diffing of
     /// [`crate::metrics::snapshot`] remains available inside the
     /// closure).
     pub fn run_stats<R: Send, F: Fn(Comm) -> R + Sync>(
         config: Config,
         f: F,
-    ) -> (Vec<RankOutcome<R>>, Vec<CopyStats>) {
+    ) -> (Vec<RankOutcome<R>>, Vec<RunStats>) {
         let world = WorldState::new(&config);
         let outcomes = Self::run_on(&config, &world, f);
-        let stats = Self::collect_copy_stats(&world);
+        let stats = Self::collect_run_stats(&world);
         (outcomes, stats)
     }
 
@@ -265,6 +266,32 @@ impl Universe {
     pub fn collect_copy_stats(world: &WorldState) -> Vec<CopyStats> {
         world.copy_stats.iter().map(|m| *m.lock()).collect()
     }
+
+    /// Collected per-rank run statistics after a run: the copy bill
+    /// plus each rank's matching-engine diagnostics (max unexpected-
+    /// queue depth = matching pressure; targeted wakeups = envelopes
+    /// delivered straight to a posted waiter).
+    pub fn collect_run_stats(world: &WorldState) -> Vec<RunStats> {
+        world
+            .copy_stats
+            .iter()
+            .zip(&world.mailboxes)
+            .map(|(m, mb)| RunStats {
+                copy: *m.lock(),
+                mailbox: mb.stats(),
+            })
+            .collect()
+    }
+}
+
+/// Per-rank whole-run statistics returned by [`Universe::run_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Payload copy/allocation counters (see [`crate::metrics`]).
+    pub copy: CopyStats,
+    /// Matching-engine diagnostics, including the max unexpected-queue
+    /// depth — the matching pressure a bench put on this rank.
+    pub mailbox: MailboxStats,
 }
 
 fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
@@ -345,10 +372,37 @@ mod tests {
         assert!(outcomes.into_iter().all(|o| o.completed().is_some()));
         for (rank, s) in stats.iter().enumerate() {
             assert!(
-                s.bytes_copied >= (rank + 1) as u64,
+                s.copy.bytes_copied >= (rank + 1) as u64,
                 "rank {rank} must have charged its send serialization: {s:?}"
             );
         }
+    }
+
+    #[test]
+    fn run_stats_reports_matching_pressure() {
+        let (_, stats) = Universe::run_stats(Config::new(2), |comm| {
+            if comm.rank() == 0 {
+                // Run ahead of the receiver: the unexpected queue on
+                // rank 1 must grow to (at least briefly) hold the burst.
+                for i in 0..16u32 {
+                    comm.send(&[i], 1, 0).unwrap();
+                }
+                comm.send(&[99u32], 1, 1).unwrap();
+            } else {
+                let (v, _) = comm.recv_vec::<u32>(0, 1).unwrap();
+                assert_eq!(v, vec![99]);
+                for i in 0..16u32 {
+                    let (v, _) = comm.recv_vec::<u32>(0, 0).unwrap();
+                    assert_eq!(v, vec![i]);
+                }
+            }
+        });
+        assert!(
+            stats[1].mailbox.max_unexpected_depth >= 1,
+            "the burst must register as matching pressure: {:?}",
+            stats[1].mailbox
+        );
+        assert_eq!(stats[1].mailbox.queued, 0, "everything was drained");
     }
 
     #[test]

@@ -55,6 +55,48 @@ fn allgather_ring_forwards_blocks_without_reserialization() {
     });
 }
 
+/// Recursive-doubling allgather pays for its latency win in packing
+/// copies: rounds past the first memcpy their accumulated block group
+/// into one message. The bill is exact: own serialization `s`, packing
+/// `s·(p-2)` (round 0 forwards the own block as a refcount clone),
+/// assembly `r = p·s` — `s·(p-1) + r` total, vs the ring's `s + r`.
+#[test]
+fn allgather_recursive_doubling_packing_bill_is_exact() {
+    use kmp_mpi::AllgatherAlgo;
+    const N: usize = 1024; // bytes per rank, under the 8 KiB RD ceiling
+    for p in [4usize, 8] {
+        Universe::run(p, move |comm| {
+            let mine = vec![comm.rank() as u8; N];
+            for (algo, bound) in [
+                (AllgatherAlgo::Ring, (N + p * N) as u64),
+                (
+                    AllgatherAlgo::RecursiveDoubling,
+                    (N * (p - 1) + p * N) as u64,
+                ),
+            ] {
+                comm.set_tuning(CollTuning::default().allgather(algo));
+                let before = metrics::snapshot();
+                let all = comm.allgather_vec(&mine).unwrap();
+                let delta = metrics::snapshot().since(&before);
+                assert_eq!(all.len(), p * N);
+                assert_eq!(
+                    delta.bytes_copied,
+                    bound,
+                    "rank {} p={p} {algo:?}: exact copy bill",
+                    comm.rank()
+                );
+            }
+            // Auto resolves to RD here (power of two, small blocks):
+            // same bill as the forced RD run.
+            comm.set_tuning(CollTuning::default());
+            let before = metrics::snapshot();
+            comm.allgather_vec(&mine).unwrap();
+            let delta = metrics::snapshot().since(&before);
+            assert_eq!(delta.bytes_copied, (N * (p - 1) + p * N) as u64);
+        });
+    }
+}
+
 /// Same bound for allgatherv into a user buffer (plus the up-front copy
 /// of the own block into the receive buffer).
 #[test]

@@ -8,7 +8,7 @@
 use kamping_repro::kamping::prelude::*;
 use kamping_repro::mpi::op::Sum;
 use kamping_repro::mpi::{
-    AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, ReduceAlgo, Universe,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, ReduceAlgo, Universe,
 };
 use proptest::prelude::*;
 
@@ -69,6 +69,37 @@ proptest! {
         });
         for (pairwise, bruck) in out {
             prop_assert_eq!(pairwise, bruck);
+        }
+    }
+
+    #[test]
+    fn allgather_algorithms_agree(
+        p in 1usize..17,
+        n in 0usize..40,
+        seed in any::<u32>()
+    ) {
+        let out = Universe::run(p, move |comm| {
+            let mine: Vec<u32> = (0..n)
+                .map(|i| seed ^ ((comm.rank() as u32) << 20) ^ i as u32)
+                .collect();
+            let mut results = Vec::new();
+            // Forced RD falls back to the ring off powers of two, so
+            // every (p, n) draw exercises both paths safely.
+            for algo in [AllgatherAlgo::Ring, AllgatherAlgo::RecursiveDoubling] {
+                comm.set_tuning(CollTuning::default().allgather(algo));
+                results.push(comm.allgather_vec(&mine).unwrap());
+            }
+            comm.set_tuning(CollTuning::default());
+            results.push(comm.allgather_vec(&mine).unwrap());
+            results
+        });
+        let expected: Vec<u32> = (0..p)
+            .flat_map(|r| (0..n).map(move |i| seed ^ ((r as u32) << 20) ^ i as u32))
+            .collect();
+        for results in out {
+            for got in results {
+                prop_assert_eq!(&got, &expected);
+            }
         }
     }
 
