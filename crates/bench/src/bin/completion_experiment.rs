@@ -1,0 +1,433 @@
+//! Completion-subsystem microbenchmark: the event-driven parked waits
+//! (`RequestSet::wait_any` + `Request::wait`, see `kmp_mpi::completion`)
+//! against the seed's sweep-and-yield strategy (preserved as
+//! `kmp_mpi::completion::reference`) on the two wait shapes the
+//! subsystem was built for:
+//!
+//! - **wait_any_fanin** — one waiter, N senders, a large standing
+//!   request set: rank 0 posts every receive of the run upfront (one
+//!   per sender per round — the many-outstanding-irecvs shape
+//!   `MPI_Waitany` exists for) and drains them via `wait_any` as
+//!   senders, pacing themselves with rank-staggered idle gaps and
+//!   per-round flow control, deliver timestamped payloads. Payloads
+//!   carry send timestamps, so the row reports true **wakeup latency**
+//!   (push -> wait_any return, averaged over completions). The sweep
+//!   baseline pays a full O(set) test pass per poll and still only
+//!   notices an arrival on the pass after it lands; the parked waiter
+//!   registers before the message exists, is woken by the push itself,
+//!   and re-tests only the fired index — O(1) between completion and
+//!   return. For this scenario `elapsed_ms` is the summed measured
+//!   wait, not wall time.
+//! - **bounded_pipeline** — a fixed in-flight window of synchronous-mode
+//!   sends (the `BoundedRequestPool` shape, §III-E): rank 0 streams M
+//!   `issend`s round-robin to p-1 receivers, completing the oldest when
+//!   the window is full. The baseline completes with a test-and-yield
+//!   spin on the ack; the parked path sleeps on the ack registration.
+//!   Reported as throughput.
+//!
+//! Each scenario runs both strategies at p in {4, 8, 16}. The binary
+//! enforces the PR's acceptance bound (>= 2x wait_any fan-in wakeup
+//! latency improvement at p = 8) and, with `--check PATH`, asserts the
+//! event rows have not collapsed relative to a committed baseline JSON
+//! (generous tolerance for machine variance).
+//!
+//! Usage: `completion_experiment [--smoke] [--out PATH] [--check PATH]`;
+//! writes `BENCH_completion.json`.
+
+use kmp_mpi::completion::reference;
+use kmp_mpi::{Config, RequestSet, Universe};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// Parked waits: the completion subsystem.
+    Event,
+    /// The preserved sweep-and-yield baseline.
+    Sweep,
+}
+
+impl Strategy {
+    fn name(self) -> &'static str {
+        match self {
+            Strategy::Event => "event_driven",
+            Strategy::Sweep => "reference_sweep",
+        }
+    }
+}
+
+/// Busy-spins for roughly `us` microseconds of real work (the
+/// pipeline receivers' per-message compute; spinning — not sleeping —
+/// is what makes CPU stolen by a polling waiter visible).
+fn busy_work(us: u64) {
+    let start = std::time::Instant::now();
+    let mut acc = 0u64;
+    while start.elapsed().as_micros() < us as u128 {
+        for i in 0..64u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+    }
+}
+
+/// One waiter, p-1 senders, every receive posted upfront: rank 0
+/// drains `total` timestamped messages from a standing request set of
+/// the same size via wait_any; senders sleep rank-staggered idle gaps
+/// and await a per-round ack. Returns (completions, summed wakeup
+/// latency in seconds, rank-0 multi_wakeups).
+fn wait_any_fanin(strategy: Strategy, p: usize, total: usize, work_us: u64) -> (usize, f64, u64) {
+    const ACK_TAG: i32 = 1_000_000;
+    let rounds = total / (p - 1);
+    let epoch = std::time::Instant::now();
+    let wait_one = move |set: &mut RequestSet<'_>| match strategy {
+        Strategy::Event => set.wait_any(),
+        Strategy::Sweep => reference::wait_any(set),
+    };
+    let (outcomes, stats) = Universe::run_stats(Config::new(p), move |world| {
+        // Collectives and applications overwhelmingly run on derived
+        // communicators; the fan-in does too (its receives resolve
+        // their context through the shard map, like any dup'd-comm
+        // traffic).
+        let comm = world.dup().unwrap();
+        if comm.rank() == 0 {
+            let mut lat_ns = 0u64;
+            // The whole fan-in is posted upfront: rounds x (p-1)
+            // outstanding receives in one standing set.
+            let mut set = RequestSet::new();
+            for round in 0..rounds {
+                for peer in 1..comm.size() {
+                    set.push(comm.irecv(peer, round as i32));
+                }
+            }
+            let mut round_left = vec![comm.size() - 1; rounds];
+            while !set.is_empty() {
+                let (_, c) = wait_one(&mut set).unwrap().expect("set non-empty");
+                let now = epoch.elapsed().as_nanos() as u64;
+                let (v, st) = c.into_vec::<u64>().unwrap();
+                lat_ns += now.saturating_sub(v[0]);
+                let round = st.tag as usize;
+                round_left[round] -= 1;
+                if round_left[round] == 0 {
+                    // Round complete: release every sender at once.
+                    for peer in 1..comm.size() {
+                        comm.send(&[1u8], peer, ACK_TAG).unwrap();
+                    }
+                }
+            }
+            lat_ns
+        } else {
+            for round in 0..rounds {
+                // Rank-staggered idle gaps spread the round's arrivals
+                // out in time, so the waiter actually waits between
+                // completions instead of draining a burst.
+                std::thread::sleep(std::time::Duration::from_micros(
+                    work_us * (1 + (comm.rank() as u64 - 1) % 8),
+                ));
+                let sent = epoch.elapsed().as_nanos() as u64;
+                comm.send(&[sent], 0, round as i32).unwrap();
+                // Fan-in flow control: the round's ack arrives only
+                // once *every* sender delivered, and it is awaited
+                // through the same wait strategy.
+                let mut ack = RequestSet::new();
+                ack.push(comm.irecv(0, ACK_TAG));
+                wait_one(&mut ack).unwrap().expect("ack pending");
+            }
+            0
+        }
+    });
+    let lat_ns = outcomes.into_iter().next().unwrap().unwrap();
+    (
+        (p - 1) * rounds,
+        lat_ns as f64 / 1e9,
+        stats[0].mailbox.multi_wakeups,
+    )
+}
+
+/// Bounded in-flight window of synchronous-mode sends, round-robin over
+/// p-1 computing receivers — the `BoundedRequestPool` pipeline shape.
+/// Returns (messages, elapsed seconds, rank-0 multi_wakeups).
+fn bounded_pipeline(
+    strategy: Strategy,
+    p: usize,
+    messages: usize,
+    work_us: u64,
+) -> (usize, f64, u64) {
+    let started = std::time::Instant::now();
+    let (_, stats) = Universe::run_stats(Config::new(p), move |comm| {
+        let peers = comm.size() - 1;
+        if comm.rank() == 0 {
+            let capacity = 2 * peers;
+            let mut window: std::collections::VecDeque<kmp_mpi::Request<'_>> =
+                std::collections::VecDeque::new();
+            for m in 0..messages {
+                while window.len() >= capacity {
+                    let oldest = window.pop_front().expect("window non-empty");
+                    match strategy {
+                        Strategy::Event => {
+                            oldest.wait().unwrap();
+                        }
+                        Strategy::Sweep => {
+                            reference::wait(oldest).unwrap();
+                        }
+                    }
+                }
+                let dest = 1 + m % peers;
+                window.push_back(comm.issend(&[m as u8], dest, 0).unwrap());
+            }
+            for req in window {
+                match strategy {
+                    Strategy::Event => {
+                        req.wait().unwrap();
+                    }
+                    Strategy::Sweep => {
+                        reference::wait(req).unwrap();
+                    }
+                }
+            }
+        } else {
+            let mine = messages / peers + usize::from(comm.rank() <= messages % peers);
+            for _ in 0..mine {
+                busy_work(work_us);
+                comm.recv_vec::<u8>(0, 0).unwrap();
+            }
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    (messages, elapsed, stats[0].mailbox.multi_wakeups)
+}
+
+#[derive(Clone, Debug)]
+struct Row {
+    scenario: &'static str,
+    implementation: &'static str,
+    ranks: usize,
+    completions: usize,
+    elapsed_ms: f64,
+    us_per_completion: f64,
+    completions_per_sec: f64,
+    multi_wakeups: u64,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"scenario\": \"{}\", \"impl\": \"{}\", \"ranks\": {}, \
+             \"completions\": {}, \"elapsed_ms\": {:.3}, \"us_per_completion\": {:.2}, \
+             \"completions_per_sec\": {:.0}, \"multi_wakeups\": {}}}",
+            self.scenario,
+            self.implementation,
+            self.ranks,
+            self.completions,
+            self.elapsed_ms,
+            self.us_per_completion,
+            self.completions_per_sec,
+            self.multi_wakeups
+        )
+    }
+}
+
+fn run_scenario(
+    scenario: &'static str,
+    strategy: Strategy,
+    p: usize,
+    work: usize,
+    work_us: u64,
+    reps: usize,
+    rows: &mut Vec<Row>,
+) {
+    let f = match scenario {
+        "wait_any_fanin" => wait_any_fanin,
+        "bounded_pipeline" => bounded_pipeline,
+        other => panic!("unknown scenario {other}"),
+    };
+    // Warm-up once, then average over `reps`: latency distributions on
+    // an oversubscribed host are tail-heavy in both directions, so the
+    // mean over several runs is steadier than a best-of pick.
+    let _ = f(strategy, p, work, work_us);
+    let mut completions = 0usize;
+    let mut secs = 0f64;
+    let mut multi_wakeups = 0u64;
+    for _ in 0..reps {
+        let r = f(strategy, p, work, work_us);
+        completions += r.0;
+        secs += r.1;
+        multi_wakeups += r.2;
+    }
+    rows.push(Row {
+        scenario,
+        implementation: strategy.name(),
+        ranks: p,
+        completions,
+        elapsed_ms: secs * 1e3,
+        us_per_completion: secs * 1e6 / completions as f64,
+        completions_per_sec: completions as f64 / secs,
+        multi_wakeups,
+    });
+}
+
+fn latency(rows: &[Row], scenario: &str, implementation: &str, p: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.scenario == scenario && r.implementation == implementation && r.ranks == p)
+        .unwrap_or_else(|| panic!("missing row {scenario}/{implementation}/p{p}"))
+        .us_per_completion
+}
+
+/// Extracts rows from the one-row-per-line JSON this binary writes (no
+/// JSON dependency in the workspace).
+fn baseline_latencies(json: &str) -> Vec<(String, String, usize, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let pat = format!("\"{key}\": ");
+        let at = line.find(&pat)? + pat.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    json.lines()
+        .filter(|l| l.contains("\"scenario\""))
+        .filter_map(|l| {
+            Some((
+                field(l, "scenario")?,
+                field(l, "impl")?,
+                field(l, "ranks")?.parse().ok()?,
+                field(l, "us_per_completion")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+const SCENARIOS: [&str; 2] = ["wait_any_fanin", "bounded_pipeline"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_completion.json".to_string());
+    // Read the committed baseline up front: `--check` and `--out` may
+    // name the same file.
+    let baseline = flag("--check").map(|p| {
+        let json = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("--check {p}: {e}"));
+        baseline_latencies(&json)
+    });
+
+    let ps = [4usize, 8, 16];
+    let (fanin_total, messages, reps) = if smoke {
+        (4800, 300, 3)
+    } else {
+        (4800, 1000, 5)
+    };
+    // Sender-side idle-gap unit per message (rank-staggered in the
+    // fan-in): arrivals must be sparse enough that the waiter really
+    // waits between completions — that waiting is what the two
+    // strategies price differently.
+    let work_us = 200u64;
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &p in &ps {
+        for scenario in SCENARIOS {
+            // The pipeline's receivers get a lighter compute so the
+            // bounded window actually turns over between completions.
+            let (work, us) = if scenario == "wait_any_fanin" {
+                (fanin_total, work_us)
+            } else {
+                (messages, work_us / 8)
+            };
+            for strategy in [Strategy::Event, Strategy::Sweep] {
+                run_scenario(scenario, strategy, p, work, us, reps, &mut rows);
+            }
+        }
+    }
+
+    println!(
+        "{:<18} {:<16} {:>3} {:>12} {:>11} {:>10} {:>12} {:>8}",
+        "scenario", "impl", "p", "completions", "elapsed ms", "us/compl", "compl/sec", "wakeups"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:<16} {:>3} {:>12} {:>11.2} {:>10.2} {:>12.0} {:>8}",
+            r.scenario,
+            r.implementation,
+            r.ranks,
+            r.completions,
+            r.elapsed_ms,
+            r.us_per_completion,
+            r.completions_per_sec,
+            r.multi_wakeups
+        );
+    }
+
+    let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"completion\",\n  \"mode\": \"{}\",\n  \
+         \"work_us\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        work_us,
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_completion.json");
+    println!("\nwrote {out_path}");
+
+    // --- acceptance: the parked path's win is pinned, not asserted ------
+
+    for &p in &ps {
+        for scenario in SCENARIOS {
+            let e = latency(&rows, scenario, "event_driven", p);
+            let s = latency(&rows, scenario, "reference_sweep", p);
+            println!("{scenario} p={p}: sweep/event latency = {:.2}x", s / e);
+            // Sanity floor everywhere: parking must never make a wait
+            // dramatically slower than spinning.
+            assert!(
+                e <= s * 2.0,
+                "{scenario} p={p}: the parked path fell past the sanity floor \
+                 (event {e:.1} vs sweep {s:.1} us/completion)"
+            );
+        }
+        // The parked waiter frees the core the yield-spinning sweep
+        // burns; the event rows must also show real claims (the wait
+        // actually parked instead of completing via its sweeps).
+        let fanin_event = rows
+            .iter()
+            .find(|r| {
+                r.scenario == "wait_any_fanin" && r.implementation == "event_driven" && r.ranks == p
+            })
+            .unwrap();
+        assert!(
+            fanin_event.multi_wakeups > 0,
+            "p={p}: the event-driven fan-in never parked — the bench is not \
+             exercising the completion subsystem"
+        );
+    }
+    // The PR's acceptance bound: >= 2x fan-in wakeup latency at p = 8.
+    let e = latency(&rows, "wait_any_fanin", "event_driven", 8);
+    let s = latency(&rows, "wait_any_fanin", "reference_sweep", 8);
+    assert!(
+        e * 2.0 <= s,
+        "the acceptance bound — >= 2x wait_any fan-in wakeup latency \
+         improvement at p = 8 — failed: event {e:.1} vs sweep {s:.1} us/completion"
+    );
+    println!(
+        "completion contract holds: >= 2x fan-in latency at p = 8 \
+         ({:.2}x), parked path never past the sanity floor",
+        s / e
+    );
+
+    if let Some(baseline) = baseline {
+        // CI drift guard: event rows must stay within a generous factor
+        // of the committed full-run baseline (catches order-of-magnitude
+        // regressions — a reintroduced poll loop — not percent noise).
+        const TOLERANCE: f64 = 4.0;
+        for (scenario, implementation, p, base_latency) in baseline {
+            if implementation != "event_driven" || !ps.contains(&p) {
+                continue;
+            }
+            let now = latency(&rows, &scenario, "event_driven", p);
+            assert!(
+                now <= base_latency * TOLERANCE,
+                "{scenario} p={p}: event latency {now:.1} us rose above \
+                 {TOLERANCE} x committed baseline ({base_latency:.1} us)"
+            );
+        }
+        println!("baseline check passed (<= {TOLERANCE:.0} x committed latencies)");
+    }
+}

@@ -115,6 +115,10 @@ impl<'a, T: Plain, H: ReclaimHold> NonBlockingCollective<'a, T, H> {
             })),
         }
     }
+
+    pub(crate) fn raw_request(&self) -> &Request<'a> {
+        &self.req
+    }
 }
 
 /// A non-blocking broadcast in flight: the root's moved-in buffer is
@@ -180,6 +184,10 @@ impl<'a, T: Plain> NonBlockingBcast<'a, T> {
                 root_buf: self.root_buf,
             })),
         }
+    }
+
+    pub(crate) fn raw_request(&self) -> &Request<'a> {
+        &self.req
     }
 }
 

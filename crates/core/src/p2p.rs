@@ -272,6 +272,10 @@ trait Pooled<'a> {
     /// when still pending.
     #[allow(clippy::type_complexity)]
     fn test_boxed(self: Box<Self>) -> Result<Option<Box<dyn Pooled<'a> + 'a>>>;
+    /// The underlying substrate request, so pool-level waits can
+    /// register a parked waiter on its pending sources
+    /// ([`kmp_mpi::completion`]) instead of polling.
+    fn raw_request(&self) -> &Request<'a>;
 }
 
 impl<'a, H: ReclaimHold + 'a> Pooled<'a> for NonBlockingSend<'a, H> {
@@ -285,6 +289,10 @@ impl<'a, H: ReclaimHold + 'a> Pooled<'a> for NonBlockingSend<'a, H> {
             Err(pending) => Ok(Some(Box::new(pending))),
         }
     }
+
+    fn raw_request(&self) -> &Request<'a> {
+        &self.req
+    }
 }
 
 impl<'a, T: Plain> Pooled<'a> for NonBlockingRecv<'a, T> {
@@ -297,6 +305,10 @@ impl<'a, T: Plain> Pooled<'a> for NonBlockingRecv<'a, T> {
             Ok(_) => Ok(None),
             Err(pending) => Ok(Some(Box::new(pending))),
         }
+    }
+
+    fn raw_request(&self) -> &Request<'a> {
+        &self.req
     }
 }
 
@@ -313,6 +325,10 @@ impl<'a, T: Plain, H: ReclaimHold + 'a> Pooled<'a>
             Err(pending) => Ok(Some(Box::new(pending))),
         }
     }
+
+    fn raw_request(&self) -> &Request<'a> {
+        self.raw_request()
+    }
 }
 
 impl<'a, T: Plain> Pooled<'a> for crate::collectives::NonBlockingBcast<'a, T> {
@@ -325,6 +341,10 @@ impl<'a, T: Plain> Pooled<'a> for crate::collectives::NonBlockingBcast<'a, T> {
             Ok(()) => Ok(None),
             Err(pending) => Ok(Some(Box::new(pending))),
         }
+    }
+
+    fn raw_request(&self) -> &Request<'a> {
+        self.raw_request()
     }
 }
 
@@ -387,50 +407,74 @@ impl<'a> RequestPool<'a> {
         Ok(())
     }
 
+    /// One non-blocking sweep of the `wait_any` loop: tests entries in
+    /// order until one completes.
+    fn sweep_any(&mut self) -> Result<Option<usize>> {
+        let mut ready: Option<usize> = None;
+        let mut erred = None;
+        let mut kept: Vec<Box<dyn Pooled<'a> + 'a>> = Vec::with_capacity(self.entries.len());
+        for (i, entry) in std::mem::take(&mut self.entries).into_iter().enumerate() {
+            if ready.is_some() || erred.is_some() {
+                kept.push(entry);
+                continue;
+            }
+            match entry.test_boxed() {
+                Ok(None) => ready = Some(i),
+                Ok(Some(pending)) => kept.push(pending),
+                // The erroring operation is consumed; the rest stay
+                // pooled so survivors remain completable.
+                Err(e) => erred = Some(e),
+            }
+        }
+        self.entries = kept;
+        match erred {
+            Some(e) => Err(e),
+            None => Ok(ready),
+        }
+    }
+
     /// Blocks until *one* pooled operation completes (mirrors
     /// `MPI_Waitany`), removing it. Returns its index at call time, or
     /// `None` for an empty pool; later entries shift down by one.
+    ///
+    /// Event-driven: between test sweeps the thread parks with one
+    /// waiter registered on every pending operation's sources, and the
+    /// first completion wakes it with the index to re-test
+    /// ([`kmp_mpi::completion`]) — the §III-E ownership-safe futures
+    /// gain the substrate's wakeup latency with no change to their API.
     pub fn wait_any(&mut self) -> Result<Option<usize>> {
         if self.entries.is_empty() {
             return Ok(None);
         }
         loop {
-            let mut ready: Option<usize> = None;
-            let mut erred = None;
-            let mut kept: Vec<Box<dyn Pooled<'a> + 'a>> = Vec::with_capacity(self.entries.len());
-            for (i, entry) in std::mem::take(&mut self.entries).into_iter().enumerate() {
-                if ready.is_some() || erred.is_some() {
-                    kept.push(entry);
-                    continue;
+            let epoch = kmp_mpi::park_epoch(self.entries[0].raw_request());
+            if let Some(i) = self.sweep_any()? {
+                return Ok(Some(i));
+            }
+            let refs: Vec<&Request<'a>> = self.entries.iter().map(|e| e.raw_request()).collect();
+            if let kmp_mpi::ParkOutcome::Ready(i) = kmp_mpi::park_any(&refs, epoch) {
+                // Targeted wakeup: re-test only the fired entry. A
+                // still-pending outcome (its engine advanced without
+                // finishing) falls through to the next full sweep.
+                let entry = self.entries.remove(i);
+                match entry.test_boxed()? {
+                    None => return Ok(Some(i)),
+                    Some(pending) => self.entries.insert(i, pending),
                 }
-                match entry.test_boxed() {
-                    Ok(None) => ready = Some(i),
-                    Ok(Some(pending)) => kept.push(pending),
-                    // The erroring operation is consumed; the rest stay
-                    // pooled so survivors remain completable.
-                    Err(e) => erred = Some(e),
-                }
             }
-            self.entries = kept;
-            if let Some(e) = erred {
-                return Err(e);
-            }
-            if ready.is_some() {
-                return Ok(ready);
-            }
-            std::thread::yield_now();
         }
     }
 
     /// Blocks until *at least one* pooled operation completes (mirrors
     /// `MPI_Waitsome`), removing all completed ones. Returns their
     /// indices at call time, in order; an empty pool yields an empty
-    /// vector.
+    /// vector. Event-driven, like [`RequestPool::wait_any`].
     pub fn wait_some(&mut self) -> Result<Vec<usize>> {
         if self.entries.is_empty() {
             return Ok(Vec::new());
         }
         loop {
+            let epoch = kmp_mpi::park_epoch(self.entries[0].raw_request());
             let mut done = Vec::new();
             let mut erred = None;
             let mut kept: Vec<Box<dyn Pooled<'a> + 'a>> = Vec::with_capacity(self.entries.len());
@@ -452,7 +496,8 @@ impl<'a> RequestPool<'a> {
             if !done.is_empty() {
                 return Ok(done);
             }
-            std::thread::yield_now();
+            let refs: Vec<&Request<'a>> = self.entries.iter().map(|e| e.raw_request()).collect();
+            let _ = kmp_mpi::park_any(&refs, epoch);
         }
     }
 }
@@ -836,6 +881,41 @@ mod tests {
                     .unwrap();
             }
         });
+    }
+
+    #[test]
+    fn pool_wait_any_parks_instead_of_polling() {
+        // The park-before-send ordering is timing-dependent, so the
+        // scenario retries a few times — the pool must demonstrably
+        // park (claimed multi-waiter) on at least one attempt.
+        for attempt in 0..5 {
+            let parked = Universe::run(2, |comm| {
+                let comm = Communicator::new(comm);
+                if comm.rank() == 0 {
+                    let mut pool = crate::p2p::RequestPool::new();
+                    pool.submit_recv(comm.irecv::<u8, _>(source(1)).unwrap());
+                    let first = pool.wait_any().unwrap();
+                    assert_eq!(first, Some(0));
+                    assert!(pool.is_empty());
+                    // The sender ran well after the pool went to sleep,
+                    // so its push claimed the parked multi-waiter — the
+                    // pool waits through the substrate's parking
+                    // protocol, not a poll loop.
+                    comm.raw().mailbox_stats().multi_wakeups >= 1
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                    comm.send((send_buf(&[7u8][..]), destination(0))).unwrap();
+                    true
+                }
+            })
+            .into_iter()
+            .all(|ok| ok);
+            if parked {
+                return;
+            }
+            eprintln!("attempt {attempt}: the send outran the park; retrying");
+        }
+        panic!("the pool never parked across 5 attempts — wait_any is polling");
     }
 
     #[test]

@@ -1,17 +1,30 @@
-//! Recursive-doubling allgather (power-of-two communicators).
+//! Latency-regime allgathers: recursive doubling (power-of-two
+//! communicators) and Bruck (any communicator size).
 //!
-//! Round `k` pairs each rank with `rank ^ 2^k`; the pair exchanges the
-//! `2^k` origin blocks each side has accumulated so far, so after
-//! `log2 p` rounds every rank holds all `p` blocks. Compared to the
-//! ring this trades `p-1` startups for `log2 p` at the same total
-//! volume — but rounds past the first must *pack* their block group
-//! into one contiguous message (`s·(p-2)` bytes memcpy'd per rank),
-//! which is why the `Auto` selection keeps it to small contributions
-//! (see [`CollTuning::allgather_rd_max_bytes`](super::CollTuning)).
+//! **Recursive doubling:** round `k` pairs each rank with `rank ^ 2^k`;
+//! the pair exchanges the `2^k` origin blocks each side has accumulated
+//! so far, so after `log2 p` rounds every rank holds all `p` blocks.
+//! Compared to the ring this trades `p-1` startups for `log2 p` at the
+//! same total volume — but rounds past the first must *pack* their
+//! block group into one contiguous message (`s·(p-2)` bytes memcpy'd
+//! per rank), which is why the `Auto` selection keeps it to small
+//! contributions (see
+//! [`CollTuning::allgather_rd_max_bytes`](super::CollTuning)).
 //!
-//! Round 0 sends a single block and therefore forwards the caller's
-//! payload as a refcount clone, copy-free; incoming groups are carved
-//! into per-origin blocks by refcount slicing, also copy-free.
+//! **Bruck:** the same `ceil(log2 p)` startup count without the
+//! power-of-two restriction. Every rank keeps its accumulated blocks
+//! rotated so its *own* block sits first; round `k` sends the first
+//! `min(2^k, p - 2^k)` blocks to rank `rank - 2^k` and appends the same
+//! count received from rank `rank + 2^k`. After the rounds, local index
+//! `i` holds the block that originated at rank `(rank + i) mod p` — one
+//! index rotation puts everything in rank order. Rounds sending a
+//! single block forward it as a refcount clone; multi-block rounds pack
+//! (`s·(p - 1 - #single-block rounds)` memcpy'd per rank, e.g. `2s` at
+//! `p = 5`), so like recursive doubling it is gated to the latency
+//! regime ([`CollTuning::allgather_bruck_max_bytes`](super::CollTuning)).
+//!
+//! In both algorithms incoming groups are carved into per-origin blocks
+//! by refcount slicing, copy-free.
 
 use bytes::Bytes;
 
@@ -74,5 +87,62 @@ pub(crate) fn allgather_blocks_rd(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>>
     Ok(blocks
         .into_iter()
         .map(|b| b.expect("all groups exchanged"))
+        .collect())
+}
+
+/// Equal-block Bruck allgather at the shared-payload level: contributes
+/// `own`, returns one block per origin rank. Works for **any** `p`;
+/// every rank must contribute `own.len()` bytes (violations surface as
+/// [`MpiError::InvalidLayout`]).
+pub(crate) fn allgather_blocks_bruck(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let s = own.len();
+    // `local[i]` accumulates the block of origin rank `(rank + i) % p`.
+    let mut local: Vec<Bytes> = Vec::with_capacity(p);
+    local.push(own);
+    // One tag per round, allocated in the same order on every rank.
+    let rounds = p.next_power_of_two().trailing_zeros() as usize;
+    let tags: Vec<_> = (0..rounds).map(|_| comm.next_internal_tag()).collect();
+    let mut step = 1usize;
+    for (k, &tag) in tags.iter().enumerate() {
+        let cnt = step.min(p - step);
+        let dest = (rank + p - step) % p;
+        let src = (rank + step) % p;
+        let outgoing = if cnt == 1 {
+            // A single block travels as a refcount clone, copy-free
+            // (round 0 always; also the short final round of
+            // non-power-of-two sizes, e.g. p = 5).
+            local[0].clone()
+        } else {
+            // Pack the first `cnt` accumulated blocks (the counted copy
+            // this algorithm trades for its startup win).
+            let mut packed: Vec<u8> = Vec::with_capacity(cnt * s);
+            for b in &local[..cnt] {
+                extend_vec_from_bytes(&mut packed, b);
+            }
+            bytes_from_vec(packed)
+        };
+        send_internal(comm, dest, tag, outgoing)?;
+        let incoming = recv_internal(comm, src, tag)?;
+        if incoming.len() != cnt * s {
+            return Err(MpiError::InvalidLayout(format!(
+                "allgather (Bruck): round {k} delivered {} bytes, expected {} \
+                 ({cnt} blocks of {s}) — unequal contributions?",
+                incoming.len(),
+                cnt * s
+            )));
+        }
+        for i in 0..cnt {
+            // Carve per-origin blocks as refcount sub-views (copy-free).
+            local.push(incoming.slice(i * s..(i + 1) * s));
+        }
+        step <<= 1;
+    }
+    debug_assert_eq!(local.len(), p, "Bruck rounds deliver every block");
+    // Inverse rotation: origin `o`'s block sits at local index
+    // `(o - rank) mod p`.
+    Ok((0..p)
+        .map(|origin| local[(origin + p - rank) % p].clone())
         .collect())
 }

@@ -23,8 +23,9 @@
 //! | `allreduce` | Rabenseifner (reduce-scatter + ring allgather) | log2 p + p | ~2s | `p >= 4` and `s >=` threshold |
 //! | `bcast`     | binomial tree          | <= log2 p  | root s, other r | `s <` [`CollTuning::bcast_scatter_min_bytes`] (and always on unsized paths) |
 //! | `bcast`     | scatter + ring allgather (van de Geijn) | ~2p | root s, other r | sized paths, `p >= 4` and `s >=` threshold |
-//! | `allgather` | ring, block forwarding | p-1        | s + r       | `s >` [`CollTuning::allgather_rd_max_bytes`], or p not a power of two |
-//! | `allgather` | recursive doubling (packed rounds) | log2 p | s·(p-1) + r | `p >= 4` power of two and `s <=` threshold |
+//! | `allgather` | ring, block forwarding | p-1        | s + r       | `s >` the latency thresholds below |
+//! | `allgather` | recursive doubling (packed rounds) | log2 p | s·(p-1) + r | `p >= 4` power of two and `s <=` [`CollTuning::allgather_rd_max_bytes`] |
+//! | `allgather` | Bruck (rotated packed rounds, any p) | ceil(log2 p) | <= s·(p-1) + r | `p >= 4` not a power of two and `s <=` [`CollTuning::allgather_bruck_max_bytes`] |
 //! | `alltoall`  | pairwise exchange      | p-1        | s + r       | `b >` [`CollTuning::bruck_max_block_bytes`] |
 //! | `alltoall`  | Bruck                  | ceil(log2 p) | s + r + s·ceil(log2 p)/2 | `p >= 4` and `b <=` threshold |
 //! | `reduce`    | binomial tree, in-place fold | <= log2 p | non-root s, root r | op commutative |
@@ -92,6 +93,12 @@ pub enum AllgatherAlgo {
     /// communicator (falls back to the ring otherwise) and pays
     /// `s·(p-2)` packing copies per rank.
     RecursiveDoubling,
+    /// ceil(log2 p) rounds of rotated block-group forwarding — the same
+    /// startup count as recursive doubling with **no power-of-two
+    /// restriction**. Latency-optimal for small blocks on any
+    /// communicator size; single-block rounds forward refcount clones,
+    /// multi-block rounds pack (at most `s·(p-2)` copies per rank).
+    Bruck,
 }
 
 /// All-to-all algorithm (equal-sized blocks).
@@ -151,6 +158,11 @@ pub struct CollTuning {
     /// `Auto` switches allgather to recursive doubling at or below this
     /// many contribution bytes per rank (and `p >= 4`, power of two).
     pub allgather_rd_max_bytes: usize,
+    /// `Auto` switches allgather to Bruck at or below this many
+    /// contribution bytes per rank on non-power-of-two communicators
+    /// (`p >= 4`) — the latency regime recursive doubling cannot serve
+    /// there.
+    pub allgather_bruck_max_bytes: usize,
 }
 
 impl Default for CollTuning {
@@ -175,6 +187,9 @@ impl Default for CollTuning {
             // s·(p-2) bytes the ring forwards for free — so Auto keeps
             // it in the latency regime where packing cost is noise.
             allgather_rd_max_bytes: 8 * 1024,
+            // Bruck has the same startup/packing trade on any p; the
+            // same latency-regime ceiling applies off powers of two.
+            allgather_bruck_max_bytes: 8 * 1024,
         }
     }
 }
@@ -235,6 +250,13 @@ impl CollTuning {
         self
     }
 
+    /// Sets the Bruck allgather ceiling (bytes per rank,
+    /// non-power-of-two communicators).
+    pub fn allgather_bruck_max_bytes(mut self, bytes: usize) -> Self {
+        self.allgather_bruck_max_bytes = bytes;
+        self
+    }
+
     /// Selects the allreduce algorithm for `bytes` payload bytes per
     /// rank on a communicator of `p` ranks.
     pub fn allreduce_algo(&self, p: usize, bytes: usize) -> AllreduceAlgo {
@@ -267,18 +289,25 @@ impl CollTuning {
 
     /// Selects the allgather algorithm for equal contributions of
     /// `bytes` bytes per rank. Recursive doubling requires a
-    /// power-of-two communicator: on any other size (or `p < 2`) even a
-    /// forced selection resolves to the ring, mirroring how a forced
-    /// tree reduce yields to non-commutative operations.
+    /// power-of-two communicator: forcing it on any other size resolves
+    /// to the ring, mirroring how a forced tree reduce yields to
+    /// non-commutative operations. Bruck works for any `p`, completing
+    /// the latency-regime menu off powers of two.
     pub fn allgather_algo(&self, p: usize, bytes: usize) -> AllgatherAlgo {
-        if !p.is_power_of_two() || p < 2 {
+        if p < 2 {
             return AllgatherAlgo::Ring;
         }
         match self.allgather {
+            Select::Force(AllgatherAlgo::RecursiveDoubling) if !p.is_power_of_two() => {
+                AllgatherAlgo::Ring
+            }
             Select::Force(a) => a,
             Select::Auto => {
-                if p >= 4 && bytes <= self.allgather_rd_max_bytes {
+                if p >= 4 && bytes <= self.allgather_rd_max_bytes && p.is_power_of_two() {
                     AllgatherAlgo::RecursiveDoubling
+                } else if p >= 4 && bytes <= self.allgather_bruck_max_bytes && !p.is_power_of_two()
+                {
+                    AllgatherAlgo::Bruck
                 } else {
                     AllgatherAlgo::Ring
                 }
@@ -426,9 +455,14 @@ mod tests {
         assert_eq!(t.alltoall_algo(2, 64), AlltoallAlgo::Pairwise);
         assert_eq!(t.allgather_algo(8, 64), AllgatherAlgo::RecursiveDoubling);
         assert_eq!(t.allgather_algo(8, 1 << 20), AllgatherAlgo::Ring);
-        // Non-power-of-two communicators always ring.
-        assert_eq!(t.allgather_algo(6, 64), AllgatherAlgo::Ring);
+        // Non-power-of-two communicators take Bruck in the latency
+        // regime and ring above it.
+        assert_eq!(t.allgather_algo(6, 64), AllgatherAlgo::Bruck);
+        assert_eq!(t.allgather_algo(5, 8 * 1024), AllgatherAlgo::Bruck);
+        assert_eq!(t.allgather_algo(6, 1 << 20), AllgatherAlgo::Ring);
+        // Small communicators never switch automatically.
         assert_eq!(t.allgather_algo(2, 64), AllgatherAlgo::Ring);
+        assert_eq!(t.allgather_algo(3, 64), AllgatherAlgo::Ring);
     }
 
     #[test]
@@ -443,6 +477,19 @@ mod tests {
             AllgatherAlgo::RecursiveDoubling
         );
         assert_eq!(t.allgather_algo(5, 1), AllgatherAlgo::Ring);
+        assert_eq!(t.allgather_algo(1, 1), AllgatherAlgo::Ring);
+    }
+
+    #[test]
+    fn forced_bruck_allgather_works_on_any_p() {
+        let t = CollTuning::default().allgather(AllgatherAlgo::Bruck);
+        for p in [2, 3, 5, 6, 8, 16] {
+            assert_eq!(
+                t.allgather_algo(p, 1 << 20),
+                AllgatherAlgo::Bruck,
+                "p = {p}"
+            );
+        }
         assert_eq!(t.allgather_algo(1, 1), AllgatherAlgo::Ring);
     }
 

@@ -3,13 +3,17 @@
 //! Equal-block allgathers are tunable (see [`super::algos`]): the ring
 //! with block forwarding stays the bandwidth default, recursive
 //! doubling takes the small-message latency regime on power-of-two
-//! communicators. `allgatherv`'s variable blocks always travel the
-//! ring (recursive doubling's packed rounds need one agreed block
-//! size).
+//! communicators, and Bruck covers that regime on every other
+//! communicator size. `allgatherv`'s variable blocks always travel the
+//! ring (the packed rounds of both latency algorithms need one agreed
+//! block size).
 
 use bytes::Bytes;
 
-use super::algos::{allgather::allgather_blocks_rd, AllgatherAlgo};
+use super::algos::{
+    allgather::{allgather_blocks_bruck, allgather_blocks_rd},
+    AllgatherAlgo,
+};
 use super::{check_layout, recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
@@ -55,6 +59,7 @@ pub(crate) fn allgather_blocks(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
 pub(crate) fn allgather_blocks_tuned(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
     match comm.tuning().allgather_algo(comm.size(), own.len()) {
         AllgatherAlgo::RecursiveDoubling => allgather_blocks_rd(comm, own),
+        AllgatherAlgo::Bruck => allgather_blocks_bruck(comm, own),
         AllgatherAlgo::Ring => allgather_blocks(comm, own),
     }
 }
@@ -298,6 +303,38 @@ mod tests {
             comm.set_tuning(CollTuning::default());
             let all = comm.allgather_vec(&[comm.rank() as u32]).unwrap();
             assert_eq!(all, (0..8).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn bruck_matches_ring_on_any_p() {
+        use crate::{AllgatherAlgo, CollTuning};
+        for p in [1, 2, 3, 5, 6, 7, 8, 11, 16] {
+            Universe::run(p, move |comm| {
+                let mine: Vec<u64> = (0..3).map(|i| comm.rank() as u64 * 100 + i).collect();
+                comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::Ring));
+                let ring = comm.allgather_vec(&mine).unwrap();
+                comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::Bruck));
+                let bruck = comm.allgather_vec(&mine).unwrap();
+                assert_eq!(ring, bruck, "p = {p}");
+            });
+        }
+    }
+
+    #[test]
+    fn bruck_in_place_and_auto_on_non_power_of_two() {
+        use crate::{AllgatherAlgo, CollTuning};
+        Universe::run(6, |comm| {
+            comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::Bruck));
+            let mut counts = vec![0usize; 6];
+            counts[comm.rank()] = comm.rank() + 100;
+            comm.allgather_in_place(&mut counts).unwrap();
+            assert_eq!(counts, (100..106).collect::<Vec<_>>());
+            // Auto picks Bruck below the threshold on this
+            // non-power-of-two communicator; identical result.
+            comm.set_tuning(CollTuning::default());
+            let all = comm.allgather_vec(&[comm.rank() as u32]).unwrap();
+            assert_eq!(all, (0..6).collect::<Vec<_>>());
         });
     }
 

@@ -67,6 +67,14 @@ use crate::{Plain, Rank, Tag};
 /// runs to completion. Returns `Some` exactly once.
 pub(crate) trait CollEngine {
     fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>>;
+
+    /// The registration hook of the completion subsystem
+    /// ([`crate::completion`]): appends the `(source rank, tag)` pairs
+    /// whose arrival could let `advance` make progress *right now*.
+    /// Reporting none means the engine is not blocked on any receive
+    /// (about to complete) and must not be parked on. Called only after
+    /// a non-blocking `advance`, so call-time sends have been posted.
+    fn sources(&self, comm: &Comm, out: &mut Vec<(Rank, Tag)>);
 }
 
 /// Receives one message from every peer rank (everything except
@@ -137,6 +145,15 @@ impl RecvFromEach {
             .map(|b| b.take().expect("all blocks received"))
             .collect()
     }
+
+    /// Every unfilled slot is a source whose arrival makes progress.
+    fn sources(&self, out: &mut Vec<(Rank, Tag)>) {
+        for (r, b) in self.blocks.iter().enumerate() {
+            if b.is_none() {
+                out.push((r, self.tag));
+            }
+        }
+    }
 }
 
 fn message_completion(source: Rank, tag: Tag, payload: Bytes) -> Completion {
@@ -162,14 +179,21 @@ struct BcastRecv {
 }
 
 impl BcastRecv {
+    /// This rank's parent in the binomial tree rooted at `self.root`.
+    fn parent(&self, comm: &Comm) -> Rank {
+        let p = comm.size();
+        let vrank = (comm.rank() + p - self.root) % p;
+        debug_assert!(vrank != 0, "the root never waits for a bcast parent");
+        let parent_v = vrank & (vrank - 1);
+        (parent_v + self.root) % p
+    }
+
     /// `Ok(Some(payload))` once the parent's message arrived (children
     /// already forwarded to).
     fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Bytes>> {
         let p = comm.size();
         let vrank = (comm.rank() + p - self.root) % p;
-        debug_assert!(vrank != 0, "the root never waits for a bcast parent");
-        let parent_v = vrank & (vrank - 1);
-        let parent = (parent_v + self.root) % p;
+        let parent = self.parent(comm);
         let Some(payload) = recv_one(comm, parent, self.tag, block)? else {
             return Ok(None);
         };
@@ -191,6 +215,10 @@ impl CollEngine for ReadyEngine {
             self.0.take().expect("ready engine polled after completion"),
         ))
     }
+
+    fn sources(&self, _comm: &Comm, _out: &mut Vec<(Rank, Tag)>) {
+        // Complete on creation: nothing to park on.
+    }
 }
 
 /// Non-root `ibcast` / phase 2 of non-root `iallreduce`.
@@ -205,6 +233,10 @@ impl CollEngine for BcastRecvEngine {
             Some(payload) => Ok(Some(message_completion(self.root, self.recv.tag, payload))),
             None => Ok(None),
         }
+    }
+
+    fn sources(&self, comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        out.push((self.recv.parent(comm), self.recv.tag));
     }
 }
 
@@ -224,6 +256,10 @@ impl CollEngine for BlocksEngine {
             Ok(None)
         }
     }
+
+    fn sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        self.recv.sources(out);
+    }
 }
 
 /// Non-root side of `iscatter(v)`: receive this rank's block from the
@@ -237,6 +273,10 @@ impl CollEngine for ScatterRecvEngine {
     fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
         let payload = recv_one(comm, self.root, self.tag, block)?;
         Ok(payload.map(|p| message_completion(self.root, self.tag, p)))
+    }
+
+    fn sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        out.push((self.root, self.tag));
     }
 }
 
@@ -257,6 +297,10 @@ impl CollEngine for ReduceRootEngine {
             Ok(None)
         }
     }
+
+    fn sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        self.recv.sources(out);
+    }
 }
 
 /// Rank 0 of `iallreduce`: gather + fold, then broadcast the result down
@@ -276,6 +320,10 @@ impl CollEngine for AllreduceRootEngine {
         } else {
             Ok(None)
         }
+    }
+
+    fn sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        self.recv.sources(out);
     }
 }
 
@@ -399,6 +447,19 @@ impl<T: Plain, O: ReduceOp<T>> CollEngine for TreeReduceEngine<T, O> {
             }
         }
     }
+
+    fn sources(&self, comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        if let Some(bcast) = &self.bcast {
+            out.push((bcast.parent(comm), bcast.tag));
+        } else if let Some(&child) = self.pending.last() {
+            // `advance` receives children strictly in `pending.last()`
+            // order, so that child is the one source whose arrival
+            // unblocks the fold.
+            out.push((child, self.tag));
+        }
+        // No pending child and no bcast phase: the next advance
+        // completes without receiving — nothing to park on.
+    }
 }
 
 /// Resumable Bruck all-to-all: each round's packed message is sent as
@@ -448,6 +509,12 @@ impl CollEngine for BruckEngine {
             .map(|j| self.blocks[bruck_algo::bruck_source_index(rank, j, p)].clone())
             .collect();
         Ok(Some(Completion::Blocks(by_source)))
+    }
+
+    fn sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        if self.round < self.rounds.len() {
+            out.push((self.rounds[self.round].src, self.tags[self.round]));
+        }
     }
 }
 
@@ -912,7 +979,9 @@ mod tests {
     use crate::request::TestOutcome;
     use crate::{non_commutative, Universe};
 
-    /// Polls a request to completion via `test`, counting the polls.
+    /// Polls a request to completion via `test` — used only by tests
+    /// that deliberately exercise the polling path; everything else
+    /// completes through the event-driven `wait()`.
     fn poll_to_completion(mut req: crate::Request<'_>) -> crate::request::Completion {
         loop {
             match req.test().unwrap() {
@@ -1185,7 +1254,7 @@ mod tests {
                 let expected = pairwise.wait().unwrap().into_blocks().unwrap();
                 comm.set_tuning(CollTuning::default().alltoall(AlltoallAlgo::Bruck));
                 let bruck = comm.ialltoall(&send).unwrap();
-                let got = poll_to_completion(bruck).into_blocks().unwrap();
+                let got = bruck.wait().unwrap().into_blocks().unwrap();
                 for (a, b) in expected.iter().zip(&got) {
                     assert_eq!(&a[..], &b[..], "p = {p}");
                 }
@@ -1210,7 +1279,7 @@ mod tests {
                     );
                 }
                 let req = comm.iallreduce(&mine, Sum).unwrap();
-                let (got, _) = poll_to_completion(req).into_vec::<u64>().unwrap();
+                let (got, _) = req.wait().unwrap().into_vec::<u64>().unwrap();
                 let total = (p * (p + 1) / 2) as u64;
                 assert_eq!(got, vec![total, 7 * p as u64], "p = {p}");
             });

@@ -179,6 +179,13 @@ impl Comm {
         self.world.counters[self.world_rank()].lock().inc(name);
     }
 
+    /// This rank's matching engine (the completion subsystem parks on
+    /// it).
+    #[inline]
+    pub(crate) fn mailbox(&self) -> &crate::mailbox::Mailbox {
+        &self.world.mailboxes[self.world_rank()]
+    }
+
     // ----- internal transport --------------------------------------------
 
     /// Validates a user-facing destination/source rank.

@@ -1,0 +1,876 @@
+//! The completion subsystem: one parking protocol for every blocking
+//! wait in the substrate.
+//!
+//! PR 4 gave single blocking receives a targeted wakeup: a waiter parks
+//! on a private condvar and the matching push wakes exactly that
+//! thread. Everything *else* that blocked — request sets
+//! ([`RequestSet::wait_any`](crate::RequestSet::wait_any) /
+//! [`wait_some`](crate::RequestSet::wait_some)), synchronous-mode
+//! sends, the binding layer's request pools, the ULFM agreement table —
+//! still polled: sweep all pending operations, `yield_now`, sweep
+//! again. This module generalizes the targeted wakeup into a protocol
+//! any of those waits can use: a `Waiter` registered against *N*
+//! pending sources at once, where the **first** completion claims the
+//! waiter, records which source fired, and wakes exactly that thread.
+//!
+//! # The protocol
+//!
+//! A parked wait runs this loop (all steps in this order — the order is
+//! the correctness argument):
+//!
+//! ```text
+//!   1. capture the interruption epoch
+//!   2. SWEEP: non-blocking test of every pending operation
+//!        ready?        -> done
+//!        interrupted?  -> error                  (checked inside test)
+//!   3. REGISTER: for each source the operations are blocked on,
+//!      atomically {check "already available?" ; else enqueue waiter}
+//!        available?    -> skip the park, go to 5
+//!   4. PARK on the waiter's private condvar until
+//!        claimed (fired = source index)          -> targeted wakeup
+//!        or epoch != captured                    -> interrupt, re-check
+//!   5. CANCEL: deregister the waiter everywhere, then re-test
+//!      (only the fired index on the fast path)
+//! ```
+//!
+//! Registration state machine of one waiter (all transitions under the
+//! waiter's own lock):
+//!
+//! ```text
+//!               register(slot 0..n-1)
+//!   [idle] ───────────────────────────> [parked{n sources}]
+//!                                          │            │
+//!                 first matching completion│            │epoch bump
+//!                 claims: fired = Some(k)  │            │(interrupt)
+//!                                          v            v
+//!                                      [claimed(k)]  [re-check]
+//!                                          │            │
+//!                       cancel all sources │            │ cancel all
+//!                                          v            v
+//!                                   re-test slot k   full sweep
+//! ```
+//!
+//! Three properties make this safe:
+//!
+//! - **No lost completion.** Mailbox registrations are
+//!   *notification-only*: a push that claims a parked waiter does **not**
+//!   hand it the envelope — the envelope continues into the unexpected
+//!   queue (or to a directly-delivered single waiter) exactly as if
+//!   nobody had been parked. Claiming only says "source `k` fired; go
+//!   look". Cancellation therefore can never drop a message: there is
+//!   nothing in the waiter to drop, and a completion racing
+//!   deregistration leaves the message matchable in the queue either
+//!   way. (This is the multi-waiter extension of PR 4's cancel-rechecks-
+//!   the-delivery-slot proof, with the delivery moved out of the race
+//!   entirely; the 500-iteration race test in [`crate::mailbox`] pins
+//!   it.)
+//! - **No lost wakeup.** The availability check in step 3 runs under the
+//!   same shard lock pushes take, so a message arriving before the
+//!   registration is seen by the check and one arriving after is seen by
+//!   the push's posted-queue scan. Interrupts (failure, revocation) bump
+//!   the epoch *before* waking, and the epoch was captured in step 1
+//!   *before* the sweep's interruption checks — every interleaving
+//!   either makes the condition visible to a check or makes the epochs
+//!   differ.
+//! - **Bounded spurious wakeups.** A parked waiter wakes for exactly two
+//!   reasons: a claim (never spurious — the fired source really
+//!   completed, and re-testing just that index finds it) or an epoch
+//!   bump. Epoch bumps happen once per interruption event (process
+//!   failure or communicator revocation), so the number of
+//!   non-productive wakeups over a run is bounded by the number of such
+//!   events — there is no periodic safety-net timer to wake anybody.
+//!   The count is surfaced as `spurious_wakeups` in
+//!   [`MailboxStats`](crate::MailboxStats).
+//!
+//! The previous sweep-and-yield implementations are preserved verbatim
+//! in [`reference`](mod@reference) as the differential-testing baseline and the
+//! `completion_experiment` benchmark's baseline, mirroring
+//! [`mailbox::reference`](crate::mailbox::reference).
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Comm;
+use crate::error::Result;
+use crate::message::{AckSlot, Envelope, Src, Status, TagSel};
+use crate::request::{Completion, Request, RequestSet, TestOutcome};
+use crate::{MpiError, Rank};
+
+/// A parked thread's delivery slot. Single blocking receives get the
+/// envelope or probe status delivered directly ([`crate::mailbox`]);
+/// multi-source waits get a *claim*: the index of the source that
+/// fired. All fields are written under [`Waiter::state`]'s lock.
+#[derive(Default)]
+pub(crate) struct WaiterSlot {
+    /// Direct delivery of a matched envelope (single posted receive).
+    pub(crate) env: Option<Envelope>,
+    /// Direct delivery of a probe status (single posted probe).
+    pub(crate) status: Option<Status>,
+    /// Which registered source fired (multi-source waits).
+    pub(crate) fired: Option<usize>,
+    /// Set by the first completion; later completions of other sources
+    /// see the claim and leave the waiter alone (one completion wakes
+    /// exactly one waiter, exactly once).
+    pub(crate) claimed: bool,
+    /// Sources that completed *while* the waiter was claimed (standing
+    /// registrations, see [`ParkSession`]): the owner drains these on
+    /// its next pass — no additional wakeups, no re-scan.
+    pub(crate) missed: Vec<usize>,
+}
+
+/// One parked thread: a private delivery slot and a private condvar, so
+/// a completion wakes exactly this thread and nobody else.
+#[derive(Default)]
+pub(crate) struct Waiter {
+    pub(crate) state: Mutex<WaiterSlot>,
+    pub(crate) cond: Condvar,
+}
+
+impl Waiter {
+    /// Claims the waiter for source `slot` and wakes it. Returns `false`
+    /// if another source already claimed it (the caller must then treat
+    /// the waiter as absent — its own completion stays queued).
+    pub(crate) fn claim(&self, slot: usize) -> bool {
+        let mut st = self.state.lock();
+        if st.claimed {
+            return false;
+        }
+        st.claimed = true;
+        st.fired = Some(slot);
+        self.cond.notify_one();
+        true
+    }
+}
+
+thread_local! {
+    /// Waiter cache: a rank thread parks on at most one wait at a time,
+    /// so its waiter allocation is reused across waits instead of
+    /// hitting the allocator on every blocking operation (a measurable
+    /// cost in shallow-queue round-trip patterns). Reuse is gated on
+    /// the refcount: a waiter still referenced by a registration (which
+    /// cannot happen on the normal paths, but costs one branch to rule
+    /// out) is left alone and a fresh one allocated.
+    static WAITER_CACHE: std::cell::RefCell<Option<Arc<Waiter>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A cleared waiter for this thread, reusing the cached allocation when
+/// nothing else still references it.
+pub(crate) fn fresh_waiter() -> Arc<Waiter> {
+    WAITER_CACHE.with(|cache| {
+        let mut slot = cache.borrow_mut();
+        if let Some(w) = slot.as_ref() {
+            if Arc::strong_count(w) == 1 {
+                *w.state.lock() = WaiterSlot::default();
+                return Arc::clone(w);
+            }
+        }
+        let w = Arc::new(Waiter::default());
+        *slot = Some(Arc::clone(&w));
+        w
+    })
+}
+
+/// One source a pending request can be blocked on (step 3's
+/// registration targets).
+pub(crate) enum ParkSource<'a> {
+    /// A message matching `(context, src, tag)` arriving at this rank's
+    /// mailbox.
+    Mailbox { context: u64, src: Src, tag: TagSel },
+    /// A synchronous-mode send's receiver-matched acknowledgement.
+    Ack(&'a Arc<AckSlot>),
+}
+
+/// Outcome of [`park_any`].
+pub enum ParkOutcome {
+    /// Source `i` (the request index) fired, or was already available at
+    /// registration time. Re-test that request.
+    Ready(usize),
+    /// The interruption epoch moved (failure / revocation), or a request
+    /// had nothing to park on. Re-sweep everything.
+    Interrupted,
+}
+
+/// The interruption epoch governing parked waits for this request's
+/// rank. Capture it **before** sweeping, pass it to [`park_any`]: an
+/// interrupt raised after the capture makes the epochs differ, one
+/// raised before it is visible to the sweep's checks.
+pub fn park_epoch(req: &Request<'_>) -> u64 {
+    req.comm().mailbox().epoch()
+}
+
+/// Parks the calling thread until one of `requests` *may* have made
+/// progress: registers a single `Waiter` against every source the
+/// requests are blocked on, sleeps until the first completion claims it
+/// (returning that request's index) or the epoch moves. Never consumes
+/// a message — callers re-test the indicated request. `seen_epoch` must
+/// have been captured via [`park_epoch`] before the caller's last
+/// non-blocking sweep.
+pub fn park_any(requests: &[&Request<'_>], seen_epoch: u64) -> ParkOutcome {
+    let Some(first) = requests.first() else {
+        return ParkOutcome::Interrupted;
+    };
+    let mb = first.comm().mailbox();
+    let waiter = fresh_waiter();
+    mb.watch(&waiter);
+    let mut contexts: Vec<u64> = Vec::new();
+    let mut acks: Vec<&Arc<AckSlot>> = Vec::new();
+    let mut immediate: Option<ParkOutcome> = None;
+    let mut sources: Vec<ParkSource<'_>> = Vec::new();
+    'reg: for (i, req) in requests.iter().enumerate() {
+        debug_assert!(
+            std::ptr::eq(req.comm().mailbox(), mb),
+            "a request set parks on one rank's mailbox"
+        );
+        sources.clear();
+        if req.park_spec(&mut sources) || sources.is_empty() {
+            // Intrinsically ready (or in a state with nothing to park
+            // on): do not sleep — the caller's sweep will collect it.
+            immediate = Some(ParkOutcome::Ready(i));
+            break 'reg;
+        }
+        for s in sources.drain(..) {
+            match s {
+                ParkSource::Mailbox { context, src, tag } => {
+                    if mb.register_notify(context, src, tag, &waiter, i) {
+                        immediate = Some(ParkOutcome::Ready(i));
+                        break 'reg;
+                    }
+                    if !contexts.contains(&context) {
+                        contexts.push(context);
+                    }
+                }
+                ParkSource::Ack(ack) => {
+                    if ack.register_notify(&waiter, i) {
+                        immediate = Some(ParkOutcome::Ready(i));
+                        break 'reg;
+                    }
+                    acks.push(ack);
+                }
+            }
+        }
+    }
+    let outcome = match immediate {
+        Some(o) => o,
+        None => {
+            let mut st = waiter.state.lock();
+            loop {
+                if let Some(slot) = st.fired {
+                    break ParkOutcome::Ready(slot);
+                }
+                if mb.epoch() != seen_epoch {
+                    mb.record_spurious();
+                    break ParkOutcome::Interrupted;
+                }
+                waiter.cond.wait(&mut st);
+            }
+        }
+    };
+    for context in contexts {
+        mb.deregister_notify(context, &waiter);
+    }
+    for ack in acks {
+        ack.deregister_notify(&waiter);
+    }
+    mb.unwatch(&waiter);
+    // A completion racing this deregistration is harmless: claims never
+    // carry a message, so whatever fired is still queued and the
+    // caller's re-test finds it.
+    outcome
+}
+
+/// Standing registrations for a request set of plain posted receives —
+/// ROADMAP's "one waiter registered per pending receive, first
+/// completion wakes", kept alive **across** `wait_any` calls.
+///
+/// A transient park re-registers every source on every call: O(set)
+/// work per completion even when the wakeup itself is targeted. For
+/// sets of plain receives the sources never change, so the session
+/// registers each pending receive once and then completes requests at
+/// O(1) amortized: a push claims the parked waiter with the fired
+/// request's id; completions landing while the claim is outstanding are
+/// recorded in the waiter's *missed* list by the pushes themselves (no
+/// wakeup, no rescan — see [`crate::mailbox`]); the owner drains the
+/// claim and the missed list into a pending-id queue and serves
+/// subsequent `wait_any` calls straight from it.
+///
+/// Safety valves: the session is torn down — falling back to the full
+/// sweep + transient park — whenever the set is mutated (`push`,
+/// `test_some`, `wait_some`), a drained request turns out not to be
+/// ready, or the interruption epoch moves (the epoch was captured
+/// before the sweep that built the session, so "unchanged epoch"
+/// proves no failure/revocation has happened since everything was last
+/// re-checked).
+pub(crate) struct ParkSession {
+    waiter: Arc<Waiter>,
+    /// Stable id of each request, parallel to `RequestSet::requests`
+    /// (ids are the indices at session build).
+    ids: Vec<usize>,
+    /// Ids whose completion has been signalled (fired, missed, or
+    /// already queued at registration) but not yet returned.
+    pending: std::collections::VecDeque<usize>,
+    /// Contexts holding standing registrations (for teardown).
+    contexts: Vec<u64>,
+    /// Epoch captured before the sweep preceding the session build.
+    seen_epoch: u64,
+}
+
+/// Tears down a set's standing registrations, if any (the entries are
+/// removed from the mailbox so no zombie claims linger).
+pub(crate) fn teardown_session(requests: &[Request<'_>], session: &mut Option<ParkSession>) {
+    if let Some(sess) = session.take() {
+        if let Some(req) = requests.first() {
+            let mb = req.comm().mailbox();
+            for ctx in &sess.contexts {
+                mb.deregister_notify(*ctx, &sess.waiter);
+            }
+        }
+    }
+}
+
+/// Builds a session if every request is a plain receive; returns false
+/// (leaving the set untouched) otherwise. Must run right after a sweep
+/// that found nothing ready, with the epoch captured before that sweep.
+fn build_session(set: &mut RequestSet<'_>, seen_epoch: u64) -> bool {
+    if set.requests.is_empty() || !set.requests.iter().all(|r| r.recv_selectors().is_some()) {
+        return false;
+    }
+    let mb = set.requests[0].comm().mailbox();
+    let waiter = fresh_waiter();
+    let mut sess = ParkSession {
+        waiter: Arc::clone(&waiter),
+        ids: (0..set.requests.len()).collect(),
+        pending: std::collections::VecDeque::new(),
+        contexts: Vec::new(),
+        seen_epoch,
+    };
+    for (i, req) in set.requests.iter().enumerate() {
+        let (context, src, tag) = req.recv_selectors().expect("checked above");
+        debug_assert!(std::ptr::eq(req.comm().mailbox(), mb));
+        if mb.register_notify(context, src, tag, &waiter, i) {
+            // Already queued: no registration made; complete it from
+            // the pending queue.
+            sess.pending.push_back(i);
+        } else if !sess.contexts.contains(&context) {
+            sess.contexts.push(context);
+        }
+    }
+    set.session = Some(sess);
+    true
+}
+
+enum SessionStep {
+    Hit((usize, Completion)),
+    /// Session alive; loop again (drain newly signalled completions).
+    Continue,
+    /// Session torn down; take the slow path this iteration.
+    TornDown,
+}
+
+/// One step of the session fast path: serve a signalled completion,
+/// else drain the claim/missed state, else park.
+fn session_step(set: &mut RequestSet<'_>) -> Result<SessionStep> {
+    // Serve the oldest signalled completion, if any.
+    loop {
+        let RequestSet { requests, session } = &mut *set;
+        let sess = session.as_mut().expect("session exists");
+        let Some(id) = sess.pending.pop_front() else {
+            break;
+        };
+        let Some(pos) = sess.ids.iter().position(|&x| x == id) else {
+            continue;
+        };
+        sess.ids.remove(pos);
+        let req = requests.remove(pos);
+        match req.test() {
+            Ok(TestOutcome::Ready(c)) => return Ok(SessionStep::Hit((pos, c))),
+            Ok(TestOutcome::Pending(r)) => {
+                // A signalled receive should always complete; fall back
+                // to the fully re-checked slow path if it somehow
+                // cannot.
+                requests.insert(pos, r);
+                sess.ids.insert(pos, id);
+                teardown_session(requests, session);
+                return Ok(SessionStep::TornDown);
+            }
+            Err(e) => {
+                // Like `test_at`: the erroring request is consumed, the
+                // rest stay completable.
+                teardown_session(requests, session);
+                return Err(e);
+            }
+        }
+    }
+    // Consume the claim state; park if nothing has been signalled.
+    let RequestSet { requests, session } = &mut *set;
+    let sess = session.as_mut().expect("session exists");
+    let mb = requests
+        .first()
+        .expect("session implies pending requests")
+        .comm()
+        .mailbox();
+    let mut st = sess.waiter.state.lock();
+    if st.claimed {
+        st.claimed = false;
+        if let Some(f) = st.fired.take() {
+            sess.pending.push_back(f);
+        }
+        sess.pending.extend(st.missed.drain(..));
+        return Ok(SessionStep::Continue);
+    }
+    mb.watch(&sess.waiter);
+    let interrupted = loop {
+        if st.claimed {
+            break false;
+        }
+        if mb.epoch() != sess.seen_epoch {
+            mb.record_spurious();
+            break true;
+        }
+        sess.waiter.cond.wait(&mut st);
+    };
+    drop(st);
+    mb.unwatch(&sess.waiter);
+    if interrupted {
+        teardown_session(requests, session);
+        return Ok(SessionStep::TornDown);
+    }
+    Ok(SessionStep::Continue)
+}
+
+/// Event-driven [`RequestSet::wait_any`]: standing registrations
+/// ([`ParkSession`]) for sets of plain receives — O(1) amortized per
+/// completion; otherwise sweep once, park transiently on every pending
+/// source, and on a targeted wakeup re-test only the fired index.
+pub(crate) fn wait_any<'a>(set: &mut RequestSet<'a>) -> Result<Option<(usize, Completion)>> {
+    if set.is_empty() {
+        teardown_session(&set.requests, &mut set.session);
+        return Ok(None);
+    }
+    loop {
+        if set.session.is_some() {
+            match session_step(set)? {
+                SessionStep::Hit(hit) => return Ok(Some(hit)),
+                SessionStep::Continue => continue,
+                SessionStep::TornDown => {}
+            }
+        }
+        let epoch = park_epoch(set.first().expect("set non-empty"));
+        if let Some(hit) = set.sweep_any()? {
+            return Ok(Some(hit));
+        }
+        if build_session(set, epoch) {
+            continue;
+        }
+        let refs: Vec<&Request<'a>> = set.iter().collect();
+        if let ParkOutcome::Ready(i) = park_any(&refs, epoch) {
+            // Fast path: exactly one source fired; test only that
+            // request. A pending outcome (the engine advanced but did
+            // not finish) falls through to the next full sweep.
+            if let Some(hit) = set.test_at(i)? {
+                return Ok(Some(hit));
+            }
+        }
+    }
+}
+
+/// Event-driven [`RequestSet::wait_some`]: like [`wait_any`] but
+/// collects everything completed once the park ends.
+pub(crate) fn wait_some<'a>(set: &mut RequestSet<'a>) -> Result<Vec<(usize, Completion)>> {
+    if set.is_empty() {
+        return Ok(Vec::new());
+    }
+    loop {
+        let epoch = park_epoch(set.first().expect("set non-empty"));
+        let done = set.test_some()?;
+        if !done.is_empty() {
+            return Ok(done);
+        }
+        let refs: Vec<&Request<'a>> = set.iter().collect();
+        let _ = park_any(&refs, epoch);
+    }
+}
+
+/// Event-driven wait for a synchronous-mode send: parks on the
+/// acknowledgement slot (claimed by the receiver's match) under the
+/// epoch protocol, instead of the seed's yield-and-recheck spin.
+pub(crate) fn wait_sync_send(comm: &Comm, ack: &Arc<AckSlot>, dest: Rank) -> Result<Completion> {
+    let dest_world = comm.translate_to_world(dest)?;
+    let mb = comm.mailbox();
+    loop {
+        let seen_epoch = mb.epoch();
+        if ack.is_complete() {
+            return Ok(Completion::Done);
+        }
+        if comm.world.is_revoked(comm.context) {
+            return Err(MpiError::Revoked);
+        }
+        if comm.world.is_failed(dest_world) {
+            return Err(MpiError::ProcessFailed {
+                world_rank: dest_world,
+            });
+        }
+        let waiter = fresh_waiter();
+        mb.watch(&waiter);
+        if !ack.register_notify(&waiter, 0) {
+            let mut st = waiter.state.lock();
+            loop {
+                if st.fired.is_some() {
+                    break;
+                }
+                if mb.epoch() != seen_epoch {
+                    mb.record_spurious();
+                    break;
+                }
+                waiter.cond.wait(&mut st);
+            }
+        }
+        ack.deregister_notify(&waiter);
+        mb.unwatch(&waiter);
+    }
+}
+
+pub mod reference {
+    //! The seed completion strategy: sweep every pending operation with
+    //! a non-blocking test, `yield_now`, sweep again.
+    //!
+    //! Kept (verbatim in structure, minus being the only option) for two
+    //! jobs: it is the *baseline* the `completion_experiment` benchmark
+    //! measures the parked path's wakeup latency and CPU burn against,
+    //! and the differential-testing partner the request-set tests drive
+    //! both paths of — each sweep is trivially correct (it re-derives
+    //! readiness from scratch every iteration), so any divergence
+    //! convicts the parking protocol.
+
+    use super::{Completion, Request, RequestSet, Result};
+    use crate::request::TestOutcome;
+
+    /// Sweep-based `MPI_Wait`: test-and-yield until ready. This is the
+    /// idiom the substrate's tests used before the parking protocol
+    /// (`poll_to_completion`), preserved as the baseline for waits on a
+    /// single request.
+    pub fn wait(mut req: Request<'_>) -> Result<Completion> {
+        loop {
+            match req.test()? {
+                TestOutcome::Ready(c) => return Ok(c),
+                TestOutcome::Pending(r) => {
+                    req = r;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Sweep-based `MPI_Waitany`: the seed `RequestSet::wait_any` — one
+    /// O(set) test sweep per iteration with a `yield_now` between
+    /// sweeps.
+    pub fn wait_any<'a>(set: &mut RequestSet<'a>) -> Result<Option<(usize, Completion)>> {
+        if set.is_empty() {
+            return Ok(None);
+        }
+        loop {
+            if let Some(hit) = set.sweep_any()? {
+                return Ok(Some(hit));
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Sweep-based `MPI_Waitsome`: the seed `RequestSet::wait_some`.
+    pub fn wait_some<'a>(set: &mut RequestSet<'a>) -> Result<Vec<(usize, Completion)>> {
+        if set.is_empty() {
+            return Ok(Vec::new());
+        }
+        loop {
+            let done = set.test_some()?;
+            if !done.is_empty() {
+                return Ok(done);
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::{reference::ScanMailbox, Mailbox};
+    use crate::Universe;
+    use bytes::Bytes;
+    use proptest::prelude::*;
+
+    fn env(src: usize, context: u64, tag: i32, id: u64) -> Envelope {
+        Envelope {
+            src,
+            src_world: src,
+            context,
+            tag,
+            payload: Bytes::from(id.to_le_bytes().to_vec()),
+            arrival_ns: 0,
+            ack: None,
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Push {
+            src: usize,
+            tag: i32,
+        },
+        Match {
+            src: Src,
+            tag: TagSel,
+        },
+        /// Multi-register a fresh waiter for 1..=3 random selectors.
+        Register(Vec<(Src, TagSel)>),
+        /// Deregister the k-th oldest live waiter.
+        Cancel(usize),
+        /// Revocation/failure wakeup path: epoch bump + broadcast.
+        Interrupt,
+    }
+
+    fn sel() -> impl Strategy<Value = (Src, TagSel)> {
+        (
+            prop_oneof![Just(Src::Any), (0usize..3).prop_map(Src::Rank)],
+            prop_oneof![Just(TagSel::Any), (-1i32..3).prop_map(TagSel::Is)],
+        )
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Three push arms keep the mix push-heavy so queues build depth
+        // (the vendored proptest has no weighted prop_oneof).
+        prop_oneof![
+            (0usize..3, -1i32..3).prop_map(|(src, tag)| Op::Push { src, tag }),
+            (0usize..3, -1i32..3).prop_map(|(src, tag)| Op::Push { src, tag }),
+            (0usize..3, 0i32..3).prop_map(|(src, tag)| Op::Push { src, tag }),
+            sel().prop_map(|(src, tag)| Op::Match { src, tag }),
+            sel().prop_map(|(src, tag)| Op::Match { src, tag }),
+            prop::collection::vec(sel(), 1..4).prop_map(Op::Register),
+            prop::collection::vec(sel(), 1..4).prop_map(Op::Register),
+            (0usize..4).prop_map(Op::Cancel),
+            Just(Op::Interrupt),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+        /// Multi-waiter registrations must be *transparent* to matching:
+        /// an engine carrying arbitrary interleavings of registrations,
+        /// cancellations, and interrupts must stay step-for-step
+        /// equivalent to the registration-free linear-scan oracle — no
+        /// divergence, no lost message (queue depths equal after every
+        /// op, full drain identical), and every claim names a
+        /// registered slot.
+        #[test]
+        fn multi_registrations_are_transparent_to_matching(
+            ops in prop::collection::vec(op_strategy(), 0..100)
+        ) {
+            let engine = Mailbox::new();
+            let oracle = ScanMailbox::new();
+            let mut next_id = 0u64;
+            let mut waiters: Vec<(Arc<Waiter>, usize)> = Vec::new();
+            for op in &ops {
+                match op {
+                    Op::Push { src, tag } => {
+                        engine.push(env(*src, 1, *tag, next_id));
+                        oracle.push(env(*src, 1, *tag, next_id));
+                        next_id += 1;
+                    }
+                    Op::Match { src, tag } => {
+                        let a = engine.try_match(1, *src, *tag);
+                        let b = oracle.try_match(1, *src, *tag);
+                        match (&a, &b) {
+                            (None, None) => {}
+                            (Some(x), Some(y)) => {
+                                prop_assert_eq!(&x.payload[..], &y.payload[..]);
+                            }
+                            _ => prop_assert!(false,
+                                "divergence on {:?}: engine {:?} vs oracle {:?}",
+                                op, a.is_some(), b.is_some()),
+                        }
+                    }
+                    Op::Register(sels) => {
+                        let w = Arc::new(Waiter::default());
+                        for (slot, (src, tag)) in sels.iter().enumerate() {
+                            // An immediate hit is allowed (no
+                            // registration made for that source); the
+                            // others still register.
+                            let _ = engine.register_notify(1, *src, *tag, &w, slot);
+                        }
+                        waiters.push((w, sels.len()));
+                    }
+                    Op::Cancel(k) => {
+                        if !waiters.is_empty() {
+                            let (w, _) = waiters.remove(k % waiters.len());
+                            engine.deregister_notify(1, &w);
+                        }
+                    }
+                    Op::Interrupt => {
+                        engine.interrupt();
+                        oracle.interrupt();
+                    }
+                }
+                // The law: registrations never consume or reorder.
+                prop_assert_eq!(engine.len(), oracle.len(), "queue depths diverged on {:?}", op);
+            }
+            // Claims only ever name a slot that was registered.
+            for (w, n_slots) in &waiters {
+                let st = w.state.lock();
+                if let Some(fired) = st.fired {
+                    prop_assert!(st.claimed);
+                    prop_assert!(fired < *n_slots, "claimed slot out of range");
+                }
+            }
+            // Full drain: identical residue, message by message.
+            loop {
+                let a = engine.try_match(1, Src::Any, TagSel::Any);
+                let b = oracle.try_match(1, Src::Any, TagSel::Any);
+                match (a, b) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => prop_assert_eq!(&x.payload[..], &y.payload[..]),
+                    (a, b) => prop_assert!(false,
+                        "drain divergence: engine {:?} vs oracle {:?}", a.is_some(), b.is_some()),
+                }
+            }
+            for tag in -1i32..0 {
+                for src in 0usize..3 {
+                    loop {
+                        let a = engine.try_match(1, Src::Rank(src), TagSel::Is(tag));
+                        let b = oracle.try_match(1, Src::Rank(src), TagSel::Is(tag));
+                        match (a, b) {
+                            (None, None) => break,
+                            (Some(x), Some(y)) => prop_assert_eq!(&x.payload[..], &y.payload[..]),
+                            (a, b) => prop_assert!(false,
+                                "internal-tag drain divergence: engine {:?} vs oracle {:?}",
+                                a.is_some(), b.is_some()),
+                        }
+                    }
+                }
+            }
+            prop_assert!(engine.is_empty());
+            prop_assert!(oracle.is_empty());
+        }
+
+        /// Differential test of the whole parked path: random request
+        /// sets (receives from peers with randomized send staggering)
+        /// drained by the event-driven `wait_any` and by the preserved
+        /// sweep baseline must deliver the same multiset of payloads —
+        /// and the event-driven run must terminate (no hung waiter)
+        /// without any poll loop to paper over a lost wakeup.
+        #[test]
+        fn event_driven_wait_any_matches_reference_sweep(
+            p in 2usize..6,
+            tags_per_peer in 1usize..4,
+            stagger in prop::collection::vec(0u64..3, 16..17),
+        ) {
+            let stagger = &stagger;
+            let out = Universe::run(p, move |comm| {
+                if comm.rank() == 0 {
+                    let mut collected = [Vec::new(), Vec::new()];
+                    for (round, bucket) in collected.iter_mut().enumerate() {
+                        let mut set = RequestSet::new();
+                        for peer in 1..p {
+                            for t in 0..tags_per_peer {
+                                set.push(comm.irecv(peer, (round * 8 + t) as i32));
+                            }
+                        }
+                        while !set.is_empty() {
+                            let hit = if round == 0 {
+                                set.wait_any()
+                            } else {
+                                crate::completion::reference::wait_any(&mut set)
+                            };
+                            let (_, c) = hit.unwrap().expect("set non-empty");
+                            let (v, st) = c.into_vec::<u8>().unwrap();
+                            bucket.push((st.source, st.tag, v));
+                        }
+                        bucket.sort();
+                    }
+                    let [event, sweep] = collected;
+                    assert_eq!(event.len(), sweep.len());
+                    // Same peers and values; tags differ by the round
+                    // offset built into the sends.
+                    for (a, b) in event.iter().zip(&sweep) {
+                        assert_eq!(a.0, b.0);
+                        assert_eq!(a.1 + 8, b.1);
+                        assert_eq!(a.2, b.2);
+                    }
+                    true
+                } else {
+                    for round in 0..2usize {
+                        for t in 0..tags_per_peer {
+                            let idx = (comm.rank() * 5 + t) % stagger.len();
+                            for _ in 0..stagger[idx] {
+                                std::thread::yield_now();
+                            }
+                            comm.send(
+                                &[comm.rank() as u8, t as u8],
+                                0,
+                                (round * 8 + t) as i32,
+                            )
+                            .unwrap();
+                        }
+                    }
+                    true
+                }
+            });
+            prop_assert!(out.into_iter().all(|ok| ok));
+        }
+    }
+
+    /// A mixed set — sync-send (ack source) + receive (mailbox source)
+    /// — parks once and completes both; the sync-send's ack claim
+    /// arrives through the non-mailbox registration path.
+    #[test]
+    fn mixed_set_with_sync_send_parks_and_completes() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut set = RequestSet::new();
+                set.push(comm.issend(&[9u8], 1, 4).unwrap());
+                set.push(comm.irecv(2, 5));
+                let mut seen = 0;
+                while !set.is_empty() {
+                    set.wait_any().unwrap().expect("non-empty");
+                    seen += 1;
+                }
+                assert_eq!(seen, 2);
+            } else if comm.rank() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(8));
+                let (v, _) = comm.recv_vec::<u8>(0, 4).unwrap();
+                assert_eq!(v, vec![9]);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(16));
+                comm.send(&[2u8], 0, 5).unwrap();
+            }
+        });
+    }
+
+    /// `wait` on a lone synchronous-mode send parks on the ack (no
+    /// yield spin) and still completes; the run's diagnostics show the
+    /// park actually happened. The park-before-send ordering is
+    /// timing-dependent, so the scenario retries a few times — it must
+    /// park on at least one attempt (in practice the first).
+    #[test]
+    fn sync_send_wait_parks_on_ack() {
+        for attempt in 0..5 {
+            let (outcomes, stats) = Universe::run_stats(crate::Config::new(2), |comm| {
+                if comm.rank() == 0 {
+                    let req = comm.issend(&[1u8, 2, 3], 1, 0).unwrap();
+                    req.wait().unwrap();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    let (v, _) = comm.recv_vec::<u8>(0, 0).unwrap();
+                    assert_eq!(v, vec![1, 2, 3]);
+                }
+            });
+            assert!(outcomes.into_iter().all(|o| o.completed().is_some()));
+            if stats[0].mailbox.max_parked >= 1 {
+                return;
+            }
+            eprintln!("attempt {attempt}: the receive outran the park; retrying");
+        }
+        panic!("the sender never parked across 5 attempts — wait() is spinning");
+    }
+}

@@ -43,6 +43,7 @@
 pub mod clock;
 pub mod collectives;
 pub mod comm;
+pub mod completion;
 pub mod counter;
 pub mod error;
 pub mod mailbox;
@@ -63,6 +64,7 @@ pub use collectives::{
     Select,
 };
 pub use comm::{Comm, TuningGuard};
+pub use completion::{park_any, park_epoch, ParkOutcome};
 pub use counter::CallCounts;
 pub use error::{MpiError, Result};
 pub use mailbox::MailboxStats;

@@ -76,6 +76,36 @@
 //! already-matched message is delivered, never dropped (MPI completes
 //! operations that already matched).
 //!
+//! # Multi-waiter registrations (the completion subsystem's hook)
+//!
+//! [`crate::completion`] parks one thread against *many* pending
+//! sources at once (`wait_any` over a request set, a pool, a mixed
+//! batch of sends and collective engines). Its mailbox hook is the
+//! third posted-queue entry kind, the **notification-only**
+//! registration (`Mailbox::register_notify`): when a push matches
+//! one, the envelope is **not** delivered into the waiter — the waiter
+//! is *claimed* (first completion wins; the claim records which
+//! registration fired) and woken, and the envelope continues down the
+//! normal path into the unexpected queue, where the woken thread's
+//! re-test pops it. Because a claim carries no message, cancelling the
+//! waiter's other registrations can never lose anything: a push racing
+//! a deregistration either finds the entry (claims an already-claimed
+//! waiter — a no-op — and drops the dead entry) or does not (the entry
+//! was removed first); the envelope is queued and matchable either way.
+//! This extends PR 4's cancel-rechecks-the-delivery-slot proof by
+//! moving the delivery out of the race entirely; the 500-iteration
+//! `completion_racing_deregistration_never_loses` test pins it, and the
+//! matching proptests replay randomized push/register/cancel/interrupt
+//! interleavings against the oracle to check that registrations are
+//! *transparent* to matching order.
+//!
+//! Interrupts reach parked multi-waiters through the same epoch
+//! protocol as posted receives: [`Mailbox::interrupt`] bumps the epoch,
+//! then wakes every posted entry *and* every watcher registered via
+//! `Mailbox::watch` (a multi-waiter with only non-mailbox sources —
+//! e.g. a synchronous-send acknowledgement — still needs failure and
+//! revocation wakeups).
+//!
 //! The seed implementation — one coarse `Mutex<VecDeque>` with O(n)
 //! scans and broadcast wakeups — is preserved verbatim in
 //! [`reference`](mod@reference) as the differential-testing oracle and the benchmark
@@ -86,8 +116,9 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 
+use crate::completion::{fresh_waiter, Waiter, WaiterSlot};
 use crate::error::{MpiError, Result};
 use crate::message::{Envelope, Src, Status, TagSel};
 use crate::{Rank, Tag};
@@ -144,52 +175,11 @@ enum PostKind {
     /// A blocking probe: observes the matching envelope's status; the
     /// envelope stays available.
     Peek,
-}
-
-/// A waiter's delivery slot. Fulfilled by [`Mailbox::push`] under the
-/// waiter's own lock; the waiting thread sleeps on the private condvar.
-#[derive(Default)]
-struct WaiterState {
-    env: Option<Envelope>,
-    status: Option<Status>,
-}
-
-#[derive(Default)]
-struct Waiter {
-    state: Mutex<WaiterState>,
-    cond: Condvar,
-}
-
-thread_local! {
-    /// Waiter cache: a rank thread blocks on at most one receive at a
-    /// time, so its waiter allocation is reused across waits instead of
-    /// hitting the allocator on every blocking receive (a measurable
-    /// cost in shallow-queue round-trip patterns). Reuse is gated on
-    /// the refcount: a waiter still referenced by a posted entry (which
-    /// cannot happen on the normal paths, but costs one branch to rule
-    /// out) is left alone and a fresh one allocated.
-    static WAITER_CACHE: std::cell::RefCell<Option<Arc<Waiter>>> =
-        const { std::cell::RefCell::new(None) };
-}
-
-/// A cleared waiter for this thread, reusing the cached allocation when
-/// nothing else still references it.
-fn fresh_waiter() -> Arc<Waiter> {
-    WAITER_CACHE.with(|cache| {
-        let mut slot = cache.borrow_mut();
-        if let Some(w) = slot.as_ref() {
-            if Arc::strong_count(w) == 1 {
-                let mut st = w.state.lock();
-                st.env = None;
-                st.status = None;
-                drop(st);
-                return Arc::clone(w);
-            }
-        }
-        let w = Arc::new(Waiter::default());
-        *slot = Some(Arc::clone(&w));
-        w
-    })
+    /// A multi-source registration ([`crate::completion`]): a matching
+    /// push *claims* the waiter with this source index and wakes it, but
+    /// the envelope is NOT consumed — it continues into the unexpected
+    /// queue for the woken thread's re-test to pop.
+    Notify(usize),
 }
 
 /// One entry of the posted-receive queue.
@@ -305,6 +295,17 @@ pub struct MailboxStats {
     /// Number of envelopes delivered straight into a posted waiter's
     /// slot (each such delivery wakes exactly that one waiter).
     pub targeted_wakeups: u64,
+    /// Number of pushes that claimed a parked multi-source waiter
+    /// ([`crate::completion`]): each claim wakes exactly that one
+    /// waiter, exactly once — the waiter's remaining registrations go
+    /// silent.
+    pub multi_wakeups: u64,
+    /// Wakeups of parked waiters that delivered no completion claim
+    /// (interruption-epoch re-checks). Bounded by the number of
+    /// interruption events — there is no timer to wake anybody.
+    pub spurious_wakeups: u64,
+    /// High-water mark of concurrently parked completion waiters.
+    pub max_parked: usize,
 }
 
 /// A rank's matching engine: per-context shards of the two-queue
@@ -322,6 +323,17 @@ pub struct Mailbox {
     max_depth: AtomicUsize,
     /// Direct posted-waiter deliveries (receives and probes).
     wakeups: AtomicU64,
+    /// Claims of parked multi-source waiters (see [`crate::completion`]).
+    multi_wakeups: AtomicU64,
+    /// Parked wakeups that carried no claim (epoch re-checks).
+    spurious: AtomicU64,
+    /// Parked completion waiters right now, and the high-water mark.
+    parked_now: AtomicUsize,
+    max_parked: AtomicUsize,
+    /// Parked completion waiters to wake on [`Mailbox::interrupt`]
+    /// (multi-waiters are not per-shard: one park may span contexts and
+    /// non-mailbox sources).
+    watchers: Mutex<Vec<Arc<Waiter>>>,
     /// Interruption epoch; bumped by [`Mailbox::interrupt`].
     epoch: AtomicU64,
 }
@@ -394,6 +406,28 @@ impl Mailbox {
                     self.wakeups.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
+                PostKind::Notify(slot) => {
+                    // Notification-only: claim the waiter (first
+                    // completion wins) and keep the envelope live — it
+                    // falls through to the unexpected queue (or a later
+                    // posted receive) for the woken thread's re-test.
+                    // A completion landing while the waiter is already
+                    // claimed is recorded as *missed* instead of waking
+                    // anybody: the claim's owner drains the missed list
+                    // on its next pass, so standing registrations
+                    // ([`crate::completion::ParkSession`]) never need a
+                    // rescan and never double-wake. Entry `i` was
+                    // removed; keep scanning at the same index.
+                    if !w.claimed {
+                        w.claimed = true;
+                        w.fired = Some(slot);
+                        p.waiter.cond.notify_one();
+                        drop(w);
+                        self.multi_wakeups.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        w.missed.push(slot);
+                    }
+                }
             }
         }
         st.enqueue(seq, env);
@@ -418,6 +452,80 @@ impl Mailbox {
                 p.waiter.cond.notify_one();
             }
         }
+        // Parked completion waiters may have no posted entry at all
+        // (e.g. waiting only on a synchronous-send acknowledgement);
+        // the watcher list reaches every one of them.
+        for w in self.watchers.lock().iter() {
+            let _g = w.state.lock();
+            w.cond.notify_one();
+        }
+    }
+
+    // ----- completion-subsystem hooks (see `crate::completion`) ----------
+
+    /// Current interruption epoch (captured by parked waits before
+    /// their availability checks).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Registers `waiter` for a claim-and-wake when a message matching
+    /// `(context, src, tag)` arrives. Returns `true` — without
+    /// registering — if a matching message is *already* queued: the
+    /// check and the registration happen under the shard lock pushes
+    /// take, so no arrival can fall between them.
+    pub(crate) fn register_notify(
+        &self,
+        context: u64,
+        src: Src,
+        tag: TagSel,
+        waiter: &Arc<Waiter>,
+        slot: usize,
+    ) -> bool {
+        let shard = self.shard(context);
+        let mut st = shard.state.lock();
+        if st.peek_match(src, tag).is_some() {
+            return true;
+        }
+        st.posted.push_back(Posted {
+            src,
+            tag,
+            kind: PostKind::Notify(slot),
+            waiter: Arc::clone(waiter),
+        });
+        false
+    }
+
+    /// Removes every notify registration of `waiter` in `context`. A
+    /// push racing this either claimed the waiter before the entry
+    /// vanished (the message is queued and matchable) or finds no entry
+    /// (same); nothing is ever lost.
+    pub(crate) fn deregister_notify(&self, context: u64, waiter: &Arc<Waiter>) {
+        let Some(shard) = self.existing_shard(context) else {
+            return;
+        };
+        let mut st = shard.state.lock();
+        st.posted
+            .retain(|p| !(matches!(p.kind, PostKind::Notify(_)) && Arc::ptr_eq(&p.waiter, waiter)));
+    }
+
+    /// Adds a parked completion waiter to the interrupt watcher list
+    /// and maintains the parked-waiter gauges.
+    pub(crate) fn watch(&self, waiter: &Arc<Waiter>) {
+        self.watchers.lock().push(Arc::clone(waiter));
+        let now = self.parked_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_parked.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Removes a waiter from the interrupt watcher list.
+    pub(crate) fn unwatch(&self, waiter: &Arc<Waiter>) {
+        self.watchers.lock().retain(|w| !Arc::ptr_eq(w, waiter));
+        self.parked_now.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts a parked wakeup that carried no completion claim.
+    pub(crate) fn record_spurious(&self) {
+        self.spurious.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Removes and returns the first matching envelope, if any.
@@ -554,7 +662,7 @@ impl Mailbox {
     /// Deregisters a waiter. Returns `None` if the entry was still
     /// posted (nothing was delivered; removing it cannot lose a
     /// message), or the fulfilled slot if a push got there first.
-    fn cancel(&self, shard: &Shard, waiter: &Arc<Waiter>) -> Option<WaiterState> {
+    fn cancel(&self, shard: &Shard, waiter: &Arc<Waiter>) -> Option<WaiterSlot> {
         let mut st = shard.state.lock();
         if let Some(pos) = st
             .posted
@@ -591,12 +699,30 @@ impl Mailbox {
         self.wakeups.load(Ordering::Relaxed)
     }
 
+    /// Number of pushes that claimed a parked multi-source waiter.
+    pub fn multi_wakeups(&self) -> u64 {
+        self.multi_wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Number of parked wakeups that carried no completion claim.
+    pub fn spurious_wakeups(&self) -> u64 {
+        self.spurious.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently parked completion waiters.
+    pub fn max_parked(&self) -> usize {
+        self.max_parked.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of the engine's diagnostics.
     pub fn stats(&self) -> MailboxStats {
         MailboxStats {
             queued: self.len(),
             max_unexpected_depth: self.max_unexpected_depth(),
             targeted_wakeups: self.targeted_wakeups(),
+            multi_wakeups: self.multi_wakeups(),
+            spurious_wakeups: self.spurious_wakeups(),
+            max_parked: self.max_parked(),
         }
     }
 }
@@ -1007,6 +1133,152 @@ mod tests {
     }
 
     #[test]
+    fn single_push_wakes_exactly_one_multi_waiter() {
+        // The multi-waiter pin: N threads each park with TWO notify
+        // registrations (a multi-source wait). One matching push claims
+        // exactly one waiter, via exactly one of its registrations, and
+        // consumes nothing.
+        use crate::completion::fresh_waiter;
+        const N: i32 = 6;
+        let mb = std::sync::Arc::new(Mailbox::new());
+        let woken = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..N)
+            .map(|t| {
+                let mb = mb.clone();
+                let woken = woken.clone();
+                std::thread::spawn(move || {
+                    let w = fresh_waiter();
+                    mb.watch(&w);
+                    assert!(!mb.register_notify(1, Src::Rank(0), TagSel::Is(t), &w, 0));
+                    assert!(!mb.register_notify(1, Src::Rank(1), TagSel::Is(t), &w, 1));
+                    let fired = {
+                        let mut st = w.state.lock();
+                        loop {
+                            if let Some(slot) = st.fired {
+                                break slot;
+                            }
+                            w.cond.wait(&mut st);
+                        }
+                    };
+                    mb.deregister_notify(1, &w);
+                    mb.unwatch(&w);
+                    woken.fetch_add(1, Ordering::SeqCst);
+                    (t, fired)
+                })
+            })
+            .collect();
+        // Wait until all 2N registrations are posted.
+        while mb
+            .shards
+            .read()
+            .get(&1)
+            .is_none_or(|s| s.state.lock().posted.len() < 2 * N as usize)
+        {
+            std::thread::yield_now();
+        }
+        assert_eq!(mb.max_parked(), N as usize);
+        mb.push(env(1, 1, 3, 9));
+        while woken.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // Exactly one waiter woke (tag 3, via its source-1 slot); the
+        // envelope was NOT consumed — notify registrations only point.
+        assert_eq!(woken.load(Ordering::SeqCst), 1);
+        assert_eq!(mb.multi_wakeups(), 1);
+        assert_eq!(mb.len(), 1, "notify never consumes the envelope");
+        for t in 0..N {
+            if t != 3 {
+                mb.push(env(0, 1, t, 1));
+            }
+        }
+        let mut fired: Vec<(i32, usize)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        fired.sort_unstable();
+        for (t, slot) in fired {
+            // Tag 3 was pushed from rank 1 (slot 1); the rest from
+            // rank 0 (slot 0): the claim names the source that fired.
+            assert_eq!(slot, usize::from(t == 3), "tag {t}");
+        }
+        assert_eq!(mb.multi_wakeups(), N as u64);
+        assert_eq!(mb.spurious_wakeups(), 0);
+        assert_eq!(mb.len(), N as usize, "all envelopes still queued");
+    }
+
+    #[test]
+    fn dropped_request_set_session_leaves_no_registrations() {
+        // The wait-for-fastest pattern: take one completion, drop the
+        // set with receives still pending. The session's standing
+        // registrations must be torn down by the drop — no dead
+        // entries left in the posted queue.
+        crate::Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut set = crate::RequestSet::new();
+                set.push(comm.irecv(1, 0));
+                set.push(comm.irecv(1, 1));
+                set.wait_any().unwrap().expect("non-empty");
+                drop(set);
+                let shard = comm.mailbox().shard(comm.context_id());
+                assert!(
+                    shard.state.lock().posted.is_empty(),
+                    "dropping the set must deregister its standing entries"
+                );
+                // The abandoned receive's message is still matchable.
+                let (v, _) = comm.recv_vec::<u8>(1, 1).unwrap();
+                assert_eq!(v, vec![2]);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                comm.send(&[1u8], 0, 0).unwrap();
+                comm.send(&[2u8], 0, 1).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn completion_racing_deregistration_never_loses() {
+        // The satellite race: a matching push racing the waiter's
+        // deregistration. Because notify registrations never consume,
+        // every interleaving must leave the message queued and
+        // matchable; a claim, if it happened, names the registered
+        // slot. 500 iterations with varied interleaving nudges.
+        use crate::completion::fresh_waiter;
+        for i in 0..500u64 {
+            let mb = std::sync::Arc::new(Mailbox::new());
+            let w = fresh_waiter();
+            mb.watch(&w);
+            assert!(!mb.register_notify(7, Src::Rank(0), TagSel::Is(1), &w, 3));
+            let mb2 = mb.clone();
+            let pusher = std::thread::spawn(move || {
+                if i % 2 == 0 {
+                    std::thread::yield_now();
+                }
+                mb2.push(env(0, 7, 1, 5));
+            });
+            if i % 3 == 0 {
+                std::thread::yield_now();
+            }
+            mb.deregister_notify(7, &w);
+            mb.unwatch(&w);
+            pusher.join().unwrap();
+            let e = mb
+                .try_match(7, Src::Rank(0), TagSel::Is(1))
+                .unwrap_or_else(|| panic!("iteration {i}: message lost"));
+            assert_eq!(e.payload.len(), 5);
+            let st = w.state.lock();
+            if st.claimed {
+                assert_eq!(st.fired, Some(3), "iteration {i}: claim names the slot");
+            }
+            drop(st);
+            assert!(
+                mb.shards
+                    .read()
+                    .get(&7)
+                    .is_none_or(|s| s.state.lock().posted.is_empty()),
+                "iteration {i}: no dead entry survives deregistration"
+            );
+        }
+    }
+
+    #[test]
     fn len_and_depth_counters() {
         let mb = Mailbox::new();
         assert!(mb.is_empty());
@@ -1026,7 +1298,10 @@ mod tests {
             MailboxStats {
                 queued: 0,
                 max_unexpected_depth: 5,
-                targeted_wakeups: 0
+                targeted_wakeups: 0,
+                multi_wakeups: 0,
+                spurious_wakeups: 0,
+                max_parked: 0
             }
         );
     }

@@ -70,10 +70,32 @@ impl From<Tag> for TagSel {
 
 /// Completion slot used by synchronous-mode sends (`issend`): the send
 /// completes only once the receiver has matched the message.
+///
+/// An ack is one of the sources a parked completion waiter
+/// ([`crate::completion`]) can register against: the receiver's match
+/// claims the registered waiter with a targeted wakeup, so a blocked
+/// `issend` costs nothing until the exact match it needs occurs.
 #[derive(Debug, Default)]
 pub struct AckSlot {
-    state: parking_lot::Mutex<bool>,
+    state: parking_lot::Mutex<AckState>,
     cond: parking_lot::Condvar,
+}
+
+#[derive(Default)]
+struct AckState {
+    done: bool,
+    /// A parked completion waiter awaiting this ack, with its source
+    /// index (at most one: a request has one owner thread).
+    watcher: Option<(Arc<crate::completion::Waiter>, usize)>,
+}
+
+impl std::fmt::Debug for AckState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AckState")
+            .field("done", &self.done)
+            .field("watched", &self.watcher.is_some())
+            .finish()
+    }
 }
 
 impl AckSlot {
@@ -81,23 +103,57 @@ impl AckSlot {
         Arc::new(AckSlot::default())
     }
 
-    /// Called by the receiver when the message is matched.
+    /// Called by the receiver when the message is matched. Claims and
+    /// wakes a registered completion waiter, if any.
     pub fn complete(&self) {
-        let mut done = self.state.lock();
-        *done = true;
+        let mut st = self.state.lock();
+        st.done = true;
         self.cond.notify_all();
+        let watcher = st.watcher.take();
+        drop(st);
+        if let Some((waiter, slot)) = watcher {
+            waiter.claim(slot);
+        }
     }
 
     /// Non-blocking completion check.
     pub fn is_complete(&self) -> bool {
-        *self.state.lock()
+        self.state.lock().done
     }
 
     /// Blocks until the receiver matches the message.
     pub fn wait(&self) {
-        let mut done = self.state.lock();
-        while !*done {
-            self.cond.wait(&mut done);
+        let mut st = self.state.lock();
+        while !st.done {
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Registers a completion waiter to be claimed when the ack fires.
+    /// Returns `true` — without registering — if the ack already fired
+    /// (checked under the same lock `complete` takes, so no completion
+    /// can fall between the check and the registration).
+    pub(crate) fn register_notify(
+        &self,
+        waiter: &Arc<crate::completion::Waiter>,
+        slot: usize,
+    ) -> bool {
+        let mut st = self.state.lock();
+        if st.done {
+            return true;
+        }
+        st.watcher = Some((Arc::clone(waiter), slot));
+        false
+    }
+
+    /// Removes a registered completion waiter (no-op if `complete`
+    /// already took it — the claim it delivered stands).
+    pub(crate) fn deregister_notify(&self, waiter: &Arc<crate::completion::Waiter>) {
+        let mut st = self.state.lock();
+        if let Some((w, _)) = &st.watcher {
+            if Arc::ptr_eq(w, waiter) {
+                st.watcher = None;
+            }
         }
     }
 }

@@ -1,18 +1,68 @@
-//! Non-blocking operations: requests, test/wait, request sets, ibarrier.
+//! Non-blocking operations: requests, test/wait, request sets, ibarrier
+//! — and the design note for the **completion protocol** that makes
+//! every blocking wait on them event-driven.
 //!
 //! Substrate requests are byte-level; the binding layer wraps them in the
 //! buffer-owning `NonBlockingResult` that provides the paper's §III-E
 //! memory-safety guarantees. Requests borrow the communicator, so a
 //! request can never outlive the universe it communicates in.
 //!
-//! Every completion path drains through the matching engine
-//! ([`crate::mailbox`]): `wait` on a posted receive parks on a targeted
-//! per-waiter wakeup, and the polling paths (`test`,
-//! [`RequestSet::wait_any`]/[`RequestSet::wait_some`], the collective
-//! engines' drain loops) hit the engine's `(source, tag)` index — each
-//! poll is an O(1) lookup rather than a linear scan of everything else
-//! queued at the rank, which is what keeps request sets cheap under
-//! matching pressure.
+//! # How a request completes
+//!
+//! The *non-blocking* paths are unchanged from PR 4: `test` and the
+//! collective engines' drain loops hit the matching engine's
+//! `(source, tag)` index ([`crate::mailbox`]) — each poll is an O(1)
+//! lookup rather than a linear scan of everything queued at the rank.
+//!
+//! The *blocking* paths never poll. Every one of them — `wait` on a
+//! receive, on a synchronous-mode send, on a collective engine;
+//! [`RequestSet::wait_any`] / [`RequestSet::wait_some`] over a mixed
+//! set — runs the parking protocol of [`crate::completion`]:
+//!
+//! ```text
+//!   capture epoch -> sweep (one non-blocking test of everything)
+//!                 -> register one waiter on every blocked source
+//!                    (posted receives across shards, sync-send acks)
+//!                 -> park          [thread sleeps; costs nothing]
+//!                 -> first completion claims the waiter with its
+//!                    source index; re-test ONLY that index
+//!                 -> cancel the other registrations
+//! ```
+//!
+//! Registration / wake / cancel state diagram (the full version with
+//! the lock-ordering argument is in [`crate::completion`]):
+//!
+//! ```text
+//!            register N sources            claim(k): source k fired
+//!   [sweep] ───────────────────> [parked] ─────────────────────────┐
+//!      ^                            │                              v
+//!      │                            │ epoch bump (interrupt)   [test k]
+//!      │        cancel N            v                              │
+//!      └────────────────────── [re-check] <──────── pending ───────┘
+//!                                                   ready -> return
+//! ```
+//!
+//! Each request kind reports the sources it is blocked on through
+//! `Request::park_spec`: a posted receive its `(context, source,
+//! tag)` selectors, a barrier its current round's receive, a collective
+//! engine the receives its state machine is stalled on (the hook every
+//! engine in `crate::collectives::nonblocking` implements), a
+//! synchronous-mode send its acknowledgement slot. Sends buffered at
+//! creation report "ready" and never park.
+//!
+//! **Why spurious wakeups are bounded:** a parked waiter is woken by a
+//! claim (a source really completed — re-testing that index finds the
+//! progress, so the wakeup is productive) or by an interruption-epoch
+//! bump (process failure / revocation). There is no timed safety net
+//! and no broadcast: a push wakes at most one waiter, so the only
+//! non-productive wakeups are the per-interrupt re-checks, bounded by
+//! the number of interruption events in the run. The
+//! `spurious_wakeups` counter in [`crate::MailboxStats`] measures
+//! exactly this.
+//!
+//! The seed's sweep-and-yield strategy survives as
+//! [`crate::completion::reference`] — the differential-testing baseline
+//! and the `completion_experiment` benchmark's yardstick.
 
 use std::sync::Arc;
 
@@ -116,21 +166,9 @@ impl<'a> Request<'a> {
         match self.state {
             ReqState::SendDone => Ok(Completion::Done),
             ReqState::SyncSend { ack, dest } => {
-                let dest_world = comm.translate_to_world(dest)?;
-                loop {
-                    if ack.is_complete() {
-                        return Ok(Completion::Done);
-                    }
-                    if comm.world.is_revoked(comm.context) {
-                        return Err(MpiError::Revoked);
-                    }
-                    if comm.world.is_failed(dest_world) {
-                        return Err(MpiError::ProcessFailed {
-                            world_rank: dest_world,
-                        });
-                    }
-                    std::thread::yield_now();
-                }
+                // Event-driven: parks on the acknowledgement slot; the
+                // receiver's match (or an interrupt epoch bump) wakes it.
+                crate::completion::wait_sync_send(comm, &ack, dest)
             }
             ReqState::Recv { src, tag } => {
                 let env = comm.recv_envelope(src, tag)?;
@@ -263,6 +301,81 @@ impl<'a> Request<'a> {
             },
         }
     }
+
+    /// The communicator this request operates on.
+    pub(crate) fn comm(&self) -> &'a Comm {
+        self.comm
+    }
+
+    /// The `(context, source, tag)` selectors of a plain posted
+    /// receive — the requests whose park sources never change, making
+    /// them eligible for standing registrations
+    /// ([`ParkSession`](crate::completion::ParkSession)).
+    pub(crate) fn recv_selectors(&self) -> Option<(u64, Src, TagSel)> {
+        match &self.state {
+            ReqState::Recv { src, tag } => Some((self.comm.context, *src, *tag)),
+            _ => None,
+        }
+    }
+
+    /// Appends the sources whose completion could let this request make
+    /// progress (the completion subsystem registers a parked waiter on
+    /// each). Returns `true` if the request needs no parking — it is
+    /// intrinsically complete and the caller's next sweep collects it.
+    ///
+    /// The reported sources are *sufficient for liveness*, not a
+    /// completion certificate: a request is allowed to still be pending
+    /// when a source fires (the caller re-tests), but whenever a
+    /// request is pending, at least one reported source must eventually
+    /// fire or an interrupt epoch bump must occur.
+    pub(crate) fn park_spec<'r>(
+        &'r self,
+        out: &mut Vec<crate::completion::ParkSource<'r>>,
+    ) -> bool {
+        use crate::completion::ParkSource;
+        match &self.state {
+            ReqState::SendDone => true,
+            ReqState::SyncSend { ack, .. } => {
+                out.push(ParkSource::Ack(ack));
+                false
+            }
+            ReqState::Recv { src, tag } => {
+                out.push(ParkSource::Mailbox {
+                    context: self.comm.context,
+                    src: *src,
+                    tag: *tag,
+                });
+                false
+            }
+            ReqState::Barrier { tag, step, .. } => {
+                let p = self.comm.size();
+                let dist = 1usize << step;
+                if dist >= p {
+                    return true;
+                }
+                // The round's send happens inside test(); by the time a
+                // set parks, the preceding sweep has posted it, so the
+                // round blocks only on this receive.
+                out.push(ParkSource::Mailbox {
+                    context: self.comm.context,
+                    src: Src::Rank((self.comm.rank() + p - dist) % p),
+                    tag: TagSel::Is(*tag),
+                });
+                false
+            }
+            ReqState::Coll(engine) => {
+                let before = out.len();
+                let mut pairs: Vec<(Rank, Tag)> = Vec::new();
+                engine.sources(self.comm, &mut pairs);
+                out.extend(pairs.into_iter().map(|(r, t)| ParkSource::Mailbox {
+                    context: self.comm.context,
+                    src: Src::Rank(r),
+                    tag: TagSel::Is(t),
+                }));
+                out.len() == before
+            }
+        }
+    }
 }
 
 impl Comm {
@@ -340,18 +453,25 @@ impl Comm {
 /// counterpart of KaMPIng's request pools).
 #[derive(Default)]
 pub struct RequestSet<'a> {
-    requests: Vec<Request<'a>>,
+    pub(crate) requests: Vec<Request<'a>>,
+    /// Standing registrations kept across `wait_any` calls (sets of
+    /// plain receives only — see
+    /// [`ParkSession`](crate::completion::ParkSession)). Torn down by
+    /// any other mutation of the set.
+    pub(crate) session: Option<crate::completion::ParkSession>,
 }
 
 impl<'a> RequestSet<'a> {
     pub fn new() -> Self {
         RequestSet {
             requests: Vec::new(),
+            session: None,
         }
     }
 
     /// Adds a request to the set.
     pub fn push(&mut self, req: Request<'a>) {
+        crate::completion::teardown_session(&self.requests, &mut self.session);
         self.requests.push(req);
     }
 
@@ -366,8 +486,12 @@ impl<'a> RequestSet<'a> {
     }
 
     /// Waits for all requests, returning completions in insertion order.
-    pub fn wait_all(self) -> Result<Vec<Completion>> {
-        self.requests.into_iter().map(|r| r.wait()).collect()
+    pub fn wait_all(mut self) -> Result<Vec<Completion>> {
+        crate::completion::teardown_session(&self.requests, &mut self.session);
+        std::mem::take(&mut self.requests)
+            .into_iter()
+            .map(|r| r.wait())
+            .collect()
     }
 
     /// Tests all requests once; completed ones are returned (with their
@@ -376,6 +500,7 @@ impl<'a> RequestSet<'a> {
     /// other one stays in the set, so fault-tolerant callers can keep
     /// waiting on the survivors.
     pub fn test_some(&mut self) -> Result<Vec<(usize, Completion)>> {
+        crate::completion::teardown_session(&self.requests, &mut self.session);
         let mut done = Vec::new();
         let mut pending = Vec::new();
         let mut erred = None;
@@ -397,58 +522,97 @@ impl<'a> RequestSet<'a> {
         }
     }
 
+    /// One non-blocking sweep of the `wait_any` loop: tests requests in
+    /// order until one completes, keeping the rest. If a request errors
+    /// (peer failure, revocation), that request is consumed but every
+    /// other one stays in the set, so fault-tolerant callers can keep
+    /// waiting on the survivors.
+    pub(crate) fn sweep_any(&mut self) -> Result<Option<(usize, Completion)>> {
+        let mut ready: Option<(usize, Completion)> = None;
+        let mut erred = None;
+        let mut kept = Vec::with_capacity(self.requests.len());
+        for (i, req) in std::mem::take(&mut self.requests).into_iter().enumerate() {
+            if ready.is_some() || erred.is_some() {
+                kept.push(req);
+                continue;
+            }
+            match req.test() {
+                Ok(TestOutcome::Ready(c)) => ready = Some((i, c)),
+                Ok(TestOutcome::Pending(r)) => kept.push(r),
+                // The erroring request is consumed; the others stay
+                // in the set so survivors remain completable.
+                Err(e) => erred = Some(e),
+            }
+        }
+        self.requests = kept;
+        match erred {
+            Some(e) => Err(e),
+            None => Ok(ready),
+        }
+    }
+
+    /// Tests only the request at `index` (the fast path after a
+    /// targeted wakeup named that index): `Ok(Some(..))` if it
+    /// completed, `Ok(None)` if it is still pending (handed back in
+    /// place). An erroring request is consumed, the others kept.
+    pub(crate) fn test_at(&mut self, index: usize) -> Result<Option<(usize, Completion)>> {
+        if index >= self.requests.len() {
+            return Ok(None);
+        }
+        let req = self.requests.remove(index);
+        match req.test() {
+            Ok(TestOutcome::Ready(c)) => Ok(Some((index, c))),
+            Ok(TestOutcome::Pending(r)) => {
+                self.requests.insert(index, r);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The first request in the set, if any.
+    pub(crate) fn first(&self) -> Option<&Request<'a>> {
+        self.requests.first()
+    }
+
+    /// Iterates the pending requests in insertion order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Request<'a>> {
+        self.requests.iter()
+    }
+
     /// Blocks until *one* request completes (mirrors `MPI_Waitany`),
     /// removing it from the set. Returns the completed request's index
     /// *at call time* together with its completion, or `None` if the set
     /// is empty. Remaining requests shift down by one, as after
     /// `Vec::remove`.
+    ///
+    /// Fully event-driven: after one test sweep the thread parks with a
+    /// waiter registered on every pending source, and the first
+    /// completion wakes it with the index to re-test (see
+    /// [`crate::completion`]). The seed's sweep-and-yield loop survives
+    /// as [`crate::completion::reference::wait_any`].
     pub fn wait_any(&mut self) -> Result<Option<(usize, Completion)>> {
-        if self.requests.is_empty() {
-            return Ok(None);
-        }
-        loop {
-            let mut ready: Option<(usize, Completion)> = None;
-            let mut erred = None;
-            let mut kept = Vec::with_capacity(self.requests.len());
-            for (i, req) in std::mem::take(&mut self.requests).into_iter().enumerate() {
-                if ready.is_some() || erred.is_some() {
-                    kept.push(req);
-                    continue;
-                }
-                match req.test() {
-                    Ok(TestOutcome::Ready(c)) => ready = Some((i, c)),
-                    Ok(TestOutcome::Pending(r)) => kept.push(r),
-                    // The erroring request is consumed; the others stay
-                    // in the set so survivors remain completable.
-                    Err(e) => erred = Some(e),
-                }
-            }
-            self.requests = kept;
-            if let Some(e) = erred {
-                return Err(e);
-            }
-            if let Some(hit) = ready {
-                return Ok(Some(hit));
-            }
-            std::thread::yield_now();
-        }
+        crate::completion::wait_any(self)
     }
 
     /// Blocks until *at least one* request completes (mirrors
     /// `MPI_Waitsome`), removing every completed request from the set.
     /// Returns `(index at call time, completion)` pairs in index order;
-    /// an empty set yields an empty vector.
+    /// an empty set yields an empty vector. Event-driven, like
+    /// [`RequestSet::wait_any`].
     pub fn wait_some(&mut self) -> Result<Vec<(usize, Completion)>> {
-        if self.requests.is_empty() {
-            return Ok(Vec::new());
-        }
-        loop {
-            let done = self.test_some()?;
-            if !done.is_empty() {
-                return Ok(done);
-            }
-            std::thread::yield_now();
-        }
+        crate::completion::wait_some(self)
+    }
+}
+
+impl Drop for RequestSet<'_> {
+    /// Dropping a set with standing registrations
+    /// (`crate::completion::ParkSession`) must remove them from the
+    /// mailbox's posted queue — abandoned sets (e.g. the
+    /// wait-for-fastest pattern that drops the losers) would otherwise
+    /// accumulate dead entries for the communicator's lifetime.
+    fn drop(&mut self) {
+        crate::completion::teardown_session(&self.requests, &mut self.session);
     }
 }
 

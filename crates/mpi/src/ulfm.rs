@@ -18,11 +18,13 @@
 //!   memory affords.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::comm::Comm;
+use crate::completion::{fresh_waiter, Waiter};
 use crate::error::Result;
 use crate::universe::RankFailure;
 use crate::Rank;
@@ -36,14 +38,31 @@ struct AgreeEntry {
     outcome: Option<(u64, Vec<Rank>, u64)>,
     /// How many survivors have collected the outcome (for cleanup).
     collected: usize,
+    /// Parked participants awaiting this entry's outcome. The freezing
+    /// rank claims and wakes exactly these waiters — other agreements'
+    /// waiters never hear about it (no table-wide herd), and there is
+    /// no timed re-check: interruption reaches parked waiters through
+    /// the table epoch ([`AgreementTable::interrupt`]).
+    waiters: Vec<Arc<Waiter>>,
 }
 
 /// Shared table of in-flight agreements, keyed by
 /// `(context id, per-communicator call sequence)`.
+///
+/// Waiting is event-driven via the completion protocol
+/// ([`crate::completion`]): a participant that cannot freeze the
+/// agreement yet registers a waiter on the entry and parks; the freezer
+/// wakes exactly that entry's waiters, and interruption (process
+/// failure — which can change the freeze condition) bumps the table
+/// epoch before waking everyone, so no interleaving can strand a
+/// waiter. The 50 ms timed re-check the seed used — the substrate's
+/// last poll loop — is gone.
 #[derive(Default)]
 pub struct AgreementTable {
     entries: Mutex<HashMap<(u64, i32), AgreeEntry>>,
-    cond: Condvar,
+    /// Interruption epoch; captured by waiters before their freeze
+    /// checks, bumped (then published by waking) by `interrupt`.
+    epoch: AtomicU64,
 }
 
 impl AgreementTable {
@@ -51,10 +70,19 @@ impl AgreementTable {
         AgreementTable::default()
     }
 
-    /// Wakes all waiters so they can re-examine failure flags.
+    /// Wakes all waiters so they can re-examine failure flags. The
+    /// epoch is bumped *before* any waiter is woken: a waiter that
+    /// captured the old epoch either sees the new failure flags in its
+    /// checks or observes the epoch difference and re-checks.
     pub(crate) fn interrupt(&self) {
-        let _guard = self.entries.lock();
-        self.cond.notify_all();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let entries = self.entries.lock();
+        for entry in entries.values() {
+            for w in &entry.waiters {
+                let _g = w.state.lock();
+                w.cond.notify_one();
+            }
+        }
     }
 }
 
@@ -129,11 +157,17 @@ impl Comm {
         let members: Vec<Rank> = self.group.as_ref().clone();
         let table = &self.world.agreements;
 
+        // The epoch must be captured before the first freeze check: a
+        // failure raised after this load is caught by the epoch
+        // comparison in the park loop (`interrupt` bumps before
+        // waking), one raised before it by the `is_failed` reads below.
+        let mut seen_epoch = table.epoch.load(Ordering::SeqCst);
         let mut entries = table.entries.lock();
         let entry = entries.entry(key).or_insert_with(|| AgreeEntry {
             contributions: HashMap::new(),
             outcome: None,
             collected: 0,
+            waiters: Vec::new(),
         });
         entry.contributions.insert(my_world, value);
 
@@ -158,7 +192,12 @@ impl Comm {
                         .fold(u64::MAX, |acc, (_, &v)| acc & v);
                     let fresh = self.world.alloc_contexts(1);
                     entry.outcome = Some((folded, survivors, fresh));
-                    table.cond.notify_all();
+                    // Targeted wakeups: exactly this entry's parked
+                    // participants; waiters of other in-flight
+                    // agreements sleep on.
+                    for w in entry.waiters.drain(..) {
+                        w.claim(0);
+                    }
                 }
             }
             if let Some((v, survivors, ctx)) = entry.outcome.clone() {
@@ -168,9 +207,32 @@ impl Comm {
                 }
                 return Ok((v, survivors, ctx));
             }
-            table
-                .cond
-                .wait_for(&mut entries, std::time::Duration::from_millis(50));
+            // Park until the freezer claims this waiter or the epoch
+            // moves (a failure may have completed the freeze condition
+            // this rank must now evaluate). Registration happens under
+            // the entries lock freezers take, so no outcome can slip
+            // between the check above and the park below.
+            let waiter = fresh_waiter();
+            entry.waiters.push(Arc::clone(&waiter));
+            drop(entries);
+            {
+                let mut st = waiter.state.lock();
+                loop {
+                    if st.fired.is_some() {
+                        break;
+                    }
+                    let now = table.epoch.load(Ordering::SeqCst);
+                    if now != seen_epoch {
+                        seen_epoch = now;
+                        break;
+                    }
+                    waiter.cond.wait(&mut st);
+                }
+            }
+            entries = table.entries.lock();
+            if let Some(e) = entries.get_mut(&key) {
+                e.waiters.retain(|w| !Arc::ptr_eq(w, &waiter));
+            }
         }
     }
 }

@@ -97,6 +97,54 @@ fn allgather_recursive_doubling_packing_bill_is_exact() {
     }
 }
 
+/// The Bruck allgather's bill is exact too: own serialization `s`,
+/// packing `cnt·s` for every round that sends more than one block
+/// (single-block rounds — round 0 and the short tail rounds of
+/// non-power-of-two sizes — forward refcount clones), assembly
+/// `r = p·s`. At p = 5 the rounds send 1/2/1 blocks, so packing is
+/// exactly `2s`; at p = 6 (1/2/2) it is `4s`.
+#[test]
+fn allgather_bruck_packing_bill_is_exact() {
+    use kmp_mpi::AllgatherAlgo;
+    const N: usize = 1024; // bytes per rank, under the 8 KiB Bruck ceiling
+    for p in [3usize, 5, 6, 8] {
+        Universe::run(p, move |comm| {
+            let mine = vec![comm.rank() as u8; N];
+            // Rounds sending cnt > 1 blocks pack cnt blocks each.
+            let mut step = 1usize;
+            let mut packed_blocks = 0usize;
+            while step < p {
+                let cnt = step.min(p - step);
+                if cnt > 1 {
+                    packed_blocks += cnt;
+                }
+                step <<= 1;
+            }
+            let bound = (N + packed_blocks * N + p * N) as u64;
+            comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::Bruck));
+            let before = metrics::snapshot();
+            let all = comm.allgather_vec(&mine).unwrap();
+            let delta = metrics::snapshot().since(&before);
+            assert_eq!(all.len(), p * N);
+            assert_eq!(
+                delta.bytes_copied,
+                bound,
+                "rank {} p={p} Bruck: exact copy bill (s + {packed_blocks}s packing + r)",
+                comm.rank()
+            );
+            // Auto resolves to Bruck on small non-power-of-two
+            // communicators (p >= 4): same bill as the forced run.
+            if p >= 4 && !p.is_power_of_two() {
+                comm.set_tuning(CollTuning::default());
+                let before = metrics::snapshot();
+                comm.allgather_vec(&mine).unwrap();
+                let delta = metrics::snapshot().since(&before);
+                assert_eq!(delta.bytes_copied, bound);
+            }
+        });
+    }
+}
+
 /// Same bound for allgatherv into a user buffer (plus the up-front copy
 /// of the own block into the receive buffer).
 #[test]

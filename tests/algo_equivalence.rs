@@ -84,8 +84,15 @@ proptest! {
                 .collect();
             let mut results = Vec::new();
             // Forced RD falls back to the ring off powers of two, so
-            // every (p, n) draw exercises both paths safely.
-            for algo in [AllgatherAlgo::Ring, AllgatherAlgo::RecursiveDoubling] {
+            // every (p, n) draw exercises both paths safely; Bruck runs
+            // everywhere, power of two or not — the non-power-of-two
+            // draws (p in {3, 5, 6, 7, ...}) are the coverage the ring
+            // and RD cannot give it.
+            for algo in [
+                AllgatherAlgo::Ring,
+                AllgatherAlgo::RecursiveDoubling,
+                AllgatherAlgo::Bruck,
+            ] {
                 comm.set_tuning(CollTuning::default().allgather(algo));
                 results.push(comm.allgather_vec(&mine).unwrap());
             }
