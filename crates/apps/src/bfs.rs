@@ -137,6 +137,7 @@ pub fn bfs_kamping_overlap(g: &DistGraph, source: VId, comm: &Communicator) -> R
     }
     let mut level = 0u64;
     loop {
+        let _lvl = kamping::trace_span("bfs_level");
         let empty = u8::from(frontier.is_empty());
         let done_fut = comm.iallreduce((send_buf(vec![empty]), op(ops::LogicalAnd)))?;
         // Overlap 1: expand the frontier while the reduction is in flight.
@@ -356,6 +357,9 @@ pub fn bfs_with_exchange(
 
     let mut level = 0u64;
     loop {
+        // One user span per BFS level: the whole Fig. 10 run renders as
+        // a per-level timeline in the exported Chrome trace.
+        let _lvl = kamping::trace_span("bfs_level");
         let empty = u8::from(frontier.is_empty());
         let done = comm.allreduce_single((send_buf(&[empty]), op(ops::LogicalAnd)))?;
         if done != 0 {

@@ -17,6 +17,7 @@
 //! Usage: `collectives_experiment [--smoke] [--out PATH]`; writes
 //! `BENCH_collectives.json`.
 
+use kmp_bench::harness::{write_json, BenchArgs};
 use kmp_mpi::{
     AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, Comm, Config, CostModel, Universe,
 };
@@ -182,19 +183,8 @@ fn vt(rows: &[Row], collective: &str, algo: &str, p: usize, bytes: usize) -> f64
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let out_path = {
-        let mut args = std::env::args();
-        let mut path = String::from("BENCH_collectives.json");
-        while let Some(a) = args.next() {
-            if a == "--out" {
-                if let Some(v) = args.next() {
-                    path = v;
-                }
-            }
-        }
-        path
-    };
+    let args = BenchArgs::parse("BENCH_collectives.json");
+    let smoke = args.smoke;
 
     let ps = [4usize, 8];
     let (big_sizes, block_sizes, reps) = if smoke {
@@ -236,14 +226,16 @@ fn main() {
     }
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
-    let json = format!(
-        "{{\n  \"experiment\": \"collectives\",\n  \"mode\": \"{}\",\n  \
-         \"cost_model\": \"cluster(alpha=1.5us, beta=0.1ns/B)\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        if smoke { "smoke" } else { "full" },
-        body.join(",\n")
+    write_json(
+        &args.out,
+        "collectives",
+        args.mode(),
+        &[(
+            "cost_model",
+            "\"cluster(alpha=1.5us, beta=0.1ns/B)\"".to_string(),
+        )],
+        &body,
     );
-    std::fs::write(&out_path, json).expect("write BENCH_collectives.json");
-    println!("\nwrote {out_path}");
 
     // --- the selection engine's contract -------------------------------
 

@@ -34,6 +34,7 @@
 //! Usage: `completion_experiment [--smoke] [--out PATH] [--check PATH]`;
 //! writes `BENCH_completion.json`.
 
+use kmp_bench::harness::{baseline_lines, json_field, write_json, BenchArgs};
 use kmp_mpi::completion::reference;
 use kmp_mpi::{Config, RequestSet, Universe};
 
@@ -270,24 +271,17 @@ fn latency(rows: &[Row], scenario: &str, implementation: &str, p: usize) -> f64 
         .us_per_completion
 }
 
-/// Extracts rows from the one-row-per-line JSON this binary writes (no
-/// JSON dependency in the workspace).
+/// Typed rows from a committed baseline, via the shared line-based
+/// extraction (`kmp_bench::harness`).
 fn baseline_latencies(json: &str) -> Vec<(String, String, usize, f64)> {
-    let field = |line: &str, key: &str| -> Option<String> {
-        let pat = format!("\"{key}\": ");
-        let at = line.find(&pat)? + pat.len();
-        let rest = &line[at..];
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim().trim_matches('"').to_string())
-    };
-    json.lines()
-        .filter(|l| l.contains("\"scenario\""))
+    baseline_lines(json, "scenario")
+        .into_iter()
         .filter_map(|l| {
             Some((
-                field(l, "scenario")?,
-                field(l, "impl")?,
-                field(l, "ranks")?.parse().ok()?,
-                field(l, "us_per_completion")?.parse().ok()?,
+                json_field(l, "scenario")?,
+                json_field(l, "impl")?,
+                json_field(l, "ranks")?.parse().ok()?,
+                json_field(l, "us_per_completion")?.parse().ok()?,
             ))
         })
         .collect()
@@ -296,20 +290,9 @@ fn baseline_latencies(json: &str) -> Vec<(String, String, usize, f64)> {
 const SCENARIOS: [&str; 2] = ["wait_any_fanin", "bounded_pipeline"];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let flag = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_completion.json".to_string());
-    // Read the committed baseline up front: `--check` and `--out` may
-    // name the same file.
-    let baseline = flag("--check").map(|p| {
-        let json = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("--check {p}: {e}"));
-        baseline_latencies(&json)
-    });
+    let args = BenchArgs::parse("BENCH_completion.json");
+    let smoke = args.smoke;
+    let baseline = args.baseline.as_deref().map(baseline_latencies);
 
     let ps = [4usize, 8, 16];
     let (fanin_total, messages, reps) = if smoke {
@@ -358,15 +341,13 @@ fn main() {
     }
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
-    let json = format!(
-        "{{\n  \"experiment\": \"completion\",\n  \"mode\": \"{}\",\n  \
-         \"work_us\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        if smoke { "smoke" } else { "full" },
-        work_us,
-        body.join(",\n")
+    write_json(
+        &args.out,
+        "completion",
+        args.mode(),
+        &[("work_us", work_us.to_string())],
+        &body,
     );
-    std::fs::write(&out_path, json).expect("write BENCH_completion.json");
-    println!("\nwrote {out_path}");
 
     // --- acceptance: the parked path's win is pinned, not asserted ------
 

@@ -30,6 +30,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use kmp_bench::harness::{baseline_lines, json_field, write_json, BenchArgs};
 use kmp_mpi::error::{MpiError, Result};
 use kmp_mpi::mailbox::{reference::ScanMailbox, Mailbox};
 use kmp_mpi::message::{Envelope, Src, Status, TagSel};
@@ -286,44 +287,26 @@ fn rate(rows: &[Row], scenario: &str, implementation: &str, p: usize) -> f64 {
         .msgs_per_sec
 }
 
-/// Extracts `"field": value` from a one-row-per-line JSON body (the
-/// format this binary writes; no JSON dependency in the workspace).
+/// Typed rows from a committed baseline, via the shared line-based
+/// extraction (`kmp_bench::harness`).
 fn baseline_rates(json: &str) -> Vec<(String, String, usize, f64)> {
-    let field = |line: &str, key: &str| -> Option<String> {
-        let pat = format!("\"{key}\": ");
-        let at = line.find(&pat)? + pat.len();
-        let rest = &line[at..];
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim().trim_matches('"').to_string())
-    };
-    json.lines()
-        .filter(|l| l.contains("\"scenario\""))
+    baseline_lines(json, "scenario")
+        .into_iter()
         .filter_map(|l| {
             Some((
-                field(l, "scenario")?,
-                field(l, "impl")?,
-                field(l, "ranks")?.parse().ok()?,
-                field(l, "msgs_per_sec")?.parse().ok()?,
+                json_field(l, "scenario")?,
+                json_field(l, "impl")?,
+                json_field(l, "ranks")?.parse().ok()?,
+                json_field(l, "msgs_per_sec")?.parse().ok()?,
             ))
         })
         .collect()
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let flag = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let out_path = flag("--out").unwrap_or_else(|| "BENCH_matching.json".to_string());
-    // Read the committed baseline up front: `--check` and `--out` may
-    // name the same file.
-    let baseline = flag("--check").map(|p| {
-        let json = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("--check {p}: {e}"));
-        baseline_rates(&json)
-    });
+    let args = BenchArgs::parse("BENCH_matching.json");
+    let smoke = args.smoke;
+    let baseline = args.baseline.as_deref().map(baseline_rates);
 
     let ps = [4usize, 8, 16];
     let (per_sender, storm_rounds, reps) = if smoke { (600, 150, 3) } else { (2000, 400, 5) };
@@ -359,14 +342,13 @@ fn main() {
     }
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
-    let json = format!(
-        "{{\n  \"experiment\": \"matching\",\n  \"mode\": \"{}\",\n  \
-         \"payload_bytes\": 64,\n  \"rows\": [\n{}\n  ]\n}}\n",
-        if smoke { "smoke" } else { "full" },
-        body.join(",\n")
+    write_json(
+        &args.out,
+        "matching",
+        args.mode(),
+        &[("payload_bytes", "64".to_string())],
+        &body,
     );
-    std::fs::write(&out_path, json).expect("write BENCH_matching.json");
-    println!("\nwrote {out_path}");
 
     // --- acceptance: the engine's win is pinned, not asserted ----------
 

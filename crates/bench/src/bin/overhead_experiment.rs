@@ -14,6 +14,7 @@
 //! reduced matrix for CI; the default writes `BENCH_overhead.json` into
 //! the current directory.
 
+use kmp_bench::harness::{write_json, BenchArgs};
 use kmp_mpi::{metrics, Universe};
 
 #[derive(Clone, Debug)]
@@ -209,19 +210,8 @@ fn copy_metrics_enabled() -> bool {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let out_path = {
-        let mut args = std::env::args();
-        let mut path = String::from("BENCH_overhead.json");
-        while let Some(a) = args.next() {
-            if a == "--out" {
-                if let Some(v) = args.next() {
-                    path = v;
-                }
-            }
-        }
-        path
-    };
+    let args = BenchArgs::parse("BENCH_overhead.json");
+    let smoke = args.smoke;
 
     let (sizes, reps, p) = if smoke {
         (vec![64 * 1024], 5, 4)
@@ -254,15 +244,13 @@ fn main() {
     }
 
     let body: Vec<String> = rows.iter().map(Row::to_json).collect();
-    let json = format!(
-        "{{\n  \"experiment\": \"overhead\",\n  \"mode\": \"{}\",\n  \
-         \"copy_metrics\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        if smoke { "smoke" } else { "full" },
-        copy_metrics_enabled(),
-        body.join(",\n")
+    write_json(
+        &args.out,
+        "overhead",
+        args.mode(),
+        &[("copy_metrics", copy_metrics_enabled().to_string())],
+        &body,
     );
-    std::fs::write(&out_path, json).expect("write BENCH_overhead.json");
-    println!("\nwrote {out_path}");
 
     // The claim this harness guards: the binding adds no copies beyond
     // the substrate (equal copy bills) and stays within a small factor

@@ -1,0 +1,118 @@
+//! Shared harness for the `BENCH_*.json` experiment binaries.
+//!
+//! Every experiment binary follows the same conventions:
+//!
+//! - flags: `[--smoke] [--out PATH] [--check PATH]` — `--smoke` runs a
+//!   reduced matrix for CI, `--out` overrides the JSON destination, and
+//!   `--check` reads a committed baseline to assert against;
+//! - output: a JSON envelope `{"experiment": ..., "mode": ...,
+//!   <extras>, "rows": [...]}` with **one row per line**, so baselines
+//!   can be compared with line-based field extraction instead of a JSON
+//!   dependency (the workspace has none);
+//! - baseline comparison: rows are located by a marker key and fields
+//!   pulled out with [`json_field`].
+//!
+//! The binaries keep their scenario logic and acceptance bounds; this
+//! module owns the argument/IO boilerplate they used to copy-paste.
+
+/// Parsed command-line arguments for an experiment binary.
+pub struct BenchArgs {
+    /// `--smoke`: reduced matrix for CI.
+    pub smoke: bool,
+    /// `--out PATH` (or the binary's default).
+    pub out: String,
+    /// Contents of the `--check PATH` baseline file, read eagerly —
+    /// `--check` and `--out` may name the same file, so the baseline
+    /// must be captured before the run overwrites it.
+    pub baseline: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`; `default_out` names the JSON file
+    /// written when `--out` is absent.
+    pub fn parse(default_out: &str) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let flag = |name: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        let out = flag("--out").unwrap_or_else(|| default_out.to_string());
+        let baseline = flag("--check")
+            .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("--check {p}: {e}")));
+        Self {
+            smoke,
+            out,
+            baseline,
+        }
+    }
+
+    /// The `"mode"` envelope value.
+    pub fn mode(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+}
+
+/// Extracts `"key": value` from a one-row-per-line JSON row; string
+/// values come back unquoted. Works on the format [`write_json`]
+/// produces — not a general JSON parser.
+pub fn json_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+/// Returns the baseline's row lines: those containing the marker key
+/// (e.g. `"scenario"`), one JSON object per line.
+pub fn baseline_lines<'a>(json: &'a str, marker_key: &str) -> Vec<&'a str> {
+    let pat = format!("\"{marker_key}\"");
+    json.lines().filter(|l| l.contains(&pat)).collect()
+}
+
+/// Writes the standard JSON envelope: `experiment` and `mode` headers,
+/// any `extra` top-level fields (values emitted verbatim — quote
+/// strings yourself), then `rows` one per line. Prints the destination.
+pub fn write_json(
+    out: &str,
+    experiment: &str,
+    mode: &str,
+    extra: &[(&str, String)],
+    rows: &[String],
+) {
+    let mut head = format!("{{\n  \"experiment\": \"{experiment}\",\n  \"mode\": \"{mode}\"");
+    for (k, v) in extra {
+        head.push_str(&format!(",\n  \"{k}\": {v}"));
+    }
+    let json = format!("{head},\n  \"rows\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_handles_strings_and_numbers() {
+        let line = r#"    {"scenario": "fanin", "ranks": 8, "rate": 123.5}"#;
+        assert_eq!(json_field(line, "scenario").as_deref(), Some("fanin"));
+        assert_eq!(json_field(line, "ranks").as_deref(), Some("8"));
+        assert_eq!(json_field(line, "rate").as_deref(), Some("123.5"));
+        assert_eq!(json_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn baseline_lines_filters_rows() {
+        let json = "{\n  \"experiment\": \"x\",\n  \"rows\": [\n    \
+                    {\"scenario\": \"a\"},\n    {\"scenario\": \"b\"}\n  ]\n}\n";
+        assert_eq!(baseline_lines(json, "scenario").len(), 2);
+        assert_eq!(baseline_lines(json, "nope").len(), 0);
+    }
+}

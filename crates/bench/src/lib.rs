@@ -21,6 +21,8 @@
 //! messages, with the maximum over ranks as the figure of merit — the
 //! substitution for the paper's 256-node testbed documented in DESIGN.md.
 
+pub mod harness;
+
 use kmp_mpi::{Comm, Config, CostModel, Universe};
 
 /// Runs `f` on `p` ranks `reps` times under the cluster cost model and

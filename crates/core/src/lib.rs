@@ -77,6 +77,24 @@ pub use kmp_mpi::{
     Select, Tag,
 };
 
+/// The substrate's tracing subsystem (event rings, histograms, Chrome
+/// trace export). See [`trace_span`] for annotating application phases.
+pub use kmp_mpi::trace;
+
+/// Opens a user-level trace span over an application phase (a BFS
+/// level, a sort pass, …). The span records itself when the returned
+/// guard drops; with the `trace` feature off this is a zero-sized no-op
+/// that compiles away entirely.
+///
+/// ```ignore
+/// let _phase = kamping::trace_span("bfs_level");
+/// // ... exchange frontier ...
+/// ```
+#[inline]
+pub fn trace_span(name: &'static str) -> trace::SpanGuard {
+    trace::span(trace::cat::USER, name, 0, 0)
+}
+
 /// Reduction operations (re-exported from the substrate): built-ins
 /// ([`ops::Sum`], [`ops::Min`], …) that play the role of `MPI_SUM` etc.,
 /// plus combinators for user lambdas.

@@ -174,7 +174,17 @@ pub(crate) fn dispatch<T: Plain, O: ReduceOp<T>>(
     send: &[T],
     op: &O,
 ) -> Result<Vec<T>> {
-    match tuning.allreduce_algo(comm.size(), std::mem::size_of_val(send)) {
+    let algo = tuning.allreduce_algo(comm.size(), std::mem::size_of_val(send));
+    let _sp = crate::trace::span(
+        crate::trace::cat::COLL,
+        match algo {
+            super::AllreduceAlgo::RecursiveDoubling => "allreduce/recursive_doubling",
+            super::AllreduceAlgo::Rabenseifner => "allreduce/rabenseifner",
+        },
+        std::mem::size_of_val(send) as u64,
+        comm.size() as u64,
+    );
+    match algo {
         super::AllreduceAlgo::RecursiveDoubling => recursive_doubling(comm, send, op),
         super::AllreduceAlgo::Rabenseifner => rabenseifner(comm, send, op),
     }

@@ -57,7 +57,18 @@ pub(crate) fn allgather_blocks(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
 /// so all ranks resolve the same [`AllgatherAlgo`] from the shared
 /// tuning and the agreed block size.
 pub(crate) fn allgather_blocks_tuned(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
-    match comm.tuning().allgather_algo(comm.size(), own.len()) {
+    let algo = comm.tuning().allgather_algo(comm.size(), own.len());
+    let _sp = crate::trace::span(
+        crate::trace::cat::COLL,
+        match algo {
+            AllgatherAlgo::RecursiveDoubling => "allgather/recursive_doubling",
+            AllgatherAlgo::Bruck => "allgather/bruck",
+            AllgatherAlgo::Ring => "allgather/ring",
+        },
+        own.len() as u64,
+        comm.size() as u64,
+    );
+    match algo {
         AllgatherAlgo::RecursiveDoubling => allgather_blocks_rd(comm, own),
         AllgatherAlgo::Bruck => allgather_blocks_bruck(comm, own),
         AllgatherAlgo::Ring => allgather_blocks(comm, own),

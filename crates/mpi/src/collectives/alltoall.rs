@@ -29,9 +29,19 @@ impl Comm {
             )));
         }
         let n = send.len() / p;
-        if p > 1
-            && self.tuning().alltoall_algo(p, n * std::mem::size_of::<T>()) == AlltoallAlgo::Bruck
-        {
+        let bruck = p > 1
+            && self.tuning().alltoall_algo(p, n * std::mem::size_of::<T>()) == AlltoallAlgo::Bruck;
+        let _sp = crate::trace::span(
+            crate::trace::cat::COLL,
+            if bruck {
+                "alltoall/bruck"
+            } else {
+                "alltoall/pairwise"
+            },
+            (n * std::mem::size_of::<T>()) as u64,
+            p as u64,
+        );
+        if bruck {
             return algos::alltoall::bruck(self, send, n, recv);
         }
         let counts: Vec<usize> = vec![n; p];

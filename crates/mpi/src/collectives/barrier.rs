@@ -9,6 +9,12 @@ pub(crate) fn barrier_internal(comm: &Comm) -> Result<()> {
     if p == 1 {
         return Ok(());
     }
+    let _sp = crate::trace::span(
+        crate::trace::cat::COLL,
+        "barrier/dissemination",
+        0,
+        p as u64,
+    );
     let rank = comm.rank();
     let tag = comm.next_internal_tag();
     let mut step = 1usize;

@@ -91,7 +91,17 @@ pub(crate) fn bcast_parts_internal(
             comm_size: p,
         });
     }
-    match comm.tuning().bcast_algo(p, size) {
+    let algo = comm.tuning().bcast_algo(p, size);
+    let _sp = crate::trace::span(
+        crate::trace::cat::COLL,
+        match algo {
+            BcastAlgo::Binomial => "bcast/binomial",
+            BcastAlgo::ScatterAllgather => "bcast/scatter_allgather",
+        },
+        size as u64,
+        p as u64,
+    );
+    match algo {
         BcastAlgo::Binomial => bcast_bytes_internal(comm, payload, root).map(BcastParts::Whole),
         BcastAlgo::ScatterAllgather => algos::bcast::scatter_allgather(comm, payload, size, root),
     }

@@ -791,7 +791,18 @@ impl Comm {
         // The eager pairwise engine stays the `Auto` choice: its
         // call-time sends are what make overlap effective. Bruck
         // engages only when forced.
-        if p > 1 && self.tuning().alltoall == Select::Force(AlltoallAlgo::Bruck) {
+        let bruck = p > 1 && self.tuning().alltoall == Select::Force(AlltoallAlgo::Bruck);
+        crate::trace::instant(
+            crate::trace::cat::COLL,
+            if bruck {
+                "ialltoall/bruck"
+            } else {
+                "ialltoall/pairwise"
+            },
+            block_bytes as u64,
+            p as u64,
+        );
+        if bruck {
             return self.ialltoall_bruck(bytes_from_slice(send), block_bytes);
         }
         let byte_counts = vec![block_bytes; p];
@@ -875,6 +886,15 @@ impl Comm {
         let algo = self
             .tuning()
             .reduce_algo(op.is_commutative(), ReduceAlgo::FlatGather);
+        crate::trace::instant(
+            crate::trace::cat::COLL,
+            match algo {
+                ReduceAlgo::FlatGather => "ireduce/flat_gather",
+                ReduceAlgo::BinomialTree => "ireduce/binomial_tree",
+            },
+            std::mem::size_of_val(send) as u64,
+            self.size() as u64,
+        );
         let tag = self.next_internal_tag();
         if algo == ReduceAlgo::BinomialTree {
             let after = if self.rank() == root {
@@ -942,6 +962,15 @@ impl Comm {
         let algo = self
             .tuning()
             .reduce_algo(op.is_commutative(), ReduceAlgo::FlatGather);
+        crate::trace::instant(
+            crate::trace::cat::COLL,
+            match algo {
+                ReduceAlgo::FlatGather => "iallreduce/flat_gather",
+                ReduceAlgo::BinomialTree => "iallreduce/binomial_tree",
+            },
+            own.len() as u64,
+            self.size() as u64,
+        );
         let gather_tag = self.next_internal_tag();
         let bcast_tag = self.next_internal_tag();
         if algo == ReduceAlgo::BinomialTree {

@@ -96,6 +96,15 @@ impl Comm {
         let algo = self
             .tuning()
             .reduce_algo(op.is_commutative(), ReduceAlgo::BinomialTree);
+        let _sp = crate::trace::span(
+            crate::trace::cat::COLL,
+            match algo {
+                ReduceAlgo::FlatGather => "reduce/flat_gather",
+                ReduceAlgo::BinomialTree => "reduce/binomial_tree",
+            },
+            std::mem::size_of_val(send) as u64,
+            self.size() as u64,
+        );
         let folded: Option<Vec<T>> = match algo {
             ReduceAlgo::FlatGather => {
                 let gathered = self.gatherv_vec_uncounted(send, root)?;

@@ -17,6 +17,7 @@ use crate::collectives::CollTuning;
 use crate::counter::CallCounts;
 use crate::error::{MpiError, Result};
 use crate::message::{AckSlot, Envelope, Src, Status, TagSel};
+use crate::trace;
 use crate::universe::WorldState;
 use crate::{Rank, Tag};
 
@@ -223,6 +224,7 @@ impl Comm {
         if self.world.is_revoked(self.context) {
             return Err(MpiError::Revoked);
         }
+        let _sp = trace::span(trace::cat::SEND, "send", dest as u64, payload.len() as u64);
         let arrival_ns = {
             let mut clock = self.clock.borrow_mut();
             clock.absorb_cpu();
@@ -272,6 +274,7 @@ impl Comm {
 
     /// Core blocking receive at envelope level.
     pub(crate) fn recv_envelope(&self, src: Src, tag: TagSel) -> Result<Envelope> {
+        let _sp = trace::span(trace::cat::RECV, "recv", src_code(src), 0);
         self.clock.borrow_mut().absorb_cpu();
         let mb = &self.world.mailboxes[self.world_rank()];
         let env = mb.wait_match(self.context, src, tag, || self.wait_interrupted(src))?;
@@ -297,6 +300,7 @@ impl Comm {
 
     /// Blocking probe at envelope level (does not consume the message).
     pub(crate) fn peek_envelope(&self, src: Src, tag: TagSel) -> Result<Status> {
+        let _sp = trace::span(trace::cat::RECV, "probe", src_code(src), 0);
         self.clock.borrow_mut().absorb_cpu();
         let mb = &self.world.mailboxes[self.world_rank()];
         mb.wait_peek(self.context, src, tag, || self.wait_interrupted(src))
@@ -378,6 +382,15 @@ impl Comm {
             new_rank,
             base + color_index,
         )))
+    }
+}
+
+/// Trace encoding of a receive selector: the peer rank, or `u64::MAX`
+/// for `ANY_SOURCE`.
+fn src_code(src: Src) -> u64 {
+    match src {
+        Src::Rank(r) => r as u64,
+        Src::Any => u64::MAX,
     }
 }
 

@@ -95,6 +95,7 @@ use crate::comm::Comm;
 use crate::error::Result;
 use crate::message::{AckSlot, Envelope, Src, Status, TagSel};
 use crate::request::{Completion, Request, RequestSet, TestOutcome};
+use crate::trace;
 use crate::{MpiError, Rank};
 
 /// A parked thread's delivery slot. Single blocking receives get the
@@ -254,6 +255,7 @@ pub fn park_any(requests: &[&Request<'_>], seen_epoch: u64) -> ParkOutcome {
     let outcome = match immediate {
         Some(o) => o,
         None => {
+            let _sp = trace::span(trace::cat::PARK, "park_any", requests.len() as u64, 0);
             let mut st = waiter.state.lock();
             loop {
                 if let Some(slot) = st.fired {
@@ -420,15 +422,18 @@ fn session_step(set: &mut RequestSet<'_>) -> Result<SessionStep> {
         return Ok(SessionStep::Continue);
     }
     mb.watch(&sess.waiter);
-    let interrupted = loop {
-        if st.claimed {
-            break false;
+    let interrupted = {
+        let _sp = trace::span(trace::cat::PARK, "park_session", sess.ids.len() as u64, 0);
+        loop {
+            if st.claimed {
+                break false;
+            }
+            if mb.epoch() != sess.seen_epoch {
+                mb.record_spurious();
+                break true;
+            }
+            sess.waiter.cond.wait(&mut st);
         }
-        if mb.epoch() != sess.seen_epoch {
-            mb.record_spurious();
-            break true;
-        }
-        sess.waiter.cond.wait(&mut st);
     };
     drop(st);
     mb.unwatch(&sess.waiter);
@@ -514,6 +519,7 @@ pub(crate) fn wait_sync_send(comm: &Comm, ack: &Arc<AckSlot>, dest: Rank) -> Res
         let waiter = fresh_waiter();
         mb.watch(&waiter);
         if !ack.register_notify(&waiter, 0) {
+            let _sp = trace::span(trace::cat::PARK, "park_sync_send", dest as u64, 0);
             let mut st = waiter.state.lock();
             loop {
                 if st.fired.is_some() {

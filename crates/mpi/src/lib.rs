@@ -55,6 +55,7 @@ pub mod plain;
 pub mod request;
 pub mod sys;
 pub mod topology;
+pub mod trace;
 pub mod ulfm;
 pub mod universe;
 
@@ -76,7 +77,8 @@ pub use plain::{
 };
 pub use request::{Request, RequestSet};
 pub use topology::DistGraphComm;
-pub use universe::{Config, RankOutcome, RunStats, Universe};
+pub use trace::{LatencyHist, RankTrace, TraceData, TraceStats};
+pub use universe::{Config, RankOutcome, RankStats, RunStats, Universe};
 
 /// A rank identifier within a communicator (also used for world ranks).
 pub type Rank = usize;

@@ -121,6 +121,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::completion::{fresh_waiter, Waiter, WaiterSlot};
 use crate::error::{MpiError, Result};
 use crate::message::{Envelope, Src, Status, TagSel};
+use crate::trace;
 use crate::{Rank, Tag};
 
 /// FxHash-style multiply-rotate hasher for the hot-path indices. The
@@ -226,8 +227,9 @@ impl ShardState {
         best.map(|(_, k)| k)
     }
 
-    /// Removes and returns the first matching envelope, if any.
-    fn pop_match(&mut self, src: Src, tag: TagSel) -> Option<Envelope> {
+    /// Removes and returns the first matching envelope (tagged with its
+    /// arrival seq), if any.
+    fn pop_match(&mut self, src: Src, tag: TagSel) -> Option<(u64, Envelope)> {
         let key = match (src, tag) {
             // Fully specific: O(1) index hit.
             (Src::Rank(r), TagSel::Is(t)) => (r, t),
@@ -237,7 +239,7 @@ impl ShardState {
         let std::collections::hash_map::Entry::Occupied(mut o) = self.umq.entry(key) else {
             return None;
         };
-        let (_, env) = o
+        let (seq, env) = o
             .get_mut()
             .pop_front()
             .expect("drained UMQ keys are removed");
@@ -247,7 +249,7 @@ impl ShardState {
                 self.pool.push(q);
             }
         }
-        Some(env)
+        Some((seq, env))
     }
 
     /// Indexes an unexpected envelope, reusing a pooled FIFO buffer for
@@ -306,6 +308,12 @@ pub struct MailboxStats {
     pub spurious_wakeups: u64,
     /// High-water mark of concurrently parked completion waiters.
     pub max_parked: usize,
+    /// Live per-context shard allocations, including the world shard.
+    /// Shards are created on first use and — deliberately, until a
+    /// `comm_free` lands — **never reclaimed**, so dup/split-heavy
+    /// workloads watch this gauge to measure the leak (one shard per
+    /// context that ever carried traffic or posted a receive).
+    pub shard_count: usize,
 }
 
 /// A rank's matching engine: per-context shards of the two-queue
@@ -400,6 +408,7 @@ impl Mailbox {
                     // the same index (entry `i` was removed).
                 }
                 PostKind::Recv => {
+                    trace::instant(trace::cat::MATCH, "targeted_wakeup", seq, env.src as u64);
                     w.env = Some(env);
                     p.waiter.cond.notify_one();
                     drop(w);
@@ -424,8 +433,15 @@ impl Mailbox {
                         p.waiter.cond.notify_one();
                         drop(w);
                         self.multi_wakeups.fetch_add(1, Ordering::Relaxed);
+                        trace::instant(trace::cat::COMPLETION, "claim", slot as u64, seq);
                     } else {
                         w.missed.push(slot);
+                        trace::instant(
+                            trace::cat::COMPLETION,
+                            "missed_completion",
+                            slot as u64,
+                            seq,
+                        );
                     }
                 }
             }
@@ -433,6 +449,7 @@ impl Mailbox {
         st.enqueue(seq, env);
         let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
         self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        trace::umq_enqueue(seq, depth as u64);
     }
 
     /// Wakes all posted waiters without delivering anything, so they can
@@ -442,7 +459,8 @@ impl Mailbox {
     /// waiters' capture-epoch-then-check protocol this guarantees no
     /// waiter misses the interrupt (see the module docs).
     pub fn interrupt(&self) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        trace::instant(trace::cat::ULFM, "epoch_bump", epoch, 0);
         let mut shards: Vec<Arc<Shard>> = self.shards.read().values().cloned().collect();
         shards.push(Arc::clone(&self.world_shard));
         for shard in shards {
@@ -526,13 +544,15 @@ impl Mailbox {
     /// Counts a parked wakeup that carried no completion claim.
     pub(crate) fn record_spurious(&self) {
         self.spurious.fetch_add(1, Ordering::Relaxed);
+        trace::instant(trace::cat::COMPLETION, "spurious_wakeup", 0, 0);
     }
 
     /// Removes and returns the first matching envelope, if any.
     pub fn try_match(&self, context: u64, src: Src, tag: TagSel) -> Option<Envelope> {
         let shard = self.existing_shard(context)?;
-        let env = shard.state.lock().pop_match(src, tag)?;
+        let (seq, env) = shard.state.lock().pop_match(src, tag)?;
         self.queued.fetch_sub(1, Ordering::Relaxed);
+        trace::instant(trace::cat::MATCH, "umq_match", seq, env.src as u64);
         Some(env)
     }
 
@@ -567,8 +587,9 @@ impl Mailbox {
         let mut seen_epoch = self.epoch.load(Ordering::SeqCst);
         let waiter = {
             let mut st = shard.state.lock();
-            if let Some(env) = st.pop_match(src, tag) {
+            if let Some((seq, env)) = st.pop_match(src, tag) {
                 self.queued.fetch_sub(1, Ordering::Relaxed);
+                trace::instant(trace::cat::MATCH, "umq_match", seq, env.src as u64);
                 return Ok(env);
             }
             if let Some(err) = interrupted() {
@@ -714,6 +735,13 @@ impl Mailbox {
         self.max_parked.load(Ordering::Relaxed)
     }
 
+    /// Live per-context shards, including the world shard. Monotone
+    /// until communicator freeing exists: derived-context shards are
+    /// never reclaimed.
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len() + 1
+    }
+
     /// Snapshot of the engine's diagnostics.
     pub fn stats(&self) -> MailboxStats {
         MailboxStats {
@@ -723,6 +751,7 @@ impl Mailbox {
             multi_wakeups: self.multi_wakeups(),
             spurious_wakeups: self.spurious_wakeups(),
             max_parked: self.max_parked(),
+            shard_count: self.shard_count(),
         }
     }
 }
@@ -1301,9 +1330,65 @@ mod tests {
                 targeted_wakeups: 0,
                 multi_wakeups: 0,
                 spurious_wakeups: 0,
-                max_parked: 0
+                max_parked: 0,
+                // Pushes targeted context 1: its shard plus the world's.
+                shard_count: 2,
             }
         );
+    }
+
+    #[test]
+    fn derived_context_shards_are_never_reclaimed() {
+        // The PR 4 deferral, made measurable: every dup/split context
+        // that carried traffic allocates a shard, and — until a
+        // `comm_free` lands — dropping the communicator must NOT
+        // reclaim it. The gauge pins the leak's exact shape so the
+        // eventual fix has a baseline to beat.
+        use crate::universe::{Config, Universe};
+        let (outcomes, stats) = Universe::run_stats(Config::new(2), |comm| {
+            let mut highwater = comm.mailbox_stats().shard_count;
+            assert_eq!(highwater, 1, "only the world shard before any dup");
+            for round in 0..8u8 {
+                let dup = comm.dup().unwrap();
+                let sub = comm
+                    .split(Some(0), comm.rank() as i64)
+                    .unwrap()
+                    .expect("both ranks pass a color");
+                for c in [&dup, &sub] {
+                    let peer = 1 - c.rank();
+                    if c.rank() == 0 {
+                        c.send(&[round], peer, 0).unwrap();
+                        let _ = c.recv_vec::<u8>(peer, 0).unwrap();
+                    } else {
+                        let _ = c.recv_vec::<u8>(peer, 0).unwrap();
+                        c.send(&[round], peer, 0).unwrap();
+                    }
+                }
+                let now = comm.mailbox_stats().shard_count;
+                assert!(
+                    now >= highwater + 2,
+                    "round {round}: dup + split must each have grown a shard \
+                     ({highwater} -> {now})"
+                );
+                highwater = now;
+                drop(dup);
+                drop(sub);
+                assert_eq!(
+                    comm.mailbox_stats().shard_count,
+                    highwater,
+                    "round {round}: dropping the communicators must not reclaim shards"
+                );
+            }
+        });
+        assert!(outcomes.into_iter().all(|o| o.completed().is_some()));
+        for (rank, s) in stats.iter().enumerate() {
+            // World shard + one per dup/split context (8 + 8).
+            assert!(
+                s.mailbox.shard_count >= 17,
+                "rank {rank}: 8 dup + 8 split contexts all leak: {:?}",
+                s.mailbox
+            );
+        }
     }
 
     #[test]

@@ -162,6 +162,7 @@ impl<'a> Request<'a> {
 
     /// Blocks until the operation completes (mirrors `MPI_Wait`).
     pub fn wait(self) -> Result<Completion> {
+        let _sp = crate::trace::span(crate::trace::cat::WAIT, "wait", 0, 0);
         let comm = self.comm;
         match self.state {
             ReqState::SendDone => Ok(Completion::Done),
@@ -487,6 +488,12 @@ impl<'a> RequestSet<'a> {
 
     /// Waits for all requests, returning completions in insertion order.
     pub fn wait_all(mut self) -> Result<Vec<Completion>> {
+        let _sp = crate::trace::span(
+            crate::trace::cat::WAIT,
+            "wait_all",
+            self.requests.len() as u64,
+            0,
+        );
         crate::completion::teardown_session(&self.requests, &mut self.session);
         std::mem::take(&mut self.requests)
             .into_iter()
@@ -592,6 +599,12 @@ impl<'a> RequestSet<'a> {
     /// [`crate::completion`]). The seed's sweep-and-yield loop survives
     /// as [`crate::completion::reference::wait_any`].
     pub fn wait_any(&mut self) -> Result<Option<(usize, Completion)>> {
+        let _sp = crate::trace::span(
+            crate::trace::cat::WAIT,
+            "wait_any",
+            self.requests.len() as u64,
+            0,
+        );
         crate::completion::wait_any(self)
     }
 
@@ -601,6 +614,12 @@ impl<'a> RequestSet<'a> {
     /// an empty set yields an empty vector. Event-driven, like
     /// [`RequestSet::wait_any`].
     pub fn wait_some(&mut self) -> Result<Vec<(usize, Completion)>> {
+        let _sp = crate::trace::span(
+            crate::trace::cat::WAIT,
+            "wait_some",
+            self.requests.len() as u64,
+            0,
+        );
         crate::completion::wait_some(self)
     }
 }

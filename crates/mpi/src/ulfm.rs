@@ -75,7 +75,8 @@ impl AgreementTable {
     /// captured the old epoch either sees the new failure flags in its
     /// checks or observes the epoch difference and re-checks.
     pub(crate) fn interrupt(&self) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        crate::trace::instant(crate::trace::cat::ULFM, "ulfm_epoch_bump", epoch, 0);
         let entries = self.entries.lock();
         for entry in entries.values() {
             for w in &entry.waiters {

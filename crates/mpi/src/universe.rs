@@ -19,6 +19,7 @@ use crate::comm::Comm;
 use crate::counter::CallCounts;
 use crate::mailbox::{Mailbox, MailboxStats};
 use crate::metrics::{self, CopyStats};
+use crate::trace::{self, TraceData, TraceStats};
 use crate::ulfm::AgreementTable;
 use crate::Rank;
 
@@ -66,6 +67,10 @@ pub struct WorldState {
     /// Final per-rank copy statistics, written when each rank's thread
     /// finishes (the thread-local counters die with the thread).
     pub(crate) copy_stats: Vec<Mutex<CopyStats>>,
+    /// Final per-rank traces, written when each rank's thread finishes
+    /// (the thread-local rings die with the thread). Empty without the
+    /// `trace` feature.
+    pub(crate) traces: Vec<Mutex<trace::RankTrace>>,
     pub(crate) agreements: AgreementTable,
 }
 
@@ -84,6 +89,9 @@ impl WorldState {
                 .collect(),
             copy_stats: (0..config.size)
                 .map(|_| Mutex::new(CopyStats::default()))
+                .collect(),
+            traces: (0..config.size)
+                .map(|_| Mutex::new(trace::RankTrace::default()))
                 .collect(),
             agreements: AgreementTable::new(),
         })
@@ -207,6 +215,21 @@ impl Universe {
         (outcomes, stats)
     }
 
+    /// Runs `f` on `config.size` ranks and additionally returns the
+    /// collected per-rank traces (event timelines + aggregates; see
+    /// [`crate::trace`]). Without the `trace` feature the returned
+    /// [`TraceData`] is empty but well-formed —
+    /// [`TraceData::report`] says so instead of failing.
+    pub fn run_traced<R: Send, F: Fn(Comm) -> R + Sync>(
+        config: Config,
+        f: F,
+    ) -> (Vec<RankOutcome<R>>, TraceData) {
+        let world = WorldState::new(&config);
+        let outcomes = Self::run_on(&config, &world, f);
+        let data = Self::collect_trace(&world);
+        (outcomes, data)
+    }
+
     fn run_on<R: Send, F: Fn(Comm) -> R + Sync>(
         config: &Config,
         world: &Arc<WorldState>,
@@ -225,9 +248,11 @@ impl Universe {
                         .spawn_scoped(scope, move || {
                             let comm = Comm::world(world.clone(), rank);
                             let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
-                            // Preserve the rank's copy counters before the
-                            // thread (and its thread-locals) exits.
+                            // Preserve the rank's copy counters and trace
+                            // before the thread (and its thread-locals)
+                            // exits.
                             *world.copy_stats[rank].lock() = metrics::snapshot();
+                            *world.traces[rank].lock() = trace::take_thread();
                             match result {
                                 Ok(r) => RankOutcome::Completed(r),
                                 Err(payload) => {
@@ -276,23 +301,50 @@ impl Universe {
             .copy_stats
             .iter()
             .zip(&world.mailboxes)
-            .map(|(m, mb)| RunStats {
+            .zip(&world.traces)
+            .map(|((m, mb), t)| RankStats {
                 copy: *m.lock(),
                 mailbox: mb.stats(),
+                trace: t.lock().stats,
             })
             .collect()
     }
+
+    /// Collected per-rank traces after a run (the [`crate::trace`]
+    /// analogue of [`Universe::collect_counts`]).
+    pub fn collect_trace(world: &WorldState) -> TraceData {
+        TraceData {
+            ranks: world.traces.iter().map(|m| m.lock().clone()).collect(),
+        }
+    }
+
+    /// Text profile of a finished run: per-rank event counts, span
+    /// latency quantiles and queue-depth gauges (see
+    /// [`TraceData::report`]). Degrades gracefully without the `trace`
+    /// feature.
+    pub fn trace_report(world: &WorldState) -> String {
+        Self::collect_trace(world).report()
+    }
 }
 
-/// Per-rank whole-run statistics returned by [`Universe::run_stats`].
+/// Per-rank whole-run statistics returned by [`Universe::run_stats`]:
+/// the unified report folding the copy bill, the matching-engine
+/// diagnostics, and the trace aggregates (zeros without the `trace`
+/// feature) into one shape per rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct RunStats {
+pub struct RankStats {
     /// Payload copy/allocation counters (see [`crate::metrics`]).
     pub copy: CopyStats,
     /// Matching-engine diagnostics, including the max unexpected-queue
     /// depth — the matching pressure a bench put on this rank.
     pub mailbox: MailboxStats,
+    /// Trace aggregates: event counts, span latency histograms, and
+    /// the unexpected-queue depth gauge (see [`crate::trace`]).
+    pub trace: TraceStats,
 }
+
+/// Former name of [`RankStats`], kept for existing callers.
+pub type RunStats = RankStats;
 
 fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {

@@ -1,0 +1,150 @@
+//! End-to-end coverage for the tracing subsystem in both build
+//! configurations: with `--features trace` a full universe run records
+//! spans on every rank and exports a schema-valid Chrome trace; without
+//! the feature the whole surface stays callable, allocation-free, and
+//! degrades gracefully.
+
+use kmp_mpi::{trace, Config, RequestSet, Universe};
+
+/// A small workload touching every instrumented layer: p2p matching,
+/// a collective (with algorithm selection), and a `wait_any` drain
+/// through the completion subsystem.
+fn workload(comm: &kmp_mpi::Comm) {
+    let p = comm.size();
+    let me = comm.rank();
+    // p2p ring: everyone sends to the next rank, receives from the
+    // previous — send/recv spans plus matching instants.
+    let next = (me + 1) % p;
+    let prev = (me + p - 1) % p;
+    comm.send(&[me as u8; 256], next, 3).unwrap();
+    let mut buf = [0u8; 256];
+    comm.recv_into(&mut buf, prev, 3).unwrap();
+    assert_eq!(buf[0], prev as u8);
+    // A collective: records a `coll` span named after the selected
+    // algorithm.
+    let sum = comm.allreduce_one(me as u64, kmp_mpi::op::Sum).unwrap();
+    assert_eq!(sum, (p * (p - 1) / 2) as u64);
+    // Completion subsystem: a parked wait_any drain.
+    if me == 0 {
+        let mut set = RequestSet::new();
+        for peer in 1..p {
+            set.push(comm.irecv(peer, 9));
+        }
+        while !set.is_empty() {
+            set.wait_any().unwrap().expect("set non-empty");
+        }
+    } else {
+        comm.send(&[me as u8; 64], 0, 9).unwrap();
+    }
+    comm.barrier().unwrap();
+}
+
+fn assert_completed<R>(outcomes: &[kmp_mpi::RankOutcome<R>]) {
+    for (rank, o) in outcomes.iter().enumerate() {
+        assert!(
+            matches!(o, kmp_mpi::RankOutcome::Completed(_)),
+            "rank {rank} did not complete"
+        );
+    }
+}
+
+/// With tracing compiled out, every entry point must stay callable and
+/// free: the span guard is a ZST, runs collect no events, allocate no
+/// ring storage, and the report says why instead of failing.
+#[cfg(not(feature = "trace"))]
+#[test]
+fn disabled_build_records_nothing_and_degrades_gracefully() {
+    const {
+        assert!(!trace::COMPILED);
+        assert!(std::mem::size_of::<trace::SpanGuard>() == 0);
+    }
+    // The toggle is accepted and ignored.
+    trace::set_enabled(true);
+    assert!(!trace::enabled());
+    trace::set_ring_capacity(8);
+
+    let (outcomes, data) = Universe::run_traced(Config::new(4), |comm| workload(&comm));
+    assert_completed(&outcomes);
+    assert_eq!(data.ranks.len(), 4);
+    for rt in &data.ranks {
+        assert_eq!(
+            rt.stats,
+            trace::TraceStats::default(),
+            "stats must be zeroed"
+        );
+        assert!(rt.events.is_empty());
+        // Not just empty: no ring storage was ever allocated.
+        assert_eq!(rt.events.capacity(), 0);
+    }
+    let report = data.report();
+    assert!(report.contains("feature disabled"), "got: {report}");
+    assert!(report.contains("--features trace"), "got: {report}");
+
+    // The unified per-rank stats carry a zeroed trace block.
+    let (outcomes, stats) = Universe::run_stats(Config::new(2), |comm| workload(&comm));
+    assert_completed(&outcomes);
+    for s in &stats {
+        assert_eq!(s.trace, trace::TraceStats::default());
+    }
+}
+
+/// With tracing compiled in: a universe run records events on every
+/// rank, folds aggregates into `RankStats`, exports a schema-valid
+/// Chrome trace with one pid per rank, and the runtime toggle drops
+/// the whole run to zero events. One test function: the enable flag is
+/// process-global, so the phases must not interleave with each other.
+#[cfg(feature = "trace")]
+#[test]
+fn enabled_build_records_aggregates_exports_and_toggles() {
+    let p = 4;
+
+    // --- enabled run: every layer shows up ---------------------------
+    trace::set_enabled(true);
+    let (outcomes, data) = Universe::run_traced(Config::new(p), |comm| workload(&comm));
+    assert_completed(&outcomes);
+    assert_eq!(data.ranks.len(), p);
+    for (rank, rt) in data.ranks.iter().enumerate() {
+        assert!(!rt.events.is_empty(), "rank {rank} recorded no events");
+        assert_eq!(rt.stats.events, rt.events.len() as u64 + rt.stats.dropped);
+        let coll = &rt.stats.spans[trace::cat::COLL as usize];
+        assert!(coll.count > 0, "rank {rank} has no collective spans");
+        let send = &rt.stats.spans[trace::cat::SEND as usize];
+        assert!(send.count > 0, "rank {rank} has no send spans");
+        // The collective span is named after the selected algorithm.
+        assert!(
+            rt.events
+                .iter()
+                .any(|e| e.cat == trace::cat::COLL && e.name.starts_with("allreduce/")),
+            "rank {rank} lacks a named allreduce span"
+        );
+    }
+
+    // Aggregates also surface through the unified RankStats.
+    let (outcomes, stats) = Universe::run_stats(Config::new(p), |comm| workload(&comm));
+    assert_completed(&outcomes);
+    for (rank, s) in stats.iter().enumerate() {
+        assert!(s.trace.events > 0, "rank {rank} stats.trace is empty");
+    }
+
+    // --- export: schema-valid, one pid per rank ----------------------
+    let json = data.to_chrome_json();
+    let summary = trace::export::validate_chrome(&json).expect("exported trace must validate");
+    assert_eq!(summary.pids, (0..p as u64).collect::<Vec<_>>());
+    assert!(summary.spans > 0);
+    assert!(summary.instants > 0);
+    let report = data.report();
+    assert!(
+        report.contains("rank 0") && report.contains("coll"),
+        "got: {report}"
+    );
+
+    // --- runtime toggle: disabled runs record nothing ----------------
+    trace::set_enabled(false);
+    let (outcomes, quiet) = Universe::run_traced(Config::new(p), |comm| workload(&comm));
+    trace::set_enabled(true);
+    assert_completed(&outcomes);
+    for (rank, rt) in quiet.ranks.iter().enumerate() {
+        assert_eq!(rt.stats.events, 0, "rank {rank} recorded while disabled");
+        assert!(rt.events.is_empty());
+    }
+}
