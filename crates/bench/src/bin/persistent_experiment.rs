@@ -1,0 +1,392 @@
+//! Persistent-operations microbenchmark: MPI-4 `*_init` + `start`/`wait`
+//! cycles (`kmp_mpi::persistent`) against regular per-call posting on
+//! the steady-state shapes the subsystem was built for:
+//!
+//! - **ping_ring** — small-message point-to-point ring: every rank
+//!   sends to its successor and receives from its predecessor, `iters`
+//!   times. Persistent posting freezes both plans once (`send_init` /
+//!   `recv_init` — validated envelope, standing completion
+//!   registration) and re-arms with `start`/`wait`; regular posting
+//!   pays `isend`/`irecv` request construction, matching-entry setup
+//!   and waiter registration on every message.
+//! - **allreduce** — repeated small allreduce, `COLL_BATCH` per cycle.
+//!   Persistent posting freezes `COLL_BATCH` independent plans (each
+//!   with its own internal tags, algorithm selection and engine, fixed
+//!   at init) and re-arms the whole batch with `start_all` — the frozen
+//!   tags are what make the in-flight batch safe, which is the MPI-4
+//!   rationale for persistent collectives. Regular posting issues the
+//!   same `COLL_BATCH` collectives the conventional way: back-to-back
+//!   blocking calls, each re-running selection, tag allocation and
+//!   engine construction.
+//! - **alltoallv** — repeated small personalized exchange with frozen
+//!   counts, batched the same way: the per-peer byte ranges are carved
+//!   out once per plan; regular posting re-derives them (and
+//!   re-allocates the engine) on every call.
+//!
+//! Each scenario runs both postings at p in {4, 8, 16} and reports
+//! steady-state ops/sec (one op = one message cycle for the ring, one
+//! collective otherwise). The binary enforces the PR's acceptance bound
+//! (>= 1.5x ops/sec for persistent posting at p = 8 on the
+//! small-message workloads) and, with `--check PATH`, asserts the
+//! persistent rows have not collapsed relative to a committed baseline
+//! JSON (generous tolerance for machine variance).
+//!
+//! Usage: `persistent_experiment [--smoke] [--out PATH] [--check PATH]`;
+//! writes `BENCH_persistent.json`.
+
+use kmp_bench::harness::{baseline_lines, json_field, write_json, BenchArgs};
+use kmp_mpi::{op, Universe};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Posting {
+    /// `*_init` once, `start`/`wait` per cycle.
+    Persistent,
+    /// Fresh requests (or blocking collective calls) per cycle.
+    Regular,
+}
+
+impl Posting {
+    fn name(self) -> &'static str {
+        match self {
+            Posting::Persistent => "persistent",
+            Posting::Regular => "regular",
+        }
+    }
+}
+
+const WARMUP: usize = 16;
+
+/// Runs `iters` timed cycles of `cycle` after `WARMUP` untimed ones,
+/// with barriers fencing the timed region so every rank measures the
+/// same steady state. Returns the slowest rank's elapsed seconds.
+fn timed_loop(
+    comm: &kmp_mpi::Comm,
+    iters: usize,
+    mut cycle: impl FnMut() -> kmp_mpi::Result<()>,
+) -> f64 {
+    for _ in 0..WARMUP {
+        cycle().unwrap();
+    }
+    comm.barrier().unwrap();
+    let started = std::time::Instant::now();
+    for _ in 0..iters {
+        cycle().unwrap();
+    }
+    comm.barrier().unwrap();
+    started.elapsed().as_secs_f64()
+}
+
+/// How many messages each ring cycle posts per rank: production steady
+/// state is the same op posted over and over, so each cycle re-arms a
+/// whole batch — per-call setup (request construction, matching-entry
+/// and waiter churn) scales with the batch while the cross-thread
+/// wakeup is paid once per cycle.
+const RING_BATCH: usize = 64;
+
+/// Collectives in flight per cycle (see the module doc): persistent
+/// posting starts the whole batch of frozen plans together; regular
+/// posting runs the same count of conventional blocking calls.
+const COLL_BATCH: usize = 4;
+
+/// Small-message send/recv ring, `RING_BATCH` messages per rank per
+/// cycle. One op = one message (a send with its matching receive).
+fn ping_ring(posting: Posting, p: usize, iters: usize, elems: usize) -> (usize, f64) {
+    let secs = Universe::run(p, move |comm| {
+        let r = comm.rank();
+        let dest = (r + 1) % p;
+        let src = (r + p - 1) % p;
+        let data = vec![r as u64; elems];
+        match posting {
+            Posting::Persistent => {
+                // The whole batch is frozen once: one plan per slot,
+                // distinguished by tag.
+                let mut sends: Vec<_> = (0..RING_BATCH)
+                    .map(|k| comm.send_init(&data, dest, k as i32).unwrap())
+                    .collect();
+                let mut recvs: Vec<_> = (0..RING_BATCH)
+                    .map(|k| comm.recv_init(src, k as i32).unwrap())
+                    .collect();
+                timed_loop(&comm, iters, || {
+                    kmp_mpi::start_all(&mut sends)?;
+                    kmp_mpi::start_all(&mut recvs)?;
+                    for s in &mut sends {
+                        s.wait()?;
+                    }
+                    for rv in &mut recvs {
+                        rv.wait()?;
+                    }
+                    Ok(())
+                })
+            }
+            Posting::Regular => timed_loop(&comm, iters, || {
+                let mut reqs = kmp_mpi::RequestSet::new();
+                for k in 0..RING_BATCH {
+                    reqs.push(comm.isend(&data, dest, k as i32)?);
+                }
+                for k in 0..RING_BATCH {
+                    reqs.push(comm.irecv(src, k as i32));
+                }
+                reqs.wait_all()?;
+                Ok(())
+            }),
+        }
+    })
+    .into_iter()
+    .fold(0f64, f64::max);
+    (iters * p * RING_BATCH, secs)
+}
+
+/// Repeated small allreduce, `COLL_BATCH` collectives per cycle. One
+/// op = one collective.
+fn allreduce(posting: Posting, p: usize, iters: usize, elems: usize) -> (usize, f64) {
+    let secs = Universe::run(p, move |comm| {
+        let data = vec![comm.rank() as u64 + 1; elems];
+        match posting {
+            Posting::Persistent => {
+                let mut batch: Vec<_> = (0..COLL_BATCH)
+                    .map(|_| comm.allreduce_init(&data, op::Sum).unwrap())
+                    .collect();
+                timed_loop(&comm, iters, || {
+                    for red in &mut batch {
+                        red.start()?;
+                    }
+                    for red in &mut batch {
+                        red.wait()?;
+                    }
+                    Ok(())
+                })
+            }
+            Posting::Regular => timed_loop(&comm, iters, || {
+                for _ in 0..COLL_BATCH {
+                    comm.allreduce_vec(&data, op::Sum)?;
+                }
+                Ok(())
+            }),
+        }
+    })
+    .into_iter()
+    .fold(0f64, f64::max);
+    (iters * COLL_BATCH, secs)
+}
+
+/// Repeated small personalized exchange with frozen per-peer counts,
+/// `COLL_BATCH` collectives per cycle. One op = one collective.
+fn alltoallv(posting: Posting, p: usize, iters: usize, elems: usize) -> (usize, f64) {
+    let secs = Universe::run(p, move |comm| {
+        let data = vec![comm.rank() as u64; elems * p];
+        let counts = vec![elems; p];
+        let displs: Vec<usize> = (0..p).map(|r| r * elems).collect();
+        match posting {
+            Posting::Persistent => {
+                let mut batch: Vec<_> = (0..COLL_BATCH)
+                    .map(|_| comm.alltoallv_init(&data, &counts).unwrap())
+                    .collect();
+                timed_loop(&comm, iters, || {
+                    for a2a in &mut batch {
+                        a2a.start()?;
+                    }
+                    for a2a in &mut batch {
+                        a2a.wait()?;
+                    }
+                    Ok(())
+                })
+            }
+            Posting::Regular => {
+                let mut recv = vec![0u64; elems * p];
+                timed_loop(&comm, iters, || {
+                    for _ in 0..COLL_BATCH {
+                        comm.alltoallv_into(&data, &counts, &displs, &mut recv, &counts, &displs)?;
+                    }
+                    Ok(())
+                })
+            }
+        }
+    })
+    .into_iter()
+    .fold(0f64, f64::max);
+    (iters * COLL_BATCH, secs)
+}
+
+#[derive(Clone, Debug)]
+struct Row {
+    scenario: &'static str,
+    posting: &'static str,
+    ranks: usize,
+    ops: usize,
+    elapsed_ms: f64,
+    ops_per_sec: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"scenario\": \"{}\", \"posting\": \"{}\", \"ranks\": {}, \
+             \"ops\": {}, \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.0}}}",
+            self.scenario, self.posting, self.ranks, self.ops, self.elapsed_ms, self.ops_per_sec
+        )
+    }
+}
+
+const SCENARIOS: [&str; 3] = ["ping_ring", "allreduce", "alltoallv"];
+
+fn run_scenario(
+    scenario: &'static str,
+    posting: Posting,
+    p: usize,
+    iters: usize,
+    elems: usize,
+    reps: usize,
+    rows: &mut Vec<Row>,
+) {
+    let f = match scenario {
+        "ping_ring" => ping_ring,
+        "allreduce" => allreduce,
+        "alltoallv" => alltoallv,
+        other => panic!("unknown scenario {other}"),
+    };
+    // Warm-up run, then best-of-`reps`: on an oversubscribed host a
+    // single bad scheduling window dwarfs per-op deltas, so the
+    // steady-state rate is the *fastest* rep (standard best-of-N), not
+    // the mean — both postings get the same treatment.
+    let _ = f(posting, p, iters, elems);
+    let mut best: Option<(usize, f64)> = None;
+    for _ in 0..reps {
+        let (ops, secs) = f(posting, p, iters, elems);
+        if best.is_none_or(|(bo, bs)| (ops as f64) / secs > bo as f64 / bs) {
+            best = Some((ops, secs));
+        }
+    }
+    let (ops, secs) = best.expect("at least one rep");
+    rows.push(Row {
+        scenario,
+        posting: posting.name(),
+        ranks: p,
+        ops,
+        elapsed_ms: secs * 1e3,
+        ops_per_sec: ops as f64 / secs,
+    });
+}
+
+fn rate(rows: &[Row], scenario: &str, posting: &str, p: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.scenario == scenario && r.posting == posting && r.ranks == p)
+        .unwrap_or_else(|| panic!("missing row {scenario}/{posting}/p{p}"))
+        .ops_per_sec
+}
+
+/// Typed rows from a committed baseline, via the shared line-based
+/// extraction (`kmp_bench::harness`).
+fn baseline_rates(json: &str) -> Vec<(String, String, usize, f64)> {
+    baseline_lines(json, "scenario")
+        .into_iter()
+        .filter_map(|l| {
+            Some((
+                json_field(l, "scenario")?,
+                json_field(l, "posting")?,
+                json_field(l, "ranks")?.parse().ok()?,
+                json_field(l, "ops_per_sec")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse("BENCH_persistent.json");
+    let smoke = args.smoke;
+    let baseline = args.baseline.as_deref().map(baseline_rates);
+
+    let ps = [4usize, 8, 16];
+    // Small payloads: 64 u64 (512 bytes) per message / contribution —
+    // comfortably inside the eager/small-message regime, where per-call
+    // setup (request construction, payload staging, waiter churn)
+    // dominates transport cost.
+    let elems = 64usize;
+    let (ring_iters, coll_iters, reps) = if smoke { (60, 80, 3) } else { (250, 350, 5) };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &p in &ps {
+        for scenario in SCENARIOS {
+            let iters = if scenario == "ping_ring" {
+                ring_iters
+            } else {
+                coll_iters
+            };
+            for posting in [Posting::Persistent, Posting::Regular] {
+                run_scenario(scenario, posting, p, iters, elems, reps, &mut rows);
+            }
+        }
+    }
+
+    println!(
+        "{:<12} {:<11} {:>3} {:>9} {:>11} {:>12}",
+        "scenario", "posting", "p", "ops", "elapsed ms", "ops/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<11} {:>3} {:>9} {:>11.2} {:>12.0}",
+            r.scenario, r.posting, r.ranks, r.ops, r.elapsed_ms, r.ops_per_sec
+        );
+    }
+
+    let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+    write_json(
+        &args.out,
+        "persistent",
+        args.mode(),
+        &[("payload_elems", elems.to_string())],
+        &body,
+    );
+
+    // --- acceptance: the frozen plan's win is pinned, not asserted ------
+
+    for &p in &ps {
+        for scenario in SCENARIOS {
+            let pers = rate(&rows, scenario, "persistent", p);
+            let reg = rate(&rows, scenario, "regular", p);
+            println!(
+                "{scenario} p={p}: persistent/regular ops rate = {:.2}x",
+                pers / reg
+            );
+            // Sanity floor everywhere: replaying a frozen plan must
+            // never be meaningfully slower than re-planning per call.
+            assert!(
+                pers * 1.25 >= reg,
+                "{scenario} p={p}: persistent posting fell past the sanity floor \
+                 (persistent {pers:.0} vs regular {reg:.0} ops/sec)"
+            );
+        }
+    }
+    // The PR's acceptance bound: >= 1.5x steady-state ops/sec at p = 8
+    // on the small-message workloads.
+    for scenario in SCENARIOS {
+        let pers = rate(&rows, scenario, "persistent", 8);
+        let reg = rate(&rows, scenario, "regular", 8);
+        assert!(
+            pers >= reg * 1.5,
+            "the acceptance bound — >= 1.5x steady-state ops/sec for \
+             persistent posting at p = 8 — failed for {scenario}: \
+             persistent {pers:.0} vs regular {reg:.0} ops/sec"
+        );
+    }
+    println!("persistent contract holds: >= 1.5x ops/sec at p = 8 on all scenarios");
+
+    if let Some(baseline) = baseline {
+        // CI drift guard: persistent rows must stay within a generous
+        // factor of the committed full-run baseline (catches
+        // order-of-magnitude regressions — a thawed plan re-running
+        // setup per cycle — not percent noise).
+        const TOLERANCE: f64 = 4.0;
+        for (scenario, posting, p, base_rate) in baseline {
+            if posting != "persistent" || !ps.contains(&p) {
+                continue;
+            }
+            let now = rate(&rows, &scenario, "persistent", p);
+            assert!(
+                now * TOLERANCE >= base_rate,
+                "{scenario} p={p}: persistent rate {now:.0} ops/sec fell below \
+                 1/{TOLERANCE} x committed baseline ({base_rate:.0} ops/sec)"
+            );
+        }
+        println!("baseline check passed (>= 1/{TOLERANCE:.0} x committed rates)");
+    }
+}

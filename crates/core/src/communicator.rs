@@ -92,6 +92,15 @@ impl Communicator {
     pub fn clock_now_ns(&self) -> u64 {
         self.raw.clock_now_ns()
     }
+
+    /// Collectively frees the communicator (mirrors `MPI_Comm_free`):
+    /// synchronizes all members, then reclaims the per-context matching
+    /// shards on every rank. Outstanding requests and persistent handles
+    /// borrow the communicator, so the borrow checker enforces MPI's
+    /// "free only after completing all requests" rule at compile time.
+    pub fn free(self) -> Result<()> {
+        self.raw.free()
+    }
 }
 
 impl From<Comm> for Communicator {

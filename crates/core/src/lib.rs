@@ -32,6 +32,11 @@
 //!   are discovered from the messages and `wait_with_counts()` returns
 //!   them for free. Futures compose with [`p2p::RequestPool`] /
 //!   [`p2p::BoundedRequestPool`] (including `wait_any` / `wait_some`).
+//! - **Persistent operations** (MPI-4, [`persistent`]): `send_init` /
+//!   `recv_init` / `bcast_init` / `allreduce_init` / `allgather_init` /
+//!   `alltoallv_init` freeze the communication plan once; every
+//!   `start()`/`wait()` cycle then runs with zero per-call setup — no
+//!   algorithm re-selection, no waiter re-registration.
 //! - **Algorithm tuning**: the binding stays policy-free while the
 //!   substrate's selection engine
 //!   ([`kmp_mpi::collectives::algos`]) picks per-collective algorithms
@@ -67,6 +72,7 @@ pub mod communicator;
 pub mod compile_checks;
 pub mod p2p;
 pub mod params;
+pub mod persistent;
 pub mod plugins;
 pub mod serialization;
 pub mod utils;
@@ -118,6 +124,7 @@ pub mod prelude {
         recv_displs, recv_displs_out, root, send_buf, send_count, send_counts, send_counts_out,
         send_displs, send_displs_out, send_recv_buf, source, tag, tuning,
     };
+    pub use crate::persistent::Persistent;
     pub use crate::plugins::grid::GridAlltoall;
     pub use crate::plugins::repro_reduce::ReproducibleReduce;
     pub use crate::plugins::sorter::Sorter;

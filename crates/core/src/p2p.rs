@@ -354,24 +354,43 @@ impl<'a, T: Plain> Pooled<'a> for crate::collectives::NonBlockingBcast<'a, T> {
 #[derive(Default)]
 pub struct RequestPool<'a> {
     entries: Vec<Box<dyn Pooled<'a> + 'a>>,
+    /// Stable id per entry, parallel to `entries` — the key of each
+    /// standing registration in `session` (positions shift as entries
+    /// retire; ids never do).
+    ids: Vec<usize>,
+    next_id: usize,
+    /// Standing registrations kept across `wait_any` calls for pools of
+    /// plain receives ([`kmp_mpi::PoolSession`]): each pending receive
+    /// registers once, each completion retires one registration —
+    /// draining n receives costs O(n) registrations total instead of
+    /// re-registering every survivor on every park. Torn down on any
+    /// mutation of the pool.
+    session: Option<kmp_mpi::PoolSession>,
 }
 
 impl<'a> RequestPool<'a> {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        RequestPool {
-            entries: Vec::new(),
-        }
+        RequestPool::default()
+    }
+
+    fn push_entry(&mut self, entry: Box<dyn Pooled<'a> + 'a>) {
+        // Mutation invalidates the session (its registrations no longer
+        // cover the whole pool); dropping it deregisters everything.
+        self.session = None;
+        self.entries.push(entry);
+        self.ids.push(self.next_id);
+        self.next_id += 1;
     }
 
     /// Submits a non-blocking send.
     pub fn submit_send<H: ReclaimHold + 'a>(&mut self, op: NonBlockingSend<'a, H>) {
-        self.entries.push(Box::new(op));
+        self.push_entry(Box::new(op));
     }
 
     /// Submits a non-blocking receive.
     pub fn submit_recv<T: Plain>(&mut self, op: NonBlockingRecv<'a, T>) {
-        self.entries.push(Box::new(op));
+        self.push_entry(Box::new(op));
     }
 
     /// Submits a non-blocking collective (`iallgatherv`, `ialltoallv`,
@@ -381,12 +400,12 @@ impl<'a> RequestPool<'a> {
         &mut self,
         op: crate::collectives::NonBlockingCollective<'a, T, H>,
     ) {
-        self.entries.push(Box::new(op));
+        self.push_entry(Box::new(op));
     }
 
     /// Submits a non-blocking broadcast.
     pub fn submit_bcast<T: Plain>(&mut self, op: crate::collectives::NonBlockingBcast<'a, T>) {
-        self.entries.push(Box::new(op));
+        self.push_entry(Box::new(op));
     }
 
     /// Number of pending operations.
@@ -400,7 +419,8 @@ impl<'a> RequestPool<'a> {
     }
 
     /// Completes all pooled operations (mirrors `MPI_Waitall`).
-    pub fn wait_all(self) -> Result<()> {
+    pub fn wait_all(mut self) -> Result<()> {
+        self.session = None;
         for e in self.entries {
             e.wait_boxed()?;
         }
@@ -413,20 +433,41 @@ impl<'a> RequestPool<'a> {
         let mut ready: Option<usize> = None;
         let mut erred = None;
         let mut kept: Vec<Box<dyn Pooled<'a> + 'a>> = Vec::with_capacity(self.entries.len());
-        for (i, entry) in std::mem::take(&mut self.entries).into_iter().enumerate() {
+        let mut kept_ids: Vec<usize> = Vec::with_capacity(self.ids.len());
+        let prior_ids = std::mem::take(&mut self.ids);
+        for ((i, entry), id) in std::mem::take(&mut self.entries)
+            .into_iter()
+            .enumerate()
+            .zip(prior_ids)
+        {
             if ready.is_some() || erred.is_some() {
                 kept.push(entry);
+                kept_ids.push(id);
                 continue;
             }
             match entry.test_boxed() {
-                Ok(None) => ready = Some(i),
-                Ok(Some(pending)) => kept.push(pending),
+                Ok(None) => {
+                    ready = Some(i);
+                    if let Some(sess) = &mut self.session {
+                        sess.complete(id);
+                    }
+                }
+                Ok(Some(pending)) => {
+                    kept.push(pending);
+                    kept_ids.push(id);
+                }
                 // The erroring operation is consumed; the rest stay
                 // pooled so survivors remain completable.
-                Err(e) => erred = Some(e),
+                Err(e) => {
+                    erred = Some(e);
+                    if let Some(sess) = &mut self.session {
+                        sess.complete(id);
+                    }
+                }
             }
         }
         self.entries = kept;
+        self.ids = kept_ids;
         match erred {
             Some(e) => Err(e),
             None => Ok(ready),
@@ -437,19 +478,74 @@ impl<'a> RequestPool<'a> {
     /// `MPI_Waitany`), removing it. Returns its index at call time, or
     /// `None` for an empty pool; later entries shift down by one.
     ///
-    /// Event-driven: between test sweeps the thread parks with one
-    /// waiter registered on every pending operation's sources, and the
-    /// first completion wakes it with the index to re-test
-    /// ([`kmp_mpi::completion`]) — the §III-E ownership-safe futures
-    /// gain the substrate's wakeup latency with no change to their API.
+    /// Event-driven: pools of plain receives keep a standing-registration
+    /// session across calls ([`kmp_mpi::PoolSession`]) — each completion
+    /// retires one registration and the next call parks with **zero**
+    /// re-registration, so draining n receives is O(n) registrations
+    /// total. Mixed pools park transiently with one waiter registered on
+    /// every pending operation's sources ([`kmp_mpi::completion`]) — the
+    /// §III-E ownership-safe futures gain the substrate's wakeup latency
+    /// with no change to their API.
     pub fn wait_any(&mut self) -> Result<Option<usize>> {
         if self.entries.is_empty() {
+            self.session = None;
             return Ok(None);
         }
         loop {
+            if self.session.is_some() {
+                let step = self.session.as_mut().expect("checked").next_signalled();
+                match step {
+                    kmp_mpi::PoolStep::Signalled(id) => {
+                        let Some(pos) = self.ids.iter().position(|&x| x == id) else {
+                            continue;
+                        };
+                        let entry = self.entries.remove(pos);
+                        self.ids.remove(pos);
+                        match entry.test_boxed() {
+                            Ok(None) => {
+                                if let Some(sess) = self.session.as_mut() {
+                                    sess.complete(id);
+                                }
+                                return Ok(Some(pos));
+                            }
+                            Ok(Some(pending)) => {
+                                // Spurious signal: one push wakes every
+                                // standing entry whose selector matches,
+                                // so siblings of the real recipient test
+                                // pending. Their registrations are still
+                                // in place — keep the session and wait
+                                // for the next signal.
+                                self.entries.insert(pos, pending);
+                                self.ids.insert(pos, id);
+                                continue;
+                            }
+                            Err(e) => {
+                                // The erroring entry is consumed (like
+                                // the sweep); retire its registration so
+                                // survivors keep a consistent session.
+                                if let Some(sess) = self.session.as_mut() {
+                                    sess.complete(id);
+                                }
+                                return Err(e);
+                            }
+                        }
+                    }
+                    kmp_mpi::PoolStep::Interrupted => self.session = None,
+                }
+            }
             let epoch = kmp_mpi::park_epoch(self.entries[0].raw_request());
             if let Some(i) = self.sweep_any()? {
                 return Ok(Some(i));
+            }
+            let pairs: Vec<(usize, &Request<'a>)> = self
+                .ids
+                .iter()
+                .zip(&self.entries)
+                .map(|(&id, e)| (id, e.raw_request()))
+                .collect();
+            if let Some(sess) = kmp_mpi::PoolSession::build(&pairs, epoch) {
+                self.session = Some(sess);
+                continue;
             }
             let refs: Vec<&Request<'a>> = self.entries.iter().map(|e| e.raw_request()).collect();
             if let kmp_mpi::ParkOutcome::Ready(i) = kmp_mpi::park_any(&refs, epoch) {
@@ -457,9 +553,13 @@ impl<'a> RequestPool<'a> {
                 // still-pending outcome (its engine advanced without
                 // finishing) falls through to the next full sweep.
                 let entry = self.entries.remove(i);
+                let id = self.ids.remove(i);
                 match entry.test_boxed()? {
                     None => return Ok(Some(i)),
-                    Some(pending) => self.entries.insert(i, pending),
+                    Some(pending) => {
+                        self.entries.insert(i, pending);
+                        self.ids.insert(i, id);
+                    }
                 }
             }
         }
@@ -470,6 +570,9 @@ impl<'a> RequestPool<'a> {
     /// indices at call time, in order; an empty pool yields an empty
     /// vector. Event-driven, like [`RequestPool::wait_any`].
     pub fn wait_some(&mut self) -> Result<Vec<usize>> {
+        // wait_some retires an unpredictable subset; simpler to drop the
+        // session (deregistering everything) than to patch it up.
+        self.session = None;
         if self.entries.is_empty() {
             return Ok(Vec::new());
         }
@@ -478,18 +581,29 @@ impl<'a> RequestPool<'a> {
             let mut done = Vec::new();
             let mut erred = None;
             let mut kept: Vec<Box<dyn Pooled<'a> + 'a>> = Vec::with_capacity(self.entries.len());
-            for (i, entry) in std::mem::take(&mut self.entries).into_iter().enumerate() {
+            let mut kept_ids: Vec<usize> = Vec::with_capacity(self.ids.len());
+            let prior_ids = std::mem::take(&mut self.ids);
+            for ((i, entry), id) in std::mem::take(&mut self.entries)
+                .into_iter()
+                .enumerate()
+                .zip(prior_ids)
+            {
                 if erred.is_some() {
                     kept.push(entry);
+                    kept_ids.push(id);
                     continue;
                 }
                 match entry.test_boxed() {
                     Ok(None) => done.push(i),
-                    Ok(Some(pending)) => kept.push(pending),
+                    Ok(Some(pending)) => {
+                        kept.push(pending);
+                        kept_ids.push(id);
+                    }
                     Err(e) => erred = Some(e),
                 }
             }
             self.entries = kept;
+            self.ids = kept_ids;
             if let Some(e) = erred {
                 return Err(e);
             }
@@ -916,6 +1030,47 @@ mod tests {
             eprintln!("attempt {attempt}: the send outran the park; retrying");
         }
         panic!("the pool never parked across 5 attempts — wait_any is polling");
+    }
+
+    /// Satellite of the persistent-ops PR: draining an n-receive pool
+    /// through `wait_any` must make O(n) waiter registrations total (one
+    /// standing registration per receive, retired as each completes) —
+    /// not the O(n²/2) of transiently re-registering every survivor on
+    /// every park. Pinned by the mailbox's monotonic registration
+    /// counter.
+    #[test]
+    fn pool_wait_any_drain_makes_one_registration_per_receive() {
+        const N: u64 = 12;
+        Universe::run(2, |comm| {
+            let comm = Communicator::new(comm);
+            if comm.rank() == 0 {
+                let mut pool = crate::p2p::RequestPool::new();
+                for _ in 0..N {
+                    pool.submit_recv(comm.irecv::<u8, _>(source(1)).unwrap());
+                }
+                let before = comm.raw().mailbox_stats().notify_registrations;
+                let mut drained = 0;
+                while pool.wait_any().unwrap().is_some() {
+                    drained += 1;
+                }
+                assert_eq!(drained, N);
+                let after = comm.raw().mailbox_stats().notify_registrations;
+                assert!(
+                    after - before <= N,
+                    "drained {N} receives with {} registrations — the pool \
+                     is re-registering instead of keeping its session",
+                    after - before
+                );
+            } else {
+                for i in 0..N {
+                    // Stagger so the pool actually parks between
+                    // completions instead of sweeping everything up.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    comm.send((send_buf(&[i as u8][..]), destination(0)))
+                        .unwrap();
+                }
+            }
+        });
     }
 
     #[test]

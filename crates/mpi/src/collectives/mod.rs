@@ -70,7 +70,7 @@ pub use algos::{
 };
 pub(crate) use allgather::{allgather_blocks, allgather_internal};
 pub(crate) use alltoall::alltoallv_internal;
-pub(crate) use bcast::{bcast_bytes_internal, bcast_one_internal};
+pub(crate) use bcast::{bcast_bytes_internal, bcast_forward, bcast_one_internal};
 pub(crate) use reduce::allreduce_internal;
 
 use bytes::Bytes;

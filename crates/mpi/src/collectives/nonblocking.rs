@@ -75,6 +75,23 @@ pub(crate) trait CollEngine {
     /// (about to complete) and must not be parked on. Called only after
     /// a non-blocking `advance`, so call-time sends have been posted.
     fn sources(&self, comm: &Comm, out: &mut Vec<(Rank, Tag)>);
+
+    /// Resets a completed engine for another cycle on the *same* frozen
+    /// tag schedule (the persistent-request hook, [`crate::persistent`]):
+    /// `own` re-seeds this rank's contribution where the engine carries
+    /// one. Returns `false` for engines that do not support restart —
+    /// persistent init only builds rewindable engines, so the default
+    /// stays honest for the one-shot ones.
+    fn rewind(&mut self, _own: Option<Bytes>) -> bool {
+        false
+    }
+
+    /// The full, frozen set of `(source rank, tag)` pairs this engine
+    /// can ever receive from across a cycle (unlike [`Self::sources`],
+    /// which reports only the *currently* blocking ones). Persistent
+    /// init registers a standing waiter on each, once. Engines that do
+    /// not support restart report none.
+    fn all_sources(&self, _comm: &Comm, _out: &mut Vec<(Rank, Tag)>) {}
 }
 
 /// Receives one message from every peer rank (everything except
@@ -84,6 +101,9 @@ struct RecvFromEach {
     tag: Tag,
     blocks: Vec<Option<Bytes>>,
     missing: usize,
+    /// This rank's slot (pre-filled when the rank contributes in-band);
+    /// remembered so a persistent rewind can re-seed it.
+    home: usize,
 }
 
 /// One receive attempt from `src` on `tag`: blocking when `block` is
@@ -114,14 +134,29 @@ impl RecvFromEach {
         let p = comm.size();
         let mut blocks: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
         let mut missing = p;
+        let home = comm.rank();
         if let Some(own) = own {
-            blocks[comm.rank()] = Some(own);
+            blocks[home] = Some(own);
             missing -= 1;
         }
         RecvFromEach {
             tag,
             blocks,
             missing,
+            home,
+        }
+    }
+
+    /// Re-arms for another round of receives on the same tag, reusing
+    /// the slot vector (no allocation): the persistent-cycle reset.
+    fn reset(&mut self, own: Option<Bytes>) {
+        self.missing = self.blocks.len();
+        for b in &mut self.blocks {
+            *b = None;
+        }
+        if let Some(own) = own {
+            self.blocks[self.home] = Some(own);
+            self.missing -= 1;
         }
     }
 
@@ -154,9 +189,19 @@ impl RecvFromEach {
             }
         }
     }
+
+    /// Every peer slot, filled or not — the frozen per-cycle source set
+    /// a persistent registration covers.
+    fn all_sources(&self, out: &mut Vec<(Rank, Tag)>) {
+        for r in 0..self.blocks.len() {
+            if r != self.home {
+                out.push((r, self.tag));
+            }
+        }
+    }
 }
 
-fn message_completion(source: Rank, tag: Tag, payload: Bytes) -> Completion {
+pub(crate) fn message_completion(source: Rank, tag: Tag, payload: Bytes) -> Completion {
     let status = Status {
         source,
         tag,
@@ -238,6 +283,15 @@ impl CollEngine for BcastRecvEngine {
     fn sources(&self, comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
         out.push((self.recv.parent(comm), self.recv.tag));
     }
+
+    fn rewind(&mut self, _own: Option<Bytes>) -> bool {
+        // Stateless between cycles: every field is frozen config.
+        true
+    }
+
+    fn all_sources(&self, comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        out.push((self.recv.parent(comm), self.recv.tag));
+    }
 }
 
 /// Collects one block per rank and completes with
@@ -259,6 +313,15 @@ impl CollEngine for BlocksEngine {
 
     fn sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
         self.recv.sources(out);
+    }
+
+    fn rewind(&mut self, own: Option<Bytes>) -> bool {
+        self.recv.reset(own);
+        true
+    }
+
+    fn all_sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        self.recv.all_sources(out);
     }
 }
 
@@ -324,6 +387,16 @@ impl CollEngine for AllreduceRootEngine {
 
     fn sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
         self.recv.sources(out);
+    }
+
+    fn rewind(&mut self, own: Option<Bytes>) -> bool {
+        // The fold closure is `FnMut` — reusable across cycles.
+        self.recv.reset(own);
+        true
+    }
+
+    fn all_sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        self.recv.all_sources(out);
     }
 }
 
@@ -545,6 +618,46 @@ fn ordered_fold<T: Plain, O: ReduceOp<T> + 'static>(
             fold_bytes_right(&mut acc, &block, &op)?;
         }
         Ok(bytes_from_vec(acc))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Persistent-init engine constructors (see `crate::persistent`): the
+// engine types stay private to this module; persistent plans freeze one
+// of these rewindable machines at init time.
+// ---------------------------------------------------------------------------
+
+/// Non-root side of a persistent broadcast cycle (also the broadcast
+/// phase of a persistent allreduce at non-roots).
+pub(crate) fn bcast_recv_engine(tag: Tag, root: Rank) -> Box<dyn CollEngine> {
+    Box::new(BcastRecvEngine {
+        recv: BcastRecv { tag, root },
+        root,
+    })
+}
+
+/// One-block-per-rank collector (persistent allgather / alltoallv):
+/// completes with [`Completion::Blocks`]. `own` seeds the first cycle.
+pub(crate) fn blocks_engine(comm: &Comm, tag: Tag, own: Bytes) -> Box<dyn CollEngine> {
+    Box::new(BlocksEngine {
+        recv: RecvFromEach::new(comm, tag, Some(own)),
+    })
+}
+
+/// Rank 0 of a persistent allreduce: gather + rank-ordered fold +
+/// binomial broadcast, rewindable across cycles (the fold closure is
+/// `FnMut`).
+pub(crate) fn allreduce_root_engine<T: Plain, O: ReduceOp<T> + 'static>(
+    comm: &Comm,
+    gather_tag: Tag,
+    bcast_tag: Tag,
+    own: Bytes,
+    op: O,
+) -> Box<dyn CollEngine> {
+    Box::new(AllreduceRootEngine {
+        recv: RecvFromEach::new(comm, gather_tag, Some(own)),
+        fold: ordered_fold::<T, O>(op),
+        bcast_tag,
     })
 }
 

@@ -383,6 +383,29 @@ impl Comm {
             base + color_index,
         )))
     }
+
+    /// Collectively frees a derived communicator (mirrors
+    /// `MPI_Comm_free`), reclaiming its per-context shard from this
+    /// rank's matching engine — the PR 4 leak fix: dup/split-heavy
+    /// loops that free their communicators hold `shard_count` flat.
+    ///
+    /// All members must call `free`; it synchronizes with a barrier, so
+    /// every in-flight message on the context is consumed before any
+    /// rank drops its shard (the dissemination barrier only completes
+    /// at a rank once all messages addressed to it have been received).
+    /// Pending operations on the communicator must be completed first,
+    /// as with `MPI_Comm_free`. The world communicator cannot be freed.
+    pub fn free(self) -> Result<()> {
+        self.count_op("comm_free");
+        if self.context == 0 {
+            return Err(MpiError::InvalidLayout(
+                "the world communicator cannot be freed".into(),
+            ));
+        }
+        self.barrier()?;
+        self.mailbox().remove_shard(self.context);
+        Ok(())
+    }
 }
 
 /// Trace encoding of a receive selector: the peer rank, or `u64::MAX`

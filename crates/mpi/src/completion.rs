@@ -126,6 +126,16 @@ pub(crate) struct WaiterSlot {
 pub(crate) struct Waiter {
     pub(crate) state: Mutex<WaiterSlot>,
     pub(crate) cond: Condvar,
+    /// Armed flag for *wake-only* standing registrations
+    /// ([`crate::mailbox::Mailbox::register_standing`]): set by the
+    /// owner just before it starts waiting, cleared when the wait ends.
+    /// While clear, matching pushes skip the claim entirely — no waiter
+    /// lock, no wakeup — because a wake-only owner always re-tests the
+    /// queues itself and never reads claims as completion records. The
+    /// store happens before the owner's post-arm queue re-test (which
+    /// takes the shard lock pushes hold), so a push that enqueues after
+    /// that re-test is guaranteed to observe the flag.
+    pub(crate) armed: std::sync::atomic::AtomicBool,
 }
 
 impl Waiter {
@@ -360,6 +370,168 @@ fn build_session(set: &mut RequestSet<'_>, seen_epoch: u64) -> bool {
     }
     set.session = Some(sess);
     true
+}
+
+/// Outcome of one [`PoolSession::next_signalled`] step.
+pub enum PoolStep {
+    /// Entry `id` was signalled: a message matching its selectors
+    /// arrived (or was already queued at registration). Re-test it.
+    Signalled(usize),
+    /// The interruption epoch moved. Tear the session down and
+    /// re-sweep everything under fresh interruption checks.
+    Interrupted,
+}
+
+/// Standing registrations for an external pool of plain receives — the
+/// binding layer's [`RequestPool`](../kamping/p2p/struct.RequestPool.html)
+/// counterpart of `ParkSession`, with **caller-chosen stable ids**
+/// instead of set indices (pools remove completed entries, so positions
+/// shift; the standing slots must not).
+///
+/// Protocol, mirroring `ParkSession`: build right after a sweep that
+/// found nothing ready (epoch captured before that sweep); each entry
+/// registers one standing entry keyed by its id; pushes claim the
+/// session's waiter with the fired id and record overlapping fires in
+/// the missed list; [`next_signalled`](PoolSession::next_signalled)
+/// drains claim state into a pending-id queue and parks only when it is
+/// empty. [`complete`](PoolSession::complete) removes exactly one
+/// entry's registration when the pool retires it — the other standing
+/// entries stay, so draining an n-receive pool costs n registrations
+/// total instead of n²/2 transient re-registrations
+/// (`notify_registrations` in [`MailboxStats`](crate::MailboxStats)
+/// pins this).
+///
+/// Dropping the session deregisters everything it still holds.
+pub struct PoolSession {
+    world: Arc<crate::universe::WorldState>,
+    world_rank: Rank,
+    waiter: Arc<Waiter>,
+    /// `(id, context)` of each live standing registration.
+    live: Vec<(usize, u64)>,
+    /// Ids signalled but not yet served.
+    pending: std::collections::VecDeque<usize>,
+    /// Epoch captured before the sweep preceding the build.
+    seen_epoch: u64,
+}
+
+impl PoolSession {
+    /// Builds standing registrations for `(id, request)` pairs; returns
+    /// `None` (registering nothing) unless every request is a plain
+    /// posted receive — mixed pools fall back to the transient
+    /// [`park_any`]. Ids must be distinct; they come back out of
+    /// [`next_signalled`](PoolSession::next_signalled).
+    pub fn build(entries: &[(usize, &Request<'_>)], seen_epoch: u64) -> Option<PoolSession> {
+        let (_, first) = entries.first()?;
+        if !entries.iter().all(|(_, r)| r.recv_selectors().is_some()) {
+            return None;
+        }
+        let comm = first.comm();
+        let mb = comm.mailbox();
+        // A dedicated waiter, never the thread-local cache: the standing
+        // registrations outlive this call.
+        let mut sess = PoolSession {
+            world: Arc::clone(&comm.world),
+            world_rank: comm.world_rank(),
+            waiter: Arc::new(Waiter::default()),
+            live: Vec::with_capacity(entries.len()),
+            pending: std::collections::VecDeque::new(),
+            seen_epoch,
+        };
+        for (id, req) in entries {
+            let (context, src, tag) = req.recv_selectors().expect("checked above");
+            debug_assert!(
+                std::ptr::eq(req.comm().mailbox(), mb),
+                "a pool parks on one rank's mailbox"
+            );
+            // Claim-always (`wake_only = false`): the session reads
+            // claims and missed fires as completion records, so a push
+            // must record even while the owner is between parks.
+            if mb.register_standing(context, src, tag, &sess.waiter, *id, false) {
+                // Already queued: signalled from the start (the standing
+                // entry is installed either way).
+                sess.pending.push_back(*id);
+            }
+            sess.live.push((*id, context));
+        }
+        Some(sess)
+    }
+
+    fn mb(&self) -> &crate::mailbox::Mailbox {
+        &self.world.mailboxes[self.world_rank]
+    }
+
+    /// Blocks until some live entry has been signalled, serving queued
+    /// signals first and parking only when none are outstanding.
+    /// Signals for ids already [`complete`](PoolSession::complete)d
+    /// (late fires of retired entries) are discarded.
+    pub fn next_signalled(&mut self) -> PoolStep {
+        // Keep the mailbox reachable without borrowing `self` (the loop
+        // mutates the pending queue).
+        let world = Arc::clone(&self.world);
+        let mb = &world.mailboxes[self.world_rank];
+        loop {
+            if let Some(id) = self.pending.pop_front() {
+                if self.live.iter().any(|(i, _)| *i == id) {
+                    return PoolStep::Signalled(id);
+                }
+                continue;
+            }
+            let mut st = self.waiter.state.lock();
+            if st.claimed {
+                st.claimed = false;
+                if let Some(f) = st.fired.take() {
+                    self.pending.push_back(f);
+                }
+                self.pending.extend(st.missed.drain(..));
+                continue;
+            }
+            mb.watch(&self.waiter);
+            let interrupted = {
+                let _sp = trace::span(trace::cat::PARK, "park_pool", self.live.len() as u64, 0);
+                loop {
+                    if st.claimed {
+                        break false;
+                    }
+                    if mb.epoch() != self.seen_epoch {
+                        mb.record_spurious();
+                        break true;
+                    }
+                    self.waiter.cond.wait(&mut st);
+                }
+            };
+            drop(st);
+            mb.unwatch(&self.waiter);
+            if interrupted {
+                return PoolStep::Interrupted;
+            }
+        }
+    }
+
+    /// Retires entry `id`: removes exactly its standing registration
+    /// (and any queued signals for it), leaving the rest armed.
+    pub fn complete(&mut self, id: usize) {
+        if let Some(pos) = self.live.iter().position(|(i, _)| *i == id) {
+            let (_, context) = self.live.remove(pos);
+            self.mb().deregister_slot(context, &self.waiter, id);
+        }
+        self.pending.retain(|&x| x != id);
+    }
+}
+
+impl Drop for PoolSession {
+    /// Removes every remaining standing registration — a dropped (or
+    /// torn-down) session must not leave claims pointed at a dead pool.
+    fn drop(&mut self) {
+        let mut contexts: Vec<u64> = Vec::new();
+        for (_, ctx) in self.live.drain(..) {
+            if !contexts.contains(&ctx) {
+                contexts.push(ctx);
+            }
+        }
+        for ctx in contexts {
+            self.mb().deregister_notify(ctx, &self.waiter);
+        }
+    }
 }
 
 enum SessionStep {

@@ -38,6 +38,9 @@ pub enum MpiError {
     Deserialize(String),
     /// Serialization of outgoing data failed.
     Serialize(String),
+    /// A persistent request was started while a previous cycle was
+    /// still active (MPI requires the prior `start` to complete first).
+    RequestActive,
 }
 
 impl std::fmt::Display for MpiError {
@@ -66,6 +69,11 @@ impl std::fmt::Display for MpiError {
             MpiError::InvalidLayout(msg) => write!(f, "invalid counts/displacements: {msg}"),
             MpiError::Deserialize(msg) => write!(f, "deserialization failed: {msg}"),
             MpiError::Serialize(msg) => write!(f, "serialization failed: {msg}"),
+            MpiError::RequestActive => write!(
+                f,
+                "persistent request started while still active: complete the \
+                 previous cycle with wait() first"
+            ),
         }
     }
 }

@@ -18,6 +18,10 @@
 //!   message counts and volumes of each algorithm are observable.
 //! - Communicator management: [`Comm::dup`], [`Comm::split`], groups and
 //!   rank translation.
+//! - MPI-4 **persistent operations** ([`persistent`]): `*_init` freezes
+//!   the communication plan once, `start`/`wait` re-runs it with zero
+//!   per-call setup; **partitioned** point-to-point ([`partitioned`])
+//!   lets multiple producer threads fill one send as partitions arrive.
 //! - A LogP-style **virtual clock** ([`clock`]) used by the scaling
 //!   benchmarks: local compute is measured thread-CPU time, each message
 //!   costs `alpha + beta * bytes`.
@@ -51,6 +55,8 @@ pub mod message;
 pub mod metrics;
 pub mod op;
 pub mod p2p;
+pub mod partitioned;
+pub mod persistent;
 pub mod plain;
 pub mod request;
 pub mod sys;
@@ -65,13 +71,15 @@ pub use collectives::{
     Select,
 };
 pub use comm::{Comm, TuningGuard};
-pub use completion::{park_any, park_epoch, ParkOutcome};
+pub use completion::{park_any, park_epoch, ParkOutcome, PoolSession, PoolStep};
 pub use counter::CallCounts;
 pub use error::{MpiError, Result};
 pub use mailbox::MailboxStats;
 pub use message::{Src, Status, TagSel, ANY_SOURCE, ANY_TAG};
 pub use metrics::CopyStats;
 pub use op::{commutative, non_commutative, ReduceOp};
+pub use partitioned::{PartitionWriter, PartitionedRecv, PartitionedSend};
+pub use persistent::{start_all, PersistentRequest};
 pub use plain::{
     as_bytes, bytes_from_slice, bytes_from_vec, bytes_into_vec, bytes_to_vec, Plain, SharedPayload,
 };

@@ -181,6 +181,15 @@ enum PostKind {
     /// the envelope is NOT consumed — it continues into the unexpected
     /// queue for the woken thread's re-test to pop.
     Notify(usize),
+    /// A *standing* registration: claim-and-wake exactly like
+    /// [`PostKind::Notify`], but the entry **survives the fire** — it
+    /// stays posted and claims again on the next matching push. This is
+    /// the persistent-request / pool-session hook: register once at
+    /// init, then every `start`/`wait` cycle re-arms in O(1) with zero
+    /// re-registration ([`crate::persistent`],
+    /// [`crate::completion::PoolSession`]). Removed only by explicit
+    /// deregistration.
+    Standing(usize),
 }
 
 /// One entry of the posted-receive queue.
@@ -189,6 +198,18 @@ struct Posted {
     tag: TagSel,
     kind: PostKind,
     waiter: Arc<Waiter>,
+}
+
+/// An indexed standing registration (fully-specific selector): the
+/// claim target a push finds by `(source, tag)` hash lookup instead of
+/// a posted-queue scan.
+struct StandingReg {
+    slot: usize,
+    waiter: Arc<Waiter>,
+    /// Wake-only discipline (see [`Mailbox::register_standing`]): claim
+    /// only while the waiter is armed. `false` keeps full claim/missed
+    /// recording on every matching push.
+    wake_only: bool,
 }
 
 /// Per-context matching state: the `(source, tag)`-indexed unexpected-
@@ -203,6 +224,12 @@ struct ShardState {
     umq: FxMap<(Rank, Tag), VecDeque<(u64, Envelope)>>,
     /// Posted receives and probes, in posting order.
     posted: VecDeque<Posted>,
+    /// Standing registrations with fully-specific `(source, tag)`
+    /// selectors, indexed for O(1) claim on push. A rank holding many
+    /// frozen plans (one standing entry per persistent receive) would
+    /// otherwise tax **every** arriving message with a linear scan of
+    /// all of them. Wildcard standing registrations stay in `posted`.
+    standing_idx: FxMap<(Rank, Tag), Vec<StandingReg>>,
     /// Retired FIFO allocations, reused for new keys. Collective
     /// traffic burns one `(source, tag)` key per peer per operation
     /// (fresh internal tags); without the pool every such key would
@@ -308,11 +335,15 @@ pub struct MailboxStats {
     pub spurious_wakeups: u64,
     /// High-water mark of concurrently parked completion waiters.
     pub max_parked: usize,
+    /// Total waiter registrations inserted into posted queues (notify +
+    /// standing): the zero-re-registration pin for persistent and pool
+    /// steady states.
+    pub notify_registrations: u64,
     /// Live per-context shard allocations, including the world shard.
-    /// Shards are created on first use and — deliberately, until a
-    /// `comm_free` lands — **never reclaimed**, so dup/split-heavy
-    /// workloads watch this gauge to measure the leak (one shard per
-    /// context that ever carried traffic or posted a receive).
+    /// Shards are created on first use per context that carried traffic
+    /// or posted a receive; [`crate::Comm::free`] reclaims a derived
+    /// context's shard, so dup/split-heavy workloads that free their
+    /// communicators hold this gauge flat.
     pub shard_count: usize,
 }
 
@@ -344,6 +375,10 @@ pub struct Mailbox {
     watchers: Mutex<Vec<Arc<Waiter>>>,
     /// Interruption epoch; bumped by [`Mailbox::interrupt`].
     epoch: AtomicU64,
+    /// Waiter registrations inserted into posted queues (notify +
+    /// standing). The O(1)-amortized-re-park pins count this: a
+    /// steady-state persistent/pool cycle must not move it.
+    registrations: AtomicU64,
 }
 
 impl Mailbox {
@@ -381,7 +416,26 @@ impl Mailbox {
         let mut st = shard.state.lock();
         let seq = st.next_seq;
         st.next_seq += 1;
-        // Posted-receive queue first, in posting order: every matching
+        // Indexed standing registrations first: one hash lookup claims
+        // every registered waiter for this exact `(source, tag)`.
+        // Claims are wake-only (the envelope is not consumed here), so
+        // firing them before the posted-queue scan cannot reroute the
+        // message; at worst a posted receive below consumes it and the
+        // claimed waiter's re-test comes up empty — the documented
+        // claims-never-carry-messages contract.
+        if let Some(regs) = st.standing_idx.get(&(env.src, env.tag)) {
+            for reg in regs {
+                // Wake-only registrations are claimed only while the
+                // owner is actually waiting: a busy owner re-tests the
+                // queues anyway, so firing a claim at it would cost a
+                // waiter lock and a wakeup per message for nothing.
+                if reg.wake_only && !reg.waiter.armed.load(Ordering::SeqCst) {
+                    continue;
+                }
+                self.claim_standing(&reg.waiter, reg.slot, seq);
+            }
+        }
+        // Posted-receive queue next, in posting order: every matching
         // probe is fulfilled (the message stays available); the first
         // matching receive consumes the envelope — it never touches the
         // UMQ and nobody else is woken.
@@ -389,6 +443,17 @@ impl Mailbox {
         while i < st.posted.len() {
             let p = &st.posted[i];
             if !env.matches(env.context, p.src, p.tag) {
+                i += 1;
+                continue;
+            }
+            if let PostKind::Standing(slot) = p.kind {
+                // Wildcard standing registration: claim-or-miss exactly
+                // like Notify below, but the entry is NOT removed — it
+                // keeps claiming for every future matching push, so
+                // persistent cycles never re-register. The envelope
+                // stays live. (Fully-specific standing registrations
+                // were already claimed through `standing_idx` above.)
+                self.claim_standing(&p.waiter, slot, seq);
                 i += 1;
                 continue;
             }
@@ -444,12 +509,37 @@ impl Mailbox {
                         );
                     }
                 }
+                PostKind::Standing(_) => unreachable!("standing entries are never removed above"),
             }
         }
         st.enqueue(seq, env);
         let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
         self.max_depth.fetch_max(depth, Ordering::Relaxed);
         trace::umq_enqueue(seq, depth as u64);
+    }
+
+    /// Claim-or-miss on a standing registration's waiter: the first
+    /// completion claims (and wakes) the waiter; later ones land in its
+    /// missed list for the owner's next drain pass. Claims never carry
+    /// messages — the woken thread re-tests against the queues.
+    fn claim_standing(&self, waiter: &Arc<Waiter>, slot: usize, seq: u64) {
+        let mut w = waiter.state.lock();
+        if !w.claimed {
+            w.claimed = true;
+            w.fired = Some(slot);
+            waiter.cond.notify_one();
+            drop(w);
+            self.multi_wakeups.fetch_add(1, Ordering::Relaxed);
+            trace::instant(trace::cat::COMPLETION, "claim", slot as u64, seq);
+        } else {
+            w.missed.push(slot);
+            trace::instant(
+                trace::cat::COMPLETION,
+                "missed_completion",
+                slot as u64,
+                seq,
+            );
+        }
     }
 
     /// Wakes all posted waiters without delivering anything, so they can
@@ -468,6 +558,12 @@ impl Mailbox {
             for p in &st.posted {
                 let _w = p.waiter.state.lock();
                 p.waiter.cond.notify_one();
+            }
+            for regs in st.standing_idx.values() {
+                for r in regs {
+                    let _w = r.waiter.state.lock();
+                    r.waiter.cond.notify_one();
+                }
             }
         }
         // Parked completion waiters may have no posted entry at all
@@ -511,20 +607,100 @@ impl Mailbox {
             kind: PostKind::Notify(slot),
             waiter: Arc::clone(waiter),
         });
+        self.registrations.fetch_add(1, Ordering::Relaxed);
         false
     }
 
-    /// Removes every notify registration of `waiter` in `context`. A
-    /// push racing this either claimed the waiter before the entry
-    /// vanished (the message is queued and matchable) or finds no entry
-    /// (same); nothing is ever lost.
+    /// Registers a **standing** claim-and-wake: like
+    /// [`Mailbox::register_notify`] but the entry survives every fire —
+    /// it keeps claiming until explicitly deregistered, so persistent
+    /// `start`/`wait` cycles and pool re-parks touch the posted queue
+    /// zero times in the steady state. The registration is *always*
+    /// inserted; the return value reports whether a matching message was
+    /// already queued at registration time (the caller must re-test,
+    /// since no claim fires for messages that arrived earlier). The
+    /// check and the insertion happen under the shard lock pushes take.
+    ///
+    /// `wake_only` opts into the armed-flag discipline
+    /// ([`Waiter::armed`]): pushes claim the waiter only while its
+    /// owner is waiting. Legal only for owners that re-test the queues
+    /// on every pass and never read claims as completion records
+    /// (persistent requests); owners that rely on claim/missed
+    /// recording ([`crate::completion::PoolSession`]) must pass
+    /// `false`. Wildcard selectors keep claim-always behavior
+    /// regardless — only indexed (fully-specific) entries check the
+    /// flag.
+    pub(crate) fn register_standing(
+        &self,
+        context: u64,
+        src: Src,
+        tag: TagSel,
+        waiter: &Arc<Waiter>,
+        slot: usize,
+        wake_only: bool,
+    ) -> bool {
+        let shard = self.shard(context);
+        let mut st = shard.state.lock();
+        let already_queued = st.peek_match(src, tag).is_some();
+        if let (Src::Rank(r), TagSel::Is(t)) = (src, tag) {
+            // Fully-specific selector: indexed, so steady-state pushes
+            // claim it by hash lookup instead of scanning every frozen
+            // plan's entry.
+            st.standing_idx
+                .entry((r, t))
+                .or_default()
+                .push(StandingReg {
+                    slot,
+                    waiter: Arc::clone(waiter),
+                    wake_only,
+                });
+        } else {
+            st.posted.push_back(Posted {
+                src,
+                tag,
+                kind: PostKind::Standing(slot),
+                waiter: Arc::clone(waiter),
+            });
+        }
+        self.registrations.fetch_add(1, Ordering::Relaxed);
+        already_queued
+    }
+
+    /// Removes every notify *and* standing registration of `waiter` in
+    /// `context`. A push racing this either claimed the waiter before
+    /// the entry vanished (the message is queued and matchable) or finds
+    /// no entry (same); nothing is ever lost.
     pub(crate) fn deregister_notify(&self, context: u64, waiter: &Arc<Waiter>) {
         let Some(shard) = self.existing_shard(context) else {
             return;
         };
         let mut st = shard.state.lock();
-        st.posted
-            .retain(|p| !(matches!(p.kind, PostKind::Notify(_)) && Arc::ptr_eq(&p.waiter, waiter)));
+        st.posted.retain(|p| {
+            !(matches!(p.kind, PostKind::Notify(_) | PostKind::Standing(_))
+                && Arc::ptr_eq(&p.waiter, waiter))
+        });
+        st.standing_idx.retain(|_, regs| {
+            regs.retain(|r| !Arc::ptr_eq(&r.waiter, waiter));
+            !regs.is_empty()
+        });
+    }
+
+    /// Removes `waiter`'s notify/standing registrations carrying `slot`
+    /// in `context`, leaving its other slots registered (a pool session
+    /// retires one completed entry without disturbing the rest).
+    pub(crate) fn deregister_slot(&self, context: u64, waiter: &Arc<Waiter>, slot: usize) {
+        let Some(shard) = self.existing_shard(context) else {
+            return;
+        };
+        let mut st = shard.state.lock();
+        st.posted.retain(|p| {
+            !(matches!(p.kind, PostKind::Notify(s) | PostKind::Standing(s) if s == slot)
+                && Arc::ptr_eq(&p.waiter, waiter))
+        });
+        st.standing_idx.retain(|_, regs| {
+            regs.retain(|r| !(r.slot == slot && Arc::ptr_eq(&r.waiter, waiter)));
+            !regs.is_empty()
+        });
     }
 
     /// Adds a parked completion waiter to the interrupt watcher list
@@ -735,9 +911,33 @@ impl Mailbox {
         self.max_parked.load(Ordering::Relaxed)
     }
 
-    /// Live per-context shards, including the world shard. Monotone
-    /// until communicator freeing exists: derived-context shards are
-    /// never reclaimed.
+    /// Reclaims the shard of a freed derived context
+    /// ([`crate::Comm::free`]). Messages still queued on the context
+    /// (none, after a correct collective free) leave the global gauge
+    /// with it; the world shard (context 0) is never removed.
+    pub(crate) fn remove_shard(&self, context: u64) {
+        if context == 0 {
+            return;
+        }
+        let Some(shard) = self.shards.write().remove(&context) else {
+            return;
+        };
+        let leftover: usize = shard.state.lock().umq.values().map(|q| q.len()).sum();
+        if leftover > 0 {
+            self.queued.fetch_sub(leftover, Ordering::Relaxed);
+        }
+    }
+
+    /// Total waiter registrations ever inserted (notify + standing).
+    /// Steady-state persistent/pool cycles must hold this flat — the
+    /// zero-re-registration pin.
+    pub fn notify_registrations(&self) -> u64 {
+        self.registrations.load(Ordering::Relaxed)
+    }
+
+    /// Live per-context shards, including the world shard. Grows on
+    /// first use per context; [`crate::Comm::free`] reclaims a derived
+    /// context's shard collectively.
     pub fn shard_count(&self) -> usize {
         self.shards.read().len() + 1
     }
@@ -751,6 +951,7 @@ impl Mailbox {
             multi_wakeups: self.multi_wakeups(),
             spurious_wakeups: self.spurious_wakeups(),
             max_parked: self.max_parked(),
+            notify_registrations: self.notify_registrations(),
             shard_count: self.shard_count(),
         }
     }
@@ -1331,6 +1532,7 @@ mod tests {
                 multi_wakeups: 0,
                 spurious_wakeups: 0,
                 max_parked: 0,
+                notify_registrations: 0,
                 // Pushes targeted context 1: its shard plus the world's.
                 shard_count: 2,
             }
@@ -1338,16 +1540,17 @@ mod tests {
     }
 
     #[test]
-    fn derived_context_shards_are_never_reclaimed() {
-        // The PR 4 deferral, made measurable: every dup/split context
-        // that carried traffic allocates a shard, and — until a
-        // `comm_free` lands — dropping the communicator must NOT
-        // reclaim it. The gauge pins the leak's exact shape so the
-        // eventual fix has a baseline to beat.
+    fn comm_free_reclaims_derived_context_shards() {
+        // The PR 4 leak, fixed: a dup/split-heavy loop that frees its
+        // communicators holds shard_count flat instead of growing one
+        // shard per context forever.
         use crate::universe::{Config, Universe};
         let (outcomes, stats) = Universe::run_stats(Config::new(2), |comm| {
-            let mut highwater = comm.mailbox_stats().shard_count;
-            assert_eq!(highwater, 1, "only the world shard before any dup");
+            assert_eq!(
+                comm.mailbox_stats().shard_count,
+                1,
+                "only the world shard before any dup"
+            );
             for round in 0..8u8 {
                 let dup = comm.dup().unwrap();
                 let sub = comm
@@ -1364,31 +1567,103 @@ mod tests {
                         c.send(&[round], peer, 0).unwrap();
                     }
                 }
-                let now = comm.mailbox_stats().shard_count;
                 assert!(
-                    now >= highwater + 2,
-                    "round {round}: dup + split must each have grown a shard \
-                     ({highwater} -> {now})"
+                    comm.mailbox_stats().shard_count >= 3,
+                    "round {round}: dup + split each carry a live shard"
                 );
-                highwater = now;
-                drop(dup);
-                drop(sub);
+                sub.free().unwrap();
+                dup.free().unwrap();
                 assert_eq!(
                     comm.mailbox_stats().shard_count,
-                    highwater,
-                    "round {round}: dropping the communicators must not reclaim shards"
+                    1,
+                    "round {round}: free must reclaim both derived shards"
                 );
             }
         });
         assert!(outcomes.into_iter().all(|o| o.completed().is_some()));
         for (rank, s) in stats.iter().enumerate() {
-            // World shard + one per dup/split context (8 + 8).
-            assert!(
-                s.mailbox.shard_count >= 17,
-                "rank {rank}: 8 dup + 8 split contexts all leak: {:?}",
+            assert_eq!(
+                s.mailbox.shard_count, 1,
+                "rank {rank}: 8 dup/split/free rounds held the gauge flat: {:?}",
                 s.mailbox
             );
         }
+    }
+
+    #[test]
+    fn standing_registration_survives_fires_until_deregistered() {
+        // The persistent-request hook: one standing registration keeps
+        // claiming across many pushes — zero re-registration — and
+        // `deregister_slot` removes exactly it.
+        use crate::completion::fresh_waiter;
+        let mb = Mailbox::new();
+        let w = fresh_waiter();
+        assert!(!mb.register_standing(1, Src::Rank(0), TagSel::Is(7), &w, 4, false));
+        assert_eq!(mb.notify_registrations(), 1);
+        for k in 0..5u64 {
+            mb.push(env(0, 1, 7, 1));
+            let mut st = w.state.lock();
+            assert!(st.claimed, "push {k} claims through the standing entry");
+            assert_eq!(st.fired, Some(4));
+            // Re-arm like a persistent wait does.
+            st.claimed = false;
+            st.fired = None;
+            st.missed.clear();
+        }
+        // The envelopes were never consumed; the entry is still posted.
+        assert_eq!(mb.len(), 5);
+        assert_eq!(mb.notify_registrations(), 1, "zero re-registration");
+        // Registering again reports the queued backlog.
+        let w2 = fresh_waiter();
+        assert!(mb.register_standing(1, Src::Rank(0), TagSel::Is(7), &w2, 0, false));
+        mb.deregister_slot(1, &w2, 0);
+        mb.deregister_slot(1, &w, 3); // wrong slot: entry stays
+        mb.push(env(0, 1, 7, 1));
+        assert_eq!(
+            w.state.lock().fired,
+            Some(4),
+            "entry with slot 4 still live"
+        );
+        w.state.lock().claimed = false;
+        w.state.lock().fired = None;
+        mb.deregister_slot(1, &w, 4);
+        mb.push(env(0, 1, 7, 1));
+        assert!(
+            !w.state.lock().claimed,
+            "deregistered entry no longer claims"
+        );
+    }
+
+    #[test]
+    fn wake_only_standing_claims_only_while_armed() {
+        // The persistent-request steady-state fast path: while the
+        // owner is not waiting, pushes skip the claim entirely (no
+        // waiter lock, no wakeup) — the envelope just queues. Arming
+        // restores claim-and-wake.
+        use crate::completion::fresh_waiter;
+        use std::sync::atomic::Ordering;
+        let mb = Mailbox::new();
+        let w = fresh_waiter();
+        mb.register_standing(1, Src::Rank(0), TagSel::Is(7), &w, 4, true);
+        mb.push(env(0, 1, 7, 1));
+        assert!(!w.state.lock().claimed, "unarmed: push must not claim");
+        assert_eq!(mb.len(), 1, "the envelope queued regardless");
+        w.armed.store(true, Ordering::SeqCst);
+        mb.push(env(0, 1, 7, 1));
+        {
+            let st = w.state.lock();
+            assert!(st.claimed, "armed: push claims through the index");
+            assert_eq!(st.fired, Some(4));
+        }
+        // Deregistration removes the indexed entry like any other.
+        w.state.lock().claimed = false;
+        w.state.lock().fired = None;
+        mb.deregister_slot(1, &w, 4);
+        mb.push(env(0, 1, 7, 1));
+        assert!(
+            !w.state.lock().claimed,
+            "deregistered entry no longer claims"
+        );
     }
 
     #[test]

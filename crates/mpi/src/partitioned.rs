@@ -1,0 +1,701 @@
+//! Partitioned point-to-point communication (MPI-4 `MPI_Psend_init` /
+//! `MPI_Precv_init` / `MPI_Pready`): one persistent send whose payload
+//! is produced **piecewise by multiple threads**.
+//!
+//! A partitioned send splits one logical message into `partitions`
+//! equal-sized parts. After [`PartitionedSend::start`] arms a cycle,
+//! any producer thread holding a [`PartitionWriter`] may call
+//! [`PartitionWriter::pready`] to publish its partition the moment the
+//! data is computed — the partition travels immediately (this substrate
+//! is eager), overlapping communication with the computation of the
+//! remaining partitions. The rank thread's
+//! [`PartitionedSend::wait`] completes once every partition of the
+//! cycle has been published.
+//!
+//! Like the [`persistent`](crate::persistent) operations this builds
+//! on, all shape-dependent work happens once at `*_init`: envelope
+//! validation, the frozen `(dest, tag)` stream, and — on the receiver —
+//! a standing completion registration that serves every cycle's
+//! wakeups without re-registration.
+//!
+//! # Wire format and cycle alignment
+//!
+//! Each partition is one envelope on the frozen `(source, tag)` stream:
+//! a 4-byte little-endian partition index followed by exactly
+//! `part_bytes` of data. The receiver consumes exactly `partitions`
+//! envelopes per cycle. Because `start` cycles never overlap (enforced
+//! by [`MpiError::RequestActive`]) and per-`(source, tag)` delivery is
+//! FIFO, the k-th group of `partitions` envelopes is always cycle k —
+//! partition *indices* may arrive in any order (producers race), cycle
+//! *boundaries* cannot.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Comm;
+use crate::completion::Waiter;
+use crate::error::{MpiError, Result};
+use crate::message::{Envelope, Src, TagSel};
+use crate::plain::as_bytes;
+use crate::trace;
+use crate::universe::WorldState;
+use crate::{Plain, Rank, Tag};
+
+/// Producer-side cycle state, shared between the owning
+/// [`PartitionedSend`] and every [`PartitionWriter`] clone.
+struct SendShared {
+    state: Mutex<SendState>,
+    /// Signals the rank thread's `wait` when the last partition of a
+    /// cycle is published (or the cycle is poisoned).
+    cond: Condvar,
+}
+
+struct SendState {
+    /// True between `start` and the completion `wait` observes; `pready`
+    /// outside an armed cycle is erroneous.
+    armed: bool,
+    /// Which partitions have been published this cycle.
+    ready: Vec<bool>,
+    /// Count of `true`s in `ready` (saves a scan per `pready`).
+    done: usize,
+    /// First error a producer hit; surfaced by `wait`.
+    poisoned: Option<MpiError>,
+}
+
+/// A persistent partitioned send (mirrors the request returned by
+/// `MPI_Psend_init`). The rank thread drives the
+/// `start` → producers `pready` → `wait` cycle; producer threads only
+/// ever touch [`PartitionWriter`]s.
+pub struct PartitionedSend<'a, T> {
+    comm: &'a Comm,
+    dest: Rank,
+    tag: Tag,
+    partitions: usize,
+    part_bytes: usize,
+    shared: Arc<SendShared>,
+    cycles: u64,
+    _ty: PhantomData<fn(&[T])>,
+}
+
+impl<'a, T: Plain> PartitionedSend<'a, T> {
+    /// A sendable, cloneable handle for producer threads. Any number of
+    /// clones may publish partitions concurrently.
+    pub fn writer(&self) -> PartitionWriter<T> {
+        PartitionWriter {
+            world: Arc::clone(&self.comm.world),
+            shared: Arc::clone(&self.shared),
+            dest_world: self
+                .comm
+                .translate_to_world(self.dest)
+                .expect("validated at init"),
+            src: self.comm.rank(),
+            src_world: self.comm.world_rank(),
+            context: self.comm.context,
+            tag: self.tag,
+            partitions: self.partitions,
+            part_bytes: self.part_bytes,
+            _ty: PhantomData,
+        }
+    }
+
+    /// Number of partitions per cycle (frozen at init).
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Completed cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Arms one cycle (mirrors `MPI_Start` on a partitioned request):
+    /// after this, producer threads may `pready` each partition exactly
+    /// once. Errors if the previous cycle is still active or the
+    /// communicator is revoked.
+    pub fn start(&mut self) -> Result<()> {
+        self.comm.count_op("start");
+        let mut st = self.shared.state.lock();
+        if st.armed {
+            return Err(MpiError::RequestActive);
+        }
+        if self.comm.world.is_revoked(self.comm.context) {
+            return Err(MpiError::Revoked);
+        }
+        trace::async_begin(trace::cat::PERSIST, "partitioned_cycle", self.trace_id());
+        st.ready.iter_mut().for_each(|r| *r = false);
+        st.done = 0;
+        st.poisoned = None;
+        st.armed = true;
+        Ok(())
+    }
+
+    /// Blocks until every partition of the armed cycle has been
+    /// published (all `pready` calls landed); inactive requests return
+    /// immediately. A producer error (revocation, double-`pready`, bad
+    /// length) poisons the cycle and resurfaces here.
+    pub fn wait(&mut self) -> Result<()> {
+        let mut st = self.shared.state.lock();
+        if !st.armed {
+            return Ok(());
+        }
+        while st.done < self.partitions && st.poisoned.is_none() {
+            self.shared.cond.wait(&mut st);
+        }
+        st.armed = false;
+        drop(st);
+        trace::async_end(trace::cat::PERSIST, "partitioned_cycle", self.trace_id());
+        self.cycles += 1;
+        let st = self.shared.state.lock();
+        match &st.poisoned {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn trace_id(&self) -> u64 {
+        Arc::as_ptr(&self.shared) as u64 ^ self.cycles.rotate_left(48)
+    }
+}
+
+/// A `Send + Sync + Clone` producer handle for one [`PartitionedSend`]
+/// (mirrors the request argument of `MPI_Pready`): lets worker threads
+/// publish partitions without touching the rank-thread-only [`Comm`].
+pub struct PartitionWriter<T> {
+    world: Arc<WorldState>,
+    shared: Arc<SendShared>,
+    dest_world: Rank,
+    /// Sender's communicator rank / world rank (envelope provenance).
+    src: Rank,
+    src_world: Rank,
+    context: u64,
+    tag: Tag,
+    partitions: usize,
+    part_bytes: usize,
+    _ty: PhantomData<fn(&[T])>,
+}
+
+impl<T> Clone for PartitionWriter<T> {
+    fn clone(&self) -> Self {
+        PartitionWriter {
+            world: Arc::clone(&self.world),
+            shared: Arc::clone(&self.shared),
+            _ty: PhantomData,
+            ..*self
+        }
+    }
+}
+
+impl<T: Plain> PartitionWriter<T> {
+    /// Publishes partition `partition` of the current cycle (mirrors
+    /// `MPI_Pready`): the partition's bytes leave immediately on the
+    /// frozen `(dest, tag)` stream. Callable from any thread;
+    /// partitions may be published in any order, each exactly once per
+    /// cycle. `data` must hold exactly the partition length fixed at
+    /// init. Errors poison the cycle so the rank thread's `wait` sees
+    /// them too.
+    pub fn pready(&self, partition: usize, data: &[T]) -> Result<()> {
+        self.world.counters[self.src_world].lock().inc("pready");
+        let err = self.check(partition, data);
+        let mut st = self.shared.state.lock();
+        if let Err(e) = err {
+            st.poisoned.get_or_insert(e.clone());
+            self.shared.cond.notify_all();
+            return Err(e);
+        }
+        if !st.armed {
+            return Err(MpiError::InvalidLayout(
+                "pready: no armed cycle (call start first)".into(),
+            ));
+        }
+        if st.ready[partition] {
+            let e = MpiError::InvalidLayout(format!(
+                "pready: partition {partition} already published this cycle"
+            ));
+            st.poisoned.get_or_insert(e.clone());
+            self.shared.cond.notify_all();
+            return Err(e);
+        }
+        // Push while holding the cycle lock: the armed/double-publish
+        // check and the envelope hitting the FIFO are one atomic step,
+        // so a racing duplicate can never slip an extra envelope into
+        // the stream and shear the receiver's cycle alignment.
+        let mut payload = Vec::with_capacity(4 + self.part_bytes);
+        payload.extend_from_slice(&(partition as u32).to_le_bytes());
+        payload.extend_from_slice(as_bytes(data));
+        self.world.mailboxes[self.dest_world].push(Envelope {
+            src: self.src,
+            src_world: self.src_world,
+            context: self.context,
+            tag: self.tag,
+            payload: Bytes::from(payload),
+            // Producer threads have no virtual clock; partitions arrive
+            // at clock zero (they are overlapped with compute by
+            // construction).
+            arrival_ns: 0,
+            ack: None,
+        });
+        st.ready[partition] = true;
+        st.done += 1;
+        if st.done == self.partitions {
+            self.shared.cond.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Rank-independent validation (no lock held).
+    fn check(&self, partition: usize, data: &[T]) -> Result<()> {
+        if self.world.is_revoked(self.context) {
+            return Err(MpiError::Revoked);
+        }
+        if partition >= self.partitions {
+            return Err(MpiError::InvalidLayout(format!(
+                "pready: partition {partition} out of range (plan has {})",
+                self.partitions
+            )));
+        }
+        if std::mem::size_of_val(data) != self.part_bytes {
+            return Err(MpiError::InvalidLayout(format!(
+                "pready: partition holds {} bytes but the plan fixed {} bytes",
+                std::mem::size_of_val(data),
+                self.part_bytes
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A persistent partitioned receive (mirrors `MPI_Precv_init`): one
+/// standing completion registration installed at init serves every
+/// cycle; each cycle reassembles `partitions` indexed envelopes into
+/// one contiguous vector.
+pub struct PartitionedRecv<'a, T> {
+    comm: &'a Comm,
+    src: Rank,
+    tag: Tag,
+    partitions: usize,
+    part_bytes: usize,
+    waiter: Arc<Waiter>,
+    /// Reassembly buffer, `partitions * part_bytes` long, reused every
+    /// cycle.
+    buf: Vec<u8>,
+    /// Which partitions have landed this cycle (duplicate detection).
+    received: Vec<bool>,
+    got: usize,
+    active: bool,
+    cycles: u64,
+    _ty: PhantomData<fn() -> T>,
+}
+
+impl<'a, T: Plain> PartitionedRecv<'a, T> {
+    /// Arms one receive cycle.
+    pub fn start(&mut self) -> Result<()> {
+        self.comm.count_op("start");
+        if self.active {
+            return Err(MpiError::RequestActive);
+        }
+        if self.comm.world.is_revoked(self.comm.context) {
+            return Err(MpiError::Revoked);
+        }
+        trace::async_begin(trace::cat::PERSIST, "partitioned_cycle", self.trace_id());
+        self.received.iter_mut().for_each(|r| *r = false);
+        self.got = 0;
+        self.active = true;
+        Ok(())
+    }
+
+    /// Blocks until all `partitions` partitions of the cycle have
+    /// arrived, returning the reassembled message in partition order.
+    /// Steady state: arrivals claim the standing registration installed
+    /// at init — no re-registration, like
+    /// [`PersistentRequest::wait`](crate::persistent::PersistentRequest::wait).
+    pub fn wait(&mut self) -> Result<Vec<T>> {
+        if !self.active {
+            return Ok(Vec::new());
+        }
+        let _sp = trace::span(trace::cat::WAIT, "wait_partitioned", 0, 0);
+        let mb = self.comm.mailbox();
+        // Arm the wake-only standing registration: publishes claim this
+        // waiter only from here until the cycle resolves. The store
+        // precedes the drain passes' shard-lock acquisitions, so a
+        // partition that lands after a drain observes the flag and
+        // claims — nothing can fall between drain and park.
+        self.waiter
+            .armed
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let result = loop {
+            let epoch = mb.epoch();
+            let mut failed = None;
+            while self.got < self.partitions {
+                match self
+                    .comm
+                    .try_recv_envelope(Src::Rank(self.src), TagSel::Is(self.tag))
+                {
+                    Some(env) => {
+                        if let Err(e) = self.place(env.payload) {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if let Some(e) = failed {
+                break Err(e);
+            }
+            if self.got == self.partitions {
+                break Ok(crate::plain::bytes_to_vec::<T>(&self.buf));
+            }
+            if let Some(e) = self.comm.wait_interrupted(Src::Rank(self.src)) {
+                break Err(e);
+            }
+            let mut st = self.waiter.state.lock();
+            loop {
+                if st.claimed {
+                    st.claimed = false;
+                    st.fired = None;
+                    st.missed.clear();
+                    break;
+                }
+                if mb.epoch() != epoch {
+                    mb.record_spurious();
+                    break;
+                }
+                self.waiter.cond.wait(&mut st);
+            }
+        };
+        self.waiter
+            .armed
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+        match result {
+            Ok(out) => {
+                self.finish_cycle();
+                Ok(out)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Decodes one partition envelope into the reassembly buffer.
+    fn place(&mut self, payload: Bytes) -> Result<()> {
+        if payload.len() != 4 + self.part_bytes {
+            return Err(MpiError::InvalidLayout(format!(
+                "precv: partition envelope holds {} bytes, expected {}",
+                payload.len(),
+                4 + self.part_bytes
+            )));
+        }
+        let idx = u32::from_le_bytes(payload[..4].try_into().expect("length checked")) as usize;
+        if idx >= self.partitions {
+            return Err(MpiError::InvalidLayout(format!(
+                "precv: partition index {idx} out of range (plan has {})",
+                self.partitions
+            )));
+        }
+        if self.received[idx] {
+            return Err(MpiError::InvalidLayout(format!(
+                "precv: duplicate partition {idx} in one cycle"
+            )));
+        }
+        let at = idx * self.part_bytes;
+        self.buf[at..at + self.part_bytes].copy_from_slice(&payload[4..]);
+        self.received[idx] = true;
+        self.got += 1;
+        Ok(())
+    }
+
+    fn finish_cycle(&mut self) {
+        trace::async_end(trace::cat::PERSIST, "partitioned_cycle", self.trace_id());
+        let mut st = self.waiter.state.lock();
+        st.claimed = false;
+        st.fired = None;
+        st.missed.clear();
+        drop(st);
+        self.active = false;
+        self.cycles += 1;
+    }
+
+    fn trace_id(&self) -> u64 {
+        Arc::as_ptr(&self.waiter) as u64 ^ self.cycles.rotate_left(48)
+    }
+
+    /// Completed cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl<T> Drop for PartitionedRecv<'_, T> {
+    fn drop(&mut self) {
+        self.comm
+            .mailbox()
+            .deregister_notify(self.comm.context, &self.waiter);
+    }
+}
+
+impl Comm {
+    /// Creates a persistent partitioned send of `partitions * part_elems`
+    /// elements of `T` per cycle to `dest` on `tag` (mirrors
+    /// `MPI_Psend_init`). Producer threads publish partitions through
+    /// [`PartitionedSend::writer`] handles.
+    pub fn psend_init<T: Plain>(
+        &self,
+        partitions: usize,
+        part_elems: usize,
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<PartitionedSend<'_, T>> {
+        self.count_op("psend_init");
+        self.check_tag(tag)?;
+        self.check_rank(dest)?;
+        check_partitions(partitions)?;
+        Ok(PartitionedSend {
+            comm: self,
+            dest,
+            tag,
+            partitions,
+            part_bytes: part_elems * std::mem::size_of::<T>(),
+            shared: Arc::new(SendShared {
+                state: Mutex::new(SendState {
+                    armed: false,
+                    ready: vec![false; partitions],
+                    done: 0,
+                    poisoned: None,
+                }),
+                cond: Condvar::new(),
+            }),
+            cycles: 0,
+            _ty: PhantomData,
+        })
+    }
+
+    /// Creates the matching persistent partitioned receive (mirrors
+    /// `MPI_Precv_init`): `partitions * part_elems` elements of `T` per
+    /// cycle from `src` on `tag`. The partition layout must match the
+    /// sender's — it is part of the frozen plan, not the wire messages.
+    pub fn precv_init<T: Plain>(
+        &self,
+        partitions: usize,
+        part_elems: usize,
+        src: Rank,
+        tag: Tag,
+    ) -> Result<PartitionedRecv<'_, T>> {
+        self.count_op("precv_init");
+        self.check_tag(tag)?;
+        self.check_rank(src)?;
+        check_partitions(partitions)?;
+        let part_bytes = part_elems * std::mem::size_of::<T>();
+        let req = PartitionedRecv {
+            comm: self,
+            src,
+            tag,
+            partitions,
+            part_bytes,
+            waiter: Arc::new(Waiter::default()),
+            buf: vec![0u8; partitions * part_bytes],
+            received: vec![false; partitions],
+            got: 0,
+            active: false,
+            cycles: 0,
+            _ty: PhantomData,
+        };
+        // Wake-only: `wait` drains the queue itself on every pass and
+        // never reads claims as records, so publishes claim the waiter
+        // only while the receiver is armed inside `wait`.
+        self.mailbox().register_standing(
+            self.context,
+            Src::Rank(src),
+            TagSel::Is(tag),
+            &req.waiter,
+            0,
+            true,
+        );
+        Ok(req)
+    }
+}
+
+fn check_partitions(partitions: usize) -> Result<()> {
+    if partitions == 0 {
+        return Err(MpiError::InvalidLayout(
+            "partitioned init: at least one partition required".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn partitioned_send_recv_single_thread() {
+        Universe::run(2, |comm| {
+            const PARTS: usize = 4;
+            const ELEMS: usize = 3;
+            if comm.rank() == 0 {
+                let mut send = comm.psend_init::<u32>(PARTS, ELEMS, 1, 5).unwrap();
+                let w = send.writer();
+                for cycle in 0..3u32 {
+                    send.start().unwrap();
+                    // Reverse order: indices decouple arrival from layout.
+                    for p in (0..PARTS).rev() {
+                        let base = cycle * 100 + p as u32 * 10;
+                        w.pready(p, &[base, base + 1, base + 2]).unwrap();
+                    }
+                    send.wait().unwrap();
+                }
+                assert_eq!(send.cycles(), 3);
+            } else {
+                let mut recv = comm.precv_init::<u32>(PARTS, ELEMS, 0, 5).unwrap();
+                for cycle in 0..3u32 {
+                    recv.start().unwrap();
+                    let data = recv.wait().unwrap();
+                    let want: Vec<u32> = (0..PARTS as u32)
+                        .flat_map(|p| {
+                            let base = cycle * 100 + p * 10;
+                            [base, base + 1, base + 2]
+                        })
+                        .collect();
+                    assert_eq!(data, want);
+                }
+            }
+        });
+    }
+
+    /// The point of the API: many producer threads fill one send while
+    /// the rank thread waits; delivery is correct across cycles.
+    #[test]
+    fn partitioned_send_with_threaded_producers() {
+        Universe::run(2, |comm| {
+            const PARTS: usize = 8;
+            const ELEMS: usize = 16;
+            if comm.rank() == 0 {
+                let mut send = comm.psend_init::<u64>(PARTS, ELEMS, 1, 9).unwrap();
+                for cycle in 0..4u64 {
+                    send.start().unwrap();
+                    std::thread::scope(|s| {
+                        for p in 0..PARTS {
+                            let w = send.writer();
+                            s.spawn(move || {
+                                let data: Vec<u64> = (0..ELEMS as u64)
+                                    .map(|i| cycle * 10_000 + p as u64 * 100 + i)
+                                    .collect();
+                                w.pready(p, &data).unwrap();
+                            });
+                        }
+                    });
+                    send.wait().unwrap();
+                }
+            } else {
+                let mut recv = comm.precv_init::<u64>(PARTS, ELEMS, 0, 9).unwrap();
+                for cycle in 0..4u64 {
+                    recv.start().unwrap();
+                    let data = recv.wait().unwrap();
+                    let want: Vec<u64> = (0..PARTS as u64)
+                        .flat_map(|p| (0..ELEMS as u64).map(move |i| cycle * 10_000 + p * 100 + i))
+                        .collect();
+                    assert_eq!(data, want, "cycle {cycle} reassembled wrong");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn pready_misuse_is_rejected_and_poisons_wait() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut send = comm.psend_init::<u8>(2, 1, 1, 0).unwrap();
+                let w = send.writer();
+                // Before start: rejected, nothing sent.
+                assert!(matches!(
+                    w.pready(0, &[1]).unwrap_err(),
+                    MpiError::InvalidLayout(_)
+                ));
+                send.start().unwrap();
+                // Wrong length and out-of-range index: rejected.
+                assert!(matches!(
+                    w.pready(0, &[1, 2]).unwrap_err(),
+                    MpiError::InvalidLayout(_)
+                ));
+                assert!(matches!(
+                    w.pready(9, &[1]).unwrap_err(),
+                    MpiError::InvalidLayout(_)
+                ));
+                w.pready(0, &[10]).unwrap();
+                // Duplicate publish: rejected and the cycle poisoned.
+                assert!(matches!(
+                    w.pready(0, &[10]).unwrap_err(),
+                    MpiError::InvalidLayout(_)
+                ));
+                assert!(matches!(
+                    send.wait().unwrap_err(),
+                    MpiError::InvalidLayout(_)
+                ));
+                // The failed wait disarmed the request: publishing now
+                // is "no armed cycle" again.
+                w.pready(1, &[11]).unwrap_err();
+            } else {
+                // Only the one good partition envelope exists; drain it
+                // raw so the universe shuts down clean.
+                let (v, _) = comm
+                    .recv_vec::<u8>(crate::ANY_SOURCE, crate::ANY_TAG)
+                    .unwrap();
+                assert_eq!(v.len(), 5);
+            }
+        });
+    }
+
+    #[test]
+    fn start_while_armed_is_an_error() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut send = comm.psend_init::<u8>(1, 1, 1, 0).unwrap();
+                send.start().unwrap();
+                assert_eq!(send.start().unwrap_err(), MpiError::RequestActive);
+                send.writer().pready(0, &[7]).unwrap();
+                send.wait().unwrap();
+            } else {
+                let mut recv = comm.precv_init::<u8>(1, 1, 0, 0).unwrap();
+                recv.start().unwrap();
+                assert_eq!(recv.start().unwrap_err(), MpiError::RequestActive);
+                assert_eq!(recv.wait().unwrap(), vec![7]);
+            }
+        });
+    }
+
+    /// Steady-state law carries over from persistent ops: cycles after
+    /// init make zero additional completion registrations.
+    #[test]
+    fn partitioned_steady_state_makes_zero_registrations() {
+        Universe::run(2, |comm| {
+            const CYCLES: u64 = 10;
+            if comm.rank() == 0 {
+                let mut send = comm.psend_init::<u32>(2, 4, 1, 3).unwrap();
+                let w = send.writer();
+                for _ in 0..CYCLES {
+                    send.start().unwrap();
+                    w.pready(0, &[0, 1, 2, 3]).unwrap();
+                    w.pready(1, &[4, 5, 6, 7]).unwrap();
+                    send.wait().unwrap();
+                }
+                comm.send(&[0u8], 1, 99).unwrap();
+            } else {
+                let mut recv = comm.precv_init::<u32>(2, 4, 0, 3).unwrap();
+                recv.start().unwrap();
+                recv.wait().unwrap();
+                let before = comm.mailbox_stats().notify_registrations;
+                for _ in 1..CYCLES {
+                    recv.start().unwrap();
+                    let data = recv.wait().unwrap();
+                    assert_eq!(data, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+                }
+                assert_eq!(comm.mailbox_stats().notify_registrations, before);
+                comm.recv_vec::<u8>(crate::ANY_SOURCE, crate::ANY_TAG)
+                    .unwrap();
+            }
+        });
+    }
+}

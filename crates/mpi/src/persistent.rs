@@ -1,0 +1,1070 @@
+//! Persistent operations (MPI-4 `MPI_Send_init` / `MPI_Recv_init` /
+//! `MPI_Bcast_init` / …): freeze the plan once, amortize every piece of
+//! per-call setup across the steady state.
+//!
+//! A regular non-blocking operation pays its full setup bill on every
+//! call: envelope resolution, internal-tag allocation, algorithm
+//! selection, engine construction, and — for every blocking wait — a
+//! fresh waiter registration per pending source. In iterative codes
+//! (halo exchanges, solver loops) the *shape* of the communication
+//! never changes between iterations; only the payload bytes do. The
+//! persistent API does all shape-dependent work exactly once, at
+//! `*_init` time, and leaves the hot loop with nothing but the
+//! per-cycle data movement:
+//!
+//! - the destination/source **envelope** is resolved and validated at
+//!   init,
+//! - internal **tags** are allocated once (cross-rank aligned, because
+//!   `*_init` is called collectively in the same order on every rank)
+//!   and reused by every cycle,
+//! - the collective **algorithm is selected once** and its engine built
+//!   once; `start` merely *rewinds* the engine
+//!   (`CollEngine::rewind` in `crate::collectives::nonblocking`)
+//!   instead of re-constructing it,
+//! - a **standing registration**
+//!   ([`Mailbox::register_standing`](crate::mailbox)) is installed in
+//!   the completion subsystem for every source the plan can ever block
+//!   on. Unlike the transient registrations of
+//!   [`park_any`](crate::completion::park_any), standing entries
+//!   survive every fire — the steady-state `start` → `wait` cycle
+//!   performs **zero** waiter (de)registrations, pinned by the
+//!   `notify_registrations` counter in
+//!   [`MailboxStats`](crate::MailboxStats).
+//!
+//! # Request lifecycle
+//!
+//! A persistent request adds a fourth lifecycle to the request zoo
+//! (see [`crate::request`] for the one-shot diagram):
+//!
+//! ```text
+//!   *_init            start()             completion observed
+//!  ───────> [inactive] ──────> [started] ─────────────────────┐
+//!               ^                  │ wait()/test()            │
+//!               │                  v                          │
+//!               │            [complete] ── result returned ───┤
+//!               └──────────────── restartable <───────────────┘
+//!                    (start() again; plan unchanged)
+//! ```
+//!
+//! `start` on an already-started request is an error
+//! ([`MpiError::RequestActive`]) — cycles never overlap, which is what
+//! keeps the frozen internal tags unambiguous: every cycle's messages
+//! travel on the same `(source, tag)` streams, per-stream FIFO keeps
+//! cycles in order, and a fixed number of messages per cycle per stream
+//! keeps them aligned. `start` on a revoked communicator is poisoned
+//! with [`MpiError::Revoked`] before any message moves.
+//!
+//! # What is deliberately frozen
+//!
+//! Persistent collectives pin the algorithm family whose engines are
+//! rewindable: binomial-tree broadcast, flat-gather + ordered-fold
+//! allreduce, and eager pairwise alltoallv/allgather. The per-call
+//! [`CollTuning`](crate::CollTuning) consultation that regular
+//! collectives perform is exactly one of the costs `*_init` is meant to
+//! hoist out of the loop.
+
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::collectives::nonblocking::{
+    allreduce_root_engine, bcast_recv_engine, blocks_engine, message_completion, CollEngine,
+};
+use crate::collectives::{bcast_forward, send_internal};
+use crate::comm::Comm;
+use crate::completion::Waiter;
+use crate::error::{MpiError, Result};
+use crate::message::{Src, Status, TagSel};
+use crate::plain::bytes_from_slice;
+use crate::request::Completion;
+use crate::trace;
+use crate::{Plain, Rank, ReduceOp, Tag};
+
+/// The eager sends a collective cycle posts at `start` time. Everything
+/// here was computed at init; `start` only moves payload bytes.
+enum CollSends {
+    /// Pure receiver side: nothing to send.
+    None,
+    /// Binomial-tree root forwarding (persistent bcast root).
+    BcastRoot { root: Rank, tag: Tag },
+    /// The whole payload to one rank (allreduce leaf's contribution).
+    ToRank { dest: Rank, tag: Tag },
+    /// The whole payload to every peer (allgather).
+    ToAll { tag: Tag },
+    /// `payload[ranges[r]]` to each rank `r` (alltoallv); the entry for
+    /// this rank is kept as the engine's own block.
+    Blocks { tag: Tag, ranges: Vec<Range<usize>> },
+}
+
+/// Which part of the cycle's payload seeds the engine's own slot when
+/// the cycle is rewound.
+enum OwnSpec {
+    /// The engine starts empty (bcast receivers).
+    None,
+    /// The whole payload (allgather contribution, allreduce root).
+    All,
+    /// A byte range of the payload (this rank's alltoallv block).
+    Slice(Range<usize>),
+}
+
+/// How a collective cycle completes.
+enum CollBody {
+    /// Complete immediately with this cycle's payload (bcast root: the
+    /// tree forwarding happened at `start`).
+    Ready { source: Rank, tag: Tag },
+    /// Drive a rewindable engine to completion.
+    Engine(Box<dyn CollEngine>),
+}
+
+/// A frozen collective plan: eager sends + own-block spec + body.
+struct CollPlan {
+    sends: CollSends,
+    own: OwnSpec,
+    body: CollBody,
+}
+
+/// The plan a persistent request executes every cycle.
+enum PlanKind {
+    /// Eager send: complete at `start`.
+    Send { dest: Rank, tag: Tag },
+    /// Posted receive on frozen selectors.
+    Recv { src: Src, tag: TagSel },
+    /// A collective cycle.
+    Coll(CollPlan),
+}
+
+/// A persistent request (mirrors the inactive `MPI_Request` returned by
+/// `MPI_Send_init` and friends): the communication *plan* — envelope,
+/// tags, algorithm, engine, completion registrations — frozen at init;
+/// [`start`](PersistentRequest::start) /
+/// [`wait`](PersistentRequest::wait) cycles reuse all of it and touch
+/// only payload bytes.
+pub struct PersistentRequest<'a> {
+    comm: &'a Comm,
+    kind: PlanKind,
+    /// This cycle's payload (sends and contributing collectives);
+    /// replaced between cycles via
+    /// [`set_payload`](PersistentRequest::set_payload).
+    payload: Option<Bytes>,
+    /// Dedicated waiter holding the standing registrations. Never the
+    /// thread-local cached waiter: the registrations keep a reference
+    /// for the request's whole lifetime.
+    waiter: Arc<Waiter>,
+    /// Whether standing registrations exist (teardown on drop).
+    registered: bool,
+    active: bool,
+    /// True once `wait` has armed the waiter since the last claim-state
+    /// clear: claims can only fire while armed, so an un-armed cycle's
+    /// `finish_cycle` skips the waiter lock entirely.
+    maybe_claimed: bool,
+    /// Completed `start`/`wait` cycles (diagnostics).
+    cycles: u64,
+}
+
+impl<'a> PersistentRequest<'a> {
+    fn new(comm: &'a Comm, kind: PlanKind, payload: Option<Bytes>) -> Self {
+        PersistentRequest {
+            comm,
+            kind,
+            payload,
+            waiter: Arc::new(Waiter::default()),
+            registered: false,
+            active: false,
+            maybe_claimed: false,
+            cycles: 0,
+        }
+    }
+
+    /// True between a `start` and the observation of its completion.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Completed cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Replaces the payload the next cycle sends. Rejected while a
+    /// cycle is active (the in-flight cycle owns the current payload);
+    /// for alltoallv plans the packed length must match the frozen
+    /// counts.
+    pub fn set_payload(&mut self, payload: Bytes) -> Result<()> {
+        if self.active {
+            return Err(MpiError::RequestActive);
+        }
+        if let PlanKind::Coll(CollPlan {
+            sends: CollSends::Blocks { ranges, .. },
+            ..
+        }) = &self.kind
+        {
+            let total = ranges.last().map_or(0, |r| r.end);
+            if payload.len() != total {
+                return Err(MpiError::InvalidLayout(format!(
+                    "persistent alltoallv: payload holds {} bytes but the \
+                     frozen counts sum to {total} bytes",
+                    payload.len()
+                )));
+            }
+        }
+        self.payload = Some(payload);
+        Ok(())
+    }
+
+    /// Typed [`set_payload`](PersistentRequest::set_payload) (one
+    /// serialization copy, like the typed init).
+    pub fn set_data<T: Plain>(&mut self, data: &[T]) -> Result<()> {
+        self.set_payload(bytes_from_slice(data))
+    }
+
+    /// Starts one cycle (mirrors `MPI_Start`): posts the plan's eager
+    /// sends and rewinds the engine with this cycle's payload. O(sends)
+    /// — no tag allocation, no algorithm selection, no waiter
+    /// registration. Errors if the previous cycle has not completed
+    /// ([`MpiError::RequestActive`]) or the communicator is revoked
+    /// ([`MpiError::Revoked`], poisoning before any message moves).
+    pub fn start(&mut self) -> Result<()> {
+        self.comm.count_op("start");
+        if self.active {
+            return Err(MpiError::RequestActive);
+        }
+        // Send plans skip the standalone revocation probe: their
+        // `deliver_bytes` below performs the same check before any
+        // message moves, and the probe is a lock on the hot path.
+        if !matches!(self.kind, PlanKind::Send { .. })
+            && self.comm.world.is_revoked(self.comm.context)
+        {
+            return Err(MpiError::Revoked);
+        }
+        trace::async_begin(trace::cat::PERSIST, "persistent_cycle", self.trace_id());
+        let payload = self.payload.clone();
+        match &mut self.kind {
+            PlanKind::Send { dest, tag } => {
+                let payload = payload.expect("send plans hold a payload");
+                self.comm.deliver_bytes(*dest, *tag, payload, None)?;
+            }
+            PlanKind::Recv { .. } => {}
+            PlanKind::Coll(plan) => {
+                let payload = payload.unwrap_or_default();
+                if let CollBody::Engine(engine) = &mut plan.body {
+                    let own = match &plan.own {
+                        OwnSpec::None => None,
+                        OwnSpec::All => Some(payload.clone()),
+                        OwnSpec::Slice(r) => Some(payload.slice(r.clone())),
+                    };
+                    let rewound = engine.rewind(own);
+                    debug_assert!(rewound, "persistent plans hold only rewindable engines");
+                }
+                match &plan.sends {
+                    CollSends::None => {}
+                    CollSends::BcastRoot { root, tag } => {
+                        bcast_forward(self.comm, 0, *root, *tag, &payload)?;
+                    }
+                    CollSends::ToRank { dest, tag } => {
+                        send_internal(self.comm, *dest, *tag, payload.clone())?;
+                    }
+                    CollSends::ToAll { tag } => {
+                        for r in 0..self.comm.size() {
+                            if r != self.comm.rank() {
+                                send_internal(self.comm, r, *tag, payload.clone())?;
+                            }
+                        }
+                    }
+                    CollSends::Blocks { tag, ranges } => {
+                        for (r, range) in ranges.iter().enumerate() {
+                            if r != self.comm.rank() {
+                                send_internal(self.comm, r, *tag, payload.slice(range.clone()))?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.active = true;
+        Ok(())
+    }
+
+    /// Blocks until the started cycle completes (mirrors `MPI_Wait` on
+    /// a persistent request), leaving the request inactive and
+    /// restartable. Steady state: the standing registrations installed
+    /// at init claim the dedicated waiter directly — no registration,
+    /// no deregistration, no sweep of unrelated sources. The
+    /// registrations are *wake-only*: pushes claim the waiter only
+    /// between the arm below and completion, so cycles whose messages
+    /// have already arrived cost the senders nothing at all. Waiting on
+    /// an inactive request returns [`Completion::Done`] immediately
+    /// (MPI's null-status convention).
+    pub fn wait(&mut self) -> Result<Completion> {
+        if !self.active {
+            return Ok(Completion::Done);
+        }
+        let _sp = trace::span(trace::cat::WAIT, "wait_persistent", 0, 0);
+        let mb = self.comm.mailbox();
+        // Fast path: the cycle already completed — the armed flag is
+        // never raised and no push ever locked this waiter.
+        match self.try_complete() {
+            Ok(Some(c)) => {
+                self.finish_cycle();
+                return Ok(c);
+            }
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+        // Arm, then re-test before parking: the store precedes the
+        // re-test's shard-lock acquisition, so a push that enqueues
+        // after the re-test observes the flag and claims — no arrival
+        // can fall between re-test and park.
+        self.waiter.armed.store(true, Ordering::SeqCst);
+        self.maybe_claimed = true;
+        let result = loop {
+            let epoch = mb.epoch();
+            match self.try_complete() {
+                Ok(Some(c)) => break Ok(c),
+                Ok(None) => {}
+                Err(e) => break Err(e),
+            }
+            let mut st = self.waiter.state.lock();
+            loop {
+                if st.claimed {
+                    // Consume the claim (and any missed fires — claims
+                    // never carry messages, so clearing loses nothing:
+                    // whatever fired is queued and the next
+                    // `try_complete` finds it).
+                    st.claimed = false;
+                    st.fired = None;
+                    st.missed.clear();
+                    break;
+                }
+                if mb.epoch() != epoch {
+                    mb.record_spurious();
+                    break;
+                }
+                self.waiter.cond.wait(&mut st);
+            }
+        };
+        self.waiter.armed.store(false, Ordering::SeqCst);
+        match result {
+            Ok(c) => {
+                self.finish_cycle();
+                Ok(c)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Non-blocking completion check (mirrors `MPI_Test` on a
+    /// persistent request). `Ok(Some(..))` deactivates the request for
+    /// restart; an inactive request reports `Done` immediately.
+    pub fn test(&mut self) -> Result<Option<Completion>> {
+        if !self.active {
+            return Ok(Some(Completion::Done));
+        }
+        match self.try_complete()? {
+            Some(c) => {
+                self.finish_cycle();
+                Ok(Some(c))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Cycle bookkeeping shared by `wait` and `test`: clear any claim
+    /// state left by this cycle's pushes **before** the request is
+    /// restartable — a stale claim would swallow the next cycle's first
+    /// wakeup into the missed list.
+    fn finish_cycle(&mut self) {
+        // The end event must carry the same id the cycle's `start`
+        // emitted, so it fires before the cycle counter advances.
+        trace::async_end(trace::cat::PERSIST, "persistent_cycle", self.trace_id());
+        // Claims only fire while the waiter is armed (the registrations
+        // are wake-only), so a cycle that completed on the un-armed
+        // fast path has clean claim state by construction — no lock.
+        if self.maybe_claimed {
+            let mut st = self.waiter.state.lock();
+            st.claimed = false;
+            st.fired = None;
+            st.missed.clear();
+            drop(st);
+            self.maybe_claimed = false;
+        }
+        self.active = false;
+        self.cycles += 1;
+    }
+
+    /// Stable id correlating this request's async trace spans.
+    fn trace_id(&self) -> u64 {
+        Arc::as_ptr(&self.waiter) as u64 ^ self.cycles.rotate_left(48)
+    }
+
+    /// One non-blocking completion attempt against the frozen plan.
+    fn try_complete(&mut self) -> Result<Option<Completion>> {
+        match &mut self.kind {
+            PlanKind::Send { .. } => Ok(Some(Completion::Done)),
+            PlanKind::Recv { src, tag } => match self.comm.try_recv_envelope(*src, *tag) {
+                Some(env) => {
+                    let st = Status {
+                        source: env.src,
+                        tag: env.tag,
+                        bytes: env.payload.len(),
+                    };
+                    Ok(Some(Completion::Message(env.payload, st)))
+                }
+                None => match self.comm.wait_interrupted(*src) {
+                    Some(e) => Err(e),
+                    None => Ok(None),
+                },
+            },
+            PlanKind::Coll(plan) => match &mut plan.body {
+                CollBody::Ready { source, tag } => {
+                    let payload = self
+                        .payload
+                        .clone()
+                        .expect("a ready collective body holds the cycle's payload");
+                    Ok(Some(message_completion(*source, *tag, payload)))
+                }
+                CollBody::Engine(engine) => engine.advance(self.comm, false),
+            },
+        }
+    }
+}
+
+impl Drop for PersistentRequest<'_> {
+    /// The standing registrations reference the waiter from the
+    /// mailbox's posted queues; dropping the request must remove them
+    /// or they would claim a dead waiter for the communicator's
+    /// lifetime.
+    fn drop(&mut self) {
+        if self.registered {
+            self.comm
+                .mailbox()
+                .deregister_notify(self.comm.context, &self.waiter);
+        }
+    }
+}
+
+/// Starts every request in the slice (mirrors `MPI_Startall`); stops at
+/// the first error, leaving later requests inactive.
+pub fn start_all(requests: &mut [PersistentRequest<'_>]) -> Result<()> {
+    for req in requests.iter_mut() {
+        req.start()?;
+    }
+    Ok(())
+}
+
+impl Comm {
+    /// Installs standing registrations for every source the plan's
+    /// engine can ever receive from, then hands the request out.
+    fn persistent_coll(
+        &self,
+        plan: CollPlan,
+        payload: Option<Bytes>,
+    ) -> Result<PersistentRequest<'_>> {
+        let mut req = PersistentRequest::new(self, PlanKind::Coll(plan), payload);
+        let mut pairs: Vec<(Rank, Tag)> = Vec::new();
+        if let PlanKind::Coll(CollPlan {
+            body: CollBody::Engine(engine),
+            ..
+        }) = &req.kind
+        {
+            engine.all_sources(self, &mut pairs);
+        }
+        for (slot, (r, t)) in pairs.iter().enumerate() {
+            // A message already queued is fine: `wait` always attempts
+            // completion before parking, so pre-registration arrivals
+            // are found without a claim. Wake-only: claims fire only
+            // while `wait` is armed (see there).
+            self.mailbox().register_standing(
+                self.context,
+                Src::Rank(*r),
+                TagSel::Is(*t),
+                &req.waiter,
+                slot,
+                true,
+            );
+            req.registered = true;
+        }
+        Ok(req)
+    }
+
+    /// Creates a persistent send to `dest` on `tag` (mirrors
+    /// `MPI_Send_init`): the envelope is validated once; every
+    /// [`start`](PersistentRequest::start) posts the current payload
+    /// eagerly. Update the payload between cycles with
+    /// [`set_data`](PersistentRequest::set_data).
+    pub fn send_init<T: Plain>(
+        &self,
+        data: &[T],
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<PersistentRequest<'_>> {
+        self.send_init_bytes(bytes_from_slice(data), dest, tag)
+    }
+
+    /// Byte-level [`Comm::send_init`] (zero-copy for adopted buffers).
+    pub fn send_init_bytes(
+        &self,
+        payload: Bytes,
+        dest: Rank,
+        tag: Tag,
+    ) -> Result<PersistentRequest<'_>> {
+        self.count_op("send_init");
+        self.check_tag(tag)?;
+        self.check_rank(dest)?;
+        Ok(PersistentRequest::new(
+            self,
+            PlanKind::Send { dest, tag },
+            Some(payload),
+        ))
+    }
+
+    /// Creates a persistent receive from `src` on `tag` (mirrors
+    /// `MPI_Recv_init`): one standing completion registration installed
+    /// here serves every future cycle's wakeup.
+    pub fn recv_init(&self, src: Rank, tag: Tag) -> Result<PersistentRequest<'_>> {
+        self.count_op("recv_init");
+        self.check_tag(tag)?;
+        self.check_rank(src)?;
+        let mut req = PersistentRequest::new(
+            self,
+            PlanKind::Recv {
+                src: Src::Rank(src),
+                tag: TagSel::Is(tag),
+            },
+            None,
+        );
+        self.mailbox().register_standing(
+            self.context,
+            Src::Rank(src),
+            TagSel::Is(tag),
+            &req.waiter,
+            0,
+            true,
+        );
+        req.registered = true;
+        Ok(req)
+    }
+
+    /// Creates a persistent broadcast from `root` (mirrors
+    /// `MPI_Bcast_init`). The root supplies `Some(data)` (refreshable
+    /// per cycle via [`set_data`](PersistentRequest::set_data)); other
+    /// ranks pass `None` and receive each cycle's payload as their
+    /// completion. The binomial tree, its internal tag, and the
+    /// receivers' standing parent registration are all frozen here.
+    pub fn bcast_init<T: Plain>(
+        &self,
+        data: Option<&[T]>,
+        root: Rank,
+    ) -> Result<PersistentRequest<'_>> {
+        let payload =
+            (self.rank() == root).then(|| bytes_from_slice(data.expect("root must supply data")));
+        self.bcast_init_bytes(payload, root)
+    }
+
+    /// Byte-level [`Comm::bcast_init`].
+    pub fn bcast_init_bytes(
+        &self,
+        payload: Option<Bytes>,
+        root: Rank,
+    ) -> Result<PersistentRequest<'_>> {
+        self.count_op("bcast_init");
+        self.check_rank(root)?;
+        let tag = self.next_internal_tag();
+        trace::instant(trace::cat::COLL, "bcast_init/binomial_tree", 0, root as u64);
+        let plan = if self.rank() == root {
+            CollPlan {
+                sends: CollSends::BcastRoot { root, tag },
+                own: OwnSpec::None,
+                body: CollBody::Ready { source: root, tag },
+            }
+        } else {
+            CollPlan {
+                sends: CollSends::None,
+                own: OwnSpec::None,
+                body: CollBody::Engine(bcast_recv_engine(tag, root)),
+            }
+        };
+        self.persistent_coll(plan, payload)
+    }
+
+    /// Creates a persistent allreduce (mirrors `MPI_Allreduce_init`):
+    /// flat gather to rank 0, rank-ordered fold, binomial broadcast of
+    /// the result — selected once, engine built once, both tags frozen.
+    /// Every rank's completion carries the folded vector.
+    pub fn allreduce_init<T: Plain, O: ReduceOp<T> + 'static>(
+        &self,
+        data: &[T],
+        op: O,
+    ) -> Result<PersistentRequest<'_>> {
+        self.count_op("allreduce_init");
+        let own = bytes_from_slice(data);
+        let gather_tag = self.next_internal_tag();
+        let bcast_tag = self.next_internal_tag();
+        trace::instant(
+            trace::cat::COLL,
+            "allreduce_init/flat_gather",
+            own.len() as u64,
+            self.size() as u64,
+        );
+        let plan = if self.rank() == 0 {
+            CollPlan {
+                sends: CollSends::None,
+                own: OwnSpec::All,
+                body: CollBody::Engine(allreduce_root_engine::<T, O>(
+                    self,
+                    gather_tag,
+                    bcast_tag,
+                    own.clone(),
+                    op,
+                )),
+            }
+        } else {
+            CollPlan {
+                sends: CollSends::ToRank {
+                    dest: 0,
+                    tag: gather_tag,
+                },
+                own: OwnSpec::None,
+                body: CollBody::Engine(bcast_recv_engine(bcast_tag, 0)),
+            }
+        };
+        self.persistent_coll(plan, Some(own))
+    }
+
+    /// Creates a persistent allgather (mirrors `MPI_Allgather_init`):
+    /// each cycle posts this rank's current payload to every peer and
+    /// completes with [`Completion::Blocks`] in rank order. Blocks may
+    /// differ in size (the substrate never enforces equal lengths, so
+    /// this doubles as `MPI_Allgatherv_init`).
+    pub fn allgather_init<T: Plain>(&self, data: &[T]) -> Result<PersistentRequest<'_>> {
+        self.allgather_init_bytes(bytes_from_slice(data))
+    }
+
+    /// Byte-level [`Comm::allgather_init`].
+    pub fn allgather_init_bytes(&self, own: Bytes) -> Result<PersistentRequest<'_>> {
+        self.count_op("allgather_init");
+        let tag = self.next_internal_tag();
+        trace::instant(
+            trace::cat::COLL,
+            "allgather_init/pairwise",
+            own.len() as u64,
+            self.size() as u64,
+        );
+        let plan = CollPlan {
+            sends: CollSends::ToAll { tag },
+            own: OwnSpec::All,
+            body: CollBody::Engine(blocks_engine(self, tag, own.clone())),
+        };
+        self.persistent_coll(plan, Some(own))
+    }
+
+    /// Creates a persistent personalized all-to-all with per-destination
+    /// counts (mirrors `MPI_Alltoallv_init`). The counts — and therefore
+    /// the per-peer byte ranges carved out of the packed payload — are
+    /// frozen at init; [`set_payload`](PersistentRequest::set_payload)
+    /// enforces the frozen total. Completes with
+    /// [`Completion::Blocks`]: one block per source rank.
+    pub fn alltoallv_init<T: Plain>(
+        &self,
+        data: &[T],
+        counts: &[usize],
+    ) -> Result<PersistentRequest<'_>> {
+        let elem = std::mem::size_of::<T>();
+        let byte_counts: Vec<usize> = counts.iter().map(|&c| c * elem).collect();
+        self.alltoallv_init_bytes(bytes_from_slice(data), &byte_counts)
+    }
+
+    /// Byte-level [`Comm::alltoallv_init`]: `packed` holds the per-peer
+    /// blocks contiguously in rank order, `byte_counts[r]` bytes each.
+    pub fn alltoallv_init_bytes(
+        &self,
+        packed: Bytes,
+        byte_counts: &[usize],
+    ) -> Result<PersistentRequest<'_>> {
+        self.count_op("alltoallv_init");
+        // Tag first: the layout check is rank-local, and an erroring
+        // rank must stay tag-aligned with peers whose layouts are fine.
+        let tag = self.next_internal_tag();
+        let p = self.size();
+        if byte_counts.len() != p {
+            return Err(MpiError::InvalidLayout(format!(
+                "alltoallv_init: counts has {} entries for communicator of size {p}",
+                byte_counts.len()
+            )));
+        }
+        let total: usize = byte_counts.iter().sum();
+        if total != packed.len() {
+            return Err(MpiError::InvalidLayout(format!(
+                "alltoallv_init: send buffer holds {} bytes but counts sum to {total} bytes",
+                packed.len()
+            )));
+        }
+        trace::instant(
+            trace::cat::COLL,
+            "alltoallv_init/pairwise",
+            total as u64,
+            p as u64,
+        );
+        let mut ranges = Vec::with_capacity(p);
+        let mut offset = 0usize;
+        for &c in byte_counts {
+            ranges.push(offset..offset + c);
+            offset += c;
+        }
+        let own_range = ranges[self.rank()].clone();
+        let own = packed.slice(own_range.clone());
+        let plan = CollPlan {
+            sends: CollSends::Blocks { tag, ranges },
+            own: OwnSpec::Slice(own_range),
+            body: CollBody::Engine(blocks_engine(self, tag, own)),
+        };
+        self.persistent_coll(plan, Some(packed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Sum;
+    use crate::Universe;
+    use proptest::prelude::*;
+
+    #[test]
+    fn persistent_send_recv_cycles() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.send_init(&[0u32], 1, 7).unwrap();
+                for cycle in 0..5u32 {
+                    req.set_data(&[cycle * 10]).unwrap();
+                    req.start().unwrap();
+                    req.wait().unwrap();
+                }
+                assert_eq!(req.cycles(), 5);
+            } else {
+                let mut req = comm.recv_init(0, 7).unwrap();
+                for cycle in 0..5u32 {
+                    req.start().unwrap();
+                    let (v, st) = req.wait().unwrap().into_vec::<u32>().unwrap();
+                    assert_eq!(v, vec![cycle * 10]);
+                    assert_eq!(st.source, 0);
+                    assert_eq!(st.tag, 7);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn start_while_active_is_an_error() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.recv_init(1, 0).unwrap();
+                req.start().unwrap();
+                assert_eq!(req.start().unwrap_err(), MpiError::RequestActive);
+                req.wait().unwrap();
+                // Completing the cycle makes it restartable again.
+                req.start().unwrap();
+                req.wait().unwrap();
+            } else {
+                comm.send(&[1u8], 0, 0).unwrap();
+                comm.send(&[2u8], 0, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn wait_on_inactive_request_returns_immediately() {
+        Universe::run(1, |comm| {
+            let mut req = comm.send_init(&[1u8], 0, 0).unwrap();
+            assert!(matches!(req.wait().unwrap(), Completion::Done));
+            assert_eq!(req.cycles(), 0);
+        });
+    }
+
+    #[test]
+    fn set_payload_while_active_is_rejected() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut req = comm.recv_init(1, 0).unwrap();
+                req.start().unwrap();
+                assert_eq!(
+                    req.set_payload(Bytes::new()).unwrap_err(),
+                    MpiError::RequestActive
+                );
+                req.wait().unwrap();
+            } else {
+                comm.send(&[1u8], 0, 0).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_bcast_cycles() {
+        for p in [1, 2, 4, 5] {
+            Universe::run(p, move |comm| {
+                let root = p - 1;
+                let mut req = if comm.rank() == root {
+                    comm.bcast_init(Some(&[0u64]), root).unwrap()
+                } else {
+                    comm.bcast_init::<u64>(None, root).unwrap()
+                };
+                for cycle in 0..4u64 {
+                    if comm.rank() == root {
+                        req.set_data(&[cycle * cycle + 3]).unwrap();
+                    }
+                    req.start().unwrap();
+                    let (v, st) = req.wait().unwrap().into_vec::<u64>().unwrap();
+                    assert_eq!(v, vec![cycle * cycle + 3]);
+                    assert_eq!(st.source, root);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn persistent_allreduce_cycles() {
+        for p in [1, 2, 3, 4, 8] {
+            Universe::run(p, move |comm| {
+                let mut req = comm.allreduce_init(&[0u64, 0], Sum).unwrap();
+                for cycle in 1..=4u64 {
+                    req.set_data(&[comm.rank() as u64 * cycle, cycle]).unwrap();
+                    req.start().unwrap();
+                    let (v, _) = req.wait().unwrap().into_vec::<u64>().unwrap();
+                    let ranks_sum: u64 = (0..p as u64).sum();
+                    assert_eq!(v, vec![ranks_sum * cycle, cycle * p as u64]);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn persistent_allgather_cycles() {
+        Universe::run(4, |comm| {
+            let mut req = comm.allgather_init(&[0u32]).unwrap();
+            for cycle in 0..3u32 {
+                req.set_data(&[comm.rank() as u32 + 100 * cycle]).unwrap();
+                req.start().unwrap();
+                let blocks = req.wait().unwrap().into_blocks().unwrap();
+                assert_eq!(blocks.len(), 4);
+                for (r, b) in blocks.iter().enumerate() {
+                    assert_eq!(
+                        crate::plain::bytes_to_vec::<u32>(b),
+                        vec![r as u32 + 100 * cycle]
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_alltoallv_cycles() {
+        Universe::run(3, |comm| {
+            let p = comm.size();
+            // Rank r sends r+1 elements to each peer: [dest; r+1].
+            let counts: Vec<usize> = vec![comm.rank() + 1; p];
+            let pack = |cycle: u32| -> Vec<u32> {
+                (0..p)
+                    .flat_map(|dest| {
+                        std::iter::repeat_n(dest as u32 + 1000 * cycle, comm.rank() + 1)
+                    })
+                    .collect()
+            };
+            let mut req = comm.alltoallv_init(&pack(0), &counts).unwrap();
+            for cycle in 0..3u32 {
+                req.set_data(&pack(cycle)).unwrap();
+                req.start().unwrap();
+                let blocks = req.wait().unwrap().into_blocks().unwrap();
+                assert_eq!(blocks.len(), p);
+                for (src, b) in blocks.iter().enumerate() {
+                    assert_eq!(
+                        crate::plain::bytes_to_vec::<u32>(b),
+                        vec![comm.rank() as u32 + 1000 * cycle; src + 1]
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn alltoallv_frozen_counts_enforced_on_set_payload() {
+        Universe::run(2, |comm| {
+            let mut req = comm.alltoallv_init(&[1u32, 2], &[1, 1]).unwrap();
+            assert!(matches!(
+                req.set_data(&[1u32, 2, 3]).unwrap_err(),
+                MpiError::InvalidLayout(_)
+            ));
+            // The old payload is still intact; a cycle still works.
+            req.start().unwrap();
+            req.wait().unwrap();
+        });
+    }
+
+    /// The tentpole's steady-state claim, pinned by counters: after
+    /// init, N cycles of start/wait perform **zero** additional waiter
+    /// registrations (`notify_registrations` stays flat — standing
+    /// entries serve every cycle) and **zero** algorithm re-selections
+    /// (`allreduce_init` counted once, only `start` advances).
+    #[test]
+    fn steady_state_makes_zero_registrations_and_reselections() {
+        Universe::run(4, |comm| {
+            let mut req = comm.allreduce_init(&[comm.rank() as u64], Sum).unwrap();
+            // One warm-up cycle, then measure.
+            req.start().unwrap();
+            req.wait().unwrap();
+            comm.barrier().unwrap();
+            let before = comm.mailbox_stats().notify_registrations;
+            for _ in 0..20 {
+                req.start().unwrap();
+                req.wait().unwrap();
+            }
+            let after = comm.mailbox_stats().notify_registrations;
+            assert_eq!(
+                after, before,
+                "steady-state cycles must not touch the posted queue"
+            );
+            assert_eq!(comm.call_counts().get("allreduce_init"), 1);
+            assert_eq!(comm.call_counts().get("start"), 21);
+        });
+    }
+
+    /// ULFM: a revoked communicator poisons `start` before any message
+    /// moves.
+    #[test]
+    fn revoked_comm_poisons_start() {
+        let outcomes = Universe::run_with(crate::Config::new(2), |comm| {
+            let mut req = comm.send_init(&[1u8], (comm.rank() + 1) % 2, 0).unwrap();
+            req.start().unwrap();
+            req.wait().unwrap();
+            // Both ranks must finish the healthy cycle before the
+            // revocation lands.
+            comm.barrier().unwrap();
+            if comm.rank() == 0 {
+                comm.revoke();
+            } else {
+                // Wait until the revocation is visible here.
+                while !comm.is_revoked() {
+                    std::thread::yield_now();
+                }
+            }
+            assert_eq!(req.start().unwrap_err(), MpiError::Revoked);
+        });
+        assert!(outcomes.into_iter().all(|o| o.completed().is_some()));
+    }
+
+    #[test]
+    fn start_all_starts_every_request() {
+        Universe::run(2, |comm| {
+            let peer = (comm.rank() + 1) % 2;
+            let mut reqs = vec![
+                comm.send_init(&[comm.rank() as u8], peer, 1).unwrap(),
+                comm.recv_init(peer, 1).unwrap(),
+            ];
+            for _ in 0..3 {
+                super::start_all(&mut reqs).unwrap();
+                for r in reqs.iter_mut() {
+                    r.wait().unwrap();
+                }
+            }
+            assert!(reqs.iter().all(|r| r.cycles() == 3));
+        });
+    }
+
+    /// Dropping a persistent request removes its standing registrations
+    /// (no zombie claims for the communicator's lifetime).
+    #[test]
+    fn drop_deregisters_standing_entries() {
+        Universe::run(2, |comm| {
+            let base = comm.mailbox_stats().notify_registrations;
+            {
+                let _req = comm.recv_init((comm.rank() + 1) % 2, 3).unwrap();
+                assert_eq!(comm.mailbox_stats().notify_registrations, base + 1);
+            }
+            // The counter is monotonic (it counts registrations made,
+            // not live ones); liveness is observable via a fresh cycle:
+            // a new request claims its own waiter, undisturbed.
+            let mut req = comm.recv_init((comm.rank() + 1) % 2, 3).unwrap();
+            comm.send(&[9u8], (comm.rank() + 1) % 2, 3).unwrap();
+            req.start().unwrap();
+            let (v, _) = req.wait().unwrap().into_vec::<u8>().unwrap();
+            assert_eq!(v, vec![9]);
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Satellite 4: a persistent operation must be observationally
+        /// equivalent to its regular counterpart across random
+        /// payloads, communicator sizes, and restart counts — cycle k
+        /// of the persistent allreduce returns exactly what a fresh
+        /// `iallreduce` on the same data returns.
+        #[test]
+        fn persistent_allreduce_equals_regular(
+            p in 1usize..9,
+            cycles in 1usize..5,
+            seeds in prop::collection::vec(0u64..1_000_000, 1..5),
+        ) {
+            let seeds = std::sync::Arc::new(seeds);
+            let out = Universe::run(p, move |comm| {
+                let width = seeds.len();
+                let mut req = comm.allreduce_init(&vec![0u64; width], Sum).unwrap();
+                for cycle in 0..cycles {
+                    let mine: Vec<u64> = seeds
+                        .iter()
+                        .map(|s| s.wrapping_mul(comm.rank() as u64 + 1) ^ cycle as u64)
+                        .collect();
+                    req.set_data(&mine).unwrap();
+                    req.start().unwrap();
+                    let (got, _) = req.wait().unwrap().into_vec::<u64>().unwrap();
+                    let (want, _) = comm
+                        .iallreduce(&mine, Sum)
+                        .unwrap()
+                        .wait()
+                        .unwrap()
+                        .into_vec::<u64>()
+                        .unwrap();
+                    assert_eq!(got, want, "cycle {cycle} diverged from iallreduce");
+                }
+                true
+            });
+            prop_assert!(out.into_iter().all(|ok| ok));
+        }
+
+        /// Same law for the personalized all-to-all: frozen counts,
+        /// fresh payload bytes every cycle.
+        #[test]
+        fn persistent_alltoallv_equals_regular(
+            p in 1usize..7,
+            cycles in 1usize..4,
+            counts_seed in 0usize..4,
+        ) {
+            let out = Universe::run(p, move |comm| {
+                let counts: Vec<usize> =
+                    (0..p).map(|d| (comm.rank() + d + counts_seed) % 3).collect();
+                let total: usize = counts.iter().sum();
+                let mut req = comm.alltoallv_init(&vec![0u32; total], &counts).unwrap();
+                for cycle in 0..cycles {
+                    let data: Vec<u32> = (0..total)
+                        .map(|i| (i + cycle * 31 + comm.rank() * 7) as u32)
+                        .collect();
+                    req.set_data(&data).unwrap();
+                    req.start().unwrap();
+                    let got = req.wait().unwrap().into_blocks().unwrap();
+                    let want = comm
+                        .ialltoallv(&data, &counts)
+                        .unwrap()
+                        .wait()
+                        .unwrap()
+                        .into_blocks()
+                        .unwrap();
+                    assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(&g[..], &w[..], "cycle {cycle} diverged from ialltoallv");
+                    }
+                }
+                true
+            });
+            prop_assert!(out.into_iter().all(|ok| ok));
+        }
+    }
+}

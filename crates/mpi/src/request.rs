@@ -63,6 +63,28 @@
 //! The seed's sweep-and-yield strategy survives as
 //! [`crate::completion::reference`] — the differential-testing baseline
 //! and the `completion_experiment` benchmark's yardstick.
+//!
+//! # Request lifecycles
+//!
+//! A one-shot [`Request`] is born started and dies at its first
+//! observed completion. Persistent requests
+//! ([`crate::persistent::PersistentRequest`]) add the *inactive* and
+//! *restartable* states around that core — the same plan cycles
+//! through started → complete → restartable without re-doing any
+//! setup:
+//!
+//! ```text
+//!   one-shot:    [started] ──wait/test──> [complete]      (consumed)
+//!
+//!   persistent:  *_init
+//!              ─────────> [inactive] ──start──> [started]
+//!                             ^                     │ wait/test
+//!                             │    restartable      v
+//!                             └───────────────  [complete]
+//! ```
+//!
+//! Both lifetimes are visible in traces as async `"b"`/`"e"` span
+//! pairs (categories `async_op` and `persist`, see [`crate::trace`]).
 
 use std::sync::Arc;
 
@@ -145,18 +167,42 @@ enum ReqState {
 pub struct Request<'a> {
     comm: &'a Comm,
     state: ReqState,
+    /// Async-trace correlation id: the constructor's `"b"` event and
+    /// the completing wait/test's `"e"` event share it, so the
+    /// operation's whole initiate→complete lifetime renders as one
+    /// span on Perfetto's async tracks (0 when tracing is off).
+    id: u64,
 }
 
 impl<'a> Request<'a> {
+    /// Allocates the request and opens its async trace span.
+    fn new(comm: &'a Comm, state: ReqState) -> Self {
+        let req = Request {
+            comm,
+            state,
+            id: crate::trace::next_async_id(),
+        };
+        crate::trace::async_begin(crate::trace::cat::ASYNC, req.op_name(), req.id);
+        req
+    }
+
     /// Wraps a non-blocking collective engine (crate-internal; users
     /// obtain these from the `Comm::i*` collectives).
     pub(crate) fn collective(
         comm: &'a Comm,
         engine: Box<dyn crate::collectives::nonblocking::CollEngine>,
     ) -> Self {
-        Request {
-            comm,
-            state: ReqState::Coll(engine),
+        Request::new(comm, ReqState::Coll(engine))
+    }
+
+    /// The static name shared by this request's async begin/end events.
+    fn op_name(&self) -> &'static str {
+        match &self.state {
+            ReqState::SendDone => "isend",
+            ReqState::SyncSend { .. } => "issend",
+            ReqState::Recv { .. } => "irecv",
+            ReqState::Barrier { .. } => "ibarrier",
+            ReqState::Coll(_) => "icoll",
         }
     }
 
@@ -164,7 +210,8 @@ impl<'a> Request<'a> {
     pub fn wait(self) -> Result<Completion> {
         let _sp = crate::trace::span(crate::trace::cat::WAIT, "wait", 0, 0);
         let comm = self.comm;
-        match self.state {
+        let (id, name) = (self.id, self.op_name());
+        let result = match self.state {
             ReqState::SendDone => Ok(Completion::Done),
             ReqState::SyncSend { ack, dest } => {
                 // Event-driven: parks on the acknowledgement slot; the
@@ -208,7 +255,11 @@ impl<'a> Request<'a> {
                 let c = engine.advance(comm, true)?;
                 Ok(c.expect("blocking advance completes the collective"))
             }
+        };
+        if result.is_ok() {
+            crate::trace::async_end(crate::trace::cat::ASYNC, name, id);
         }
+        result
     }
 
     /// Non-blocking completion check (mirrors `MPI_Test`). Returns
@@ -216,7 +267,8 @@ impl<'a> Request<'a> {
     /// operation has not completed yet.
     pub fn test(self) -> Result<TestOutcome<'a>> {
         let comm = self.comm;
-        match self.state {
+        let (id, name) = (self.id, self.op_name());
+        let outcome = match self.state {
             ReqState::SendDone => Ok(TestOutcome::Ready(Completion::Done)),
             ReqState::SyncSend { ack, dest } => {
                 if ack.is_complete() {
@@ -234,6 +286,7 @@ impl<'a> Request<'a> {
                 Ok(TestOutcome::Pending(Request {
                     comm,
                     state: ReqState::SyncSend { ack, dest },
+                    id,
                 }))
             }
             ReqState::Recv { src, tag } => match comm.try_recv_envelope(src, tag) {
@@ -252,6 +305,7 @@ impl<'a> Request<'a> {
                     Ok(TestOutcome::Pending(Request {
                         comm,
                         state: ReqState::Recv { src, tag },
+                        id,
                     }))
                 }
             },
@@ -287,6 +341,7 @@ impl<'a> Request<'a> {
                             return Ok(TestOutcome::Pending(Request {
                                 comm,
                                 state: ReqState::Barrier { tag, step, sent },
+                                id,
                             }));
                         }
                     }
@@ -298,9 +353,14 @@ impl<'a> Request<'a> {
                 None => Ok(TestOutcome::Pending(Request {
                     comm,
                     state: ReqState::Coll(engine),
+                    id,
                 })),
             },
+        };
+        if let Ok(TestOutcome::Ready(_)) = &outcome {
+            crate::trace::async_end(crate::trace::cat::ASYNC, name, id);
         }
+        outcome
     }
 
     /// The communicator this request operates on.
@@ -394,10 +454,7 @@ impl Comm {
         self.count_op("isend");
         self.check_tag(tag)?;
         self.deliver_bytes(dest, tag, payload, None)?;
-        Ok(Request {
-            comm: self,
-            state: ReqState::SendDone,
-        })
+        Ok(Request::new(self, ReqState::SendDone))
     }
 
     /// Starts a non-blocking *synchronous-mode* send (mirrors
@@ -414,23 +471,20 @@ impl Comm {
         self.check_tag(tag)?;
         let ack = AckSlot::new();
         self.deliver_bytes(dest, tag, payload, Some(ack.clone()))?;
-        Ok(Request {
-            comm: self,
-            state: ReqState::SyncSend { ack, dest },
-        })
+        Ok(Request::new(self, ReqState::SyncSend { ack, dest }))
     }
 
     /// Posts a non-blocking receive (mirrors `MPI_Irecv`). The payload is
     /// delivered by `wait`/`test`.
     pub fn irecv(&self, src: impl Into<Src>, tag: impl Into<TagSel>) -> Request<'_> {
         self.count_op("irecv");
-        Request {
-            comm: self,
-            state: ReqState::Recv {
+        Request::new(
+            self,
+            ReqState::Recv {
                 src: src.into(),
                 tag: tag.into(),
             },
-        }
+        )
     }
 
     /// Starts a non-blocking barrier (mirrors `MPI_Ibarrier`);
@@ -438,14 +492,14 @@ impl Comm {
     pub fn ibarrier(&self) -> Result<Request<'_>> {
         self.count_op("ibarrier");
         let tag = self.next_internal_tag();
-        Ok(Request {
-            comm: self,
-            state: ReqState::Barrier {
+        Ok(Request::new(
+            self,
+            ReqState::Barrier {
                 tag,
                 step: 0,
                 sent: false,
             },
-        })
+        ))
     }
 }
 

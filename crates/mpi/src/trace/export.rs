@@ -3,7 +3,9 @@
 //! The emitter writes the [JSON Array Format] understood by
 //! `chrome://tracing` and [ui.perfetto.dev]: one process (`pid`) per
 //! rank, complete spans as `"ph":"X"` events (`ts`/`dur` in
-//! microseconds), instants as `"ph":"i"`, plus `"ph":"M"` metadata
+//! microseconds), instants as `"ph":"i"`, async operation lifetimes
+//! (non-blocking requests, persistent cycles) as `"ph":"b"`/`"ph":"e"`
+//! pairs correlated by `id`, plus `"ph":"M"` metadata
 //! naming each process. Everything is emitted one event per line so
 //! the hand-rolled [`validate_chrome`] checker (the workspace has no
 //! JSON dependency, by design) can parse it line-wise; timestamps are
@@ -13,7 +15,7 @@
 //! [JSON Array Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //! [ui.perfetto.dev]: https://ui.perfetto.dev
 
-use super::{cat, RankTrace};
+use super::{cat, ph, RankTrace};
 
 /// Renders per-rank traces as Chrome trace-event JSON. Events of rank
 /// `r` carry `pid == r` (and `tid == r`: one thread per rank).
@@ -32,7 +34,14 @@ pub fn chrome_trace_json(ranks: &[RankTrace]) -> String {
             let name = e.name;
             let category = cat::name(e.cat);
             let ts = us(e.ts_ns);
-            if e.dur_ns > 0 {
+            if e.ph != ph::CLASSIC {
+                let phase = if e.ph == ph::ASYNC_BEGIN { "b" } else { "e" };
+                let _ = write!(
+                    out,
+                    r#"{{"name":"{name}","cat":"{category}","ph":"{phase}","id":{},"ts":{ts},"pid":{pid},"tid":{pid},"args":{{"a":{},"b":{}}}}}"#,
+                    e.id, e.a, e.b
+                );
+            } else if e.dur_ns > 0 {
                 let dur = us(e.dur_ns);
                 let _ = write!(
                     out,
@@ -75,6 +84,11 @@ pub struct TraceSummary {
     pub spans: usize,
     /// Number of instant (`"ph":"i"`) events.
     pub instants: usize,
+    /// Number of matched async `"b"`/`"e"` pairs.
+    pub async_pairs: usize,
+    /// Async `"b"` events whose `"e"` never arrived (abandoned or
+    /// errored operations; legal, but surfaced for tests to bound).
+    pub async_unclosed: usize,
 }
 
 /// Schema check for the exporter's output (used by tests and by the
@@ -82,10 +96,16 @@ pub struct TraceSummary {
 ///
 /// - the document is a JSON array of one-per-line event objects;
 /// - every event has `name`, `ph`, `ts`, `pid`, `tid`; `ph` is one of
-///   `X` (which additionally requires `dur`), `i` (requires `s`), `M`;
+///   `X` (which additionally requires `dur`), `i` (requires `s`),
+///   `b`/`e` (which require `id`), `M`;
 /// - within each `(pid, tid)` timeline, spans nest properly: ordered
 ///   by start time, no span extends past the end of the span
-///   containing it.
+///   containing it;
+/// - async events pair up within `(pid, cat, id)`: every `"e"` closes
+///   exactly one earlier `"b"` carrying the same name and a
+///   less-or-equal timestamp; double-begin on one id and `"e"` without
+///   a `"b"` are rejected. Unclosed `"b"`s (an operation abandoned or
+///   errored before completing) are legal and counted.
 pub fn validate_chrome(json: &str) -> Result<TraceSummary, String> {
     let body = json.trim();
     let body = body
@@ -96,6 +116,9 @@ pub fn validate_chrome(json: &str) -> Result<TraceSummary, String> {
     // (pid, tid) -> [(ts_ns, end_ns)]
     type Timeline = ((u64, u64), Vec<(u64, u64)>);
     let mut timelines: Vec<Timeline> = Vec::new();
+    // Open async begins: (pid, cat, id) -> (name, ts_ns).
+    type OpenAsync = ((u64, String, u64), (String, u64));
+    let mut open_async: Vec<OpenAsync> = Vec::new();
     for (lineno, line) in body.lines().enumerate() {
         let line = line.trim().trim_end_matches(',');
         if line.is_empty() {
@@ -127,11 +150,41 @@ pub fn validate_chrome(json: &str) -> Result<TraceSummary, String> {
                 str_field(line, "s").ok_or_else(|| ctx("instant without scope \"s\""))?;
                 summary.instants += 1;
             }
+            "b" => {
+                let id = int_field(line, "id").ok_or_else(|| ctx("async event without \"id\""))?;
+                let c = str_field(line, "cat").ok_or_else(|| ctx("async event without \"cat\""))?;
+                let name = str_field(line, "name").expect("checked above");
+                let key = (pid, c, id);
+                if open_async.iter().any(|(k, _)| *k == key) {
+                    return Err(ctx("async \"b\" while the same (pid, cat, id) is open"));
+                }
+                open_async.push((key, (name, ts)));
+            }
+            "e" => {
+                let id = int_field(line, "id").ok_or_else(|| ctx("async event without \"id\""))?;
+                let c = str_field(line, "cat").ok_or_else(|| ctx("async event without \"cat\""))?;
+                let name = str_field(line, "name").expect("checked above");
+                let key = (pid, c, id);
+                let Some(pos) = open_async.iter().position(|(k, _)| *k == key) else {
+                    return Err(ctx("async \"e\" without a matching open \"b\""));
+                };
+                let (_, (b_name, b_ts)) = open_async.swap_remove(pos);
+                if b_name != name {
+                    return Err(ctx(&format!(
+                        "async pair renamed: \"b\" was \"{b_name}\", \"e\" is \"{name}\""
+                    )));
+                }
+                if ts < b_ts {
+                    return Err(ctx("async \"e\" precedes its \"b\""));
+                }
+                summary.async_pairs += 1;
+            }
             "M" => {}
             other => return Err(ctx(&format!("invalid \"ph\":\"{other}\""))),
         }
     }
     summary.pids.sort_unstable();
+    summary.async_unclosed = open_async.len();
     // Nesting check per timeline. Span events are recorded at drop
     // (end order); sort by (start asc, end desc) so a parent precedes
     // its children, then verify with a stack.
@@ -223,6 +276,21 @@ mod tests {
             name,
             a: 1,
             b: 2,
+            ph: ph::CLASSIC,
+            id: 0,
+        }
+    }
+
+    fn aev(name: &'static str, c: u8, ts: u64, phase: u8, id: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: 0,
+            cat: c,
+            name,
+            a: 0,
+            b: 0,
+            ph: phase,
+            id,
         }
     }
 
@@ -293,6 +361,67 @@ mod tests {
         )
         .unwrap_err()
         .contains("without \"dur\""));
+    }
+
+    #[test]
+    fn async_pairs_roundtrip_through_the_validator() {
+        // Two interleaved async ops on one rank plus one on another;
+        // ids distinguish them even with identical names.
+        let ranks = vec![
+            RankTrace {
+                events: vec![
+                    aev("irecv", cat::ASYNC, 100, ph::ASYNC_BEGIN, 7),
+                    aev("isend", cat::ASYNC, 200, ph::ASYNC_BEGIN, 8),
+                    aev("irecv", cat::ASYNC, 300, ph::ASYNC_END, 7),
+                    aev("isend", cat::ASYNC, 400, ph::ASYNC_END, 8),
+                ],
+                ..Default::default()
+            },
+            RankTrace {
+                events: vec![
+                    aev("persistent_cycle", cat::PERSIST, 50, ph::ASYNC_BEGIN, 9),
+                    aev("persistent_cycle", cat::PERSIST, 60, ph::ASYNC_END, 9),
+                ],
+                ..Default::default()
+            },
+        ];
+        let json = chrome_trace_json(&ranks);
+        assert!(json.contains("\"ph\":\"b\""), "{json}");
+        assert!(json.contains("\"ph\":\"e\""), "{json}");
+        let summary = validate_chrome(&json).expect("valid async trace");
+        assert_eq!(summary.async_pairs, 3);
+        assert_eq!(summary.async_unclosed, 0);
+    }
+
+    #[test]
+    fn validator_counts_unclosed_begins_and_rejects_orphan_ends() {
+        // A "b" with no "e" is legal (abandoned request) but counted.
+        let unclosed = vec![RankTrace {
+            events: vec![aev("isend", cat::ASYNC, 100, ph::ASYNC_BEGIN, 1)],
+            ..Default::default()
+        }];
+        let summary = validate_chrome(&chrome_trace_json(&unclosed)).expect("legal");
+        assert_eq!(summary.async_pairs, 0);
+        assert_eq!(summary.async_unclosed, 1);
+
+        // An "e" with no prior "b" is a schema violation.
+        let orphan = vec![RankTrace {
+            events: vec![aev("isend", cat::ASYNC, 100, ph::ASYNC_END, 1)],
+            ..Default::default()
+        }];
+        let err = validate_chrome(&chrome_trace_json(&orphan)).unwrap_err();
+        assert!(err.contains("without a matching open \"b\""), "got: {err}");
+
+        // Double-begin on one (pid, cat, id) is a schema violation.
+        let double = vec![RankTrace {
+            events: vec![
+                aev("isend", cat::ASYNC, 100, ph::ASYNC_BEGIN, 1),
+                aev("isend", cat::ASYNC, 200, ph::ASYNC_BEGIN, 1),
+            ],
+            ..Default::default()
+        }];
+        let err = validate_chrome(&chrome_trace_json(&double)).unwrap_err();
+        assert!(err.contains("is open"), "got: {err}");
     }
 
     #[test]

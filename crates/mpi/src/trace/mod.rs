@@ -64,6 +64,8 @@
 //! | `completion` | `park_any`/`park_session`/`park_sync_send` spans, `claim` / `missed_completion` / `spurious_wakeup` instants |
 //! | `ulfm` | `epoch_bump` (mailbox interrupt), `ulfm_epoch_bump` (agreement-table interrupt) |
 //! | `user` | spans opened through the binding layer (`kamping::trace_span`) |
+//! | `async_op` | Chrome async `"b"`/`"e"` pairs spanning each non-blocking request's initiate→complete lifetime (`isend`, `irecv`, `ibarrier`, `icoll`, …) |
+//! | `persist` | async `"b"`/`"e"` pairs spanning each persistent `start`→completion cycle |
 //!
 //! Matching events are stamped with the shard's arrival sequence
 //! number in their `a` argument — the same seq on the sender's
@@ -112,11 +114,15 @@ pub mod cat {
     pub const COMPLETION: u8 = 7;
     /// Interruption-epoch bumps.
     pub const ULFM: u8 = 8;
+    /// Non-blocking request lifetimes (async initiate→complete pairs).
+    pub const ASYNC: u8 = 9;
+    /// Persistent-operation cycles (async start→complete pairs).
+    pub const PERSIST: u8 = 10;
 
     /// Number of span categories (each has a histogram).
     pub const N_SPAN: usize = 6;
     /// Total number of categories.
-    pub const N: usize = 9;
+    pub const N: usize = 11;
 
     /// Human-readable category name (also the Chrome `cat` field).
     pub fn name(c: u8) -> &'static str {
@@ -130,9 +136,26 @@ pub mod cat {
             MATCH => "match",
             COMPLETION => "completion",
             ULFM => "ulfm",
+            ASYNC => "async_op",
+            PERSIST => "persist",
             _ => "unknown",
         }
     }
+}
+
+/// Chrome event phases an [`Event`] can carry. Classic events render as
+/// `"ph":"X"` (spans) / `"ph":"i"` (instants); async pairs render as
+/// `"ph":"b"` / `"ph":"e"` with a correlation `id`, which is how a
+/// non-blocking or persistent operation's *lifetime* — initiation in
+/// one stack frame, completion in another, with arbitrary work in
+/// between — appears as one span on Perfetto's async tracks.
+pub mod ph {
+    /// A synchronous span or instant (duration known at record time).
+    pub const CLASSIC: u8 = 0;
+    /// Async begin (`"ph":"b"`): the operation was initiated.
+    pub const ASYNC_BEGIN: u8 = 1;
+    /// Async end (`"ph":"e"`): the matching completion was observed.
+    pub const ASYNC_END: u8 = 2;
 }
 
 /// One recorded event. Timestamps are wall nanoseconds relative to the
@@ -152,6 +175,11 @@ pub struct Event {
     pub a: u64,
     /// Second argument: payload bytes, queue depth, ... (per event).
     pub b: u64,
+    /// Chrome phase (see [`ph`]); [`ph::CLASSIC`] for spans/instants.
+    pub ph: u8,
+    /// Async correlation id pairing a [`ph::ASYNC_BEGIN`] with its
+    /// [`ph::ASYNC_END`] within `(rank, cat)`; 0 for classic events.
+    pub id: u64,
 }
 
 /// Aggregated per-rank trace statistics. Always present (zeroed when
@@ -459,6 +487,8 @@ mod imp {
                     name: self.name,
                     a: self.a,
                     b: self.b,
+                    ph: super::ph::CLASSIC,
+                    id: 0,
                 });
             });
         }
@@ -479,6 +509,48 @@ mod imp {
                 name,
                 a,
                 b,
+                ph: super::ph::CLASSIC,
+                id: 0,
+            })
+        });
+    }
+
+    /// Process-unique id correlating one async begin/end pair.
+    pub fn next_async_id() -> u64 {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records the initiation of an async operation (Chrome `"ph":"b"`).
+    /// The matching [`async_end`] with the same `(category, id)` closes
+    /// the span — possibly much later, from a different stack frame.
+    #[inline]
+    pub fn async_begin(c: u8, name: &'static str, id: u64) {
+        async_event(c, name, id, super::ph::ASYNC_BEGIN);
+    }
+
+    /// Records the completion of an async operation (Chrome `"ph":"e"`).
+    #[inline]
+    pub fn async_end(c: u8, name: &'static str, id: u64) {
+        async_event(c, name, id, super::ph::ASYNC_END);
+    }
+
+    #[inline]
+    fn async_event(c: u8, name: &'static str, id: u64, phase: u8) {
+        if !enabled() {
+            return;
+        }
+        let now = raw_now();
+        TT.with(|t| {
+            t.borrow_mut().record(Event {
+                ts_ns: now,
+                dur_ns: 0,
+                cat: c,
+                name,
+                a: 0,
+                b: 0,
+                ph: phase,
+                id,
             })
         });
     }
@@ -501,6 +573,8 @@ mod imp {
                 name: "umq_enqueue",
                 a: seq,
                 b: depth,
+                ph: super::ph::CLASSIC,
+                id: 0,
             });
         });
     }
@@ -600,6 +674,21 @@ mod imp {
     #[inline]
     pub fn umq_enqueue(_seq: u64, _depth: u64) {}
 
+    /// Always 0 without the `trace` feature (ids are only consumed by
+    /// the recording paths, which are compiled out).
+    #[inline]
+    pub fn next_async_id() -> u64 {
+        0
+    }
+
+    /// No-op without the `trace` feature.
+    #[inline]
+    pub fn async_begin(_c: u8, _name: &'static str, _id: u64) {}
+
+    /// No-op without the `trace` feature.
+    #[inline]
+    pub fn async_end(_c: u8, _name: &'static str, _id: u64) {}
+
     /// Returns an empty (allocation-free) trace.
     pub fn take_thread() -> RankTrace {
         RankTrace::default()
@@ -607,7 +696,8 @@ mod imp {
 }
 
 pub use imp::{
-    enabled, instant, set_enabled, set_ring_capacity, span, take_thread, umq_enqueue, SpanGuard,
+    async_begin, async_end, enabled, instant, next_async_id, set_enabled, set_ring_capacity, span,
+    take_thread, umq_enqueue, SpanGuard,
 };
 
 #[cfg(test)]
