@@ -118,18 +118,48 @@ pub fn bfs_kamping(g: &DistGraph, source: VId, comm: &Communicator) -> Result<Ve
     // loc:end:bfs_kamping
 }
 
+/// Splits the next-frontier buckets into the self-destined block and a
+/// packed per-peer payload in `peers` order (the layout every
+/// neighborhood exchange consumes).
+fn pack_by_peers<T: Copy>(
+    peers: &[Rank],
+    own_rank: Rank,
+    mut next: HashMap<Rank, Vec<T>>,
+) -> (Vec<T>, Vec<T>, Vec<usize>) {
+    let own = next.remove(&own_rank).unwrap_or_default();
+    let mut counts = Vec::with_capacity(peers.len());
+    let mut data: Vec<T> = Vec::new();
+    for r in peers {
+        let block = next.remove(r).unwrap_or_default();
+        counts.push(block.len());
+        data.extend_from_slice(&block);
+    }
+    debug_assert!(
+        next.is_empty(),
+        "message to a rank outside the communication graph"
+    );
+    (own, data, counts)
+}
+
 /// kamping BFS with **communication/computation overlap** via the
-/// non-blocking collectives (§III-E extended to collectives):
+/// non-blocking collectives (§III-E extended to collectives), riding the
+/// rank-communication graph's **neighborhood topology** instead of a
+/// dense alltoallv:
 ///
 /// - the level's termination check (`iallreduce`) is in flight while the
 ///   frontier is expanded — expansion is a no-op on an empty local
 ///   frontier, so running it before the global verdict is known is safe
 ///   (a non-empty local frontier already implies "not done");
-/// - self-destined next-frontier vertices never touch the wire: they are
-///   split off and merged locally while the `ialltoallv` for the remote
-///   ones is in flight.
+/// - the next frontier travels over the generator's actual adjacency —
+///   `ineighbor_alltoallv` posts exactly out-degree sends, O(degree)
+///   envelopes instead of O(p), and block sizes are discovered from the
+///   messages, so no count exchange happens at all;
+/// - self-destined vertices never touch the wire: they merge locally
+///   while the sparse exchange is in flight.
 pub fn bfs_kamping_overlap(g: &DistGraph, source: VId, comm: &Communicator) -> Result<Vec<u64>> {
     // loc:begin:bfs_kamping_overlap
+    let peers = comm_graph_peers(g);
+    let topo = comm.create_dist_graph_adjacent(&peers, &peers)?;
     let mut dist = vec![UNDEF; g.local_n()];
     let mut frontier: Vec<VId> = Vec::new();
     if g.is_local(source) {
@@ -141,18 +171,19 @@ pub fn bfs_kamping_overlap(g: &DistGraph, source: VId, comm: &Communicator) -> R
         let empty = u8::from(frontier.is_empty());
         let done_fut = comm.iallreduce((send_buf(vec![empty]), op(ops::LogicalAnd)))?;
         // Overlap 1: expand the frontier while the reduction is in flight.
-        let mut next = expand_frontier(g, &frontier, &mut dist, level);
+        let next = expand_frontier(g, &frontier, &mut dist, level);
         let (done, _) = done_fut.wait()?;
         if done[0] != 0 {
             break;
         }
-        // Overlap 2: exchange remote vertices while merging the local ones.
-        let own = next.remove(&comm.rank()).unwrap_or_default();
-        let (data, scounts) = flatten(next, comm.size());
-        let exchange = comm.ialltoallv((send_buf(data), send_counts(scounts)))?;
+        // Overlap 2: the sparse exchange is in flight while the local
+        // vertices merge.
+        let (own, data, counts) = pack_by_peers(&peers, comm.rank(), next);
+        let exchange = topo.topology().ineighbor_alltoallv(&data, &counts)?;
         let mut merged = own; // local work under the in-flight exchange
-        let (mut remote, _sent) = exchange.wait()?;
-        merged.append(&mut remote);
+        for block in exchange.wait()?.into_blocks().expect("blocks completion") {
+            merged.extend_from_slice(&kmp_mpi::plain::bytes_to_vec::<VId>(&block));
+        }
         frontier = merged;
         level += 1;
     }
@@ -311,6 +342,11 @@ pub enum Exchange {
     KampingSparse,
     /// kamping's 2D grid plugin ("kamping grid" line).
     KampingGrid,
+    /// Named-parameter `neighbor_alltoallv` on a kamping
+    /// [`NeighborhoodCommunicator`] over the rank-communication graph
+    /// ("kamping neighborhood" line): O(degree) envelopes, receive side
+    /// inferred along the edges.
+    KampingNeighbor,
     /// Neighborhood exchange with the topology re-built every level —
     /// the dynamic-pattern configuration the paper notes does not scale.
     MpiNeighborRebuild,
@@ -348,6 +384,10 @@ pub fn bfs_with_exchange(
     let peers = comm_graph_peers(g);
     let topo = match exchange {
         Exchange::MpiNeighbor => Some(comm.raw().create_dist_graph_adjacent(&peers, &peers)?),
+        _ => None,
+    };
+    let ktopo = match exchange {
+        Exchange::KampingNeighbor => Some(comm.create_dist_graph_adjacent(&peers, &peers)?),
         _ => None,
     };
     let grid = match exchange {
@@ -390,6 +430,15 @@ pub fn bfs_with_exchange(
             })?,
             Exchange::MpiNeighbor => {
                 neighbor_exchange(topo.as_ref().expect("topology built"), &peers, next)?
+            }
+            Exchange::KampingNeighbor => {
+                let t = ktopo.as_ref().expect("topology built");
+                let (own, data, counts) = pack_by_peers(&peers, comm.rank(), next);
+                let mut got: Vec<VId> =
+                    t.neighbor_alltoallv((send_buf(&data), send_counts(&counts)))?;
+                let mut merged = own;
+                merged.append(&mut got);
+                merged
             }
             Exchange::MpiNeighborRebuild => {
                 let topo = comm.raw().create_dist_graph_adjacent(&peers, &peers)?;
@@ -554,6 +603,7 @@ mod tests {
                 Exchange::Kamping,
                 Exchange::KampingSparse,
                 Exchange::KampingGrid,
+                Exchange::KampingNeighbor,
                 Exchange::MpiNeighborRebuild,
             ] {
                 let out = Universe::run(p, |comm| {

@@ -207,6 +207,39 @@ pub fn label_prop_kamping(
     // loc:end:lp_kamping
 }
 
+/// Neighborhood variant: the boundary structure becomes a first-class
+/// graph topology and every round's exchange is a named-parameter
+/// `neighbor_alltoallv` — O(degree) envelopes, and even the receive
+/// counts (inferred when omitted) travel only along the edges.
+pub fn label_prop_neighborhood(
+    g: &DistGraph,
+    rounds: usize,
+    max_size: u64,
+    comm: &Communicator,
+) -> Result<Vec<u64>> {
+    // loc:begin:lp_neighborhood
+    let peers = crate::bfs::comm_graph_peers(g);
+    let topo = comm.create_dist_graph_adjacent(&peers, &peers)?;
+    let mut st = LpState::new(g);
+    for _ in 0..rounds {
+        let mut next = st.local_round(g, max_size);
+        let mut counts = Vec::with_capacity(peers.len());
+        let mut data: Vec<LabelUpdate> = Vec::new();
+        for r in &peers {
+            let block = next.remove(r).unwrap_or_default();
+            counts.push(block.len());
+            data.extend_from_slice(&block);
+        }
+        debug_assert!(next.is_empty(), "updates only go to boundary peers");
+        let recv: Vec<LabelUpdate> =
+            topo.neighbor_alltoallv((send_buf(&data), send_counts(&counts)))?;
+        st.apply_updates(recv);
+        st.sizes = comm.allreduce((send_buf(&st.sizes), op(ops::Max)))?;
+    }
+    Ok(st.labels)
+    // loc:end:lp_neighborhood
+}
+
 /// The application-specific abstraction layer (dKaMinPar keeps its own
 /// graph-aware communication primitives): boundary topology baked in at
 /// construction, per-round call sites shrink to two lines.
@@ -286,8 +319,10 @@ mod tests {
             let kc = Communicator::new(comm);
             let b = label_prop_kamping(g, 5, 64, &kc).unwrap();
             let c = label_prop_custom_layer(g, 5, 64, &kc).unwrap();
+            let d = label_prop_neighborhood(g, 5, 64, &kc).unwrap();
             assert_eq!(a, b, "plain and kamping variants diverged");
             assert_eq!(b, c, "kamping and custom-layer variants diverged");
+            assert_eq!(c, d, "custom-layer and neighborhood variants diverged");
             a
         });
         // Labels must reference existing vertices.

@@ -1,0 +1,418 @@
+//! Neighborhood-collectives experiment: sparse `O(degree)` exchange
+//! over a declared topology against the topology-blind dense
+//! `O(p)` alltoallv idiom it replaces.
+//!
+//! Three scenarios on low-degree chord-ring graphs (neighbors at
+//! offsets `±1..=h`, so degree `2h`) at p in {8, 16}:
+//!
+//! - **envelopes** — the algorithmic claim, measured exactly: the same
+//!   deterministic exchange program runs twice (K rounds and 0 rounds)
+//!   and each rank reads `MailboxStats::envelopes_posted` at closure
+//!   end, where every envelope ever destined to it has arrived; the
+//!   per-round delta is pinned to `in_degree` for the sparse path and
+//!   `>= p-1` for the forced-dense path. Mid-run snapshots would race
+//!   with run-ahead peers — a barrier only fences messages *to* a rank
+//!   — which is why the measurement is differential across runs.
+//! - **exchange** — wall clock for the frontier-exchange idiom: dense
+//!   posts the count transpose (`alltoall`) plus the data exchange
+//!   (`alltoallv`) with zeroed non-neighbor counts every round; sparse
+//!   posts one `ineighbor_alltoallv` whose block sizes are discovered
+//!   from the messages — no count exchange at all. One op = one round.
+//! - **bfs** — end to end: `bfs_with_exchange` with the dense kamping
+//!   alltoallv vs the kamping `NeighborhoodCommunicator`, distances
+//!   asserted identical against the sequential reference.
+//!
+//! The binary enforces the PR's acceptance bounds — exact sparse
+//! envelope counts (degree, not p), >= 2x round rate for the sparse
+//! exchange at p in {8, 16}, and unchanged BFS results — and, with
+//! `--check PATH`, that the sparse rates have not collapsed relative to
+//! a committed baseline (envelope counts are compared exactly: they are
+//! deterministic).
+//!
+//! Usage: `neighborhood_experiment [--smoke] [--out PATH] [--check PATH]`;
+//! writes `BENCH_neighborhood.json`.
+
+use kmp_apps::bfs::{bfs_sequential, bfs_with_exchange, Exchange, UNDEF};
+use kmp_bench::harness::{baseline_lines, json_field, write_json, BenchArgs};
+use kmp_graphgen::{rgg2d, DistGraph};
+use kmp_mpi::{CollTuning, NeighborhoodAlgo, NeighborhoodColl, Universe};
+
+/// Chord-ring neighbor lists: offsets `±1..=h` around the ring,
+/// deduplicated and sorted — a symmetric graph of degree `2h` (less
+/// when offsets alias at small p).
+fn chord_neighbors(rank: usize, p: usize, h: usize) -> Vec<usize> {
+    let mut nbrs: Vec<usize> = (1..=h)
+        .flat_map(|k| [(rank + k) % p, (rank + p - k) % p])
+        .filter(|&r| r != rank)
+        .collect();
+    nbrs.sort_unstable();
+    nbrs.dedup();
+    nbrs
+}
+
+/// Runs `rounds` sparse or forced-dense neighborhood exchanges on the
+/// chord ring and returns each rank's total `envelopes_posted` at
+/// closure end (the differential-measurement primitive).
+fn chord_envelopes(
+    p: usize,
+    h: usize,
+    rounds: usize,
+    algo: NeighborhoodAlgo,
+    elems: usize,
+) -> Vec<u64> {
+    Universe::run(p, move |comm| {
+        let nbrs = chord_neighbors(comm.rank(), p, h);
+        let g = comm.create_dist_graph_adjacent(&nbrs, &nbrs).unwrap();
+        let _t = g
+            .comm()
+            .tuning_guard(Some(CollTuning::default().neighborhood(algo)));
+        let sends: Vec<Vec<u64>> = nbrs
+            .iter()
+            .map(|_| vec![comm.rank() as u64; elems])
+            .collect();
+        for _ in 0..rounds {
+            g.neighbor_alltoall_vecs(&sends).unwrap();
+        }
+        comm.mailbox_stats().envelopes_posted
+    })
+}
+
+/// Per-rank envelopes per round, exact: K-round run minus 0-round run,
+/// divided by K. Construction cost is identical in both runs and
+/// cancels.
+fn envelopes_per_round(p: usize, h: usize, rounds: usize, algo: NeighborhoodAlgo) -> Vec<f64> {
+    let base = chord_envelopes(p, h, 0, algo, 8);
+    let run = chord_envelopes(p, h, rounds, algo, 8);
+    base.iter()
+        .zip(&run)
+        .map(|(b, r)| (r - b) as f64 / rounds as f64)
+        .collect()
+}
+
+const WARMUP: usize = 16;
+
+/// Steady-state seconds for `iters` rounds of `cycle`, barriers fencing
+/// the timed region; slowest rank wins.
+fn timed_loop(
+    comm: &kmp_mpi::Comm,
+    iters: usize,
+    mut cycle: impl FnMut() -> kmp_mpi::Result<()>,
+) -> f64 {
+    for _ in 0..WARMUP {
+        cycle().unwrap();
+    }
+    comm.barrier().unwrap();
+    let started = std::time::Instant::now();
+    for _ in 0..iters {
+        cycle().unwrap();
+    }
+    comm.barrier().unwrap();
+    started.elapsed().as_secs_f64()
+}
+
+/// One frontier-exchange round per op: dense pays the O(p) count
+/// transpose plus the O(p)-envelope alltoallv; sparse posts one
+/// self-sizing `ineighbor_alltoallv` — degree envelopes, no count
+/// exchange.
+fn exchange_rate(p: usize, h: usize, iters: usize, elems: usize, sparse: bool) -> (usize, f64) {
+    let secs = Universe::run(p, move |comm| {
+        let nbrs = chord_neighbors(comm.rank(), p, h);
+        let data = vec![comm.rank() as u64; elems * nbrs.len()];
+        let counts = vec![elems; nbrs.len()];
+        if sparse {
+            let g = comm.create_dist_graph_adjacent(&nbrs, &nbrs).unwrap();
+            timed_loop(&comm, iters, || {
+                let blocks = g
+                    .ineighbor_alltoallv(&data, &counts)?
+                    .wait()?
+                    .into_blocks()
+                    .expect("blocks completion");
+                assert_eq!(blocks.len(), nbrs.len());
+                Ok(())
+            })
+        } else {
+            let mut dense_counts = vec![0usize; p];
+            for &r in &nbrs {
+                dense_counts[r] = elems;
+            }
+            let dense_data = vec![comm.rank() as u64; elems * p];
+            let displs: Vec<usize> = (0..p).map(|r| r * elems).collect();
+            let mut rcounts = vec![0usize; p];
+            let mut recv = vec![0u64; elems * p];
+            timed_loop(&comm, iters, || {
+                comm.alltoall_into(&dense_counts, &mut rcounts)?;
+                let rdispls = kmp_mpi::collectives::displacements_from_counts(&rcounts);
+                comm.alltoallv_into(
+                    &dense_data,
+                    &dense_counts,
+                    &displs,
+                    &mut recv,
+                    &rcounts,
+                    &rdispls,
+                )?;
+                Ok(())
+            })
+        }
+    })
+    .into_iter()
+    .fold(0f64, f64::max);
+    (iters, secs)
+}
+
+/// End-to-end BFS over an rgg2d instance: seconds for `reps` full
+/// traversals, distances checked against the sequential reference.
+fn bfs_run(parts: &[DistGraph], reference: &[u64], exchange: Exchange, reps: usize) -> f64 {
+    let p = parts.len();
+    let started = std::time::Instant::now();
+    for _ in 0..reps {
+        let out = Universe::run(p, |comm| {
+            let c = kamping::Communicator::new(comm);
+            bfs_with_exchange(&parts[c.rank()], 0, &c, exchange).unwrap()
+        });
+        let mut got = vec![UNDEF; reference.len()];
+        for (r, dists) in out.iter().enumerate() {
+            let lo = parts[r].vertex_ranges[r];
+            got[lo..lo + dists.len()].copy_from_slice(dists);
+        }
+        assert_eq!(got, reference, "{exchange:?} BFS diverged from sequential");
+    }
+    started.elapsed().as_secs_f64()
+}
+
+#[derive(Clone, Debug)]
+struct Row {
+    scenario: &'static str,
+    algo: &'static str,
+    ranks: usize,
+    degree: usize,
+    ops: usize,
+    elapsed_ms: f64,
+    ops_per_sec: f64,
+    envelopes_per_round: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"scenario\": \"{}\", \"algo\": \"{}\", \"ranks\": {}, \"degree\": {}, \
+             \"ops\": {}, \"elapsed_ms\": {:.3}, \"ops_per_sec\": {:.0}, \
+             \"envelopes_per_round\": {:.2}}}",
+            self.scenario,
+            self.algo,
+            self.ranks,
+            self.degree,
+            self.ops,
+            self.elapsed_ms,
+            self.ops_per_sec,
+            self.envelopes_per_round,
+        )
+    }
+}
+
+fn rate(rows: &[Row], scenario: &str, algo: &str, p: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.scenario == scenario && r.algo == algo && r.ranks == p)
+        .unwrap_or_else(|| panic!("missing row {scenario}/{algo}/p{p}"))
+        .ops_per_sec
+}
+
+fn main() {
+    let args = BenchArgs::parse("BENCH_neighborhood.json");
+    let smoke = args.smoke;
+    let baseline = args.baseline.as_deref().map(|json| {
+        baseline_lines(json, "scenario")
+            .iter()
+            .filter_map(|l| {
+                Some((
+                    json_field(l, "scenario")?,
+                    json_field(l, "algo")?,
+                    json_field(l, "ranks")?.parse::<usize>().ok()?,
+                    json_field(l, "ops_per_sec")?.parse::<f64>().ok()?,
+                    json_field(l, "envelopes_per_round")?.parse::<f64>().ok()?,
+                ))
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // Low-degree graphs: degree 4 at p = 8, degree 8 at p = 16 — the
+    // regime where a frozen edge list beats all-pairs.
+    let configs = [(8usize, 2usize), (16, 4)];
+    let elems = 64usize;
+    let (rounds, iters, bfs_reps) = if smoke { (5, 60, 1) } else { (8, 250, 3) };
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- envelopes: the O(degree)-vs-O(p) claim, counted exactly --------
+    for &(p, h) in &configs {
+        let degree = 2 * h;
+        for (algo, name) in [
+            (NeighborhoodAlgo::Sparse, "sparse"),
+            (NeighborhoodAlgo::Dense, "dense"),
+        ] {
+            let per_rank = envelopes_per_round(p, h, rounds, algo);
+            let max = per_rank.iter().cloned().fold(0f64, f64::max);
+            for (rank, &e) in per_rank.iter().enumerate() {
+                match algo {
+                    // Every chord-ring rank has in-degree 2h; the sparse
+                    // engine must post exactly that many envelopes.
+                    NeighborhoodAlgo::Sparse => assert!(
+                        (e - degree as f64).abs() < 1e-9,
+                        "sparse p={p} rank {rank}: {e} envelopes/round, expected exactly {degree}"
+                    ),
+                    _ => assert!(
+                        e >= (p - 1) as f64,
+                        "dense p={p} rank {rank}: {e} envelopes/round, expected >= {}",
+                        p - 1
+                    ),
+                }
+            }
+            rows.push(Row {
+                scenario: "envelopes",
+                algo: name,
+                ranks: p,
+                degree,
+                ops: rounds,
+                elapsed_ms: 0.0,
+                ops_per_sec: 0.0,
+                envelopes_per_round: max,
+            });
+        }
+        println!(
+            "envelopes p={p} degree={degree}: sparse posts {degree}/round, dense {}/round \
+             ({:.1}x reduction)",
+            p,
+            p as f64 / degree as f64
+        );
+    }
+
+    // --- exchange: wall clock for the per-round idiom -------------------
+    for &(p, h) in &configs {
+        let degree = 2 * h;
+        for sparse in [true, false] {
+            // Warm-up run, then best-of-N against scheduler noise on an
+            // oversubscribed host (same treatment for both sides).
+            let reps = if smoke { 2 } else { 4 };
+            let _ = exchange_rate(p, h, iters, elems, sparse);
+            let mut best: Option<(usize, f64)> = None;
+            for _ in 0..reps {
+                let (ops, secs) = exchange_rate(p, h, iters, elems, sparse);
+                if best.is_none_or(|(bo, bs)| (ops as f64) / secs > bo as f64 / bs) {
+                    best = Some((ops, secs));
+                }
+            }
+            let (ops, secs) = best.expect("at least one rep");
+            rows.push(Row {
+                scenario: "exchange",
+                algo: if sparse { "sparse" } else { "dense" },
+                ranks: p,
+                degree,
+                ops,
+                elapsed_ms: secs * 1e3,
+                ops_per_sec: ops as f64 / secs,
+                envelopes_per_round: 0.0,
+            });
+        }
+    }
+
+    // --- bfs: end to end on the generator's actual adjacency ------------
+    for &(p, _) in &configs {
+        let parts: Vec<DistGraph> = (0..p).map(|r| rgg2d(600, 0.06, 11, r, p)).collect();
+        let reference = bfs_sequential(&parts, 0);
+        for (exchange, name) in [
+            (Exchange::Kamping, "dense"),
+            (Exchange::KampingNeighbor, "sparse"),
+        ] {
+            let secs = bfs_run(&parts, &reference, exchange, bfs_reps);
+            rows.push(Row {
+                scenario: "bfs",
+                algo: name,
+                ranks: p,
+                degree: 0,
+                ops: bfs_reps,
+                elapsed_ms: secs * 1e3,
+                ops_per_sec: bfs_reps as f64 / secs,
+                envelopes_per_round: 0.0,
+            });
+        }
+        println!("bfs p={p}: neighborhood exchange matches the sequential reference");
+    }
+
+    println!(
+        "\n{:<10} {:<7} {:>3} {:>6} {:>7} {:>11} {:>11} {:>10}",
+        "scenario", "algo", "p", "degree", "ops", "elapsed ms", "ops/sec", "env/round"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<7} {:>3} {:>6} {:>7} {:>11.2} {:>11.0} {:>10.2}",
+            r.scenario,
+            r.algo,
+            r.ranks,
+            r.degree,
+            r.ops,
+            r.elapsed_ms,
+            r.ops_per_sec,
+            r.envelopes_per_round
+        );
+    }
+
+    let body: Vec<String> = rows.iter().map(Row::to_json).collect();
+    write_json(
+        &args.out,
+        "neighborhood",
+        args.mode(),
+        &[("payload_elems", elems.to_string())],
+        &body,
+    );
+
+    // --- acceptance: the sparse exchange's win is pinned ----------------
+
+    for &(p, _) in &configs {
+        let sparse = rate(&rows, "exchange", "sparse", p);
+        let dense = rate(&rows, "exchange", "dense", p);
+        println!(
+            "exchange p={p}: sparse/dense round rate = {:.2}x",
+            sparse / dense
+        );
+        assert!(
+            sparse >= dense * 2.0,
+            "the acceptance bound — >= 2x round rate for the sparse exchange \
+             at p = {p} — failed: sparse {sparse:.0} vs dense {dense:.0} rounds/sec"
+        );
+    }
+    println!(
+        "neighborhood contract holds: exact degree envelopes, >= 2x round rate at p in {{8, 16}}"
+    );
+
+    if let Some(baseline) = baseline {
+        // CI drift guard: envelope counts are deterministic and compared
+        // exactly; sparse rates must stay within a generous factor of
+        // the committed full-run baseline.
+        const TOLERANCE: f64 = 4.0;
+        for (scenario, algo, p, base_rate, base_env) in baseline {
+            let Some(now) = rows
+                .iter()
+                .find(|r| r.scenario == scenario && r.algo == algo && r.ranks == p)
+            else {
+                continue;
+            };
+            if scenario == "envelopes" {
+                assert!(
+                    (now.envelopes_per_round - base_env).abs() < 1e-9,
+                    "{scenario}/{algo} p={p}: envelopes/round changed from {base_env} \
+                     to {} — the posting schedule is deterministic, this is a bug",
+                    now.envelopes_per_round
+                );
+            } else if algo == "sparse" {
+                assert!(
+                    now.ops_per_sec * TOLERANCE >= base_rate,
+                    "{scenario}/{algo} p={p}: rate {:.0} fell below 1/{TOLERANCE} x \
+                     committed baseline ({base_rate:.0})",
+                    now.ops_per_sec
+                );
+            }
+        }
+        println!(
+            "baseline check passed (exact envelope counts, >= 1/{TOLERANCE:.0} x committed rates)"
+        );
+    }
+}

@@ -28,8 +28,8 @@
 //! `BENCH_trace.json` stays self-asserting on every CI run.
 //!
 //! Part 2 — **export**: a p = 8 BFS (GNM graph, kamping dense
-//! exchange) runs under [`Universe::run_traced`]; the collected
-//! [`TraceData`] is exported as Chrome trace-event JSON, validated
+//! exchange) runs under [`Universe::run_traced`](kmp_mpi::Universe::run_traced); the collected
+//! [`TraceData`](kmp_mpi::TraceData) is exported as Chrome trace-event JSON, validated
 //! against the exporter schema (`validate_chrome`), and written next to
 //! the stats JSON (`--trace-out`, default `trace_bfs_p8.json`) — load
 //! it in Perfetto / `chrome://tracing` to see the run as a timeline.

@@ -60,6 +60,11 @@ pub fn assertions_enabled(level: AssertionLevel) -> bool {
     assertion_level() >= level
 }
 
+/// The level is process-global; tests that flip it (or that assert on
+/// communication volumes the level changes) serialize on this lock.
+#[cfg(test)]
+pub(crate) static LEVEL_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Heavy (communicating) check: every rank of a rooted collective must
 /// have named the same root. Costs one `allreduce` pair when enabled.
 pub(crate) fn check_same_root(comm: &Communicator, root: usize) -> Result<()> {
@@ -102,13 +107,10 @@ pub(crate) fn check_count_matrix(
 
 #[cfg(test)]
 mod tests {
+    use super::LEVEL_GUARD as GUARD;
     use super::*;
     use crate::prelude::*;
     use kmp_mpi::Universe;
-    use std::sync::Mutex;
-
-    // The level is process-global; serialize the tests that flip it.
-    static GUARD: Mutex<()> = Mutex::new(());
 
     #[test]
     fn level_roundtrip() {

@@ -13,6 +13,7 @@
 //! | `gatherv`    | recv counts (gather of send count), recv displs (prefix sum)    |
 //! | `scatterv`   | send displs (prefix sum), recv count (via scatter of counts)    |
 //! | `allgather`/`alltoall`/`gather`/`scatter`/`bcast`/`reduce`/`allreduce`/`scan`/`exscan` | receive storage sizing |
+//! | `neighbor_allgatherv`/`neighbor_alltoallv` | recv counts by an **O(degree)** edge exchange, displs (prefix sums) — see [`neighborhood`] |
 //!
 //! The receive buffer is implicitly returned by value unless storage was
 //! passed by reference; `*_out()` parameters append further components to
@@ -22,6 +23,7 @@ mod allgather;
 mod alltoall;
 mod bcast;
 mod gather;
+pub mod neighborhood;
 pub mod nonblocking;
 mod reduce;
 mod scatter;
@@ -30,6 +32,7 @@ pub use allgather::{AllgatherArgs, AllgatherInPlaceArgs, AllgathervArgs};
 pub use alltoall::{AlltoallArgs, AlltoallvArgs};
 pub use bcast::{BcastArgs, BcastSingleArgs};
 pub use gather::{GatherArgs, GathervArgs};
+pub use neighborhood::{NeighborAllgathervArgs, NeighborAlltoallvArgs, NeighborhoodCommunicator};
 pub use nonblocking::{
     IallgatherArgs, IallreduceArgs, IalltoallvArgs, IbcastArgs, NonBlockingBcast,
     NonBlockingCollective,

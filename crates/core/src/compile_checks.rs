@@ -32,6 +32,21 @@
 //! }
 //! ```
 //!
+//! ## Missing required parameter: `send_counts` (neighborhood)
+//!
+//! The neighborhood builders enforce the same requirement over a
+//! topology communicator:
+//!
+//! ```compile_fail
+//! use kamping::prelude::*;
+//! fn missing_neighbor_send_counts(
+//!     g: &NeighborhoodCommunicator<kmp_mpi::DistGraphComm>,
+//!     data: &Vec<u64>,
+//! ) {
+//!     let _: Vec<u64> = g.neighbor_alltoallv(send_buf(data)).unwrap();
+//! }
+//! ```
+//!
 //! ## Missing required parameter: `op`
 //!
 //! Reductions require the operation:
@@ -146,6 +161,16 @@
 //! use kamping::prelude::*;
 //! fn positive_control(comm: &Communicator, data: &Vec<u64>) {
 //!     let _: Vec<u64> = comm.allgatherv(send_buf(data)).unwrap();
+//! }
+//! fn positive_control_neighborhood(
+//!     g: &NeighborhoodCommunicator<kmp_mpi::DistGraphComm>,
+//!     data: &Vec<u64>,
+//!     counts: &Vec<usize>,
+//! ) {
+//!     let _: Vec<u64> = g
+//!         .neighbor_alltoallv((send_buf(data), send_counts(counts)))
+//!         .unwrap();
+//!     let _: Vec<u64> = g.neighbor_allgatherv(send_buf(data)).unwrap();
 //! }
 //! ```
 //!

@@ -77,10 +77,11 @@ pub mod plugins;
 pub mod serialization;
 pub mod utils;
 
+pub use collectives::NeighborhoodCommunicator;
 pub use communicator::Communicator;
 pub use kmp_mpi::{
-    AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, MpiError, Plain, Rank, ReduceAlgo, Result,
-    Select, Tag,
+    AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, MpiError, Neighborhood, NeighborhoodAlgo,
+    Plain, Rank, ReduceAlgo, Result, Select, Tag,
 };
 
 /// The substrate's tracing subsystem (event rings, histograms, Chrome
@@ -115,7 +116,9 @@ pub mod ops {
 /// parameter factories, the non-blocking futures and pools, and the
 /// plugin traits.
 pub mod prelude {
-    pub use crate::collectives::{NonBlockingBcast, NonBlockingCollective};
+    pub use crate::collectives::{
+        NeighborhoodCommunicator, NonBlockingBcast, NonBlockingCollective,
+    };
     pub use crate::communicator::Communicator;
     pub use crate::ops;
     pub use crate::p2p::{BoundedRequestPool, RequestPool};
@@ -132,5 +135,8 @@ pub mod prelude {
     pub use crate::plugins::ulfm::FaultTolerant;
     pub use crate::serialization::{as_deserializable, as_serialized, as_serialized_inout};
     pub use crate::utils::{flatten, with_flattened};
-    pub use kmp_mpi::{AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, ReduceAlgo};
+    pub use kmp_mpi::{
+        AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, Neighborhood, NeighborhoodAlgo,
+        NeighborhoodColl, ReduceAlgo,
+    };
 }

@@ -111,6 +111,24 @@ pub enum AlltoallAlgo {
     Bruck,
 }
 
+/// Neighborhood-exchange algorithm (topology collectives over
+/// [`Neighborhood`](crate::topology::Neighborhood) communicators).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NeighborhoodAlgo {
+    /// One message per declared neighbor: `d_out` envelopes per rank
+    /// per round instead of `p-1` — the whole point of the topology
+    /// subsystem. Always correct (duplicate neighbors become repeated
+    /// messages on the same FIFO stream).
+    Sparse,
+    /// Route through the dense pairwise `alltoallv` with zeroed
+    /// non-neighbor counts. On near-complete graphs (`d ≈ p-1`) sparsity
+    /// saves nothing, and the dense engine's pack-once + slice datapath
+    /// is already optimal there. Requires duplicate-free neighbor lists
+    /// (one `alltoallv` block per peer); ineligible topologies resolve
+    /// to [`NeighborhoodAlgo::Sparse`] at the call site.
+    Dense,
+}
+
 /// Reduce algorithm (also selects the reduction phase of `iallreduce`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReduceAlgo {
@@ -146,6 +164,13 @@ pub struct CollTuning {
     /// the flat gather (whose eager sends are what makes overlap work)
     /// and switch to the tree only when forced.
     pub reduce: Select<ReduceAlgo>,
+    /// Neighborhood-exchange algorithm slot (topology communicators).
+    pub neighborhood: Select<NeighborhoodAlgo>,
+    /// `Auto` switches neighborhood exchanges to the dense pairwise path
+    /// when the collectively-agreed maximum degree reaches this
+    /// percentage of `p - 1` (near-complete graphs, where sparsity saves
+    /// nothing).
+    pub neighborhood_dense_min_degree_pct: usize,
     /// `Auto` switches allreduce to Rabenseifner at this many payload
     /// bytes per rank (and `p >= 4`).
     pub rabenseifner_min_bytes: usize,
@@ -173,6 +198,11 @@ impl Default for CollTuning {
             allgather: Select::Auto,
             alltoall: Select::Auto,
             reduce: Select::Auto,
+            neighborhood: Select::Auto,
+            // At 90% of p-1 the alpha saving is under 10% while the
+            // sparse path gives up the dense engine's single shared
+            // internal tag; near-complete graphs go dense.
+            neighborhood_dense_min_degree_pct: 90,
             // Crossover points measured with the cluster cost model
             // (alpha = 1.5 us, beta = 0.1 ns/B): the bandwidth-optimal
             // algorithms overtake at ~100-180 KiB for p in {4, 8}, so
@@ -223,6 +253,20 @@ impl CollTuning {
     /// Forces the reduce algorithm.
     pub fn reduce(mut self, algo: ReduceAlgo) -> Self {
         self.reduce = Select::Force(algo);
+        self
+    }
+
+    /// Forces the neighborhood-exchange algorithm (the dense path still
+    /// yields to sparse on topologies with duplicate neighbors, which
+    /// it cannot express).
+    pub fn neighborhood(mut self, algo: NeighborhoodAlgo) -> Self {
+        self.neighborhood = Select::Force(algo);
+        self
+    }
+
+    /// Sets the dense switch-over degree ratio (percent of `p - 1`).
+    pub fn neighborhood_dense_min_degree_pct(mut self, pct: usize) -> Self {
+        self.neighborhood_dense_min_degree_pct = pct;
         self
     }
 
@@ -325,6 +369,26 @@ impl CollTuning {
                     AlltoallAlgo::Bruck
                 } else {
                     AlltoallAlgo::Pairwise
+                }
+            }
+        }
+    }
+
+    /// Selects the neighborhood-exchange algorithm from the
+    /// collectively-agreed maximum degree
+    /// ([`Neighborhood::max_degree`](crate::topology::Neighborhood) —
+    /// never the local degree, which differs across ranks while the
+    /// selection must not). The caller still routes dense through sparse
+    /// when the topology is not
+    /// [`dense_eligible`](crate::topology::Neighborhood::dense_eligible).
+    pub fn neighborhood_algo(&self, p: usize, max_degree: usize) -> NeighborhoodAlgo {
+        match self.neighborhood {
+            Select::Force(a) => a,
+            Select::Auto => {
+                if p >= 2 && max_degree * 100 >= self.neighborhood_dense_min_degree_pct * (p - 1) {
+                    NeighborhoodAlgo::Dense
+                } else {
+                    NeighborhoodAlgo::Sparse
                 }
             }
         }
@@ -463,6 +527,26 @@ mod tests {
         // Small communicators never switch automatically.
         assert_eq!(t.allgather_algo(2, 64), AllgatherAlgo::Ring);
         assert_eq!(t.allgather_algo(3, 64), AllgatherAlgo::Ring);
+    }
+
+    #[test]
+    fn neighborhood_selection_by_degree_ratio() {
+        let t = CollTuning::default();
+        // The bench scenario: degree 8 at p = 16 is sparse territory.
+        assert_eq!(t.neighborhood_algo(16, 8), NeighborhoodAlgo::Sparse);
+        // A complete graph gains nothing from sparsity.
+        assert_eq!(t.neighborhood_algo(16, 15), NeighborhoodAlgo::Dense);
+        // 90% of p-1 is the default crossover: 14/15 = 93% goes dense,
+        // 13/15 = 87% stays sparse.
+        assert_eq!(t.neighborhood_algo(16, 14), NeighborhoodAlgo::Dense);
+        assert_eq!(t.neighborhood_algo(16, 13), NeighborhoodAlgo::Sparse);
+        // Degenerate communicators stay sparse.
+        assert_eq!(t.neighborhood_algo(1, 1), NeighborhoodAlgo::Sparse);
+        // Forcing wins regardless of ratio.
+        let f = CollTuning::default().neighborhood(NeighborhoodAlgo::Dense);
+        assert_eq!(f.neighborhood_algo(16, 1), NeighborhoodAlgo::Dense);
+        let s = CollTuning::default().neighborhood(NeighborhoodAlgo::Sparse);
+        assert_eq!(s.neighborhood_algo(16, 15), NeighborhoodAlgo::Sparse);
     }
 
     #[test]

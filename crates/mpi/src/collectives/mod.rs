@@ -59,14 +59,15 @@ mod alltoall;
 mod barrier;
 mod bcast;
 mod gather;
+pub mod neighborhood;
 pub(crate) mod nonblocking;
 mod reduce;
 mod scan;
 mod scatter;
 
 pub use algos::{
-    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning, ReduceAlgo,
-    Select,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning,
+    NeighborhoodAlgo, ReduceAlgo, Select,
 };
 pub(crate) use allgather::{allgather_blocks, allgather_internal};
 pub(crate) use alltoall::alltoallv_internal;

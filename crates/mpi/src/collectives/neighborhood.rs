@@ -1,0 +1,879 @@
+//! Neighborhood collectives: sparse `O(degree)` exchange over a
+//! declared topology (MPI-3 `MPI_Neighbor_allgather(v)` /
+//! `MPI_Neighbor_alltoall(v)` and their nonblocking / persistent
+//! variants).
+//!
+//! A topology-blind sparse exchange runs a dense `alltoallv` with
+//! zeroed counts for the ranks it has nothing for — still posting `p-1`
+//! envelopes and occupying `p-1` matching-engine slots per rank per
+//! round. The collectives here post exactly `out_degree` sends and
+//! `in_degree` receives along the frozen edge lists of a
+//! [`Neighborhood`] communicator; the
+//! per-round envelope saving is algorithmic and shows up directly in
+//! [`MailboxStats::envelopes_posted`](crate::MailboxStats) (pinned by
+//! tests below and by the `neighborhood_experiment` bench). See the
+//! [`topology`](crate::topology) module doc for the degree-vs-p cost
+//! model.
+//!
+//! Zero-copy discipline matches the dense engines: each call packs (or
+//! adopts) its payload once, per-destination fan-out is a refcount
+//! clone or `Bytes::slice`, and received blocks materialize once at
+//! their destination — `s + r` copied bytes per rank, independent of
+//! degree.
+//!
+//! All exchanges on one communicator share a per-call internal tag;
+//! messages between a `(source, destination)` pair form a FIFO stream,
+//! so duplicate neighbors (legal, e.g. a periodic cartesian dimension
+//! of extent 2) resolve by arrival order — the receive engine fills
+//! duplicate slots strictly first-declared-first.
+//!
+//! The [`CollTuning::neighborhood`](crate::CollTuning) slot routes the
+//! *blocking* exchanges to a dense all-pairs path on near-complete
+//! graphs (where sparsity saves nothing); nonblocking and persistent
+//! variants always run the sparse schedule — their value is the
+//! minimal frozen envelope set.
+
+use bytes::Bytes;
+
+use super::algos::NeighborhoodAlgo;
+use super::nonblocking::{recv_one, CollEngine};
+use super::send_internal;
+use crate::comm::Comm;
+use crate::error::{MpiError, Result};
+use crate::persistent::{CollBody, CollPlan, CollSends, OwnSpec, PersistentRequest};
+use crate::plain::{bytes_from_slice, bytes_to_vec, copy_bytes_into};
+use crate::request::{Completion, Request};
+use crate::topology::Neighborhood;
+use crate::trace;
+use crate::{Plain, Rank, Tag};
+
+/// Receives one message per entry of a frozen source list (the sparse
+/// sibling of the dense engines' `RecvFromEach`): `blocks[i]` comes
+/// from `sources[i]`. Duplicate sources are filled in declaration
+/// order — slot `i` must receive before a later slot of the same
+/// source, because both ride the same FIFO `(source, tag)` stream.
+pub(crate) struct NeighborRecv {
+    tag: Tag,
+    sources: Vec<Rank>,
+    blocks: Vec<Option<Bytes>>,
+    missing: usize,
+}
+
+impl NeighborRecv {
+    pub(crate) fn new(tag: Tag, sources: Vec<Rank>) -> Self {
+        let n = sources.len();
+        NeighborRecv {
+            tag,
+            sources,
+            blocks: (0..n).map(|_| None).collect(),
+            missing: n,
+        }
+    }
+
+    /// Re-arms for another round on the same frozen edge list (the
+    /// persistent-cycle reset; no allocation).
+    fn reset(&mut self) {
+        self.missing = self.blocks.len();
+        for b in &mut self.blocks {
+            *b = None;
+        }
+    }
+
+    /// Drains matching envelopes; `Ok(true)` once every slot is filled.
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<bool> {
+        // Sources whose earliest unfilled slot did not complete this
+        // pass: later duplicate slots must not steal their stream's
+        // next message. Degrees are small; linear scan beats a set.
+        let mut stalled: Vec<Rank> = Vec::new();
+        for i in 0..self.blocks.len() {
+            if self.blocks[i].is_some() {
+                continue;
+            }
+            let src = self.sources[i];
+            if stalled.contains(&src) {
+                continue;
+            }
+            match recv_one(comm, src, self.tag, block)? {
+                Some(payload) => {
+                    self.blocks[i] = Some(payload);
+                    self.missing -= 1;
+                }
+                None => stalled.push(src),
+            }
+        }
+        Ok(self.missing == 0)
+    }
+
+    fn take_blocks(&mut self) -> Vec<Bytes> {
+        self.blocks
+            .iter_mut()
+            .map(|b| b.take().expect("all blocks received"))
+            .collect()
+    }
+
+    fn sources(&self, out: &mut Vec<(Rank, Tag)>) {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.is_none() {
+                out.push((self.sources[i], self.tag));
+            }
+        }
+    }
+
+    fn all_sources(&self, out: &mut Vec<(Rank, Tag)>) {
+        for &s in &self.sources {
+            out.push((s, self.tag));
+        }
+    }
+}
+
+/// [`CollEngine`] over a [`NeighborRecv`]: the body of
+/// `ineighbor_allgatherv` / `ineighbor_alltoallv` and of the persistent
+/// neighbor plans. Completes with [`Completion::Blocks`], one block per
+/// in-neighbor in declaration order.
+struct NeighborBlocksEngine {
+    recv: NeighborRecv,
+}
+
+impl CollEngine for NeighborBlocksEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        if self.recv.advance(comm, block)? {
+            Ok(Some(Completion::Blocks(self.recv.take_blocks())))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        self.recv.sources(out);
+    }
+
+    fn rewind(&mut self, _own: Option<Bytes>) -> bool {
+        // No home slot to re-seed: self-edges travel through the
+        // mailbox like every other edge.
+        self.recv.reset();
+        true
+    }
+
+    fn all_sources(&self, _comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        self.recv.all_sources(out);
+    }
+}
+
+fn neighbor_blocks_engine(tag: Tag, sources: Vec<Rank>) -> Box<dyn CollEngine> {
+    Box::new(NeighborBlocksEngine {
+        recv: NeighborRecv::new(tag, sources),
+    })
+}
+
+/// Validates a per-neighbor counts/displacements layout.
+fn check_neighbor_layout(
+    what: &str,
+    role: &str,
+    counts: &[usize],
+    displs: &[usize],
+    buf_len: usize,
+    degree: usize,
+) -> Result<()> {
+    if counts.len() != degree || displs.len() != degree {
+        return Err(MpiError::InvalidLayout(format!(
+            "{what}: {} counts / {} displs for {degree} {role} neighbors",
+            counts.len(),
+            displs.len()
+        )));
+    }
+    for k in 0..degree {
+        let end = displs[k].checked_add(counts[k]).ok_or_else(|| {
+            MpiError::InvalidLayout(format!("{what}: displacement overflow at {role} {k}"))
+        })?;
+        if end > buf_len {
+            return Err(MpiError::InvalidLayout(format!(
+                "{what}: {role} {k} block [{}..{end}) exceeds buffer length {buf_len}",
+                displs[k]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The sparse blocking exchange: `payloads[k]` to `destinations()[k]`,
+/// one received block per `sources()[j]`, `out_degree` envelopes posted.
+fn sparse_exchange<N: Neighborhood + ?Sized>(
+    n: &N,
+    tag: Tag,
+    payloads: Vec<Bytes>,
+) -> Result<Vec<Bytes>> {
+    let comm = n.comm();
+    debug_assert_eq!(payloads.len(), n.destinations().len());
+    for (payload, &d) in payloads.into_iter().zip(n.destinations()) {
+        send_internal(comm, d, tag, payload)?;
+    }
+    let mut recv = NeighborRecv::new(tag, n.sources().to_vec());
+    recv.advance(comm, true)?;
+    Ok(recv.take_blocks())
+}
+
+/// The dense fallback for near-complete graphs: one message to *every*
+/// rank (the declared block for neighbors, an empty filler otherwise),
+/// one receive from every rank. Same wire shape as the dense pairwise
+/// `alltoallv`; requires duplicate-free neighbor lists
+/// ([`Neighborhood::dense_eligible`]) so the per-rank slot is unique.
+fn dense_exchange<N: Neighborhood + ?Sized>(
+    n: &N,
+    tag: Tag,
+    payloads: Vec<Bytes>,
+) -> Result<Vec<Bytes>> {
+    let comm = n.comm();
+    let p = comm.size();
+    debug_assert!(n.dense_eligible());
+    let mut per_rank: Vec<Bytes> = vec![Bytes::new(); p];
+    for (payload, &d) in payloads.into_iter().zip(n.destinations()) {
+        per_rank[d] = payload;
+    }
+    for (r, payload) in per_rank.into_iter().enumerate() {
+        send_internal(comm, r, tag, payload)?;
+    }
+    let mut recv = NeighborRecv::new(tag, (0..p).collect());
+    recv.advance(comm, true)?;
+    let blocks = recv.take_blocks();
+    Ok(n.sources().iter().map(|&s| blocks[s].clone()).collect())
+}
+
+/// Algorithm selection + dispatch for the blocking exchanges. The
+/// choice consults only collectively-agreed inputs (`p`, `max_degree`,
+/// `dense_eligible`, the communicator's tuning), so every rank takes
+/// the same path — the wire-protocol invariant every tuning decision
+/// obeys.
+fn exchange<N: Neighborhood + ?Sized>(
+    n: &N,
+    name: &'static str,
+    tag: Tag,
+    payloads: Vec<Bytes>,
+) -> Result<Vec<Bytes>> {
+    let comm = n.comm();
+    let algo = if n.dense_eligible() {
+        comm.tuning().neighborhood_algo(comm.size(), n.max_degree())
+    } else {
+        NeighborhoodAlgo::Sparse
+    };
+    let total: usize = payloads.iter().map(Bytes::len).sum();
+    match algo {
+        NeighborhoodAlgo::Sparse => {
+            trace::instant(trace::cat::COLL, name, total as u64, n.max_degree() as u64);
+            sparse_exchange(n, tag, payloads)
+        }
+        NeighborhoodAlgo::Dense => {
+            trace::instant(trace::cat::COLL, name, total as u64, comm.size() as u64);
+            dense_exchange(n, tag, payloads)
+        }
+    }
+}
+
+/// The neighborhood collectives, blanket-implemented for every
+/// [`Neighborhood`] communicator
+/// ([`CartComm`](crate::topology::CartComm),
+/// [`DistGraphComm`](crate::topology::DistGraphComm)).
+///
+/// Block order is always *declaration order*: send block `k` goes to
+/// `destinations()[k]`, received block `j` came from `sources()[j]`.
+pub trait NeighborhoodColl: Neighborhood {
+    /// Sends `data` to every out-neighbor and returns one received
+    /// vector per in-neighbor (mirrors `MPI_Neighbor_allgather`; blocks
+    /// may differ in size, so this is also the `v` variant). `s + r`
+    /// copied bytes: one serialization regardless of out-degree.
+    fn neighbor_allgather_vecs<T: Plain>(&self, data: &[T]) -> Result<Vec<Vec<T>>> {
+        let comm = self.comm();
+        comm.count_op("neighbor_allgather");
+        let tag = comm.next_internal_tag();
+        let payload = bytes_from_slice(data);
+        let payloads = vec![payload; self.destinations().len()];
+        let blocks = exchange(self, "neighbor_allgather", tag, payloads)?;
+        Ok(blocks.iter().map(|b| bytes_to_vec(b)).collect())
+    }
+
+    /// Counted [`neighbor_allgather_vecs`](Self::neighbor_allgather_vecs)
+    /// into a caller-owned buffer (mirrors `MPI_Neighbor_allgatherv`):
+    /// the block from `sources()[j]` lands at
+    /// `recv[recv_displs[j]..][..recv_counts[j]]`.
+    fn neighbor_allgatherv_into<T: Plain>(
+        &self,
+        data: &[T],
+        recv: &mut [T],
+        recv_counts: &[usize],
+        recv_displs: &[usize],
+    ) -> Result<()> {
+        let comm = self.comm();
+        comm.count_op("neighbor_allgatherv");
+        // Tag first: the layout check is rank-local, and an erroring
+        // rank must stay tag-aligned with peers whose layouts are fine.
+        let tag = comm.next_internal_tag();
+        check_neighbor_layout(
+            "neighbor_allgatherv",
+            "source",
+            recv_counts,
+            recv_displs,
+            recv.len(),
+            self.sources().len(),
+        )?;
+        let payload = bytes_from_slice(data);
+        let payloads = vec![payload; self.destinations().len()];
+        let blocks = exchange(self, "neighbor_allgatherv", tag, payloads)?;
+        scatter_blocks(
+            "neighbor_allgatherv",
+            &blocks,
+            recv,
+            recv_counts,
+            recv_displs,
+        )
+    }
+
+    /// Sends `sends[k]` to `destinations()[k]` and returns one received
+    /// vector per in-neighbor (mirrors `MPI_Neighbor_alltoall`;
+    /// variable block sizes make it the `v` variant too).
+    fn neighbor_alltoall_vecs<T: Plain>(&self, sends: &[Vec<T>]) -> Result<Vec<Vec<T>>> {
+        let comm = self.comm();
+        comm.count_op("neighbor_alltoall");
+        let tag = comm.next_internal_tag();
+        if sends.len() != self.destinations().len() {
+            return Err(MpiError::InvalidLayout(format!(
+                "neighbor_alltoall: {} send blocks for {} destination neighbors",
+                sends.len(),
+                self.destinations().len()
+            )));
+        }
+        let payloads: Vec<Bytes> = sends.iter().map(|v| bytes_from_slice(v)).collect();
+        let blocks = exchange(self, "neighbor_alltoall", tag, payloads)?;
+        Ok(blocks.iter().map(|b| bytes_to_vec(b)).collect())
+    }
+
+    /// Counted personalized neighborhood exchange into caller-owned
+    /// buffers (mirrors `MPI_Neighbor_alltoallv`): sends
+    /// `send[send_displs[k]..][..send_counts[k]]` to
+    /// `destinations()[k]`, receives the block from `sources()[j]` into
+    /// `recv[recv_displs[j]..][..recv_counts[j]]`.
+    #[allow(clippy::too_many_arguments)]
+    fn neighbor_alltoallv_into<T: Plain>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        send_displs: &[usize],
+        recv: &mut [T],
+        recv_counts: &[usize],
+        recv_displs: &[usize],
+    ) -> Result<()> {
+        let comm = self.comm();
+        comm.count_op("neighbor_alltoallv");
+        // Tag first (see neighbor_allgatherv_into).
+        let tag = comm.next_internal_tag();
+        check_neighbor_layout(
+            "neighbor_alltoallv",
+            "destination",
+            send_counts,
+            send_displs,
+            send.len(),
+            self.destinations().len(),
+        )?;
+        check_neighbor_layout(
+            "neighbor_alltoallv",
+            "source",
+            recv_counts,
+            recv_displs,
+            recv.len(),
+            self.sources().len(),
+        )?;
+        let payloads: Vec<Bytes> = (0..self.destinations().len())
+            .map(|k| bytes_from_slice(&send[send_displs[k]..send_displs[k] + send_counts[k]]))
+            .collect();
+        let blocks = exchange(self, "neighbor_alltoallv", tag, payloads)?;
+        scatter_blocks(
+            "neighbor_alltoallv",
+            &blocks,
+            recv,
+            recv_counts,
+            recv_displs,
+        )
+    }
+
+    /// Nonblocking [`neighbor_allgather_vecs`](Self::neighbor_allgather_vecs):
+    /// all `out_degree` sends are posted eagerly before the call
+    /// returns; the [`Request`] completes with [`Completion::Blocks`],
+    /// one block per in-neighbor in declaration order. Parks in mixed
+    /// [`RequestSet`](crate::RequestSet)s through the engine's
+    /// `sources()` hook like every other `i*` collective.
+    fn ineighbor_allgatherv<'c, T: Plain>(&'c self, data: &[T]) -> Result<Request<'c>> {
+        let comm = self.comm();
+        comm.count_op("ineighbor_allgather");
+        let tag = comm.next_internal_tag();
+        trace::instant(
+            trace::cat::COLL,
+            "ineighbor_allgather",
+            std::mem::size_of_val(data) as u64,
+            self.max_degree() as u64,
+        );
+        let payload = bytes_from_slice(data);
+        for &d in self.destinations() {
+            send_internal(comm, d, tag, payload.clone())?;
+        }
+        Ok(Request::collective(
+            comm,
+            neighbor_blocks_engine(tag, self.sources().to_vec()),
+        ))
+    }
+
+    /// Nonblocking counted neighborhood exchange: `data` holds the
+    /// per-destination blocks contiguously in declaration order,
+    /// `counts[k]` elements for `destinations()[k]`. Packs once, slices
+    /// a refcount per neighbor; completes with [`Completion::Blocks`]
+    /// in source declaration order.
+    fn ineighbor_alltoallv<'c, T: Plain>(
+        &'c self,
+        data: &[T],
+        counts: &[usize],
+    ) -> Result<Request<'c>> {
+        let comm = self.comm();
+        comm.count_op("ineighbor_alltoallv");
+        let tag = comm.next_internal_tag();
+        let ranges = neighbor_byte_ranges::<T>("ineighbor_alltoallv", counts, self, data.len())?;
+        trace::instant(
+            trace::cat::COLL,
+            "ineighbor_alltoallv",
+            std::mem::size_of_val(data) as u64,
+            self.max_degree() as u64,
+        );
+        let packed = bytes_from_slice(data);
+        for (range, &d) in ranges.into_iter().zip(self.destinations()) {
+            send_internal(comm, d, tag, packed.slice(range))?;
+        }
+        Ok(Request::collective(
+            comm,
+            neighbor_blocks_engine(tag, self.sources().to_vec()),
+        ))
+    }
+
+    /// Persistent [`ineighbor_allgatherv`](Self::ineighbor_allgatherv)
+    /// (the `MPI_Neighbor_allgather_init` shape): the edge schedule,
+    /// internal tag, receive engine, and one standing wake-only
+    /// registration per in-edge are frozen here; a stencil's steady
+    /// state is `start`/`wait` only — zero per-cycle setup, pinned by
+    /// the flat `notify_registrations` counter.
+    fn neighbor_allgatherv_init<'c, T: Plain>(
+        &'c self,
+        data: &[T],
+    ) -> Result<PersistentRequest<'c>> {
+        let comm = self.comm();
+        comm.count_op("neighbor_allgather_init");
+        let tag = comm.next_internal_tag();
+        trace::instant(
+            trace::cat::COLL,
+            "neighbor_allgather_init",
+            std::mem::size_of_val(data) as u64,
+            self.max_degree() as u64,
+        );
+        let own = bytes_from_slice(data);
+        let plan = CollPlan {
+            sends: CollSends::ToEach {
+                tag,
+                dests: self.destinations().to_vec(),
+            },
+            own: OwnSpec::None,
+            body: CollBody::Engine(neighbor_blocks_engine(tag, self.sources().to_vec())),
+        };
+        comm.persistent_coll(plan, Some(own))
+    }
+
+    /// Persistent [`ineighbor_alltoallv`](Self::ineighbor_alltoallv)
+    /// (the `MPI_Neighbor_alltoallv_init` shape). The per-destination
+    /// counts — and the byte ranges sliced out of the packed payload —
+    /// are frozen at init;
+    /// [`set_payload`](PersistentRequest::set_payload) enforces the
+    /// frozen total.
+    fn neighbor_alltoallv_init<'c, T: Plain>(
+        &'c self,
+        data: &[T],
+        counts: &[usize],
+    ) -> Result<PersistentRequest<'c>> {
+        let comm = self.comm();
+        comm.count_op("neighbor_alltoallv_init");
+        let tag = comm.next_internal_tag();
+        let ranges =
+            neighbor_byte_ranges::<T>("neighbor_alltoallv_init", counts, self, data.len())?;
+        trace::instant(
+            trace::cat::COLL,
+            "neighbor_alltoallv_init",
+            std::mem::size_of_val(data) as u64,
+            self.max_degree() as u64,
+        );
+        let plan = CollPlan {
+            sends: CollSends::SlicedTo {
+                tag,
+                dests: self.destinations().to_vec(),
+                ranges,
+            },
+            own: OwnSpec::None,
+            body: CollBody::Engine(neighbor_blocks_engine(tag, self.sources().to_vec())),
+        };
+        comm.persistent_coll(plan, Some(bytes_from_slice(data)))
+    }
+}
+
+impl<N: Neighborhood + ?Sized> NeighborhoodColl for N {}
+
+/// Contiguous per-destination byte ranges from element counts.
+fn neighbor_byte_ranges<T: Plain>(
+    what: &str,
+    counts: &[usize],
+    n: &(impl Neighborhood + ?Sized),
+    data_len: usize,
+) -> Result<Vec<std::ops::Range<usize>>> {
+    let degree = n.destinations().len();
+    if counts.len() != degree {
+        return Err(MpiError::InvalidLayout(format!(
+            "{what}: {} counts for {degree} destination neighbors",
+            counts.len()
+        )));
+    }
+    let total: usize = counts.iter().sum();
+    if total != data_len {
+        return Err(MpiError::InvalidLayout(format!(
+            "{what}: send buffer holds {data_len} elements but counts sum to {total}"
+        )));
+    }
+    let elem = std::mem::size_of::<T>();
+    let mut ranges = Vec::with_capacity(degree);
+    let mut offset = 0usize;
+    for &c in counts {
+        ranges.push(offset * elem..(offset + c) * elem);
+        offset += c;
+    }
+    Ok(ranges)
+}
+
+/// Copies received blocks into a counted user buffer, validating each
+/// block's size against the declared count.
+fn scatter_blocks<T: Plain>(
+    what: &str,
+    blocks: &[Bytes],
+    recv: &mut [T],
+    counts: &[usize],
+    displs: &[usize],
+) -> Result<()> {
+    let elem = std::mem::size_of::<T>();
+    for (j, block) in blocks.iter().enumerate() {
+        if block.len() != counts[j] * elem {
+            return Err(MpiError::InvalidLayout(format!(
+                "{what}: source {j} sent {} bytes, expected {} ({} elements)",
+                block.len(),
+                counts[j] * elem,
+                counts[j]
+            )));
+        }
+        copy_bytes_into(block, &mut recv[displs[j]..displs[j] + counts[j]]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RequestSet, Universe};
+
+    /// The headline claim, pinned by the envelope meter: K rounds on a
+    /// directed ring (in-degree 1) grow `envelopes_posted` by exactly
+    /// K per rank, where the forced-dense path grows it by K·p.
+    #[test]
+    fn sparse_exchange_posts_degree_envelopes() {
+        // Mid-run counter snapshots race with run-ahead peers (a barrier
+        // only fences messages *to* this rank, not a fast left neighbor
+        // already pushing round payloads), so measure differentially:
+        // run the same deterministic program twice, reading each rank's
+        // counter at closure end — by then every envelope ever destined
+        // to it has been pushed — and subtract a zero-round baseline.
+        fn ring_envelopes(rounds: usize, algo: NeighborhoodAlgo) -> Vec<u64> {
+            Universe::run(8, move |comm| {
+                let p = comm.size();
+                let right = (comm.rank() + 1) % p;
+                let left = (comm.rank() + p - 1) % p;
+                let g = comm.create_dist_graph_adjacent(&[left], &[right]).unwrap();
+                let _t = g
+                    .comm()
+                    .tuning_guard(Some(crate::CollTuning::default().neighborhood(algo)));
+                for _ in 0..rounds {
+                    g.neighbor_alltoall_vecs(&[vec![comm.rank() as u32]])
+                        .unwrap();
+                }
+                comm.mailbox_stats().envelopes_posted
+            })
+        }
+        let p = 8u64;
+        for algo in [NeighborhoodAlgo::Sparse, NeighborhoodAlgo::Dense] {
+            let base = ring_envelopes(0, algo);
+            let run = ring_envelopes(5, algo);
+            let per_round: u64 = match algo {
+                // in-degree 1 on the directed ring
+                NeighborhoodAlgo::Sparse => 1,
+                // dense posts one message per rank, self included
+                NeighborhoodAlgo::Dense => p,
+            };
+            for (rank, (b, r)) in base.iter().zip(&run).enumerate() {
+                assert_eq!(r - b, 5 * per_round, "{algo:?} rank {rank}");
+            }
+        }
+    }
+
+    /// Forced sparse and forced dense must be observationally identical
+    /// on a dense-eligible topology.
+    #[test]
+    fn dense_route_matches_sparse() {
+        Universe::run(5, |comm| {
+            let p = comm.size();
+            // Each rank talks to rank+1 and rank+2 (mod p).
+            let dests: Vec<usize> = vec![(comm.rank() + 1) % p, (comm.rank() + 2) % p];
+            let srcs: Vec<usize> = vec![(comm.rank() + p - 1) % p, (comm.rank() + p - 2) % p];
+            let g = comm.create_dist_graph_adjacent(&srcs, &dests).unwrap();
+            let sends: Vec<Vec<u64>> = (0..2)
+                .map(|k| vec![comm.rank() as u64 * 10 + k as u64; k + 1])
+                .collect();
+            let sparse = {
+                let _t = g.comm().tuning_guard(Some(
+                    crate::CollTuning::default().neighborhood(NeighborhoodAlgo::Sparse),
+                ));
+                g.neighbor_alltoall_vecs(&sends).unwrap()
+            };
+            let dense = {
+                let _t = g.comm().tuning_guard(Some(
+                    crate::CollTuning::default().neighborhood(NeighborhoodAlgo::Dense),
+                ));
+                g.neighbor_alltoall_vecs(&sends).unwrap()
+            };
+            assert_eq!(sparse, dense);
+            // Sanity: block j came from sources[j] with k = position.
+            for (j, &s) in g.sources().iter().enumerate() {
+                assert_eq!(sparse[j][0] / 10, s as u64);
+            }
+        });
+    }
+
+    /// Duplicate neighbors (periodic extent-2 dimension) are never
+    /// dense-eligible and resolve by FIFO declaration order.
+    #[test]
+    fn duplicate_neighbors_fill_in_declaration_order() {
+        Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            // Both directions of an extent-2 periodic ring: the same
+            // peer appears twice.
+            let g = comm
+                .create_dist_graph_adjacent(&[peer, peer], &[peer, peer])
+                .unwrap();
+            assert!(!g.dense_eligible());
+            let sends = vec![
+                vec![10u32 + comm.rank() as u32],
+                vec![20 + comm.rank() as u32],
+            ];
+            let got = g.neighbor_alltoall_vecs(&sends).unwrap();
+            // FIFO: first declared slot gets the first message.
+            assert_eq!(got, vec![vec![10 + peer as u32], vec![20 + peer as u32]]);
+        });
+    }
+
+    #[test]
+    fn allgatherv_into_with_counts() {
+        Universe::run(4, |comm| {
+            let p = comm.size();
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let g = comm
+                .create_dist_graph_adjacent(&[left, right], &[left, right])
+                .unwrap();
+            // Every rank contributes rank+1 elements.
+            let data: Vec<u64> = vec![comm.rank() as u64; comm.rank() + 1];
+            let counts = [left + 1, right + 1];
+            let displs = [0, left + 1];
+            let mut recv = vec![u64::MAX; left + 1 + right + 1];
+            g.neighbor_allgatherv_into(&data, &mut recv, &counts, &displs)
+                .unwrap();
+            let mut expected = vec![left as u64; left + 1];
+            expected.extend(vec![right as u64; right + 1]);
+            assert_eq!(recv, expected);
+
+            // Wrong counts surface as a layout error on the receiver.
+            let bad = g.neighbor_allgatherv_into(&data, &mut recv, &[1, 1], &[0, 1]);
+            assert!(matches!(bad, Err(MpiError::InvalidLayout(_))));
+        });
+    }
+
+    /// `i*` engines park in mixed RequestSets: a neighborhood gather
+    /// and a point-to-point receive complete under one `wait_all`.
+    #[test]
+    fn ineighbor_parks_in_mixed_request_set() {
+        Universe::run(4, |comm| {
+            let p = comm.size();
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let g = comm.create_dist_graph_adjacent(&[left], &[right]).unwrap();
+            // P2p traffic rides the parent communicator, neighborhood
+            // traffic the topology's private dup — no interference.
+            comm.send(&[comm.rank() as u32 + 100], right, 3).unwrap();
+            let mut set = RequestSet::new();
+            set.push(g.ineighbor_allgatherv(&[comm.rank() as u32]).unwrap());
+            set.push(comm.irecv(left, 3));
+            let mut done = set.wait_all().unwrap();
+            assert_eq!(done.len(), 2);
+            let (v, st) = done.pop().unwrap().into_vec::<u32>().unwrap();
+            assert_eq!(v, vec![left as u32 + 100]);
+            assert_eq!(st.source, left);
+            let blocks = done.pop().unwrap().into_blocks().unwrap();
+            assert_eq!(bytes_to_vec::<u32>(&blocks[0]), vec![left as u32]);
+        });
+    }
+
+    #[test]
+    fn ineighbor_alltoallv_slices_packed_payload() {
+        Universe::run(3, |comm| {
+            let p = comm.size();
+            let others: Vec<usize> = (0..p).filter(|&r| r != comm.rank()).collect();
+            let g = comm.create_dist_graph_adjacent(&others, &others).unwrap();
+            // k+1 elements for the k-th destination, packed contiguously.
+            let counts: Vec<usize> = (0..others.len()).map(|k| k + 1).collect();
+            let data: Vec<u32> = (0..others.len())
+                .flat_map(|k| vec![comm.rank() as u32 * 100 + k as u32; k + 1])
+                .collect();
+            let blocks = g
+                .ineighbor_alltoallv(&data, &counts)
+                .unwrap()
+                .wait()
+                .unwrap()
+                .into_blocks()
+                .unwrap();
+            for (j, &s) in g.sources().iter().enumerate() {
+                // Which position are we in s's destination list?
+                let k = (0..p)
+                    .filter(|&r| r != s)
+                    .position(|r| r == comm.rank())
+                    .unwrap();
+                assert_eq!(
+                    bytes_to_vec::<u32>(&blocks[j]),
+                    vec![s as u32 * 100 + k as u32; k + 1]
+                );
+            }
+        });
+    }
+
+    /// Persistent neighbor exchange: frozen plan, fresh payloads, and —
+    /// the PR 7 invariant carried over — zero waiter registrations in
+    /// the steady state.
+    #[test]
+    fn persistent_neighbor_alltoallv_cycles() {
+        Universe::run(4, |comm| {
+            let p = comm.size();
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let g = comm
+                .create_dist_graph_adjacent(&[left, right], &[left, right])
+                .unwrap();
+            let mut req = g.neighbor_alltoallv_init(&[0u32, 0], &[1, 1]).unwrap();
+            // Warm-up cycle, then pin the steady state.
+            req.start().unwrap();
+            req.wait().unwrap();
+            comm.barrier().unwrap();
+            let before = comm.mailbox_stats().notify_registrations;
+            for cycle in 1..=10u32 {
+                req.set_data(&[
+                    comm.rank() as u32 + 1000 * cycle,
+                    comm.rank() as u32 + 2000 * cycle,
+                ])
+                .unwrap();
+                req.start().unwrap();
+                let blocks = req.wait().unwrap().into_blocks().unwrap();
+                // left sent us its block for its *right* neighbor
+                // (position 1 in its packed payload), right its block
+                // for its left (position 0).
+                assert_eq!(
+                    bytes_to_vec::<u32>(&blocks[0]),
+                    vec![left as u32 + 2000 * cycle]
+                );
+                assert_eq!(
+                    bytes_to_vec::<u32>(&blocks[1]),
+                    vec![right as u32 + 1000 * cycle]
+                );
+            }
+            assert_eq!(
+                comm.mailbox_stats().notify_registrations,
+                before,
+                "steady-state cycles must not touch the posted queue"
+            );
+            assert_eq!(req.cycles(), 11);
+        });
+    }
+
+    #[test]
+    fn persistent_neighbor_allgatherv_cycles() {
+        Universe::run(3, |comm| {
+            let p = comm.size();
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            let g = comm.create_dist_graph_adjacent(&[left], &[right]).unwrap();
+            let mut req = g.neighbor_allgatherv_init(&[0u64]).unwrap();
+            for cycle in 0..4u64 {
+                req.set_data(&[comm.rank() as u64 + 10 * cycle]).unwrap();
+                req.start().unwrap();
+                let blocks = req.wait().unwrap().into_blocks().unwrap();
+                assert_eq!(blocks.len(), 1);
+                assert_eq!(
+                    bytes_to_vec::<u64>(&blocks[0]),
+                    vec![left as u64 + 10 * cycle]
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_frozen_counts_enforced() {
+        Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            let g = comm.create_dist_graph_adjacent(&[peer], &[peer]).unwrap();
+            let mut req = g.neighbor_alltoallv_init(&[1u32, 2], &[2]).unwrap();
+            assert!(matches!(
+                req.set_data(&[1u32]).unwrap_err(),
+                MpiError::InvalidLayout(_)
+            ));
+            req.start().unwrap();
+            let blocks = req.wait().unwrap().into_blocks().unwrap();
+            assert_eq!(bytes_to_vec::<u32>(&blocks[0]), vec![1, 2]);
+        });
+    }
+
+    /// The zero-copy bill, pinned (PR 2/3 discipline): one serialization
+    /// per call regardless of out-degree, one materialization per
+    /// received block — `s + r`, never `s·degree`.
+    #[cfg(feature = "copy-metrics")]
+    #[test]
+    fn copy_bill_is_s_plus_r_independent_of_degree() {
+        Universe::run(4, |comm| {
+            let p = comm.size();
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            // Two out-edges, two in-edges.
+            let g = comm
+                .create_dist_graph_adjacent(&[left, right], &[left, right])
+                .unwrap();
+            comm.barrier().unwrap();
+            let data = vec![7u64; 100]; // s = 800 bytes
+            let before = crate::metrics::snapshot();
+            let got = g.neighbor_allgather_vecs(&data).unwrap();
+            let delta = crate::metrics::snapshot().since(&before);
+            assert_eq!(got.len(), 2);
+            // s = 800 serialized once (fan-out to 2 dests is refcount
+            // clones), r = 2 * 800 materialized once each.
+            assert_eq!(delta.bytes_copied, 800 + 1600);
+        });
+    }
+
+    #[test]
+    fn empty_neighborhood_completes_immediately() {
+        Universe::run(2, |comm| {
+            let g = comm.create_dist_graph_adjacent(&[], &[]).unwrap();
+            assert!(g.neighbor_allgather_vecs(&[1u8]).unwrap().is_empty());
+            let c = g.ineighbor_allgatherv(&[1u8]).unwrap().wait().unwrap();
+            assert!(c.into_blocks().unwrap().is_empty());
+        });
+    }
+}

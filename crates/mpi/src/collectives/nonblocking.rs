@@ -113,7 +113,7 @@ struct RecvFromEach {
 /// poll is an O(1) `(source, tag)` index hit and the blocking wait a
 /// targeted per-waiter wakeup, so drain loops stay cheap even when
 /// other collectives' traffic is piled up at the rank.
-fn recv_one(comm: &Comm, src: Rank, tag: Tag, block: bool) -> Result<Option<Bytes>> {
+pub(crate) fn recv_one(comm: &Comm, src: Rank, tag: Tag, block: bool) -> Result<Option<Bytes>> {
     if block {
         let env = comm.recv_envelope(Src::Rank(src), TagSel::Is(tag))?;
         return Ok(Some(env.payload));

@@ -175,6 +175,13 @@ impl Comm {
         self.world.mailboxes[self.world_rank()].stats()
     }
 
+    /// Snapshots every rank's live trace ring mid-run (see
+    /// [`Universe::trace_snapshot`](crate::Universe::trace_snapshot)):
+    /// lets one rank export a trace of a still-running universe.
+    pub fn trace_snapshot(&self) -> crate::trace::TraceData {
+        crate::Universe::trace_snapshot(&self.world)
+    }
+
     #[inline]
     pub(crate) fn count_op(&self, name: &'static str) {
         self.world.counters[self.world_rank()].lock().inc(name);

@@ -66,9 +66,10 @@ pub mod ulfm;
 pub mod universe;
 
 pub use clock::{Clock, CostModel};
+pub use collectives::neighborhood::NeighborhoodColl;
 pub use collectives::{
-    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning, ReduceAlgo,
-    Select,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning,
+    NeighborhoodAlgo, ReduceAlgo, Select,
 };
 pub use comm::{Comm, TuningGuard};
 pub use completion::{park_any, park_epoch, ParkOutcome, PoolSession, PoolStep};
@@ -79,12 +80,12 @@ pub use message::{Src, Status, TagSel, ANY_SOURCE, ANY_TAG};
 pub use metrics::CopyStats;
 pub use op::{commutative, non_commutative, ReduceOp};
 pub use partitioned::{PartitionWriter, PartitionedRecv, PartitionedSend};
-pub use persistent::{start_all, PersistentRequest};
+pub use persistent::{start_all, PersistentRequest, PersistentSet};
 pub use plain::{
     as_bytes, bytes_from_slice, bytes_from_vec, bytes_into_vec, bytes_to_vec, Plain, SharedPayload,
 };
 pub use request::{Request, RequestSet};
-pub use topology::DistGraphComm;
+pub use topology::{CartComm, DistGraphComm, Neighborhood};
 pub use trace::{LatencyHist, RankTrace, TraceData, TraceStats};
 pub use universe::{Config, RankOutcome, RankStats, RunStats, Universe};
 

@@ -345,6 +345,11 @@ pub struct MailboxStats {
     /// context's shard, so dup/split-heavy workloads that free their
     /// communicators hold this gauge flat.
     pub shard_count: usize,
+    /// Total envelopes ever pushed into this rank's engine — the
+    /// message-count meter: a sparse neighborhood exchange must grow it
+    /// by the rank's in-degree per round where a dense alltoallv grows
+    /// it by p-1.
+    pub envelopes_posted: u64,
 }
 
 /// A rank's matching engine: per-context shards of the two-queue
@@ -379,6 +384,9 @@ pub struct Mailbox {
     /// standing). The O(1)-amortized-re-park pins count this: a
     /// steady-state persistent/pool cycle must not move it.
     registrations: AtomicU64,
+    /// Total envelopes ever pushed (delivered targeted *or* queued) —
+    /// the per-rank message count the neighborhood bench pins.
+    envelopes: AtomicU64,
 }
 
 impl Mailbox {
@@ -412,6 +420,7 @@ impl Mailbox {
     /// posted, indexes it into the unexpected-message queue. Matching
     /// blocking probes observe the envelope's status on the way.
     pub fn push(&self, env: Envelope) {
+        self.envelopes.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard(env.context);
         let mut st = shard.state.lock();
         let seq = st.next_seq;
@@ -789,6 +798,9 @@ impl Mailbox {
                 let now = self.epoch.load(Ordering::SeqCst);
                 if now != seen_epoch {
                     seen_epoch = now;
+                    // This wakeup records no event of its own; answer
+                    // any pending live-snapshot request explicitly.
+                    trace::poll_publish();
                     break;
                 }
                 waiter.cond.wait(&mut w);
@@ -842,6 +854,9 @@ impl Mailbox {
                 let now = self.epoch.load(Ordering::SeqCst);
                 if now != seen_epoch {
                     seen_epoch = now;
+                    // This wakeup records no event of its own; answer
+                    // any pending live-snapshot request explicitly.
+                    trace::poll_publish();
                     break;
                 }
                 waiter.cond.wait(&mut w);
@@ -942,6 +957,14 @@ impl Mailbox {
         self.shards.read().len() + 1
     }
 
+    /// Total envelopes ever pushed into this engine, whether delivered
+    /// straight to a waiter or queued unexpected. This is the per-rank
+    /// message-count meter the neighborhood-collective bench pins
+    /// (degree envelopes per round, vs p-1 for a dense exchange).
+    pub fn envelopes_posted(&self) -> u64 {
+        self.envelopes.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of the engine's diagnostics.
     pub fn stats(&self) -> MailboxStats {
         MailboxStats {
@@ -953,6 +976,7 @@ impl Mailbox {
             max_parked: self.max_parked(),
             notify_registrations: self.notify_registrations(),
             shard_count: self.shard_count(),
+            envelopes_posted: self.envelopes_posted(),
         }
     }
 }
@@ -1535,6 +1559,7 @@ mod tests {
                 notify_registrations: 0,
                 // Pushes targeted context 1: its shard plus the world's.
                 shard_count: 2,
+                envelopes_posted: 5,
             }
         );
     }

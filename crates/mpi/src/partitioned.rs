@@ -378,6 +378,50 @@ impl<'a, T: Plain> PartitionedRecv<'a, T> {
         }
     }
 
+    /// Non-blocking per-partition arrival check (mirrors
+    /// `MPI_Parrived`): drains any partition envelopes already
+    /// delivered, then reports whether `partition` has landed this
+    /// cycle. Lets a consumer process early partitions while producers
+    /// are still computing later ones — the receive-side half of the
+    /// overlap that `pready` gives the send side. On an inactive
+    /// request this returns `true`, like the MPI call.
+    pub fn parrived(&mut self, partition: usize) -> Result<bool> {
+        if partition >= self.partitions {
+            return Err(MpiError::InvalidLayout(format!(
+                "parrived: partition {partition} out of range (plan has {})",
+                self.partitions
+            )));
+        }
+        if !self.active {
+            return Ok(true);
+        }
+        while !self.received[partition] {
+            match self
+                .comm
+                .try_recv_envelope(Src::Rank(self.src), TagSel::Is(self.tag))
+            {
+                Some(env) => self.place(env.payload)?,
+                None => break,
+            }
+        }
+        Ok(self.received[partition])
+    }
+
+    /// Copies one arrived partition's elements out of the reassembly
+    /// buffer, or `None` if it has not arrived this cycle (use
+    /// [`parrived`](Self::parrived) to drain and check). The full
+    /// message is still returned by [`wait`](Self::wait) once every
+    /// partition has landed.
+    pub fn partition(&self, partition: usize) -> Option<Vec<T>> {
+        if !self.active || !self.received.get(partition).copied().unwrap_or(false) {
+            return None;
+        }
+        let at = partition * self.part_bytes;
+        Some(crate::plain::bytes_to_vec::<T>(
+            &self.buf[at..at + self.part_bytes],
+        ))
+    }
+
     /// Decodes one partition envelope into the reassembly buffer.
     fn place(&mut self, payload: Bytes) -> Result<()> {
         if payload.len() != 4 + self.part_bytes {
@@ -662,6 +706,61 @@ mod tests {
                 recv.start().unwrap();
                 assert_eq!(recv.start().unwrap_err(), MpiError::RequestActive);
                 assert_eq!(recv.wait().unwrap(), vec![7]);
+            }
+        });
+    }
+
+    /// The consumer drains an early partition with `parrived` while the
+    /// later partitions are provably still unsent: the producer holds
+    /// them back until the consumer acknowledges reading partition 0,
+    /// so the early read cannot be satisfied by a completed message.
+    #[test]
+    fn parrived_drains_early_partition_while_rest_in_flight() {
+        Universe::run(2, |comm| {
+            const PARTS: usize = 3;
+            const ELEMS: usize = 4;
+            let data = |cycle: u32, p: u32| -> Vec<u32> {
+                (0..ELEMS as u32)
+                    .map(|i| cycle * 100 + p * 10 + i)
+                    .collect()
+            };
+            if comm.rank() == 0 {
+                let mut send = comm.psend_init::<u32>(PARTS, ELEMS, 1, 7).unwrap();
+                let w = send.writer();
+                for cycle in 0..3u32 {
+                    send.start().unwrap();
+                    w.pready(0, &data(cycle, 0)).unwrap();
+                    // Gate the rest on the consumer's ack: while it
+                    // reads partition 0, partitions 1.. do not exist
+                    // on the wire yet.
+                    comm.recv_vec::<u8>(1, 70).unwrap();
+                    for p in 1..PARTS {
+                        w.pready(p, &data(cycle, p as u32)).unwrap();
+                    }
+                    send.wait().unwrap();
+                }
+            } else {
+                let mut recv = comm.precv_init::<u32>(PARTS, ELEMS, 0, 7).unwrap();
+                for cycle in 0..3u32 {
+                    recv.start().unwrap();
+                    while !recv.parrived(0).unwrap() {
+                        std::thread::yield_now();
+                    }
+                    // Unsent partitions report not-arrived and yield no
+                    // data; the arrived one is readable early.
+                    assert!(!recv.parrived(1).unwrap());
+                    assert!(recv.partition(1).is_none());
+                    assert_eq!(recv.partition(0).unwrap(), data(cycle, 0));
+                    comm.send(&[1u8], 0, 70).unwrap();
+                    let all = recv.wait().unwrap();
+                    let want: Vec<u32> = (0..PARTS as u32).flat_map(|p| data(cycle, p)).collect();
+                    assert_eq!(all, want, "cycle {cycle}");
+                }
+                // Inactive request: arrived-by-definition, like MPI;
+                // out-of-range partitions are still rejected.
+                assert!(recv.parrived(0).unwrap());
+                assert!(recv.partition(0).is_none());
+                assert!(recv.parrived(PARTS).is_err());
             }
         });
     }

@@ -84,7 +84,7 @@ use crate::{Plain, Rank, ReduceOp, Tag};
 
 /// The eager sends a collective cycle posts at `start` time. Everything
 /// here was computed at init; `start` only moves payload bytes.
-enum CollSends {
+pub(crate) enum CollSends {
     /// Pure receiver side: nothing to send.
     None,
     /// Binomial-tree root forwarding (persistent bcast root).
@@ -96,12 +96,23 @@ enum CollSends {
     /// `payload[ranges[r]]` to each rank `r` (alltoallv); the entry for
     /// this rank is kept as the engine's own block.
     Blocks { tag: Tag, ranges: Vec<Range<usize>> },
+    /// The whole payload to each listed rank (neighborhood allgather:
+    /// fan-out over the frozen out-edge list, refcount clones).
+    ToEach { tag: Tag, dests: Vec<Rank> },
+    /// `payload[ranges[k]]` to `dests[k]` (neighborhood alltoallv:
+    /// contiguous destination-ordered slices of the packed payload).
+    SlicedTo {
+        tag: Tag,
+        dests: Vec<Rank>,
+        ranges: Vec<Range<usize>>,
+    },
 }
 
 /// Which part of the cycle's payload seeds the engine's own slot when
 /// the cycle is rewound.
-enum OwnSpec {
-    /// The engine starts empty (bcast receivers).
+pub(crate) enum OwnSpec {
+    /// The engine starts empty (bcast receivers, neighborhood plans —
+    /// whose self-edges travel through the mailbox like any edge).
     None,
     /// The whole payload (allgather contribution, allreduce root).
     All,
@@ -110,7 +121,7 @@ enum OwnSpec {
 }
 
 /// How a collective cycle completes.
-enum CollBody {
+pub(crate) enum CollBody {
     /// Complete immediately with this cycle's payload (bcast root: the
     /// tree forwarding happened at `start`).
     Ready { source: Rank, tag: Tag },
@@ -119,10 +130,10 @@ enum CollBody {
 }
 
 /// A frozen collective plan: eager sends + own-block spec + body.
-struct CollPlan {
-    sends: CollSends,
-    own: OwnSpec,
-    body: CollBody,
+pub(crate) struct CollPlan {
+    pub(crate) sends: CollSends,
+    pub(crate) own: OwnSpec,
+    pub(crate) body: CollBody,
 }
 
 /// The plan a persistent request executes every cycle.
@@ -196,7 +207,7 @@ impl<'a> PersistentRequest<'a> {
             return Err(MpiError::RequestActive);
         }
         if let PlanKind::Coll(CollPlan {
-            sends: CollSends::Blocks { ranges, .. },
+            sends: CollSends::Blocks { ranges, .. } | CollSends::SlicedTo { ranges, .. },
             ..
         }) = &self.kind
         {
@@ -277,6 +288,16 @@ impl<'a> PersistentRequest<'a> {
                             if r != self.comm.rank() {
                                 send_internal(self.comm, r, *tag, payload.slice(range.clone()))?;
                             }
+                        }
+                    }
+                    CollSends::ToEach { tag, dests } => {
+                        for &d in dests {
+                            send_internal(self.comm, d, *tag, payload.clone())?;
+                        }
+                    }
+                    CollSends::SlicedTo { tag, dests, ranges } => {
+                        for (&d, range) in dests.iter().zip(ranges) {
+                            send_internal(self.comm, d, *tag, payload.slice(range.clone()))?;
                         }
                     }
                 }
@@ -453,10 +474,169 @@ pub fn start_all(requests: &mut [PersistentRequest<'_>]) -> Result<()> {
     Ok(())
 }
 
+/// A batch of persistent requests driven as one unit — the persistent
+/// sibling of [`RequestSet`](crate::RequestSet) (mirrors `MPI_Startall`
+/// + `MPI_Waitall` on persistent handles).
+///
+/// [`wait_all`](PersistentSet::wait_all) sweeps every member
+/// non-blockingly and parks on at most one member at a time, re-sweeping
+/// the whole batch on each wakeup. Members whose messages arrive while
+/// the set sleeps cost nothing: only the parked member's waiter is
+/// armed, so a completion wave that lands together wakes the set
+/// **once** and the re-sweep retires the entire batch —
+/// [`parks`](PersistentSet::parks) counts the actual sleeps, pinned at
+/// ≤ one per wave (zero when the wave precedes the wait) by the tests.
+pub struct PersistentSet<'a> {
+    requests: Vec<PersistentRequest<'a>>,
+    parks: u64,
+}
+
+impl<'a> Default for PersistentSet<'a> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> PersistentSet<'a> {
+    pub fn new() -> Self {
+        PersistentSet {
+            requests: Vec::new(),
+            parks: 0,
+        }
+    }
+
+    /// Adds a request; returns its index (the position of its
+    /// completion in [`wait_all`](PersistentSet::wait_all)'s result).
+    pub fn push(&mut self, req: PersistentRequest<'a>) -> usize {
+        self.requests.push(req);
+        self.requests.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The member requests (e.g. to
+    /// [`set_data`](PersistentRequest::set_data) between cycles).
+    pub fn requests_mut(&mut self) -> &mut [PersistentRequest<'a>] {
+        &mut self.requests
+    }
+
+    /// Times `wait_all` actually slept on a condvar — the batch wakeup
+    /// meter: a completion wave that lands while the set is parked
+    /// costs exactly one sleep, and a wave that lands before the wait
+    /// costs zero.
+    pub fn parks(&self) -> u64 {
+        self.parks
+    }
+
+    /// Starts one cycle on every member (mirrors `MPI_Startall`); stops
+    /// at the first error, leaving later members inactive.
+    pub fn start_all(&mut self) -> Result<()> {
+        start_all(&mut self.requests)
+    }
+
+    /// Blocks until every started member completes, returning the
+    /// completions in member order (inactive members report
+    /// [`Completion::Done`], MPI's null-status convention). One park
+    /// covers a whole completion wave: each sleep is followed by a full
+    /// re-sweep, so messages that arrived for *other* members while
+    /// this one slept are collected without further waits.
+    pub fn wait_all(&mut self) -> Result<Vec<Completion>> {
+        let n = self.requests.len();
+        let mut out: Vec<Option<Completion>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<usize> = Vec::with_capacity(n);
+        for (i, req) in self.requests.iter_mut().enumerate() {
+            if !req.active {
+                out[i] = Some(Completion::Done);
+            } else {
+                pending.push(i);
+            }
+        }
+        while !pending.is_empty() {
+            // Full non-blocking sweep: retire everything already done.
+            let mut still = Vec::with_capacity(pending.len());
+            for &i in &pending {
+                let req = &mut self.requests[i];
+                match req.try_complete()? {
+                    Some(c) => {
+                        req.finish_cycle();
+                        out[i] = Some(c);
+                    }
+                    None => still.push(i),
+                }
+            }
+            pending = still;
+            let Some(&first) = pending.first() else { break };
+            // Park on the first unfinished member only; its standing
+            // registrations (installed at init) claim the armed waiter.
+            // The other members' waiters stay un-armed — their arrivals
+            // queue silently and the re-sweep finds them.
+            let req = &mut self.requests[first];
+            let mb = req.comm.mailbox();
+            req.waiter.armed.store(true, Ordering::SeqCst);
+            req.maybe_claimed = true;
+            let parked = loop {
+                let epoch = mb.epoch();
+                match req.try_complete() {
+                    Ok(Some(c)) => {
+                        req.finish_cycle();
+                        out[first] = Some(c);
+                        pending.remove(0);
+                        break false;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        req.waiter.armed.store(false, Ordering::SeqCst);
+                        return Err(e);
+                    }
+                }
+                let mut st = req.waiter.state.lock();
+                let mut slept = false;
+                loop {
+                    if st.claimed {
+                        st.claimed = false;
+                        st.fired = None;
+                        st.missed.clear();
+                        break;
+                    }
+                    if mb.epoch() != epoch {
+                        mb.record_spurious();
+                        break;
+                    }
+                    slept = true;
+                    req.waiter.cond.wait(&mut st);
+                }
+                drop(st);
+                if slept {
+                    break true;
+                }
+                // Woken without sleeping (message raced the park):
+                // loop — the next try_complete consumes it.
+            };
+            if parked {
+                self.parks += 1;
+            }
+            self.requests[first]
+                .waiter
+                .armed
+                .store(false, Ordering::SeqCst);
+        }
+        Ok(out
+            .into_iter()
+            .map(|c| c.expect("all members done"))
+            .collect())
+    }
+}
+
 impl Comm {
     /// Installs standing registrations for every source the plan's
     /// engine can ever receive from, then hands the request out.
-    fn persistent_coll(
+    pub(crate) fn persistent_coll(
         &self,
         plan: CollPlan,
         payload: Option<Bytes>,
@@ -949,6 +1129,115 @@ mod tests {
             assert_eq!(req.start().unwrap_err(), MpiError::Revoked);
         });
         assert!(outcomes.into_iter().all(|o| o.completed().is_some()));
+    }
+
+    /// The batch wakeup pin: a completion wave that lands *before*
+    /// `wait_all` costs zero sleeps — the fast sweep retires the whole
+    /// batch without ever touching a condvar.
+    #[test]
+    fn set_wait_all_zero_parks_when_wave_precedes_wait() {
+        Universe::run(2, |comm| {
+            const W: usize = 4;
+            if comm.rank() == 0 {
+                let mut set = PersistentSet::new();
+                for t in 0..W {
+                    set.push(comm.recv_init(1, 10 + t as i32).unwrap());
+                }
+                assert_eq!(set.len(), W);
+                for cycle in 0..5u32 {
+                    set.start_all().unwrap();
+                    comm.send(&[cycle], 1, 1).unwrap();
+                    // The ack was pushed after the whole wave: once it
+                    // is here, every member's message already is too.
+                    comm.recv_vec::<u32>(1, 2).unwrap();
+                    let done = set.wait_all().unwrap();
+                    assert_eq!(done.len(), W);
+                    for (t, c) in done.into_iter().enumerate() {
+                        let (v, st) = c.into_vec::<u32>().unwrap();
+                        assert_eq!(v, vec![cycle * 10 + t as u32]);
+                        assert_eq!(st.tag, 10 + t as i32);
+                    }
+                    assert_eq!(set.parks(), 0, "pre-arrived waves never sleep");
+                }
+            } else {
+                for cycle in 0..5u32 {
+                    comm.recv_vec::<u32>(0, 1).unwrap();
+                    for t in 0..W {
+                        comm.send(&[cycle * 10 + t as u32], 0, 10 + t as i32)
+                            .unwrap();
+                    }
+                    comm.send(&[0u32], 0, 2).unwrap();
+                }
+            }
+        });
+    }
+
+    /// A wave that lands while the set sleeps wakes it at most once:
+    /// only the parked member's waiter is armed, the re-sweep collects
+    /// everyone else — ≤ one park per batch completion wave.
+    #[test]
+    fn set_wait_all_one_park_per_wave() {
+        Universe::run(2, |comm| {
+            const W: usize = 4;
+            const CYCLES: u32 = 5;
+            if comm.rank() == 0 {
+                let mut set = PersistentSet::new();
+                for t in 0..W {
+                    set.push(comm.recv_init(1, 10 + t as i32).unwrap());
+                }
+                for cycle in 0..CYCLES {
+                    set.start_all().unwrap();
+                    comm.send(&[cycle], 1, 1).unwrap();
+                    let done = set.wait_all().unwrap();
+                    for (t, c) in done.into_iter().enumerate() {
+                        let (v, _) = c.into_vec::<u32>().unwrap();
+                        assert_eq!(v, vec![cycle * 10 + t as u32]);
+                    }
+                }
+                assert!(
+                    set.parks() <= CYCLES as u64,
+                    "parked {} times for {CYCLES} waves",
+                    set.parks()
+                );
+            } else {
+                for cycle in 0..CYCLES {
+                    comm.recv_vec::<u32>(0, 1).unwrap();
+                    // Member 0's message last: the set parks (if at all)
+                    // on member 0, whose arrival closes the wave.
+                    for t in (0..W).rev() {
+                        comm.send(&[cycle * 10 + t as u32], 0, 10 + t as i32)
+                            .unwrap();
+                    }
+                }
+            }
+        });
+    }
+
+    /// Inactive members report `Done` (the null-status convention) and
+    /// collective members mix freely with p2p members.
+    #[test]
+    fn set_wait_all_mixed_members() {
+        Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            let mut set = PersistentSet::new();
+            set.push(comm.send_init(&[comm.rank() as u8], peer, 4).unwrap());
+            set.push(comm.recv_init(peer, 4).unwrap());
+            set.push(comm.allgather_init(&[comm.rank() as u64]).unwrap());
+            // A member never started stays Done.
+            set.push(comm.send_init(&[9u8], peer, 5).unwrap());
+            for _ in 0..3 {
+                start_all(&mut set.requests_mut()[..3]).unwrap();
+                let mut done = set.wait_all().unwrap();
+                assert!(matches!(done[3], Completion::Done));
+                let blocks = done.swap_remove(2).into_blocks().unwrap();
+                assert_eq!(
+                    crate::plain::bytes_to_vec::<u64>(&blocks[peer]),
+                    vec![peer as u64]
+                );
+                let (v, _) = done.swap_remove(1).into_vec::<u8>().unwrap();
+                assert_eq!(v, vec![peer as u8]);
+            }
+        });
     }
 
     #[test]

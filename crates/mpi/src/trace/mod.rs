@@ -287,6 +287,24 @@ impl TraceData {
     }
 }
 
+/// One rank's live-snapshot mailbox (see
+/// [`Universe::trace_snapshot`](crate::Universe::trace_snapshot)). The
+/// rings are `thread_local!`, so a running rank's trace can only be
+/// read by the rank itself: a snapshot request bumps a global
+/// generation, and each rank *publishes* a copy of its ring here the
+/// next time it records an event (or wakes from a park). The cost on
+/// the record path is one relaxed load and compare — the zero-overhead
+/// budget is preserved.
+#[derive(Default)]
+pub(crate) struct SnapshotSlot {
+    /// Latest snapshot generation this rank has published
+    /// (`u64::MAX` once the rank thread has exited and its final
+    /// trace is in place).
+    pub(crate) gen: std::sync::atomic::AtomicU64,
+    /// The published trace (a clone of the live ring at publish time).
+    pub(crate) data: parking_lot::Mutex<RankTrace>,
+}
+
 /// Formats a nanosecond duration for the text profile.
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
@@ -307,10 +325,16 @@ mod imp {
     use std::sync::OnceLock;
     use std::time::Instant;
 
-    use super::{cat, Event, LatencyHist, RankTrace, TraceStats};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    use super::{cat, Event, LatencyHist, RankTrace, SnapshotSlot, TraceStats};
 
     static ENABLED: AtomicBool = AtomicBool::new(true);
     static RING_CAP: AtomicUsize = AtomicUsize::new(1 << 16);
+    /// Live-snapshot generation: bumped by [`request_snapshot`]; each
+    /// recording thread publishes its ring when it notices the bump.
+    static SNAP_GEN: AtomicU64 = AtomicU64::new(0);
 
     /// Raw-timestamp calibration: one `(Instant, raw)` pair taken at
     /// first use; the raw→ns scale is fixed at first conversion, over
@@ -378,6 +402,11 @@ mod imp {
         /// Span durations in raw ticks (converted at collection).
         spans: [LatencyHist; cat::N_SPAN],
         queue_depth: LatencyHist,
+        /// Last snapshot generation this thread has published.
+        seen_gen: u64,
+        /// Where to publish live snapshots (set by the universe for
+        /// rank threads; `None` for plain threads).
+        slot: Option<Arc<SnapshotSlot>>,
     }
 
     impl ThreadTrace {
@@ -390,6 +419,8 @@ mod imp {
                 events: 0,
                 spans: Default::default(),
                 queue_depth: LatencyHist::default(),
+                seen_gen: 0,
+                slot: None,
             }
         }
 
@@ -407,6 +438,58 @@ mod imp {
                 self.dropped += 1;
             } else {
                 self.dropped += 1;
+            }
+            // Live-snapshot hook: one relaxed load per event keeps the
+            // zero-overhead budget; the publish itself is off this path.
+            let gen = SNAP_GEN.load(Ordering::Relaxed);
+            if gen != self.seen_gen {
+                self.publish(gen);
+            }
+        }
+
+        /// Copies the ring (oldest first) and aggregates out of the
+        /// thread, converting raw ticks to wall nanoseconds.
+        fn to_rank_trace(&self) -> RankTrace {
+            let scale = ns_per_raw();
+            let to_ns = |ticks: u64| (ticks as f64 * scale) as u64;
+            let n = self.buf.len();
+            let mut events = Vec::with_capacity(n);
+            for i in 0..n {
+                let e = self.buf[(self.head + i) % n];
+                let start = to_ns(e.ts_ns);
+                // Convert the *end* point, not the duration: monotone
+                // conversion of both endpoints preserves span nesting
+                // exactly through rounding.
+                let end = to_ns(e.ts_ns + e.dur_ns);
+                events.push(Event {
+                    ts_ns: start,
+                    dur_ns: end - start,
+                    ..e
+                });
+            }
+            let mut spans: [LatencyHist; cat::N_SPAN] = Default::default();
+            for (out, h) in spans.iter_mut().zip(&self.spans) {
+                *out = hist_ticks_to_ns(h, scale);
+            }
+            RankTrace {
+                events,
+                stats: TraceStats {
+                    events: self.events,
+                    dropped: self.dropped,
+                    spans,
+                    queue_depth: self.queue_depth,
+                },
+            }
+        }
+
+        /// Publishes a copy of the live ring to this rank's snapshot
+        /// slot (no-op for unregistered threads) and marks `gen` seen.
+        #[cold]
+        fn publish(&mut self, gen: u64) {
+            self.seen_gen = gen;
+            if let Some(slot) = self.slot.clone() {
+                *slot.data.lock() = self.to_rank_trace();
+                slot.gen.store(gen, Ordering::Release);
             }
         }
     }
@@ -584,36 +667,41 @@ mod imp {
     /// thread exits.
     pub fn take_thread() -> RankTrace {
         let raw = TT.with(|t| std::mem::replace(&mut *t.borrow_mut(), ThreadTrace::new()));
-        let scale = ns_per_raw();
-        let to_ns = |ticks: u64| (ticks as f64 * scale) as u64;
-        let n = raw.buf.len();
-        let mut events = Vec::with_capacity(n);
-        for i in 0..n {
-            let e = raw.buf[(raw.head + i) % n];
-            let start = to_ns(e.ts_ns);
-            // Convert the *end* point, not the duration: monotone
-            // conversion of both endpoints preserves span nesting
-            // exactly through rounding.
-            let end = to_ns(e.ts_ns + e.dur_ns);
-            events.push(Event {
-                ts_ns: start,
-                dur_ns: end - start,
-                ..e
-            });
-        }
-        let mut spans: [LatencyHist; cat::N_SPAN] = Default::default();
-        for (out, h) in spans.iter_mut().zip(&raw.spans) {
-            *out = hist_ticks_to_ns(h, scale);
-        }
-        RankTrace {
-            events,
-            stats: TraceStats {
-                events: raw.events,
-                dropped: raw.dropped,
-                spans,
-                queue_depth: raw.queue_depth,
-            },
-        }
+        raw.to_rank_trace()
+    }
+
+    /// Registers the calling thread's live-snapshot slot (the universe
+    /// calls this as each rank thread starts).
+    pub fn register_snapshot_slot(slot: Arc<SnapshotSlot>) {
+        TT.with(|t| t.borrow_mut().slot = Some(slot));
+    }
+
+    /// Asks every recording thread to publish its ring; returns the
+    /// generation to poll slots for.
+    pub fn request_snapshot() -> u64 {
+        SNAP_GEN.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Park-loop hook: publishes the calling thread's ring if a
+    /// snapshot was requested since it last published. Called on
+    /// epoch-bump wakeups that record no event of their own, so a rank
+    /// blocked in a bare `recv` still answers a snapshot request.
+    #[inline]
+    pub fn poll_publish() {
+        let gen = SNAP_GEN.load(Ordering::Relaxed);
+        TT.with(|t| {
+            let mut t = t.borrow_mut();
+            if gen != t.seen_gen {
+                t.publish(gen);
+            }
+        });
+    }
+
+    /// Unconditionally publishes the calling thread's ring at the
+    /// current generation (the snapshotting rank serves itself).
+    pub fn publish_now() {
+        let gen = SNAP_GEN.load(Ordering::SeqCst);
+        TT.with(|t| t.borrow_mut().publish(gen));
     }
 
     /// Rescales a tick-valued histogram to nanoseconds by re-recording
@@ -693,12 +781,28 @@ mod imp {
     pub fn take_thread() -> RankTrace {
         RankTrace::default()
     }
+
+    /// No-op without the `trace` feature.
+    pub fn register_snapshot_slot(_slot: std::sync::Arc<super::SnapshotSlot>) {}
+
+    /// Always 0 without the `trace` feature (nothing to poll for).
+    pub fn request_snapshot() -> u64 {
+        0
+    }
+
+    /// No-op without the `trace` feature.
+    #[inline]
+    pub fn poll_publish() {}
+
+    /// No-op without the `trace` feature.
+    pub fn publish_now() {}
 }
 
 pub use imp::{
     async_begin, async_end, enabled, instant, next_async_id, set_enabled, set_ring_capacity, span,
     take_thread, umq_enqueue, SpanGuard,
 };
+pub(crate) use imp::{poll_publish, publish_now, register_snapshot_slot, request_snapshot};
 
 #[cfg(test)]
 mod tests {

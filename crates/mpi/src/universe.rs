@@ -71,6 +71,9 @@ pub struct WorldState {
     /// (the thread-local rings die with the thread). Empty without the
     /// `trace` feature.
     pub(crate) traces: Vec<Mutex<trace::RankTrace>>,
+    /// Live-snapshot slots each running rank publishes its ring into
+    /// on request (see [`Universe::trace_snapshot`]).
+    pub(crate) snap_slots: Vec<Arc<trace::SnapshotSlot>>,
     pub(crate) agreements: AgreementTable,
 }
 
@@ -93,6 +96,7 @@ impl WorldState {
             traces: (0..config.size)
                 .map(|_| Mutex::new(trace::RankTrace::default()))
                 .collect(),
+            snap_slots: (0..config.size).map(|_| Arc::default()).collect(),
             agreements: AgreementTable::new(),
         })
     }
@@ -246,13 +250,21 @@ impl Universe {
                         .name(format!("rank-{rank}"))
                         .stack_size(config.stack_size)
                         .spawn_scoped(scope, move || {
+                            trace::register_snapshot_slot(Arc::clone(&world.snap_slots[rank]));
                             let comm = Comm::world(world.clone(), rank);
                             let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
                             // Preserve the rank's copy counters and trace
                             // before the thread (and its thread-locals)
                             // exits.
                             *world.copy_stats[rank].lock() = metrics::snapshot();
-                            *world.traces[rank].lock() = trace::take_thread();
+                            let t = trace::take_thread();
+                            // Exited ranks answer every future snapshot
+                            // with their final trace.
+                            *world.snap_slots[rank].data.lock() = t.clone();
+                            world.snap_slots[rank]
+                                .gen
+                                .store(u64::MAX, Ordering::Release);
+                            *world.traces[rank].lock() = t;
                             match result {
                                 Ok(r) => RankOutcome::Completed(r),
                                 Err(payload) => {
@@ -324,6 +336,51 @@ impl Universe {
     /// feature.
     pub fn trace_report(world: &WorldState) -> String {
         Self::collect_trace(world).report()
+    }
+
+    /// Snapshots every rank's trace ring **while the universe is still
+    /// running** — no thread exit required (callable from a rank
+    /// thread via [`Comm::trace_snapshot`](crate::Comm::trace_snapshot)
+    /// or from any observer holding the world).
+    ///
+    /// The rings are thread-local, so the snapshot is cooperative:
+    /// this bumps a global generation and interrupts parked ranks;
+    /// each rank publishes a copy of its ring the next time it records
+    /// an event or wakes from a park (one relaxed load on the record
+    /// path — the tracing stays zero-overhead). Ranks that have
+    /// already exited answer with their final trace. A rank stuck in
+    /// pure computation cannot publish; after a bounded wait its slot's
+    /// last published trace (possibly empty) is returned rather than
+    /// blocking the observer. Without the `trace` feature the result
+    /// is empty but well-formed.
+    pub fn trace_snapshot(world: &WorldState) -> TraceData {
+        let gen = trace::request_snapshot();
+        // The calling thread serves itself (it may be a rank mid-run).
+        trace::publish_now();
+        if trace::COMPILED {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            loop {
+                // Wake parked ranks; each wakeup path either records a
+                // spurious-wakeup event or polls the publish hook.
+                world.interrupt_all();
+                let pending = world
+                    .snap_slots
+                    .iter()
+                    .enumerate()
+                    .any(|(r, s)| !world.is_failed(r) && s.gen.load(Ordering::Acquire) < gen);
+                if !pending || std::time::Instant::now() > deadline {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        TraceData {
+            ranks: world
+                .snap_slots
+                .iter()
+                .map(|s| s.data.lock().clone())
+                .collect(),
+        }
     }
 }
 
@@ -455,6 +512,58 @@ mod tests {
             stats[1].mailbox
         );
         assert_eq!(stats[1].mailbox.queued, 0, "everything was drained");
+    }
+
+    /// A snapshot taken while ranks are alive — one of them parked in
+    /// a blocking receive whose message arrives only *after* the
+    /// snapshot — collects every ring and exports a valid Chrome
+    /// trace, without any thread exiting.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_snapshot_collects_running_ranks() {
+        Universe::run(3, |comm| {
+            comm.barrier().unwrap();
+            if comm.rank() == 0 {
+                let snap = comm.trace_snapshot();
+                assert_eq!(snap.ranks.len(), 3);
+                for (r, rt) in snap.ranks.iter().enumerate() {
+                    assert!(
+                        rt.stats.events > 0,
+                        "rank {r} ran a barrier; its published ring must not be empty"
+                    );
+                }
+                let summary = trace::export::validate_chrome(&snap.to_chrome_json())
+                    .expect("snapshot must export a valid Chrome trace");
+                assert!(summary.pids.len() == 3 && summary.spans + summary.instants > 0);
+                // Release the parked peers only after the snapshot: the
+                // collection provably did not depend on rank exit.
+                for peer in 1..comm.size() {
+                    comm.send(&[1u8], peer, 42).unwrap();
+                }
+            } else {
+                // Parks in a bare recv until after the snapshot is done.
+                let (v, _) = comm.recv_vec::<u8>(0, 42).unwrap();
+                assert_eq!(v, vec![1]);
+            }
+        });
+    }
+
+    /// Exited ranks answer later snapshots with their final trace.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_snapshot_after_exit_returns_final_traces() {
+        let world = WorldState::new(&Config::new(2));
+        let config = Config::new(2);
+        let out = Universe::run_on(&config, &world, |comm| {
+            comm.barrier().unwrap();
+            comm.rank()
+        });
+        assert_eq!(out.len(), 2);
+        let snap = Universe::trace_snapshot(&world);
+        for rt in &snap.ranks {
+            assert!(rt.stats.events > 0);
+        }
+        assert_eq!(snap.ranks, Universe::collect_trace(&world).ranks);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! for plain data, collective results against sequential oracles, and
 //! message-ordering invariants under randomized payloads.
 
-use kmp_mpi::{op, plain, plain_struct, Universe};
+use kmp_mpi::{op, plain, plain_struct, NeighborhoodColl, Rank, Universe};
 use proptest::prelude::*;
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,6 +26,157 @@ fn cell_strategy() -> impl Strategy<Value = Cell> {
         c,
         d,
     })
+}
+
+/// Exclusive prefix sum — displacements for a counted exchange.
+fn displs(counts: &[usize]) -> Vec<usize> {
+    let mut d = Vec::with_capacity(counts.len());
+    let mut acc = 0;
+    for &c in counts {
+        d.push(acc);
+        acc += c;
+    }
+    d
+}
+
+/// Deterministic payload for the `(u, v)` edge, so the sparse and dense
+/// sides can construct identical send blocks independently.
+fn edge_block(u: Rank, v: Rank, n: usize) -> Vec<u64> {
+    (0..n).map(|i| (u * 289 + v * 17 + i) as u64).collect()
+}
+
+/// A random directed graph on `p` ranks (adjacency matrix, row-major)
+/// plus a random element count per ordered pair, `p ∈ 1..17`.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<bool>, Vec<usize>)> {
+    (1usize..17).prop_flat_map(|p| {
+        (
+            Just(p),
+            prop::collection::vec(any::<bool>(), p * p..p * p + 1),
+            prop::collection::vec(0usize..4, p * p..p * p + 1),
+        )
+    })
+}
+
+/// Random cart grids with `p = Π dims ∈ 1..17`. Periodic wraparound on
+/// extents < 3 lists the same neighbor twice (one block per occurrence),
+/// which a dense alltoallv cannot express — keep those dims open.
+fn cart_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<bool>, Vec<usize>)> {
+    prop::collection::vec((1usize..5, any::<bool>()), 1..3).prop_flat_map(|spec| {
+        let dims: Vec<usize> = spec.iter().map(|&(d, _)| d).collect();
+        let periods: Vec<bool> = spec.iter().map(|&(d, w)| w && d >= 3).collect();
+        let p: usize = dims.iter().product();
+        (
+            Just(dims),
+            Just(periods),
+            prop::collection::vec(0usize..4, p * p..p * p + 1),
+        )
+    })
+}
+
+/// Runs both sides on one rank and checks them block-by-block: the
+/// sparse exchange over the topology's neighbor lists must deliver
+/// exactly what a dense alltoallv with zeroed non-neighbor counts does.
+/// `in_edge(u)` says whether rank `u` sends to this rank.
+fn assert_sparse_matches_masked_dense<N: NeighborhoodColl>(
+    comm: &kmp_mpi::Comm,
+    topo: &N,
+    p: usize,
+    cnt: &[usize],
+    in_edge: impl Fn(Rank) -> bool,
+) {
+    let r = comm.rank();
+    // Sparse side: blocks in neighbor declaration order.
+    let sc: Vec<usize> = topo
+        .destinations()
+        .iter()
+        .map(|&d| cnt[r * p + d])
+        .collect();
+    let sd = displs(&sc);
+    let send: Vec<u64> = topo
+        .destinations()
+        .iter()
+        .flat_map(|&d| edge_block(r, d, cnt[r * p + d]))
+        .collect();
+    let rc: Vec<usize> = topo.sources().iter().map(|&u| cnt[u * p + r]).collect();
+    let rd = displs(&rc);
+    let mut sparse = vec![0u64; rc.iter().sum()];
+    topo.neighbor_alltoallv_into(&send, &sc, &sd, &mut sparse, &rc, &rd)
+        .unwrap();
+
+    // Dense side: one block per rank, zero for non-neighbors.
+    let out_degree = topo.destinations().len();
+    let dsc: Vec<usize> = (0..p)
+        .map(|v| {
+            if topo.destinations().contains(&v) {
+                cnt[r * p + v]
+            } else {
+                0
+            }
+        })
+        .collect();
+    let dsd = displs(&dsc);
+    let dense_send: Vec<u64> = (0..p).flat_map(|v| edge_block(r, v, dsc[v])).collect();
+    let drc: Vec<usize> = (0..p)
+        .map(|u| if in_edge(u) { cnt[u * p + r] } else { 0 })
+        .collect();
+    let drd = displs(&drc);
+    let mut dense = vec![0u64; drc.iter().sum()];
+    comm.alltoallv_into(&dense_send, &dsc, &dsd, &mut dense, &drc, &drd)
+        .unwrap();
+
+    assert_eq!(
+        rc.iter().sum::<usize>(),
+        drc.iter().sum::<usize>(),
+        "rank {r}: sparse and masked-dense receive volumes differ"
+    );
+    assert_eq!(out_degree, topo.destinations().len());
+    for (j, &u) in topo.sources().iter().enumerate() {
+        assert_eq!(
+            &sparse[rd[j]..rd[j] + rc[j]],
+            &dense[drd[u]..drd[u] + drc[u]],
+            "rank {r}: block from source {u} diverges"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn neighbor_alltoallv_matches_masked_dense_on_dist_graph(
+        (p, adj, cnt) in graph_strategy()
+    ) {
+        // The general constructor: every rank contributes the full edge
+        // list; redistribution must hand each rank its own neighbors.
+        let edges: Vec<(Rank, Rank)> = (0..p * p)
+            .filter(|&e| adj[e])
+            .map(|e| (e / p, e % p))
+            .collect();
+        let edges = &edges;
+        let adj = &adj;
+        let cnt = &cnt;
+        Universe::run(p, move |comm| {
+            let g = comm.create_dist_graph(edges).unwrap();
+            let r = comm.rank();
+            assert_sparse_matches_masked_dense(&comm, &g, p, cnt, |u| adj[u * p + r]);
+        });
+    }
+
+    #[test]
+    fn neighbor_alltoallv_matches_masked_dense_on_cart(
+        (dims, periods, cnt) in cart_strategy()
+    ) {
+        let p: usize = dims.iter().product();
+        let dims = &dims;
+        let periods = &periods;
+        let cnt = &cnt;
+        Universe::run(p, move |comm| {
+            let cart = comm.create_cart(dims, periods, false).unwrap();
+            // Symmetric grid: u sends to us iff we send to u.
+            let dests = kmp_mpi::Neighborhood::destinations(&cart).to_vec();
+            assert_sparse_matches_masked_dense(&comm, &cart, p, cnt, |u| dests.contains(&u));
+        });
+    }
 }
 
 proptest! {

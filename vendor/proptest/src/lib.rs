@@ -28,6 +28,15 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Derives a second-stage strategy from each generated value
+        /// (dependent generation: e.g. a size, then data of that size).
+        fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
         /// Type-erases the strategy (cheaply cloneable).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -86,6 +95,19 @@ pub mod strategy {
         type Value = O;
         fn generate(&self, rng: &mut StdRng) -> O {
             (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// [`Strategy::prop_flat_map`] adapter.
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
         }
     }
 
