@@ -473,6 +473,95 @@ fn neighbor_exchange(
     Ok(frontier)
 }
 
+/// Fault-tolerant BFS: survives rank crashes mid-traversal by
+/// shrink-and-continue (the ULFM recovery pattern of
+/// [`kmp_mpi::ulfm`]).
+///
+/// The graph partition is a function of the membership — `generate(rank,
+/// size)` builds this rank's partition for the *current* communicator —
+/// because vertex ownership must be re-balanced over the survivors after
+/// a failure. Each level runs as one fault-tolerant step: attempt the
+/// termination check + expansion + dense exchange, **revoke on local
+/// error**, then `agree_and` on success. On disagreement every survivor
+/// shrinks and the traversal restarts from the source on the
+/// re-partitioned graph (distances are membership-relative state, so a
+/// level-granular checkpoint would be meaningless across a
+/// re-partition). `on_level` is a per-level hook — the seam where tests
+/// and the `fault_experiment` bench inject crashes
+/// ([`Comm::fail_here`](kmp_mpi::Comm::fail_here) simply unwinds out of
+/// it).
+///
+/// Returns this rank's distances for its *final* partition plus the
+/// final (possibly shrunken) communicator, so the caller can stitch the
+/// global result by the surviving membership.
+pub fn bfs_ft(
+    comm: Comm,
+    source: VId,
+    generate: impl Fn(usize, usize) -> DistGraph,
+    mut on_level: impl FnMut(u64, &Comm),
+) -> Result<(Vec<u64>, Comm)> {
+    let mut active = comm;
+    'restart: loop {
+        let p = active.size();
+        let g = generate(active.rank(), p);
+        let mut dist = vec![UNDEF; g.local_n()];
+        let mut frontier: Vec<VId> = Vec::new();
+        if g.is_local(source) {
+            frontier.push(source);
+        }
+        let mut level = 0u64;
+        loop {
+            // One fault-tolerant step: `None` means globally done.
+            let r: Result<Option<Vec<VId>>> = (|| {
+                on_level(level, &active);
+                let empty = [u8::from(frontier.is_empty())];
+                let mut all_empty = [0u8];
+                active.allreduce_into(&empty, &mut all_empty, kmp_mpi::op::LogicalAnd)?;
+                if all_empty[0] != 0 {
+                    return Ok(None);
+                }
+                let next = expand_frontier(&g, &frontier, &mut dist, level);
+                let mut scounts = vec![0usize; p];
+                let mut data: Vec<VId> = Vec::new();
+                for (rank, count) in scounts.iter_mut().enumerate() {
+                    if let Some(msgs) = next.get(&rank) {
+                        *count = msgs.len();
+                        data.extend_from_slice(msgs);
+                    }
+                }
+                let sdispls = kmp_mpi::collectives::displacements_from_counts(&scounts);
+                let mut rcounts = vec![0usize; p];
+                active.alltoall_into(&scounts, &mut rcounts)?;
+                let rdispls = kmp_mpi::collectives::displacements_from_counts(&rcounts);
+                let mut recv = vec![0u64; rcounts.iter().sum()];
+                active.alltoallv_into(&data, &scounts, &sdispls, &mut recv, &rcounts, &rdispls)?;
+                Ok(Some(recv))
+            })();
+            // Canonical recovery: revoke on local error (a peer may be
+            // parked on a live rank that errored — only revocation
+            // reaches it), then agree; shrink together on disagreement.
+            if r.is_err() && !active.is_revoked() {
+                active.revoke();
+            }
+            if active.agree_and(r.is_ok()).unwrap_or(false) {
+                match r.expect("agreed ok") {
+                    None => return Ok((dist, active)),
+                    Some(next) => {
+                        frontier = next;
+                        level += 1;
+                    }
+                }
+            } else {
+                if !active.is_revoked() {
+                    active.revoke();
+                }
+                active = active.shrink()?;
+                continue 'restart;
+            }
+        }
+    }
+}
+
 /// Sequential reference BFS over the assembled global graph (for tests).
 pub fn bfs_sequential(parts: &[DistGraph], source: VId) -> Vec<u64> {
     let n = parts[0].global_n;
@@ -618,6 +707,64 @@ mod tests {
                 assert_eq!(got, reference, "exchange {ex:?} diverged");
             }
         }
+    }
+
+    #[test]
+    fn ft_bfs_survives_crash_at_level_two() {
+        let p = 4;
+        // After the crash the survivors re-partition over 3 ranks, so
+        // the oracle is the sequential BFS of the 3-way partitioning.
+        let parts3: Vec<DistGraph> = (0..3).map(|r| gnm(120, 480, 17, r, 3)).collect();
+        let reference = bfs_sequential(&parts3, 0);
+        let out = kmp_mpi::Universe::run_with(kmp_mpi::Config::new(p), |comm| {
+            let (dist, active) = bfs_ft(
+                comm,
+                0,
+                |rank, size| gnm(120, 480, 17, rank, size),
+                |level, c| {
+                    if level == 2 && c.size() == 4 && c.rank() == 3 {
+                        c.fail_here();
+                    }
+                },
+            )
+            .unwrap();
+            (dist, active.rank(), active.size())
+        });
+        assert!(
+            matches!(out[3], kmp_mpi::RankOutcome::Failed),
+            "{:?}",
+            out[3]
+        );
+        let mut got = vec![UNDEF; reference.len()];
+        for (world_rank, o) in out.into_iter().enumerate() {
+            if world_rank == 3 {
+                continue;
+            }
+            match o {
+                kmp_mpi::RankOutcome::Completed((dist, new_rank, new_size)) => {
+                    assert_eq!(new_size, 3, "survivor {world_rank}");
+                    let lo = parts3[new_rank].vertex_ranges[new_rank];
+                    got[lo..lo + dist.len()].copy_from_slice(&dist);
+                }
+                o => panic!("survivor {world_rank} did not complete: {o:?}"),
+            }
+        }
+        assert_eq!(got, reference, "survivors diverged from the oracle");
+    }
+
+    #[test]
+    fn ft_bfs_fault_free_matches_sequential() {
+        check_bfs(gnm_parts(4), |g, comm| {
+            let _ = g;
+            bfs_ft(
+                comm,
+                0,
+                |rank, size| gnm(120, 480, 17, rank, size),
+                |_, _| {},
+            )
+            .unwrap()
+            .0
+        });
     }
 
     #[test]

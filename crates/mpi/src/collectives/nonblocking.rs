@@ -114,6 +114,9 @@ struct RecvFromEach {
 /// targeted per-waiter wakeup, so drain loops stay cheap even when
 /// other collectives' traffic is piled up at the rank.
 pub(crate) fn recv_one(comm: &Comm, src: Rank, tag: Tag, block: bool) -> Result<Option<Bytes>> {
+    // Every collective engine phase funnels through here, so a planned
+    // crash can land inside any algorithm round (e.g. mid-Rabenseifner).
+    crate::fault::point("coll/phase");
     if block {
         let env = comm.recv_envelope(Src::Rank(src), TagSel::Is(tag))?;
         return Ok(Some(env.payload));

@@ -16,6 +16,7 @@ use crate::clock::Clock;
 use crate::collectives::CollTuning;
 use crate::counter::CallCounts;
 use crate::error::{MpiError, Result};
+use crate::fault;
 use crate::message::{AckSlot, Envelope, Src, Status, TagSel};
 use crate::trace;
 use crate::universe::WorldState;
@@ -34,6 +35,14 @@ pub struct Comm {
     pub(crate) clock: Rc<RefCell<Clock>>,
     /// Sequence number for internal (collective) tags.
     coll_seq: Cell<u64>,
+    /// Sequence number for ULFM agreement instances. Kept separate from
+    /// `coll_seq` on purpose: a collective allocates internal tags
+    /// incrementally, so a mid-collective failure can leave survivors
+    /// with *diverged* tag counters (a rank erroring in an early phase
+    /// allocated fewer than one erroring later). Agreements are keyed
+    /// per agree/shrink *call*, which the ULFM contract does keep
+    /// collective — aligned across survivors whatever the crash point.
+    agree_seq: Cell<i32>,
     /// Collective algorithm tuning policy (see [`crate::collectives::algos`]).
     tuning: Cell<CollTuning>,
 }
@@ -51,6 +60,7 @@ impl Comm {
             context: 0,
             clock: Rc::new(RefCell::new(Clock::new(cost))),
             coll_seq: Cell::new(0),
+            agree_seq: Cell::new(0),
             tuning: Cell::new(CollTuning::default()),
         }
     }
@@ -63,6 +73,7 @@ impl Comm {
             context,
             clock: Rc::clone(&self.clock),
             coll_seq: Cell::new(0),
+            agree_seq: Cell::new(0),
             // Derived communicators inherit the parent's tuning, like
             // MPI info hints.
             tuning: Cell::new(self.tuning.get()),
@@ -217,6 +228,14 @@ impl Comm {
         -1 - ((seq % (i32::MAX as u64 - 1)) as i32)
     }
 
+    /// Next agreement-instance number on this communicator (see the
+    /// `agree_seq` field for why this is not `next_internal_tag`).
+    pub(crate) fn next_agree_seq(&self) -> i32 {
+        let seq = self.agree_seq.get();
+        self.agree_seq.set(seq.wrapping_add(1));
+        seq
+    }
+
     /// Core send: stamps the virtual clock, wraps the payload in an
     /// envelope and pushes it to the destination mailbox. Sending to a
     /// failed rank succeeds (as a buffered MPI send may).
@@ -237,7 +256,7 @@ impl Comm {
             clock.absorb_cpu();
             clock.on_send(payload.len())
         };
-        self.world.mailboxes[dest_world].push(Envelope {
+        let env = Envelope {
             src: self.rank,
             src_world: self.world_rank(),
             context: self.context,
@@ -245,6 +264,11 @@ impl Comm {
             payload,
             arrival_ns,
             ack,
+        };
+        // The message-fault interception boundary: a planned rule may
+        // drop, delay, or duplicate the envelope here.
+        fault::deliver(&self.world, dest_world, env, |e| {
+            self.world.mailboxes[dest_world].push(e)
         });
         Ok(())
     }

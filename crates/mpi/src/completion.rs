@@ -222,6 +222,7 @@ pub fn park_any(requests: &[&Request<'_>], seen_epoch: u64) -> ParkOutcome {
     let Some(first) = requests.first() else {
         return ParkOutcome::Interrupted;
     };
+    crate::fault::point("completion/register");
     let mb = first.comm().mailbox();
     let waiter = fresh_waiter();
     mb.watch(&waiter);
@@ -265,6 +266,7 @@ pub fn park_any(requests: &[&Request<'_>], seen_epoch: u64) -> ParkOutcome {
     let outcome = match immediate {
         Some(o) => o,
         None => {
+            crate::fault::point("completion/park");
             let _sp = trace::span(trace::cat::PARK, "park_any", requests.len() as u64, 0);
             let mut st = waiter.state.lock();
             loop {
@@ -345,6 +347,7 @@ pub(crate) fn teardown_session(requests: &[Request<'_>], session: &mut Option<Pa
 /// (leaving the set untouched) otherwise. Must run right after a sweep
 /// that found nothing ready, with the epoch captured before that sweep.
 fn build_session(set: &mut RequestSet<'_>, seen_epoch: u64) -> bool {
+    crate::fault::point("completion/register");
     if set.requests.is_empty() || !set.requests.iter().all(|r| r.recv_selectors().is_some()) {
         return false;
     }
@@ -421,6 +424,7 @@ impl PoolSession {
     /// [`park_any`]. Ids must be distinct; they come back out of
     /// [`next_signalled`](PoolSession::next_signalled).
     pub fn build(entries: &[(usize, &Request<'_>)], seen_epoch: u64) -> Option<PoolSession> {
+        crate::fault::point("completion/register");
         let (_, first) = entries.first()?;
         if !entries.iter().all(|(_, r)| r.recv_selectors().is_some()) {
             return None;
@@ -476,6 +480,7 @@ impl PoolSession {
                 }
                 continue;
             }
+            crate::fault::point("completion/claim");
             let mut st = self.waiter.state.lock();
             if st.claimed {
                 st.claimed = false;
@@ -485,6 +490,7 @@ impl PoolSession {
                 self.pending.extend(st.missed.drain(..));
                 continue;
             }
+            crate::fault::point("completion/park");
             mb.watch(&self.waiter);
             let interrupted = {
                 let _sp = trace::span(trace::cat::PARK, "park_pool", self.live.len() as u64, 0);
@@ -584,6 +590,7 @@ fn session_step(set: &mut RequestSet<'_>) -> Result<SessionStep> {
         .expect("session implies pending requests")
         .comm()
         .mailbox();
+    crate::fault::point("completion/claim");
     let mut st = sess.waiter.state.lock();
     if st.claimed {
         st.claimed = false;
@@ -593,6 +600,7 @@ fn session_step(set: &mut RequestSet<'_>) -> Result<SessionStep> {
         sess.pending.extend(st.missed.drain(..));
         return Ok(SessionStep::Continue);
     }
+    crate::fault::point("completion/park");
     mb.watch(&sess.waiter);
     let interrupted = {
         let _sp = trace::span(trace::cat::PARK, "park_session", sess.ids.len() as u64, 0);

@@ -25,8 +25,14 @@
 //! - A LogP-style **virtual clock** ([`clock`]) used by the scaling
 //!   benchmarks: local compute is measured thread-CPU time, each message
 //!   costs `alpha + beta * bytes`.
-//! - Failure injection and the ULFM operations (revoke / shrink / agree)
-//!   that back the fault-tolerance plugin ([`ulfm`]).
+//! - The ULFM operations (revoke / shrink / agree) that back the
+//!   fault-tolerance plugin, with the no-survivor-hangs design note in
+//!   [`ulfm`], and a deterministic **fault-injection plane** ([`fault`],
+//!   feature `fault`, default off and compiled to no-op ZSTs): seeded
+//!   [`FaultPlan`]s crash a rank at its k-th injection point — inside a
+//!   collective phase, a matching wait, or an agreement — or
+//!   drop/delay/duplicate matching messages, driven by
+//!   [`Universe::run_with_faults`] and the chaos suite.
 //! - A PMPI-style call counter ([`Comm::call_counts`]) used by the binding
 //!   tests to assert that *only* the expected MPI calls are issued.
 //!
@@ -50,6 +56,7 @@ pub mod comm;
 pub mod completion;
 pub mod counter;
 pub mod error;
+pub mod fault;
 pub mod mailbox;
 pub mod message;
 pub mod metrics;
@@ -75,6 +82,7 @@ pub use comm::{Comm, TuningGuard};
 pub use completion::{park_any, park_epoch, ParkOutcome, PoolSession, PoolStep};
 pub use counter::CallCounts;
 pub use error::{MpiError, Result};
+pub use fault::{FaultPlan, MsgAction, MsgRule};
 pub use mailbox::MailboxStats;
 pub use message::{Src, Status, TagSel, ANY_SOURCE, ANY_TAG};
 pub use metrics::CopyStats;

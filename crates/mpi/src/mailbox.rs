@@ -420,6 +420,7 @@ impl Mailbox {
     /// posted, indexes it into the unexpected-message queue. Matching
     /// blocking probes observe the envelope's status on the way.
     pub fn push(&self, env: Envelope) {
+        crate::fault::point("mailbox/push");
         self.envelopes.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard(env.context);
         let mut st = shard.state.lock();
@@ -764,6 +765,7 @@ impl Mailbox {
         tag: TagSel,
         mut interrupted: impl FnMut() -> Option<MpiError>,
     ) -> Result<Envelope> {
+        crate::fault::point("mailbox/match");
         let shard = self.shard(context);
         // The epoch must be captured before the interruption check: an
         // interrupt bumps the epoch before waking, so a condition raised
@@ -940,6 +942,32 @@ impl Mailbox {
         let leftover: usize = shard.state.lock().umq.values().map(|q| q.len()).sum();
         if leftover > 0 {
             self.queued.fetch_sub(leftover, Ordering::Relaxed);
+        }
+    }
+
+    /// Releases everything a **dead** rank's engine holds: every derived-
+    /// context shard, plus the world shard's queues and registrations.
+    /// Called by the survivors of [`Comm::shrink`](crate::Comm::shrink)
+    /// — buffered sends to a failed rank succeed by design, so its
+    /// unexpected queues would otherwise pin payload memory for the rest
+    /// of the run. Idempotent and safe to race: the owner thread is gone,
+    /// so nothing is parked on the dropped waiters, and a straggler push
+    /// at worst re-creates an empty shard.
+    pub(crate) fn purge(&self) {
+        let contexts: Vec<u64> = self.shards.read().keys().copied().collect();
+        for c in contexts {
+            self.remove_shard(c);
+        }
+        let drained: usize = {
+            let mut st = self.world_shard.state.lock();
+            let n = st.umq.values().map(|q| q.len()).sum();
+            st.umq.clear();
+            st.posted.clear();
+            st.standing_idx.clear();
+            n
+        };
+        if drained > 0 {
+            self.queued.fetch_sub(drained, Ordering::Relaxed);
         }
     }
 

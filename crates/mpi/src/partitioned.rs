@@ -198,6 +198,7 @@ impl<T: Plain> PartitionWriter<T> {
     /// them too.
     pub fn pready(&self, partition: usize, data: &[T]) -> Result<()> {
         self.world.counters[self.src_world].lock().inc("pready");
+        crate::fault::point("partitioned/pready");
         let err = self.check(partition, data);
         let mut st = self.shared.state.lock();
         if let Err(e) = err {
@@ -225,7 +226,7 @@ impl<T: Plain> PartitionWriter<T> {
         let mut payload = Vec::with_capacity(4 + self.part_bytes);
         payload.extend_from_slice(&(partition as u32).to_le_bytes());
         payload.extend_from_slice(as_bytes(data));
-        self.world.mailboxes[self.dest_world].push(Envelope {
+        let env = Envelope {
             src: self.src,
             src_world: self.src_world,
             context: self.context,
@@ -236,6 +237,9 @@ impl<T: Plain> PartitionWriter<T> {
             // construction).
             arrival_ns: 0,
             ack: None,
+        };
+        crate::fault::deliver(&self.world, self.dest_world, env, |e| {
+            self.world.mailboxes[self.dest_world].push(e)
         });
         st.ready[partition] = true;
         st.done += 1;
@@ -249,6 +253,15 @@ impl<T: Plain> PartitionWriter<T> {
     fn check(&self, partition: usize, data: &[T]) -> Result<()> {
         if self.world.is_revoked(self.context) {
             return Err(MpiError::Revoked);
+        }
+        // Partitioned sends are rendezvous-like: the receiver froze a
+        // matching plan, so a dead peer means the cycle can never
+        // complete. Fail (and poison) now instead of letting producers
+        // publish into a mailbox nobody will drain.
+        if self.world.is_failed(self.dest_world) {
+            return Err(MpiError::ProcessFailed {
+                world_rank: self.dest_world,
+            });
         }
         if partition >= self.partitions {
             return Err(MpiError::InvalidLayout(format!(

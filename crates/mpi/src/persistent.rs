@@ -172,6 +172,11 @@ pub struct PersistentRequest<'a> {
     maybe_claimed: bool,
     /// Completed `start`/`wait` cycles (diagnostics).
     cycles: u64,
+    /// Set when a cycle ends in a ULFM error (peer failure,
+    /// revocation): the frozen plan names a peer that can no longer
+    /// answer, so no restart can succeed. `start` re-surfaces the
+    /// error instead of `RequestActive`.
+    poisoned: Option<MpiError>,
 }
 
 impl<'a> PersistentRequest<'a> {
@@ -183,6 +188,7 @@ impl<'a> PersistentRequest<'a> {
             waiter: Arc::new(Waiter::default()),
             registered: false,
             active: false,
+            poisoned: None,
             maybe_claimed: false,
             cycles: 0,
         }
@@ -238,6 +244,10 @@ impl<'a> PersistentRequest<'a> {
     /// ([`MpiError::Revoked`], poisoning before any message moves).
     pub fn start(&mut self) -> Result<()> {
         self.comm.count_op("start");
+        crate::fault::point("persistent/start");
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
         if self.active {
             return Err(MpiError::RequestActive);
         }
@@ -371,7 +381,7 @@ impl<'a> PersistentRequest<'a> {
                 self.finish_cycle();
                 Ok(c)
             }
-            Err(e) => Err(e),
+            Err(e) => Err(self.poison(e)),
         }
     }
 
@@ -382,13 +392,23 @@ impl<'a> PersistentRequest<'a> {
         if !self.active {
             return Ok(Some(Completion::Done));
         }
-        match self.try_complete()? {
-            Some(c) => {
+        match self.try_complete() {
+            Ok(Some(c)) => {
                 self.finish_cycle();
                 Ok(Some(c))
             }
-            None => Ok(None),
+            Ok(None) => Ok(None),
+            Err(e) => Err(self.poison(e)),
         }
+    }
+
+    /// Ends the cycle on a ULFM error: the request goes inactive and
+    /// every later `start` re-surfaces the error (the plan's peers are
+    /// frozen, so "this cycle failed" means "every cycle fails").
+    fn poison(&mut self, e: MpiError) -> MpiError {
+        self.active = false;
+        self.poisoned = Some(e.clone());
+        e
     }
 
     /// Cycle bookkeeping shared by `wait` and `test`: clear any claim

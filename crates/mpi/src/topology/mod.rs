@@ -114,6 +114,9 @@ pub(crate) fn finish_topology(
     sources: &[Rank],
     destinations: &[Rank],
 ) -> Result<TopologyBase> {
+    // A planned crash here dies between a topology constructor's
+    // setup collectives — peers must surface the failure, not hang.
+    crate::fault::point("topology/build");
     let local_max = sources.len().max(destinations.len()) as u64;
     let max_degree =
         crate::collectives::allreduce_internal(parent, &[local_max], &crate::op::Max)?[0] as usize;

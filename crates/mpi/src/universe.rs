@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use crate::clock::CostModel;
 use crate::comm::Comm;
 use crate::counter::CallCounts;
+use crate::fault::{self, FaultPlan};
 use crate::mailbox::{Mailbox, MailboxStats};
 use crate::metrics::{self, CopyStats};
 use crate::trace::{self, TraceData, TraceStats};
@@ -75,10 +76,17 @@ pub struct WorldState {
     /// on request (see [`Universe::trace_snapshot`]).
     pub(crate) snap_slots: Vec<Arc<trace::SnapshotSlot>>,
     pub(crate) agreements: AgreementTable,
+    /// The universe's fault-injection state (see [`crate::fault`]); a
+    /// zero-sized no-op without the `fault` feature.
+    pub(crate) faults: fault::WorldFaults,
 }
 
 impl WorldState {
     pub(crate) fn new(config: &Config) -> Arc<Self> {
+        Self::new_faulted(config, &FaultPlan::default())
+    }
+
+    pub(crate) fn new_faulted(config: &Config, plan: &FaultPlan) -> Arc<Self> {
         Arc::new(WorldState {
             size: config.size,
             mailboxes: (0..config.size).map(|_| Mailbox::new()).collect(),
@@ -98,6 +106,7 @@ impl WorldState {
                 .collect(),
             snap_slots: (0..config.size).map(|_| Arc::default()).collect(),
             agreements: AgreementTable::new(),
+            faults: fault::WorldFaults::new(plan, config.size),
         })
     }
 
@@ -112,9 +121,13 @@ impl WorldState {
     }
 
     /// Marks a rank failed and wakes every blocked waiter so the failure
-    /// is observed.
+    /// is observed. Idempotent: the voluntary `fail_here` marks before
+    /// unwinding and the universe marks again on catching the unwind.
     pub(crate) fn mark_failed(&self, world_rank: Rank) {
-        self.failed[world_rank].store(true, Ordering::Release);
+        if self.failed[world_rank].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        trace::instant(trace::cat::ULFM, "ulfm/detect", world_rank as u64, 0);
         self.interrupt_all();
     }
 
@@ -202,6 +215,22 @@ impl Universe {
         Self::run_on(&config, &world, f)
     }
 
+    /// Runs `f` on `config.size` ranks under a deterministic
+    /// [`FaultPlan`] (see [`crate::fault`]): planned crashes unwind the
+    /// victim exactly like [`Comm::fail_here`](crate::Comm::fail_here)
+    /// (outcome [`RankOutcome::Failed`]), and message rules
+    /// drop/delay/duplicate matching envelopes at delivery. Without the
+    /// `fault` feature the plan is inert and this is
+    /// [`Universe::run_with`].
+    pub fn run_with_faults<R: Send, F: Fn(Comm) -> R + Sync>(
+        config: Config,
+        plan: &FaultPlan,
+        f: F,
+    ) -> Vec<RankOutcome<R>> {
+        let world = WorldState::new_faulted(&config, plan);
+        Self::run_on(&config, &world, f)
+    }
+
     /// Runs `f` on `config.size` ranks and additionally returns each
     /// rank's total [`RunStats`] — copy bill plus matching-engine
     /// diagnostics — the universe-level aggregation that lets benches
@@ -234,6 +263,22 @@ impl Universe {
         (outcomes, data)
     }
 
+    /// Runs `f` under a deterministic [`FaultPlan`] and additionally
+    /// returns the collected per-rank traces: the combination that puts
+    /// a whole crash-and-recover story on one timeline — the injected
+    /// crash (`fault/crash`), its detection (`ulfm/detect`), and the
+    /// survivors' recovery (`ulfm/agree`, `ulfm/shrink` spans).
+    pub fn run_traced_faulted<R: Send, F: Fn(Comm) -> R + Sync>(
+        config: Config,
+        plan: &FaultPlan,
+        f: F,
+    ) -> (Vec<RankOutcome<R>>, TraceData) {
+        let world = WorldState::new_faulted(&config, plan);
+        let outcomes = Self::run_on(&config, &world, f);
+        let data = Self::collect_trace(&world);
+        (outcomes, data)
+    }
+
     fn run_on<R: Send, F: Fn(Comm) -> R + Sync>(
         config: &Config,
         world: &Arc<WorldState>,
@@ -251,8 +296,17 @@ impl Universe {
                         .stack_size(config.stack_size)
                         .spawn_scoped(scope, move || {
                             trace::register_snapshot_slot(Arc::clone(&world.snap_slots[rank]));
+                            fault::register_rank_thread(&world, rank);
                             let comm = Comm::world(world.clone(), rank);
                             let result = catch_unwind(AssertUnwindSafe(|| f(comm)));
+                            if result.is_err() {
+                                // Mark the rank dead *before* harvesting
+                                // its trace: peers stop waiting on it as
+                                // early as possible, and the `ulfm/detect`
+                                // instant lands on this rank's timeline
+                                // instead of a discarded thread-local.
+                                world.mark_failed(rank);
+                            }
                             // Preserve the rank's copy counters and trace
                             // before the thread (and its thread-locals)
                             // exits.
@@ -268,9 +322,6 @@ impl Universe {
                             match result {
                                 Ok(r) => RankOutcome::Completed(r),
                                 Err(payload) => {
-                                    // Mark the rank dead either way so that
-                                    // peers do not hang on it.
-                                    world.mark_failed(rank);
                                     if payload.is::<RankFailure>() {
                                         RankOutcome::Failed
                                     } else {
@@ -289,6 +340,12 @@ impl Universe {
                 .map(|h| h.join().expect("rank thread join failed"))
                 .collect()
         })
+    }
+
+    /// Number of planned crashes the universe's fault plan has fired so
+    /// far (always 0 without the `fault` feature or without a plan).
+    pub fn fault_crashes_fired(world: &WorldState) -> u64 {
+        world.faults.crashes_fired()
     }
 
     /// Collected per-rank call counters after a run. Only meaningful if

@@ -48,6 +48,12 @@ fn assert_completed<R>(outcomes: &[kmp_mpi::RankOutcome<R>]) {
     }
 }
 
+/// The runtime enable flag is process-global and one test below toggles
+/// it; every `trace`-enabled test holds this lock so the phases cannot
+/// interleave.
+#[cfg(feature = "trace")]
+static TRACE_TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// With tracing compiled out, every entry point must stay callable and
 /// free: the span guard is a ZST, runs collect no events, allocate no
 /// ring storage, and the report says why instead of failing.
@@ -96,6 +102,7 @@ fn disabled_build_records_nothing_and_degrades_gracefully() {
 #[cfg(feature = "trace")]
 #[test]
 fn enabled_build_records_aggregates_exports_and_toggles() {
+    let _toggle = TRACE_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
     let p = 4;
 
     // --- enabled run: every layer shows up ---------------------------
@@ -146,5 +153,46 @@ fn enabled_build_records_aggregates_exports_and_toggles() {
     for (rank, rt) in quiet.ranks.iter().enumerate() {
         assert_eq!(rt.stats.events, 0, "rank {rank} recorded while disabled");
         assert!(rt.events.is_empty());
+    }
+}
+
+/// With both `trace` and `fault` compiled in, a crash-and-recover run
+/// leaves the whole story on one timeline: the injected crash
+/// (`fault/crash` instant on the victim), its detection
+/// (`ulfm/detect`), and the survivors' recovery (`ulfm/agree` and
+/// `ulfm/shrink` spans) — the events a Perfetto view needs to explain
+/// *why* a collective stalled.
+#[cfg(all(feature = "trace", feature = "fault"))]
+#[test]
+fn fault_injection_and_recovery_land_on_the_timeline() {
+    use kmp_mpi::{op, FaultPlan, RankOutcome};
+
+    let _toggle = TRACE_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled(true);
+    let plan = FaultPlan::new().crash_at(1, "mailbox/match", 1);
+    let (out, data) = Universe::run_traced_faulted(Config::new(3), &plan, |comm| {
+        let mut active = comm;
+        let mut rounds = 0;
+        while rounds < 3 {
+            let r = active.allreduce_one(1u64, op::Sum);
+            if r.is_err() && !active.is_revoked() {
+                active.revoke();
+            }
+            if active.agree_and(r.is_ok()).unwrap() {
+                rounds += 1;
+            } else {
+                active = active.shrink().unwrap();
+            }
+        }
+        active.size()
+    });
+    assert!(matches!(out[1], RankOutcome::Failed), "{:?}", out[1]);
+    assert!(matches!(out[0], RankOutcome::Completed(2)));
+    assert!(matches!(out[2], RankOutcome::Completed(2)));
+
+    let json = data.to_chrome_json();
+    trace::export::validate_chrome(&json).expect("faulted trace must validate");
+    for needle in ["fault/crash", "ulfm/detect", "ulfm/agree", "ulfm/shrink"] {
+        assert!(json.contains(needle), "timeline lacks {needle}: {json}");
     }
 }
