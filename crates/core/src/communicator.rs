@@ -88,6 +88,27 @@ impl Communicator {
         self.raw.set_tuning(tuning);
     }
 
+    /// This communicator's current published cost-model snapshot: the
+    /// per-algorithm `(alpha, beta)` estimates every rank agreed on at
+    /// the last epoch boundary. Identical on all ranks between matching
+    /// collective calls.
+    pub fn model_snapshot(&self) -> kmp_mpi::ModelSnapshot {
+        self.raw.model_snapshot()
+    }
+
+    /// Discards this communicator's learned cost model (estimates and
+    /// pending observations), restarting the warm-up phase. Rank-local;
+    /// call collectively to keep selections symmetric.
+    pub fn reset_model(&self) {
+        self.raw.reset_model();
+    }
+
+    /// This rank's cumulative self-tuning counters (decisions by pick
+    /// kind, observations, snapshot publishes) across all communicators.
+    pub fn tuning_stats(&self) -> kmp_mpi::TuningStats {
+        self.raw.tuning_stats()
+    }
+
     /// Current virtual time of this rank (see `kmp_mpi::clock`).
     pub fn clock_now_ns(&self) -> u64 {
         self.raw.clock_now_ns()

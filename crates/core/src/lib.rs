@@ -80,8 +80,9 @@ pub mod utils;
 pub use collectives::NeighborhoodCommunicator;
 pub use communicator::Communicator;
 pub use kmp_mpi::{
-    AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, MpiError, Neighborhood, NeighborhoodAlgo,
-    Plain, Rank, ReduceAlgo, Result, Select, Tag,
+    AlgoClass, AllreduceAlgo, AlltoallAlgo, BcastAlgo, ClassEstimate, CollTuning, ModelConfig,
+    ModelSnapshot, MpiError, Neighborhood, NeighborhoodAlgo, Plain, Rank, ReduceAlgo, Result,
+    Select, Tag, TuningStats,
 };
 
 /// The substrate's tracing subsystem (event rings, histograms, Chrome
@@ -136,7 +137,7 @@ pub mod prelude {
     pub use crate::serialization::{as_deserializable, as_serialized, as_serialized_inout};
     pub use crate::utils::{flatten, with_flattened};
     pub use kmp_mpi::{
-        AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, Neighborhood, NeighborhoodAlgo,
-        NeighborhoodColl, ReduceAlgo,
+        AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, ModelConfig, Neighborhood,
+        NeighborhoodAlgo, NeighborhoodColl, ReduceAlgo,
     };
 }

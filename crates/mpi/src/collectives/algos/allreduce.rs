@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 
-use super::{fold_bytes_right, CollTuning};
+use super::fold_bytes_right;
 use crate::collectives::{recv_internal, send_internal, send_slice_internal};
 use crate::comm::Comm;
 use crate::error::Result;
@@ -167,27 +167,37 @@ pub(crate) fn rabenseifner<T: Plain, O: ReduceOp<T>>(
     Ok(result)
 }
 
-/// Dispatches a commutative allreduce by the communicator's tuning.
+/// Dispatches a commutative allreduce by the communicator's tuning
+/// (model-driven when warm; see [`super::model`]).
 pub(crate) fn dispatch<T: Plain, O: ReduceOp<T>>(
     comm: &Comm,
-    tuning: &CollTuning,
     send: &[T],
     op: &O,
 ) -> Result<Vec<T>> {
-    let algo = tuning.allreduce_algo(comm.size(), std::mem::size_of_val(send));
+    let bytes = std::mem::size_of_val(send);
+    super::model::tick(comm)?;
+    let algo = super::model::select_allreduce(comm, bytes);
     let _sp = crate::trace::span(
         crate::trace::cat::COLL,
         match algo {
             super::AllreduceAlgo::RecursiveDoubling => "allreduce/recursive_doubling",
             super::AllreduceAlgo::Rabenseifner => "allreduce/rabenseifner",
         },
-        std::mem::size_of_val(send) as u64,
+        bytes as u64,
         comm.size() as u64,
     );
-    match algo {
-        super::AllreduceAlgo::RecursiveDoubling => recursive_doubling(comm, send, op),
-        super::AllreduceAlgo::Rabenseifner => rabenseifner(comm, send, op),
-    }
+    let begun = super::model::measure_begin(comm);
+    let out = match algo {
+        super::AllreduceAlgo::RecursiveDoubling => recursive_doubling(comm, send, op)?,
+        super::AllreduceAlgo::Rabenseifner => rabenseifner(comm, send, op)?,
+    };
+    super::model::observe(
+        comm,
+        super::model::allreduce_class(algo),
+        begun,
+        bytes as f64,
+    );
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -31,19 +31,33 @@
 //! | `reduce`    | binomial tree, in-place fold | <= log2 p | non-root s, root r | op commutative |
 //! | `reduce`    | flat gather + ordered fold | 1 (root p-1) | s (root: + r) | op non-commutative, or forced |
 //!
+//! The "auto-selected when" column describes the **static fallback**.
+//! With [`CollTuning::self_tuning`] enabled, `Auto` selection is driven
+//! by the online measured cost model in [`model`]: per-algorithm
+//! `(alpha, beta)` estimates fitted by EWMA from wall-clock
+//! measurements predict each candidate's cost at call time, and the
+//! cheapest wins — the static thresholds only govern the warm-up phase
+//! (and remain the whole story when the model is off, the default).
+//! `Select::Force` is never overridden by the model.
+//!
 //! Selection must be *symmetric*: every rank of a communicator must
 //! arrive at a collective with the same tuning (like MPI info hints) and
 //! the same message size, otherwise ranks would disagree on the wire
 //! protocol. The `Auto` policies only consult values MPI already
-//! requires to agree across ranks.
+//! requires to agree across ranks — including the model's published
+//! snapshot, which only changes at matched sync points (see [`model`]).
 
 pub(crate) mod allgather;
 pub(crate) mod allreduce;
 pub(crate) mod alltoall;
 pub(crate) mod bcast;
+pub mod model;
 pub(crate) mod reduce;
 
 pub use bcast::BcastParts;
+pub use model::{
+    AlgoClass, ClassEstimate, ClassStat, ModelConfig, ModelSnapshot, TuningStats, CLASS_COUNT,
+};
 
 use crate::error::{MpiError, Result};
 use crate::op::ReduceOp;
@@ -188,6 +202,11 @@ pub struct CollTuning {
     /// (`p >= 4`) — the latency regime recursive doubling cannot serve
     /// there.
     pub allgather_bruck_max_bytes: usize,
+    /// Online measured cost model configuration (see [`model`]). With
+    /// [`ModelConfig::drive`] off (the default) every `Auto` selection
+    /// above is decided purely by the static thresholds and the model
+    /// neither measures nor synchronizes anything.
+    pub model: ModelConfig,
 }
 
 impl Default for CollTuning {
@@ -220,6 +239,7 @@ impl Default for CollTuning {
             // Bruck has the same startup/packing trade on any p; the
             // same latency-regime ceiling applies off powers of two.
             allgather_bruck_max_bytes: 8 * 1024,
+            model: ModelConfig::default(),
         }
     }
 }
@@ -298,6 +318,23 @@ impl CollTuning {
     /// non-power-of-two communicators).
     pub fn allgather_bruck_max_bytes(mut self, bytes: usize) -> Self {
         self.allgather_bruck_max_bytes = bytes;
+        self
+    }
+
+    /// Enables the online measured cost model: `Auto` slots are driven
+    /// by runtime wall-clock evidence once warm (see [`model`]), with
+    /// the static thresholds governing the warm-up phase. All ranks of
+    /// a communicator must enable it together — the model's sync
+    /// broadcasts are matched collectives.
+    pub fn self_tuning(mut self) -> Self {
+        self.model.drive = true;
+        self
+    }
+
+    /// Replaces the model configuration wholesale (cadence, warm-up,
+    /// EWMA weight, overlap bias — see [`ModelConfig`]).
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = model;
         self
     }
 

@@ -1,0 +1,1361 @@
+//! Online measured cost model: `Auto` selection driven by runtime
+//! evidence instead of compile-time thresholds.
+//!
+//! Every static threshold in [`CollTuning`](super::CollTuning) was
+//! hand-set above one cluster cost model's crossovers; on a different
+//! machine or message mix they are wrong (the committed
+//! `BENCH_collectives.json` showed `auto` riding the slower wall-clock
+//! algorithm in whole regimes). This module replaces guessing with
+//! measuring: a per-communicator **alpha–beta estimator** maintains
+//! `(alpha, beta)` — per-startup and per-byte cost in nanoseconds — for
+//! every *algorithm class* (13 of them, one per concrete algorithm:
+//! recursive-doubling allreduce, Rabenseifner, binomial bcast, van de
+//! Geijn, ring/RD/Bruck allgather, pairwise/Bruck alltoall,
+//! binomial/flat reduce, sparse/dense neighborhood), fitted by EWMA
+//! from wall-clock measurements of the calls that actually ran. At
+//! call time each candidate's cost is predicted as
+//! `startups·alpha + bytes·beta` and `Auto` picks the argmin.
+//!
+//! ## Why per-algorithm classes, not per-collective
+//!
+//! A single `(alpha, beta)` per *collective* can never rank the
+//! candidates correctly: it would only ever be fitted from the
+//! algorithm the fallback already picks, so the predicted cost of the
+//! never-run alternative is pure extrapolation from the wrong
+//! datapath (packing copies, cache behaviour and refcount forwarding
+//! differ *per algorithm*, not per collective). Fitting each
+//! algorithm's own class from its own runs makes the prediction at an
+//! observed workload converge to that algorithm's observed mean — so
+//! the argmin converges to the measured-best algorithm.
+//!
+//! ## Symmetry: how every rank picks the same algorithm
+//!
+//! Selection must be symmetric (it is part of the wire protocol), but
+//! wall-clock measurements are inherently rank-local. The model
+//! therefore separates *measuring* from *deciding*:
+//!
+//! - rank 0 measures the wall time of each driven blocking collective
+//!   and accumulates observations in a rank-local pending buffer;
+//! - every driven blocking collective call counts a per-communicator
+//!   sequence number (`tick`), and every
+//!   [`ModelConfig::epoch_len`]-th call rank 0 folds its pending
+//!   observations into the snapshot and **broadcasts the snapshot**
+//!   (a ~270-byte binomial bcast on an internal tag — a matched
+//!   collective, inserted at the same call index on every rank);
+//! - decisions read only the *published snapshot*, which every rank
+//!   replaced at the same point in its call sequence. Same snapshot +
+//!   same collectively-agreed inputs (`p`, byte size, tuning) ⇒ same
+//!   choice everywhere.
+//!
+//! Non-blocking initiations and persistent `*_init` never tick: a
+//! blocking synchronization inside an initiation would violate MPI's
+//! local-completion semantics (a legal program may post `iallgather`
+//! on one rank while another blocks in an unrelated `recv` first).
+//! They read the current snapshot, which is identical across ranks
+//! because it only changes at matched blocking sync points.
+//!
+//! ## Warm-up and bounded exploration
+//!
+//! A class with fewer than [`ModelConfig::warmup_obs`] folded
+//! observations is *cold*. While the static choice's class is cold,
+//! `Auto` follows the static thresholds (today's behaviour). Once it
+//! is warm, the driven blocking collectives *explore*: they run the
+//! cold candidate with the fewest observations until every candidate
+//! class is warm — deterministically (the choice depends only on the
+//! snapshot), so exploration is symmetric too. Warm-up is bounded by
+//! `#candidates × max(epoch_len, warmup_obs)` calls per collective.
+//! Non-blocking selection never explores (its engines are not
+//! measured); it stays static until every candidate class has been
+//! warmed by the blocking side.
+//!
+//! ## Design note: overlap friendliness is a cost term, not a hard-code
+//!
+//! The non-blocking engines historically *never* left the eager flat
+//! algorithms, on the argument that call-time sends are what make
+//! communication/computation overlap work. That argument is real but
+//! not absolute: it is worth roughly one message latency per
+//! *serialized round* an engine adds (a round whose send cannot be
+//! posted until the previous round's payload arrived — flat engines
+//! have one such round, tree/RD/Bruck engines `~log2 p`). Encoding it
+//! as a per-round alpha penalty ([`ModelConfig::overlap_alpha_pct`])
+//! keeps the trade measurable and tunable: in the latency regime the
+//! log-round engines win *despite* the penalty, and the model switches
+//! to them — while a hard-coded "never" can never be right on both
+//! sides of the crossover.
+//!
+//! ## Lifecycle
+//!
+//! The model state lives on the [`Comm`]: snapshots are
+//! inherited on `dup`/`split` (like [`CollTuning`](super::CollTuning)),
+//! resettable via [`Comm::reset_model`](crate::Comm::reset_model), and
+//! frozen into persistent plans at `*_init` (a plan never re-selects
+//! at `start()`). With [`ModelConfig::drive`] off (the default) the
+//! model neither measures nor syncs nor alters any selection — the
+//! default-tuning wire protocol and copy bill are bit-identical to a
+//! build without this module.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use super::{
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, NeighborhoodAlgo, ReduceAlgo, Select,
+};
+use crate::comm::Comm;
+use crate::error::Result;
+
+/// Number of algorithm classes the model tracks.
+pub const CLASS_COUNT: usize = 13;
+
+/// One concrete collective algorithm — the granularity at which
+/// `(alpha, beta)` is fitted and selection counts are reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoClass {
+    /// Recursive-doubling allreduce.
+    AllreduceRd = 0,
+    /// Rabenseifner allreduce (reduce-scatter + ring allgather).
+    AllreduceRabenseifner = 1,
+    /// Binomial-tree broadcast.
+    BcastBinomial = 2,
+    /// Van de Geijn broadcast (scatter + ring allgather).
+    BcastScatterAllgather = 3,
+    /// Ring allgather (also the proxy class for the flat eager
+    /// `iallgather` fan-out: same startup count and volume, no packing).
+    AllgatherRing = 4,
+    /// Recursive-doubling allgather (power-of-two `p` only).
+    AllgatherRd = 5,
+    /// Bruck allgather (any `p`).
+    AllgatherBruck = 6,
+    /// Pairwise alltoall.
+    AlltoallPairwise = 7,
+    /// Bruck alltoall.
+    AlltoallBruck = 8,
+    /// Binomial-tree reduce (also the tree phase of `iallreduce`).
+    ReduceBinomial = 9,
+    /// Flat-gather reduce (also the flat phase of `iallreduce`).
+    ReduceFlat = 10,
+    /// Sparse neighborhood exchange (one message per declared edge).
+    NeighborhoodSparse = 11,
+    /// Dense neighborhood exchange (one message per rank).
+    NeighborhoodDense = 12,
+}
+
+impl AlgoClass {
+    /// All classes, in index order.
+    pub const ALL: [AlgoClass; CLASS_COUNT] = [
+        AlgoClass::AllreduceRd,
+        AlgoClass::AllreduceRabenseifner,
+        AlgoClass::BcastBinomial,
+        AlgoClass::BcastScatterAllgather,
+        AlgoClass::AllgatherRing,
+        AlgoClass::AllgatherRd,
+        AlgoClass::AllgatherBruck,
+        AlgoClass::AlltoallPairwise,
+        AlgoClass::AlltoallBruck,
+        AlgoClass::ReduceBinomial,
+        AlgoClass::ReduceFlat,
+        AlgoClass::NeighborhoodSparse,
+        AlgoClass::NeighborhoodDense,
+    ];
+
+    /// Array index of this class.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable display name (`collective/algorithm`, matching the trace
+    /// span names).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoClass::AllreduceRd => "allreduce/recursive_doubling",
+            AlgoClass::AllreduceRabenseifner => "allreduce/rabenseifner",
+            AlgoClass::BcastBinomial => "bcast/binomial",
+            AlgoClass::BcastScatterAllgather => "bcast/scatter_allgather",
+            AlgoClass::AllgatherRing => "allgather/ring",
+            AlgoClass::AllgatherRd => "allgather/recursive_doubling",
+            AlgoClass::AllgatherBruck => "allgather/bruck",
+            AlgoClass::AlltoallPairwise => "alltoall/pairwise",
+            AlgoClass::AlltoallBruck => "alltoall/bruck",
+            AlgoClass::ReduceBinomial => "reduce/binomial_tree",
+            AlgoClass::ReduceFlat => "reduce/flat_gather",
+            AlgoClass::NeighborhoodSparse => "neighborhood/sparse",
+            AlgoClass::NeighborhoodDense => "neighborhood/dense",
+        }
+    }
+}
+
+/// Model configuration, carried inside
+/// [`CollTuning`](super::CollTuning) (so it inherits, overrides per
+/// call through `tuning(...)`, and participates in the
+/// same-tuning-on-every-rank wire contract for free).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    /// Master switch: measure, synchronize, and let warm predictions
+    /// override the static `Auto` thresholds. Off by default — the
+    /// default tuning behaves bit-identically to the pre-model code.
+    pub drive: bool,
+    /// Publish the snapshot every this many driven blocking collective
+    /// calls (the sync-broadcast cadence).
+    pub epoch_len: u32,
+    /// Folded observations a class needs before it counts as warm.
+    pub warmup_obs: u32,
+    /// EWMA weight of a new observation, in percent (30 ⇒
+    /// `new = 0.3·measured + 0.7·old`).
+    pub ewma_pct: u32,
+    /// Overlap bias for non-blocking selection: each serialized round
+    /// of a candidate engine is charged this percentage of the class's
+    /// alpha on top of its predicted cost (see the module docs for why
+    /// this is a cost term rather than a hard-coded "flat only").
+    pub overlap_alpha_pct: u32,
+    /// Once every this many driven calls, a warm blocking selection
+    /// re-measures the candidate with the fewest folded observations
+    /// instead of taking the argmin (0 disables). Without this, a
+    /// losing class is only ever measured during cold warm-up: its
+    /// stale estimate can lock in a wrong winner forever (measurements
+    /// taken while allocators and caches were cold systematically
+    /// mis-rank near-crossover regimes). The periodic refresh keeps
+    /// both estimates current at a bounded steady-state cost of
+    /// `gap / reexplore_every` per call.
+    pub reexplore_every: u32,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            drive: false,
+            epoch_len: 8,
+            warmup_obs: 5,
+            ewma_pct: 30,
+            overlap_alpha_pct: 100,
+            reexplore_every: 16,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Enables driving (equivalent to `CollTuning::self_tuning`).
+    pub fn drive(mut self, on: bool) -> Self {
+        self.drive = on;
+        self
+    }
+
+    /// Sets the publish cadence (calls per epoch; min 1).
+    pub fn epoch_len(mut self, calls: u32) -> Self {
+        self.epoch_len = calls.max(1);
+        self
+    }
+
+    /// Sets the per-class warm-up threshold (folded observations).
+    pub fn warmup_obs(mut self, obs: u32) -> Self {
+        self.warmup_obs = obs.max(1);
+        self
+    }
+
+    /// Sets the EWMA weight of a new observation (percent, 1..=100).
+    pub fn ewma_pct(mut self, pct: u32) -> Self {
+        self.ewma_pct = pct.clamp(1, 100);
+        self
+    }
+
+    /// Sets the per-serialized-round overlap penalty (percent of
+    /// alpha).
+    pub fn overlap_alpha_pct(mut self, pct: u32) -> Self {
+        self.overlap_alpha_pct = pct;
+        self
+    }
+
+    /// Sets the warm re-exploration cadence (driven calls between
+    /// refresh measurements of the least-observed candidate; 0
+    /// disables).
+    pub fn reexplore_every(mut self, calls: u32) -> Self {
+        self.reexplore_every = calls;
+        self
+    }
+}
+
+/// Fitted `(alpha, beta)` of one algorithm class.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClassEstimate {
+    /// Cost per message startup, nanoseconds.
+    pub alpha_ns: f64,
+    /// Cost per payload byte, nanoseconds.
+    pub beta_ns_per_byte: f64,
+    /// Folded observations (the warm-up state).
+    pub obs: u32,
+}
+
+#[inline]
+fn ewma(old: f64, new: f64, pct: u32) -> f64 {
+    let w = f64::from(pct.clamp(1, 100)) / 100.0;
+    old + (new - old) * w
+}
+
+impl ClassEstimate {
+    /// Predicted cost of `startups` messages moving `bytes` payload
+    /// bytes, in nanoseconds. Monotone in both arguments (`alpha` and
+    /// `beta` are clamped non-negative by construction).
+    #[inline]
+    pub fn predict_ns(&self, startups: f64, bytes: f64) -> f64 {
+        startups * self.alpha_ns + bytes * self.beta_ns_per_byte
+    }
+
+    /// True once the class has folded at least `warmup_obs`
+    /// observations.
+    #[inline]
+    pub fn warm(&self, warmup_obs: u32) -> bool {
+        self.obs >= warmup_obs
+    }
+
+    /// Folds one (possibly averaged) measurement: `startups` messages,
+    /// `bytes` payload bytes, `t_ns` measured wall nanoseconds,
+    /// weighted as `weight` observations. Coordinate descent: the
+    /// bootstrap observation splits the cost between alpha and beta;
+    /// each later observation updates whichever coordinate currently
+    /// explains *less* of the measured cost, attributing the residual
+    /// to it (clamped at zero, so estimates never go negative and
+    /// prediction stays monotone).
+    pub fn fold(&mut self, startups: f64, bytes: f64, t_ns: f64, ewma_pct: u32, weight: u32) {
+        let s = startups.max(1.0);
+        let t = t_ns.max(0.0);
+        if self.obs == 0 {
+            if bytes <= 0.0 {
+                self.alpha_ns = t / s;
+                self.beta_ns_per_byte = 0.0;
+            } else {
+                self.alpha_ns = t / (2.0 * s);
+                self.beta_ns_per_byte = t / (2.0 * bytes);
+            }
+        } else if bytes <= 0.0 || bytes * self.beta_ns_per_byte <= s * self.alpha_ns {
+            let target = ((t - bytes * self.beta_ns_per_byte) / s).max(0.0);
+            self.alpha_ns = ewma(self.alpha_ns, target, ewma_pct);
+        } else {
+            let target = ((t - s * self.alpha_ns) / bytes).max(0.0);
+            self.beta_ns_per_byte = ewma(self.beta_ns_per_byte, target, ewma_pct);
+        }
+        self.obs = self.obs.saturating_add(weight.max(1));
+    }
+}
+
+/// The published model state: one estimate per algorithm class, plus
+/// the publish epoch. Identical on every rank of a communicator between
+/// two sync points — the only state selection is allowed to read.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ModelSnapshot {
+    /// Per-class estimates, indexed by [`AlgoClass::index`].
+    pub classes: [ClassEstimate; CLASS_COUNT],
+    /// Number of publishes folded into this snapshot.
+    pub epoch: u64,
+}
+
+/// Wire size of a serialized snapshot (`epoch` + 13 × (alpha, beta,
+/// obs)).
+const SNAPSHOT_WIRE_BYTES: usize = 8 + CLASS_COUNT * (8 + 8 + 4);
+
+impl ModelSnapshot {
+    /// Estimate for `class`.
+    #[inline]
+    pub fn class(&self, class: AlgoClass) -> &ClassEstimate {
+        &self.classes[class.index()]
+    }
+
+    pub(crate) fn to_wire(self) -> Bytes {
+        let mut out = Vec::with_capacity(SNAPSHOT_WIRE_BYTES);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        for c in &self.classes {
+            out.extend_from_slice(&c.alpha_ns.to_le_bytes());
+            out.extend_from_slice(&c.beta_ns_per_byte.to_le_bytes());
+            out.extend_from_slice(&c.obs.to_le_bytes());
+        }
+        Bytes::from(out)
+    }
+
+    pub(crate) fn from_wire(bytes: &[u8]) -> Option<ModelSnapshot> {
+        if bytes.len() != SNAPSHOT_WIRE_BYTES {
+            return None;
+        }
+        let mut snap = ModelSnapshot {
+            epoch: u64::from_le_bytes(bytes[..8].try_into().ok()?),
+            ..ModelSnapshot::default()
+        };
+        let mut at = 8;
+        for c in &mut snap.classes {
+            c.alpha_ns = f64::from_le_bytes(bytes[at..at + 8].try_into().ok()?);
+            c.beta_ns_per_byte = f64::from_le_bytes(bytes[at + 8..at + 16].try_into().ok()?);
+            c.obs = u32::from_le_bytes(bytes[at + 16..at + 20].try_into().ok()?);
+            at += 20;
+        }
+        Some(snap)
+    }
+}
+
+/// Rank-local accumulation of not-yet-published observations of one
+/// class.
+#[derive(Clone, Copy, Debug, Default)]
+struct PendingObs {
+    startups: f64,
+    bytes: f64,
+    t_ns: f64,
+    calls: u32,
+}
+
+/// Per-communicator model state (one per [`Comm`] handle, i.e. per
+/// rank per communicator).
+#[derive(Debug, Default)]
+pub(crate) struct ModelState {
+    snapshot: ModelSnapshot,
+    pending: [PendingObs; CLASS_COUNT],
+    seq: u64,
+}
+
+impl ModelState {
+    /// Child state for `dup`/`split`: the parent's published snapshot
+    /// (identical across ranks at a matched derive call) carries over;
+    /// pending observations and the epoch counter start fresh.
+    pub(crate) fn inherit(parent: &ModelState) -> ModelState {
+        ModelState {
+            snapshot: parent.snapshot,
+            ..ModelState::default()
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ModelSnapshot {
+        self.snapshot
+    }
+
+    /// Driven-call sequence number: incremented by [`tick`] on every
+    /// matched driven collective, hence identical across ranks — the
+    /// clock the symmetric re-exploration cadence runs on.
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub(crate) fn reset(&mut self) {
+        *self = ModelState::default();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-rank observability (`TuningStats`)
+// ---------------------------------------------------------------------------
+
+/// Per-class slice of [`TuningStats`]: the published estimate in
+/// integer units (so the whole stats struct stays `Copy + Eq` inside
+/// [`RankStats`](crate::RankStats)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ClassStat {
+    /// Published alpha, nanoseconds (rounded).
+    pub alpha_ns: u64,
+    /// Published beta, **femtoseconds** per byte (1 ns/B = 1_000_000;
+    /// sub-nanosecond per-byte costs survive the integer conversion).
+    pub beta_fs_per_byte: u64,
+    /// Folded observations (warm-up state).
+    pub obs: u32,
+}
+
+/// Per-rank tuning diagnostics: why selections happened. Collected per
+/// thread (like the copy bill) and surfaced in
+/// [`RankStats::tuning`](crate::RankStats) via
+/// [`Universe::run_stats`](crate::Universe::run_stats), or live via
+/// [`Comm::tuning_stats`](crate::Comm::tuning_stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TuningStats {
+    /// Algorithm decisions taken (blocking + non-blocking + persistent
+    /// init).
+    pub decisions: u64,
+    /// Decisions resolved by a warm model prediction.
+    pub model_picks: u64,
+    /// Decisions that followed the static thresholds (drive off, or
+    /// warm-up not reached).
+    pub static_picks: u64,
+    /// Decisions spent exploring a cold candidate class.
+    pub explore_picks: u64,
+    /// Decisions dictated by `Select::Force` (never overridden by the
+    /// model).
+    pub forced_picks: u64,
+    /// Decisions frozen into persistent plans at `*_init`.
+    pub frozen_picks: u64,
+    /// Wall-clock observations recorded (rank 0 of driven
+    /// communicators only).
+    pub observations: u64,
+    /// Snapshot publishes participated in (folds on rank 0, receives
+    /// elsewhere).
+    pub publishes: u64,
+    /// Per-class selection counts, indexed by [`AlgoClass::index`].
+    pub selections: [u64; CLASS_COUNT],
+    /// Last published estimate per class, indexed by
+    /// [`AlgoClass::index`].
+    pub classes: [ClassStat; CLASS_COUNT],
+}
+
+thread_local! {
+    static STATS: RefCell<TuningStats> = RefCell::new(TuningStats::default());
+}
+
+fn with_stats(f: impl FnOnce(&mut TuningStats)) {
+    STATS.with(|s| f(&mut s.borrow_mut()));
+}
+
+/// This thread's (rank's) tuning statistics so far.
+pub fn stats_snapshot() -> TuningStats {
+    STATS.with(|s| *s.borrow())
+}
+
+fn mirror_snapshot_into_stats(snap: &ModelSnapshot, stats: &mut TuningStats) {
+    for (dst, src) in stats.classes.iter_mut().zip(&snap.classes) {
+        dst.alpha_ns = src.alpha_ns.max(0.0).round() as u64;
+        dst.beta_fs_per_byte = (src.beta_ns_per_byte.max(0.0) * 1_000_000.0).round() as u64;
+        dst.obs = src.obs;
+    }
+}
+
+/// How a decision was resolved (stats bookkeeping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Pick {
+    Static,
+    Explore,
+    Model,
+    Forced,
+    Frozen,
+}
+
+fn note_decision(class: AlgoClass, pick: Pick) {
+    with_stats(|s| {
+        s.decisions += 1;
+        s.selections[class.index()] += 1;
+        match pick {
+            Pick::Static => s.static_picks += 1,
+            Pick::Explore => s.explore_picks += 1,
+            Pick::Model => s.model_picks += 1,
+            Pick::Forced => s.forced_picks += 1,
+            Pick::Frozen => s.frozen_picks += 1,
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Tick: the sync point that keeps snapshots identical across ranks
+// ---------------------------------------------------------------------------
+
+/// Counts one driven blocking collective call; every
+/// [`ModelConfig::epoch_len`]-th call publishes rank 0's folded
+/// estimates to the whole communicator over an internal-tag binomial
+/// broadcast. Call sites place this exactly where the collective's
+/// first internal tag would be allocated, so the model sequence number
+/// stays as rank-aligned as the tag counters. No-op (and
+/// allocation-free) when the tuning does not drive the model.
+pub(crate) fn tick(comm: &Comm) -> Result<()> {
+    let cfg = comm.tuning().model;
+    if !cfg.drive || comm.size() < 2 {
+        return Ok(());
+    }
+    let seq = {
+        let mut m = comm.model_state_mut();
+        m.seq += 1;
+        m.seq
+    };
+    if seq % u64::from(cfg.epoch_len.max(1)) != 0 {
+        return Ok(());
+    }
+    let payload = if comm.rank() == 0 {
+        let mut m = comm.model_state_mut();
+        let m = &mut *m;
+        for (i, pend) in m.pending.iter_mut().enumerate() {
+            if pend.calls > 0 {
+                let c = f64::from(pend.calls);
+                m.snapshot.classes[i].fold(
+                    pend.startups / c,
+                    pend.bytes / c,
+                    pend.t_ns / c,
+                    cfg.ewma_pct,
+                    pend.calls,
+                );
+                *pend = PendingObs::default();
+            }
+        }
+        m.snapshot.epoch += 1;
+        let snap = m.snapshot;
+        with_stats(|s| {
+            s.publishes += 1;
+            mirror_snapshot_into_stats(&snap, s);
+        });
+        Some(snap.to_wire())
+    } else {
+        None
+    };
+    let wire = crate::collectives::bcast_bytes_internal(comm, payload, 0)?;
+    if comm.rank() != 0 {
+        if let Some(snap) = ModelSnapshot::from_wire(&wire) {
+            comm.model_state_mut().snapshot = snap;
+            with_stats(|s| {
+                s.publishes += 1;
+                mirror_snapshot_into_stats(&snap, s);
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Starts a wall-clock measurement of a driven blocking collective.
+/// Only rank 0 measures (its observations are the ones published), so
+/// every other rank gets a free `None`.
+#[inline]
+pub(crate) fn measure_begin(comm: &Comm) -> Option<Instant> {
+    (comm.tuning().model.drive && comm.size() > 1 && comm.rank() == 0).then(Instant::now)
+}
+
+/// Records one finished measurement into the pending buffer of
+/// `class`. `size` is the same collectively-agreed scalar the selection
+/// saw (contribution bytes; block bytes for alltoall; the maximum
+/// degree for the neighborhood classes) — it is mapped to the class's
+/// `(startups, bytes)` workload features here.
+pub(crate) fn observe(comm: &Comm, class: AlgoClass, begun: Option<Instant>, size: f64) {
+    let Some(t0) = begun else { return };
+    let t_ns = t0.elapsed().as_nanos() as f64;
+    let (startups, bytes) = class_features(class, comm.size(), size);
+    let mut m = comm.model_state_mut();
+    let pend = &mut m.pending[class.index()];
+    pend.startups += startups;
+    pend.bytes += bytes;
+    pend.t_ns += t_ns;
+    pend.calls += 1;
+    drop(m);
+    with_stats(|s| s.observations += 1);
+}
+
+// ---------------------------------------------------------------------------
+// Candidates and choice
+// ---------------------------------------------------------------------------
+
+/// Ceil(log2 p) as f64 (0 for p <= 1).
+#[inline]
+fn ceil_log2(p: usize) -> f64 {
+    if p <= 1 {
+        0.0
+    } else {
+        f64::from(usize::BITS - (p - 1).leading_zeros())
+    }
+}
+
+/// One selectable algorithm with its coarse workload features:
+/// `startups` messages on the critical path and `bytes` of payload
+/// moved (wire + packing). The absolute scale only needs to be
+/// consistent *within* a class across workloads — cross-class
+/// comparison happens through the fitted costs — so the formulas stay
+/// deliberately simple.
+#[derive(Clone, Copy, Debug)]
+struct Candidate<A> {
+    algo: A,
+    class: AlgoClass,
+    startups: f64,
+    bytes: f64,
+    /// Serialized rounds for the overlap bias (non-blocking selection
+    /// only): rounds whose sends wait on a previous round's receive.
+    rounds: f64,
+}
+
+/// Workload features of `class` for a `p`-rank communicator moving `s`
+/// bytes (contribution bytes; block bytes for alltoall; ignored for
+/// the degree-driven neighborhood classes).
+fn class_features(class: AlgoClass, p: usize, s: f64) -> (f64, f64) {
+    let pf = p as f64;
+    let l = ceil_log2(p);
+    match class {
+        AlgoClass::AllreduceRd => {
+            let fix = if p.is_power_of_two() { 0.0 } else { 2.0 };
+            (l + fix, s * l + fix * s)
+        }
+        AlgoClass::AllreduceRabenseifner => (l + pf - 1.0, 2.0 * s),
+        AlgoClass::BcastBinomial => (l, s * l),
+        AlgoClass::BcastScatterAllgather => (2.0 * (pf - 1.0), 2.0 * s),
+        AlgoClass::AllgatherRing => (pf - 1.0, (pf - 1.0) * s),
+        AlgoClass::AllgatherRd | AlgoClass::AllgatherBruck => (l, (2.0 * pf - 3.0).max(1.0) * s),
+        AlgoClass::AlltoallPairwise => (pf - 1.0, (pf - 1.0) * s),
+        AlgoClass::AlltoallBruck => (l, l * (pf / 2.0) * s),
+        AlgoClass::ReduceBinomial => (l, s * l),
+        AlgoClass::ReduceFlat => (pf - 1.0, (pf - 1.0) * s),
+        // Degree-driven: `s` carries the collectively-agreed degree,
+        // and the payload volume is deliberately not modelled (per-rank
+        // payload sizes are not symmetric inputs) — alpha absorbs the
+        // typical per-message cost.
+        AlgoClass::NeighborhoodSparse => (s.max(1.0), 0.0),
+        AlgoClass::NeighborhoodDense => ((pf - 1.0).max(1.0), 0.0),
+    }
+}
+
+fn candidate<A>(algo: A, class: AlgoClass, p: usize, s: f64, rounds: f64) -> Candidate<A> {
+    let (startups, bytes) = class_features(class, p, s);
+    Candidate {
+        algo,
+        class,
+        startups,
+        bytes,
+        rounds,
+    }
+}
+
+/// Blocking choice: static until the static class is warm, then
+/// explore cold candidates (fewest observations first, ties to the
+/// lowest index), then the warm argmin — refreshed every
+/// [`ModelConfig::reexplore_every`]-th driven call (`seq`, the
+/// rank-aligned tick counter) by re-measuring the least-observed
+/// candidate so stale cold-start estimates cannot lock in a loser.
+fn choose_blocking<A: Copy>(
+    snap: &ModelSnapshot,
+    cfg: &ModelConfig,
+    cands: &[Candidate<A>],
+    static_i: usize,
+    seq: u64,
+) -> (usize, Pick) {
+    let est = |i: usize| snap.classes[cands[i].class.index()];
+    if !est(static_i).warm(cfg.warmup_obs) {
+        return (static_i, Pick::Static);
+    }
+    let mut cold: Option<usize> = None;
+    for i in 0..cands.len() {
+        if !est(i).warm(cfg.warmup_obs) && cold.is_none_or(|j| est(i).obs < est(j).obs) {
+            cold = Some(i);
+        }
+    }
+    if let Some(i) = cold {
+        return (i, Pick::Explore);
+    }
+    if cfg.reexplore_every > 0 && seq.is_multiple_of(u64::from(cfg.reexplore_every)) {
+        let stalest = (0..cands.len()).min_by_key(|&i| est(i).obs).unwrap_or(0);
+        return (stalest, Pick::Explore);
+    }
+    (argmin_cost(snap, cfg, cands, 0.0), Pick::Model)
+}
+
+/// Non-blocking choice: static until *every* candidate class is warm
+/// (the engines are never measured, so exploration could not warm them
+/// anyway), then the argmin with the per-round overlap penalty.
+fn choose_overlap<A: Copy>(
+    snap: &ModelSnapshot,
+    cfg: &ModelConfig,
+    cands: &[Candidate<A>],
+    static_i: usize,
+) -> (usize, Pick) {
+    let all_warm = cands
+        .iter()
+        .all(|c| snap.classes[c.class.index()].warm(cfg.warmup_obs));
+    if !all_warm {
+        return (static_i, Pick::Static);
+    }
+    let bias = f64::from(cfg.overlap_alpha_pct) / 100.0;
+    (argmin_cost(snap, cfg, cands, bias), Pick::Model)
+}
+
+fn argmin_cost<A: Copy>(
+    snap: &ModelSnapshot,
+    _cfg: &ModelConfig,
+    cands: &[Candidate<A>],
+    round_bias: f64,
+) -> usize {
+    let mut best = 0usize;
+    let mut best_cost = f64::INFINITY;
+    for (i, c) in cands.iter().enumerate() {
+        let e = snap.classes[c.class.index()];
+        let cost = e.predict_ns(c.startups, c.bytes) + c.rounds * e.alpha_ns * round_bias;
+        if cost < best_cost {
+            best = i;
+            best_cost = cost;
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Per-collective selection (blocking: model may explore and override;
+// non-blocking `i*` variants: snapshot-only, overlap-biased)
+// ---------------------------------------------------------------------------
+
+/// Class of a concrete allreduce algorithm.
+pub(crate) fn allreduce_class(algo: AllreduceAlgo) -> AlgoClass {
+    match algo {
+        AllreduceAlgo::RecursiveDoubling => AlgoClass::AllreduceRd,
+        AllreduceAlgo::Rabenseifner => AlgoClass::AllreduceRabenseifner,
+    }
+}
+
+/// Class of a concrete bcast algorithm.
+pub(crate) fn bcast_class(algo: BcastAlgo) -> AlgoClass {
+    match algo {
+        BcastAlgo::Binomial => AlgoClass::BcastBinomial,
+        BcastAlgo::ScatterAllgather => AlgoClass::BcastScatterAllgather,
+    }
+}
+
+/// Class of a concrete allgather algorithm.
+pub(crate) fn allgather_class(algo: AllgatherAlgo) -> AlgoClass {
+    match algo {
+        AllgatherAlgo::Ring => AlgoClass::AllgatherRing,
+        AllgatherAlgo::RecursiveDoubling => AlgoClass::AllgatherRd,
+        AllgatherAlgo::Bruck => AlgoClass::AllgatherBruck,
+    }
+}
+
+/// Class of a concrete alltoall algorithm.
+pub(crate) fn alltoall_class(algo: AlltoallAlgo) -> AlgoClass {
+    match algo {
+        AlltoallAlgo::Pairwise => AlgoClass::AlltoallPairwise,
+        AlltoallAlgo::Bruck => AlgoClass::AlltoallBruck,
+    }
+}
+
+/// Class of a concrete reduce algorithm.
+pub(crate) fn reduce_class(algo: ReduceAlgo) -> AlgoClass {
+    match algo {
+        ReduceAlgo::BinomialTree => AlgoClass::ReduceBinomial,
+        ReduceAlgo::FlatGather => AlgoClass::ReduceFlat,
+    }
+}
+
+/// Class of a concrete neighborhood algorithm.
+pub(crate) fn neighborhood_class(algo: NeighborhoodAlgo) -> AlgoClass {
+    match algo {
+        NeighborhoodAlgo::Sparse => AlgoClass::NeighborhoodSparse,
+        NeighborhoodAlgo::Dense => AlgoClass::NeighborhoodDense,
+    }
+}
+
+macro_rules! blocking_select {
+    ($comm:expr, $stat:expr, $force:expr, $class_of:expr, $cands:expr) => {{
+        let tuning = $comm.tuning();
+        let stat = $stat;
+        if $force {
+            note_decision($class_of(stat), Pick::Forced);
+            return stat;
+        }
+        if !tuning.model.drive || $comm.size() < 2 {
+            note_decision($class_of(stat), Pick::Static);
+            return stat;
+        }
+        let (snap, seq) = {
+            let m = $comm.model_state_mut();
+            (m.snapshot(), m.seq())
+        };
+        let cands = $cands;
+        let static_i = cands
+            .iter()
+            .position(|c| c.algo == stat)
+            .unwrap_or_default();
+        let (i, pick) = choose_blocking(&snap, &tuning.model, &cands, static_i, seq);
+        note_decision(cands[i].class, pick);
+        cands[i].algo
+    }};
+}
+
+/// Blocking allreduce selection for `bytes` payload bytes per rank.
+pub(crate) fn select_allreduce(comm: &Comm, bytes: usize) -> AllreduceAlgo {
+    let p = comm.size();
+    let s = bytes as f64;
+    let t = comm.tuning();
+    blocking_select!(
+        comm,
+        t.allreduce_algo(p, bytes),
+        matches!(t.allreduce, Select::Force(_)),
+        allreduce_class,
+        [
+            candidate(
+                AllreduceAlgo::RecursiveDoubling,
+                AlgoClass::AllreduceRd,
+                p,
+                s,
+                0.0
+            ),
+            candidate(
+                AllreduceAlgo::Rabenseifner,
+                AlgoClass::AllreduceRabenseifner,
+                p,
+                s,
+                0.0
+            ),
+        ]
+    )
+}
+
+/// Sized-bcast selection for a payload of `bytes` bytes.
+pub(crate) fn select_bcast(comm: &Comm, bytes: usize) -> BcastAlgo {
+    let p = comm.size();
+    let s = bytes as f64;
+    let t = comm.tuning();
+    blocking_select!(
+        comm,
+        t.bcast_algo(p, bytes),
+        matches!(t.bcast, Select::Force(_)),
+        bcast_class,
+        [
+            candidate(BcastAlgo::Binomial, AlgoClass::BcastBinomial, p, s, 0.0),
+            candidate(
+                BcastAlgo::ScatterAllgather,
+                AlgoClass::BcastScatterAllgather,
+                p,
+                s,
+                0.0
+            ),
+        ]
+    )
+}
+
+/// Equal-block allgather selection for `bytes` contribution bytes per
+/// rank. Recursive doubling stays gated to power-of-two `p`.
+pub(crate) fn select_allgather(comm: &Comm, bytes: usize) -> AllgatherAlgo {
+    let p = comm.size();
+    let s = bytes as f64;
+    let t = comm.tuning();
+    if p.is_power_of_two() {
+        blocking_select!(
+            comm,
+            t.allgather_algo(p, bytes),
+            matches!(t.allgather, Select::Force(_)),
+            allgather_class,
+            [
+                candidate(AllgatherAlgo::Ring, AlgoClass::AllgatherRing, p, s, 0.0),
+                candidate(
+                    AllgatherAlgo::RecursiveDoubling,
+                    AlgoClass::AllgatherRd,
+                    p,
+                    s,
+                    0.0
+                ),
+                candidate(AllgatherAlgo::Bruck, AlgoClass::AllgatherBruck, p, s, 0.0),
+            ]
+        )
+    } else {
+        blocking_select!(
+            comm,
+            t.allgather_algo(p, bytes),
+            matches!(t.allgather, Select::Force(_)),
+            allgather_class,
+            [
+                candidate(AllgatherAlgo::Ring, AlgoClass::AllgatherRing, p, s, 0.0),
+                candidate(AllgatherAlgo::Bruck, AlgoClass::AllgatherBruck, p, s, 0.0),
+            ]
+        )
+    }
+}
+
+/// Equal-block alltoall selection for `block_bytes` bytes per block.
+pub(crate) fn select_alltoall(comm: &Comm, block_bytes: usize) -> AlltoallAlgo {
+    let p = comm.size();
+    let s = block_bytes as f64;
+    let t = comm.tuning();
+    blocking_select!(
+        comm,
+        t.alltoall_algo(p, block_bytes),
+        matches!(t.alltoall, Select::Force(_)),
+        alltoall_class,
+        [
+            candidate(
+                AlltoallAlgo::Pairwise,
+                AlgoClass::AlltoallPairwise,
+                p,
+                s,
+                0.0
+            ),
+            candidate(AlltoallAlgo::Bruck, AlgoClass::AlltoallBruck, p, s, 0.0),
+        ]
+    )
+}
+
+/// Blocking reduce selection. Non-commutative operations always fold
+/// flat in rank order (the model never overrides correctness).
+pub(crate) fn select_reduce(comm: &Comm, commutative: bool, bytes: usize) -> ReduceAlgo {
+    let p = comm.size();
+    let s = bytes as f64;
+    let t = comm.tuning();
+    let stat = t.reduce_algo(commutative, ReduceAlgo::BinomialTree);
+    if !commutative {
+        note_decision(reduce_class(stat), Pick::Static);
+        return stat;
+    }
+    blocking_select!(
+        comm,
+        stat,
+        matches!(t.reduce, Select::Force(_)),
+        reduce_class,
+        [
+            candidate(
+                ReduceAlgo::BinomialTree,
+                AlgoClass::ReduceBinomial,
+                p,
+                s,
+                0.0
+            ),
+            candidate(ReduceAlgo::FlatGather, AlgoClass::ReduceFlat, p, s, 0.0),
+        ]
+    )
+}
+
+/// Neighborhood exchange selection from collectively-agreed inputs
+/// only (`p`, `max_degree`, eligibility — never per-rank payload
+/// sizes).
+pub(crate) fn select_neighborhood(
+    comm: &Comm,
+    dense_eligible: bool,
+    max_degree: usize,
+) -> NeighborhoodAlgo {
+    let p = comm.size();
+    let d = max_degree as f64;
+    let t = comm.tuning();
+    if !dense_eligible {
+        note_decision(AlgoClass::NeighborhoodSparse, Pick::Static);
+        return NeighborhoodAlgo::Sparse;
+    }
+    blocking_select!(
+        comm,
+        t.neighborhood_algo(p, max_degree),
+        matches!(t.neighborhood, Select::Force(_)),
+        neighborhood_class,
+        [
+            candidate(
+                NeighborhoodAlgo::Sparse,
+                AlgoClass::NeighborhoodSparse,
+                p,
+                d,
+                0.0
+            ),
+            candidate(
+                NeighborhoodAlgo::Dense,
+                AlgoClass::NeighborhoodDense,
+                p,
+                d,
+                0.0
+            ),
+        ]
+    )
+}
+
+/// Non-blocking alltoall selection (snapshot-only; overlap-biased).
+/// The pairwise engine posts everything eagerly (one serialized
+/// round); the Bruck engine serializes `ceil(log2 p)` rounds.
+pub(crate) fn select_ialltoall(comm: &Comm, block_bytes: usize) -> AlltoallAlgo {
+    let p = comm.size();
+    let s = block_bytes as f64;
+    let t = comm.tuning();
+    if let Select::Force(a) = t.alltoall {
+        let a = if p < 2 { AlltoallAlgo::Pairwise } else { a };
+        note_decision(alltoall_class(a), Pick::Forced);
+        return a;
+    }
+    let stat = AlltoallAlgo::Pairwise;
+    if !t.model.drive || p < 2 {
+        note_decision(alltoall_class(stat), Pick::Static);
+        return stat;
+    }
+    let snap = comm.model_state_mut().snapshot();
+    let cands = [
+        candidate(
+            AlltoallAlgo::Pairwise,
+            AlgoClass::AlltoallPairwise,
+            p,
+            s,
+            1.0,
+        ),
+        candidate(
+            AlltoallAlgo::Bruck,
+            AlgoClass::AlltoallBruck,
+            p,
+            s,
+            ceil_log2(p),
+        ),
+    ];
+    let (i, pick) = choose_overlap(&snap, &t.model, &cands, 0);
+    note_decision(cands[i].class, pick);
+    cands[i].algo
+}
+
+/// Non-blocking reduce/allreduce selection (snapshot-only;
+/// overlap-biased). Reuses the blocking reduce classes as estimates —
+/// the engines move the same messages, just drained on poll.
+pub(crate) fn select_ireduce(comm: &Comm, commutative: bool, bytes: usize) -> ReduceAlgo {
+    let p = comm.size();
+    let s = bytes as f64;
+    let t = comm.tuning();
+    let stat = t.reduce_algo(commutative, ReduceAlgo::FlatGather);
+    if !commutative {
+        note_decision(reduce_class(stat), Pick::Static);
+        return stat;
+    }
+    if let Select::Force(_) = t.reduce {
+        note_decision(reduce_class(stat), Pick::Forced);
+        return stat;
+    }
+    if !t.model.drive || p < 2 {
+        note_decision(reduce_class(stat), Pick::Static);
+        return stat;
+    }
+    let snap = comm.model_state_mut().snapshot();
+    let cands = [
+        candidate(ReduceAlgo::FlatGather, AlgoClass::ReduceFlat, p, s, 1.0),
+        candidate(
+            ReduceAlgo::BinomialTree,
+            AlgoClass::ReduceBinomial,
+            p,
+            s,
+            ceil_log2(p),
+        ),
+    ];
+    let (i, pick) = choose_overlap(&snap, &t.model, &cands, 0);
+    note_decision(cands[i].class, pick);
+    cands[i].algo
+}
+
+/// Non-blocking equal-block allgather selection (snapshot-only;
+/// overlap-biased). `Ring` denotes the flat eager fan-out engine (same
+/// startups and volume, all sends posted at call time); the RD and
+/// Bruck engines serialize their log rounds. RD requires power-of-two
+/// `p` and yields to the flat engine elsewhere, like the blocking
+/// selection.
+pub(crate) fn select_iallgather(comm: &Comm, bytes: usize) -> AllgatherAlgo {
+    let p = comm.size();
+    let s = bytes as f64;
+    let t = comm.tuning();
+    if p < 2 {
+        note_decision(AlgoClass::AllgatherRing, Pick::Static);
+        return AllgatherAlgo::Ring;
+    }
+    if let Select::Force(a) = t.allgather {
+        let a = match a {
+            AllgatherAlgo::RecursiveDoubling if !p.is_power_of_two() => AllgatherAlgo::Ring,
+            a => a,
+        };
+        note_decision(allgather_class(a), Pick::Forced);
+        return a;
+    }
+    if !t.model.drive {
+        note_decision(AlgoClass::AllgatherRing, Pick::Static);
+        return AllgatherAlgo::Ring;
+    }
+    let snap = comm.model_state_mut().snapshot();
+    let flat = candidate(AllgatherAlgo::Ring, AlgoClass::AllgatherRing, p, s, 1.0);
+    let bruck = candidate(
+        AllgatherAlgo::Bruck,
+        AlgoClass::AllgatherBruck,
+        p,
+        s,
+        ceil_log2(p),
+    );
+    if p.is_power_of_two() {
+        let rd = candidate(
+            AllgatherAlgo::RecursiveDoubling,
+            AlgoClass::AllgatherRd,
+            p,
+            s,
+            ceil_log2(p),
+        );
+        let cands = [flat, rd, bruck];
+        let (i, pick) = choose_overlap(&snap, &t.model, &cands, 0);
+        note_decision(cands[i].class, pick);
+        cands[i].algo
+    } else {
+        let cands = [flat, bruck];
+        let (i, pick) = choose_overlap(&snap, &t.model, &cands, 0);
+        note_decision(cands[i].class, pick);
+        cands[i].algo
+    }
+}
+
+/// Records a selection frozen into a persistent plan at `*_init`
+/// (snapshot-only — a plan never re-selects at `start()`).
+pub(crate) fn freeze_selection(_comm: &Comm, class: AlgoClass) {
+    note_decision(class, Pick::Frozen);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_fold_splits_cost() {
+        let mut e = ClassEstimate::default();
+        // 4 startups, no bytes: all cost is alpha.
+        e.fold(4.0, 0.0, 8_000.0, 30, 1);
+        assert_eq!(e.alpha_ns, 2_000.0);
+        assert_eq!(e.beta_ns_per_byte, 0.0);
+        assert_eq!(e.obs, 1);
+
+        let mut e = ClassEstimate::default();
+        // 2 startups, 1000 bytes, 4000 ns: half to each coordinate.
+        e.fold(2.0, 1000.0, 4_000.0, 30, 1);
+        assert_eq!(e.alpha_ns, 1_000.0);
+        assert_eq!(e.beta_ns_per_byte, 2.0);
+    }
+
+    #[test]
+    fn repeated_folds_converge_to_the_measurement() {
+        let mut e = ClassEstimate::default();
+        for _ in 0..50 {
+            e.fold(3.0, 4096.0, 90_000.0, 30, 1);
+        }
+        let predicted = e.predict_ns(3.0, 4096.0);
+        assert!(
+            (predicted - 90_000.0).abs() < 900.0,
+            "prediction {predicted} should converge to the repeated measurement"
+        );
+        assert_eq!(e.obs, 50);
+    }
+
+    #[test]
+    fn ewma_decays_old_observations() {
+        let mut e = ClassEstimate::default();
+        e.fold(1.0, 0.0, 1_000_000.0, 30, 1); // one slow call
+        for _ in 0..40 {
+            e.fold(1.0, 0.0, 1_000.0, 30, 1); // then consistently fast
+        }
+        assert!(
+            e.alpha_ns < 1_100.0,
+            "old outlier must decay away, alpha = {}",
+            e.alpha_ns
+        );
+    }
+
+    #[test]
+    fn estimates_never_go_negative_and_prediction_is_monotone() {
+        let mut e = ClassEstimate::default();
+        e.fold(2.0, 1000.0, 4_000.0, 50, 1);
+        // Adversarial follow-ups cheaper than the current other-term
+        // share: residual clamps at zero instead of going negative.
+        for _ in 0..20 {
+            e.fold(2.0, 1000.0, 1.0, 100, 1);
+        }
+        assert!(e.alpha_ns >= 0.0 && e.beta_ns_per_byte >= 0.0);
+        // Monotonicity in both features.
+        let base = e.predict_ns(2.0, 1000.0);
+        assert!(e.predict_ns(3.0, 1000.0) >= base);
+        assert!(e.predict_ns(2.0, 2000.0) >= base);
+        assert!(e.predict_ns(5.0, 9000.0) >= e.predict_ns(4.0, 9000.0));
+    }
+
+    #[test]
+    fn snapshot_wire_roundtrip() {
+        let mut snap = ModelSnapshot {
+            epoch: 17,
+            ..ModelSnapshot::default()
+        };
+        for (i, c) in snap.classes.iter_mut().enumerate() {
+            c.alpha_ns = 100.0 + i as f64;
+            c.beta_ns_per_byte = 0.25 * i as f64;
+            c.obs = 3 * i as u32;
+        }
+        let wire = snap.to_wire();
+        assert_eq!(wire.len(), SNAPSHOT_WIRE_BYTES);
+        let back = ModelSnapshot::from_wire(&wire).expect("valid wire form");
+        assert_eq!(back, snap);
+        assert!(ModelSnapshot::from_wire(&wire[1..]).is_none());
+    }
+
+    fn cands2(a_class: AlgoClass, b_class: AlgoClass) -> [Candidate<u8>; 2] {
+        [
+            candidate(0u8, a_class, 8, 1024.0, 1.0),
+            candidate(1u8, b_class, 8, 1024.0, 3.0),
+        ]
+    }
+
+    #[test]
+    fn choose_follows_static_until_warm_then_explores_then_predicts() {
+        let cfg = ModelConfig::default().drive(true);
+        let mut snap = ModelSnapshot::default();
+        let cands = cands2(AlgoClass::AllreduceRd, AlgoClass::AllreduceRabenseifner);
+
+        // Everything cold: static.
+        assert_eq!(
+            choose_blocking(&snap, &cfg, &cands, 0, 1),
+            (0, Pick::Static)
+        );
+
+        // Static class warm, other cold: explore it.
+        snap.classes[AlgoClass::AllreduceRd.index()].obs = cfg.warmup_obs;
+        assert_eq!(
+            choose_blocking(&snap, &cfg, &cands, 0, 1),
+            (1, Pick::Explore)
+        );
+
+        // All warm: argmin of predicted cost.
+        let rd = &mut snap.classes[AlgoClass::AllreduceRd.index()];
+        rd.alpha_ns = 10_000.0;
+        let rab = &mut snap.classes[AlgoClass::AllreduceRabenseifner.index()];
+        rab.obs = cfg.warmup_obs;
+        rab.alpha_ns = 1.0;
+        assert_eq!(choose_blocking(&snap, &cfg, &cands, 0, 1), (1, Pick::Model));
+    }
+
+    #[test]
+    fn warm_choice_periodically_remeasures_the_stalest_candidate() {
+        let cfg = ModelConfig::default().drive(true);
+        let mut snap = ModelSnapshot::default();
+        let cands = cands2(AlgoClass::AllreduceRd, AlgoClass::AllreduceRabenseifner);
+        // Both warm; the winner (index 1) has accrued many more
+        // observations than the loser's warm-up leftovers.
+        let rd = &mut snap.classes[AlgoClass::AllreduceRd.index()];
+        rd.obs = cfg.warmup_obs;
+        rd.alpha_ns = 10_000.0;
+        let rab = &mut snap.classes[AlgoClass::AllreduceRabenseifner.index()];
+        rab.obs = cfg.warmup_obs + 40;
+        rab.alpha_ns = 1.0;
+        // Off-cadence: argmin. On-cadence: the stale loser is refreshed.
+        let every = u64::from(cfg.reexplore_every);
+        assert_eq!(
+            choose_blocking(&snap, &cfg, &cands, 0, every + 1),
+            (1, Pick::Model)
+        );
+        assert_eq!(
+            choose_blocking(&snap, &cfg, &cands, 0, every),
+            (0, Pick::Explore)
+        );
+        // Disabled cadence never re-explores.
+        let off = cfg.reexplore_every(0);
+        assert_eq!(
+            choose_blocking(&snap, &off, &cands, 0, every),
+            (1, Pick::Model)
+        );
+    }
+
+    #[test]
+    fn overlap_choice_stays_static_until_all_warm_and_charges_rounds() {
+        let cfg = ModelConfig::default().drive(true);
+        let mut snap = ModelSnapshot::default();
+        let cands = cands2(AlgoClass::AlltoallPairwise, AlgoClass::AlltoallBruck);
+
+        // Partial warmth is not enough for the unmeasured engines.
+        snap.classes[AlgoClass::AlltoallPairwise.index()].obs = cfg.warmup_obs;
+        assert_eq!(choose_overlap(&snap, &cfg, &cands, 0), (0, Pick::Static));
+
+        // Warm, identical base costs: the per-round alpha penalty makes
+        // the 3-round candidate lose.
+        for class in [AlgoClass::AlltoallPairwise, AlgoClass::AlltoallBruck] {
+            let c = &mut snap.classes[class.index()];
+            c.obs = cfg.warmup_obs;
+            c.alpha_ns = 1_000.0;
+            c.beta_ns_per_byte = 0.0;
+        }
+        // Equalize the base cost by feature count: pairwise (p-1 = 7
+        // startups) vs Bruck (3 startups × ~4096 packed bytes·0) —
+        // Bruck's base is cheaper, but crank the round bias to flip it.
+        let heavy = ModelConfig::default().drive(true).overlap_alpha_pct(10_000);
+        assert_eq!(choose_overlap(&snap, &heavy, &cands, 0), (0, Pick::Model));
+        // With no bias, Bruck's fewer startups win.
+        let none = ModelConfig::default().drive(true).overlap_alpha_pct(0);
+        assert_eq!(choose_overlap(&snap, &none, &cands, 0), (1, Pick::Model));
+    }
+
+    #[test]
+    fn class_features_are_positive_and_scale() {
+        for class in AlgoClass::ALL {
+            let (s1, v1) = class_features(class, 8, 1024.0);
+            let (s2, v2) = class_features(class, 8, 4096.0);
+            assert!(s1 >= 1.0, "{class:?} startups");
+            assert!(v1 >= 0.0, "{class:?} bytes");
+            assert!(s2 >= s1 && v2 >= v1, "{class:?} monotone in size");
+        }
+    }
+
+    #[test]
+    fn weighted_fold_counts_all_calls() {
+        let mut e = ClassEstimate::default();
+        e.fold(2.0, 64.0, 5_000.0, 30, 7);
+        assert_eq!(e.obs, 7);
+    }
+}

@@ -57,7 +57,9 @@ pub(crate) fn allgather_blocks(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
 /// so all ranks resolve the same [`AllgatherAlgo`] from the shared
 /// tuning and the agreed block size.
 pub(crate) fn allgather_blocks_tuned(comm: &Comm, own: Bytes) -> Result<Vec<Bytes>> {
-    let algo = comm.tuning().allgather_algo(comm.size(), own.len());
+    let bytes = own.len();
+    super::algos::model::tick(comm)?;
+    let algo = super::algos::model::select_allgather(comm, bytes);
     let _sp = crate::trace::span(
         crate::trace::cat::COLL,
         match algo {
@@ -65,14 +67,22 @@ pub(crate) fn allgather_blocks_tuned(comm: &Comm, own: Bytes) -> Result<Vec<Byte
             AllgatherAlgo::Bruck => "allgather/bruck",
             AllgatherAlgo::Ring => "allgather/ring",
         },
-        own.len() as u64,
+        bytes as u64,
         comm.size() as u64,
     );
-    match algo {
-        AllgatherAlgo::RecursiveDoubling => allgather_blocks_rd(comm, own),
-        AllgatherAlgo::Bruck => allgather_blocks_bruck(comm, own),
-        AllgatherAlgo::Ring => allgather_blocks(comm, own),
-    }
+    let begun = super::algos::model::measure_begin(comm);
+    let out = match algo {
+        AllgatherAlgo::RecursiveDoubling => allgather_blocks_rd(comm, own)?,
+        AllgatherAlgo::Bruck => allgather_blocks_bruck(comm, own)?,
+        AllgatherAlgo::Ring => allgather_blocks(comm, own)?,
+    };
+    super::algos::model::observe(
+        comm,
+        super::algos::model::allgather_class(algo),
+        begun,
+        bytes as f64,
+    );
+    Ok(out)
 }
 
 /// Allgather of equal-size contributions; returns the concatenation

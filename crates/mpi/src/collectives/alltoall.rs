@@ -29,8 +29,10 @@ impl Comm {
             )));
         }
         let n = send.len() / p;
-        let bruck = p > 1
-            && self.tuning().alltoall_algo(p, n * std::mem::size_of::<T>()) == AlltoallAlgo::Bruck;
+        let block_bytes = n * std::mem::size_of::<T>();
+        algos::model::tick(self)?;
+        let bruck =
+            p > 1 && algos::model::select_alltoall(self, block_bytes) == AlltoallAlgo::Bruck;
         let _sp = crate::trace::span(
             crate::trace::cat::COLL,
             if bruck {
@@ -38,15 +40,24 @@ impl Comm {
             } else {
                 "alltoall/pairwise"
             },
-            (n * std::mem::size_of::<T>()) as u64,
+            block_bytes as u64,
             p as u64,
         );
+        let begun = algos::model::measure_begin(self);
+        let class = algos::model::alltoall_class(if bruck {
+            AlltoallAlgo::Bruck
+        } else {
+            AlltoallAlgo::Pairwise
+        });
         if bruck {
-            return algos::alltoall::bruck(self, send, n, recv);
+            algos::alltoall::bruck(self, send, n, recv)?;
+        } else {
+            let counts: Vec<usize> = vec![n; p];
+            let displs: Vec<usize> = (0..p).map(|r| r * n).collect();
+            alltoallv_internal(self, send, &counts, &displs, recv, &counts, &displs)?;
         }
-        let counts: Vec<usize> = vec![n; p];
-        let displs: Vec<usize> = (0..p).map(|r| r * n).collect();
-        alltoallv_internal(self, send, &counts, &displs, recv, &counts, &displs)
+        algos::model::observe(self, class, begun, block_bytes as f64);
+        Ok(())
     }
 
     /// Personalized all-to-all with per-destination counts and

@@ -7,7 +7,10 @@ use super::algos::{self, BcastAlgo, BcastParts};
 use super::{recv_internal, send_internal};
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
-use crate::plain::{as_bytes_mut, bytes_from_slice, bytes_into_vec};
+use crate::plain::{
+    as_bytes, as_bytes_mut, bytes_from_slice, bytes_from_vec, bytes_into_vec, bytes_to_vec,
+    extend_vec_from_bytes,
+};
 use crate::{Plain, Rank};
 
 /// Broadcasts `payload` (significant at root) down a binomial tree over
@@ -91,7 +94,8 @@ pub(crate) fn bcast_parts_internal(
             comm_size: p,
         });
     }
-    let algo = comm.tuning().bcast_algo(p, size);
+    algos::model::tick(comm)?;
+    let algo = algos::model::select_bcast(comm, size);
     let _sp = crate::trace::span(
         crate::trace::cat::COLL,
         match algo {
@@ -101,10 +105,13 @@ pub(crate) fn bcast_parts_internal(
         size as u64,
         p as u64,
     );
-    match algo {
-        BcastAlgo::Binomial => bcast_bytes_internal(comm, payload, root).map(BcastParts::Whole),
-        BcastAlgo::ScatterAllgather => algos::bcast::scatter_allgather(comm, payload, size, root),
-    }
+    let begun = algos::model::measure_begin(comm);
+    let out = match algo {
+        BcastAlgo::Binomial => bcast_bytes_internal(comm, payload, root).map(BcastParts::Whole)?,
+        BcastAlgo::ScatterAllgather => algos::bcast::scatter_allgather(comm, payload, size, root)?,
+    };
+    algos::model::observe(comm, algos::model::bcast_class(algo), begun, size as f64);
+    Ok(out)
 }
 
 /// Broadcasts a single plain value (used internally for context ids).
@@ -166,12 +173,120 @@ impl Comm {
     /// Broadcasts a vector from the root; non-root ranks receive a fresh
     /// vector of whatever length the root sent (a convenience the C API
     /// lacks: the length travels with the message).
+    ///
+    /// Header-first sized protocol: the root prepends an 8-byte length
+    /// header, so the sized tuning — including the large-message
+    /// scatter+allgather algorithm — applies even though only the root
+    /// knows the payload size up front. Under the binomial pick the
+    /// header rides fused with the payload in a single message; under
+    /// scatter+allgather an 8-byte header-only broadcast goes first and
+    /// every rank then joins the chunked exchange. The root's choice is
+    /// conveyed purely by message shape — non-roots never re-select.
     pub fn bcast_vec<T: Plain>(&self, data: Option<&[T]>, root: Rank) -> Result<Vec<T>> {
         self.count_op("bcast");
-        let payload =
-            (self.rank() == root).then(|| bytes_from_slice(data.expect("root must supply data")));
-        let bytes = bcast_bytes_internal(self, payload, root)?;
-        Ok(bytes_into_vec(bytes))
+        let p = self.size();
+        if root >= p {
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                comm_size: p,
+            });
+        }
+        algos::model::tick(self)?;
+        let begun = algos::model::measure_begin(self);
+        if self.rank() == root {
+            let data = data.expect("root must supply data");
+            let size = std::mem::size_of_val(data);
+            // Empty payloads always fuse: scatter+allgather cannot ship
+            // zero-length chunks, and 8 bytes is trivially small anyway.
+            let algo = if size == 0 {
+                BcastAlgo::Binomial
+            } else {
+                algos::model::select_bcast(self, size)
+            };
+            let _sp = crate::trace::span(
+                crate::trace::cat::COLL,
+                match algo {
+                    BcastAlgo::Binomial => "bcast/binomial",
+                    BcastAlgo::ScatterAllgather => "bcast/scatter_allgather",
+                },
+                size as u64,
+                p as u64,
+            );
+            match algo {
+                BcastAlgo::Binomial => {
+                    let mut fused: Vec<u8> = Vec::with_capacity(8 + size);
+                    crate::metrics::record_alloc();
+                    fused.extend_from_slice(&(size as u64).to_le_bytes());
+                    extend_vec_from_bytes(&mut fused, as_bytes(data));
+                    bcast_bytes_internal(self, Some(bytes_from_vec(fused)), root)?;
+                    algos::model::observe(
+                        self,
+                        algos::AlgoClass::BcastBinomial,
+                        begun,
+                        size as f64,
+                    );
+                    Ok(bytes_to_vec(as_bytes(data)))
+                }
+                BcastAlgo::ScatterAllgather => {
+                    bcast_bytes_internal(self, Some(bytes_from_slice(&[size as u64])), root)?;
+                    let parts = algos::bcast::scatter_allgather(
+                        self,
+                        Some(bytes_from_slice(data)),
+                        size,
+                        root,
+                    )?;
+                    algos::model::observe(
+                        self,
+                        algos::AlgoClass::BcastScatterAllgather,
+                        begun,
+                        size as f64,
+                    );
+                    Ok(parts.into_vec())
+                }
+            }
+        } else {
+            let msg = bcast_bytes_internal(self, None, root)?;
+            if msg.len() < 8 {
+                return Err(MpiError::InvalidLayout(format!(
+                    "bcast_vec: malformed size header ({} bytes)",
+                    msg.len()
+                )));
+            }
+            let size = u64::from_le_bytes(msg[..8].try_into().expect("8-byte header")) as usize;
+            if msg.len() == 8 + size {
+                // Fused header + payload: the root picked binomial.
+                let _sp = crate::trace::span(
+                    crate::trace::cat::COLL,
+                    "bcast/binomial",
+                    size as u64,
+                    p as u64,
+                );
+                let out = bytes_to_vec(&msg[8..]);
+                algos::model::observe(self, algos::AlgoClass::BcastBinomial, begun, size as f64);
+                Ok(out)
+            } else if msg.len() == 8 {
+                // Header only: the root picked scatter+allgather; join it.
+                let _sp = crate::trace::span(
+                    crate::trace::cat::COLL,
+                    "bcast/scatter_allgather",
+                    size as u64,
+                    p as u64,
+                );
+                let parts = algos::bcast::scatter_allgather(self, None, size, root)?;
+                algos::model::observe(
+                    self,
+                    algos::AlgoClass::BcastScatterAllgather,
+                    begun,
+                    size as f64,
+                );
+                Ok(parts.into_vec())
+            } else {
+                Err(MpiError::InvalidLayout(format!(
+                    "bcast_vec: header says {size} bytes but message carries {}",
+                    msg.len() - 8
+                )))
+            }
+        }
     }
 
     /// Broadcasts one plain value from the root.
@@ -268,6 +383,70 @@ mod tests {
                 let err = comm.bcast_into(&mut buf, 0).unwrap_err();
                 assert!(matches!(err, crate::MpiError::Truncated { .. }));
             }
+        });
+    }
+
+    #[test]
+    fn bcast_vec_large_payload_joins_scatter_allgather() {
+        // 512 KiB at p = 4 crosses `bcast_scatter_min_bytes`: the
+        // header-first protocol lets non-roots join van de Geijn without
+        // supplying the length up front (no recv_count required).
+        Universe::run(4, |comm| {
+            let data: Vec<u64> = (0..65_536u64).map(|i| i.wrapping_mul(3) + 1).collect();
+            let got = comm
+                .bcast_vec(
+                    if comm.rank() == 1 {
+                        Some(&data[..])
+                    } else {
+                        None
+                    },
+                    1,
+                )
+                .unwrap();
+            assert_eq!(got, data);
+        });
+    }
+
+    #[test]
+    fn bcast_vec_forced_scatter_allgather_via_header() {
+        // A forced large-message algorithm engages on the sized vec path
+        // even for small payloads; non-roots follow the header-only shape.
+        Universe::run(5, |comm| {
+            comm.set_tuning(
+                crate::collectives::CollTuning::default()
+                    .bcast(crate::collectives::BcastAlgo::ScatterAllgather),
+            );
+            let data: Vec<u16> = (0..23u16).collect();
+            let got = comm
+                .bcast_vec(
+                    if comm.rank() == 3 {
+                        Some(&data[..])
+                    } else {
+                        None
+                    },
+                    3,
+                )
+                .unwrap();
+            assert_eq!(got, data);
+        });
+    }
+
+    #[test]
+    fn bcast_vec_empty_payload() {
+        // Zero-length payloads always fuse into the binomial header.
+        Universe::run(4, |comm| {
+            let empty: [u32; 0] = [];
+            let got: Vec<u32> = comm
+                .bcast_vec(
+                    if comm.rank() == 0 {
+                        Some(&empty[..])
+                    } else {
+                        None
+                    },
+                    0,
+                )
+                .unwrap();
+            assert!(got.is_empty());
         });
     }
 

@@ -23,8 +23,9 @@
 //! | `bcast`          | binomial tree                          | <= log2 p           | root: s; other: r    | `s < 256 KiB`, or size unknown at non-roots |
 //! | `bcast`          | scatter + ring allgather (van de Geijn)| ~2p                 | root: s; other: r    | sized paths, `p >= 4`, `s >= 256 KiB` |
 //! | `gather/scatter` | flat tree (linear at root)             | 1 (root: p-1)       | root: s + r; other: s + r | always |
-//! | `allgather`      | ring, block forwarding                 | p-1                 | s + r                | `s > 8 KiB`, or p not a power of two |
+//! | `allgather`      | ring, block forwarding                 | p-1                 | s + r                | `s > 8 KiB`, or `p < 4` |
 //! | `allgather`      | recursive doubling (packed rounds)     | log2 p              | s·(p-1) + r          | `p >= 4` power of two, `s <= 8 KiB` |
+//! | `allgather`      | Bruck (rotated packed rounds, any p)   | ceil(log2 p)        | <= s·(p-1) + r       | `p >= 4` not a power of two, `s <= 8 KiB` |
 //! | `allgatherv`     | ring, block forwarding                 | p-1                 | s + r                | always |
 //! | `alltoall`       | pairwise exchange, pack-once + slice   | p-1                 | s + r                | `b > 1 KiB` |
 //! | `alltoall`       | Bruck (packed log-round forwarding)    | ceil(log2 p)        | s + r + s·ceil(log2 p)/2 | `p >= 4`, `b <= 1 KiB` |
@@ -41,6 +42,18 @@
 //! count or child count. The reductions' former `O(s log p)`
 //! materialization bill is gone: combining steps fold the delivered
 //! payload into the accumulator in place.
+//!
+//! The "selected when" column is the *static* policy — the warm-up
+//! fallback. With [`CollTuning::self_tuning`] enabled, `Auto` is
+//! instead driven by the communicator's **measured cost model**
+//! ([`algos::model`]): an online per-class alpha-beta estimator fed by
+//! wall-clock measurements of the calls that actually ran, folded on
+//! rank 0 and published to all ranks on an epoch cadence so matching
+//! calls keep selecting identically. The model is inherited on
+//! `dup`/`split`, resettable ([`Comm::reset_model`]), frozen into
+//! persistent plans at `*_init`, and never overrides `Select::Force`.
+//! Decision counters are exposed per rank via [`Comm::tuning_stats`]
+//! and `RankStats::tuning`.
 //!
 //! This matters for the reproduction: the paper's §V-A compares all-to-all
 //! strategies whose distinguishing property is *how many messages* they
@@ -66,8 +79,9 @@ mod scan;
 mod scatter;
 
 pub use algos::{
-    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning,
-    NeighborhoodAlgo, ReduceAlgo, Select,
+    AlgoClass, AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, ClassEstimate,
+    ClassStat, CollTuning, ModelConfig, ModelSnapshot, NeighborhoodAlgo, ReduceAlgo, Select,
+    TuningStats,
 };
 pub(crate) use allgather::{allgather_blocks, allgather_internal};
 pub(crate) use alltoall::alltoallv_internal;

@@ -250,22 +250,27 @@ fn exchange<N: Neighborhood + ?Sized>(
     payloads: Vec<Bytes>,
 ) -> Result<Vec<Bytes>> {
     let comm = n.comm();
-    let algo = if n.dense_eligible() {
-        comm.tuning().neighborhood_algo(comm.size(), n.max_degree())
-    } else {
-        NeighborhoodAlgo::Sparse
-    };
+    super::algos::model::tick(comm)?;
+    let algo = super::algos::model::select_neighborhood(comm, n.dense_eligible(), n.max_degree());
     let total: usize = payloads.iter().map(Bytes::len).sum();
-    match algo {
+    let begun = super::algos::model::measure_begin(comm);
+    let out = match algo {
         NeighborhoodAlgo::Sparse => {
             trace::instant(trace::cat::COLL, name, total as u64, n.max_degree() as u64);
-            sparse_exchange(n, tag, payloads)
+            sparse_exchange(n, tag, payloads)?
         }
         NeighborhoodAlgo::Dense => {
             trace::instant(trace::cat::COLL, name, total as u64, comm.size() as u64);
-            dense_exchange(n, tag, payloads)
+            dense_exchange(n, tag, payloads)?
         }
-    }
+    };
+    super::algos::model::observe(
+        comm,
+        super::algos::model::neighborhood_class(algo),
+        begun,
+        n.max_degree() as f64,
+    );
+    Ok(out)
 }
 
 /// The neighborhood collectives, blanket-implemented for every

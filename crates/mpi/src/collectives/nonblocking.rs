@@ -23,23 +23,31 @@
 //! | `igather(v)`         | flat tree (linear at root)        | 1 (root: p-1) | s + r              |
 //! | `iscatter(v)`        | flat tree (eager, pack-once root) | p-1 (other: 1)| root: s; other: r  |
 //! | `iallgather(v)`      | flat dissemination                | p-1           | <= s, + r at wait  |
+//! | `iallgather` (model/forced) | recursive doubling, resumable rounds | log2 p | s·(p-2) + r |
+//! | `iallgather` (model/forced) | Bruck, resumable rounds     | ceil(log2 p)  | <= s·(p-1) + r     |
 //! | `ialltoall(v)`       | pairwise eager, pack-once + slice | p-1           | <= s, + r at wait  |
-//! | `ialltoall` (forced) | Bruck, resumable rounds           | ceil(log2 p)  | s + r + repacks    |
+//! | `ialltoall` (model/forced) | Bruck, resumable rounds     | ceil(log2 p)  | s + r + repacks    |
 //! | `ireduce`            | flat gather + in-place ordered fold | 1 (root: p-1) | s (root: r)      |
-//! | `ireduce` (forced)   | binomial tree, in-place folds     | <= log2 p     | s (root: r)        |
+//! | `ireduce` (model/forced) | binomial tree, in-place folds | <= log2 p     | s (root: r)        |
 //! | `iallreduce`         | flat gather + fold + binomial bcast | mixed       | s (folds/fan-out free) |
-//! | `iallreduce` (forced)| binomial tree reduce + binomial bcast | <= 2 log2 p | s (folds/fan-out free) |
+//! | `iallreduce` (model/forced)| binomial tree reduce + binomial bcast | <= 2 log2 p | s (folds/fan-out free) |
 //!
 //! The flat algorithms trade the blocking collectives' latency-optimal
 //! trees for *immediacy*: every byte a rank contributes is on the wire
 //! before the call returns, which is what makes communication/computation
 //! overlap (§III-E of the paper, extended to collectives) effective.
-//! They therefore stay the `Auto` choice of the communicator's
-//! [`CollTuning`](super::algos::CollTuning); the tree/Bruck engines
-//! (resumable state machines like everything here) engage when the
-//! tuning *forces* [`ReduceAlgo::BinomialTree`](super::algos::ReduceAlgo)
-//! or [`AlltoallAlgo::Bruck`](super::algos::AlltoallAlgo) — the
-//! tuning-policy seam is shared with the blocking engines.
+//! They therefore stay the *static* `Auto` choice of the communicator's
+//! [`CollTuning`](super::algos::CollTuning); the tree/Bruck/doubling
+//! engines (resumable state machines like everything here) engage when
+//! the tuning *forces* them — or, with
+//! [`CollTuning::self_tuning`](super::algos::CollTuning::self_tuning)
+//! enabled, when the warm measured cost model predicts that the round
+//! structure wins even after charging every round one extra startup for
+//! lost overlap (the overlap bias of
+//! [`ModelConfig::overlap_alpha_pct`](super::algos::ModelConfig)).
+//! Selection at initiation reads only the last *published* model
+//! snapshot — it never synchronizes, because a non-blocking initiation
+//! must complete locally (MPI's local-completion rule).
 //!
 //! Completion payloads: single-result operations complete with
 //! [`Completion::Message`]; per-rank-block operations (`igatherv`,
@@ -51,14 +59,14 @@
 use bytes::Bytes;
 
 use super::algos::{
-    self, alltoall as bruck_algo, fold_bytes_right, AlltoallAlgo, ReduceAlgo, Select,
+    self, alltoall as bruck_algo, fold_bytes_right, AllgatherAlgo, AlltoallAlgo, ReduceAlgo,
 };
 use super::send_internal;
 use crate::comm::Comm;
 use crate::error::{MpiError, Result};
 use crate::message::{Src, Status, TagSel};
 use crate::op::ReduceOp;
-use crate::plain::{bytes_from_slice, bytes_from_vec, bytes_into_vec};
+use crate::plain::{bytes_from_slice, bytes_from_vec, bytes_into_vec, extend_vec_from_bytes};
 use crate::request::{Completion, Request};
 use crate::{Plain, Rank, Tag};
 
@@ -594,6 +602,164 @@ impl CollEngine for BruckEngine {
     }
 }
 
+/// Resumable recursive-doubling allgather (power-of-two `p` only, the
+/// same gate as the blocking engine): round `k` exchanges the
+/// accumulated `2^k`-block group with `rank ^ 2^k`. Round 0's send
+/// (this rank's own block) is posted eagerly at call time; each later
+/// round's packed group goes out the moment the previous round's
+/// payload arrives. Completes with [`Completion::Blocks`] in rank
+/// order, exactly like the flat engine.
+struct AllgatherRdEngine {
+    tags: Vec<Tag>,
+    blocks: Vec<Option<Bytes>>,
+    block_bytes: usize,
+    round: usize,
+}
+
+impl AllgatherRdEngine {
+    fn post_round(&self, comm: &Comm, k: usize) -> Result<()> {
+        let rank = comm.rank();
+        let group = 1usize << k;
+        let partner = rank ^ group;
+        let base = rank & !(group - 1);
+        let outgoing = if group == 1 {
+            // Round 0 forwards the own block as a refcount clone.
+            self.blocks[rank].clone().expect("own block present")
+        } else {
+            // Pack the group in ascending origin order (the counted
+            // copy this algorithm trades for its startup win).
+            let mut packed: Vec<u8> = Vec::with_capacity(group * self.block_bytes);
+            for b in &self.blocks[base..base + group] {
+                extend_vec_from_bytes(&mut packed, b.as_ref().expect("block from earlier round"));
+            }
+            bytes_from_vec(packed)
+        };
+        send_internal(comm, partner, self.tags[k], outgoing)
+    }
+}
+
+impl CollEngine for AllgatherRdEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        let rank = comm.rank();
+        let s = self.block_bytes;
+        while self.round < self.tags.len() {
+            let k = self.round;
+            let group = 1usize << k;
+            let partner = rank ^ group;
+            let Some(incoming) = recv_one(comm, partner, self.tags[k], block)? else {
+                return Ok(None);
+            };
+            if incoming.len() != group * s {
+                return Err(MpiError::InvalidLayout(format!(
+                    "iallgather (recursive doubling): round {k} delivered {} bytes, \
+                     expected {} ({group} blocks of {s}) — unequal contributions?",
+                    incoming.len(),
+                    group * s
+                )));
+            }
+            let partner_base = partner & !(group - 1);
+            for (i, origin) in (partner_base..partner_base + group).enumerate() {
+                // Carve per-origin blocks as refcount sub-views.
+                self.blocks[origin] = Some(incoming.slice(i * s..(i + 1) * s));
+            }
+            self.round += 1;
+            if self.round < self.tags.len() {
+                self.post_round(comm, self.round)?;
+            }
+        }
+        Ok(Some(Completion::Blocks(
+            self.blocks
+                .iter_mut()
+                .map(|b| b.take().expect("all groups exchanged"))
+                .collect(),
+        )))
+    }
+
+    fn sources(&self, comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        if self.round < self.tags.len() {
+            out.push((comm.rank() ^ (1usize << self.round), self.tags[self.round]));
+        }
+    }
+}
+
+/// Resumable Bruck allgather (any `p`): local index `i` accumulates the
+/// block of origin `(rank + i) % p`; round `k` sends the first
+/// `min(2^k, p - 2^k)` accumulated blocks to `rank - 2^k` and appends
+/// the same count from `rank + 2^k`. Round 0 is posted eagerly at call
+/// time; the final completion rotates back into rank order.
+struct AllgatherBruckEngine {
+    tags: Vec<Tag>,
+    local: Vec<Bytes>,
+    block_bytes: usize,
+    round: usize,
+}
+
+impl AllgatherBruckEngine {
+    fn post_round(&self, comm: &Comm, k: usize) -> Result<()> {
+        let p = comm.size();
+        let rank = comm.rank();
+        let step = 1usize << k;
+        let cnt = step.min(p - step);
+        let dest = (rank + p - step) % p;
+        let outgoing = if cnt == 1 {
+            // Single blocks travel as refcount clones, copy-free.
+            self.local[0].clone()
+        } else {
+            let mut packed: Vec<u8> = Vec::with_capacity(cnt * self.block_bytes);
+            for b in &self.local[..cnt] {
+                extend_vec_from_bytes(&mut packed, b);
+            }
+            bytes_from_vec(packed)
+        };
+        send_internal(comm, dest, self.tags[k], outgoing)
+    }
+}
+
+impl CollEngine for AllgatherBruckEngine {
+    fn advance(&mut self, comm: &Comm, block: bool) -> Result<Option<Completion>> {
+        let p = comm.size();
+        let rank = comm.rank();
+        let s = self.block_bytes;
+        while self.round < self.tags.len() {
+            let k = self.round;
+            let step = 1usize << k;
+            let cnt = step.min(p - step);
+            let src = (rank + step) % p;
+            let Some(incoming) = recv_one(comm, src, self.tags[k], block)? else {
+                return Ok(None);
+            };
+            if incoming.len() != cnt * s {
+                return Err(MpiError::InvalidLayout(format!(
+                    "iallgather (Bruck): round {k} delivered {} bytes, expected {} \
+                     ({cnt} blocks of {s}) — unequal contributions?",
+                    incoming.len(),
+                    cnt * s
+                )));
+            }
+            for i in 0..cnt {
+                self.local.push(incoming.slice(i * s..(i + 1) * s));
+            }
+            self.round += 1;
+            if self.round < self.tags.len() {
+                self.post_round(comm, self.round)?;
+            }
+        }
+        debug_assert_eq!(self.local.len(), p, "Bruck rounds deliver every block");
+        Ok(Some(Completion::Blocks(
+            (0..p)
+                .map(|origin| self.local[(origin + p - rank) % p].clone())
+                .collect(),
+        )))
+    }
+
+    fn sources(&self, comm: &Comm, out: &mut Vec<(Rank, Tag)>) {
+        if self.round < self.tags.len() {
+            let step = 1usize << self.round;
+            out.push(((comm.rank() + step) % comm.size(), self.tags[self.round]));
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Shared construction helpers
 // ---------------------------------------------------------------------------
@@ -841,16 +1007,76 @@ impl Comm {
     }
 
     /// Equal-block flavour of [`Comm::iallgatherv`] (mirrors
-    /// `MPI_Iallgather`).
+    /// `MPI_Iallgather`). The equal-block contract is what admits the
+    /// round-structured engines: the model-driven `Auto` (or a forced
+    /// tuning) may run resumable recursive doubling (power-of-two `p`)
+    /// or Bruck instead of the flat dissemination — unequal
+    /// contributions surface as [`MpiError::InvalidLayout`] there.
     pub fn iallgather<T: Plain>(&self, send: &[T]) -> Result<Request<'_>> {
         self.count_op("iallgather");
-        self.iallgather_impl(bytes_from_slice(send))
+        self.iallgather_tuned(bytes_from_slice(send))
     }
 
     /// Byte-level [`Comm::iallgather`].
     pub fn iallgather_bytes(&self, own: Bytes) -> Result<Request<'_>> {
         self.count_op("iallgather");
-        self.iallgather_impl(own)
+        self.iallgather_tuned(own)
+    }
+
+    fn iallgather_tuned(&self, own: Bytes) -> Result<Request<'_>> {
+        let algo = algos::model::select_iallgather(self, own.len());
+        crate::trace::instant(
+            crate::trace::cat::COLL,
+            match algo {
+                AllgatherAlgo::Ring => "iallgather/flat",
+                AllgatherAlgo::RecursiveDoubling => "iallgather/recursive_doubling",
+                AllgatherAlgo::Bruck => "iallgather/bruck",
+            },
+            own.len() as u64,
+            self.size() as u64,
+        );
+        match algo {
+            AllgatherAlgo::Ring => self.iallgather_impl(own),
+            AllgatherAlgo::RecursiveDoubling => self.iallgather_rd(own),
+            AllgatherAlgo::Bruck => self.iallgather_bruck(own),
+        }
+    }
+
+    fn iallgather_rd(&self, own: Bytes) -> Result<Request<'_>> {
+        let p = self.size();
+        debug_assert!(p.is_power_of_two(), "selection gates RD to power-of-two p");
+        let rounds = p.trailing_zeros() as usize;
+        // One tag per round, allocated in the same order on every rank.
+        let tags: Vec<Tag> = (0..rounds).map(|_| self.next_internal_tag()).collect();
+        let block_bytes = own.len();
+        let mut blocks: Vec<Option<Bytes>> = (0..p).map(|_| None).collect();
+        blocks[self.rank()] = Some(own);
+        let engine = AllgatherRdEngine {
+            tags,
+            blocks,
+            block_bytes,
+            round: 0,
+        };
+        // Round 0 goes out eagerly; later rounds depend on received
+        // payloads and go out as polling drains them.
+        engine.post_round(self, 0)?;
+        Ok(self.coll_request(Box::new(engine)))
+    }
+
+    fn iallgather_bruck(&self, own: Bytes) -> Result<Request<'_>> {
+        let p = self.size();
+        let rounds = p.next_power_of_two().trailing_zeros() as usize;
+        // One tag per round, allocated in the same order on every rank.
+        let tags: Vec<Tag> = (0..rounds).map(|_| self.next_internal_tag()).collect();
+        let block_bytes = own.len();
+        let engine = AllgatherBruckEngine {
+            tags,
+            local: vec![own],
+            block_bytes,
+            round: 0,
+        };
+        engine.post_round(self, 0)?;
+        Ok(self.coll_request(Box::new(engine)))
     }
 
     fn iallgather_impl(&self, own: Bytes) -> Result<Request<'_>> {
@@ -904,10 +1130,11 @@ impl Comm {
         }
         let elem = std::mem::size_of::<T>();
         let block_bytes = send.len() / p * elem;
-        // The eager pairwise engine stays the `Auto` choice: its
-        // call-time sends are what make overlap effective. Bruck
-        // engages only when forced.
-        let bruck = p > 1 && self.tuning().alltoall == Select::Force(AlltoallAlgo::Bruck);
+        // The eager pairwise engine stays the static `Auto` choice: its
+        // call-time sends are what make overlap effective. Bruck engages
+        // when forced, or when the warm model predicts it wins even
+        // after the per-round overlap charge.
+        let bruck = algos::model::select_ialltoall(self, block_bytes) == AlltoallAlgo::Bruck;
         crate::trace::instant(
             crate::trace::cat::COLL,
             if bruck {
@@ -999,9 +1226,8 @@ impl Comm {
     ) -> Result<Request<'_>> {
         self.count_op("ireduce");
         self.check_rank(root)?;
-        let algo = self
-            .tuning()
-            .reduce_algo(op.is_commutative(), ReduceAlgo::FlatGather);
+        let algo =
+            algos::model::select_ireduce(self, op.is_commutative(), std::mem::size_of_val(send));
         crate::trace::instant(
             crate::trace::cat::COLL,
             match algo {
@@ -1075,9 +1301,7 @@ impl Comm {
         op: O,
     ) -> Result<Request<'_>> {
         self.count_op("iallreduce");
-        let algo = self
-            .tuning()
-            .reduce_algo(op.is_commutative(), ReduceAlgo::FlatGather);
+        let algo = algos::model::select_ireduce(self, op.is_commutative(), own.len());
         crate::trace::instant(
             crate::trace::cat::COLL,
             match algo {
@@ -1452,6 +1676,56 @@ mod tests {
             if comm.rank() == 0 {
                 let (got, _) = c.into_vec::<u64>().unwrap();
                 assert_eq!(got, vec![123]);
+            }
+        });
+    }
+
+    #[test]
+    fn forced_rd_and_bruck_iallgather_match_flat() {
+        use crate::collectives::{AllgatherAlgo, CollTuning};
+        for p in [2, 3, 4, 5, 8] {
+            Universe::run(p, move |comm| {
+                let send: Vec<u32> = vec![comm.rank() as u32 * 7 + 1, comm.rank() as u32];
+                let expected = comm
+                    .iallgather(&send)
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+                    .into_blocks()
+                    .unwrap();
+                for algo in [AllgatherAlgo::RecursiveDoubling, AllgatherAlgo::Bruck] {
+                    // Forced RD resolves to the flat path off powers of
+                    // two, mirroring the blocking selection.
+                    comm.set_tuning(CollTuning::default().allgather(algo));
+                    let got = comm
+                        .iallgather(&send)
+                        .unwrap()
+                        .wait()
+                        .unwrap()
+                        .into_blocks()
+                        .unwrap();
+                    for (a, b) in expected.iter().zip(&got) {
+                        assert_eq!(&a[..], &b[..], "p = {p}, {algo:?}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn forced_iallgather_engines_overlap_with_local_work() {
+        use crate::collectives::{AllgatherAlgo, CollTuning};
+        Universe::run(4, |comm| {
+            comm.set_tuning(CollTuning::default().allgather(AllgatherAlgo::Bruck));
+            let req = comm.iallgather(&[comm.rank() as u64]).unwrap();
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+            let blocks = req.wait().unwrap().into_blocks().unwrap();
+            for (r, b) in blocks.iter().enumerate() {
+                assert_eq!(crate::plain::bytes_to_vec::<u64>(b), vec![r as u64]);
             }
         });
     }

@@ -46,7 +46,7 @@ pub(crate) fn allreduce_internal<T: Plain, O: ReduceOp<T>>(
         let bytes = super::bcast_bytes_internal(comm, payload, 0)?;
         return Ok(crate::plain::bytes_into_vec(bytes));
     }
-    algos::allreduce::dispatch(comm, &comm.tuning(), send, op)
+    algos::allreduce::dispatch(comm, send, op)
 }
 
 fn fold_blocks<T: Plain, O: ReduceOp<T>>(data: &[T], counts: &[usize], op: &O) -> Vec<T> {
@@ -93,18 +93,19 @@ impl Comm {
         self.check_rank(root)?;
         let rank = self.rank();
 
-        let algo = self
-            .tuning()
-            .reduce_algo(op.is_commutative(), ReduceAlgo::BinomialTree);
+        let bytes = std::mem::size_of_val(send);
+        algos::model::tick(self)?;
+        let algo = algos::model::select_reduce(self, op.is_commutative(), bytes);
         let _sp = crate::trace::span(
             crate::trace::cat::COLL,
             match algo {
                 ReduceAlgo::FlatGather => "reduce/flat_gather",
                 ReduceAlgo::BinomialTree => "reduce/binomial_tree",
             },
-            std::mem::size_of_val(send) as u64,
+            bytes as u64,
             self.size() as u64,
         );
+        let begun = algos::model::measure_begin(self);
         let folded: Option<Vec<T>> = match algo {
             ReduceAlgo::FlatGather => {
                 let gathered = self.gatherv_vec_uncounted(send, root)?;
@@ -117,6 +118,7 @@ impl Comm {
                 algos::reduce::binomial_inplace(self, tag, send, &op, root)?
             }
         };
+        algos::model::observe(self, algos::model::reduce_class(algo), begun, bytes as f64);
         if rank == root {
             let folded = folded.expect("root holds the folded result");
             if recv.len() != folded.len() {

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use crate::clock::Clock;
+use crate::collectives::algos::model::{ModelSnapshot, ModelState, TuningStats};
 use crate::collectives::CollTuning;
 use crate::counter::CallCounts;
 use crate::error::{MpiError, Result};
@@ -45,6 +46,12 @@ pub struct Comm {
     agree_seq: Cell<i32>,
     /// Collective algorithm tuning policy (see [`crate::collectives::algos`]).
     tuning: Cell<CollTuning>,
+    /// Online cost-model state (snapshot + pending observations + call
+    /// sequence; see [`crate::collectives::algos::model`]). Inert
+    /// unless the tuning's [`ModelConfig::drive`] is on.
+    ///
+    /// [`ModelConfig::drive`]: crate::collectives::algos::model::ModelConfig::drive
+    model: RefCell<ModelState>,
 }
 
 impl Comm {
@@ -62,6 +69,7 @@ impl Comm {
             coll_seq: Cell::new(0),
             agree_seq: Cell::new(0),
             tuning: Cell::new(CollTuning::default()),
+            model: RefCell::new(ModelState::default()),
         }
     }
 
@@ -75,8 +83,11 @@ impl Comm {
             coll_seq: Cell::new(0),
             agree_seq: Cell::new(0),
             // Derived communicators inherit the parent's tuning, like
-            // MPI info hints.
+            // MPI info hints — and the parent's published model
+            // snapshot (identical across ranks at a matched dup/split,
+            // so the child starts symmetric and warm).
             tuning: Cell::new(self.tuning.get()),
+            model: RefCell::new(ModelState::inherit(&self.model.borrow())),
         }
     }
 
@@ -160,6 +171,35 @@ impl Comm {
     pub fn tuning_guard(&self, tuning: Option<CollTuning>) -> TuningGuard<'_> {
         let prev = tuning.map(|t| self.tuning.replace(t));
         TuningGuard { comm: self, prev }
+    }
+
+    /// The communicator's current published cost-model snapshot
+    /// (per-algorithm `(alpha, beta)` estimates; see
+    /// [`crate::collectives::algos::model`]). Identical on every rank
+    /// between two sync points.
+    pub fn model_snapshot(&self) -> ModelSnapshot {
+        self.model.borrow().snapshot()
+    }
+
+    /// Resets the communicator's cost model to cold (snapshot, pending
+    /// observations and the sync sequence). Like tuning changes, this
+    /// must be performed symmetrically — at the same point of the call
+    /// sequence on every rank — or ranks will disagree on selections.
+    pub fn reset_model(&self) {
+        self.model.borrow_mut().reset();
+    }
+
+    /// Snapshot of this rank's tuning diagnostics (selection counts,
+    /// model observations, published estimates). Whole-run per-rank
+    /// values are available without in-closure snapshotting via
+    /// [`crate::Universe::run_stats`].
+    pub fn tuning_stats(&self) -> TuningStats {
+        crate::collectives::algos::model::stats_snapshot()
+    }
+
+    #[inline]
+    pub(crate) fn model_state_mut(&self) -> std::cell::RefMut<'_, ModelState> {
+        self.model.borrow_mut()
     }
 
     // ----- call counting (PMPI substitute) -------------------------------

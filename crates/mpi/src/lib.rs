@@ -75,8 +75,9 @@ pub mod universe;
 pub use clock::{Clock, CostModel};
 pub use collectives::neighborhood::NeighborhoodColl;
 pub use collectives::{
-    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, CollTuning,
-    NeighborhoodAlgo, ReduceAlgo, Select,
+    AlgoClass, AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, BcastParts, ClassEstimate,
+    ClassStat, CollTuning, ModelConfig, ModelSnapshot, NeighborhoodAlgo, ReduceAlgo, Select,
+    TuningStats,
 };
 pub use comm::{Comm, TuningGuard};
 pub use completion::{park_any, park_epoch, ParkOutcome, PoolSession, PoolStep};

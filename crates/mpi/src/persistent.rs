@@ -69,6 +69,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+use crate::collectives::algos::model::{self, AlgoClass};
 use crate::collectives::nonblocking::{
     allreduce_root_engine, bcast_recv_engine, blocks_engine, message_completion, CollEngine,
 };
@@ -771,6 +772,10 @@ impl Comm {
         self.count_op("bcast_init");
         self.check_rank(root)?;
         let tag = self.next_internal_tag();
+        // Persistent plans freeze the engine shape at init: the binomial
+        // tree is recorded as a frozen pick and the model never
+        // re-selects mid-cycle, however the estimates move afterwards.
+        model::freeze_selection(self, AlgoClass::BcastBinomial);
         trace::instant(trace::cat::COLL, "bcast_init/binomial_tree", 0, root as u64);
         let plan = if self.rank() == root {
             CollPlan {
@@ -801,6 +806,7 @@ impl Comm {
         let own = bytes_from_slice(data);
         let gather_tag = self.next_internal_tag();
         let bcast_tag = self.next_internal_tag();
+        model::freeze_selection(self, AlgoClass::ReduceFlat);
         trace::instant(
             trace::cat::COLL,
             "allreduce_init/flat_gather",
@@ -845,6 +851,7 @@ impl Comm {
     pub fn allgather_init_bytes(&self, own: Bytes) -> Result<PersistentRequest<'_>> {
         self.count_op("allgather_init");
         let tag = self.next_internal_tag();
+        model::freeze_selection(self, AlgoClass::AllgatherRing);
         trace::instant(
             trace::cat::COLL,
             "allgather_init/pairwise",
@@ -900,6 +907,7 @@ impl Comm {
                 packed.len()
             )));
         }
+        model::freeze_selection(self, AlgoClass::AlltoallPairwise);
         trace::instant(
             trace::cat::COLL,
             "alltoallv_init/pairwise",

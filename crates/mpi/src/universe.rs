@@ -15,6 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::clock::CostModel;
+use crate::collectives::algos::model::{self as tuning_model, TuningStats};
 use crate::comm::Comm;
 use crate::counter::CallCounts;
 use crate::fault::{self, FaultPlan};
@@ -68,6 +69,10 @@ pub struct WorldState {
     /// Final per-rank copy statistics, written when each rank's thread
     /// finishes (the thread-local counters die with the thread).
     pub(crate) copy_stats: Vec<Mutex<CopyStats>>,
+    /// Final per-rank self-tuning counters (decisions, picks by kind,
+    /// observations folded, snapshot publishes), harvested like the
+    /// copy bill when each rank's thread finishes.
+    pub(crate) tuning_stats: Vec<Mutex<TuningStats>>,
     /// Final per-rank traces, written when each rank's thread finishes
     /// (the thread-local rings die with the thread). Empty without the
     /// `trace` feature.
@@ -100,6 +105,9 @@ impl WorldState {
                 .collect(),
             copy_stats: (0..config.size)
                 .map(|_| Mutex::new(CopyStats::default()))
+                .collect(),
+            tuning_stats: (0..config.size)
+                .map(|_| Mutex::new(TuningStats::default()))
                 .collect(),
             traces: (0..config.size)
                 .map(|_| Mutex::new(trace::RankTrace::default()))
@@ -311,6 +319,7 @@ impl Universe {
                             // before the thread (and its thread-locals)
                             // exits.
                             *world.copy_stats[rank].lock() = metrics::snapshot();
+                            *world.tuning_stats[rank].lock() = tuning_model::stats_snapshot();
                             let t = trace::take_thread();
                             // Exited ranks answer every future snapshot
                             // with their final trace.
@@ -371,10 +380,12 @@ impl Universe {
             .iter()
             .zip(&world.mailboxes)
             .zip(&world.traces)
-            .map(|((m, mb), t)| RankStats {
+            .zip(&world.tuning_stats)
+            .map(|(((m, mb), t), tu)| RankStats {
                 copy: *m.lock(),
                 mailbox: mb.stats(),
                 trace: t.lock().stats,
+                tuning: *tu.lock(),
             })
             .collect()
     }
@@ -455,6 +466,13 @@ pub struct RankStats {
     /// Trace aggregates: event counts, span latency histograms, and
     /// the unexpected-queue depth gauge (see [`crate::trace`]).
     pub trace: TraceStats,
+    /// Self-tuning counters: how many algorithm decisions this rank
+    /// made, how they were decided (static threshold / exploration /
+    /// model prediction / forced / frozen plan), and how many
+    /// measurements fed the cost model (see
+    /// [`TuningStats`]). All zeros unless the
+    /// communicator's tuning enables the model.
+    pub tuning: TuningStats,
 }
 
 /// Former name of [`RankStats`], kept for existing callers.

@@ -196,3 +196,49 @@ fn fault_injection_and_recovery_land_on_the_timeline() {
         assert!(json.contains(needle), "timeline lacks {needle}: {json}");
     }
 }
+
+/// A model-driven run keeps the established `op/algorithm` span names:
+/// the exploration phase visits every allreduce candidate (so both
+/// spellings land on the timeline), and once warm the model takes over
+/// — all on the same rings, with nothing new for a Perfetto view to
+/// learn.
+#[cfg(feature = "trace")]
+#[test]
+fn model_driven_run_names_every_explored_algorithm() {
+    use kmp_mpi::{CollTuning, ModelConfig};
+
+    let _toggle = TRACE_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled(true);
+    let (outcomes, data) = Universe::run_traced(Config::new(4), |comm| {
+        comm.set_tuning(
+            CollTuning::default().model(
+                ModelConfig::default()
+                    .drive(true)
+                    .epoch_len(1)
+                    .warmup_obs(1),
+            ),
+        );
+        let mine = vec![comm.rank() as u64; 512];
+        for _ in 0..10 {
+            comm.allreduce_vec(&mine, |a: &u64, b: &u64| a.wrapping_add(*b))
+                .unwrap();
+        }
+        let stats = comm.tuning_stats();
+        assert!(stats.model_picks > 0, "model must take over once warm");
+        assert!(
+            stats.explore_picks > 0,
+            "warm-up must explore the cold class"
+        );
+    });
+    assert_completed(&outcomes);
+    for (rank, rt) in data.ranks.iter().enumerate() {
+        for name in ["allreduce/recursive_doubling", "allreduce/rabenseifner"] {
+            assert!(
+                rt.events
+                    .iter()
+                    .any(|e| e.cat == trace::cat::COLL && e.name == name),
+                "rank {rank} timeline lacks {name}"
+            );
+        }
+    }
+}

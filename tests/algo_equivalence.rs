@@ -8,9 +8,22 @@
 use kamping_repro::kamping::prelude::*;
 use kamping_repro::mpi::op::Sum;
 use kamping_repro::mpi::{
-    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, ReduceAlgo, Universe,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, CollTuning, ModelConfig, ModelSnapshot,
+    ReduceAlgo, Universe,
 };
 use proptest::prelude::*;
+
+/// An aggressive model cadence for tests: publish every call, one
+/// observation warms a class — the run passes through static warm-up,
+/// exploration, and warm-model regimes within a handful of calls.
+fn fast_model() -> CollTuning {
+    CollTuning::default().model(
+        ModelConfig::default()
+            .drive(true)
+            .epoch_len(1)
+            .warmup_obs(1),
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
@@ -172,6 +185,58 @@ proptest! {
             }
         }
     }
+
+    /// A driven model must change only the schedule, never the result:
+    /// repeated collectives under the aggressive cadence cross the
+    /// static, exploration, and warm-model regimes while every result
+    /// stays identical to the direct computation — on every `p`,
+    /// power of two or not.
+    #[test]
+    fn model_driven_auto_stays_result_correct(
+        p in 1usize..17,
+        n in 1usize..100,
+        seed in any::<u32>()
+    ) {
+        let out = Universe::run(p, move |comm| {
+            comm.set_tuning(fast_model());
+            let mine: Vec<u32> = (0..n)
+                .map(|i| seed ^ ((comm.rank() as u32) << 20) ^ i as u32)
+                .collect();
+            let mut gathers = Vec::new();
+            let mut sums = Vec::new();
+            for _ in 0..8 {
+                gathers.push(comm.allgather_vec(&mine).unwrap());
+                sums.push(
+                    comm.allreduce_vec(&mine, |a: &u32, b: &u32| a.wrapping_add(*b))
+                        .unwrap(),
+                );
+            }
+            (gathers, sums, comm.tuning_stats())
+        });
+        let expected_gather: Vec<u32> = (0..p)
+            .flat_map(|r| (0..n).map(move |i| seed ^ ((r as u32) << 20) ^ i as u32))
+            .collect();
+        let expected_sum: Vec<u32> = (0..n)
+            .map(|i| {
+                (0..p).fold(0u32, |acc, r| {
+                    acc.wrapping_add(seed ^ ((r as u32) << 20) ^ i as u32)
+                })
+            })
+            .collect();
+        for (gathers, sums, stats) in out {
+            for g in gathers {
+                prop_assert_eq!(&g, &expected_gather);
+            }
+            for s in sums {
+                prop_assert_eq!(&s, &expected_sum);
+            }
+            if p > 1 {
+                // 8 allgathers + 8 allreduces, each a counted decision.
+                prop_assert!(stats.decisions >= 16);
+                prop_assert!(stats.publishes > 0);
+            }
+        }
+    }
 }
 
 /// The binding's `tuning(...)` parameter overrides a single call —
@@ -326,5 +391,101 @@ fn large_allreduce_auto_matches_sum() {
         let mine = vec![comm.rank() as u64; n];
         let total: Vec<u64> = comm.allreduce((send_buf(&mine), op(Sum))).unwrap();
         assert_eq!(total, vec![6u64; n]);
+    });
+}
+
+/// Determinism contract of `Select::Force`: a warm model never
+/// overrides a forced slot. Every forced call is counted as a forced
+/// pick; the model- and exploration-pick counters stay flat.
+#[test]
+fn force_is_never_overridden_by_a_warm_model() {
+    Universe::run(4, |comm| {
+        let mine = vec![comm.rank() as u64; 256];
+        let sum = |a: &u64, b: &u64| a.wrapping_add(*b);
+        // Warm every allreduce class.
+        comm.set_tuning(fast_model());
+        for _ in 0..12 {
+            comm.allreduce_vec(&mine, sum).unwrap();
+        }
+        let before = comm.tuning_stats();
+        // Keep the model driving, but force the algorithm.
+        comm.set_tuning(fast_model().allreduce(AllreduceAlgo::Rabenseifner));
+        for _ in 0..6 {
+            assert_eq!(
+                comm.allreduce_vec(&mine, sum).unwrap(),
+                (0..4u64).fold(vec![0u64; 256], |acc, r| acc
+                    .iter()
+                    .map(|v| v.wrapping_add(r))
+                    .collect())
+            );
+        }
+        let after = comm.tuning_stats();
+        assert_eq!(after.forced_picks - before.forced_picks, 6);
+        assert_eq!(after.model_picks, before.model_picks);
+        assert_eq!(after.explore_picks, before.explore_picks);
+    });
+}
+
+/// Persistent plans freeze their selection at `*_init` (counted as one
+/// frozen pick) and the steady-state `start`/`wait` cycles never
+/// re-enter the selection engine: the decision counter is pinned flat
+/// across every cycle, even with the model driving.
+#[test]
+fn persistent_plans_freeze_selection_and_never_reselect() {
+    Universe::run(4, |comm| {
+        comm.set_tuning(fast_model());
+        let root = 0;
+        let mut req = if comm.rank() == root {
+            comm.bcast_init(Some(&[0u64]), root).unwrap()
+        } else {
+            comm.bcast_init::<u64>(None, root).unwrap()
+        };
+        let init = comm.tuning_stats();
+        assert_eq!(init.frozen_picks, 1);
+        for cycle in 0..5u64 {
+            if comm.rank() == root {
+                req.set_data(&[cycle * 7]).unwrap();
+            }
+            req.start().unwrap();
+            let (v, _) = req.wait().unwrap().into_vec::<u64>().unwrap();
+            assert_eq!(v, vec![cycle * 7]);
+        }
+        let after = comm.tuning_stats();
+        assert_eq!(
+            after.decisions, init.decisions,
+            "steady-state persistent cycles must not re-select"
+        );
+        assert_eq!(after.frozen_picks, 1);
+        assert_eq!(after.observations, init.observations);
+    });
+}
+
+/// `dup` inherits the parent's published snapshot (warm estimates carry
+/// into the child); `reset_model` clears only the communicator it is
+/// called on.
+#[test]
+fn dup_inherits_model_and_reset_restarts_warmup() {
+    Universe::run(4, |comm| {
+        comm.set_tuning(fast_model());
+        let mine = vec![comm.rank() as u64; 64];
+        for _ in 0..8 {
+            comm.allreduce_vec(&mine, |a: &u64, b: &u64| a.wrapping_add(*b))
+                .unwrap();
+        }
+        let parent = comm.model_snapshot();
+        assert!(parent.epoch > 0, "aggressive cadence must have published");
+        let dup = comm.dup().unwrap();
+        assert_eq!(
+            dup.model_snapshot(),
+            parent,
+            "derived communicators inherit the published estimates"
+        );
+        dup.reset_model();
+        assert_eq!(dup.model_snapshot(), ModelSnapshot::default());
+        assert_eq!(
+            comm.model_snapshot(),
+            parent,
+            "reset is per-communicator: the parent keeps its estimates"
+        );
     });
 }
